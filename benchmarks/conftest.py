@@ -1,0 +1,27 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark runs one paper experiment end to end (via
+``repro.experiments``), asserts the *shape* of the paper's result — who
+wins, which ablation hurts, where the missing behaviour appears — and
+writes the rendered report to ``benchmarks/reports/`` so EXPERIMENTS.md can
+be cross-checked against a fresh run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    REPORTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return write

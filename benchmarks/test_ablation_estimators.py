@@ -1,0 +1,147 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not a paper figure — these quantify the knobs of our implementation:
+
+* cross-traffic busy-threshold conservativeness (§3's "care is needed");
+* CT estimation bin width (burst localisation vs noise);
+* iBoxML rollout rounds (the exposure-bias correction);
+* estimator costs (fit is closed-form and cheap — §3.2's efficiency
+  argument).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import iboxnet
+from repro.core.cross_traffic import estimate_cross_traffic
+from repro.core.iboxml import IBoxMLConfig, IBoxMLModel, delay_distribution_error
+from repro.core.static_params import estimate_static_params
+from repro.datasets.pantheon import generate_dataset, generate_run
+from repro.simulation import units
+from repro.simulation.topology import (
+    ConstantBandwidth,
+    PathConfig,
+    PoissonCT,
+    run_flow,
+)
+
+RATE = units.mbps_to_bytes_per_sec(10.0)
+
+
+@pytest.fixture(scope="module")
+def burst_run():
+    config = PathConfig(
+        bandwidth=ConstantBandwidth(RATE),
+        propagation_delay=0.025,
+        buffer_bytes=250_000,
+        cross_traffic=(
+            PoissonCT(rate_bytes_per_sec=0.5 * RATE, start=5.0, stop=10.0),
+        ),
+    )
+    return run_flow(config, "cubic", duration=15.0, seed=7)
+
+
+def _burst_localisation(estimate):
+    edges = np.asarray(estimate.bin_edges)
+    rates = np.asarray(estimate.rates_bytes_per_sec)
+    centres = (edges[:-1] + edges[1:]) / 2
+    inside = rates[(centres > 5.5) & (centres < 9.5)].mean()
+    outside = rates[(centres < 4.0) | (centres > 11.0)].mean()
+    return inside / max(outside, 1.0)
+
+
+def test_ablation_busy_threshold(burst_run, report_writer, benchmark):
+    """Sweeping the surely-busy margin: stricter is more conservative
+    (less volume) but stays localised."""
+    params = estimate_static_params(burst_run.trace)
+    benchmark.pedantic(
+        estimate_cross_traffic, args=(burst_run.trace, params),
+        rounds=3, iterations=1,
+    )
+    lines = ["busy-threshold ablation (packets, volume MB, localisation):"]
+    volumes = []
+    for threshold in (0.5, 1.5, 4.0, 8.0):
+        estimate = estimate_cross_traffic(
+            burst_run.trace, params, busy_threshold_packets=threshold
+        )
+        volumes.append(estimate.total_bytes())
+        lines.append(
+            f"  threshold={threshold:>4.1f}: "
+            f"volume={estimate.total_bytes() / 1e6:6.2f} MB "
+            f"busy={estimate.busy_fraction:5.0%} "
+            f"localisation={_burst_localisation(estimate):6.1f}x"
+        )
+    report_writer("ablation_busy_threshold", "\n".join(lines))
+    assert volumes == sorted(volumes, reverse=True)
+
+
+def test_ablation_ct_bin_width(burst_run, report_writer, benchmark):
+    """Finer bins localise the burst better; the total volume stays
+    within a factor of ~2 across a 10x bin-width sweep."""
+    params = estimate_static_params(burst_run.trace)
+    benchmark.pedantic(
+        estimate_cross_traffic, args=(burst_run.trace, params),
+        kwargs={"bin_width": 0.2}, rounds=3, iterations=1,
+    )
+    lines = ["bin-width ablation:"]
+    localisations = {}
+    volumes = {}
+    for width in (0.2, 0.5, 1.0, 2.0):
+        estimate = estimate_cross_traffic(
+            burst_run.trace, params, bin_width=width
+        )
+        localisations[width] = _burst_localisation(estimate)
+        volumes[width] = estimate.total_bytes()
+        lines.append(
+            f"  bin={width:3.1f}s: volume={volumes[width] / 1e6:6.2f} MB "
+            f"localisation={localisations[width]:6.1f}x"
+        )
+    report_writer("ablation_ct_bin_width", "\n".join(lines))
+    assert localisations[0.2] > 3.0
+    assert max(volumes.values()) < 2.5 * max(min(volumes.values()), 1.0)
+
+
+def test_ablation_iboxml_rollout_rounds(report_writer, benchmark):
+    """The DAgger-style rollout refresh is what keeps free-running
+    inference anchored; without it predictions drift to an attractor."""
+    # 20 s traces: long enough for free-running drift to actually bite
+    # (on very short traces teacher forcing alone hangs on, and the
+    # comparison is a coin flip).
+    dataset = generate_dataset(
+        n_paths=3, protocols=("vegas",), duration=20.0,
+        base_seed=40, runs_per_protocol=2,
+    )
+    train = dataset.traces()[:4]
+    test = dataset.traces()[4]
+    lines = ["iBoxML rollout-rounds ablation (CDF error, ms):"]
+    errors = {}
+
+    def evaluate(rounds):
+        config = IBoxMLConfig(
+            hidden_dim=24, num_layers=2, epochs=9, train_seq_len=150,
+            rollout_rounds=rounds,
+        )
+        model = IBoxMLModel(config)
+        model.fit(train)
+        predicted = model.predict_delays(test, sample=True, seed=1)
+        return (
+            delay_distribution_error(predicted, test.delivered_delays())
+            * 1000
+        )
+
+    errors[1] = evaluate(1)
+    errors[3] = benchmark.pedantic(
+        evaluate, args=(3,), rounds=1, iterations=1
+    )
+    for rounds in (1, 3):
+        lines.append(f"  rounds={rounds}: error={errors[rounds]:7.1f} ms")
+    report_writer("ablation_rollout_rounds", "\n".join(lines))
+    assert errors[3] < errors[1]
+
+
+def test_iboxnet_fit_is_cheap(benchmark):
+    """§3.2: 'makes both learning the model and running it very
+    efficient' — fitting is closed-form over one trace."""
+    run = generate_run(seed=31, protocol="cubic", duration=15.0)
+    model = benchmark(iboxnet.fit, run.trace)
+    assert model.params.bandwidth_bytes_per_sec > 0

@@ -1,0 +1,50 @@
+"""Fig. 2 — iBoxNet ensemble test on cellular paths.
+
+Paper claim reproduced: the iBoxNet model trained on Cubic traces matches
+ground truth for both Cubic and, crucially, for Vegas (never seen in
+training); verified with two-sample KS tests on the (rate, p95 delay,
+loss) distributions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2_ensemble
+from repro.experiments.common import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2_ensemble.run(Scale.quick(), base_seed=10)
+
+
+def test_fig2_ensemble(benchmark, result, report_writer):
+    benchmark.pedantic(
+        fig2_ensemble.run,
+        args=(Scale.quick(),),
+        kwargs={"base_seed": 10},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("fig2_ensemble", result.format_report())
+
+
+def test_fig2_treatment_distribution_matches(result):
+    """The headline claim: Vegas, never seen in training, is predicted
+    with distributions the KS test cannot distinguish from truth."""
+    assert result.ks_match("vegas")
+
+
+def test_fig2_control_distribution_matches(result):
+    assert result.ks_match("cubic")
+
+
+def test_fig2_protocol_ordering_preserved(result):
+    """Vegas is the low-delay/low-loss protocol on both sides of the
+    figure; Cubic pays delay and loss for throughput."""
+    def median(series, index):
+        return float(np.nanmedian([p[index] for p in result.scatter[series]]))
+
+    for source in ("gt", "iboxnet"):
+        assert median(f"vegas_{source}", 1) < median(f"cubic_{source}", 1)
+        assert median(f"vegas_{source}", 2) <= median(f"cubic_{source}", 2)

@@ -1,0 +1,49 @@
+"""Fig. 3 — cross-traffic ablations.
+
+Paper claim reproduced: dropping the cross-traffic input (Fig. 3a) or
+replacing it with calibrated i.i.d. loss (Fig. 3b, the [45] baseline)
+yields a worse treatment-protocol match than full iBoxNet.
+"""
+
+import pytest
+
+from repro.experiments import fig3_ablations
+from repro.experiments.common import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig3_ablations.run(Scale.quick(), base_seed=10)
+
+
+def test_fig3_ablations(benchmark, result, report_writer):
+    benchmark.pedantic(
+        fig3_ablations.run,
+        args=(Scale.quick(),),
+        kwargs={"base_seed": 10},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("fig3_ablations", result.format_report())
+
+
+def test_fig3_full_model_beats_no_ct(result):
+    assert (
+        result.aggregate_error("iBoxNet (full)")
+        < result.aggregate_error("without CT")
+    )
+
+
+def test_fig3_full_model_beats_statistical_loss(result):
+    assert (
+        result.aggregate_error("iBoxNet (full)")
+        < result.aggregate_error("statistical loss")
+    )
+
+
+def test_fig3_margins_are_material(result):
+    """The ablations are not marginally worse — the paper's point is that
+    careless cross-traffic handling visibly corrupts the A/B verdicts."""
+    full = result.aggregate_error("iBoxNet (full)")
+    assert result.aggregate_error("without CT") > 1.5 * full
+    assert result.aggregate_error("statistical loss") > 1.5 * full

@@ -1,0 +1,71 @@
+"""Fig. 4 — iBoxNet instance test.
+
+Paper claims reproduced: (a) the rate time series of the control protocol
+on the learnt per-instance model aligns with ground truth; (b) k-means
+(k = 3) over cross-correlation features clusters ground-truth and
+iBoxNet-simulated treatment runs perfectly by cross-traffic instance
+(t-SNE used for the visual).
+"""
+
+import pytest
+
+from repro.experiments import fig4_instance
+from repro.experiments.common import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig4_instance.run(Scale.quick(), base_seed=0)
+
+
+def test_fig4_instance(benchmark, result, report_writer):
+    benchmark.pedantic(
+        fig4_instance.run,
+        args=(Scale.quick(),),
+        kwargs={"base_seed": 0, "compute_tsne": False},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("fig4_instance", result.format_report())
+
+
+def test_fig4_clustering_perfect(result):
+    """'k-means clustering (with k = 3) of these runs ... is perfect,
+    i.e., with no mistakes.'"""
+    assert result.purity == 1.0
+
+
+def test_fig4_rate_series_alignment(result):
+    """Fig. 4(a): the simulated control run's rate series tracks truth."""
+    assert result.alignment > 0.7
+
+
+def test_fig4_tsne_groups_by_instance(result):
+    """t-SNE means: simulated runs sit nearer their own instance's GT
+    cloud than any other instance's."""
+    import numpy as np
+
+    inst = result.instance
+    embedding = result.embedding
+    assert embedding is not None
+    for k in sorted(set(inst.true_pattern)):
+        sim_centre = embedding[
+            (inst.true_pattern == k) & inst.is_simulated
+        ].mean(axis=0)
+        own = np.linalg.norm(
+            sim_centre
+            - embedding[(inst.true_pattern == k) & ~inst.is_simulated].mean(
+                axis=0
+            )
+        )
+        others = [
+            np.linalg.norm(
+                sim_centre
+                - embedding[
+                    (inst.true_pattern == j) & ~inst.is_simulated
+                ].mean(axis=0)
+            )
+            for j in sorted(set(inst.true_pattern))
+            if j != k
+        ]
+        assert own < min(others)

@@ -1,0 +1,57 @@
+"""Fig. 5 — CDF of reordering rate over 1 s windows (Vegas test set).
+
+Paper claims reproduced: plain iBoxNet produces *zero* reordering; iBoxML
+(trained only on delays) produces reordering much closer to ground truth;
+the iBoxNet+LSTM and iBoxNet+Linear augmented models match the ground
+truth closely.
+"""
+
+import pytest
+
+from repro.experiments import fig5_reordering
+from repro.experiments.common import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig5_reordering.run(Scale.quick(), base_seed=60)
+
+
+def test_fig5_reordering(benchmark, result, report_writer):
+    benchmark.pedantic(
+        fig5_reordering.run,
+        args=(Scale.quick(),),
+        kwargs={"base_seed": 60, "include_iboxml": False},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("fig5_reordering", result.format_report())
+
+
+def test_fig5_ground_truth_has_reordering(result):
+    assert result.mean_rate("ground_truth") > 0.001
+
+
+def test_fig5_iboxnet_produces_none(result):
+    """'iBoxNet, which produces no reordering'."""
+    assert result.mean_rate("iboxnet") == 0.0
+
+
+def test_fig5_augmented_models_match_ground_truth(result):
+    gt = result.mean_rate("ground_truth")
+    for method in ("iboxnet_lstm", "iboxnet_linear"):
+        assert result.mean_rate(method) == pytest.approx(gt, rel=1.0)
+        assert (
+            result.ks_vs_ground_truth(method)
+            < result.ks_vs_ground_truth("iboxnet")
+        )
+
+
+def test_fig5_iboxml_beats_plain_iboxnet(result):
+    """'a reasonable match with the ground truth (much better than
+    iBoxNet ...)' — though trained only to match delays."""
+    assert result.mean_rate("iboxml") > 0.0
+    assert (
+        result.ks_vs_ground_truth("iboxml")
+        < result.ks_vs_ground_truth("iboxnet")
+    )

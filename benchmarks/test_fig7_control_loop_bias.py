@@ -1,0 +1,56 @@
+"""Fig. 7 — control-loop bias and its cross-traffic mitigation.
+
+Paper claims reproduced: iBoxML trained on delay-sensitive RTC traces
+"rarely outputs high delay" for a high-rate CBR sender even though the
+ground truth "exhibits high delay frequently"; adding the §3 cross-traffic
+estimate as an input recovers the high-delay mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig7_control_loop
+from repro.experiments.common import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig7_control_loop.run(Scale.quick(), base_seed=0)
+
+
+def test_fig7_control_loop(benchmark, result, report_writer):
+    benchmark.pedantic(
+        fig7_control_loop.run,
+        args=(Scale.quick(),),
+        kwargs={"base_seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("fig7_control_loop", result.format_report())
+
+
+def test_fig7_ground_truth_exhibits_high_delay(result):
+    assert result.high_delay_fraction("ground_truth") > 0.3
+
+
+def test_fig7_bias_suppresses_high_delay(result):
+    """The top panel: without CT, the model almost never predicts the
+    congestion the open-loop sender causes."""
+    gt = result.high_delay_fraction("ground_truth")
+    without = result.high_delay_fraction("iboxml_no_ct")
+    assert without < 0.25 * gt
+
+
+def test_fig7_ct_input_mitigates_bias(result):
+    """The bottom panel: the CT feature restores a substantial share of
+    the high-delay mass."""
+    without = result.high_delay_fraction("iboxml_no_ct")
+    with_ct = result.high_delay_fraction("iboxml_with_ct")
+    assert with_ct > 2 * max(without, 0.01)
+    assert result.bias_demonstrated()
+
+
+def test_fig7_histograms_render(result):
+    edges, freqs = result.histogram("ground_truth")
+    assert len(freqs) == len(edges) - 1
+    assert freqs.sum() == pytest.approx(100.0, abs=1.0)

@@ -1,0 +1,44 @@
+"""§4.2 "Simulation Speed" — per-packet inference cost.
+
+Paper claim reproduced structurally: a paper-sized (4-layer, ~2 M param)
+LSTM costs on the order of a millisecond per packet, bounding emulation to
+single-digit-to-tens of Mb/s with 1500-byte packets, while the iBoxNet
+emulator is far cheaper per packet.  (The paper: 2.2 ms/packet on a V100
+=> 5.5 Mb/s.)
+"""
+
+import pytest
+
+from repro.experiments import speed
+from repro.experiments.common import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return speed.run(Scale.quick(), base_seed=30)
+
+
+def test_speed_inference(benchmark, result, report_writer):
+    benchmark.pedantic(
+        speed.run,
+        args=(Scale.quick(),),
+        kwargs={"base_seed": 30},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("speed_inference", result.format_report())
+
+
+def test_paper_size_model_has_paper_size(result):
+    assert result.paper_size_params == pytest.approx(2_000_000, rel=0.15)
+
+
+def test_iboxml_is_materially_slower_per_packet(result):
+    assert result.paper_size_slowdown > 5.0
+
+
+def test_paper_size_emulation_rate_bounded(result):
+    """The structural conclusion: a ~2 M-parameter LSTM cannot emulate a
+    fast link packet-by-packet."""
+    assert result.paper_size_max_rate_mbps < 100.0
+    assert result.paper_size_sec_per_packet > 1e-4

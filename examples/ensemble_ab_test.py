@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Ensemble A/B testing inside the simulator (the paper's Fig. 2 use case).
+
+A transport team wants to know how TCP Vegas would perform for their users
+before flighting it.  iBox's ensemble test answers this from existing Cubic
+telemetry alone: fit one iBoxNet model per collected Cubic trace, run the
+candidate protocol over every learnt model, and compare the predicted
+performance distribution against reality.
+"""
+
+from repro.experiments import fig2_ensemble
+from repro.experiments.common import Scale
+
+
+def main() -> None:
+    result = fig2_ensemble.run(Scale.quick(), base_seed=10)
+    print(result.format_report())
+
+    print("\nper-run scatter (rate Mb/s, p95 delay ms, loss %):")
+    for series, points in result.scatter.items():
+        print(f"  {series}:")
+        for rate, p95, loss in points:
+            print(f"    ({rate:5.2f}, {p95:6.0f}, {loss:5.2f})")
+
+    for protocol in ("cubic", "vegas"):
+        verdict = "matches" if result.ks_match(protocol) else "DIFFERS from"
+        print(
+            f"\n=> simulated {protocol} distribution {verdict} ground truth"
+            f" (two-sample KS, alpha=0.05)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Instance-level counterfactual analysis (the paper's Fig. 4 use case).
+
+Something happened on a path at a specific time — say, a burst of
+competing traffic.  An iBoxNet model learnt from a single Cubic run in
+that window captures the *instance*: not just the path's static character
+but the cross-traffic pattern it experienced.  Running another protocol
+over the learnt instance model answers "what would protocol B have seen
+right then?" — verified here by clustering runs against ground truth.
+"""
+
+from repro.experiments import fig4_instance
+from repro.experiments.common import Scale
+
+
+def main() -> None:
+    result = fig4_instance.run(Scale.quick(), compute_tsne=True)
+    print(result.format_report())
+
+    print("\ncluster assignment detail:")
+    inst = result.instance
+    for i in range(len(inst.true_pattern)):
+        source = "iBoxNet" if inst.is_simulated[i] else "GT"
+        print(
+            f"  run {i:2d}: CT pattern {inst.patterns[inst.true_pattern[i]]}"
+            f" ({source:>7s}) -> cluster {inst.cluster_labels[i]}"
+        )
+
+    if result.purity == 1.0:
+        print(
+            "\n=> every simulated run clustered with the ground-truth runs "
+            "of its cross-traffic instance: the learnt models carry "
+            "instance-specific information, enabling counterfactuals."
+        )
+
+
+if __name__ == "__main__":
+    main()

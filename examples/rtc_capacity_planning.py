@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""RTC service quality prediction (the paper's §5.2 / Table 1 use case).
+
+A conferencing service wants to predict the distribution of per-call
+tail delay from call telemetry, so it can evaluate changes offline.
+iBoxML learns the delay model from recorded calls; the §3 cross-traffic
+estimate — pure domain knowledge, no extra instrumentation — measurably
+tightens the predicted p95-delay distribution.
+"""
+
+import numpy as np
+
+from repro.experiments import table1_rtc
+from repro.experiments.common import Scale
+
+
+def main() -> None:
+    result = table1_rtc.run(Scale.quick())
+    print(result.format_report())
+
+    print("\nper-call p95 delay (ms), sorted:")
+    print(f"  ground truth : {np.round(np.sort(result.gt_p95_ms))}")
+    for label in ("No", "Yes"):
+        print(
+            f"  iBoxML CT={label:<3s}: "
+            f"{np.round(np.sort(result.predicted_p95_ms[label]))}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""A tour of the trace toolkit: record, persist, inspect, feature-extract.
+
+Shows the data layer a downstream user works with: run any protocol over
+any path, save the end-to-end trace to disk (JSONL for inspection, NPZ
+for datasets), reload it, and compute the features the iBox estimators
+and models consume.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulation import units
+from repro.simulation.topology import (
+    ConstantBandwidth,
+    OnOffCT,
+    PathConfig,
+    run_flow,
+)
+from repro.trace import (
+    load_trace,
+    p95_delay_ms,
+    reordering_rate_windows,
+    save_trace,
+    sending_rate_at_packets,
+)
+
+
+def main() -> None:
+    config = PathConfig(
+        bandwidth=ConstantBandwidth(units.mbps_to_bytes_per_sec(12.0)),
+        propagation_delay=units.ms_to_sec(30.0),
+        buffer_bytes=200_000,
+        reorder_prob=0.01,
+        reorder_extra_delay=units.ms_to_sec(8.0),
+        cross_traffic=(
+            OnOffCT(
+                peak_rate_bytes_per_sec=units.mbps_to_bytes_per_sec(4.0),
+                mean_on=2.0,
+                mean_off=3.0,
+            ),
+        ),
+    )
+    run = run_flow(config, "bbr", duration=10.0, seed=5)
+    trace = run.trace
+    print(f"recorded: {trace}")
+    print(f"  p95 delay: {p95_delay_ms(trace):.0f} ms")
+    print(f"  queue peak: {run.queue_peak_bytes} bytes, "
+          f"drops: {run.queue_drop_packets}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for suffix in (".jsonl", ".npz"):
+            path = Path(tmp) / f"trace{suffix}"
+            save_trace(trace, path)
+            loaded = load_trace(path)
+            assert len(loaded) == len(trace)
+            print(f"  round-tripped {len(loaded)} records via {suffix} "
+                  f"({path.stat().st_size / 1024:.0f} kB)")
+
+    rates = sending_rate_at_packets(trace)
+    print(f"  sending rate feature: median "
+          f"{units.bytes_per_sec_to_mbps(float(np.median(rates))):.2f} Mb/s")
+    windows = reordering_rate_windows(trace)
+    print(f"  reordering rate over 1 s windows: mean {windows.mean():.4f}")
+
+
+if __name__ == "__main__":
+    main()

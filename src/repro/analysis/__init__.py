@@ -1,0 +1,52 @@
+"""Evaluation utilities: distribution tests, clustering, embedding.
+
+* :mod:`repro.analysis.stats` — two-sample KS tests (Fig. 2's "match
+  verified through a two-sample KS test"), CDF helpers and the Table 1
+  percentile-error metric.
+* :mod:`repro.analysis.kmeans` — k-means++ and cluster-purity scoring for
+  the Fig. 4(b) instance-test clustering.
+* :mod:`repro.analysis.tsne` — t-SNE (van der Maaten & Hinton 2008) for
+  the Fig. 4(b) visualisation.
+* :mod:`repro.analysis.crosscorr` — the Fig. 4(b) features: normalized
+  cross-correlation between a run's rate/delay series and reference
+  ground-truth series.
+"""
+
+from repro.analysis.stats import (
+    cdf_points,
+    distributions_match,
+    ks_statistic,
+    percentile_error_table,
+    PercentileErrorRow,
+)
+from repro.analysis.kmeans import KMeans, cluster_purity
+from repro.analysis.tsne import tsne
+from repro.analysis.crosscorr import (
+    instance_feature_vector,
+    max_normalized_crosscorr,
+)
+from repro.analysis.realism import RealismResult, realism_test, window_features
+from repro.analysis.fairness import (
+    CompetitionResult,
+    jains_index,
+    run_competing_flows,
+)
+
+__all__ = [
+    "CompetitionResult",
+    "KMeans",
+    "RealismResult",
+    "jains_index",
+    "realism_test",
+    "run_competing_flows",
+    "window_features",
+    "PercentileErrorRow",
+    "cdf_points",
+    "cluster_purity",
+    "distributions_match",
+    "instance_feature_vector",
+    "ks_statistic",
+    "max_normalized_crosscorr",
+    "percentile_error_table",
+    "tsne",
+]

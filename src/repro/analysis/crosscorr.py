@@ -1,0 +1,82 @@
+"""Cross-correlation features for the instance test (Fig. 4b).
+
+The paper clusters runs "using, as features, the cross-correlation between
+the iBox rate and delay time series and their respective ground truth time
+series".  Concretely: each run is reduced to a feature vector of maximum
+normalized cross-correlations between its binned rate/delay series and a
+set of reference (ground-truth) series — one pair of features per
+reference run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.trace.features import binned_delay_series, binned_rate_series
+from repro.trace.records import Trace
+
+
+def max_normalized_crosscorr(
+    a: np.ndarray, b: np.ndarray, max_lag: int = 5
+) -> float:
+    """Maximum Pearson-style cross-correlation over lags in [-max_lag, max_lag].
+
+    Series are z-normalised first; ``nan`` entries are replaced by the
+    series mean (zero after normalisation).  Returns a value in [-1, 1].
+    """
+    a = _znorm(np.asarray(a, dtype=float))
+    b = _znorm(np.asarray(b, dtype=float))
+    n = min(len(a), len(b))
+    if n < 2:
+        return 0.0
+    a, b = a[:n], b[:n]
+    best = -1.0
+    for lag in range(-max_lag, max_lag + 1):
+        if lag >= 0:
+            x, y = a[lag:], b[: n - lag]
+        else:
+            x, y = a[: n + lag], b[-lag:]
+        if len(x) < 2:
+            continue
+        value = float(np.dot(x, y) / len(x))
+        best = max(best, value)
+    return best
+
+
+def _znorm(x: np.ndarray) -> np.ndarray:
+    x = np.where(np.isnan(x), np.nanmean(x) if np.any(~np.isnan(x)) else 0.0, x)
+    std = x.std()
+    if std < 1e-12:
+        return np.zeros_like(x)
+    return (x - x.mean()) / std
+
+
+def run_series(
+    trace: Trace, bin_width: float = 0.5
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(rate series, delay series) of a run, binned for correlation."""
+    _, rates = binned_rate_series(trace, bin_width=bin_width)
+    _, delays = binned_delay_series(trace, bin_width=bin_width)
+    return rates, delays
+
+
+def instance_feature_vector(
+    trace: Trace,
+    reference_traces: Sequence[Trace],
+    bin_width: float = 0.5,
+    max_lag: int = 4,
+) -> np.ndarray:
+    """The Fig. 4(b) feature vector of one run.
+
+    For every reference ground-truth run, two entries: the max normalized
+    cross-correlation of the rate series and of the delay series.
+    """
+    rates, delays = run_series(trace, bin_width)
+    features = []
+    for reference in reference_traces:
+        ref_rates, ref_delays = run_series(reference, bin_width)
+        features.append(max_normalized_crosscorr(rates, ref_rates, max_lag))
+        features.append(max_normalized_crosscorr(delays, ref_delays, max_lag))
+    return np.array(features)

@@ -1,0 +1,118 @@
+"""k-means clustering (numpy), with k-means++ seeding.
+
+Used for the Fig. 4(b) instance test: "k-means clustering (with k = 3) of
+these runs ... is perfect, i.e., with no mistakes."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation and restarts."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-7,
+        seed: int = 0,
+    ):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = float("inf")
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D (n_samples, n_features)")
+        if len(x) < self.n_clusters:
+            raise ValueError("fewer samples than clusters")
+        rng = np.random.default_rng(self.seed)
+        best_inertia = float("inf")
+        for _ in range(self.n_init):
+            centers, labels, inertia = self._run_once(x, rng)
+            if inertia < best_inertia:
+                best_inertia = inertia
+                self.centers_ = centers
+                self.labels_ = labels
+                self.inertia_ = inertia
+        return self
+
+    def _run_once(self, x: np.ndarray, rng: np.random.Generator):
+        centers = self._kmeanspp_init(x, rng)
+        labels = np.zeros(len(x), dtype=int)
+        for _ in range(self.max_iter):
+            distances = _sq_distances(x, centers)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = x[labels == k]
+                if len(members) > 0:
+                    new_centers[k] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    far = distances.min(axis=1).argmax()
+                    new_centers[k] = x[far]
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            if shift < self.tol:
+                break
+        inertia = float(_sq_distances(x, centers).min(axis=1).sum())
+        return centers, labels, inertia
+
+    def _kmeanspp_init(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = len(x)
+        centers = [x[rng.integers(n)]]
+        for _ in range(1, self.n_clusters):
+            d2 = _sq_distances(x, np.array(centers)).min(axis=1)
+            total = d2.sum()
+            if total <= 0:
+                centers.append(x[rng.integers(n)])
+                continue
+            probs = d2 / total
+            centers.append(x[rng.choice(n, p=probs)])
+        return np.array(centers)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.centers_ is None:
+            raise RuntimeError("predict called before fit()")
+        return _sq_distances(np.asarray(x, dtype=float), self.centers_).argmin(
+            axis=1
+        )
+
+
+def _sq_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """(n, k) squared Euclidean distances."""
+    diff = x[:, None, :] - centers[None, :, :]
+    return (diff**2).sum(axis=2)
+
+
+def cluster_purity(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of points whose cluster's majority true class matches their
+    own — 1.0 corresponds to the paper's "perfect ... no mistakes"."""
+    labels = np.asarray(labels)
+    truth = np.asarray(truth)
+    if labels.shape != truth.shape:
+        raise ValueError("labels and truth must have the same shape")
+    if len(labels) == 0:
+        return float("nan")
+    correct = 0
+    for cluster in np.unique(labels):
+        members = truth[labels == cluster]
+        values, counts = np.unique(members, return_counts=True)
+        correct += counts.max()
+    return correct / len(labels)

@@ -1,0 +1,119 @@
+"""t-SNE (van der Maaten & Hinton, 2008) in numpy.
+
+Used for the Fig. 4(b) visualisation of instance-test runs.  This is the
+classic exact algorithm: per-point perplexity calibration via binary
+search on the Gaussian bandwidth, then gradient descent with momentum and
+early exaggeration on the KL divergence between the high-dimensional
+Gaussian affinities and the low-dimensional Student-t affinities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pairwise_sq_distances(x: np.ndarray) -> np.ndarray:
+    sums = (x**2).sum(axis=1)
+    d2 = sums[:, None] + sums[None, :] - 2.0 * x @ x.T
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _conditional_probs(
+    d2_row: np.ndarray, beta: float
+) -> tuple:
+    """p_{j|i} for one row at precision ``beta``; returns (probs, entropy)."""
+    p = np.exp(-d2_row * beta)
+    total = p.sum()
+    if total <= 0:
+        p = np.ones_like(p) / max(len(p), 1)
+        return p, 0.0
+    p = p / total
+    # Shannon entropy in nats.
+    nonzero = p > 1e-12
+    entropy = float(-(p[nonzero] * np.log(p[nonzero])).sum())
+    return p, entropy
+
+
+def _calibrate_affinities(
+    d2: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 50
+) -> np.ndarray:
+    """Binary-search per-point bandwidths to hit the target perplexity."""
+    n = len(d2)
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        idx = np.arange(n) != i
+        row = d2[i, idx]
+        beta, beta_min, beta_max = 1.0, 0.0, np.inf
+        probs, entropy = _conditional_probs(row, beta)
+        for _ in range(max_iter):
+            if abs(entropy - target_entropy) < tol:
+                break
+            if entropy > target_entropy:
+                beta_min = beta
+                beta = beta * 2 if beta_max == np.inf else (beta + beta_max) / 2
+            else:
+                beta_max = beta
+                beta = (beta + beta_min) / 2
+            probs, entropy = _conditional_probs(row, beta)
+        p[i, idx] = probs
+    return p
+
+
+def tsne(
+    x: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 10.0,
+    n_iter: int = 500,
+    learning_rate: float = 100.0,
+    early_exaggeration: float = 4.0,
+    exaggeration_iters: int = 100,
+    seed: int = 0,
+) -> np.ndarray:
+    """Embed ``x`` (n_samples, n_features) into ``n_components`` dims.
+
+    Perplexity is automatically reduced when the sample count is small
+    (it must be < n_samples).
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError("x must be 2-D")
+    n = len(x)
+    if n < 3:
+        raise ValueError("need at least 3 samples")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    d2 = _pairwise_sq_distances(x)
+    p_cond = _calibrate_affinities(d2, perplexity)
+    p = (p_cond + p_cond.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    y = rng.normal(0.0, 1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    for iteration in range(n_iter):
+        exaggeration = (
+            early_exaggeration if iteration < exaggeration_iters else 1.0
+        )
+        yd2 = _pairwise_sq_distances(y)
+        numerator = 1.0 / (1.0 + yd2)
+        np.fill_diagonal(numerator, 0.0)
+        q = numerator / max(numerator.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+
+        pq = (exaggeration * p - q) * numerator
+        grad = np.zeros_like(y)
+        for i in range(n):
+            grad[i] = 4.0 * (pq[i][:, None] * (y[i] - y)).sum(axis=0)
+
+        momentum = 0.5 if iteration < 250 else 0.8
+        same_sign = np.sign(grad) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        gains = np.maximum(gains, 0.01)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

@@ -1,0 +1,19 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.statistical_loss` — the calibrated-emulator
+  baseline of [45]: static parameters plus an i.i.d. packet-loss rate
+  instead of a cross-traffic model (Fig. 3b).
+* :mod:`repro.baselines.replay` — raw trace-driven replay ([33, 34]
+  style): re-impose the recorded delay/loss sequence on a new sender,
+  ignoring the new sender's impact on the network — the §7 criticism this
+  baseline exists to demonstrate.
+"""
+
+from repro.baselines.statistical_loss import fit_statistical_loss_model
+from repro.baselines.replay import ReplayModel, fit_replay_model
+
+__all__ = [
+    "ReplayModel",
+    "fit_replay_model",
+    "fit_statistical_loss_model",
+]

@@ -1,0 +1,66 @@
+"""Raw trace-driven replay baseline.
+
+Replays the *recorded* network behaviour onto a new sender: packet ``k`` of
+the new flow receives the delay that packet ``k`` (by send order) received
+in the recorded trace, and is lost if that packet was lost.  This is the
+[33, 34]-style approach the paper's §1/§7 criticises: "it does not capture
+the impact on the network of the application or protocol under test (e.g.,
+it might congest the network, invalidating the delay measurements)".
+
+The baseline is useful precisely because it is wrong in an instructive
+way: a treatment protocol that sends much faster than the recorded one
+sees the *recorded* delays rather than the queue it would actually build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.records import PacketRecord, Trace
+
+
+@dataclass(frozen=True)
+class ReplayModel:
+    """The recorded per-packet delay/loss schedule."""
+
+    delays: np.ndarray  # seconds; nan = lost
+    source_flow_id: str
+
+    def apply(self, input_trace: Trace) -> Trace:
+        """Impose the recorded schedule on a new input packet stream.
+
+        If the new stream is longer than the recording, the schedule wraps
+        around (common practice in replay tools).
+        """
+        n_schedule = len(self.delays)
+        if n_schedule == 0:
+            raise ValueError("empty replay schedule")
+        records = []
+        for k, r in enumerate(input_trace.records):
+            delay = self.delays[k % n_schedule]
+            records.append(
+                PacketRecord(
+                    uid=r.uid,
+                    seq=r.seq,
+                    size=r.size,
+                    sent_at=r.sent_at,
+                    delivered_at=(
+                        float("nan") if np.isnan(delay) else r.sent_at + delay
+                    ),
+                    is_retransmit=r.is_retransmit,
+                )
+            )
+        return Trace(
+            f"replay-{input_trace.flow_id}",
+            records,
+            duration=input_trace.duration,
+            protocol=input_trace.protocol,
+            metadata={**input_trace.metadata, "model": "replay"},
+        )
+
+
+def fit_replay_model(trace: Trace) -> ReplayModel:
+    """Extract the replay schedule from a recorded trace."""
+    return ReplayModel(delays=trace.delays.copy(), source_flow_id=trace.flow_id)

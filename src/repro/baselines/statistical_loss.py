@@ -1,0 +1,34 @@
+"""The calibrated-emulator baseline with statistical packet loss [45].
+
+Pantheon's calibrated emulators match a path's static character but model
+the effect of everything else — including cross traffic — as a calibrated
+constant packet-loss rate.  Fig. 3(b) shows this "yields a worse match with
+the ground truth than iBoxNet", motivating explicit cross-traffic modeling.
+
+Implementation: fit the same §3 static parameters, measure the training
+trace's empirical loss rate, and configure the emulator with i.i.d. loss
+and *no* CT injector.
+"""
+
+from __future__ import annotations
+
+from repro.core.iboxnet import IBoxNetModel, fit
+from repro.trace.records import Trace
+
+
+def fit_statistical_loss_model(
+    trace: Trace,
+    bandwidth_window: float = 1.0,
+    max_delay_percentile: float = 100.0,
+) -> IBoxNetModel:
+    """Learn the [45]-style baseline from one trace.
+
+    The calibrated loss rate is the trace's empirical loss rate; cross
+    traffic is deliberately not modelled.
+    """
+    model = fit(
+        trace,
+        bandwidth_window=bandwidth_window,
+        max_delay_percentile=max_delay_percentile,
+    )
+    return model.with_statistical_loss(trace.loss_rate)

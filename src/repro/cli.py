@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflows a downstream user needs:
+
+``reproduce``
+    Run one (or all) of the paper's experiments and print its report.
+``generate``
+    Generate a synthetic Pantheon-like dataset and save the traces.
+``fit``
+    Fit an iBoxNet model to a saved trace and print the learnt
+    parameters (optionally dumping the profile as JSON — the "iBoxNet
+    profiles" the paper planned to release, §3.2 fn. 2).
+``simulate``
+    Run a counterfactual: fit a trace, simulate another protocol over
+    the learnt model, print its summary (optionally saving the trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+EXPERIMENTS = (
+    "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table1", "speed"
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iBox: Internet in a Box (HotNets 2020) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run a paper experiment and print its report"
+    )
+    reproduce.add_argument(
+        "experiment", choices=(*EXPERIMENTS, "all"),
+        help="which table/figure to reproduce",
+    )
+    reproduce.add_argument(
+        "--scale", choices=("quick", "paper"), default="quick",
+        help="experiment sizing (default: quick)",
+    )
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic Pantheon-like dataset"
+    )
+    generate.add_argument("output_dir", type=Path)
+    generate.add_argument("--paths", type=int, default=5)
+    generate.add_argument("--duration", type=float, default=30.0)
+    generate.add_argument(
+        "--protocols", nargs="+", default=["cubic", "vegas"]
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--fmt", choices=("npz", "jsonl"), default="npz")
+
+    fit = sub.add_parser(
+        "fit", help="fit an iBoxNet model to a saved trace"
+    )
+    fit.add_argument("trace", type=Path)
+    fit.add_argument(
+        "--profile", type=Path, default=None,
+        help="write the learnt profile as JSON",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="counterfactual: fit a trace, run protocol B on it"
+    )
+    simulate.add_argument("trace", type=Path)
+    simulate.add_argument("protocol")
+    simulate.add_argument("--duration", type=float, default=None)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--output", type=Path, default=None)
+    return parser
+
+
+def _cmd_reproduce(args) -> int:
+    from repro import experiments
+    from repro.experiments.common import Scale
+
+    scale = Scale.quick() if args.scale == "quick" else Scale.paper()
+    modules = {
+        "fig2": experiments.fig2_ensemble,
+        "fig3": experiments.fig3_ablations,
+        "fig4": experiments.fig4_instance,
+        "fig5": experiments.fig5_reordering,
+        "fig7": experiments.fig7_control_loop,
+        "fig8": experiments.fig8_discovery,
+        "table1": experiments.table1_rtc,
+        "speed": experiments.speed,
+    }
+    targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in targets:
+        result = modules[name].run(scale)
+        print(result.format_report())
+        print()
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.datasets.pantheon import generate_dataset
+    from repro.trace.io import save_traces
+
+    dataset = generate_dataset(
+        n_paths=args.paths,
+        protocols=tuple(args.protocols),
+        duration=args.duration,
+        base_seed=args.seed,
+    )
+    paths = save_traces(dataset.traces(), args.output_dir, fmt=args.fmt)
+    for run, path in zip(dataset.runs, paths):
+        print(f"{path}  <- {run.trace.summary()}")
+    return 0
+
+
+def _profile_dict(model) -> dict:
+    return {
+        "bandwidth_bytes_per_sec": model.params.bandwidth_bytes_per_sec,
+        "propagation_delay_sec": model.params.propagation_delay,
+        "buffer_bytes": model.params.buffer_bytes,
+        "cross_traffic": {
+            "bin_edges": list(model.cross_traffic.bin_edges),
+            "rates_bytes_per_sec": list(
+                model.cross_traffic.rates_bytes_per_sec
+            ),
+        },
+        "source_flow_id": model.source_flow_id,
+        "source_protocol": model.source_protocol,
+        "source_loss_rate": model.source_loss_rate,
+    }
+
+
+def _cmd_fit(args) -> int:
+    from repro.core import iboxnet
+    from repro.trace.io import load_trace
+
+    trace = load_trace(args.trace)
+    model = iboxnet.fit(trace)
+    print(f"fitted from {trace}")
+    print(f"  {model}")
+    if args.profile is not None:
+        args.profile.write_text(json.dumps(_profile_dict(model), indent=2))
+        print(f"  profile written to {args.profile}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core import iboxnet
+    from repro.trace.io import load_trace, save_trace
+
+    trace = load_trace(args.trace)
+    model = iboxnet.fit(trace)
+    duration = args.duration if args.duration else trace.duration
+    predicted = model.simulate(args.protocol, duration=duration, seed=args.seed)
+    print(f"learnt model: {model}")
+    print(f"counterfactual {args.protocol}: {predicted.summary()}")
+    if args.output is not None:
+        save_trace(predicted, args.output)
+        print(f"trace written to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "reproduce": _cmd_reproduce,
+        "generate": _cmd_generate,
+        "fit": _cmd_fit,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The iBox core: learning network models from end-to-end traces.
+
+* :mod:`repro.core.static_params` — the §3 domain-knowledge estimators of
+  bottleneck bandwidth, propagation delay and buffer size.
+* :mod:`repro.core.cross_traffic` — the §3 "three forces" conservative
+  cross-traffic estimator.
+* :mod:`repro.core.iboxnet` — iBoxNet: fit a trace, get an emulator.
+* :mod:`repro.core.iboxml` — iBoxML: the deep LSTM state-space delay model
+  (§4), with the optional cross-traffic input feature (§5.2).
+* :mod:`repro.core.augmentation` — iBoxNet + reordering discovery models
+  (§5.1): LSTM and linear-logistic reorder predictors and the delay
+  modification that injects predicted reorderings.
+* :mod:`repro.core.abtest` — the §2 instance-test and ensemble-test
+  experiment drivers.
+
+§6 "open research challenges", implemented as extensions:
+
+* :mod:`repro.core.validity` — limits of model validity (training-support
+  envelopes and test-stream coverage scoring).
+* :mod:`repro.core.adaptive_ct` — adaptive cross traffic expressed as a
+  number of closed-loop TCP Cubic flows.
+* :mod:`repro.core.ensemble` — the §3.1 "ideal" ensemble: a joint
+  parameter distribution learnt over fitted models, sampled for fresh
+  parameter combinations.
+"""
+
+from repro.core import (
+    abtest,
+    adaptive_ct,
+    augmentation,
+    cross_traffic,
+    ensemble,
+    iboxml,
+    iboxnet,
+    renewal,
+    static_params,
+    validity,
+)
+from repro.core.static_params import StaticParams, estimate_static_params
+from repro.core.cross_traffic import CrossTrafficEstimate, estimate_cross_traffic
+from repro.core.iboxnet import IBoxNetModel, fit
+from repro.core.iboxml import IBoxMLConfig, IBoxMLModel
+from repro.core.validity import ValidityRegion
+from repro.core.adaptive_ct import AdaptiveCTModel, fit_adaptive_ct
+
+__all__ = [
+    "AdaptiveCTModel",
+    "CrossTrafficEstimate",
+    "IBoxMLConfig",
+    "IBoxMLModel",
+    "IBoxNetModel",
+    "StaticParams",
+    "ValidityRegion",
+    "abtest",
+    "adaptive_ct",
+    "augmentation",
+    "cross_traffic",
+    "ensemble",
+    "estimate_cross_traffic",
+    "estimate_static_params",
+    "fit",
+    "fit_adaptive_ct",
+    "iboxml",
+    "iboxnet",
+    "renewal",
+    "static_params",
+    "validity",
+]

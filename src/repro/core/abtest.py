@@ -1,0 +1,236 @@
+"""Instance-test and ensemble-test drivers (§2, §3.1).
+
+The **ensemble test** recreates flighting-based A/B tests inside the
+simulator: learn one iBoxNet model per control-protocol training trace,
+then run both control and treatment protocols over every learnt model and
+compare the resulting *distributions* of (rate, p95 delay, loss) against
+ground truth (Fig. 2; ablations in Fig. 3).
+
+The **instance test** asks the counterfactual for one specific path+time:
+learn a model from a single control run under a specific cross-traffic
+pattern, and check that treatment runs over the learnt model cluster with
+the treatment's ground-truth runs for that same pattern (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.crosscorr import instance_feature_vector
+from repro.analysis.kmeans import KMeans, cluster_purity
+from repro.analysis.stats import summary_distribution_ks
+from repro.core import iboxnet
+from repro.core.iboxnet import IBoxNetModel
+from repro.datasets.pantheon import PantheonDataset
+from repro.datasets.scenarios import instance_test_config
+from repro.simulation.topology import run_flow
+from repro.trace.metrics import TraceSummary, summarize
+from repro.trace.records import Trace
+
+
+# ----------------------------------------------------------------------
+# Ensemble test
+# ----------------------------------------------------------------------
+@dataclass
+class EnsembleResult:
+    """Ground-truth and simulated summary distributions per protocol."""
+
+    control: str
+    treatment: str
+    gt_summaries: Dict[str, List[TraceSummary]] = field(default_factory=dict)
+    sim_summaries: Dict[str, List[TraceSummary]] = field(default_factory=dict)
+    models: List[IBoxNetModel] = field(default_factory=list)
+
+    def ks_tests(self, protocol: str) -> Dict[str, Tuple[float, float]]:
+        """KS (statistic, p-value) per Fig. 2 axis for one protocol."""
+        return summary_distribution_ks(
+            self.gt_summaries[protocol], self.sim_summaries[protocol]
+        )
+
+    def format_table(self) -> str:
+        """A textual rendition of Fig. 2 (means of each axis)."""
+        lines = [
+            f"{'series':>22s} {'rate Mb/s':>10s} {'p95 ms':>8s} {'loss %':>7s}"
+        ]
+        for protocol in (self.control, self.treatment):
+            for source, table in (
+                ("GT", self.gt_summaries),
+                ("iBoxNet", self.sim_summaries),
+            ):
+                rows = table[protocol]
+                rate = np.mean([r.mean_rate_mbps for r in rows])
+                p95 = np.nanmean([r.p95_delay_ms for r in rows])
+                loss = np.mean([r.loss_percent for r in rows])
+                lines.append(
+                    f"{protocol + ' ' + source:>22s} "
+                    f"{rate:>10.2f} {p95:>8.0f} {loss:>7.2f}"
+                )
+        return "\n".join(lines)
+
+
+def ensemble_test(
+    dataset: PantheonDataset,
+    control: str = "cubic",
+    treatment: str = "vegas",
+    duration: float = 30.0,
+    model_transform=None,
+    fit_kwargs: Optional[dict] = None,
+) -> EnsembleResult:
+    """Run the full §3.1.1 ensemble A/B test.
+
+    For every control run in ``dataset``: fit iBoxNet on its trace, then
+    simulate both control and treatment over the learnt model.  Ground
+    truth comes from the dataset's own runs.  ``model_transform`` lets the
+    Fig. 3 ablations reuse this driver (it maps each fitted model to e.g.
+    ``model.without_cross_traffic()``).
+    """
+    result = EnsembleResult(control=control, treatment=treatment)
+    for protocol in (control, treatment):
+        result.gt_summaries[protocol] = [
+            summarize(r.trace) for r in dataset.by_protocol(protocol)
+        ]
+        result.sim_summaries[protocol] = []
+
+    for run in dataset.by_protocol(control):
+        model = iboxnet.fit(run.trace, **(fit_kwargs or {}))
+        if model_transform is not None:
+            model = model_transform(model)
+        result.models.append(model)
+        for protocol in (control, treatment):
+            trace = model.simulate(
+                protocol, duration=duration, seed=run.seed + 31
+            )
+            result.sim_summaries[protocol].append(summarize(trace))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Instance test
+# ----------------------------------------------------------------------
+@dataclass
+class InstanceTestResult:
+    """Everything Fig. 4 needs."""
+
+    patterns: List[str]
+    # One reference (control ground-truth) trace per CT pattern.
+    reference_traces: List[Trace]
+    # Ground-truth treatment runs: pattern index -> traces.
+    gt_runs: Dict[int, List[Trace]]
+    # iBoxNet treatment runs: pattern index -> traces.
+    sim_runs: Dict[int, List[Trace]]
+    features: np.ndarray  # (n_runs, n_features)
+    true_pattern: np.ndarray  # (n_runs,)
+    is_simulated: np.ndarray  # (n_runs,) bool
+    cluster_labels: np.ndarray
+    purity: float
+    models: List[IBoxNetModel] = field(default_factory=list)
+
+    def reference_alignment(self, pattern: int = 0) -> float:
+        """Fig. 4(a): cross-correlation between the control run's rate
+        series on GT vs on the learnt instance model."""
+        from repro.analysis.crosscorr import max_normalized_crosscorr, run_series
+
+        gt_rates, _ = run_series(self.reference_traces[pattern])
+        sim = self.models[pattern].simulate(
+            self.reference_traces[pattern].protocol,
+            duration=self.reference_traces[pattern].duration,
+            seed=pattern + 900,
+        )
+        sim_rates, _ = run_series(sim)
+        return max_normalized_crosscorr(gt_rates, sim_rates)
+
+
+def instance_test(
+    control: str = "cubic",
+    treatment: str = "vegas",
+    ct_offsets: Sequence[float] = (0.0, 20.0, 40.0),
+    ct_duration: float = 10.0,
+    duration: float = 60.0,
+    runs_per_instance: int = 10,
+    rate_mbps: float = 8.0,
+    base_seed: int = 0,
+    n_clusters: Optional[int] = None,
+    ct_bin_width: float = 0.5,
+) -> InstanceTestResult:
+    """The §3.1.2 instance test.
+
+    Three (by default) cross-traffic *instances* share one fixed network
+    configuration; only the CT burst's timing differs.  Per instance: learn
+    iBoxNet from a single control run, then collect ``runs_per_instance``
+    ground-truth treatment runs and the same number over the learnt model.
+    All runs are embedded with cross-correlation features against the
+    per-instance control references and clustered with k-means.
+    """
+    patterns = [f"{int(o)}-{int(o + ct_duration)}s" for o in ct_offsets]
+    configs = [
+        instance_test_config(
+            rate_mbps=rate_mbps, ct_start=offset, ct_duration=ct_duration
+        )
+        for offset in ct_offsets
+    ]
+
+    # One control run per instance -> one learnt model per instance.
+    reference_traces: List[Trace] = []
+    models: List[IBoxNetModel] = []
+    for k, config in enumerate(configs):
+        run = run_flow(
+            config, control, duration=duration, seed=base_seed + k,
+            flow_id=f"{control}-inst{k}",
+        )
+        reference_traces.append(run.trace)
+        models.append(iboxnet.fit(run.trace, ct_bin_width=ct_bin_width))
+
+    gt_runs: Dict[int, List[Trace]] = {}
+    sim_runs: Dict[int, List[Trace]] = {}
+    for k, config in enumerate(configs):
+        gt_runs[k] = [
+            run_flow(
+                config, treatment, duration=duration,
+                seed=base_seed + 100 + k * runs_per_instance + r,
+                flow_id=f"{treatment}-gt-inst{k}-r{r}",
+            ).trace
+            for r in range(runs_per_instance)
+        ]
+        sim_runs[k] = [
+            models[k].simulate(
+                treatment, duration=duration,
+                seed=base_seed + 500 + k * runs_per_instance + r,
+            )
+            for r in range(runs_per_instance)
+        ]
+
+    features = []
+    true_pattern = []
+    is_simulated = []
+    for k in range(len(configs)):
+        for trace in gt_runs[k]:
+            features.append(instance_feature_vector(trace, reference_traces))
+            true_pattern.append(k)
+            is_simulated.append(False)
+        for trace in sim_runs[k]:
+            features.append(instance_feature_vector(trace, reference_traces))
+            true_pattern.append(k)
+            is_simulated.append(True)
+    features_arr = np.array(features)
+    true_arr = np.array(true_pattern)
+    sim_arr = np.array(is_simulated)
+
+    k_clusters = n_clusters if n_clusters is not None else len(configs)
+    kmeans = KMeans(n_clusters=k_clusters, seed=base_seed).fit(features_arr)
+    purity = cluster_purity(kmeans.labels_, true_arr)
+
+    return InstanceTestResult(
+        patterns=patterns,
+        reference_traces=reference_traces,
+        gt_runs=gt_runs,
+        sim_runs=sim_runs,
+        features=features_arr,
+        true_pattern=true_arr,
+        is_simulated=sim_arr,
+        cluster_labels=kmeans.labels_,
+        purity=purity,
+        models=models,
+    )

@@ -1,0 +1,263 @@
+"""iBoxNet + behaviour discovery & learning (§5.1).
+
+iBoxNet's single-bottleneck FIFO model produces **no** packet reordering;
+SAX-based behaviour discovery (:mod:`repro.discovery`) surfaces that gap
+(pattern 'a' in Fig. 8).  This module closes it: ML models trained on real
+traces predict, per packet, whether it should be reordered, and the
+predicted events are injected into iBoxNet's output by modifying delays.
+
+Three predictors, matching the paper's Fig. 5 curves:
+
+* :class:`LSTMReorderPredictor` — "we train an LSTM model (similar to that
+  in Fig. 6) to predict whether a packet should be reordered";
+* :class:`LinearReorderPredictor` — "a lightweight and much faster linear
+  logistic regression model"; features: instantaneous sending rate,
+  inter-packet spacing and the §3 cross-traffic estimate;
+* :func:`naive_random_reordering` — the strawman ("we can easily induce
+  any given packet reordering rate by simply choosing the appropriate
+  number of packets at random"), which matches the rate but not the
+  higher-order patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.iboxml import IBoxMLModel
+from repro.ml.logistic import LogisticRegression
+from repro.ml.model import BernoulliSequenceModel
+from repro.ml.scalers import StandardScaler
+from repro.trace.features import (
+    inter_send_times,
+    reordering_events,
+    sending_rate_at_packets,
+)
+from repro.trace.records import PacketRecord, Trace
+
+
+def reorder_labels(trace: Trace) -> np.ndarray:
+    """Per-delivered-packet binary labels (send order).
+
+    Label 1 means the packet arrived *before* its predecessor-in-send-order
+    (a negative inter-arrival delta, i.e. it participates in a reordering
+    event).  The first delivered packet is always 0.
+    """
+    events = reordering_events(trace)
+    return np.concatenate(([False], events)).astype(int)
+
+
+def reorder_features(trace: Trace) -> np.ndarray:
+    """§5.1's predictor features for each *delivered* packet (send order):
+    instantaneous sending rate, inter-packet spacing, CT estimate."""
+    mask = trace.delivered_mask
+    rate = sending_rate_at_packets(trace)[mask]
+    spacing = inter_send_times(trace)[mask]
+    ct = IBoxMLModel.estimate_ct_feature(trace)[mask]
+    return np.column_stack([rate, spacing, ct])
+
+
+class ReorderPredictor(Protocol):
+    """Per-packet reordering probability model."""
+
+    def fit(self, traces: Sequence[Trace]) -> "ReorderPredictor":
+        ...
+
+    def predict_proba(self, trace: Trace) -> np.ndarray:
+        ...
+
+
+class LinearReorderPredictor:
+    """Logistic regression on [rate, spacing, CT] (the "iBoxNet + Linear"
+    curve of Fig. 5)."""
+
+    def __init__(self, pos_weight: float = 1.0, seed: int = 0):
+        # pos_weight stays at 1 by default: the predicted probabilities are
+        # *sampled* to inject events, so they must be calibrated to the
+        # true base rate, not tilted for classification recall.
+        self.model = LogisticRegression(
+            lr=0.5, epochs=400, pos_weight=pos_weight, seed=seed
+        )
+
+    def fit(self, traces: Sequence[Trace]) -> "LinearReorderPredictor":
+        features = np.concatenate([reorder_features(t) for t in traces])
+        labels = np.concatenate([reorder_labels(t) for t in traces])
+        self.model.fit(features, labels)
+        return self
+
+    def predict_proba(self, trace: Trace) -> np.ndarray:
+        """Reordering probability for each delivered packet (send order)."""
+        return self.model.predict_proba(reorder_features(trace))
+
+
+class LSTMReorderPredictor:
+    """Sequence classifier over the same features (the "iBoxNet + LSTM"
+    curve of Fig. 5); sees temporal context the linear model cannot."""
+
+    def __init__(
+        self,
+        hidden_dim: int = 16,
+        num_layers: int = 1,
+        epochs: int = 15,
+        lr: float = 5e-3,
+        seq_len: int = 200,
+        pos_weight: float = 1.0,
+        seed: int = 0,
+    ):
+        self.model = BernoulliSequenceModel(
+            input_dim=3,
+            hidden_dim=hidden_dim,
+            num_layers=num_layers,
+            seed=seed,
+        )
+        self.scaler = StandardScaler()
+        self.epochs = epochs
+        self.lr = lr
+        self.seq_len = seq_len
+        self.pos_weight = pos_weight
+        self.seed = seed
+        self._fitted = False
+        # Post-hoc odds correction so the *mean* predicted probability
+        # matches the training base rate — required because the predicted
+        # probabilities are sampled to inject events, and a modestly
+        # miscalibrated sequence model would multiply the reordering rate.
+        self._odds_correction = 1.0
+
+    def fit(self, traces: Sequence[Trace]) -> "LSTMReorderPredictor":
+        all_features = [reorder_features(t) for t in traces]
+        all_labels = [reorder_labels(t) for t in traces]
+        self.scaler.fit(np.concatenate(all_features))
+        sequences: List[np.ndarray] = []
+        labels: List[np.ndarray] = []
+        for feats, labs in zip(all_features, all_labels):
+            scaled = self.scaler.transform(feats)
+            for start in range(0, len(feats), self.seq_len):
+                chunk = slice(start, start + self.seq_len)
+                if len(scaled[chunk]) < 2:
+                    continue
+                sequences.append(scaled[chunk])
+                labels.append(labs[chunk])
+        self.model.fit(
+            sequences,
+            labels,
+            epochs=self.epochs,
+            lr=self.lr,
+            pos_weight=self.pos_weight,
+            seed=self.seed,
+        )
+        self._fitted = True
+        base_rate = float(np.concatenate(all_labels).mean())
+        raw = np.concatenate(
+            [self._raw_proba(feats) for feats in all_features]
+        )
+        mean_raw = float(raw.mean())
+        if base_rate > 0 and 0 < mean_raw < 1:
+            self._odds_correction = (
+                base_rate / (1 - base_rate) * (1 - mean_raw) / mean_raw
+            )
+        return self
+
+    def _raw_proba(self, feats: np.ndarray) -> np.ndarray:
+        scaled = self.scaler.transform(feats)
+        return self.model.predict_proba(scaled)
+
+    def predict_proba(self, trace: Trace) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("predict called before fit()")
+        raw = self._raw_proba(reorder_features(trace))
+        c = self._odds_correction
+        return raw * c / (1.0 - raw + raw * c)
+
+
+def apply_reordering(
+    trace: Trace,
+    reorder_flags: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+    epsilon: float = 5e-4,
+) -> Trace:
+    """Inject reordering events into a (typically iBoxNet-produced) trace.
+
+    For each delivered packet flagged in ``reorder_flags`` (boolean, one
+    per delivered packet in send order), the packet's delivery time is
+    pulled *before* its predecessor's arrival — "modifying their delays"
+    (§5.1) — producing the negative inter-arrival delta of SAX pattern 'a'.
+    Delivery can never precede the packet's own send time.
+    """
+    delivered_idx = np.flatnonzero(trace.delivered_mask)
+    if len(reorder_flags) != len(delivered_idx):
+        raise ValueError(
+            f"need one flag per delivered packet "
+            f"({len(delivered_idx)}), got {len(reorder_flags)}"
+        )
+    if rng is None:
+        rng = np.random.default_rng(0)
+    records = [
+        PacketRecord(
+            uid=r.uid,
+            seq=r.seq,
+            size=r.size,
+            sent_at=r.sent_at,
+            delivered_at=r.delivered_at,
+            is_retransmit=r.is_retransmit,
+        )
+        for r in trace.records
+    ]
+    for k in range(1, len(delivered_idx)):
+        if not reorder_flags[k]:
+            continue
+        i = delivered_idx[k]
+        prev = delivered_idx[k - 1]
+        target = records[prev].delivered_at - epsilon * (1 + rng.random())
+        if target > records[i].sent_at:
+            records[i].delivered_at = target
+    return Trace(
+        f"{trace.flow_id}+reorder",
+        records,
+        duration=trace.duration,
+        protocol=trace.protocol,
+        metadata={**trace.metadata, "augmented": "reordering"},
+    )
+
+
+def sample_reorder_flags(
+    probabilities: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Draw Bernoulli reorder flags from per-packet probabilities."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return rng.random(len(probabilities)) < np.asarray(probabilities)
+
+
+def naive_random_reordering(
+    trace: Trace,
+    rate: float,
+    rng: Optional[np.random.Generator] = None,
+) -> Trace:
+    """The §5.1 strawman: flag a uniform-random ``rate`` fraction of
+    packets.  Matches the aggregate reordering rate but not the burst
+    structure (higher-order SAX patterns)."""
+    if not 0 <= rate <= 1:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n = int(trace.delivered_mask.sum())
+    flags = rng.random(n) < rate
+    flags[0] = False
+    return apply_reordering(trace, flags, rng=rng)
+
+
+def augment_iboxnet_trace(
+    simulated: Trace,
+    predictor: ReorderPredictor,
+    seed: int = 0,
+) -> Trace:
+    """The full §5.1 pipeline step: predict per-packet reordering on the
+    iBoxNet-simulated trace and inject the sampled events."""
+    rng = np.random.default_rng(seed)
+    probs = predictor.predict_proba(simulated)
+    flags = sample_reorder_flags(probs, rng)
+    if len(flags) > 0:
+        flags[0] = False
+    return apply_reordering(simulated, flags, rng=rng)

@@ -1,0 +1,575 @@
+"""iBoxML: the ML-based approach to network path simulation (§4).
+
+A deep LSTM state-space model learns ``P(d_t | x_0..t, d_0..t-1)`` from
+input/output traces: the input features ``x_t`` are the paper's §4.1 set
+(instantaneous sending rate, inter-packet spacing, packet size, previous
+delay) optionally augmented with the §3 cross-traffic estimate (§5.2), and
+the output is a Gaussian over the packet's one-way delay.
+
+Training is teacher-forced (ground-truth previous delay in the features);
+inference is *free-running*: the model's own predicted delays are fed back
+as the previous-delay feature while unrolling over the test input stream —
+"During inference, we feed the predicted delays as we unroll the LSTM
+network over time" (§4.1, blue dashed lines in Fig. 6).
+
+The control-loop bias of §4.2 falls out of this design: if training traces
+come from a delay-sensitive control loop, sending rate and delay are
+negatively correlated in the data, and a model without the cross-traffic
+input will wrongly predict low delay for a high-rate open-loop sender.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cross_traffic import estimate_cross_traffic, per_packet_cross_traffic
+from repro.core.static_params import estimate_static_params
+from repro.ml.model import (
+    BernoulliSequenceModel,
+    GaussianSequenceModel,
+    TrainingLog,
+)
+from repro.ml.scalers import StandardScaler
+from repro.trace.features import packet_features
+from repro.trace.records import PacketRecord, Trace
+
+# Index of the previous-delay column in the §4.1 feature layout
+# [rate, spacing, size, prev_delay, (ct)].
+_PREV_DELAY_COL = 3
+
+
+@dataclass(frozen=True)
+class IBoxMLConfig:
+    """Hyper-parameters for the iBoxML state-space model.
+
+    The paper used a 4-layer, ~2 M-parameter LSTM on a V100; on CPU-only
+    numpy we default to a 2-layer, 32-unit stack, which preserves the model
+    family while keeping training in seconds.  ``include_cross_traffic``
+    switches on the §5.2 CT input feature.
+    """
+
+    hidden_dim: int = 32
+    num_layers: int = 2
+    include_cross_traffic: bool = False
+    epochs: int = 15
+    batch_size: int = 8
+    lr: float = 3e-3
+    train_seq_len: int = 200
+    clip_norm: float = 5.0
+    seed: int = 0
+    min_delay_floor: float = 1e-3  # predictions clipped to at least this
+    # Std-dev (in scaled units) of noise injected into the previous-delay
+    # feature during training.  Free-running inference feeds the model its
+    # own predictions, so training must tolerate imperfect feedback — the
+    # control-loop cousin of scheduled sampling (mitigates exposure bias).
+    feedback_noise: float = 0.2
+    # DAgger-style exposure-bias correction: after each round, the
+    # previous-delay feature of the training data is recomputed from the
+    # model's own free-running rollout, and training continues against the
+    # ground-truth targets.  One round = plain teacher forcing.
+    rollout_rounds: int = 3
+    # Lag-1 autocorrelation of the sampling noise in generative mode.
+    # Queueing delay is a smooth process: consecutive packets see almost
+    # the same queue, so drawing i.i.d. noise per packet would fabricate
+    # reordering at a massive rate.  AR(1) noise keeps the marginal
+    # distribution N(mu, sigma^2) while making sample paths smooth.
+    # ``None`` (default) estimates rho from the training residuals'
+    # lag-1 autocorrelation.
+    sample_ar_rho: Optional[float] = None
+    # §4.1: "the output is a real-valued delay (or packet loss
+    # indicator)".  When enabled, a parallel Bernoulli sequence model is
+    # trained on per-packet loss labels and ``predict_trace`` samples
+    # losses (delivered_at = nan, the paper's "infinite delay").
+    predict_loss: bool = False
+    loss_head_epochs: int = 8
+
+    @property
+    def input_dim(self) -> int:
+        return 5 if self.include_cross_traffic else 4
+
+
+class IBoxMLModel:
+    """The trained iBoxML simulator for a path (or ensemble of paths)."""
+
+    def __init__(self, config: Optional[IBoxMLConfig] = None):
+        self.config = config if config is not None else IBoxMLConfig()
+        self.model = GaussianSequenceModel(
+            input_dim=self.config.input_dim,
+            hidden_dim=self.config.hidden_dim,
+            num_layers=self.config.num_layers,
+            seed=self.config.seed,
+        )
+        self.feature_scaler = StandardScaler()
+        self.target_scaler = StandardScaler()
+        self.training_log: Optional[TrainingLog] = None
+        # Residual lag-1 autocorrelation, estimated during fit and used by
+        # the AR(1) generative sampler when the config leaves rho to data.
+        self.fitted_rho_: float = 0.97
+        # Optional §4.1 loss-indicator head (see config.predict_loss).
+        self.loss_model: Optional[BernoulliSequenceModel] = None
+        self._loss_odds_correction = 1.0
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Feature assembly
+    # ------------------------------------------------------------------
+    def _trace_features(
+        self, trace: Trace, ct: Optional[np.ndarray]
+    ) -> np.ndarray:
+        if self.config.include_cross_traffic:
+            if ct is None:
+                ct = self.estimate_ct_feature(trace)
+            return packet_features(trace, cross_traffic=ct)
+        return packet_features(trace)
+
+    @staticmethod
+    def estimate_ct_feature(trace: Trace) -> np.ndarray:
+        """Per-packet CT estimate via the §3 domain-knowledge pipeline.
+
+        The estimate is normalised by the estimated bottleneck bandwidth
+        (cross-traffic *utilization* rather than an absolute rate), so the
+        feature transfers across paths of different capacities — a model
+        trained on a mix of paths sees "half the link is foreign traffic"
+        as the same signal everywhere.
+        """
+        params = estimate_static_params(trace)
+        estimate = estimate_cross_traffic(trace, params)
+        rates = per_packet_cross_traffic(trace, estimate)
+        return rates / max(params.bandwidth_bytes_per_sec, 1.0)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        traces: Sequence[Trace],
+        ct_features: Optional[Sequence[Optional[np.ndarray]]] = None,
+        verbose: bool = False,
+    ) -> TrainingLog:
+        """Teacher-forced training on a collection of traces.
+
+        ``ct_features[i]`` optionally supplies a precomputed per-packet CT
+        series for ``traces[i]``; otherwise (when the config enables CT) it
+        is estimated from the trace itself.
+        """
+        if not traces:
+            raise ValueError("need at least one training trace")
+        if ct_features is not None and len(ct_features) != len(traces):
+            raise ValueError("ct_features must align with traces")
+
+        all_features: List[np.ndarray] = []
+        all_targets: List[np.ndarray] = []
+        all_masks: List[np.ndarray] = []
+        for k, trace in enumerate(traces):
+            ct = ct_features[k] if ct_features is not None else None
+            feats = self._trace_features(trace, ct)
+            delays = trace.delays.copy()
+            mask = trace.delivered_mask.copy()
+            # Lost packets have no target; fill with a value that is masked
+            # out so scaling statistics are not corrupted.
+            delays[~mask] = 0.0
+            all_features.append(feats)
+            all_targets.append(delays)
+            all_masks.append(mask)
+
+        stacked_features = np.concatenate(all_features, axis=0)
+        delivered_targets = np.concatenate(
+            [t[m] for t, m in zip(all_targets, all_masks)]
+        )
+        self.feature_scaler.fit(stacked_features)
+        self.target_scaler.fit(delivered_targets.reshape(-1, 1))
+
+        rounds = max(1, self.config.rollout_rounds)
+        epochs_per_round = max(1, self.config.epochs // rounds)
+        log = TrainingLog()
+        features_current = [f.copy() for f in all_features]
+        for round_index in range(rounds):
+            if round_index > 0:
+                # Exposure-bias correction: replace the previous-delay
+                # column with the model's own free-running rollout so later
+                # epochs learn to correct drift along trajectories the
+                # model will actually visit at inference time.
+                self._fitted = True
+                for feats in features_current:
+                    rollout = self._unroll_features(feats, sample=False)
+                    feats[:, _PREV_DELAY_COL] = np.concatenate(
+                        ([0.0], rollout[:-1])
+                    )
+            sequences, targets, masks = self._build_subsequences(
+                features_current, all_targets, all_masks, round_index
+            )
+            round_log = self.model.fit(
+                sequences,
+                targets,
+                masks,
+                epochs=epochs_per_round,
+                batch_size=self.config.batch_size,
+                lr=self.config.lr,
+                clip_norm=self.config.clip_norm,
+                seed=self.config.seed + round_index,
+                verbose=verbose,
+            )
+            log.losses.extend(round_log.losses)
+            log.grad_norms.extend(round_log.grad_norms)
+        self.training_log = log
+        self._fitted = True
+        self.fitted_rho_ = self._estimate_residual_rho(
+            features_current, all_targets, all_masks
+        )
+        if self.config.predict_loss:
+            self._fit_loss_head(all_features, all_masks)
+        return self.training_log
+
+    def _fit_loss_head(
+        self,
+        all_features: Sequence[np.ndarray],
+        all_masks: Sequence[np.ndarray],
+    ) -> None:
+        """Train the §4.1 loss-indicator head (label 1 = packet lost)."""
+        self.loss_model = BernoulliSequenceModel(
+            input_dim=self.config.input_dim,
+            hidden_dim=max(8, self.config.hidden_dim // 2),
+            num_layers=1,
+            seed=self.config.seed + 3,
+        )
+        sequences: List[np.ndarray] = []
+        labels: List[np.ndarray] = []
+        seq_len = self.config.train_seq_len
+        for feats, mask in zip(all_features, all_masks):
+            scaled = self.feature_scaler.transform(feats)
+            lost = (~mask).astype(float)
+            for start in range(0, len(feats), seq_len):
+                chunk = slice(start, start + seq_len)
+                if len(scaled[chunk]) < 2:
+                    continue
+                sequences.append(scaled[chunk])
+                labels.append(lost[chunk])
+        self.loss_model.fit(
+            sequences,
+            labels,
+            epochs=self.config.loss_head_epochs,
+            lr=self.config.lr,
+            seed=self.config.seed + 3,
+        )
+        # Calibrate so the mean predicted probability matches the base
+        # loss rate (the probabilities are sampled, same rationale as the
+        # reorder predictors).
+        base_rate = float(
+            np.mean([lab.mean() for lab in labels]) if labels else 0.0
+        )
+        raw = np.concatenate(
+            [self.loss_model.predict_proba(s) for s in sequences]
+        )
+        mean_raw = float(raw.mean())
+        if 0 < base_rate < 1 and 0 < mean_raw < 1:
+            self._loss_odds_correction = (
+                base_rate / (1 - base_rate) * (1 - mean_raw) / mean_raw
+            )
+
+    def predict_loss_proba(
+        self, trace: Trace, ct: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-packet loss probability (requires ``predict_loss=True``)."""
+        if self.loss_model is None:
+            raise RuntimeError(
+                "loss head not trained; set config.predict_loss=True"
+            )
+        feats = self._trace_features(trace, ct)
+        scaled = self.feature_scaler.transform(feats)
+        raw = self.loss_model.predict_proba(scaled)
+        c = self._loss_odds_correction
+        return raw * c / (1.0 - raw + raw * c)
+
+    def _estimate_residual_rho(
+        self,
+        all_features: Sequence[np.ndarray],
+        all_targets: Sequence[np.ndarray],
+        all_masks: Sequence[np.ndarray],
+    ) -> float:
+        """Choose the AR(1) coefficient so the sampler's one-step noise
+        matches the ground truth's one-step delay volatility.
+
+        The model's sigma reflects *trajectory-level* uncertainty (how far
+        the free-running mean can drift from truth), but what governs
+        packet-level realism — in particular the reordering rate, Fig. 5 —
+        is the *step* volatility ``std(d_t - d_{t-1})``.  For an AR(1)
+        process with marginal std sigma, the step std is
+        ``sigma * sqrt(2 * (1 - rho))``; solving for rho anchors the
+        sampler to the data's smoothness.
+        """
+        step_diffs: List[np.ndarray] = []
+        sigmas: List[float] = []
+        for feats, tgt, mask in zip(all_features, all_targets, all_masks):
+            if mask.sum() < 3:
+                continue
+            scaled_tgt = self.target_scaler.transform_column(tgt, 0)[mask]
+            step_diffs.append(np.diff(scaled_tgt))
+            scaled = self.feature_scaler.transform(feats)
+            _, log_sigma = self.model.forward(scaled[None])
+            sigmas.append(float(np.exp(log_sigma[0][mask]).mean()))
+        if not step_diffs or not sigmas:
+            return 0.97
+        pooled = np.concatenate(step_diffs)
+        # Robust scale: the Delta-delay distribution is leptokurtic (tiny
+        # in-burst steps, rare multi-ms jumps); a plain std would be blown
+        # up by the tails and make the sampler far too jumpy.
+        step_std = 1.4826 * float(np.median(np.abs(pooled)))
+        sigma = float(np.mean(sigmas))
+        if sigma < 1e-9:
+            return 0.97
+        one_minus_rho = 0.5 * (step_std / sigma) ** 2
+        rho = 1.0 - one_minus_rho
+        return min(0.99999, max(0.0, rho))
+
+    def _build_subsequences(
+        self,
+        all_features: Sequence[np.ndarray],
+        all_targets: Sequence[np.ndarray],
+        all_masks: Sequence[np.ndarray],
+        round_index: int,
+    ):
+        sequences: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        masks: List[np.ndarray] = []
+        seq_len = self.config.train_seq_len
+        noise_rng = np.random.default_rng(
+            self.config.seed + 17 + round_index
+        )
+        for feats, tgt, mask in zip(all_features, all_targets, all_masks):
+            scaled_x = self.feature_scaler.transform(feats)
+            scaled_y = self.target_scaler.transform_column(tgt, 0)
+            if self.config.feedback_noise > 0:
+                scaled_x = scaled_x.copy()
+                scaled_x[:, _PREV_DELAY_COL] += noise_rng.normal(
+                    0.0, self.config.feedback_noise, size=len(scaled_x)
+                )
+            for start in range(0, len(feats), seq_len):
+                chunk = slice(start, start + seq_len)
+                if mask[chunk].sum() < 2:
+                    continue
+                sequences.append(scaled_x[chunk])
+                targets.append(scaled_y[chunk])
+                masks.append(mask[chunk])
+        if not sequences:
+            raise ValueError("no usable training subsequences")
+        return sequences, targets, masks
+
+    # ------------------------------------------------------------------
+    # Free-running inference
+    # ------------------------------------------------------------------
+    def predict_delays(
+        self,
+        trace: Trace,
+        ct: Optional[np.ndarray] = None,
+        sample: bool = True,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Unroll the model over ``trace``'s *input* stream.
+
+        Only the sender-side columns of the trace are consumed (send times,
+        sizes — the §4.1 replay protocol: "we tested by replaying the
+        sending rate time series from the test set"); ground-truth delays
+        are never read.  Returns a per-packet delay prediction in seconds.
+
+        ``sample=True`` draws each delay from the predicted Gaussian (the
+        generative mode that reproduces delay *distributions*, Figs. 5/7);
+        ``sample=False`` returns the mean (point forecasts, Fig. 4-style
+        series comparisons).
+        """
+        if not self._fitted:
+            raise RuntimeError("predict called before fit()")
+        feats = self._trace_features(trace, ct)
+        return self._unroll_features(feats, sample=sample, seed=seed)
+
+    def _unroll_features(
+        self, feats: np.ndarray, sample: bool, seed: int = 0
+    ) -> np.ndarray:
+        """Free-running unroll over a raw (unscaled) feature matrix."""
+        n = len(feats)
+        if n == 0:
+            return np.zeros(0)
+        scaled = self.feature_scaler.transform(feats)
+        rng = np.random.default_rng(seed)
+        predictions = np.zeros(n)
+        states = None
+        prev_delay_real = 0.0
+        floor = self.config.min_delay_floor
+        prev_mean = self.feature_scaler.mean_[_PREV_DELAY_COL]
+        prev_std = self.feature_scaler.std_[_PREV_DELAY_COL]
+        rho = (
+            self.config.sample_ar_rho
+            if self.config.sample_ar_rho is not None
+            else self.fitted_rho_
+        )
+        innovation_scale = np.sqrt(max(0.0, 1.0 - rho**2))
+        noise_state = float(rng.normal()) if sample else 0.0
+        for t in range(n):
+            x_t = scaled[t].copy()
+            x_t[_PREV_DELAY_COL] = (prev_delay_real - prev_mean) / prev_std
+            mu, sigma, states = self.model.step(x_t[None, :], states)
+            mean_delay = self.target_scaler.inverse_transform_column(
+                np.array([float(mu[0])]), 0
+            )[0]
+            mean_delay = max(floor, float(mean_delay))
+            if sample:
+                # AR(1) noise: marginally N(0, 1), temporally smooth.
+                noise_state = (
+                    rho * noise_state
+                    + innovation_scale * float(rng.normal())
+                )
+                value = float(mu[0]) + float(sigma[0]) * noise_state
+                delay = self.target_scaler.inverse_transform_column(
+                    np.array([value]), 0
+                )[0]
+                delay = max(floor, float(delay))
+            else:
+                delay = mean_delay
+            predictions[t] = delay
+            # Feed the *mean* back: sampling noise in the feedback loop
+            # would turn the unroll into a one-sided random walk.
+            prev_delay_real = mean_delay
+        return predictions
+
+    def predict_trace(
+        self,
+        trace: Trace,
+        ct: Optional[np.ndarray] = None,
+        sample: bool = True,
+        seed: int = 0,
+    ) -> Trace:
+        """Synthesize the predicted output trace for ``trace``'s input.
+
+        With the loss head enabled (``config.predict_loss``), packets are
+        additionally lost with the predicted probability — the paper's
+        "packet loss (infinite delay)" encoding.
+        """
+        delays = self.predict_delays(trace, ct=ct, sample=sample, seed=seed)
+        lost = np.zeros(len(trace), dtype=bool)
+        if self.loss_model is not None and sample:
+            probs = self.predict_loss_proba(trace, ct=ct)
+            rng = np.random.default_rng(seed + 101)
+            lost = rng.random(len(trace)) < probs
+        records = [
+            PacketRecord(
+                uid=r.uid,
+                seq=r.seq,
+                size=r.size,
+                sent_at=r.sent_at,
+                delivered_at=(
+                    math.nan if lost[k] else r.sent_at + delays[k]
+                ),
+                is_retransmit=r.is_retransmit,
+            )
+            for k, r in enumerate(trace.records)
+        ]
+        return Trace(
+            f"iboxml-{trace.flow_id}",
+            records,
+            duration=trace.duration,
+            protocol=trace.protocol,
+            metadata={**trace.metadata, "model": "iboxml"},
+        )
+
+    def num_parameters(self) -> int:
+        """Trainable parameter count (the paper quotes ~2 M for its GPU
+        model; ours is deliberately smaller for CPU training)."""
+        return self.model.num_parameters()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the trained model (weights + scalers + config) to NPZ."""
+        if not self._fitted:
+            raise RuntimeError("cannot save an unfitted model")
+        import dataclasses
+        import json
+
+        payload = {
+            f"param::{name}": value
+            for name, value in self.model.state_dict().items()
+        }
+        if self.loss_model is not None:
+            payload.update(
+                {
+                    f"loss_param::{name}": value
+                    for name, value in self.loss_model.state_dict().items()
+                }
+            )
+        payload["feature_mean"] = self.feature_scaler.mean_
+        payload["feature_std"] = self.feature_scaler.std_
+        payload["target_mean"] = self.target_scaler.mean_
+        payload["target_std"] = self.target_scaler.std_
+        payload["meta"] = np.array(
+            json.dumps(
+                {
+                    "config": dataclasses.asdict(self.config),
+                    "fitted_rho": self.fitted_rho_,
+                    "loss_odds_correction": self._loss_odds_correction,
+                    "has_loss_head": self.loss_model is not None,
+                }
+            )
+        )
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path) -> "IBoxMLModel":
+        """Restore a model saved with :meth:`save`."""
+        import json
+
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            config = IBoxMLConfig(**meta["config"])
+            model = cls(config)
+            state = {
+                key[len("param::"):]: data[key]
+                for key in data.files
+                if key.startswith("param::")
+            }
+            model.model.load_state_dict(state)
+            model.feature_scaler.mean_ = data["feature_mean"]
+            model.feature_scaler.std_ = data["feature_std"]
+            model.target_scaler.mean_ = data["target_mean"]
+            model.target_scaler.std_ = data["target_std"]
+            model.fitted_rho_ = meta["fitted_rho"]
+            model._loss_odds_correction = meta["loss_odds_correction"]
+            if meta["has_loss_head"]:
+                model.loss_model = BernoulliSequenceModel(
+                    input_dim=config.input_dim,
+                    hidden_dim=max(8, config.hidden_dim // 2),
+                    num_layers=1,
+                    seed=config.seed + 3,
+                )
+                loss_state = {
+                    key[len("loss_param::"):]: data[key]
+                    for key in data.files
+                    if key.startswith("loss_param::")
+                }
+                model.loss_model.load_state_dict(loss_state)
+            model._fitted = True
+        return model
+
+
+def delay_distribution_error(
+    predicted: np.ndarray, ground_truth: np.ndarray
+) -> float:
+    """Mean absolute difference between the two delay CDFs (seconds).
+
+    A scalar fit metric used in tests; the paper's Table 1 metric
+    (percentile deltas of per-call p95 delays) lives in
+    :func:`repro.analysis.stats.percentile_error_table`.
+    """
+    if len(predicted) == 0 or len(ground_truth) == 0:
+        return math.nan
+    qs = np.linspace(1, 99, 99)
+    return float(
+        np.mean(
+            np.abs(
+                np.percentile(predicted, qs) - np.percentile(ground_truth, qs)
+            )
+        )
+    )

@@ -1,0 +1,199 @@
+"""iBoxNet: the network-model-based approach (§3).
+
+``fit(trace)`` runs the static-parameter and cross-traffic estimators and
+returns an :class:`IBoxNetModel` — a learnt ``(b, d, B, C)`` tuple that can
+be "set on the NetEm emulator" (Fig. 1) to simulate any treatment protocol.
+
+Ablations (Fig. 3) are expressed as constructor switches:
+
+* ``include_cross_traffic=False``  — the no-CT model of Fig. 3(a);
+* ``statistical_loss_rate=p``      — the [45]-style i.i.d.-loss baseline of
+  Fig. 3(b) (usually built via :mod:`repro.baselines.statistical_loss`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.cross_traffic import CrossTrafficEstimate, estimate_cross_traffic
+from repro.core.static_params import StaticParams, estimate_static_params
+from repro.simulation.emulator import EmulatorConfig, NetworkEmulator
+from repro.simulation.topology import FlowRunResult
+from repro.trace.records import Trace
+
+
+@dataclass(frozen=True)
+class IBoxNetModel:
+    """A learnt iBoxNet path model: static parameters + cross-traffic.
+
+    The model is cheap to learn (closed-form estimators), cheap to run
+    (packet-level emulation at the learnt configuration), and — by §3.2 —
+    interpretable: every field is a familiar networking construct.
+    """
+
+    params: StaticParams
+    cross_traffic: CrossTrafficEstimate
+    include_cross_traffic: bool = True
+    statistical_loss_rate: float = 0.0
+    source_flow_id: str = ""
+    source_protocol: str = ""
+    # Empirical loss rate of the training trace — the calibration target
+    # for the statistical-loss baseline (Fig. 3b / [45]).
+    source_loss_rate: float = 0.0
+    # Extension (§3.2 lists variable bandwidth among what plain iBoxNet
+    # cannot express): an optional learnt (times, rates) schedule that
+    # overrides the constant bottleneck when set on the emulator.
+    bandwidth_schedule: Optional[
+        Tuple[Tuple[float, ...], Tuple[float, ...]]
+    ] = None
+
+    def emulator_config(self) -> EmulatorConfig:
+        """The learnt parameters, ready to set on the emulator."""
+        return EmulatorConfig(
+            bandwidth_bytes_per_sec=self.params.bandwidth_bytes_per_sec,
+            propagation_delay=self.params.propagation_delay,
+            buffer_bytes=self.params.buffer_bytes,
+            ct_bin_edges=self.cross_traffic.bin_edges,
+            ct_rates_bytes_per_sec=self.cross_traffic.rates_bytes_per_sec,
+            include_cross_traffic=self.include_cross_traffic,
+            statistical_loss_rate=self.statistical_loss_rate,
+            bandwidth_schedule=self.bandwidth_schedule,
+        )
+
+    def simulate(
+        self,
+        protocol: str,
+        duration: float,
+        seed: int,
+        sender_kwargs: Optional[dict] = None,
+    ) -> Trace:
+        """Run a treatment ``protocol`` over the learnt path; returns its
+        end-to-end trace."""
+        return self.simulate_run(
+            protocol, duration, seed, sender_kwargs=sender_kwargs
+        ).trace
+
+    def simulate_run(
+        self,
+        protocol: str,
+        duration: float,
+        seed: int,
+        sender_kwargs: Optional[dict] = None,
+    ) -> FlowRunResult:
+        """Like :meth:`simulate` but returns the full run result (queue
+        stats etc.)."""
+        emulator = NetworkEmulator(self.emulator_config())
+        return emulator.run(
+            protocol, duration, seed, sender_kwargs=sender_kwargs
+        )
+
+    def without_cross_traffic(self) -> "IBoxNetModel":
+        """The Fig. 3(a) ablation: same statics, CT injector disabled."""
+        return replace(self, include_cross_traffic=False)
+
+    def with_statistical_loss(self, loss_rate: float) -> "IBoxNetModel":
+        """The Fig. 3(b) baseline: CT replaced by i.i.d. loss."""
+        return replace(
+            self,
+            include_cross_traffic=False,
+            statistical_loss_rate=loss_rate,
+        )
+
+    def with_variable_bandwidth(
+        self, schedule: Tuple[Tuple[float, ...], Tuple[float, ...]]
+    ) -> "IBoxNetModel":
+        """Extension: override the constant bottleneck with a learnt
+        (times, rates) schedule (see :func:`estimate_bandwidth_schedule`)."""
+        return replace(self, bandwidth_schedule=schedule)
+
+    def __str__(self) -> str:
+        ct = (
+            f"CT mean={self.cross_traffic.mean_rate / 125_000:.2f} Mb/s "
+            f"(busy {self.cross_traffic.busy_fraction:.0%})"
+            if self.include_cross_traffic
+            else "no CT"
+        )
+        return f"IBoxNetModel({self.params}, {ct})"
+
+
+def fit(
+    trace: Trace,
+    bandwidth_window: float = 1.0,
+    ct_bin_width: float = 0.5,
+    busy_threshold_packets: float = 1.5,
+    max_delay_percentile: float = 100.0,
+) -> IBoxNetModel:
+    """Learn an iBoxNet model from one input/output trace.
+
+    This is the whole §3 training procedure: three closed-form static
+    estimators plus the conservative cross-traffic reconstruction — no
+    gradient descent, no combinatorial search, which is exactly the
+    efficiency argument of §3.2.
+    """
+    params = estimate_static_params(
+        trace,
+        window=bandwidth_window,
+        max_delay_percentile=max_delay_percentile,
+    )
+    cross_traffic = estimate_cross_traffic(
+        trace,
+        params,
+        bin_width=ct_bin_width,
+        busy_threshold_packets=busy_threshold_packets,
+    )
+    return IBoxNetModel(
+        params=params,
+        cross_traffic=cross_traffic,
+        source_flow_id=trace.flow_id,
+        source_protocol=trace.protocol,
+        source_loss_rate=trace.loss_rate,
+    )
+
+
+def estimate_bandwidth_schedule(
+    trace: Trace,
+    schedule_window: float = 2.0,
+    peak_window: float = 0.5,
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """Extension: a piecewise-constant bandwidth profile from one trace.
+
+    §3.2 lists variable bandwidth (wireless links, token-bucket
+    regulators) among the behaviours the single-constant-bottleneck
+    iBoxNet cannot express.  This estimator applies the §3 peak-rate idea
+    *per window*: within each ``schedule_window``, the bandwidth is the
+    peak delivery rate over ``peak_window`` sliding sub-windows.  Windows
+    in which the sender did not saturate read low — the same graceful
+    degradation as the global estimator (§6) — so windows with no
+    deliveries inherit their predecessor's value.
+
+    Returns a ``(times, rates)`` schedule accepted by
+    :meth:`IBoxNetModel.with_variable_bandwidth`.
+    """
+    from repro.trace.features import sliding_window_rate
+
+    if schedule_window <= 0 or peak_window <= 0:
+        raise ValueError("windows must be positive")
+    mask = trace.delivered_mask
+    arrivals = trace.delivered_at[mask]
+    sizes = trace.sizes[mask]
+    order = np.argsort(arrivals)
+    arrivals, sizes = arrivals[order], sizes[order]
+    if len(arrivals) == 0:
+        raise ValueError("no delivered packets")
+    rates_at_arrivals = sliding_window_rate(
+        arrivals, sizes, arrivals, peak_window
+    )
+    edges = np.arange(0.0, trace.duration + schedule_window, schedule_window)
+    times: list = []
+    rates: list = []
+    previous = float(rates_at_arrivals.max())  # sane fallback
+    for k in range(len(edges) - 1):
+        in_window = (arrivals >= edges[k]) & (arrivals < edges[k + 1])
+        if in_window.any():
+            previous = float(rates_at_arrivals[in_window].max())
+        times.append(float(edges[k]))
+        rates.append(max(previous, 1500.0))
+    return tuple(times), tuple(rates)

@@ -1,0 +1,176 @@
+"""The perpetual-renewal loop (§5.3), operationalised.
+
+The paper's recipe for keeping a simulator honest: "(i) a continual inflow
+of new data, (ii) leveraging the latest advances in ML ... and (iii)
+leveraging networking domain knowledge to identify behaviors that the
+simulator should capture, in turn guiding the ML formulation and
+modeling."
+
+:func:`renewal_cycle` runs one full turn of that loop as code:
+
+1. **Diff** — SAX-discretize ground-truth and simulated traces and diff
+   their pattern inventories (§5.1 discovery).
+2. **Triage** — rank the behaviours present in reality but missing from
+   the simulator by frequency (the "domain expert decides what is
+   interesting" step, automated as a frequency threshold).
+3. **Repair** — apply the registered augmentations (currently: the
+   reordering predictors) for behaviours they cover.
+4. **Verify** — re-diff after augmentation and quantify the closed gap.
+
+The returned :class:`RenewalReport` records the before/after inventories,
+so successive cycles (new data, new augmentations) can be compared — the
+"perpetual" part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.augmentation import (
+    LSTMReorderPredictor,
+    augment_iboxnet_trace,
+)
+from repro.discovery.motifs import PatternDiff, aggregate_frequencies, diff_patterns
+from repro.discovery.sax import positive_delta_breakpoints, sax_inter_arrival
+from repro.trace.features import arrival_order_deltas
+from repro.trace.records import Trace
+
+# Behaviours the repair step knows how to inject, keyed by the SAX
+# symbol(s) whose absence indicates them.
+REORDERING_SYMBOL = "a"
+
+
+@dataclass
+class RenewalReport:
+    """Outcome of one renewal cycle."""
+
+    missing_before: Dict[str, float]
+    missing_after: Dict[str, float]
+    repaired_behaviours: List[str]
+    unrepaired_behaviours: List[str]
+    gap_closed: float  # fraction of missing-frequency mass recovered
+    augmented_traces: List[Trace] = field(default_factory=list)
+
+    def recovery(self, behaviour: str) -> float:
+        """Fraction of one behaviour's missing frequency mass recovered."""
+        before = self.missing_before.get(behaviour, 0.0)
+        if before <= 0:
+            return 1.0
+        after = self.missing_after.get(behaviour, 0.0)
+        return (before - after) / before
+
+    def format_report(self) -> str:
+        lines = ["perpetual-renewal cycle"]
+        lines.append(
+            "  discovered missing behaviours: "
+            + (
+                ", ".join(
+                    f"'{p}' ({100 * f:.2f}%)"
+                    for p, f in sorted(
+                        self.missing_before.items(), key=lambda kv: -kv[1]
+                    )
+                )
+                or "(none)"
+            )
+        )
+        lines.append(
+            f"  repaired: {', '.join(self.repaired_behaviours) or '(none)'}"
+        )
+        if self.unrepaired_behaviours:
+            lines.append(
+                "  still missing (need new augmentations): "
+                + ", ".join(self.unrepaired_behaviours)
+            )
+        lines.append(f"  frequency mass recovered: {self.gap_closed:.0%}")
+        return "\n".join(lines)
+
+
+def discover_missing_behaviours(
+    ground_truth: Sequence[Trace],
+    simulated: Sequence[Trace],
+    breakpoints: Optional[np.ndarray] = None,
+    min_frequency: float = 1e-3,
+) -> Dict[str, float]:
+    """Step 1+2: the diff, thresholded to "interesting" frequencies."""
+    if breakpoints is None:
+        reference = np.concatenate(
+            [arrival_order_deltas(t) for t in ground_truth]
+        )
+        breakpoints = positive_delta_breakpoints(reference)
+    gt_sax = [
+        sax_inter_arrival(t, breakpoints=breakpoints) for t in ground_truth
+    ]
+    sim_sax = [
+        sax_inter_arrival(t, breakpoints=breakpoints) for t in simulated
+    ]
+    diff = diff_patterns(
+        gt_sax, sim_sax, length=1, min_frequency=min_frequency
+    )
+    return dict(diff.only_ground_truth)
+
+
+def renewal_cycle(
+    ground_truth: Sequence[Trace],
+    simulated: Sequence[Trace],
+    training_traces: Optional[Sequence[Trace]] = None,
+    min_frequency: float = 1e-3,
+    predictor_factory: Optional[Callable] = None,
+    seed: int = 0,
+) -> RenewalReport:
+    """Run one full renewal turn over a simulated corpus.
+
+    ``training_traces`` (defaults to ``ground_truth``) train the repair
+    models; ``predictor_factory`` overrides the default reorder predictor
+    (e.g. to use the linear model for speed).
+    """
+    if training_traces is None:
+        training_traces = ground_truth
+    reference = np.concatenate(
+        [arrival_order_deltas(t) for t in ground_truth]
+    )
+    breakpoints = positive_delta_breakpoints(reference)
+
+    missing_before = discover_missing_behaviours(
+        ground_truth, simulated, breakpoints, min_frequency
+    )
+
+    repaired: List[str] = []
+    unrepaired: List[str] = []
+    augmented = list(simulated)
+    if REORDERING_SYMBOL in missing_before:
+        factory = predictor_factory or (
+            lambda: LSTMReorderPredictor(epochs=8, seed=seed)
+        )
+        predictor = factory().fit(list(training_traces))
+        augmented = [
+            augment_iboxnet_trace(t, predictor, seed=seed + i)
+            for i, t in enumerate(simulated)
+        ]
+        repaired.append(REORDERING_SYMBOL)
+    for behaviour in missing_before:
+        if behaviour not in repaired:
+            unrepaired.append(behaviour)
+
+    missing_after = discover_missing_behaviours(
+        ground_truth, augmented, breakpoints, min_frequency
+    )
+    mass_before = sum(missing_before.values())
+    # Mass still missing afterwards, counting only behaviours that were
+    # missing before (new artefacts are a different failure mode).
+    mass_after = sum(
+        missing_after.get(p, 0.0) for p in missing_before
+    )
+    gap_closed = (
+        (mass_before - mass_after) / mass_before if mass_before > 0 else 1.0
+    )
+    return RenewalReport(
+        missing_before=missing_before,
+        missing_after=missing_after,
+        repaired_behaviours=repaired,
+        unrepaired_behaviours=unrepaired,
+        gap_closed=float(gap_closed),
+        augmented_traces=augmented,
+    )

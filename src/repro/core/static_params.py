@@ -1,0 +1,137 @@
+"""Static path-parameter estimation (§3).
+
+The paper's three domain-knowledge estimators:
+
+(i)   **bottleneck bandwidth** ``b`` — "the peak receiving rate, over 1 s
+      sliding windows, seen in the training data (even if the sender does
+      not fill the bottleneck link on a sustained basis, short bursts would
+      still enable accurate estimation)";
+(ii)  **propagation delay** ``d`` — "the minimum delay seen in the traces
+      (the assumption being that in a long-enough trace, at least some
+      packets will likely encounter an empty bottleneck queue)";
+(iii) **buffer size** ``B`` — "the estimated bandwidth times the difference
+      between the maximum and minimum delays (the assumption being that at
+      least some packets would encounter an almost full buffer)".
+
+§6 notes these assumptions degrade gracefully when violated; the validators
+here quantify exactly that on simulated paths where ground truth is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.trace.features import sliding_window_rate
+from repro.trace.records import Trace
+
+
+@dataclass(frozen=True)
+class StaticParams:
+    """Learnt static parameters of a path (the (b, d, B) of Fig. 1)."""
+
+    bandwidth_bytes_per_sec: float
+    propagation_delay: float
+    buffer_bytes: float
+
+    def __str__(self) -> str:
+        from repro.simulation import units
+
+        return (
+            f"b={units.bytes_per_sec_to_mbps(self.bandwidth_bytes_per_sec):.2f} Mb/s, "
+            f"d={units.sec_to_ms(self.propagation_delay):.1f} ms, "
+            f"B={self.buffer_bytes / 1000:.0f} kB"
+        )
+
+
+def estimate_bandwidth(trace: Trace, window: float = 1.0) -> float:
+    """Peak receiving rate over sliding windows (bytes/s)."""
+    mask = trace.delivered_mask
+    arrivals = trace.delivered_at[mask]
+    sizes = trace.sizes[mask]
+    if len(arrivals) == 0:
+        raise ValueError("cannot estimate bandwidth: no delivered packets")
+    order = np.argsort(arrivals)
+    arrivals = arrivals[order]
+    sizes = sizes[order]
+    # Evaluate the windowed rate with the window ending at each arrival —
+    # the supremum of the sliding-window rate is attained at an arrival.
+    rates = sliding_window_rate(arrivals, sizes, arrivals, window)
+    return float(rates.max())
+
+
+def estimate_propagation_delay(trace: Trace) -> float:
+    """Minimum one-way delay (seconds)."""
+    delays = trace.delivered_delays()
+    if len(delays) == 0:
+        raise ValueError("cannot estimate delay: no delivered packets")
+    return float(delays.min())
+
+
+def estimate_buffer(
+    trace: Trace,
+    bandwidth_bytes_per_sec: float,
+    max_delay_percentile: float = 100.0,
+) -> float:
+    """Buffer size as ``b * (max_delay - min_delay)`` (bytes).
+
+    ``max_delay_percentile`` < 100 trims outlier delays (e.g. a single
+    packet caught behind a link-rate fade) — an extension knob; the paper's
+    definition is the default 100.
+    """
+    delays = trace.delivered_delays()
+    if len(delays) == 0:
+        raise ValueError("cannot estimate buffer: no delivered packets")
+    max_delay = float(np.percentile(delays, max_delay_percentile))
+    spread = max(0.0, max_delay - float(delays.min()))
+    # Never report a buffer smaller than one MTU — an empty-spread trace
+    # means the queue was never observed, not that there is no queue.
+    return max(1500.0, bandwidth_bytes_per_sec * spread)
+
+
+def estimate_static_params(
+    trace: Trace,
+    window: float = 1.0,
+    max_delay_percentile: float = 100.0,
+) -> StaticParams:
+    """Run all three §3 estimators on one trace."""
+    bandwidth = estimate_bandwidth(trace, window)
+    delay = estimate_propagation_delay(trace)
+    buffer_bytes = estimate_buffer(trace, bandwidth, max_delay_percentile)
+    return StaticParams(
+        bandwidth_bytes_per_sec=bandwidth,
+        propagation_delay=delay,
+        buffer_bytes=buffer_bytes,
+    )
+
+
+def estimate_from_flows(
+    traces: Iterable[Trace],
+    window: float = 1.0,
+) -> StaticParams:
+    """Aggregate estimation over multiple flows of the same path.
+
+    §6: "Currently, we aggregate data from multiple flows from around the
+    same time between two nodes, which increases the likelihood of these
+    assumptions being satisfied."  Bandwidth takes the max of the per-flow
+    peaks, propagation delay the min of mins, and the buffer uses the
+    overall delay spread.
+    """
+    traces_list: List[Trace] = list(traces)
+    if not traces_list:
+        raise ValueError("need at least one trace")
+    bandwidth = max(estimate_bandwidth(t, window) for t in traces_list)
+    all_delays = np.concatenate(
+        [t.delivered_delays() for t in traces_list if t.packets_delivered]
+    )
+    if len(all_delays) == 0:
+        raise ValueError("no delivered packets in any trace")
+    d_min = float(all_delays.min())
+    spread = float(all_delays.max()) - d_min
+    return StaticParams(
+        bandwidth_bytes_per_sec=bandwidth,
+        propagation_delay=d_min,
+        buffer_bytes=max(1500.0, bandwidth * spread),
+    )

@@ -1,0 +1,167 @@
+"""Limits of model validity (§6, "Establishing the Limits of Model
+Validity").
+
+"Training data limits the ability of iBoxML to learn about the network.
+For instance, if the sending rate in the training data never exceeded a
+certain level R, even over short periods, it would not be possible for
+iBoxML to accurately predict the output when the rate does exceed R.
+Therefore ... establishing the limits of validity of the learnt model is
+important.  Doing so would also help selectively gather new data that
+would expand the region of validity of the model."
+
+This module implements that idea: a :class:`ValidityRegion` captures the
+per-feature support of the training corpus (a robust quantile envelope),
+and scoring a test input stream reports how much of it falls outside —
+per feature, per packet, and as a headline coverage number.  The
+out-of-support mask also says *which* new data would expand validity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.trace.features import packet_features
+from repro.trace.records import Trace
+
+DEFAULT_FEATURE_NAMES = (
+    "sending_rate",
+    "inter_send_spacing",
+    "packet_size",
+    "previous_delay",
+)
+
+
+@dataclass
+class FeatureSupport:
+    """Robust support interval of one feature in the training data."""
+
+    name: str
+    low: float
+    high: float
+    # Hard extremes, kept for reporting.
+    observed_min: float
+    observed_max: float
+
+    def contains(self, values: np.ndarray, margin: float) -> np.ndarray:
+        """Boolean mask of values inside the (margin-expanded) support."""
+        width = max(self.high - self.low, 1e-12)
+        lo = self.low - margin * width
+        hi = self.high + margin * width
+        return (values >= lo) & (values <= hi)
+
+
+@dataclass
+class ValidityReport:
+    """Outcome of scoring a test input stream against a validity region."""
+
+    coverage: float  # fraction of packets with ALL features in support
+    per_feature_violation: Dict[str, float]
+    out_of_support_mask: np.ndarray  # per packet
+
+    @property
+    def is_valid(self) -> bool:
+        """Rule of thumb: predictions are trustworthy when >90 % of the
+        input stream lies inside the training envelope."""
+        return self.coverage >= 0.9
+
+    def worst_feature(self) -> Optional[str]:
+        if not self.per_feature_violation:
+            return None
+        name, value = max(
+            self.per_feature_violation.items(), key=lambda kv: kv[1]
+        )
+        return name if value > 0 else None
+
+    def format_report(self) -> str:
+        lines = [
+            f"validity coverage: {self.coverage:.1%} "
+            f"({'OK' if self.is_valid else 'OUT OF VALIDITY REGION'})"
+        ]
+        for name, violation in sorted(
+            self.per_feature_violation.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {name:>20s}: {violation:6.1%} out of support")
+        return "\n".join(lines)
+
+
+class ValidityRegion:
+    """The support envelope of a training corpus, per input feature."""
+
+    def __init__(
+        self,
+        quantile_low: float = 0.005,
+        quantile_high: float = 0.995,
+        margin: float = 0.05,
+        feature_names: Sequence[str] = DEFAULT_FEATURE_NAMES,
+    ):
+        if not 0 <= quantile_low < quantile_high <= 1:
+            raise ValueError("need 0 <= quantile_low < quantile_high <= 1")
+        self.quantile_low = quantile_low
+        self.quantile_high = quantile_high
+        self.margin = margin
+        self.feature_names = tuple(feature_names)
+        self.supports: List[FeatureSupport] = []
+        self._fitted = False
+
+    def fit(
+        self,
+        traces: Sequence[Trace],
+        ct_features: Optional[Sequence[np.ndarray]] = None,
+    ) -> "ValidityRegion":
+        """Learn the envelope from training traces (same feature layout as
+        iBoxML: rate, spacing, size, previous delay[, CT])."""
+        if not traces:
+            raise ValueError("need at least one training trace")
+        matrices = []
+        for k, trace in enumerate(traces):
+            ct = ct_features[k] if ct_features is not None else None
+            matrices.append(packet_features(trace, cross_traffic=ct))
+        stacked = np.concatenate(matrices, axis=0)
+        names = list(self.feature_names)
+        if stacked.shape[1] == len(names) + 1:
+            names.append("cross_traffic")
+        if stacked.shape[1] != len(names):
+            raise ValueError(
+                f"feature count {stacked.shape[1]} does not match names "
+                f"{names}"
+            )
+        self.supports = [
+            FeatureSupport(
+                name=name,
+                low=float(np.quantile(stacked[:, j], self.quantile_low)),
+                high=float(np.quantile(stacked[:, j], self.quantile_high)),
+                observed_min=float(stacked[:, j].min()),
+                observed_max=float(stacked[:, j].max()),
+            )
+            for j, name in enumerate(names)
+        ]
+        self._fitted = True
+        return self
+
+    def score(
+        self, trace: Trace, ct: Optional[np.ndarray] = None
+    ) -> ValidityReport:
+        """Score a test input stream against the learnt envelope."""
+        if not self._fitted:
+            raise RuntimeError("score called before fit()")
+        features = packet_features(trace, cross_traffic=ct)
+        if features.shape[1] != len(self.supports):
+            raise ValueError(
+                "test features do not match the fitted region "
+                f"({features.shape[1]} vs {len(self.supports)} columns); "
+                "did you forget (or add) the CT feature?"
+            )
+        inside = np.ones(len(features), dtype=bool)
+        violations: Dict[str, float] = {}
+        for j, support in enumerate(self.supports):
+            ok = support.contains(features[:, j], self.margin)
+            violations[support.name] = float(1.0 - ok.mean())
+            inside &= ok
+        return ValidityReport(
+            coverage=float(inside.mean()),
+            per_feature_violation=violations,
+            out_of_support_mask=~inside,
+        )

@@ -1,0 +1,33 @@
+"""Synthetic datasets standing in for the paper's proprietary data.
+
+The paper evaluates on (a) Pantheon testbed traces — most prominently the
+"India Cellular" path — and (b) ~540 traces from a production real-time
+conferencing service.  Neither is available offline, so these modules
+generate the closest synthetic equivalents by running real protocol
+implementations over randomized simulated paths (see DESIGN.md §2 for the
+substitution argument).  Ground truth (true b/d/B, true cross-traffic) is
+recorded alongside each trace, enabling estimator validation the original
+authors could not perform.
+"""
+
+from repro.datasets import pantheon, rtc, scenarios
+from repro.datasets.scenarios import (
+    CellularScenarioSampler,
+    EthernetScenarioSampler,
+)
+from repro.datasets.pantheon import PantheonDataset, PantheonRun, generate_dataset, generate_run
+from repro.datasets.rtc import RTCDataset, generate_rtc_dataset
+
+__all__ = [
+    "CellularScenarioSampler",
+    "EthernetScenarioSampler",
+    "PantheonDataset",
+    "PantheonRun",
+    "RTCDataset",
+    "generate_dataset",
+    "generate_rtc_dataset",
+    "generate_run",
+    "pantheon",
+    "rtc",
+    "scenarios",
+]

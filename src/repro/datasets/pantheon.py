@@ -1,0 +1,150 @@
+"""Synthetic Pantheon-like dataset generation.
+
+Pantheon [45] collected 30-second traces of many congestion-control
+protocols over real paths; the paper trains on Cubic ("control") traces
+and evaluates predictions for Vegas ("treatment").  Here every "path" is a
+sampled :class:`~repro.simulation.topology.PathConfig` and every "run" is a
+full packet-level simulation of one protocol over it, so the dataset
+carries both the end-to-end trace and the normally unobservable ground
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.scenarios import CellularScenarioSampler
+from repro.simulation.topology import FlowRunResult, PathConfig, run_flow
+from repro.trace.records import Trace
+
+DEFAULT_DURATION = 30.0
+
+
+@dataclass
+class PantheonRun:
+    """One protocol run over one path."""
+
+    path_id: int
+    protocol: str
+    seed: int
+    config: PathConfig
+    result: FlowRunResult
+
+    @property
+    def trace(self) -> Trace:
+        return self.result.trace
+
+
+@dataclass
+class PantheonDataset:
+    """A collection of runs grouped by path."""
+
+    runs: List[PantheonRun] = field(default_factory=list)
+
+    def by_protocol(self, protocol: str) -> List[PantheonRun]:
+        return [r for r in self.runs if r.protocol == protocol]
+
+    def by_path(self, path_id: int) -> List[PantheonRun]:
+        return [r for r in self.runs if r.path_id == path_id]
+
+    def traces(self, protocol: Optional[str] = None) -> List[Trace]:
+        runs = self.runs if protocol is None else self.by_protocol(protocol)
+        return [r.trace for r in runs]
+
+    def paired_runs(
+        self, control: str, treatment: str
+    ) -> List[Tuple[PantheonRun, PantheonRun]]:
+        """(control, treatment) run pairs sharing a path — the A/B pairs."""
+        control_by_path: Dict[int, PantheonRun] = {
+            r.path_id: r for r in self.by_protocol(control)
+        }
+        pairs = []
+        for run in self.by_protocol(treatment):
+            if run.path_id in control_by_path:
+                pairs.append((control_by_path[run.path_id], run))
+        return pairs
+
+    def split(self, train_fraction: float = 0.6) -> Tuple["PantheonDataset", "PantheonDataset"]:
+        """Deterministic train/test split by path id."""
+        path_ids = sorted({r.path_id for r in self.runs})
+        cut = max(1, int(len(path_ids) * train_fraction))
+        train_ids = set(path_ids[:cut])
+        train = PantheonDataset(
+            [r for r in self.runs if r.path_id in train_ids]
+        )
+        test = PantheonDataset(
+            [r for r in self.runs if r.path_id not in train_ids]
+        )
+        return train, test
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def generate_run(
+    seed: int,
+    protocol: str = "cubic",
+    duration: float = DEFAULT_DURATION,
+    config: Optional[PathConfig] = None,
+    sampler: Optional[CellularScenarioSampler] = None,
+) -> PantheonRun:
+    """Generate a single Pantheon-like run.
+
+    When ``config`` is omitted, a cellular path is sampled from ``seed``;
+    the protocol run itself uses a decorrelated seed so the same path can
+    host several independent runs.
+    """
+    if sampler is None:
+        sampler = CellularScenarioSampler()
+    if config is None:
+        config = sampler.sample(seed)
+    result = run_flow(config, protocol, duration=duration, seed=seed)
+    return PantheonRun(
+        path_id=seed,
+        protocol=protocol,
+        seed=seed,
+        config=config,
+        result=result,
+    )
+
+
+def generate_dataset(
+    n_paths: int,
+    protocols: Sequence[str] = ("cubic", "vegas"),
+    duration: float = DEFAULT_DURATION,
+    base_seed: int = 0,
+    sampler: Optional[CellularScenarioSampler] = None,
+    runs_per_protocol: int = 1,
+) -> PantheonDataset:
+    """Generate a dataset of ``n_paths`` paths x protocols x repetitions.
+
+    Runs of different protocols on the same path share the path
+    configuration (including the bandwidth realisation seed) so A/B
+    comparisons are apples-to-apples, while each run's protocol dynamics
+    use its own seed.
+    """
+    if sampler is None:
+        sampler = CellularScenarioSampler()
+    dataset = PantheonDataset()
+    for k in range(n_paths):
+        path_seed = base_seed + k
+        config = sampler.sample(path_seed)
+        for p_index, protocol in enumerate(protocols):
+            for rep in range(runs_per_protocol):
+                run_seed = path_seed * 1_000 + p_index * 100 + rep
+                result = run_flow(
+                    config, protocol, duration=duration, seed=run_seed,
+                    flow_id=f"{protocol}-p{path_seed}-r{rep}",
+                    path_seed=path_seed,
+                )
+                dataset.runs.append(
+                    PantheonRun(
+                        path_id=path_seed,
+                        protocol=protocol,
+                        seed=run_seed,
+                        config=config,
+                        result=result,
+                    )
+                )
+    return dataset

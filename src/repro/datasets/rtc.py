@@ -1,0 +1,189 @@
+"""Synthetic real-time-conferencing dataset (the §5.2 / Table 1 workload).
+
+The paper used ~540 traces from a production RTC service.  We generate the
+equivalent: each "call" is a delay-sensitive :class:`~repro.protocols.rtc.
+RTCSender` flow over a randomized path with randomized cross traffic.  The
+Table 1 metric is the distribution of per-call 95th-percentile delays.
+
+The same module generates the **control-loop-bias** training/test split of
+§4.2 / Fig. 7: iBoxML trained on RTC (control-loop) traces over an ns-like
+fixed topology, then asked to predict delays for a high-rate CBR (open
+loop) sender under varying cross-traffic — the setting where the bias
+shows up and the CT input repairs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.simulation import units
+from repro.simulation.topology import (
+    ConstantBandwidth,
+    OnOffCT,
+    PathConfig,
+    PoissonCT,
+    run_flow,
+)
+from repro.trace.records import Trace
+
+
+@dataclass
+class RTCDataset:
+    """A set of RTC "calls" (traces) with their path configs."""
+
+    traces: List[Trace] = field(default_factory=list)
+    configs: List[PathConfig] = field(default_factory=list)
+
+    def split(self, train_fraction: float = 0.6) -> Tuple["RTCDataset", "RTCDataset"]:
+        cut = max(1, int(len(self.traces) * train_fraction))
+        return (
+            RTCDataset(self.traces[:cut], self.configs[:cut]),
+            RTCDataset(self.traces[cut:], self.configs[cut:]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+
+def _sample_rtc_path(rng: np.random.Generator) -> PathConfig:
+    """An access-network path as seen by a conferencing call.
+
+    The cross-traffic fraction extends past the link capacity: a real
+    conferencing service sees a share of calls on paths congested by other
+    traffic, and those congested calls are what make the Table 1 per-call
+    p95-delay distribution wide enough for the CT input to matter.
+    """
+    rate = units.mbps_to_bytes_per_sec(rng.uniform(1.5, 8.0))
+    delay = units.ms_to_sec(rng.uniform(10.0, 50.0))
+    buffer_bytes = rate * 2 * delay * rng.uniform(2.0, 6.0)
+    fraction = rng.uniform(0.0, 1.3)
+    if fraction < 0.1:
+        ct: tuple = ()
+    elif rng.random() < 0.5:
+        ct = (PoissonCT(rate_bytes_per_sec=fraction * rate),)
+    else:
+        ct = (
+            OnOffCT(
+                peak_rate_bytes_per_sec=1.6 * fraction * rate,
+                mean_on=rng.uniform(1.0, 5.0),
+                mean_off=rng.uniform(1.0, 5.0),
+            ),
+        )
+    return PathConfig(
+        bandwidth=ConstantBandwidth(rate),
+        propagation_delay=delay,
+        buffer_bytes=max(4500.0, buffer_bytes),
+        cross_traffic=ct,
+    )
+
+
+def generate_rtc_dataset(
+    n_calls: int,
+    duration: float = 30.0,
+    base_seed: int = 0,
+) -> RTCDataset:
+    """Generate ``n_calls`` RTC call traces over randomized paths."""
+    dataset = RTCDataset()
+    for k in range(n_calls):
+        seed = base_seed + k
+        rng = np.random.default_rng(seed)
+        config = _sample_rtc_path(rng)
+        result = run_flow(
+            config,
+            "rtc",
+            duration=duration,
+            seed=seed,
+            flow_id=f"call-{seed}",
+        )
+        dataset.traces.append(result.trace)
+        dataset.configs.append(config)
+    return dataset
+
+
+def control_loop_bias_setup(
+    n_train: int = 12,
+    n_test: int = 6,
+    duration: float = 30.0,
+    rate_mbps: float = 6.0,
+    base_seed: int = 0,
+    cbr_rate_fraction: float = 0.4,
+) -> Tuple[List[Trace], List[Trace], Trace]:
+    """The Fig. 7 experiment data.
+
+    Training: RTC (delay-sensitive control loop) flows on a *fixed* simple
+    ns-like topology with varying amounts of Poisson cross traffic.
+    Test: a high-rate CBR sender (``cbr_rate_fraction`` of the link) over
+    the same topology, again with varying cross traffic — so the ground
+    truth "exhibits high delay frequently" while the control-loop-biased
+    model will not.
+
+    Returns (train_traces, test_traces, calibration_trace).  The
+    calibration trace is a single bulk-TCP run over the idle path: RTC's
+    control loop never saturates the link (the §6 "sender tries to
+    saturate the bottleneck" assumption is violated), so the §3 bandwidth
+    estimator needs one saturating flow.  It is meant for *parameter
+    estimation only* — folding it into model training would contaminate
+    the control-loop-bias experiment with open-loop high-delay data.
+    """
+    rate = units.mbps_to_bytes_per_sec(rate_mbps)
+    delay = units.ms_to_sec(20.0)
+    buffer_bytes = rate * 2 * delay * 6.0
+
+    def config_with_ct(ct_fraction: float) -> PathConfig:
+        ct: tuple = ()
+        if ct_fraction > 0.01:
+            ct = (PoissonCT(rate_bytes_per_sec=ct_fraction * rate),)
+        return PathConfig(
+            bandwidth=ConstantBandwidth(rate),
+            propagation_delay=delay,
+            buffer_bytes=buffer_bytes,
+            cross_traffic=ct,
+        )
+
+    train: List[Trace] = []
+    rng = np.random.default_rng(base_seed)
+    for k in range(n_train):
+        # The CT sweep extends into overload: with heavy cross traffic the
+        # queue congests no matter how far the RTC loop backs off, so the
+        # training data does contain high delays *correlated with CT* —
+        # the signal the §5.2 CT input needs in order to undo the bias.
+        fraction = float(rng.uniform(0.0, 1.3))
+        result = run_flow(
+            config_with_ct(fraction),
+            "rtc",
+            duration=duration,
+            seed=base_seed + k,
+            flow_id=f"rtc-train-{k}",
+        )
+        train.append(result.trace)
+
+    test: List[Trace] = []
+    for k in range(n_test):
+        # Varying, often heavy, cross traffic: the CBR sender does not
+        # yield, so delays genuinely go high.  The sweep extends well into
+        # overload — the regime where the ground truth "exhibits high
+        # delay frequently" (§4.2).
+        fraction = 0.4 + 2.0 * k / max(n_test - 1, 1)
+        result = run_flow(
+            config_with_ct(fraction),
+            "cbr",
+            duration=duration,
+            seed=base_seed + 500 + k,
+            flow_id=f"cbr-test-{k}",
+            sender_kwargs={
+                "rate_bytes_per_sec": cbr_rate_fraction * rate
+            },
+        )
+        test.append(result.trace)
+
+    calibration = run_flow(
+        config_with_ct(0.0),
+        "cubic",
+        duration=min(duration, 15.0),
+        seed=base_seed + 900,
+        flow_id="calibration",
+    ).trace
+    return train, test, calibration

@@ -1,0 +1,156 @@
+"""Network-scenario sampling: randomized path configurations.
+
+The samplers encode what is publicly known about the Pantheon paths the
+paper used: the India Cellular path has a few-Mb/s fluctuating bottleneck
+(proportional-fair cellular scheduling), tens of ms of propagation delay,
+deep buffers (hundreds of ms of bufferbloat — Fig. 2's delay axis reaches
+400 ms), competing cross traffic, and occasional packet reordering;
+Ethernet paths are faster and cleaner (100–200 k packets per 30 s trace,
+i.e. tens of Mb/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.simulation import units
+from repro.simulation.topology import (
+    CellularBandwidth,
+    ConstantBandwidth,
+    CrossTrafficSpec,
+    FlowCT,
+    OnOffCT,
+    PathConfig,
+    PoissonCT,
+)
+
+
+@dataclass(frozen=True)
+class CellularScenarioSampler:
+    """Samples "India Cellular"-like paths.
+
+    All ranges are uniform unless noted.  Rates in Mb/s, delays in ms;
+    buffer expressed in bandwidth-delay products (BDP multiples), following
+    how bufferbloat is usually characterised.
+    """
+
+    mean_rate_mbps: Tuple[float, float] = (1.5, 6.0)
+    propagation_delay_ms: Tuple[float, float] = (20.0, 60.0)
+    buffer_bdp_multiples: Tuple[float, float] = (2.0, 8.0)
+    # Moderate rate variability: strong enough to exercise the estimators,
+    # mild enough that a single-bottleneck model remains a sane fit — the
+    # regime Fig. 2's good match implies for the real India Cellular path.
+    volatility: Tuple[float, float] = (0.1, 0.3)
+    # Mild multipath reordering: enough to show up in SAX pattern 'a'
+    # (~0.5-2 % of packets, Fig. 8) without the spurious fast-retransmits a
+    # long detour would inflict on the TCP flows generating ground truth.
+    reorder_prob: Tuple[float, float] = (0.003, 0.015)
+    reorder_extra_delay_ms: Tuple[float, float] = (4.0, 12.0)
+    cross_traffic_fraction: Tuple[float, float] = (0.1, 0.5)
+    # Probability that a sampled path has each kind of CT (exclusive draw).
+    p_no_ct: float = 0.2
+    p_poisson_ct: float = 0.4
+    p_onoff_ct: float = 0.4
+
+    def sample(self, seed: int) -> PathConfig:
+        """Draw one path configuration; fully determined by ``seed``."""
+        rng = np.random.default_rng(seed)
+        mean_rate = units.mbps_to_bytes_per_sec(
+            rng.uniform(*self.mean_rate_mbps)
+        )
+        delay = units.ms_to_sec(rng.uniform(*self.propagation_delay_ms))
+        bdp = mean_rate * 2 * delay
+        buffer_bytes = max(
+            3 * 1500.0, bdp * rng.uniform(*self.buffer_bdp_multiples)
+        )
+        ct = self._sample_cross_traffic(rng, mean_rate)
+        return PathConfig(
+            bandwidth=CellularBandwidth(
+                mean_rate_bytes_per_sec=mean_rate,
+                volatility=rng.uniform(*self.volatility),
+                fade_prob=0.004,
+            ),
+            propagation_delay=delay,
+            buffer_bytes=buffer_bytes,
+            reorder_prob=rng.uniform(*self.reorder_prob),
+            reorder_extra_delay=units.ms_to_sec(
+                rng.uniform(*self.reorder_extra_delay_ms)
+            ),
+            cross_traffic=ct,
+        )
+
+    def _sample_cross_traffic(
+        self, rng: np.random.Generator, mean_rate: float
+    ) -> Tuple[CrossTrafficSpec, ...]:
+        draw = rng.random()
+        fraction = rng.uniform(*self.cross_traffic_fraction)
+        if draw < self.p_no_ct:
+            return ()
+        if draw < self.p_no_ct + self.p_poisson_ct:
+            return (PoissonCT(rate_bytes_per_sec=fraction * mean_rate),)
+        return (
+            OnOffCT(
+                peak_rate_bytes_per_sec=2 * fraction * mean_rate,
+                mean_on=rng.uniform(1.0, 4.0),
+                mean_off=rng.uniform(1.0, 4.0),
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class EthernetScenarioSampler:
+    """Samples wired (Ethernet-like) Pantheon paths: faster, steadier,
+    shallower-buffered, no reordering."""
+
+    rate_mbps: Tuple[float, float] = (20.0, 60.0)
+    propagation_delay_ms: Tuple[float, float] = (10.0, 80.0)
+    buffer_bdp_multiples: Tuple[float, float] = (0.5, 2.0)
+    cross_traffic_fraction: Tuple[float, float] = (0.0, 0.3)
+
+    def sample(self, seed: int) -> PathConfig:
+        rng = np.random.default_rng(seed)
+        rate = units.mbps_to_bytes_per_sec(rng.uniform(*self.rate_mbps))
+        delay = units.ms_to_sec(rng.uniform(*self.propagation_delay_ms))
+        bdp = rate * 2 * delay
+        fraction = rng.uniform(*self.cross_traffic_fraction)
+        ct: Tuple[CrossTrafficSpec, ...] = ()
+        if fraction > 0.02:
+            ct = (PoissonCT(rate_bytes_per_sec=fraction * rate),)
+        return PathConfig(
+            bandwidth=ConstantBandwidth(rate),
+            propagation_delay=delay,
+            buffer_bytes=max(
+                3 * 1500.0, bdp * rng.uniform(*self.buffer_bdp_multiples)
+            ),
+            cross_traffic=ct,
+        )
+
+
+def instance_test_config(
+    rate_mbps: float = 8.0,
+    propagation_delay_ms: float = 25.0,
+    buffer_bdp_multiples: float = 4.0,
+    ct_start: float = 0.0,
+    ct_duration: float = 10.0,
+    ct_protocol: str = "cubic",
+) -> PathConfig:
+    """The §3.1.2 instance-test setup: a known, fixed configuration with
+    one closed-loop cross-traffic flow of ``ct_duration`` seconds whose
+    *timing* differs between instances (0–10 s / 20–30 s / 40–50 s)."""
+    rate = units.mbps_to_bytes_per_sec(rate_mbps)
+    delay = units.ms_to_sec(propagation_delay_ms)
+    return PathConfig(
+        bandwidth=ConstantBandwidth(rate),
+        propagation_delay=delay,
+        buffer_bytes=rate * 2 * delay * buffer_bdp_multiples,
+        cross_traffic=(
+            FlowCT(
+                protocol=ct_protocol,
+                start=ct_start,
+                stop=ct_start + ct_duration,
+            ),
+        ),
+    )

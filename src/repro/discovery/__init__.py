@@ -1,0 +1,34 @@
+"""Behaviour discovery: SAX discretization + motif mining (§5.1).
+
+The discovery loop: transform traces (e.g. inter-packet arrival deltas),
+discretize with SAX into symbol strings, mine frequent patterns (motifs),
+and *diff* the pattern sets of real vs simulated traces.  Behaviours
+present in reality but absent in the simulator — packet reordering, in the
+paper's Fig. 8 — surface as patterns unique to the ground-truth side.
+"""
+
+from repro.discovery.sax import (
+    SAXConfig,
+    gaussian_breakpoints,
+    paa,
+    sax_symbols,
+    sax_inter_arrival,
+)
+from repro.discovery.motifs import (
+    PatternDiff,
+    diff_patterns,
+    pattern_frequencies,
+    top_motifs,
+)
+
+__all__ = [
+    "PatternDiff",
+    "SAXConfig",
+    "diff_patterns",
+    "gaussian_breakpoints",
+    "paa",
+    "pattern_frequencies",
+    "sax_inter_arrival",
+    "sax_symbols",
+    "top_motifs",
+]

@@ -1,0 +1,120 @@
+"""Motif mining over SAX symbol strings (Lin et al. 2002 flavour).
+
+Fig. 8's analysis needs three operations:
+
+* **pattern frequencies** — how often each length-n subsequence occurs
+  (as a fraction of all positions);
+* **top motifs** — the most frequent patterns at a given length;
+* **pattern diff** — the set comparison between ground-truth and simulator
+  pattern inventories: patterns unique to the ground truth are the
+  behaviours the simulator is missing (pattern 'a' — reordering — in the
+  paper), patterns unique to the simulator are artefacts, and the
+  intersection should preserve frequencies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def pattern_frequencies(
+    symbols: str, length: int = 1
+) -> Dict[str, float]:
+    """Relative frequency of each length-``length`` substring."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    n = len(symbols) - length + 1
+    if n <= 0:
+        return {}
+    counts = Counter(symbols[i : i + length] for i in range(n))
+    return {pattern: count / n for pattern, count in counts.items()}
+
+
+def aggregate_frequencies(
+    symbol_strings: Iterable[str], length: int = 1
+) -> Dict[str, float]:
+    """Position-weighted pattern frequencies over several strings."""
+    counts: Counter = Counter()
+    total = 0
+    for symbols in symbol_strings:
+        n = len(symbols) - length + 1
+        if n <= 0:
+            continue
+        counts.update(symbols[i : i + length] for i in range(n))
+        total += n
+    if total == 0:
+        return {}
+    return {pattern: count / total for pattern, count in counts.items()}
+
+
+def top_motifs(
+    symbols: str, length: int, k: int = 10
+) -> List[Tuple[str, float]]:
+    """The ``k`` most frequent length-``length`` patterns."""
+    freqs = pattern_frequencies(symbols, length)
+    return sorted(freqs.items(), key=lambda kv: -kv[1])[:k]
+
+
+@dataclass
+class PatternDiff:
+    """The Fig. 8(a) Venn decomposition of two pattern inventories."""
+
+    only_ground_truth: Dict[str, float] = field(default_factory=dict)
+    only_simulated: Dict[str, float] = field(default_factory=dict)
+    shared: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def missing_behaviours(self) -> List[str]:
+        """Patterns the simulator fails to produce, most frequent first."""
+        return sorted(
+            self.only_ground_truth, key=lambda p: -self.only_ground_truth[p]
+        )
+
+    def format_table(self) -> str:
+        """Fig. 8(b)-style table: pattern, GT freq, simulated freq."""
+        lines = [f"{'pattern':>8s} {'ground truth':>13s} {'simulated':>10s}"]
+        rows = []
+        for p, f in self.only_ground_truth.items():
+            rows.append((p, f, 0.0))
+        for p, (fg, fs) in self.shared.items():
+            rows.append((p, fg, fs))
+        for p, f in self.only_simulated.items():
+            rows.append((p, 0.0, f))
+        rows.sort(key=lambda r: -max(r[1], r[2]))
+        for pattern, f_gt, f_sim in rows:
+            lines.append(
+                f"{pattern:>8s} {100 * f_gt:>12.2f}% {100 * f_sim:>9.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def diff_patterns(
+    ground_truth: Sequence[str],
+    simulated: Sequence[str],
+    length: int = 1,
+    min_frequency: float = 1e-4,
+) -> PatternDiff:
+    """Diff pattern inventories of GT vs simulated symbol strings.
+
+    Patterns below ``min_frequency`` on both sides are ignored (noise
+    floor); a pattern counts as "present" on a side when it clears the
+    floor there.
+    """
+    gt_freqs = aggregate_frequencies(ground_truth, length)
+    sim_freqs = aggregate_frequencies(simulated, length)
+    diff = PatternDiff()
+    all_patterns = set(gt_freqs) | set(sim_freqs)
+    for pattern in sorted(all_patterns):
+        f_gt = gt_freqs.get(pattern, 0.0)
+        f_sim = sim_freqs.get(pattern, 0.0)
+        in_gt = f_gt >= min_frequency
+        in_sim = f_sim >= min_frequency
+        if in_gt and in_sim:
+            diff.shared[pattern] = (f_gt, f_sim)
+        elif in_gt:
+            diff.only_ground_truth[pattern] = f_gt
+        elif in_sim:
+            diff.only_simulated[pattern] = f_sim
+    return diff

@@ -1,0 +1,47 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing.
+
+    ``quick()`` keeps every experiment under roughly a minute for CI and
+    the pytest-benchmark suite; ``paper()`` approaches the paper's sample
+    sizes (minutes to tens of minutes on a laptop).
+    """
+
+    n_paths: int
+    duration: float
+    runs_per_instance: int
+    n_rtc_calls: int
+    ml_epochs: int
+
+    @classmethod
+    def quick(cls) -> "Scale":
+        return cls(
+            n_paths=6,
+            duration=20.0,
+            runs_per_instance=4,
+            n_rtc_calls=24,
+            ml_epochs=9,
+        )
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        return cls(
+            n_paths=20,
+            duration=30.0,
+            runs_per_instance=10,
+            n_rtc_calls=60,
+            ml_epochs=18,
+        )
+
+
+def format_header(title: str) -> str:
+    """A boxed section header for experiment reports."""
+    bar = "=" * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}"

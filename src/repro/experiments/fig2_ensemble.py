@@ -1,0 +1,82 @@
+"""Fig. 2: the iBoxNet ensemble test on cellular paths.
+
+Paper: "Fig. 2 shows the distribution of the (a) 95th percentile delay and
+(b) packet loss rate, both versus rate ... the simple iBoxNet model trained
+using Cubic data is quite accurate.  It yields a good match with the ground
+truth (GT), not only for Cubic but also for Vegas, which was never seen
+during model training (match verified through a two-sample KS test)."
+
+Output: per-run scatter points (rate, p95 delay, loss) for the four series
+{Cubic, Vegas} x {GT, iBoxNet} and the KS test per axis per protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.abtest import EnsembleResult, ensemble_test
+from repro.datasets.pantheon import PantheonDataset, generate_dataset
+from repro.experiments.common import Scale, format_header
+
+
+@dataclass
+class Fig2Result:
+    """The four scatter series plus KS verdicts."""
+
+    ensemble: EnsembleResult
+    scatter: Dict[str, List[Tuple[float, float, float]]]
+    ks: Dict[str, Dict[str, Tuple[float, float]]]
+
+    def ks_match(self, protocol: str, alpha: float = 0.05) -> bool:
+        """True when every Fig. 2 axis passes the KS test for ``protocol``."""
+        return all(p >= alpha for _, p in self.ks[protocol].values())
+
+    def format_report(self) -> str:
+        lines = [format_header("Fig. 2 — iBoxNet ensemble test")]
+        lines.append(self.ensemble.format_table())
+        for protocol, axes in self.ks.items():
+            verdict = "MATCH" if self.ks_match(protocol) else "MISMATCH"
+            details = ", ".join(
+                f"{axis}: D={stat:.2f} p={p:.3f}"
+                for axis, (stat, p) in axes.items()
+            )
+            lines.append(f"KS {protocol}: {verdict} ({details})")
+        return "\n".join(lines)
+
+
+def run(
+    scale: Scale = Scale.quick(),
+    control: str = "cubic",
+    treatment: str = "vegas",
+    base_seed: int = 10,
+    dataset: PantheonDataset = None,
+) -> Fig2Result:
+    """Run the ensemble test; pass ``dataset`` to reuse generated data."""
+    if dataset is None:
+        dataset = generate_dataset(
+            n_paths=scale.n_paths,
+            protocols=(control, treatment),
+            duration=scale.duration,
+            base_seed=base_seed,
+        )
+    ensemble = ensemble_test(
+        dataset, control=control, treatment=treatment, duration=scale.duration
+    )
+    scatter: Dict[str, List[Tuple[float, float, float]]] = {}
+    for protocol in (control, treatment):
+        for source, table in (
+            ("gt", ensemble.gt_summaries),
+            ("iboxnet", ensemble.sim_summaries),
+        ):
+            scatter[f"{protocol}_{source}"] = [
+                (s.mean_rate_mbps, s.p95_delay_ms, s.loss_percent)
+                for s in table[protocol]
+            ]
+    ks = {
+        protocol: ensemble.ks_tests(protocol)
+        for protocol in (control, treatment)
+    }
+    return Fig2Result(ensemble=ensemble, scatter=scatter, ks=ks)

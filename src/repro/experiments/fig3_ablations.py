@@ -1,0 +1,128 @@
+"""Fig. 3: cross-traffic ablations of iBoxNet.
+
+Paper: "either excluding cross-traffic as a parameter (Fig. 3(a)) or using
+a simple statistical packet loss model, as in [45], to recreate the effect
+of cross-traffic (Fig. 3(b)), yields a worse match with the ground truth
+than iBoxNet ... These results underscore the importance of incorporating
+cross-traffic in the model and doing so with care."
+
+Output: for the treatment protocol, the distribution-fit error of three
+models — full iBoxNet, iBoxNet-without-CT, and the statistical-loss
+baseline — on each Fig. 2 axis.  The expected ordering is
+``full <= ablations`` on the aggregate error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.abtest import EnsembleResult, ensemble_test
+from repro.datasets.pantheon import PantheonDataset, generate_dataset
+from repro.experiments.common import Scale, format_header
+
+
+@dataclass
+class Fig3Result:
+    """Fit errors of the full model and both ablations."""
+
+    ensembles: Dict[str, EnsembleResult]
+    # variant -> axis -> |median(sim) - median(gt)|
+    errors: Dict[str, Dict[str, float]]
+    treatment: str
+
+    def aggregate_error(self, variant: str) -> float:
+        """Scale-free aggregate: mean of per-axis relative errors."""
+        gt = self.ensembles[variant].gt_summaries[self.treatment]
+        scales = {
+            "p95_delay_ms": max(
+                1e-9, float(np.median([s.p95_delay_ms for s in gt]))
+            ),
+            "loss_percent": max(
+                1.0, float(np.median([s.loss_percent for s in gt]))
+            ),
+            "mean_rate_mbps": max(
+                1e-9, float(np.median([s.mean_rate_mbps for s in gt]))
+            ),
+        }
+        return float(
+            np.mean(
+                [
+                    self.errors[variant][axis] / scales[axis]
+                    for axis in scales
+                ]
+            )
+        )
+
+    def format_report(self) -> str:
+        lines = [format_header("Fig. 3 — cross-traffic ablations")]
+        lines.append(
+            f"{'variant':>18s} {'p95 err ms':>11s} {'loss err %':>11s} "
+            f"{'rate err Mb/s':>14s} {'aggregate':>10s}"
+        )
+        for variant in self.errors:
+            e = self.errors[variant]
+            lines.append(
+                f"{variant:>18s} {e['p95_delay_ms']:>11.1f} "
+                f"{e['loss_percent']:>11.2f} {e['mean_rate_mbps']:>14.2f} "
+                f"{self.aggregate_error(variant):>10.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _median_errors(result: EnsembleResult, protocol: str) -> Dict[str, float]:
+    gt = result.gt_summaries[protocol]
+    sim = result.sim_summaries[protocol]
+    out = {}
+    for axis, getter in (
+        ("p95_delay_ms", lambda s: s.p95_delay_ms),
+        ("loss_percent", lambda s: s.loss_percent),
+        ("mean_rate_mbps", lambda s: s.mean_rate_mbps),
+    ):
+        gt_vals = np.array([getter(s) for s in gt], dtype=float)
+        sim_vals = np.array([getter(s) for s in sim], dtype=float)
+        out[axis] = float(
+            abs(np.nanmedian(sim_vals) - np.nanmedian(gt_vals))
+        )
+    return out
+
+
+def run(
+    scale: Scale = Scale.quick(),
+    control: str = "cubic",
+    treatment: str = "vegas",
+    base_seed: int = 10,
+    dataset: PantheonDataset = None,
+) -> Fig3Result:
+    """Run all three variants over the same dataset."""
+    if dataset is None:
+        dataset = generate_dataset(
+            n_paths=scale.n_paths,
+            protocols=(control, treatment),
+            duration=scale.duration,
+            base_seed=base_seed,
+        )
+    variants = {
+        "iBoxNet (full)": None,
+        "without CT": lambda m: m.without_cross_traffic(),
+        # Calibrated i.i.d. loss at the training trace's empirical loss
+        # rate, exactly like the [45] baseline.
+        "statistical loss": lambda m: m.with_statistical_loss(
+            m.source_loss_rate
+        ),
+    }
+    ensembles = {}
+    errors = {}
+    for name, transform in variants.items():
+        result = ensemble_test(
+            dataset,
+            control=control,
+            treatment=treatment,
+            duration=scale.duration,
+            model_transform=transform,
+        )
+        ensembles[name] = result
+        errors[name] = _median_errors(result, treatment)
+    return Fig3Result(ensembles=ensembles, errors=errors, treatment=treatment)

@@ -1,0 +1,90 @@
+"""Fig. 4: the iBoxNet instance test.
+
+Paper (§3.1.2): a fixed emulated configuration, one main Cubic flow and
+three cross-traffic patterns differing only in timing (0-10 s / 20-30 s /
+40-50 s of a 60 s flow).  One iBoxNet model is learnt per instance from a
+single Cubic run; Vegas then runs 10x on the true emulator and 10x on each
+learnt model.  k-means (k=3) over cross-correlation features clusters all
+runs "perfectly, i.e., with no mistakes" (visualised with t-SNE), and the
+Cubic rate time series from the learnt model "matches the real-world
+ground truth well" (Fig. 4a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.tsne import tsne
+from repro.core.abtest import InstanceTestResult, instance_test
+from repro.experiments.common import Scale, format_header
+
+
+@dataclass
+class Fig4Result:
+    """Clustering quality, the Fig. 4(a) alignment and t-SNE embedding."""
+
+    instance: InstanceTestResult
+    purity: float
+    alignment: float  # Fig. 4(a) rate-series cross-correlation
+    embedding: Optional[np.ndarray]  # (n_runs, 2) t-SNE coordinates
+
+    def format_report(self) -> str:
+        lines = [format_header("Fig. 4 — iBoxNet instance test")]
+        lines.append(
+            f"cross-traffic patterns: {', '.join(self.instance.patterns)}"
+        )
+        n_runs = len(self.instance.true_pattern)
+        lines.append(
+            f"k-means purity over {n_runs} runs "
+            f"(GT + iBoxNet): {self.purity:.2f}"
+            + ("  (perfect, as in the paper)" if self.purity == 1.0 else "")
+        )
+        lines.append(
+            f"Fig. 4(a) rate-series alignment (max normalized "
+            f"cross-correlation): {self.alignment:.2f}"
+        )
+        if self.embedding is not None:
+            lines.append("t-SNE embedding (pattern/sim -> mean position):")
+            for k in sorted(set(self.instance.true_pattern)):
+                for simulated in (False, True):
+                    mask = (self.instance.true_pattern == k) & (
+                        self.instance.is_simulated == simulated
+                    )
+                    centre = self.embedding[mask].mean(axis=0)
+                    tag = "iBoxNet" if simulated else "GT"
+                    lines.append(
+                        f"  pattern {k} {tag:>7s}: "
+                        f"({centre[0]:7.2f}, {centre[1]:7.2f})"
+                    )
+        return "\n".join(lines)
+
+
+def run(
+    scale: Scale = Scale.quick(),
+    base_seed: int = 0,
+    compute_tsne: bool = True,
+) -> Fig4Result:
+    """Run the instance test at the paper's geometry (3 CT timings)."""
+    duration = max(60.0, scale.duration)
+    instance = instance_test(
+        runs_per_instance=scale.runs_per_instance,
+        duration=duration,
+        base_seed=base_seed,
+    )
+    embedding = None
+    if compute_tsne and len(instance.features) >= 6:
+        embedding = tsne(
+            instance.features,
+            perplexity=min(10.0, len(instance.features) / 4),
+            n_iter=300,
+            seed=base_seed,
+        )
+    return Fig4Result(
+        instance=instance,
+        purity=instance.purity,
+        alignment=instance.reference_alignment(0),
+        embedding=embedding,
+    )

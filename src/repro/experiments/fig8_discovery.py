@@ -1,0 +1,140 @@
+"""Fig. 8: behaviour discovery on Pantheon traces via SAX + motifs.
+
+Paper (§5.1): inter-packet arrival deltas are SAX-discretized into 'a'-'f'
+with 'a' = negative values (reordering).  (a) "the only length-1 pattern
+in the diff between the patterns in ground truth and iBoxNet traces is
+'a'"; higher-order patterns involving 'a' are also absent from iBoxNet,
+while all other length-2 patterns are preserved.  (b) "ML-augmented
+iBoxNet model traces have nearly 2% length-1 patterns of type 'a' ...
+matching the ground truth; the augmented model also preserves the
+frequency of length-2 patterns involving reordering reasonably well."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core import iboxnet
+from repro.core.augmentation import LSTMReorderPredictor, augment_iboxnet_trace
+from repro.datasets.pantheon import PantheonDataset, generate_dataset
+from repro.discovery.motifs import PatternDiff, aggregate_frequencies, diff_patterns
+from repro.discovery.sax import positive_delta_breakpoints, sax_inter_arrival
+from repro.experiments.common import Scale, format_header
+from repro.trace.features import arrival_order_deltas
+
+
+@dataclass
+class Fig8Result:
+    """Pattern inventories and diffs for GT vs iBoxNet vs iBoxNet+ML."""
+
+    diff_gt_vs_iboxnet_len1: PatternDiff
+    diff_gt_vs_iboxnet_len2: PatternDiff
+    gt_frequencies: Dict[int, Dict[str, float]]
+    iboxnet_frequencies: Dict[int, Dict[str, float]]
+    augmented_frequencies: Dict[int, Dict[str, float]]
+
+    def reordering_pattern_table(self) -> List[tuple]:
+        """Fig. 8(b): (pattern, GT freq, augmented freq) for patterns
+        involving 'a', sorted by GT frequency."""
+        rows = []
+        for length in (1, 2):
+            for pattern, f_gt in self.gt_frequencies[length].items():
+                if "a" not in pattern:
+                    continue
+                f_aug = self.augmented_frequencies[length].get(pattern, 0.0)
+                rows.append((pattern, f_gt, f_aug))
+        rows.sort(key=lambda r: -r[1])
+        return rows
+
+    def missing_in_iboxnet(self) -> List[str]:
+        """Length-1 patterns present in GT but absent in plain iBoxNet."""
+        return self.diff_gt_vs_iboxnet_len1.missing_behaviours
+
+    def format_report(self) -> str:
+        lines = [format_header("Fig. 8 — behaviour discovery (SAX + motifs)")]
+        lines.append(
+            "length-1 diff (GT only): "
+            + ", ".join(
+                f"'{p}' ({100 * f:.2f}%)"
+                for p, f in self.diff_gt_vs_iboxnet_len1.only_ground_truth.items()
+            )
+        )
+        missing2 = [
+            p
+            for p in self.diff_gt_vs_iboxnet_len2.only_ground_truth
+            if "a" in p
+        ]
+        lines.append(
+            f"length-2 patterns involving 'a' missing from iBoxNet: "
+            f"{len(missing2)} "
+            f"({', '.join(sorted(missing2)[:8])}{'...' if len(missing2) > 8 else ''})"
+        )
+        lines.append(f"{'pattern':>8s} {'ground truth':>13s} {'iBoxNet+ML':>11s}")
+        for pattern, f_gt, f_aug in self.reordering_pattern_table()[:8]:
+            lines.append(
+                f"{pattern:>8s} {100 * f_gt:>12.2f}% {100 * f_aug:>10.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def run(
+    scale: Scale = Scale.quick(),
+    base_seed: int = 60,
+    dataset: PantheonDataset = None,
+) -> Fig8Result:
+    """Run the discovery + augmentation comparison."""
+    if dataset is None:
+        dataset = generate_dataset(
+            n_paths=scale.n_paths,
+            protocols=("vegas",),
+            duration=scale.duration,
+            base_seed=base_seed,
+        )
+    train_ds, test_ds = dataset.split(0.5)
+    train = train_ds.traces()
+    test = test_ds.traces()
+
+    # A common discretization (breakpoints from the training corpus) so GT
+    # and simulated traces share one alphabet.
+    reference = np.concatenate([arrival_order_deltas(t) for t in train])
+    breakpoints = positive_delta_breakpoints(reference)
+
+    sims = []
+    for run_obj in test_ds.runs:
+        model = iboxnet.fit(run_obj.trace)
+        sims.append(
+            model.simulate(
+                "vegas", duration=scale.duration, seed=run_obj.seed + 77
+            )
+        )
+    predictor = LSTMReorderPredictor(
+        epochs=max(6, scale.ml_epochs // 2)
+    ).fit(train)
+    augmented = [
+        augment_iboxnet_trace(s, predictor, seed=base_seed + i)
+        for i, s in enumerate(sims)
+    ]
+
+    gt_sax = [sax_inter_arrival(t, breakpoints=breakpoints) for t in test]
+    sim_sax = [sax_inter_arrival(t, breakpoints=breakpoints) for t in sims]
+    aug_sax = [sax_inter_arrival(t, breakpoints=breakpoints) for t in augmented]
+
+    return Fig8Result(
+        diff_gt_vs_iboxnet_len1=diff_patterns(gt_sax, sim_sax, length=1),
+        diff_gt_vs_iboxnet_len2=diff_patterns(gt_sax, sim_sax, length=2),
+        gt_frequencies={
+            1: aggregate_frequencies(gt_sax, 1),
+            2: aggregate_frequencies(gt_sax, 2),
+        },
+        iboxnet_frequencies={
+            1: aggregate_frequencies(sim_sax, 1),
+            2: aggregate_frequencies(sim_sax, 2),
+        },
+        augmented_frequencies={
+            1: aggregate_frequencies(aug_sax, 1),
+            2: aggregate_frequencies(aug_sax, 2),
+        },
+    )

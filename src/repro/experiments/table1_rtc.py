@@ -1,0 +1,106 @@
+"""Table 1: cross-traffic input improves iBoxML on RTC data.
+
+Paper (§5.2): "Using about 540 traces from a real-time conferencing
+service, we evaluate iBoxML with and without cross-traffic estimates
+(obtained using domain knowledge, as in §3) as additional input.  From
+Table 1, we note that providing cross-traffic as input reduces the
+deviation between the distribution of 95th percentile per-call delay
+values in the ground-truth and in the iBoxML predictions."
+
+The metric (Table 1's caption): the difference between percentiles —
+P25/P50/P75 and the mean — of the two distributions of per-call p95
+delays, in ms (and %).  Expected: the "Yes" (with CT) row dominates the
+"No" row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.stats import PercentileErrorRow, percentile_error_table
+from repro.core.iboxml import IBoxMLConfig, IBoxMLModel
+from repro.datasets.rtc import RTCDataset, generate_rtc_dataset
+from repro.experiments.common import Scale, format_header
+from repro.simulation import units
+
+
+@dataclass
+class Table1Result:
+    """The two Table 1 rows plus the underlying distributions."""
+
+    rows: Dict[str, PercentileErrorRow]
+    gt_p95_ms: List[float]
+    predicted_p95_ms: Dict[str, List[float]]
+
+    def improvement(self) -> float:
+        """Relative reduction of the mean-column error from adding CT."""
+        without = self.rows["No"].mean_ms
+        with_ct = self.rows["Yes"].mean_ms
+        if without <= 0:
+            return 0.0
+        return (without - with_ct) / without
+
+    def format_report(self) -> str:
+        lines = [format_header("Table 1 — iBoxML on RTC data")]
+        lines.append("Error in distribution of 95th percentile delay")
+        lines.append(
+            f"{'CT':>4s} {'P25':>12s} {'P50':>12s} {'P75':>12s} {'mean':>12s}"
+        )
+        for label in ("No", "Yes"):
+            lines.append(str(self.rows[label]))
+        lines.append(
+            f"CT input reduces mean error by {100 * self.improvement():.0f}%"
+        )
+        return "\n".join(lines)
+
+
+def run(
+    scale: Scale = Scale.quick(),
+    base_seed: int = 200,
+    dataset: RTCDataset = None,
+) -> Table1Result:
+    """Train both iBoxML variants on RTC calls; compare per-call p95
+    delay distributions on held-out calls."""
+    if dataset is None:
+        dataset = generate_rtc_dataset(
+            n_calls=scale.n_rtc_calls,
+            duration=scale.duration,
+            base_seed=base_seed,
+        )
+    train, test = dataset.split(0.6)
+
+    gt_p95 = [
+        units.sec_to_ms(float(np.percentile(t.delivered_delays(), 95)))
+        for t in test.traces
+        if t.packets_delivered > 0
+    ]
+    rows: Dict[str, PercentileErrorRow] = {}
+    predicted: Dict[str, List[float]] = {}
+    for label, include_ct in (("No", False), ("Yes", True)):
+        config = IBoxMLConfig(
+            hidden_dim=24,
+            num_layers=2,
+            epochs=scale.ml_epochs,
+            train_seq_len=150,
+            include_cross_traffic=include_ct,
+        )
+        model = IBoxMLModel(config)
+        model.fit(train.traces)
+        p95_values = []
+        for i, trace in enumerate(test.traces):
+            delays = model.predict_delays(
+                trace, sample=True, seed=base_seed + 11 + i
+            )
+            if len(delays) == 0:
+                continue
+            p95_values.append(
+                units.sec_to_ms(float(np.percentile(delays, 95)))
+            )
+        predicted[label] = p95_values
+        rows[label] = percentile_error_table(p95_values, gt_p95, label=label)
+    return Table1Result(
+        rows=rows, gt_p95_ms=gt_p95, predicted_p95_ms=predicted
+    )

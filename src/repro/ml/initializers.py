@@ -1,0 +1,39 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zeros(shape, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape)
+
+
+def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization (recommended for recurrent kernels)."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal init requires a 2-D shape")
+    rows, cols = shape
+    size = max(rows, cols)
+    a = rng.normal(0.0, 1.0, size=(size, size))
+    q, r = np.linalg.qr(a)
+    # Sign correction so the distribution is uniform over orthogonal mats.
+    q = q * np.sign(np.diag(r))
+    return gain * q[:rows, :cols]
+
+
+def _fans(shape) -> tuple:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[0] * receptive, shape[1] * receptive

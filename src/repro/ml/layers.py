@@ -1,0 +1,152 @@
+"""Parameter container and the dense layer."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ml import initializers
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Module:
+    """Minimal base: parameter registry + (de)serialisation."""
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters, depth-first."""
+        params: List[Parameter] = []
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.value.size for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Parameter name -> value copy (names must be unique)."""
+        state = {}
+        for p in self.parameters():
+            if p.name in state:
+                raise ValueError(f"duplicate parameter name: {p.name}")
+            state[p.name] = p.value.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for p in self.parameters():
+            if p.name not in state:
+                raise KeyError(f"missing parameter in state dict: {p.name}")
+            if state[p.name].shape != p.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {p.name}: "
+                    f"{state[p.name].shape} vs {p.value.shape}"
+                )
+            p.value[...] = state[p.name]
+
+
+class Dense(Module):
+    """Affine layer ``y = x @ W + b`` with optional activation.
+
+    Supported activations: ``None`` (linear), ``"tanh"``, ``"relu"``,
+    ``"sigmoid"``.  ``backward`` consumes the upstream gradient dL/dy and
+    returns dL/dx while accumulating parameter gradients.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        activation: Optional[str] = None,
+        name: str = "dense",
+    ):
+        if activation not in (None, "tanh", "relu", "sigmoid"):
+            raise ValueError(f"unknown activation: {activation!r}")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.W = Parameter(
+            f"{name}.W", initializers.glorot_uniform((in_dim, out_dim), rng)
+        )
+        self.b = Parameter(f"{name}.b", np.zeros(out_dim))
+        self._x: Optional[np.ndarray] = None
+        self._pre: Optional[np.ndarray] = None
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``x`` has shape (..., in_dim); output (..., out_dim)."""
+        self._x = x
+        pre = x @ self.W.value + self.b.value
+        self._pre = pre
+        if self.activation is None:
+            out = pre
+        elif self.activation == "tanh":
+            out = np.tanh(pre)
+        elif self.activation == "relu":
+            out = np.maximum(pre, 0.0)
+        else:  # sigmoid
+            out = _sigmoid(pre)
+        self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        if self.activation is None:
+            grad_pre = grad_out
+        elif self.activation == "tanh":
+            grad_pre = grad_out * (1.0 - self._out**2)
+        elif self.activation == "relu":
+            grad_pre = grad_out * (self._pre > 0)
+        else:  # sigmoid
+            grad_pre = grad_out * self._out * (1.0 - self._out)
+        flat_x = self._x.reshape(-1, self.in_dim)
+        flat_g = grad_pre.reshape(-1, self.out_dim)
+        self.W.grad += flat_x.T @ flat_g
+        self.b.grad += flat_g.sum(axis=0)
+        return grad_pre @ self.W.value.T
+
+    __call__ = forward
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    ex = np.exp(x[~positive])
+    out[~positive] = ex / (1.0 + ex)
+    return out

@@ -1,0 +1,84 @@
+"""Linear logistic regression.
+
+§5.1: "we train a lightweight and much faster linear logistic regression
+model that also achieves a good match" for predicting per-packet
+reordering.  Trained by full-batch gradient descent with L2 regularisation
+on standardised features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.scalers import StandardScaler
+
+
+class LogisticRegression:
+    """Binary logistic regression with internal feature scaling."""
+
+    def __init__(
+        self,
+        lr: float = 0.5,
+        epochs: int = 300,
+        l2: float = 1e-4,
+        pos_weight: float = 1.0,
+        seed: int = 0,
+    ):
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.pos_weight = pos_weight
+        self.seed = seed
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: float = 0.0
+        self.scaler_ = StandardScaler()
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        """``x``: (N, D) features; ``y``: (N,) binary labels."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise ValueError("x must be (N, D) and y (N,)")
+        xs = self.scaler_.fit_transform(x)
+        n, d = xs.shape
+        rng = np.random.default_rng(self.seed)
+        w = rng.normal(0.0, 0.01, size=d)
+        b = 0.0
+        sample_weights = np.where(y > 0.5, self.pos_weight, 1.0)
+        weight_total = sample_weights.sum()
+        for _ in range(self.epochs):
+            logits = xs @ w + b
+            probs = _sigmoid(logits)
+            err = sample_weights * (probs - y)
+            grad_w = xs.T @ err / weight_total + self.l2 * w
+            grad_b = err.sum() / weight_total
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+        self.weights_ = w
+        self.bias_ = b
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(y=1 | x) for each row."""
+        if self.weights_ is None:
+            raise RuntimeError("model used before fit()")
+        xs = self.scaler_.transform(np.asarray(x, dtype=float))
+        return _sigmoid(xs @ self.weights_ + self.bias_)
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(x) >= threshold).astype(int)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy."""
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=float)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    ex = np.exp(x[~positive])
+    out[~positive] = ex / (1.0 + ex)
+    return out

@@ -1,0 +1,89 @@
+"""Loss functions (value + gradient in one call).
+
+Each loss returns ``(scalar_mean_loss, gradient_wrt_inputs)`` so callers
+can feed the gradient straight into ``backward`` chains.  All losses accept
+an optional boolean ``mask`` (True = contribute) so padded or lost-packet
+positions can be excluded; means are over unmasked elements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+LOG_2PI = float(np.log(2.0 * np.pi))
+_MIN_SIGMA = 1e-4
+
+
+def _apply_mask(mask: Optional[np.ndarray], shape) -> Tuple[np.ndarray, float]:
+    if mask is None:
+        m = np.ones(shape, dtype=float)
+    else:
+        m = mask.astype(float)
+        if m.shape != shape:
+            raise ValueError(f"mask shape {m.shape} != data shape {shape}")
+    count = float(m.sum())
+    return m, max(count, 1.0)
+
+
+def mse(
+    pred: np.ndarray, target: np.ndarray, mask: Optional[np.ndarray] = None
+) -> Tuple[float, np.ndarray]:
+    """Mean squared error; gradient w.r.t. ``pred``."""
+    m, count = _apply_mask(mask, pred.shape)
+    diff = (pred - target) * m
+    loss = float((diff**2).sum() / count)
+    grad = 2.0 * diff / count
+    return loss, grad
+
+
+def gaussian_nll(
+    mu: np.ndarray,
+    log_sigma: np.ndarray,
+    target: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Negative log-likelihood of ``target`` under N(mu, sigma^2).
+
+    This is the loss that trains the paper's Gaussian output head
+    ("We model P as a Gaussian N(w1^T h_t, w2^T h_t)", §4.1).  Returns
+    (loss, dL/dmu, dL/dlog_sigma).  ``log_sigma`` is clamped from below so
+    the variance cannot collapse.
+    """
+    m, count = _apply_mask(mask, mu.shape)
+    log_sigma_clamped = np.maximum(log_sigma, np.log(_MIN_SIGMA))
+    sigma = np.exp(log_sigma_clamped)
+    z = (target - mu) / sigma
+    nll = 0.5 * LOG_2PI + log_sigma_clamped + 0.5 * z**2
+    loss = float((nll * m).sum() / count)
+    grad_mu = (-z / sigma) * m / count
+    grad_log_sigma = (1.0 - z**2) * m / count
+    # No gradient through the clamp.
+    grad_log_sigma = np.where(
+        log_sigma > np.log(_MIN_SIGMA), grad_log_sigma, 0.0
+    )
+    return loss, grad_mu, grad_log_sigma
+
+
+def binary_cross_entropy_with_logits(
+    logits: np.ndarray,
+    target: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    pos_weight: float = 1.0,
+) -> Tuple[float, np.ndarray]:
+    """Numerically stable BCE on logits; gradient w.r.t. logits.
+
+    ``pos_weight`` scales the positive-class term — reordering events are
+    rare (~2 % of packets in Fig. 8), so the reorder classifiers train with
+    ``pos_weight > 1``.
+    """
+    m, count = _apply_mask(mask, logits.shape)
+    # log(1 + exp(-|x|)) formulation.
+    abs_logits = np.abs(logits)
+    log1pexp = np.log1p(np.exp(-abs_logits)) + np.maximum(logits, 0.0) - logits * target
+    weights = np.where(target > 0.5, pos_weight, 1.0)
+    loss = float((weights * log1pexp * m).sum() / count)
+    probs = 1.0 / (1.0 + np.exp(-logits))
+    grad = weights * (probs - target) * m / count
+    return loss, grad

@@ -1,0 +1,215 @@
+"""Stacked LSTM with full backpropagation through time.
+
+Gate layout follows the usual convention: for input ``x_t`` and previous
+hidden state ``h_{t-1}``,
+
+    z = [x_t, h_{t-1}] @ W + b          (z split into i, f, g, o)
+    i = sigmoid(z_i)   f = sigmoid(z_f)
+    g = tanh(z_g)      o = sigmoid(z_o)
+    c_t = f * c_{t-1} + i * g
+    h_t = o * tanh(c_t)
+
+The forget-gate bias is initialised to 1 (standard practice; helps gradient
+flow early in training).  ``forward`` runs a whole (B, T, D) batch and
+caches activations; ``backward`` consumes dL/dh of shape (B, T, H) and
+returns dL/dx, accumulating parameter gradients.  Stateful single-step
+``step``/``step_grad``-free inference is used by the free-running unroll.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml import initializers
+from repro.ml.layers import Module, Parameter, _sigmoid
+
+
+class LSTMCell(Module):
+    """One LSTM layer processing full sequences."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        name: str = "lstm",
+    ):
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        w_x = initializers.glorot_uniform((input_dim, 4 * hidden_dim), rng)
+        w_h = np.concatenate(
+            [
+                initializers.orthogonal((hidden_dim, hidden_dim), rng)
+                for _ in range(4)
+            ],
+            axis=1,
+        )
+        self.W = Parameter(f"{name}.W", np.concatenate([w_x, w_h], axis=0))
+        bias = np.zeros(4 * hidden_dim)
+        bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget-gate bias
+        self.b = Parameter(f"{name}.b", bias)
+        self._cache: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Sequence forward/backward (training)
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x: np.ndarray,
+        h0: Optional[np.ndarray] = None,
+        c0: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``x``: (B, T, input_dim) -> hidden states (B, T, hidden_dim)."""
+        batch, steps, _ = x.shape
+        H = self.hidden_dim
+        h = np.zeros((batch, H)) if h0 is None else h0.copy()
+        c = np.zeros((batch, H)) if c0 is None else c0.copy()
+        hs = np.zeros((batch, steps, H))
+        cache = {
+            "x": x,
+            "h_prev": np.zeros((batch, steps, H)),
+            "c_prev": np.zeros((batch, steps, H)),
+            "i": np.zeros((batch, steps, H)),
+            "f": np.zeros((batch, steps, H)),
+            "g": np.zeros((batch, steps, H)),
+            "o": np.zeros((batch, steps, H)),
+            "c": np.zeros((batch, steps, H)),
+        }
+        for t in range(steps):
+            cache["h_prev"][:, t] = h
+            cache["c_prev"][:, t] = c
+            zi, zf, zg, zo = self._gates(x[:, t], h)
+            i, f = _sigmoid(zi), _sigmoid(zf)
+            g, o = np.tanh(zg), _sigmoid(zo)
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            hs[:, t] = h
+            for key, val in (("i", i), ("f", f), ("g", g), ("o", o), ("c", c)):
+                cache[key][:, t] = val
+        self._cache = cache
+        return hs
+
+    def _gates(self, x_t: np.ndarray, h_prev: np.ndarray):
+        z = np.concatenate([x_t, h_prev], axis=1) @ self.W.value + self.b.value
+        H = self.hidden_dim
+        return z[:, :H], z[:, H : 2 * H], z[:, 2 * H : 3 * H], z[:, 3 * H :]
+
+    def backward(self, grad_h: np.ndarray) -> np.ndarray:
+        """``grad_h``: (B, T, H) upstream dL/dh_t; returns dL/dx."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        x = cache["x"]
+        batch, steps, _ = x.shape
+        H = self.hidden_dim
+        grad_x = np.zeros_like(x)
+        dh_next = np.zeros((batch, H))
+        dc_next = np.zeros((batch, H))
+        dW = np.zeros_like(self.W.value)
+        db = np.zeros_like(self.b.value)
+        for t in range(steps - 1, -1, -1):
+            i = cache["i"][:, t]
+            f = cache["f"][:, t]
+            g = cache["g"][:, t]
+            o = cache["o"][:, t]
+            c = cache["c"][:, t]
+            c_prev = cache["c_prev"][:, t]
+            h_prev = cache["h_prev"][:, t]
+            tanh_c = np.tanh(c)
+
+            dh = grad_h[:, t] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c**2) + dc_next
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_next = dc * f
+
+            dzi = di * i * (1 - i)
+            dzf = df * f * (1 - f)
+            dzg = dg * (1 - g**2)
+            dzo = do * o * (1 - o)
+            dz = np.concatenate([dzi, dzf, dzg, dzo], axis=1)
+
+            inp = np.concatenate([x[:, t], h_prev], axis=1)
+            dW += inp.T @ dz
+            db += dz.sum(axis=0)
+            d_inp = dz @ self.W.value.T
+            grad_x[:, t] = d_inp[:, : self.input_dim]
+            dh_next = d_inp[:, self.input_dim :]
+        self.W.grad += dW
+        self.b.grad += db
+        return grad_x
+
+    # ------------------------------------------------------------------
+    # Single-step inference (free-running unroll)
+    # ------------------------------------------------------------------
+    def step(
+        self, x_t: np.ndarray, state: Optional[Tuple[np.ndarray, np.ndarray]]
+    ) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+        """One inference step; ``x_t``: (B, input_dim).  No caching."""
+        batch = x_t.shape[0]
+        if state is None:
+            h = np.zeros((batch, self.hidden_dim))
+            c = np.zeros((batch, self.hidden_dim))
+        else:
+            h, c = state
+        zi, zf, zg, zo = self._gates(x_t, h)
+        i, f = _sigmoid(zi), _sigmoid(zf)
+        g, o = np.tanh(zg), _sigmoid(zo)
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        return h, (h, c)
+
+
+class LSTM(Module):
+    """A stack of LSTM layers (the "multi-layer LSTM network" of Fig. 6)."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        name: str = "stack",
+    ):
+        if num_layers < 1:
+            raise ValueError("need at least one layer")
+        self.layers: List[LSTMCell] = []
+        dim = input_dim
+        for k in range(num_layers):
+            self.layers.append(
+                LSTMCell(dim, hidden_dim, rng, name=f"{name}.layer{k}")
+            )
+            dim = hidden_dim
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_h: np.ndarray) -> np.ndarray:
+        grad = grad_h
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def step(self, x_t: np.ndarray, states: Optional[list]) -> Tuple[np.ndarray, list]:
+        """One inference step through the stack; ``states`` is a list of
+        per-layer (h, c) tuples (or ``None`` to start cold)."""
+        if states is None:
+            states = [None] * self.num_layers
+        out = x_t
+        new_states = []
+        for layer, state in zip(self.layers, states):
+            out, new_state = layer.step(out, state)
+            new_states.append(new_state)
+        return out, new_states
+
+    __call__ = forward

@@ -1,0 +1,94 @@
+"""Optimizers and gradient clipping."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.ml.layers import Parameter
+
+
+def clip_gradients_by_global_norm(
+    params: List[Parameter], max_norm: float
+) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for training diagnostics); essential
+    for stable LSTM training.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for p in params:
+        total += float((p.grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return norm
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                p.value -= self.lr * v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * p.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

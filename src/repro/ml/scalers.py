@@ -1,0 +1,50 @@
+"""Feature standardisation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-column z-normalisation, tolerant of constant columns.
+
+    ``fit`` accepts (N, D) or (B, T, D) arrays; statistics are computed
+    over all leading axes.
+    """
+
+    def __init__(self):
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        flat = np.asarray(x, dtype=float).reshape(-1, x.shape[-1])
+        self.mean_ = flat.mean(axis=0)
+        std = flat.std(axis=0)
+        self.std_ = np.where(std < 1e-12, 1.0, std)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(x, dtype=float) - self.mean_) / self.std_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(x, dtype=float) * self.std_ + self.mean_
+
+    def transform_column(self, x: np.ndarray, column: int) -> np.ndarray:
+        """Scale a single column's values (e.g. the target delay)."""
+        self._check_fitted()
+        return (np.asarray(x, dtype=float) - self.mean_[column]) / self.std_[column]
+
+    def inverse_transform_column(self, x: np.ndarray, column: int) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(x, dtype=float) * self.std_[column] + self.mean_[column]
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None:
+            raise RuntimeError("scaler used before fit()")

@@ -1,0 +1,65 @@
+"""Congestion-control senders used to generate and replay traces.
+
+The paper's A/B tests pit TCP Cubic (the "control", most prevalent flavour)
+against TCP Vegas (the "treatment", delay-sensitive and hence challenging
+for a model learnt from Cubic traces).  We implement both, plus Reno, a
+BBR-flavoured rate-based sender, a CBR sender (used in the control-loop-bias
+experiment of §4.2 / Fig. 7) and a delay-gradient RTC control loop (the
+§5.2 / Table 1 workload).
+
+All senders share the reliable window-based transport in
+:mod:`repro.protocols.base` (sequence numbers, cumulative ACKs, duplicate-ACK
+fast retransmit, RTO, RTT estimation) or its unreliable paced variant.
+"""
+
+from repro.protocols.base import (
+    PacedSender,
+    Receiver,
+    Sender,
+    TransmissionInfo,
+)
+from repro.protocols.cubic import CubicSender
+from repro.protocols.vegas import VegasSender
+from repro.protocols.reno import RenoSender
+from repro.protocols.bbr import BBRSender
+from repro.protocols.cbr import CBRSender
+from repro.protocols.rtc import RTCSender
+from repro.protocols.ledbat import LEDBATSender
+
+PROTOCOLS = {
+    "cubic": CubicSender,
+    "vegas": VegasSender,
+    "reno": RenoSender,
+    "bbr": BBRSender,
+    "cbr": CBRSender,
+    "rtc": RTCSender,
+    "ledbat": LEDBATSender,
+}
+
+
+def make_sender(name: str, *args, **kwargs):
+    """Instantiate a sender by registry name (e.g. ``"cubic"``)."""
+    try:
+        cls = PROTOCOLS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; available: {sorted(PROTOCOLS)}"
+        ) from None
+    return cls(*args, **kwargs)
+
+
+__all__ = [
+    "BBRSender",
+    "CBRSender",
+    "CubicSender",
+    "LEDBATSender",
+    "PROTOCOLS",
+    "PacedSender",
+    "Receiver",
+    "RenoSender",
+    "RTCSender",
+    "Sender",
+    "TransmissionInfo",
+    "VegasSender",
+    "make_sender",
+]

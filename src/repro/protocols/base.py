@@ -1,0 +1,536 @@
+"""Window-based reliable transport shared by all TCP flavours.
+
+Implements the machinery every congestion-control variant needs — sequence
+numbers, cumulative ACKs with duplicate-ACK fast retransmit (NewReno-style
+partial-ACK handling), an RFC 6298-style RTT estimator and retransmission
+timer, and Karn's rule for RTT sampling — while delegating window dynamics
+to subclasses through three hooks:
+
+``on_ack_progress(newly_acked, rtt_sample)``
+    Called for every ACK that advances the window; grows ``cwnd``.
+``on_loss_event()``
+    Called once per fast-retransmit loss event; applies the multiplicative
+    decrease and returns the new ``ssthresh``.
+``on_timeout()``
+    Called on an RTO; conventionally collapses ``cwnd`` to one segment.
+
+Rate-based senders (CBR, RTC, BBR) build on :class:`PacedSender`, which
+replaces ACK clocking with a pacing timer.
+
+The sender models an infinite-backlog (bulk) application; finite flows are
+produced by scheduling :meth:`Sender.shutdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.packet import ACK_SIZE_BYTES, DEFAULT_MTU_BYTES, Packet
+
+# RFC 6298 constants.
+RTO_ALPHA = 1 / 8
+RTO_BETA = 1 / 4
+RTO_K = 4
+MIN_RTO = 0.2
+MAX_RTO = 60.0
+INITIAL_RTO = 1.0
+INITIAL_CWND = 10.0
+DUPACK_THRESHOLD = 3
+
+
+@dataclass
+class TransmissionInfo:
+    """Bookkeeping for one outstanding sequence number."""
+
+    seq: int
+    uid: int
+    sent_at: float
+    size: int
+    retransmitted: bool = False
+
+
+class Receiver:
+    """Flow endpoint: records deliveries and emits cumulative ACKs.
+
+    The receiver keeps an out-of-order buffer of sequence numbers above the
+    cumulative point; every arriving data packet (including duplicates)
+    triggers an immediate ACK that echoes the data packet's send timestamp
+    so the sender can take RTT samples without extra state.
+
+    With ``cumulative=False`` the receiver behaves like a media (RTP-style)
+    endpoint instead: the ACK number is one past the *highest* sequence seen,
+    so feedback keeps flowing across unrepaired losses.
+
+    ``delayed_ack=True`` enables RFC 1122-style delayed ACKs: in-order
+    segments are acknowledged every second packet or after
+    ``delayed_ack_timeout``, whichever comes first; out-of-order segments
+    are always acknowledged immediately (they must generate dupacks for
+    fast retransmit to work).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        ack_path,
+        recorder=None,
+        cumulative: bool = True,
+        delayed_ack: bool = False,
+        delayed_ack_timeout: float = 0.04,
+    ):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.ack_path = ack_path
+        self.recorder = recorder
+        self.cumulative = cumulative
+        self.delayed_ack = delayed_ack
+        self.delayed_ack_timeout = delayed_ack_timeout
+        self.highest_seen = -1
+        self.next_expected = 0
+        self._out_of_order: Set[int] = set()
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.duplicates = 0
+        self.acks_sent = 0
+        self._held_acks = 0
+        self._pending_echo: Optional[Packet] = None
+        self._delack_timer = None
+
+    def accept(self, packet: Packet) -> None:
+        if packet.is_ack or packet.flow_id != self.flow_id:
+            return
+        packet.delivered_at = self.sim.now
+        self.packets_received += 1
+        self.bytes_received += packet.size
+        if self.recorder is not None:
+            self.recorder.record_delivery(packet)
+        in_order = packet.seq == self.next_expected
+        if in_order:
+            self.next_expected += 1
+            while self.next_expected in self._out_of_order:
+                self._out_of_order.discard(self.next_expected)
+                self.next_expected += 1
+        elif packet.seq > self.next_expected:
+            self._out_of_order.add(packet.seq)
+        else:
+            self.duplicates += 1
+        self.highest_seen = max(self.highest_seen, packet.seq)
+
+        if self.delayed_ack and in_order and not self._out_of_order:
+            self._held_acks += 1
+            self._pending_echo = packet
+            if self._held_acks >= 2:
+                self._flush_ack()
+            elif self._delack_timer is None:
+                self._delack_timer = self.sim.schedule(
+                    self.delayed_ack_timeout, self._flush_ack
+                )
+        else:
+            # Out-of-order (or delayed ACKs disabled): ACK immediately.
+            self._pending_echo = packet
+            self._flush_ack()
+
+    def _flush_ack(self) -> None:
+        if self._pending_echo is None:
+            return
+        self.sim.cancel(self._delack_timer)
+        self._delack_timer = None
+        self._held_acks = 0
+        echo = self._pending_echo
+        self._pending_echo = None
+        ack_number = (
+            self.next_expected if self.cumulative else self.highest_seen + 1
+        )
+        ack = Packet(
+            flow_id=self.flow_id,
+            seq=-1,
+            size=ACK_SIZE_BYTES,
+            is_ack=True,
+            ack=ack_number,
+            echo_seq=echo.seq,
+            echo_uid=echo.uid,
+            echo_sent_at=echo.sent_at,
+        )
+        ack.is_retransmit = echo.is_retransmit
+        ack.sent_at = self.sim.now
+        self.acks_sent += 1
+        self.ack_path.accept(ack)
+
+
+class Sender:
+    """Base reliable window-based sender (ACK-clocked)."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        downstream,
+        recorder=None,
+        packet_size: int = DEFAULT_MTU_BYTES,
+        initial_cwnd: float = INITIAL_CWND,
+        max_cwnd: float = 10_000.0,
+    ):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.downstream = downstream
+        self.recorder = recorder
+        self.packet_size = packet_size
+        self.max_cwnd = max_cwnd
+
+        # Congestion state (in packets).
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float("inf")
+
+        # Reliability state.
+        self.next_seq = 0
+        self.snd_una = 0  # lowest unacknowledged sequence number
+        self._unacked: Dict[int, TransmissionInfo] = {}
+        self._dupacks = 0
+        self._in_recovery = False
+        self._recover_seq = -1
+        # SACK-lite: every ACK echoes the seq that triggered it, so the
+        # sender knows which out-of-order segments have arrived and can
+        # retransmit *all* holes during one recovery instead of one hole
+        # per RTT — without this, a burst loss in a deep buffer stalls
+        # cumulative-ACK recovery into an RTO (ancient NewReno behaviour
+        # that modern SACK stacks, including Pantheon's, do not exhibit).
+        self._sacked: Set[int] = set()
+        self._retransmitted_in_recovery: Set[int] = set()
+
+        # RTT / RTO state.
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.rto = INITIAL_RTO
+        self.latest_rtt: Optional[float] = None
+        self.min_rtt = float("inf")
+        self._rto_event: Optional[Event] = None
+
+        # Stats.
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.loss_events = 0
+        self.acked_packets = 0
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting."""
+        self._active = True
+        self._try_send()
+
+    def shutdown(self) -> None:
+        """Stop transmitting and cancel timers (used for finite CT flows)."""
+        self._active = False
+        self.sim.cancel(self._rto_event)
+        self._rto_event = None
+
+    @property
+    def inflight(self) -> int:
+        """Packets sent but not cumulatively acknowledged."""
+        return len(self._unacked)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _can_send(self) -> bool:
+        return self._active and self.inflight < int(self.cwnd)
+
+    def _try_send(self) -> None:
+        while self._can_send():
+            self._send_new_packet()
+
+    def _send_new_packet(self) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        self._transmit(seq, retransmit=False)
+
+    def _transmit(self, seq: int, retransmit: bool) -> None:
+        if not self._active:
+            # shutdown() stops everything, including loss repair.
+            return
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=seq,
+            size=self.packet_size,
+            is_retransmit=retransmit,
+        )
+        packet.sent_at = self.sim.now
+        self._unacked[seq] = TransmissionInfo(
+            seq=seq,
+            uid=packet.uid,
+            sent_at=self.sim.now,
+            size=packet.size,
+            retransmitted=retransmit,
+        )
+        self.packets_sent += 1
+        if retransmit:
+            self.retransmissions += 1
+        if self.recorder is not None:
+            self.recorder.record_send(packet)
+        self.downstream.accept(packet)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def accept(self, packet: Packet) -> None:
+        """Entry point for the reverse (ACK) path."""
+        if packet.is_ack and packet.flow_id == self.flow_id:
+            self.on_ack(packet)
+
+    def on_ack(self, ack: Packet) -> None:
+        if not self._active and not self._unacked:
+            return
+        rtt_sample = self._take_rtt_sample(ack)
+        if ack.echo_seq >= ack.ack:
+            # The segment that triggered this ACK arrived above the
+            # cumulative point: record it as selectively acknowledged.
+            self._sacked.add(ack.echo_seq)
+        if ack.ack > self.snd_una:
+            self._on_new_ack(ack, rtt_sample)
+        elif self._unacked:
+            self._on_dupack(ack)
+        self._try_send()
+
+    def _take_rtt_sample(self, ack: Packet) -> Optional[float]:
+        # Karn's rule: never sample RTT from a retransmitted segment.
+        if ack.is_retransmit or ack.echo_sent_at < 0:
+            return None
+        sample = self.sim.now - ack.echo_sent_at
+        self.latest_rtt = sample
+        self.min_rtt = min(self.min_rtt, sample)
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+        else:
+            self.rttvar = (1 - RTO_BETA) * self.rttvar + RTO_BETA * abs(
+                self.srtt - sample
+            )
+            self.srtt = (1 - RTO_ALPHA) * self.srtt + RTO_ALPHA * sample
+        self.rto = min(
+            MAX_RTO, max(MIN_RTO, self.srtt + RTO_K * self.rttvar)
+        )
+        return sample
+
+    def _on_new_ack(self, ack: Packet, rtt_sample: Optional[float]) -> None:
+        newly_acked = 0
+        for seq in range(self.snd_una, ack.ack):
+            if self._unacked.pop(seq, None) is not None:
+                newly_acked += 1
+        self.snd_una = ack.ack
+        self.acked_packets += newly_acked
+        self._dupacks = 0
+        self._sacked = {s for s in self._sacked if s >= self.snd_una}
+
+        if self._in_recovery:
+            if ack.ack > self._recover_seq:
+                self._in_recovery = False
+                self._retransmitted_in_recovery.clear()
+                self.cwnd = max(1.0, self.ssthresh)
+            else:
+                # Partial ACK: more holes remain; repair the next one.
+                self._retransmit_holes(limit=1)
+                self._arm_rto()
+                return
+        else:
+            self.on_ack_progress(newly_acked, rtt_sample)
+        self.cwnd = min(self.cwnd, self.max_cwnd)
+        self._arm_rto()
+
+    def _on_dupack(self, ack: Packet) -> None:
+        self._dupacks += 1
+        if self._in_recovery:
+            # Window inflation during recovery keeps the pipe full, and
+            # SACK information drives further hole repair.
+            self.cwnd += 1.0
+            self._retransmit_holes(limit=1)
+            return
+        if self._dupacks >= DUPACK_THRESHOLD:
+            self.loss_events += 1
+            self.ssthresh = self.on_loss_event()
+            self.cwnd = max(1.0, self.ssthresh)
+            self._in_recovery = True
+            self._recover_seq = self.next_seq - 1
+            self._retransmitted_in_recovery.clear()
+            self._retransmit_holes(limit=1)
+
+    def _retransmit_holes(self, limit: int = 1) -> None:
+        """Retransmit up to ``limit`` lowest unrepaired holes below the
+        highest SACKed sequence (falling back to the head segment)."""
+        sent = 0
+        high = max(self._sacked) if self._sacked else self.snd_una
+        seq = self.snd_una
+        while sent < limit and seq <= min(high, self._recover_seq):
+            if (
+                seq not in self._sacked
+                and seq not in self._retransmitted_in_recovery
+                and seq < self.next_seq
+            ):
+                self._unacked.pop(seq, None)
+                self._retransmitted_in_recovery.add(seq)
+                self._transmit(seq, retransmit=True)
+                sent += 1
+            seq += 1
+        if sent < limit and self.snd_una not in self._retransmitted_in_recovery:
+            # No SACK information: classic head retransmission.
+            if self.snd_una < self.next_seq:
+                self._unacked.pop(self.snd_una, None)
+                self._retransmitted_in_recovery.add(self.snd_una)
+                self._transmit(self.snd_una, retransmit=True)
+
+    def _retransmit_head(self) -> None:
+        if self.snd_una in self._unacked:
+            del self._unacked[self.snd_una]
+        if self.snd_una < self.next_seq:
+            self._transmit(self.snd_una, retransmit=True)
+
+    # ------------------------------------------------------------------
+    # RTO handling
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        self.sim.cancel(self._rto_event)
+        self._rto_event = None
+        if self._unacked:
+            self._rto_event = self.sim.schedule(self.rto, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if not self._unacked:
+            return
+        self.timeouts += 1
+        self.loss_events += 1
+        self.on_timeout()
+        self._in_recovery = False
+        self._retransmitted_in_recovery.clear()
+        self._dupacks = 0
+        self.rto = min(MAX_RTO, self.rto * 2)
+        self._retransmit_head()
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    def on_ack_progress(
+        self, newly_acked: int, rtt_sample: Optional[float]
+    ) -> None:
+        """Grow the window; default is Reno-style slow start + AI."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked
+        else:
+            self.cwnd += newly_acked / self.cwnd
+
+    def on_loss_event(self) -> float:
+        """Multiplicative decrease; returns the new ssthresh."""
+        return max(2.0, self.cwnd / 2)
+
+    def on_timeout(self) -> None:
+        """RTO response; default collapses to one segment."""
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = 1.0
+
+
+class PacedSender(Sender):
+    """Rate-based sender: emits packets on a pacing timer.
+
+    Subclasses control ``rate_bytes_per_sec``; ACKs are still processed for
+    delay/loss feedback (driving rate adaptation) but do not clock
+    transmissions.  Reliability machinery is inherited but fast retransmit
+    is disabled by default (media-style flows do not retransmit); set
+    ``reliable=True`` to keep it.
+    """
+
+    name = "paced"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        downstream,
+        rate_bytes_per_sec: float,
+        recorder=None,
+        packet_size: int = DEFAULT_MTU_BYTES,
+        reliable: bool = False,
+    ):
+        super().__init__(
+            sim, flow_id, downstream, recorder=recorder,
+            packet_size=packet_size, initial_cwnd=float("inf"),
+            max_cwnd=float("inf"),
+        )
+        if rate_bytes_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bytes_per_sec = float(rate_bytes_per_sec)
+        self.reliable = reliable
+        self.feedback_losses = 0
+        self._pacing_event: Optional[Event] = None
+
+    def start(self) -> None:
+        self._active = True
+        self._pace()
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.sim.cancel(self._pacing_event)
+        self._pacing_event = None
+
+    def _pace(self) -> None:
+        if not self._active:
+            return
+        self._send_new_packet()
+        gap = self.packet_size / self.rate_bytes_per_sec
+        self._pacing_event = self.sim.schedule(gap, self._pace)
+
+    def _try_send(self) -> None:
+        # Transmissions are driven purely by the pacing timer.
+        pass
+
+    def on_ack(self, ack: Packet) -> None:
+        if self.reliable:
+            super().on_ack(ack)
+            return
+        # Unreliable (media-style) feedback: the receiver ACKs the highest
+        # sequence seen.  Each ACK echoes exactly one data packet; clear it
+        # from the outstanding set, infer losses from the skipped gap, and
+        # hand the sample to the rate controller.
+        rtt_sample = self._take_rtt_sample(ack)
+        self._unacked.pop(ack.echo_seq, None)
+        self.snd_una = max(self.snd_una, ack.ack)
+        # Packets the cumulative point has passed are late or lost; count
+        # them lost once their reordering window has expired.
+        horizon = self.sim.now - self.loss_delay()
+        stale = [
+            seq
+            for seq, info in self._unacked.items()
+            if seq < self.snd_una and info.sent_at < horizon
+        ]
+        for seq in stale:
+            del self._unacked[seq]
+            self.feedback_losses += 1
+        self.acked_packets += 1
+        self.on_feedback(ack, rtt_sample)
+
+    def loss_delay(self) -> float:
+        """How long a skipped packet may stay outstanding before it counts
+        as lost (covers in-network reordering)."""
+        base = self.srtt if self.srtt is not None else 0.1
+        return max(0.05, base)
+
+    def on_feedback(self, ack: Packet, rtt_sample: Optional[float]) -> None:
+        """Hook: per-ACK rate-control feedback for unreliable flows."""
+
+    def _arm_rto(self) -> None:
+        if self.reliable:
+            super()._arm_rto()
+        # Unreliable flows have no retransmission timer.
+
+    def set_rate(self, rate_bytes_per_sec: float) -> None:
+        """Adjust the pacing rate (takes effect from the next packet)."""
+        if rate_bytes_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bytes_per_sec = float(rate_bytes_per_sec)

@@ -1,0 +1,38 @@
+"""Constant-bit-rate sender.
+
+Used in the control-loop-bias experiment (§4.2 / Fig. 7): a "high-rate CBR
+sender" whose transmissions do **not** react to network feedback, unlike
+the control-loop traffic iBoxML was trained on.  That mismatch is what
+exposes the bias.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import PacedSender
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import DEFAULT_MTU_BYTES
+
+
+class CBRSender(PacedSender):
+    """Unreliable constant-rate sender (open loop)."""
+
+    name = "cbr"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        downstream,
+        rate_bytes_per_sec: float = 250_000.0,
+        recorder=None,
+        packet_size: int = DEFAULT_MTU_BYTES,
+    ):
+        super().__init__(
+            sim,
+            flow_id,
+            downstream,
+            rate_bytes_per_sec=rate_bytes_per_sec,
+            recorder=recorder,
+            packet_size=packet_size,
+            reliable=False,
+        )

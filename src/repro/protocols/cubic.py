@@ -1,0 +1,85 @@
+"""TCP Cubic (RFC 8312 flavour).
+
+Cubic is the paper's "control" protocol A: the most prevalent TCP flavour
+in the Internet (§3.1).  Window growth follows the cubic function
+
+    W(t) = C * (t - K)^3 + W_max,       K = cbrt(W_max * beta / C)
+
+anchored at the window size ``W_max`` at the last loss event, with
+``beta = 0.3`` multiplicative decrease (window falls to ``0.7 * W_max``)
+and the standard TCP-friendly region so Cubic never does worse than Reno
+at short RTTs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.base import Sender
+
+CUBIC_C = 0.4
+CUBIC_BETA = 0.7  # window retained after a loss event
+FAST_CONVERGENCE_FACTOR = (1 + CUBIC_BETA) / 2
+
+
+class CubicSender(Sender):
+    """TCP Cubic congestion control."""
+
+    name = "cubic"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.w_max = 0.0
+        self._epoch_start: Optional[float] = None
+        self._k = 0.0
+        self._w_est = 0.0  # Reno-friendly window estimate
+        self._acks_in_epoch = 0.0
+
+    def _enter_epoch(self) -> None:
+        self._epoch_start = self.sim.now
+        if self.cwnd < self.w_max:
+            self._k = ((self.w_max - self.cwnd) / CUBIC_C) ** (1 / 3)
+        else:
+            self._k = 0.0
+            self.w_max = self.cwnd
+        self._w_est = self.cwnd
+        self._acks_in_epoch = 0.0
+
+    def on_ack_progress(
+        self, newly_acked: int, rtt_sample: Optional[float]
+    ) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked
+            return
+        if self._epoch_start is None:
+            self._enter_epoch()
+        t = self.sim.now - self._epoch_start
+        rtt = self.srtt if self.srtt is not None else 0.1
+        target = CUBIC_C * (t + rtt - self._k) ** 3 + self.w_max
+        # TCP-friendly region: emulate Reno's growth over this epoch.
+        self._acks_in_epoch += newly_acked
+        self._w_est += newly_acked * (
+            3 * (1 - CUBIC_BETA) / (1 + CUBIC_BETA) / self.cwnd
+        )
+        target = max(target, self._w_est)
+        if target > self.cwnd:
+            # Spread the climb towards the target across the coming RTT.
+            self.cwnd += (target - self.cwnd) / self.cwnd * newly_acked
+        else:
+            # Below target (concave plateau): probe very gently.
+            self.cwnd += newly_acked * 0.01 / self.cwnd
+
+    def on_loss_event(self) -> float:
+        if self.cwnd < self.w_max:
+            # Fast convergence: release bandwidth to newer flows faster.
+            self.w_max = self.cwnd * FAST_CONVERGENCE_FACTOR
+        else:
+            self.w_max = self.cwnd
+        self._epoch_start = None
+        return max(2.0, self.cwnd * CUBIC_BETA)
+
+    def on_timeout(self) -> None:
+        self.w_max = self.cwnd
+        self._epoch_start = None
+        self.ssthresh = max(2.0, self.cwnd * CUBIC_BETA)
+        self.cwnd = 1.0

@@ -1,0 +1,59 @@
+"""LEDBAT (RFC 6817) — a delay-based scavenger transport.
+
+Not evaluated in the paper, but a natural member of the protocol zoo: like
+Vegas it is delay-sensitive, but it targets an absolute queueing-delay
+budget (``TARGET``, classically 100 ms) instead of a packet count, and it
+is designed to *yield* to any other traffic.  Useful for A/B experiments
+where the treatment should be background-transfer-like, and as a further
+out-of-training-distribution protocol for iBox counterfactuals.
+
+Window update per ACK (RFC 6817 §2.4.2, simplified):
+
+    queuing_delay = current_delay - base_delay
+    off_target    = (TARGET - queuing_delay) / TARGET
+    cwnd         += GAIN * off_target * acked / cwnd
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.base import Sender
+
+LEDBAT_TARGET = 0.1  # seconds of queueing delay
+LEDBAT_GAIN = 1.0
+MIN_CWND = 2.0
+
+
+class LEDBATSender(Sender):
+    """Low Extra Delay Background Transport."""
+
+    name = "ledbat"
+
+    def __init__(self, *args, target: float = LEDBAT_TARGET, **kwargs):
+        super().__init__(*args, **kwargs)
+        if target <= 0:
+            raise ValueError("target must be positive")
+        self.target = target
+        self.base_delay = float("inf")
+
+    def on_ack_progress(
+        self, newly_acked: int, rtt_sample: Optional[float]
+    ) -> None:
+        if rtt_sample is None:
+            return
+        self.base_delay = min(self.base_delay, rtt_sample)
+        queuing_delay = rtt_sample - self.base_delay
+        off_target = (self.target - queuing_delay) / self.target
+        # Gain-limited: never ramp faster than slow start (RFC 6817).
+        delta = LEDBAT_GAIN * off_target * newly_acked / self.cwnd
+        delta = min(delta, float(newly_acked))
+        self.cwnd = max(MIN_CWND, self.cwnd + delta)
+
+    def on_loss_event(self) -> float:
+        # Loss still halves the window, like TCP.
+        return max(MIN_CWND, self.cwnd / 2)
+
+    def on_timeout(self) -> None:
+        self.ssthresh = max(MIN_CWND, self.cwnd / 2)
+        self.cwnd = MIN_CWND

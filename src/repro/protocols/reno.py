@@ -1,0 +1,36 @@
+"""TCP Reno / NewReno.
+
+The textbook AIMD loop: slow start to ``ssthresh``, additive increase of
+one segment per RTT in congestion avoidance, multiplicative decrease to
+half the window on a fast-retransmit loss event.  NewReno partial-ACK
+recovery lives in the shared base class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.base import Sender
+
+
+class RenoSender(Sender):
+    """TCP Reno congestion control."""
+
+    name = "reno"
+
+    def on_ack_progress(
+        self, newly_acked: int, rtt_sample: Optional[float]
+    ) -> None:
+        if self.cwnd < self.ssthresh:
+            # Slow start: one segment per ACKed segment.
+            self.cwnd += newly_acked
+        else:
+            # Congestion avoidance: ~one segment per RTT.
+            self.cwnd += newly_acked / self.cwnd
+
+    def on_loss_event(self) -> float:
+        return max(2.0, self.cwnd / 2)
+
+    def on_timeout(self) -> None:
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = 1.0

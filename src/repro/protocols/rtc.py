@@ -1,0 +1,116 @@
+"""Delay-sensitive RTC (real-time conferencing) control loop.
+
+Models the kind of sender behind the paper's RTC dataset (§5.2 / Table 1)
+and the control-loop-bias training traces (§4.2 / Fig. 7): a Google-
+Congestion-Control-flavoured loop that estimates the one-way delay
+*gradient* from receiver feedback and
+
+* backs off multiplicatively when delay is rising (overuse),
+* increases additively when delay is flat/falling (underuse), and
+* additionally backs off in proportion to the observed loss rate when it
+  exceeds a tolerance, as RTC stacks do.
+
+The sender is unreliable and paced, with the rate clamped to
+``[min_rate, max_rate]`` like a video encoder's bitrate ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.base import PacedSender
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import DEFAULT_MTU_BYTES, Packet
+
+
+class RTCSender(PacedSender):
+    """Delay-gradient adaptive-rate media sender."""
+
+    name = "rtc"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        downstream,
+        start_rate_bytes_per_sec: float = 125_000.0,
+        min_rate_bytes_per_sec: float = 12_500.0,
+        max_rate_bytes_per_sec: float = 2_500_000.0,
+        recorder=None,
+        packet_size: int = DEFAULT_MTU_BYTES,
+        update_interval: float = 0.1,
+        overuse_threshold_sec_per_sec: float = 0.01,
+        backoff: float = 0.85,
+        increase_bytes_per_interval: float = 3_000.0,
+        loss_tolerance: float = 0.05,
+    ):
+        super().__init__(
+            sim,
+            flow_id,
+            downstream,
+            rate_bytes_per_sec=start_rate_bytes_per_sec,
+            recorder=recorder,
+            packet_size=packet_size,
+            reliable=False,
+        )
+        self.min_rate = float(min_rate_bytes_per_sec)
+        self.max_rate = float(max_rate_bytes_per_sec)
+        self.update_interval = update_interval
+        self.overuse_threshold = overuse_threshold_sec_per_sec
+        self.backoff = backoff
+        self.increase_per_interval = increase_bytes_per_interval
+        self.loss_tolerance = loss_tolerance
+
+        self._delay_samples: list[tuple[float, float]] = []
+        self._last_update = 0.0
+        self._losses_at_update = 0
+        self._acks_at_update = 0
+        self.rate_decisions: list[tuple[float, float]] = []
+
+    def on_feedback(self, ack: Packet, rtt_sample: Optional[float]) -> None:
+        if rtt_sample is not None:
+            self._delay_samples.append((self.sim.now, rtt_sample))
+        if self.sim.now - self._last_update >= self.update_interval:
+            self._update_rate()
+            self._last_update = self.sim.now
+
+    def _delay_gradient(self) -> Optional[float]:
+        """Least-squares slope of recent delay samples, in sec per sec."""
+        samples = self._delay_samples
+        if len(samples) < 4:
+            return None
+        t0 = samples[0][0]
+        n = len(samples)
+        sum_t = sum(t - t0 for t, _ in samples)
+        sum_d = sum(d for _, d in samples)
+        sum_tt = sum((t - t0) ** 2 for t, _ in samples)
+        sum_td = sum((t - t0) * d for t, d in samples)
+        denom = n * sum_tt - sum_t * sum_t
+        if denom <= 0:
+            return None
+        return (n * sum_td - sum_t * sum_d) / denom
+
+    def _interval_loss_rate(self) -> float:
+        acks = self.acked_packets - self._acks_at_update
+        losses = self.feedback_losses - self._losses_at_update
+        self._acks_at_update = self.acked_packets
+        self._losses_at_update = self.feedback_losses
+        total = acks + losses
+        if total == 0:
+            return 0.0
+        return losses / total
+
+    def _update_rate(self) -> None:
+        gradient = self._delay_gradient()
+        loss_rate = self._interval_loss_rate()
+        rate = self.rate_bytes_per_sec
+        if loss_rate > self.loss_tolerance:
+            rate *= 1 - 0.5 * loss_rate
+        elif gradient is not None and gradient > self.overuse_threshold:
+            rate *= self.backoff
+        else:
+            rate += self.increase_per_interval
+        rate = min(self.max_rate, max(self.min_rate, rate))
+        self.set_rate(rate)
+        self.rate_decisions.append((self.sim.now, rate))
+        self._delay_samples.clear()

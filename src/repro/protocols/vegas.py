@@ -1,0 +1,85 @@
+"""TCP Vegas.
+
+Vegas is the paper's "treatment" protocol B: its delay sensitivity makes it
+behave very differently from Cubic, which is exactly what stresses a model
+learnt from Cubic traces (§3.1).  Vegas compares the *expected* throughput
+``cwnd / baseRTT`` with the *actual* throughput ``cwnd / RTT`` and keeps
+the difference (in packets buffered at the bottleneck) between ``alpha``
+and ``beta``:
+
+    diff = (expected - actual) * baseRTT
+    diff < alpha  -> cwnd += 1 per RTT
+    diff > beta   -> cwnd -= 1 per RTT
+    otherwise     -> hold
+
+Adjustments are made once per RTT, gated on ACK arrivals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.base import Sender
+
+VEGAS_ALPHA = 2.0
+VEGAS_BETA = 4.0
+VEGAS_GAMMA = 1.0  # slow-start exit threshold (packets queued)
+
+
+class VegasSender(Sender):
+    """TCP Vegas congestion control."""
+
+    name = "vegas"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.base_rtt = float("inf")
+        self._rtt_sum = 0.0
+        self._rtt_count = 0
+        self._next_adjust_at = 0.0
+        self._slow_start = True
+
+    def on_ack_progress(
+        self, newly_acked: int, rtt_sample: Optional[float]
+    ) -> None:
+        if rtt_sample is not None:
+            self.base_rtt = min(self.base_rtt, rtt_sample)
+            self._rtt_sum += rtt_sample
+            self._rtt_count += 1
+        if self._rtt_count == 0 or self.base_rtt == float("inf"):
+            return
+        if self.sim.now < self._next_adjust_at:
+            return
+        mean_rtt = self._rtt_sum / self._rtt_count
+        self._rtt_sum = 0.0
+        self._rtt_count = 0
+        self._next_adjust_at = self.sim.now + mean_rtt
+
+        expected = self.cwnd / self.base_rtt
+        actual = self.cwnd / mean_rtt
+        diff = (expected - actual) * self.base_rtt
+
+        if self._slow_start:
+            if diff > VEGAS_GAMMA:
+                self._slow_start = False
+                self.cwnd = max(2.0, self.cwnd - 1)
+            else:
+                # Vegas slow start: double every other RTT; approximated as
+                # +50% per RTT which has the same average slope.
+                self.cwnd *= 1.5
+            return
+
+        if diff < VEGAS_ALPHA:
+            self.cwnd += 1.0
+        elif diff > VEGAS_BETA:
+            self.cwnd = max(2.0, self.cwnd - 1.0)
+        # else: within [alpha, beta] — hold.
+
+    def on_loss_event(self) -> float:
+        self._slow_start = False
+        return max(2.0, self.cwnd * 0.75)
+
+    def on_timeout(self) -> None:
+        self._slow_start = False
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = 2.0

@@ -1,0 +1,76 @@
+"""An ns-like packet-level discrete-event network simulator.
+
+This subpackage is the substrate the paper evaluates on: since the Pantheon
+testbed traces are not available offline, we generate ground-truth traces by
+running real congestion-control implementations over simulated paths with
+queueing, loss, variable (cellular-like) bandwidth, reordering and
+cross-traffic.  The same engine, configured from learnt iBoxNet parameters,
+doubles as the NetEm-like emulator of Fig. 1 in the paper.
+
+Component model
+---------------
+Packets flow through a pipeline of components, each implementing
+``accept(packet)`` and forwarding to a ``downstream`` component:
+
+    Sender -> Bottleneck(queue + link) -> DelayBox [-> ReorderBox] -> Receiver
+                      ^                                                   |
+                      +-- cross-traffic sources          ACKs <- DelayBox +
+
+All times are in **seconds**, sizes in **bytes** and rates in **bytes per
+second** internally; :mod:`repro.simulation.units` provides converters.
+"""
+
+from repro.simulation import units
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.packet import Packet, ACK_SIZE_BYTES, DEFAULT_MTU_BYTES
+from repro.simulation.queues import DropTailQueue, QueueStats, REDQueue
+from repro.simulation.links import (
+    Bottleneck,
+    CellularRateProcess,
+    ConstantRateProcess,
+    MarkovRateProcess,
+    RateProcess,
+    TokenBucket,
+    TraceRateProcess,
+)
+from repro.simulation.delaybox import DelayBox, JitterBox, ReorderBox, Sink
+from repro.simulation.crosstraffic import (
+    OnOffSource,
+    PoissonSource,
+    RateReplaySource,
+    WindowedFlowSource,
+)
+from repro.simulation.topology import PathConfig, SingleBottleneckPath, run_flow
+from repro.simulation.emulator import EmulatorConfig, NetworkEmulator
+
+__all__ = [
+    "ACK_SIZE_BYTES",
+    "Bottleneck",
+    "CellularRateProcess",
+    "ConstantRateProcess",
+    "DEFAULT_MTU_BYTES",
+    "DelayBox",
+    "DropTailQueue",
+    "EmulatorConfig",
+    "Event",
+    "JitterBox",
+    "MarkovRateProcess",
+    "NetworkEmulator",
+    "OnOffSource",
+    "Packet",
+    "PathConfig",
+    "PoissonSource",
+    "QueueStats",
+    "REDQueue",
+    "RateProcess",
+    "RateReplaySource",
+    "ReorderBox",
+    "Simulator",
+    "SingleBottleneckPath",
+    "Sink",
+    "TokenBucket",
+    "TraceRateProcess",
+    "WindowedFlowSource",
+    "run_flow",
+    "units",
+]

@@ -1,0 +1,214 @@
+"""Cross-traffic sources.
+
+Ground-truth runs use live sources (Poisson, on/off bursts, or full
+closed-loop Cubic flows); the iBoxNet emulator replays an *estimated*
+cross-traffic rate time series through :class:`RateReplaySource` — the
+non-adaptive replay the paper describes at the end of §3 ("The cross-traffic
+so estimated is non-adaptive").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import DEFAULT_MTU_BYTES, Packet
+
+
+class PoissonSource:
+    """Poisson packet arrivals at a constant mean rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downstream,
+        rate_bytes_per_sec: float,
+        seed: int,
+        flow_id: str = "ct-poisson",
+        packet_size: int = DEFAULT_MTU_BYTES,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        if rate_bytes_per_sec < 0:
+            raise ValueError("rate must be non-negative")
+        self.sim = sim
+        self.downstream = downstream
+        self.rate = float(rate_bytes_per_sec)
+        self.flow_id = flow_id
+        self.packet_size = packet_size
+        self.stop = stop
+        self._rng = np.random.default_rng(seed)
+        self._seq = 0
+        self.packets_sent = 0
+        if self.rate > 0:
+            sim.schedule_at(max(start, sim.now), self._emit)
+
+    def _next_gap(self) -> float:
+        mean_gap = self.packet_size / self.rate
+        return float(self._rng.exponential(mean_gap))
+
+    def _emit(self) -> None:
+        if self.stop is not None and self.sim.now >= self.stop:
+            return
+        packet = Packet(
+            flow_id=self.flow_id, seq=self._seq, size=self.packet_size
+        )
+        packet.sent_at = self.sim.now
+        self._seq += 1
+        self.packets_sent += 1
+        self.downstream.accept(packet)
+        self.sim.schedule(self._next_gap(), self._emit)
+
+
+class OnOffSource:
+    """Bursty cross-traffic: alternates exponential ON/OFF periods.
+
+    During ON periods it emits packets at ``peak_rate``; during OFF periods
+    it is silent.  The long-run mean rate is
+    ``peak_rate * mean_on / (mean_on + mean_off)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downstream,
+        peak_rate_bytes_per_sec: float,
+        mean_on: float,
+        mean_off: float,
+        seed: int,
+        flow_id: str = "ct-onoff",
+        packet_size: int = DEFAULT_MTU_BYTES,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        if peak_rate_bytes_per_sec <= 0:
+            raise ValueError("peak rate must be positive")
+        if mean_on <= 0 or mean_off < 0:
+            raise ValueError("mean_on must be positive, mean_off >= 0")
+        self.sim = sim
+        self.downstream = downstream
+        self.peak_rate = float(peak_rate_bytes_per_sec)
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.flow_id = flow_id
+        self.packet_size = packet_size
+        self.stop = stop
+        self._rng = np.random.default_rng(seed)
+        self._seq = 0
+        self._on_until = 0.0
+        self.packets_sent = 0
+        sim.schedule_at(max(start, sim.now), self._start_on_period)
+
+    def _finished(self) -> bool:
+        return self.stop is not None and self.sim.now >= self.stop
+
+    def _start_on_period(self) -> None:
+        if self._finished():
+            return
+        self._on_until = self.sim.now + float(
+            self._rng.exponential(self.mean_on)
+        )
+        self._emit()
+
+    def _emit(self) -> None:
+        if self._finished():
+            return
+        if self.sim.now >= self._on_until:
+            off = float(self._rng.exponential(self.mean_off))
+            self.sim.schedule(off, self._start_on_period)
+            return
+        packet = Packet(
+            flow_id=self.flow_id, seq=self._seq, size=self.packet_size
+        )
+        packet.sent_at = self.sim.now
+        self._seq += 1
+        self.packets_sent += 1
+        self.downstream.accept(packet)
+        self.sim.schedule(self.packet_size / self.peak_rate, self._emit)
+
+
+class RateReplaySource:
+    """Replays a rate time series as evenly spaced packets per bin.
+
+    This is how the iBoxNet emulator injects the cross-traffic estimated
+    from a trace: given bin edges and a per-bin rate (bytes/s), it emits
+    ``rate * bin_width / packet_size`` packets spread uniformly across each
+    bin.  Fractional packets carry over between bins so the replayed volume
+    matches the estimate to within one packet overall.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downstream,
+        bin_edges: Sequence[float],
+        rates_bytes_per_sec: Sequence[float],
+        flow_id: str = "ct-replay",
+        packet_size: int = DEFAULT_MTU_BYTES,
+    ):
+        edges = np.asarray(bin_edges, dtype=float)
+        rates = np.asarray(rates_bytes_per_sec, dtype=float)
+        if edges.ndim != 1 or len(edges) != len(rates) + 1:
+            raise ValueError(
+                "bin_edges must be 1-D with len(rates) + 1 entries"
+            )
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("bin_edges must be strictly increasing")
+        if np.any(rates < 0):
+            raise ValueError("rates must be non-negative")
+        self.sim = sim
+        self.downstream = downstream
+        self.flow_id = flow_id
+        self.packet_size = packet_size
+        self.packets_sent = 0
+        self._seq = 0
+        self._schedule_all(edges, rates)
+
+    def _schedule_all(self, edges: np.ndarray, rates: np.ndarray) -> None:
+        carry = 0.0
+        for i, rate in enumerate(rates):
+            t0, t1 = edges[i], edges[i + 1]
+            width = t1 - t0
+            fractional = rate * width / self.packet_size + carry
+            count = int(fractional)
+            carry = fractional - count
+            if count <= 0:
+                continue
+            spacing = width / count
+            for k in range(count):
+                send_at = t0 + (k + 0.5) * spacing
+                if send_at >= self.sim.now:
+                    self.sim.schedule_at(send_at, self._emit)
+
+    def _emit(self) -> None:
+        packet = Packet(
+            flow_id=self.flow_id, seq=self._seq, size=self.packet_size
+        )
+        packet.sent_at = self.sim.now
+        self._seq += 1
+        self.packets_sent += 1
+        self.downstream.accept(packet)
+
+
+class WindowedFlowSource:
+    """Adapter that runs a closed-loop sender as cross traffic.
+
+    Wraps any :class:`repro.protocols.base.Sender` so that full adaptive
+    flows (e.g. the "one Cubic cross-traffic flow of 10 s duration" in the
+    paper's instance test, §3.1.2) can compete at the bottleneck.  The
+    construction is done by :mod:`repro.simulation.topology`; this class
+    only carries the start/stop bookkeeping.
+    """
+
+    def __init__(self, sender, start: float, stop: Optional[float] = None):
+        self.sender = sender
+        self.start = start
+        self.stop = stop
+
+    def activate(self, sim: Simulator) -> None:
+        """Schedule the wrapped sender's start (and optional stop)."""
+        sim.schedule_at(max(self.start, sim.now), self.sender.start)
+        if self.stop is not None:
+            sim.schedule_at(self.stop, self.sender.shutdown)

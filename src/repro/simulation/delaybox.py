@@ -1,0 +1,123 @@
+"""Propagation delay, jitter and reordering components.
+
+iBoxNet's single-bottleneck model cannot produce reordering (§3.2); the
+ground-truth simulator therefore includes a multipath-style
+:class:`ReorderBox` so that Pantheon-like traces exhibit the behaviour the
+paper's §5.1 behaviour-discovery pipeline must find and the augmentation
+models must recreate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import Packet
+
+
+class DelayBox:
+    """Fixed propagation delay."""
+
+    def __init__(self, sim: Simulator, delay: float, downstream):
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.sim = sim
+        self.delay = float(delay)
+        self.downstream = downstream
+
+    def accept(self, packet: Packet) -> None:
+        self.sim.schedule(self.delay, self.downstream.accept, packet)
+
+
+class JitterBox:
+    """Adds independent random extra delay to every packet.
+
+    With enough jitter relative to inter-packet spacing this reorders
+    packets; use :class:`ReorderBox` for controllable multipath-style
+    reordering instead.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downstream,
+        jitter_std: float,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if jitter_std < 0:
+            raise ValueError("jitter_std must be non-negative")
+        self.sim = sim
+        self.downstream = downstream
+        self.jitter_std = float(jitter_std)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def accept(self, packet: Packet) -> None:
+        extra = abs(float(self._rng.normal(0.0, self.jitter_std)))
+        self.sim.schedule(extra, self.downstream.accept, packet)
+
+
+class ReorderBox:
+    """Multipath-style reordering.
+
+    With probability ``reorder_prob`` a packet takes a *detour* path with
+    ``detour_delay`` extra latency; the rest pass through immediately.
+    Packets behind a detoured packet overtake it, producing the negative
+    inter-packet arrival deltas (SAX symbol 'a' in Fig. 8) that iBoxNet
+    alone cannot generate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downstream,
+        reorder_prob: float,
+        detour_delay: float,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not 0 <= reorder_prob <= 1:
+            raise ValueError(
+                f"reorder_prob must be in [0, 1], got {reorder_prob}"
+            )
+        if detour_delay < 0:
+            raise ValueError("detour_delay must be non-negative")
+        self.sim = sim
+        self.downstream = downstream
+        self.reorder_prob = float(reorder_prob)
+        self.detour_delay = float(detour_delay)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.detoured_packets = 0
+
+    def accept(self, packet: Packet) -> None:
+        if self.reorder_prob > 0 and self._rng.random() < self.reorder_prob:
+            self.detoured_packets += 1
+            self.sim.schedule(
+                self.detour_delay, self.downstream.accept, packet
+            )
+        else:
+            self.downstream.accept(packet)
+
+
+class Sink:
+    """Terminal component: counts and optionally records what it swallows.
+
+    Used as the destination for cross-traffic packets (which share the
+    bottleneck with the flow under test but are not part of its trace) and
+    as a generic test double.
+    """
+
+    def __init__(self, on_packet: Optional[Callable[[Packet], None]] = None):
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.received: List[Packet] = []
+        self.keep_packets = False
+        self._on_packet = on_packet
+
+    def accept(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self.bytes_received += packet.size
+        if self.keep_packets:
+            self.received.append(packet)
+        if self._on_packet is not None:
+            self._on_packet(packet)

@@ -1,0 +1,166 @@
+"""NetEm-like emulator driven by learnt parameters.
+
+This is the right-hand side of the paper's Fig. 1: "iBoxNet learns network
+parameters from data and sets them on the NetEm emulator".  An
+:class:`EmulatorConfig` carries the learnt static parameters (b, d, B), the
+estimated cross-traffic series C (replayed non-adaptively), and two ablation
+switches used in Fig. 3:
+
+* ``include_cross_traffic=False`` — drop the CT injector entirely (Fig. 3a);
+* ``statistical_loss_rate=p`` — replace CT with i.i.d. packet loss at rate
+  ``p``, the calibrated-emulator baseline of [45] (Fig. 3b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import Packet
+from repro.simulation.topology import (
+    ConstantBandwidth,
+    FlowRunResult,
+    PathConfig,
+    ReplayCT,
+    ScheduledBandwidth,
+    SingleBottleneckPath,
+)
+
+
+class RandomLossBox:
+    """Drops each packet independently with probability ``loss_rate``.
+
+    Implements the statistical packet-loss model the paper compares against
+    in Fig. 3(b) ("a simple statistical packet loss model, as in [45]").
+    """
+
+    def __init__(self, downstream, loss_rate: float, rng: np.random.Generator):
+        if not 0 <= loss_rate < 1:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.downstream = downstream
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self.dropped = 0
+
+    def accept(self, packet: Packet) -> None:
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            packet.dropped = True
+            self.dropped += 1
+            return
+        self.downstream.accept(packet)
+
+
+@dataclass(frozen=True)
+class EmulatorConfig:
+    """Learnt parameters ready to "set on the emulator"."""
+
+    bandwidth_bytes_per_sec: float
+    propagation_delay: float
+    buffer_bytes: float
+    # Cross-traffic estimate: bin edges (len n+1) and per-bin rates (len n).
+    ct_bin_edges: Tuple[float, ...] = ()
+    ct_rates_bytes_per_sec: Tuple[float, ...] = ()
+    include_cross_traffic: bool = True
+    statistical_loss_rate: float = 0.0
+    # Optional learnt variable-bandwidth schedule (extension; overrides the
+    # constant bandwidth when provided).
+    bandwidth_schedule: Optional[Tuple[Tuple[float, ...], Tuple[float, ...]]] = None
+
+    def to_path_config(self) -> PathConfig:
+        """Translate into the declarative path description."""
+        if self.bandwidth_schedule is not None:
+            times, rates = self.bandwidth_schedule
+            bandwidth = ScheduledBandwidth(tuple(times), tuple(rates))
+        else:
+            bandwidth = ConstantBandwidth(self.bandwidth_bytes_per_sec)
+        cross_traffic = ()
+        if (
+            self.include_cross_traffic
+            and len(self.ct_rates_bytes_per_sec) > 0
+            and self.statistical_loss_rate == 0.0
+        ):
+            cross_traffic = (
+                ReplayCT(
+                    bin_edges=tuple(self.ct_bin_edges),
+                    rates_bytes_per_sec=tuple(self.ct_rates_bytes_per_sec),
+                ),
+            )
+        return PathConfig(
+            bandwidth=bandwidth,
+            propagation_delay=self.propagation_delay,
+            buffer_bytes=self.buffer_bytes,
+            cross_traffic=cross_traffic,
+        )
+
+
+class NetworkEmulator:
+    """Runs treatment protocols over a learnt path model."""
+
+    def __init__(self, config: EmulatorConfig):
+        self.config = config
+
+    def run(
+        self,
+        protocol: str,
+        duration: float,
+        seed: int,
+        flow_id: Optional[str] = None,
+        sender_kwargs: Optional[dict] = None,
+    ) -> FlowRunResult:
+        """Emulate one run of ``protocol`` over the learnt path."""
+        from repro.trace import TraceRecorder
+
+        path_config = self.config.to_path_config()
+        sim = Simulator()
+        path = SingleBottleneckPath(sim, path_config, duration, seed)
+        if self.config.statistical_loss_rate > 0:
+            # Splice the i.i.d. loss box in front of the bottleneck.
+            loss_box = RandomLossBox(
+                path.bottleneck,
+                self.config.statistical_loss_rate,
+                np.random.default_rng(seed ^ 0x10551055),
+            )
+            entry = loss_box
+        else:
+            entry = path.bottleneck
+        if flow_id is None:
+            flow_id = f"emu-{protocol}-{seed}"
+        recorder = TraceRecorder(flow_id, protocol=protocol)
+        sender = path.attach_flow(
+            protocol, flow_id, recorder=recorder, **(sender_kwargs or {})
+        )
+        sender.downstream = entry
+        for i, spec in enumerate(path_config.cross_traffic):
+            path.add_cross_traffic(spec, seed=seed + 7000 + i)
+        sim.schedule_at(0.0, sender.start)
+        sim.run(until=duration)
+        sender.shutdown()
+        sim.run(until=duration + 2.0)
+        trace = recorder.finish(duration=duration)
+        trace.metadata.update(
+            {
+                "protocol": protocol,
+                "seed": seed,
+                "emulated": True,
+                "statistical_loss_rate": self.config.statistical_loss_rate,
+                "include_cross_traffic": self.config.include_cross_traffic,
+            }
+        )
+        return FlowRunResult(
+            trace=trace,
+            config=path_config,
+            protocol=protocol,
+            seed=seed,
+            queue_peak_bytes=path.queue.stats.peak_occupancy_bytes,
+            queue_drop_packets=path.queue.stats.dropped_packets,
+            sender_stats={
+                "packets_sent": sender.packets_sent,
+                "retransmissions": sender.retransmissions,
+                "timeouts": sender.timeouts,
+                "loss_events": sender.loss_events,
+            },
+            cross_traffic_bytes=path.cross_traffic_bytes_offered(),
+        )

@@ -1,0 +1,263 @@
+"""Bottleneck links and bandwidth processes.
+
+The bottleneck is the heart of both the ground-truth simulator and the
+iBoxNet emulator: a FIFO queue drained by a (possibly time-varying) rate.
+Variable-rate processes model cellular links (proportional-fair scheduling
+makes the available rate fluctuate, §3.1); a token-bucket regulator models
+traffic shaping (§3.2 cites [38]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import Packet
+from repro.simulation.queues import DropTailQueue
+
+
+class RateProcess(Protocol):
+    """A time-varying service rate, in bytes per second."""
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous service rate at simulated time ``t`` (bytes/s)."""
+        ...
+
+
+class ConstantRateProcess:
+    """Fixed-rate link (the iBoxNet emulator's bottleneck)."""
+
+    def __init__(self, rate_bytes_per_sec: float):
+        if rate_bytes_per_sec <= 0:
+            raise ValueError(
+                f"rate must be positive, got {rate_bytes_per_sec}"
+            )
+        self._rate = float(rate_bytes_per_sec)
+
+    def rate_at(self, t: float) -> float:
+        return self._rate
+
+    @property
+    def mean_rate(self) -> float:
+        return self._rate
+
+
+class TraceRateProcess:
+    """Step-function rate driven by an explicit ``(times, rates)`` schedule.
+
+    ``times`` must be increasing and start at (or before) 0; the rate holds
+    its last value beyond the final breakpoint.
+    """
+
+    def __init__(self, times: Sequence[float], rates: Sequence[float]):
+        times_arr = np.asarray(times, dtype=float)
+        rates_arr = np.asarray(rates, dtype=float)
+        if times_arr.ndim != 1 or times_arr.shape != rates_arr.shape:
+            raise ValueError("times and rates must be 1-D and equal length")
+        if times_arr.size == 0:
+            raise ValueError("schedule must be non-empty")
+        if np.any(np.diff(times_arr) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(rates_arr <= 0):
+            raise ValueError("all rates must be positive")
+        self._times = times_arr
+        self._rates = rates_arr
+
+    def rate_at(self, t: float) -> float:
+        idx = int(np.searchsorted(self._times, t, side="right") - 1)
+        idx = max(0, min(idx, len(self._rates) - 1))
+        return float(self._rates[idx])
+
+    @property
+    def mean_rate(self) -> float:
+        return float(np.mean(self._rates))
+
+
+class CellularRateProcess(TraceRateProcess):
+    """Cellular-like fluctuating bandwidth.
+
+    Models the rate a proportional-fair scheduler hands a single user: a
+    mean-reverting (Ornstein–Uhlenbeck-style, in log space) process sampled
+    on a fixed grid, with occasional deep fades.  The realisation is drawn
+    once at construction from ``seed`` so that ``rate_at`` is a pure lookup
+    and repeated runs over the same path see identical bandwidth.
+    """
+
+    def __init__(
+        self,
+        mean_rate_bytes_per_sec: float,
+        duration: float,
+        seed: int,
+        volatility: float = 0.35,
+        reversion: float = 0.5,
+        step: float = 0.1,
+        fade_prob: float = 0.01,
+        fade_depth: float = 0.15,
+        floor_fraction: float = 0.05,
+    ):
+        if mean_rate_bytes_per_sec <= 0:
+            raise ValueError("mean rate must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        rng = np.random.default_rng(seed)
+        n = max(2, int(np.ceil(duration / step)) + 1)
+        times = np.arange(n) * step
+        # OU in log space around log(mean): x_{k+1} = x_k + theta*(0-x_k)*dt
+        #                                            + sigma*sqrt(dt)*N(0,1)
+        x = np.empty(n)
+        x[0] = rng.normal(0.0, volatility / 2)
+        noise = rng.normal(0.0, 1.0, size=n - 1)
+        sqrt_dt = np.sqrt(step)
+        for k in range(n - 1):
+            x[k + 1] = (
+                x[k]
+                + reversion * (0.0 - x[k]) * step
+                + volatility * sqrt_dt * noise[k]
+            )
+        rates = mean_rate_bytes_per_sec * np.exp(x)
+        # Occasional deep fades (handover / scheduling stalls).
+        fades = rng.random(n) < fade_prob
+        rates[fades] *= fade_depth
+        floor = floor_fraction * mean_rate_bytes_per_sec
+        rates = np.maximum(rates, floor)
+        super().__init__(times, rates)
+        self.configured_mean_rate = float(mean_rate_bytes_per_sec)
+
+
+class MarkovRateProcess(TraceRateProcess):
+    """Discrete-state bandwidth (e.g. WiFi MCS shifts).
+
+    ``states`` are rates in bytes/s; the chain holds each state for an
+    exponentially distributed time with mean ``mean_holding`` and then jumps
+    uniformly to a different state.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[float],
+        duration: float,
+        seed: int,
+        mean_holding: float = 1.0,
+    ):
+        states_arr = [float(s) for s in states]
+        if len(states_arr) < 2:
+            raise ValueError("need at least two states")
+        rng = np.random.default_rng(seed)
+        times = [0.0]
+        rates = [states_arr[rng.integers(len(states_arr))]]
+        t = 0.0
+        while t < duration:
+            t += float(rng.exponential(mean_holding))
+            current = rates[-1]
+            choices = [s for s in states_arr if s != current]
+            rates.append(choices[rng.integers(len(choices))])
+            times.append(t)
+        super().__init__(times, rates)
+
+
+class Bottleneck:
+    """A FIFO queue drained by a rate process.
+
+    Components downstream receive packets via ``accept(packet)``.  The
+    service time of a packet uses the rate at service start — accurate for
+    rate processes that vary on coarser timescales than one transmission
+    time, which holds for all processes above (100 ms grid vs sub-ms
+    serialisation).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_process: RateProcess,
+        queue: DropTailQueue,
+        downstream,
+        name: str = "bottleneck",
+    ):
+        self.sim = sim
+        self.rate_process = rate_process
+        self.queue = queue
+        self.downstream = downstream
+        self.name = name
+        self._busy = False
+        self.busy_time = 0.0
+        self._service_started_at = 0.0
+
+    def accept(self, packet: Packet) -> None:
+        """Offer a packet to the bottleneck queue."""
+        if self.queue.push(packet, self.sim.now) and not self._busy:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        packet = self.queue.pop(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        self._service_started_at = self.sim.now
+        rate = self.rate_process.rate_at(self.sim.now)
+        service_time = packet.size / rate
+        self.sim.schedule(service_time, self._complete_service, packet)
+
+    def _complete_service(self, packet: Packet) -> None:
+        packet.dequeued_at = self.sim.now
+        self.busy_time += self.sim.now - self._service_started_at
+        self._busy = False
+        self.downstream.accept(packet)
+        if not self.queue.is_empty:
+            self._start_service()
+
+    @property
+    def is_busy(self) -> bool:
+        return self._busy
+
+
+class TokenBucket:
+    """Token-bucket regulator (extension: §3.2 variable-bandwidth example).
+
+    Tokens accrue at ``rate`` bytes/s up to ``burst`` bytes.  A packet is
+    forwarded once the bucket holds at least its size in tokens; arrivals
+    that cannot be served immediately wait in an unbounded FIFO (shaping,
+    not policing).
+    """
+
+    def __init__(self, sim: Simulator, rate: float, burst: float, downstream):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.sim = sim
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.downstream = downstream
+        self._tokens = float(burst)
+        self._last_refill = 0.0
+        self._waiting: list[Packet] = []
+        self._release_scheduled = False
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last_refill) * self.rate
+        )
+        self._last_refill = now
+
+    def accept(self, packet: Packet) -> None:
+        self._refill()
+        self._waiting.append(packet)
+        self._drain()
+
+    def _drain(self) -> None:
+        self._refill()
+        while self._waiting and self._tokens >= self._waiting[0].size:
+            packet = self._waiting.pop(0)
+            self._tokens -= packet.size
+            self.downstream.accept(packet)
+        if self._waiting and not self._release_scheduled:
+            deficit = self._waiting[0].size - self._tokens
+            delay = deficit / self.rate
+            self._release_scheduled = True
+            self.sim.schedule(delay, self._release)
+
+    def _release(self) -> None:
+        self._release_scheduled = False
+        self._drain()

@@ -1,0 +1,65 @@
+"""Packet representation shared by all simulator components."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+DEFAULT_MTU_BYTES = 1500
+ACK_SIZE_BYTES = 40
+
+_packet_ids = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Reset the global packet-id counter (used by tests for determinism)."""
+    global _packet_ids
+    _packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A data or ACK packet.
+
+    Each *transmission* gets a unique ``uid`` even when a sequence number is
+    retransmitted, so input/output traces can pair deliveries with the
+    transmission that produced them (delay = ``delivered_at - sent_at``).
+    """
+
+    flow_id: str
+    seq: int
+    size: int = DEFAULT_MTU_BYTES
+    is_ack: bool = False
+    # Cumulative ACK number (next in-order seq expected), for ACK packets.
+    ack: int = -1
+    # Sequence/uid of the data packet that triggered this ACK, echoed back
+    # for RTT sampling without timestamps-in-payload bookkeeping.
+    echo_seq: int = -1
+    echo_uid: int = -1
+    echo_sent_at: float = -1.0
+    is_retransmit: bool = False
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    sent_at: float = -1.0
+    enqueued_at: float = -1.0
+    dequeued_at: float = -1.0
+    delivered_at: float = -1.0
+    dropped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def delay(self) -> Optional[float]:
+        """One-way delay of this transmission, or ``None`` if never delivered."""
+        if self.delivered_at < 0 or self.sent_at < 0:
+            return None
+        return self.delivered_at - self.sent_at
+
+    def __repr__(self) -> str:
+        kind = "ACK" if self.is_ack else "DATA"
+        return (
+            f"Packet({kind} flow={self.flow_id} seq={self.seq} uid={self.uid} "
+            f"size={self.size})"
+        )

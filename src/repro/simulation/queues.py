@@ -1,0 +1,152 @@
+"""Bottleneck queues.
+
+The paper's iBoxNet model assumes a single droptail FIFO with a byte-based
+buffer (§3, "The implicit assumption of a byte-based buffer is a
+simplification but nevertheless reasonable").  We implement exactly that,
+plus a RED variant as an extension for ablations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.simulation.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters accumulated by a queue over a run."""
+
+    enqueued_packets: int = 0
+    enqueued_bytes: int = 0
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+    dequeued_packets: int = 0
+    dequeued_bytes: int = 0
+    peak_occupancy_bytes: int = 0
+    # (time, occupancy_bytes) samples taken on every enqueue/dequeue.
+    occupancy_samples: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered packets that were dropped."""
+        offered = self.enqueued_packets + self.dropped_packets
+        if offered == 0:
+            return 0.0
+        return self.dropped_packets / offered
+
+
+class DropTailQueue:
+    """Byte-based droptail FIFO.
+
+    A packet is dropped on arrival iff its size would push the buffered
+    byte count above ``capacity_bytes``.
+    """
+
+    def __init__(self, capacity_bytes: float, record_occupancy: bool = False):
+        if capacity_bytes <= 0:
+            raise ValueError(
+                f"queue capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = float(capacity_bytes)
+        self.record_occupancy = record_occupancy
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        """Bytes currently buffered."""
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def admit(self, packet: Packet, now: float) -> bool:
+        """Decide admission for ``packet``; override point for AQM variants."""
+        return self._bytes + packet.size <= self.capacity_bytes
+
+    def push(self, packet: Packet, now: float) -> bool:
+        """Enqueue ``packet``; returns ``False`` (and marks it dropped) on a
+        buffer overflow."""
+        if not self.admit(packet, now):
+            packet.dropped = True
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            return False
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size
+        if self._bytes > self.stats.peak_occupancy_bytes:
+            self.stats.peak_occupancy_bytes = self._bytes
+        if self.record_occupancy:
+            self.stats.occupancy_samples.append((now, self._bytes))
+        return True
+
+    def pop(self, now: float) -> Optional[Packet]:
+        """Dequeue the head-of-line packet, or ``None`` if empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        self.stats.dequeued_packets += 1
+        self.stats.dequeued_bytes += packet.size
+        if self.record_occupancy:
+            self.stats.occupancy_samples.append((now, self._bytes))
+        return packet
+
+
+class REDQueue(DropTailQueue):
+    """Random Early Detection variant (extension; not used by iBoxNet).
+
+    Uses the classic EWMA-of-occupancy drop probability ramp between
+    ``min_thresh`` and ``max_thresh`` (expressed as fractions of capacity).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: float,
+        min_thresh: float = 0.3,
+        max_thresh: float = 0.9,
+        max_drop_prob: float = 0.1,
+        ewma_weight: float = 0.02,
+        rng: Optional[np.random.Generator] = None,
+        record_occupancy: bool = False,
+    ):
+        super().__init__(capacity_bytes, record_occupancy=record_occupancy)
+        if not 0 <= min_thresh < max_thresh <= 1:
+            raise ValueError(
+                f"need 0 <= min_thresh < max_thresh <= 1, got "
+                f"{min_thresh}, {max_thresh}"
+            )
+        self.min_thresh = min_thresh * capacity_bytes
+        self.max_thresh = max_thresh * capacity_bytes
+        self.max_drop_prob = max_drop_prob
+        self.ewma_weight = ewma_weight
+        self._avg = 0.0
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def admit(self, packet: Packet, now: float) -> bool:
+        self._avg = (
+            (1 - self.ewma_weight) * self._avg + self.ewma_weight * self._bytes
+        )
+        if self._bytes + packet.size > self.capacity_bytes:
+            return False
+        if self._avg < self.min_thresh:
+            return True
+        if self._avg >= self.max_thresh:
+            return False
+        ramp = (self._avg - self.min_thresh) / (
+            self.max_thresh - self.min_thresh
+        )
+        return self._rng.random() >= ramp * self.max_drop_prob

@@ -1,0 +1,407 @@
+"""Single-bottleneck path construction and flow runners.
+
+This wires the pieces into the paper's Fig. 1 topology:
+
+    sender S ──▶ [bottleneck queue+link (b, B)] ──▶ [prop delay d]
+            (cross traffic C also enqueues here)      [reorder box]*
+                                                            │
+    sender ◀── [reverse prop delay] ◀── ACKs ◀── receiver ◀─┘
+
+(* the reorder box exists only in ground-truth paths; iBoxNet's learnt
+model cannot express it, which is the point of §5.1.)
+
+Everything is declarative: a :class:`PathConfig` fully describes a path
+(bandwidth process, delays, buffer, reordering, cross-traffic workload), and
+:func:`run_flow` turns (config, protocol, duration, seed) into a
+:class:`FlowRunResult` containing the end-to-end trace plus ground-truth
+internals that the paper's authors could not observe on real paths — true
+queue occupancy and true cross-traffic — which we use to validate the
+estimators directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.simulation.crosstraffic import (
+    OnOffSource,
+    PoissonSource,
+    RateReplaySource,
+)
+from repro.simulation.delaybox import DelayBox, ReorderBox, Sink
+from repro.simulation.engine import Simulator
+from repro.simulation.links import (
+    Bottleneck,
+    CellularRateProcess,
+    ConstantRateProcess,
+    RateProcess,
+    TraceRateProcess,
+)
+from repro.simulation.packet import DEFAULT_MTU_BYTES, Packet
+from repro.simulation.queues import DropTailQueue
+
+
+# ----------------------------------------------------------------------
+# Bandwidth specs (declarative; realised per-run)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConstantBandwidth:
+    """Fixed-rate bottleneck (wired path / iBoxNet emulator)."""
+
+    rate_bytes_per_sec: float
+
+    def build(self, duration: float, seed: int) -> RateProcess:
+        return ConstantRateProcess(self.rate_bytes_per_sec)
+
+    @property
+    def nominal_rate(self) -> float:
+        return self.rate_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class CellularBandwidth:
+    """Fluctuating cellular-like bottleneck (India Cellular flavour)."""
+
+    mean_rate_bytes_per_sec: float
+    volatility: float = 0.35
+    reversion: float = 0.5
+    fade_prob: float = 0.01
+
+    def build(self, duration: float, seed: int) -> RateProcess:
+        return CellularRateProcess(
+            self.mean_rate_bytes_per_sec,
+            duration=duration,
+            seed=seed,
+            volatility=self.volatility,
+            reversion=self.reversion,
+            fade_prob=self.fade_prob,
+        )
+
+    @property
+    def nominal_rate(self) -> float:
+        return self.mean_rate_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class ScheduledBandwidth:
+    """Explicit (times, rates) schedule — used when replaying a learnt
+    variable-bandwidth profile."""
+
+    times: Tuple[float, ...]
+    rates: Tuple[float, ...]
+
+    def build(self, duration: float, seed: int) -> RateProcess:
+        return TraceRateProcess(self.times, self.rates)
+
+    @property
+    def nominal_rate(self) -> float:
+        return float(np.mean(self.rates))
+
+
+BandwidthSpec = Union[ConstantBandwidth, CellularBandwidth, ScheduledBandwidth]
+
+
+# ----------------------------------------------------------------------
+# Cross-traffic specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PoissonCT:
+    """Open-loop Poisson cross traffic."""
+
+    rate_bytes_per_sec: float
+    start: float = 0.0
+    stop: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class OnOffCT:
+    """Bursty on/off cross traffic."""
+
+    peak_rate_bytes_per_sec: float
+    mean_on: float = 1.0
+    mean_off: float = 2.0
+    start: float = 0.0
+    stop: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FlowCT:
+    """Closed-loop cross traffic: a full congestion-controlled flow (the
+    instance test's "one Cubic cross-traffic flow of 10 s duration")."""
+
+    protocol: str = "cubic"
+    start: float = 0.0
+    stop: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ReplayCT:
+    """Replay of an estimated cross-traffic rate series (iBoxNet emulator)."""
+
+    bin_edges: Tuple[float, ...]
+    rates_bytes_per_sec: Tuple[float, ...]
+
+
+CrossTrafficSpec = Union[PoissonCT, OnOffCT, FlowCT, ReplayCT]
+
+
+# ----------------------------------------------------------------------
+# Path configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PathConfig:
+    """Complete declarative description of a single-bottleneck path."""
+
+    bandwidth: BandwidthSpec
+    propagation_delay: float  # forward one-way, seconds
+    buffer_bytes: float
+    ack_delay: float = 0.0  # reverse-path delay; defaults to forward delay
+    reorder_prob: float = 0.0
+    reorder_extra_delay: float = 0.03
+    cross_traffic: Tuple[CrossTrafficSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
+        if self.buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+
+    @property
+    def reverse_delay(self) -> float:
+        return self.ack_delay if self.ack_delay > 0 else self.propagation_delay
+
+    @property
+    def min_rtt(self) -> float:
+        return self.propagation_delay + self.reverse_delay
+
+
+class FlowDemux:
+    """Routes delivered packets to per-flow receivers; others to a sink."""
+
+    def __init__(self, default_sink: Optional[Sink] = None):
+        self._routes: Dict[str, object] = {}
+        self.default = default_sink if default_sink is not None else Sink()
+
+    def register(self, flow_id: str, component) -> None:
+        self._routes[flow_id] = component
+
+    def accept(self, packet: Packet) -> None:
+        self._routes.get(packet.flow_id, self.default).accept(packet)
+
+
+class SingleBottleneckPath:
+    """A built (live) path: bottleneck + delay boxes + demux + ACK plumbing.
+
+    Use :meth:`attach_flow` to connect a sender/receiver pair, then
+    :meth:`add_cross_traffic` for workload, then run the simulator.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: PathConfig,
+        duration: float,
+        seed: int,
+        record_queue: bool = False,
+    ):
+        self.sim = sim
+        self.config = config
+        self.duration = duration
+        self.seed = seed
+        self.rate_process = config.bandwidth.build(duration, seed)
+        self.queue = DropTailQueue(
+            config.buffer_bytes, record_occupancy=record_queue
+        )
+        self.demux = FlowDemux()
+        rng = np.random.default_rng(seed ^ 0x5EED)
+        terminal = self.demux
+        if config.reorder_prob > 0:
+            terminal = ReorderBox(
+                sim,
+                self.demux,
+                reorder_prob=config.reorder_prob,
+                detour_delay=config.reorder_extra_delay,
+                rng=rng,
+            )
+        self.forward_delay = DelayBox(sim, config.propagation_delay, terminal)
+        self.bottleneck = Bottleneck(
+            sim, self.rate_process, self.queue, self.forward_delay
+        )
+        self._ct_sources: List[object] = []
+        self._ct_seq = 0
+
+    # ------------------------------------------------------------------
+    # Flow attachment
+    # ------------------------------------------------------------------
+    def attach_flow(
+        self,
+        protocol: str,
+        flow_id: str,
+        recorder=None,
+        cumulative: Optional[bool] = None,
+        seed: int = 0,
+        **sender_kwargs,
+    ):
+        """Create a (sender, receiver) pair of the given protocol on this
+        path.  Returns the sender; call ``sender.start()`` (or schedule it)
+        to begin."""
+        from repro.protocols import PROTOCOLS, Receiver
+
+        cls = PROTOCOLS[protocol.lower()]
+        sender = cls(
+            self.sim, flow_id, self.bottleneck, recorder=recorder,
+            **sender_kwargs,
+        )
+        if cumulative is None:
+            # Media-style senders need highest-seen feedback.
+            cumulative = getattr(sender, "reliable", True)
+        ack_path = DelayBox(self.sim, self.config.reverse_delay, sender)
+        receiver = Receiver(
+            self.sim, flow_id, ack_path, recorder=recorder,
+            cumulative=cumulative,
+        )
+        self.demux.register(flow_id, receiver)
+        return sender
+
+    # ------------------------------------------------------------------
+    # Cross traffic
+    # ------------------------------------------------------------------
+    def add_cross_traffic(self, spec: CrossTrafficSpec, seed: int) -> None:
+        """Instantiate a cross-traffic source sharing the bottleneck."""
+        flow_id = f"ct{self._ct_seq}"
+        self._ct_seq += 1
+        if isinstance(spec, PoissonCT):
+            source = PoissonSource(
+                self.sim,
+                self.bottleneck,
+                rate_bytes_per_sec=spec.rate_bytes_per_sec,
+                seed=seed,
+                flow_id=flow_id,
+                start=spec.start,
+                stop=spec.stop,
+            )
+        elif isinstance(spec, OnOffCT):
+            source = OnOffSource(
+                self.sim,
+                self.bottleneck,
+                peak_rate_bytes_per_sec=spec.peak_rate_bytes_per_sec,
+                mean_on=spec.mean_on,
+                mean_off=spec.mean_off,
+                seed=seed,
+                flow_id=flow_id,
+                start=spec.start,
+                stop=spec.stop,
+            )
+        elif isinstance(spec, FlowCT):
+            sender = self.attach_flow(spec.protocol, flow_id)
+            self.sim.schedule_at(max(spec.start, self.sim.now), sender.start)
+            if spec.stop is not None:
+                self.sim.schedule_at(spec.stop, sender.shutdown)
+            source = sender
+        elif isinstance(spec, ReplayCT):
+            source = RateReplaySource(
+                self.sim,
+                self.bottleneck,
+                bin_edges=spec.bin_edges,
+                rates_bytes_per_sec=spec.rates_bytes_per_sec,
+                flow_id=flow_id,
+            )
+        else:
+            raise TypeError(f"unknown cross-traffic spec: {spec!r}")
+        self._ct_sources.append(source)
+
+    def cross_traffic_bytes_offered(self) -> int:
+        """Total bytes offered by open-loop CT sources (ground truth)."""
+        total = 0
+        for source in self._ct_sources:
+            sent = getattr(source, "packets_sent", None)
+            size = getattr(source, "packet_size", DEFAULT_MTU_BYTES)
+            if sent is not None:
+                total += sent * size
+        return total
+
+
+@dataclass
+class FlowRunResult:
+    """Outcome of one simulated run of a flow over a path."""
+
+    trace: "object"  # repro.trace.Trace (kept loose to avoid import cycle)
+    config: PathConfig
+    protocol: str
+    seed: int
+    queue_peak_bytes: int
+    queue_drop_packets: int
+    sender_stats: Dict[str, float]
+    cross_traffic_bytes: int
+
+
+def run_flow(
+    config: PathConfig,
+    protocol: str,
+    duration: float,
+    seed: int,
+    flow_id: Optional[str] = None,
+    ct_seed_offset: int = 1000,
+    sender_kwargs: Optional[dict] = None,
+    warmup: float = 0.0,
+    path_seed: Optional[int] = None,
+) -> FlowRunResult:
+    """Run one flow of ``protocol`` over ``config`` for ``duration`` seconds.
+
+    ``seed`` drives every random element (bandwidth realisation, CT
+    arrivals, reordering), so runs are exactly reproducible.  ``warmup``
+    delays the main flow's start without extending the recorded duration
+    base (records are timestamped in absolute simulation time).
+
+    ``path_seed``, when given, pins the *path* randomness (bandwidth
+    realisation, reorder draws) separately from the workload randomness,
+    so repeated runs over the identical path still see different
+    cross-traffic arrivals.
+    """
+    from repro.trace import TraceRecorder
+
+    sim = Simulator()
+    path = SingleBottleneckPath(
+        sim, config, duration, seed if path_seed is None else path_seed
+    )
+    if flow_id is None:
+        flow_id = f"{protocol}-{seed}"
+    recorder = TraceRecorder(flow_id, protocol=protocol)
+    sender = path.attach_flow(
+        protocol, flow_id, recorder=recorder, **(sender_kwargs or {})
+    )
+    for i, spec in enumerate(config.cross_traffic):
+        path.add_cross_traffic(spec, seed=seed + ct_seed_offset + i)
+    sim.schedule_at(warmup, sender.start)
+    sim.run(until=duration)
+    sender.shutdown()
+    # Let in-flight packets drain so the tail of the trace is complete.
+    sim.run(until=duration + 2.0)
+    trace = recorder.finish(duration=duration)
+    trace.metadata.update(
+        {
+            "protocol": protocol,
+            "seed": seed,
+            "nominal_rate": config.bandwidth.nominal_rate,
+            "propagation_delay": config.propagation_delay,
+            "buffer_bytes": config.buffer_bytes,
+        }
+    )
+    return FlowRunResult(
+        trace=trace,
+        config=config,
+        protocol=protocol,
+        seed=seed,
+        queue_peak_bytes=path.queue.stats.peak_occupancy_bytes,
+        queue_drop_packets=path.queue.stats.dropped_packets,
+        sender_stats={
+            "packets_sent": sender.packets_sent,
+            "retransmissions": sender.retransmissions,
+            "timeouts": sender.timeouts,
+            "loss_events": sender.loss_events,
+        },
+        cross_traffic_bytes=path.cross_traffic_bytes_offered(),
+    )

@@ -1,0 +1,45 @@
+"""Unit conversion helpers.
+
+The simulator works in seconds / bytes / bytes-per-second.  Configuration
+and reporting, following the paper, use milliseconds and megabits per
+second; these helpers keep the conversions explicit and typo-free.
+"""
+
+BITS_PER_BYTE = 8
+MEGA = 1_000_000
+KILO = 1_000
+
+
+def mbps_to_bytes_per_sec(mbps: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return mbps * MEGA / BITS_PER_BYTE
+
+
+def bytes_per_sec_to_mbps(bps: float) -> float:
+    """Convert bytes per second to megabits per second."""
+    return bps * BITS_PER_BYTE / MEGA
+
+
+def kbps_to_bytes_per_sec(kbps: float) -> float:
+    """Convert kilobits per second to bytes per second."""
+    return kbps * KILO / BITS_PER_BYTE
+
+
+def bytes_per_sec_to_kbps(bps: float) -> float:
+    """Convert bytes per second to kilobits per second."""
+    return bps * BITS_PER_BYTE / KILO
+
+
+def ms_to_sec(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / KILO
+
+
+def sec_to_ms(sec: float) -> float:
+    """Convert seconds to milliseconds."""
+    return sec * KILO
+
+
+def bdp_bytes(rate_bytes_per_sec: float, rtt_sec: float) -> float:
+    """Bandwidth-delay product in bytes."""
+    return rate_bytes_per_sec * rtt_sec

@@ -1,0 +1,50 @@
+"""Trace data model, feature extraction, metrics and I/O.
+
+An iBox *trace* is the end-to-end input/output record of one flow: for
+every transmission, when it entered the network at the sender and when (if
+ever) it emerged at the receiver.  That is the only artefact the paper's
+learning pipeline consumes (§2): delay, loss, reordering, queue buildup and
+rates are all derivable from it.
+"""
+
+from repro.trace.records import PacketRecord, Trace, TraceRecorder
+from repro.trace.features import (
+    binned_delay_series,
+    binned_rate_series,
+    inter_arrival_times,
+    inter_send_times,
+    packet_features,
+    reordering_events,
+    reordering_rate_windows,
+    sending_rate_at_packets,
+    sliding_window_rate,
+)
+from repro.trace.metrics import TraceSummary, loss_percent, mean_rate_mbps, p95_delay_ms, summarize
+from repro.trace.io import load_trace, load_traces, save_trace, save_traces
+from repro.trace.validate import assert_valid, validate_trace
+
+__all__ = [
+    "PacketRecord",
+    "Trace",
+    "TraceRecorder",
+    "TraceSummary",
+    "assert_valid",
+    "binned_delay_series",
+    "binned_rate_series",
+    "inter_arrival_times",
+    "inter_send_times",
+    "load_trace",
+    "load_traces",
+    "loss_percent",
+    "mean_rate_mbps",
+    "p95_delay_ms",
+    "packet_features",
+    "reordering_events",
+    "reordering_rate_windows",
+    "save_trace",
+    "save_traces",
+    "sending_rate_at_packets",
+    "sliding_window_rate",
+    "summarize",
+    "validate_trace",
+]

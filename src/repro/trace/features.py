@@ -1,0 +1,188 @@
+"""Feature extraction from traces.
+
+These are the paper's feature definitions, used both by the estimators
+(§3) and as iBoxML model inputs (§4.1):
+
+* **instantaneous sending rate** — "the number of packet bytes sent during
+  the second preceding the current packet timestamp";
+* **inter-packet spacing** at the sender;
+* **inter-packet arrival times** at the receiver (whose negative values are
+  reordering events, SAX symbol 'a' in Fig. 8);
+* **reordering rate over 1 s windows** (Fig. 5's metric);
+* binned rate/delay time series (Fig. 4's instance-test series).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.trace.records import Trace
+
+
+def sliding_window_rate(
+    times: np.ndarray,
+    sizes: np.ndarray,
+    at: np.ndarray,
+    window: float = 1.0,
+) -> np.ndarray:
+    """Bytes per second observed in ``[t - window, t)`` for each ``t`` in
+    ``at``; ``times`` must be sorted ascending."""
+    times = np.asarray(times, dtype=float)
+    sizes = np.asarray(sizes, dtype=float)
+    at = np.asarray(at, dtype=float)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    cumulative = np.concatenate(([0.0], np.cumsum(sizes)))
+    hi = np.searchsorted(times, at, side="left")
+    lo = np.searchsorted(times, at - window, side="left")
+    return (cumulative[hi] - cumulative[lo]) / window
+
+
+def sending_rate_at_packets(trace: Trace, window: float = 1.0) -> np.ndarray:
+    """The paper's "instantaneous sending rate" feature, per packet."""
+    return sliding_window_rate(
+        trace.sent_at, trace.sizes, trace.sent_at, window
+    )
+
+
+def inter_send_times(trace: Trace) -> np.ndarray:
+    """Sender-side inter-packet spacing; first entry is 0."""
+    sent = trace.sent_at
+    if len(sent) == 0:
+        return np.array([])
+    return np.concatenate(([0.0], np.diff(sent)))
+
+
+def arrival_order_deltas(trace: Trace) -> np.ndarray:
+    """Inter-packet *arrival* deltas in **send order** (delivered packets).
+
+    Negative values mean a packet arrived before its predecessor-in-send-
+    order — i.e. a reordering event.  This is the series SAX discretizes in
+    §5.1 (symbol 'a' = negative values).
+    """
+    arrivals = trace.delivered_at[trace.delivered_mask]
+    if len(arrivals) < 2:
+        return np.array([])
+    return np.diff(arrivals)
+
+
+def inter_arrival_times(trace: Trace) -> np.ndarray:
+    """Alias for :func:`arrival_order_deltas` (the paper's Delta_i)."""
+    return arrival_order_deltas(trace)
+
+
+def reordering_events(trace: Trace) -> np.ndarray:
+    """Boolean array over delivered packets (send order, from the 2nd):
+    ``True`` where the packet arrived earlier than its predecessor."""
+    deltas = arrival_order_deltas(trace)
+    return deltas < 0
+
+
+def reordering_rate_windows(
+    trace: Trace, window: float = 1.0
+) -> np.ndarray:
+    """Reordering rate per ``window``-second window (Fig. 5's metric).
+
+    For each window of *send* time, the fraction of delivered packets in it
+    that constitute reordering events.
+    Windows with no delivered packets are omitted.
+    """
+    mask = trace.delivered_mask
+    sent = trace.sent_at[mask]
+    if len(sent) < 2:
+        return np.array([])
+    events = np.concatenate(([False], reordering_events(trace)))
+    edges = np.arange(0.0, trace.duration + window, window)
+    rates = []
+    idx = np.searchsorted(sent, edges)
+    for k in range(len(edges) - 1):
+        lo, hi = idx[k], idx[k + 1]
+        if hi - lo == 0:
+            continue
+        rates.append(float(events[lo:hi].mean()))
+    return np.array(rates)
+
+
+def binned_rate_series(
+    trace: Trace,
+    bin_width: float = 0.5,
+    use_arrivals: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(bin_centres, bytes/s) time series of the flow's rate.
+
+    ``use_arrivals=True`` (default) gives the receiving-rate series the
+    paper plots in Fig. 4(a); ``False`` gives the sending rate.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if use_arrivals:
+        mask = trace.delivered_mask
+        times = trace.delivered_at[mask]
+        sizes = trace.sizes[mask]
+    else:
+        times = trace.sent_at
+        sizes = trace.sizes
+    edges = np.arange(0.0, trace.duration + bin_width, bin_width)
+    totals, _ = np.histogram(times, bins=edges, weights=sizes)
+    centres = (edges[:-1] + edges[1:]) / 2
+    return centres, totals / bin_width
+
+
+def binned_delay_series(
+    trace: Trace, bin_width: float = 0.5
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(bin_centres, mean delay seconds) series; ``nan`` in empty bins."""
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    mask = trace.delivered_mask
+    times = trace.sent_at[mask]
+    delays = trace.delays[mask]
+    edges = np.arange(0.0, trace.duration + bin_width, bin_width)
+    sums, _ = np.histogram(times, bins=edges, weights=delays)
+    counts, _ = np.histogram(times, bins=edges)
+    centres = (edges[:-1] + edges[1:]) / 2
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return centres, means
+
+
+def packet_features(
+    trace: Trace,
+    cross_traffic: Optional[np.ndarray] = None,
+    window: float = 1.0,
+) -> np.ndarray:
+    """Per-packet feature matrix for iBoxML (§4.1).
+
+    Columns: [instantaneous sending rate, inter-send spacing, packet size,
+    previous delay] plus, when ``cross_traffic`` is given (per-packet CT
+    rate estimates aligned with send times), a fifth CT column — the §5.2
+    augmentation.
+
+    The "previous delay" column uses the delay of the previous *delivered*
+    packet (losses carry the last known delay forward), since a real sender
+    never observes the delay of a lost packet.
+    """
+    n = len(trace)
+    if n == 0:
+        return np.zeros((0, 5 if cross_traffic is not None else 4))
+    rate = sending_rate_at_packets(trace, window)
+    spacing = inter_send_times(trace)
+    sizes = trace.sizes
+    delays = trace.delays
+    prev_delay = np.zeros(n)
+    last = 0.0
+    for i in range(n):
+        prev_delay[i] = last
+        if not np.isnan(delays[i]):
+            last = delays[i]
+    columns = [rate, spacing, sizes, prev_delay]
+    if cross_traffic is not None:
+        ct = np.asarray(cross_traffic, dtype=float)
+        if ct.shape != (n,):
+            raise ValueError(
+                f"cross_traffic must have shape ({n},), got {ct.shape}"
+            )
+        columns.append(ct)
+    return np.column_stack(columns)

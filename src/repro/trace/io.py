@@ -1,0 +1,188 @@
+"""Trace persistence.
+
+Two formats:
+
+* **JSONL** — one JSON object per packet record plus a header line; human
+  inspectable, diff-friendly, the "release format" for iBoxNet profiles the
+  paper mentions in §3.2 footnote 2.
+* **NPZ** — columnar numpy arrays; compact and fast for datasets.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.trace.records import PacketRecord, Trace
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write a trace; format chosen by suffix (``.jsonl`` or ``.npz``)."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        _save_jsonl(trace, path)
+    elif path.suffix == ".npz":
+        _save_npz(trace, path)
+    else:
+        raise ValueError(f"unsupported trace format: {path.suffix!r}")
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return _load_jsonl(path)
+    if path.suffix == ".npz":
+        return _load_npz(path)
+    raise ValueError(f"unsupported trace format: {path.suffix!r}")
+
+
+def save_traces(traces: List[Trace], directory: PathLike, fmt: str = "npz") -> List[Path]:
+    """Write each trace to ``directory/<index>_<flow_id>.<fmt>``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i, trace in enumerate(traces):
+        safe_id = trace.flow_id.replace("/", "_")
+        path = directory / f"{i:04d}_{safe_id}.{fmt}"
+        save_trace(trace, path)
+        paths.append(path)
+    return paths
+
+
+def load_traces(directory: PathLike) -> List[Trace]:
+    """Read every ``.jsonl``/``.npz`` trace in a directory, sorted by name."""
+    directory = Path(directory)
+    paths = sorted(
+        p
+        for p in directory.iterdir()
+        if p.suffix in (".jsonl", ".npz") and p.is_file()
+    )
+    return [load_trace(p) for p in paths]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def _save_jsonl(trace: Trace, path: Path) -> None:
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "flow_id": trace.flow_id,
+        "protocol": trace.protocol,
+        "duration": trace.duration,
+        "metadata": trace.metadata,
+    }
+    with open(path, "w") as f:
+        f.write(json.dumps(header) + "\n")
+        for r in trace.records:
+            row = {
+                "uid": r.uid,
+                "seq": r.seq,
+                "size": r.size,
+                "sent_at": r.sent_at,
+                "delivered_at": None if r.lost else r.delivered_at,
+                "is_retransmit": r.is_retransmit,
+            }
+            f.write(json.dumps(row) + "\n")
+
+
+def _load_jsonl(path: Path) -> Trace:
+    with open(path) as f:
+        header = json.loads(f.readline())
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version in {path}: "
+                f"{header.get('format_version')}"
+            )
+        records = []
+        for line in f:
+            row = json.loads(line)
+            delivered = row["delivered_at"]
+            records.append(
+                PacketRecord(
+                    uid=row["uid"],
+                    seq=row["seq"],
+                    size=row["size"],
+                    sent_at=row["sent_at"],
+                    delivered_at=math.nan if delivered is None else delivered,
+                    is_retransmit=row["is_retransmit"],
+                )
+            )
+    return Trace(
+        header["flow_id"],
+        records,
+        duration=header["duration"],
+        protocol=header["protocol"],
+        metadata=header["metadata"],
+    )
+
+
+# ----------------------------------------------------------------------
+# NPZ
+# ----------------------------------------------------------------------
+def _save_npz(trace: Trace, path: Path) -> None:
+    np.savez_compressed(
+        path,
+        uid=np.array([r.uid for r in trace.records], dtype=np.int64),
+        seq=np.array([r.seq for r in trace.records], dtype=np.int64),
+        size=np.array([r.size for r in trace.records], dtype=np.int64),
+        sent_at=trace.sent_at,
+        delivered_at=trace.delivered_at,
+        is_retransmit=np.array(
+            [r.is_retransmit for r in trace.records], dtype=bool
+        ),
+        header=np.array(
+            json.dumps(
+                {
+                    "format_version": _FORMAT_VERSION,
+                    "flow_id": trace.flow_id,
+                    "protocol": trace.protocol,
+                    "duration": trace.duration,
+                    "metadata": trace.metadata,
+                }
+            )
+        ),
+    )
+
+
+def _load_npz(path: Path) -> Trace:
+    with np.load(path, allow_pickle=False) as data:
+        header = json.loads(str(data["header"]))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version in {path}: "
+                f"{header.get('format_version')}"
+            )
+        records = [
+            PacketRecord(
+                uid=int(u),
+                seq=int(s),
+                size=int(sz),
+                sent_at=float(sa),
+                delivered_at=float(da),
+                is_retransmit=bool(rt),
+            )
+            for u, s, sz, sa, da, rt in zip(
+                data["uid"],
+                data["seq"],
+                data["size"],
+                data["sent_at"],
+                data["delivered_at"],
+                data["is_retransmit"],
+            )
+        ]
+    return Trace(
+        header["flow_id"],
+        records,
+        duration=header["duration"],
+        protocol=header["protocol"],
+        metadata=header["metadata"],
+    )

@@ -1,0 +1,74 @@
+"""End-to-end metrics: the axes of the paper's Fig. 2.
+
+Fig. 2 plots each run as (95th-percentile delay in ms, packet loss %,
+average rate in Mb/s) — the same summary triple Pantheon reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation import units
+from repro.trace.records import Trace
+
+
+def p95_delay_ms(trace: Trace) -> float:
+    """95th-percentile one-way delay of delivered packets, in ms."""
+    delays = trace.delivered_delays()
+    if len(delays) == 0:
+        return float("nan")
+    return units.sec_to_ms(float(np.percentile(delays, 95)))
+
+
+def loss_percent(trace: Trace) -> float:
+    """Percentage of transmissions never delivered."""
+    return 100.0 * trace.loss_rate
+
+
+def mean_rate_mbps(trace: Trace) -> float:
+    """Average goodput (delivered bytes / duration) in Mb/s."""
+    delivered_bytes = float(trace.sizes[trace.delivered_mask].sum())
+    return units.bytes_per_sec_to_mbps(delivered_bytes / trace.duration)
+
+
+@dataclass
+class TraceSummary:
+    """The (rate, p95 delay, loss) summary triple of one run."""
+
+    flow_id: str
+    protocol: str
+    packets_sent: int
+    packets_delivered: int
+    mean_rate_mbps: float
+    p95_delay_ms: float
+    loss_percent: float
+    mean_delay_ms: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.protocol:>6s} {self.flow_id}: "
+            f"rate={self.mean_rate_mbps:.2f} Mb/s, "
+            f"p95 delay={self.p95_delay_ms:.0f} ms, "
+            f"loss={self.loss_percent:.2f}% "
+            f"({self.packets_delivered}/{self.packets_sent} pkts)"
+        )
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute the Fig. 2 summary triple (plus counts) for a trace."""
+    delays = trace.delivered_delays()
+    mean_delay = (
+        units.sec_to_ms(float(delays.mean())) if len(delays) else float("nan")
+    )
+    return TraceSummary(
+        flow_id=trace.flow_id,
+        protocol=trace.protocol,
+        packets_sent=trace.packets_sent,
+        packets_delivered=trace.packets_delivered,
+        mean_rate_mbps=mean_rate_mbps(trace),
+        p95_delay_ms=p95_delay_ms(trace),
+        loss_percent=loss_percent(trace),
+        mean_delay_ms=mean_delay,
+    )

@@ -1,0 +1,205 @@
+"""Packet records and the Trace container."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.simulation.packet import Packet
+
+
+@dataclass
+class PacketRecord:
+    """One transmission of one packet, as seen end-to-end.
+
+    ``delivered_at`` is ``nan`` for packets that never arrived — the paper's
+    "infinite delay" encoding of loss (§2).
+    """
+
+    uid: int
+    seq: int
+    size: int
+    sent_at: float
+    delivered_at: float = math.nan
+    is_retransmit: bool = False
+
+    @property
+    def lost(self) -> bool:
+        return math.isnan(self.delivered_at)
+
+    @property
+    def delay(self) -> float:
+        """One-way delay in seconds (``nan`` if lost)."""
+        return self.delivered_at - self.sent_at
+
+
+class Trace:
+    """The end-to-end input/output record of one flow.
+
+    Records are kept sorted by send time.  Numpy views of the columns are
+    computed lazily and cached; mutating ``records`` after reading a view
+    is a programming error (build traces through :class:`TraceRecorder` or
+    construct them once).
+    """
+
+    def __init__(
+        self,
+        flow_id: str,
+        records: Iterable[PacketRecord],
+        duration: float,
+        protocol: str = "unknown",
+        metadata: Optional[dict] = None,
+    ):
+        self.flow_id = flow_id
+        self.records: List[PacketRecord] = sorted(
+            records, key=lambda r: (r.sent_at, r.uid)
+        )
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.duration = float(duration)
+        self.protocol = protocol
+        self.metadata = dict(metadata or {})
+        self._cache: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Column views
+    # ------------------------------------------------------------------
+    def _column(self, name: str, getter) -> np.ndarray:
+        if name not in self._cache:
+            self._cache[name] = np.array(
+                [getter(r) for r in self.records], dtype=float
+            )
+        return self._cache[name]
+
+    @property
+    def sent_at(self) -> np.ndarray:
+        return self._column("sent_at", lambda r: r.sent_at)
+
+    @property
+    def delivered_at(self) -> np.ndarray:
+        return self._column("delivered_at", lambda r: r.delivered_at)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._column("sizes", lambda r: r.size)
+
+    @property
+    def seqs(self) -> np.ndarray:
+        return self._column("seqs", lambda r: r.seq)
+
+    @property
+    def delays(self) -> np.ndarray:
+        """One-way delays in seconds; ``nan`` where lost."""
+        return self.delivered_at - self.sent_at
+
+    @property
+    def delivered_mask(self) -> np.ndarray:
+        return ~np.isnan(self.delivered_at)
+
+    # ------------------------------------------------------------------
+    # Basic statistics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def packets_sent(self) -> int:
+        return len(self.records)
+
+    @property
+    def packets_delivered(self) -> int:
+        return int(self.delivered_mask.sum())
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of transmissions never delivered."""
+        if not self.records:
+            return 0.0
+        return 1.0 - self.packets_delivered / self.packets_sent
+
+    def delivered_delays(self) -> np.ndarray:
+        """Delays of delivered packets only, in seconds."""
+        return self.delays[self.delivered_mask]
+
+    def subtrace(self, t0: float, t1: float) -> "Trace":
+        """Records sent in ``[t0, t1)``, re-based so ``t0`` maps to 0."""
+        if t1 <= t0:
+            raise ValueError("need t1 > t0")
+        records = [
+            PacketRecord(
+                uid=r.uid,
+                seq=r.seq,
+                size=r.size,
+                sent_at=r.sent_at - t0,
+                delivered_at=r.delivered_at - t0,
+                is_retransmit=r.is_retransmit,
+            )
+            for r in self.records
+            if t0 <= r.sent_at < t1
+        ]
+        return Trace(
+            self.flow_id,
+            records,
+            duration=t1 - t0,
+            protocol=self.protocol,
+            metadata=self.metadata,
+        )
+
+    def summary(self):
+        """End-to-end summary metrics (import-cycle-free convenience)."""
+        from repro.trace.metrics import summarize
+
+        return summarize(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(flow={self.flow_id!r}, protocol={self.protocol!r}, "
+            f"packets={len(self)}, duration={self.duration:.1f}s, "
+            f"loss={self.loss_rate:.2%})"
+        )
+
+
+class TraceRecorder:
+    """Observer that assembles a :class:`Trace` from simulator callbacks.
+
+    Senders call :meth:`record_send` for every transmission; receivers call
+    :meth:`record_delivery` when a packet arrives.  Matching is by packet
+    ``uid`` so retransmissions are tracked individually.
+    """
+
+    def __init__(self, flow_id: str, protocol: str = "unknown"):
+        self.flow_id = flow_id
+        self.protocol = protocol
+        self._records: Dict[int, PacketRecord] = {}
+
+    def record_send(self, packet: Packet) -> None:
+        if packet.uid in self._records:
+            raise ValueError(f"duplicate send for uid {packet.uid}")
+        self._records[packet.uid] = PacketRecord(
+            uid=packet.uid,
+            seq=packet.seq,
+            size=packet.size,
+            sent_at=packet.sent_at,
+            is_retransmit=packet.is_retransmit,
+        )
+
+    def record_delivery(self, packet: Packet) -> None:
+        record = self._records.get(packet.uid)
+        if record is None:
+            # Delivery of a packet we never saw sent (e.g. recorder attached
+            # late); ignore rather than corrupt the trace.
+            return
+        record.delivered_at = packet.delivered_at
+
+    def finish(self, duration: float, metadata: Optional[dict] = None) -> Trace:
+        """Freeze into an immutable-by-convention :class:`Trace`."""
+        return Trace(
+            self.flow_id,
+            self._records.values(),
+            duration=duration,
+            protocol=self.protocol,
+            metadata=metadata,
+        )

@@ -1,0 +1,79 @@
+"""Trace invariant validation.
+
+A trace that violates physics — deliveries before sends, negative sizes,
+duplicate transmission ids — silently corrupts every estimator downstream.
+:func:`validate_trace` checks the invariants and returns a list of
+human-readable violations (empty = sound); :func:`assert_valid` raises.
+
+Used by tests and available to users ingesting external trace files.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.trace.records import Trace
+
+
+def validate_trace(
+    trace: Trace,
+    min_plausible_delay: float = 1e-6,
+    max_plausible_delay: float = 60.0,
+) -> List[str]:
+    """Check structural and physical invariants; returns violations."""
+    problems: List[str] = []
+    n = len(trace)
+    if n == 0:
+        return problems
+
+    uids = [r.uid for r in trace.records]
+    if len(set(uids)) != n:
+        problems.append("duplicate transmission uids")
+
+    sent = trace.sent_at
+    if np.any(np.diff(sent) < 0):
+        problems.append("records not sorted by send time")
+    if np.any(sent < 0):
+        problems.append("negative send timestamps")
+    if np.any(sent > trace.duration + 1e-9):
+        problems.append(
+            f"send timestamps beyond the declared duration "
+            f"({sent.max():.3f} > {trace.duration:.3f})"
+        )
+
+    sizes = trace.sizes
+    if np.any(sizes <= 0):
+        problems.append("non-positive packet sizes")
+
+    mask = trace.delivered_mask
+    delays = trace.delays[mask]
+    if len(delays):
+        if np.any(delays < min_plausible_delay):
+            problems.append(
+                "deliveries at or before their sends "
+                f"(min delay {delays.min():.6f} s)"
+            )
+        if np.any(delays > max_plausible_delay):
+            problems.append(
+                f"implausibly large delays (max {delays.max():.1f} s)"
+            )
+
+    seqs = trace.seqs
+    retransmits = np.array([r.is_retransmit for r in trace.records])
+    first_transmissions = seqs[~retransmits]
+    if len(first_transmissions) != len(set(first_transmissions.tolist())):
+        problems.append(
+            "duplicate sequence numbers among first transmissions"
+        )
+    return problems
+
+
+def assert_valid(trace: Trace, **kwargs) -> None:
+    """Raise ``ValueError`` listing every violated invariant."""
+    problems = validate_trace(trace, **kwargs)
+    if problems:
+        raise ValueError(
+            f"trace {trace.flow_id!r} is invalid: " + "; ".join(problems)
+        )

@@ -1,0 +1,136 @@
+"""Tests for k-means, t-SNE and cross-correlation features."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.crosscorr import (
+    instance_feature_vector,
+    max_normalized_crosscorr,
+    run_series,
+)
+from repro.analysis.kmeans import KMeans, cluster_purity
+from repro.analysis.tsne import tsne
+
+
+def _blobs(seed=0, n_per=20, separation=8.0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[0, 0], [separation, 0], [0, separation]])
+    points = np.concatenate(
+        [c + rng.normal(size=(n_per, 2)) for c in centres]
+    )
+    labels = np.repeat([0, 1, 2], n_per)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        points, truth = _blobs()
+        model = KMeans(n_clusters=3, seed=1).fit(points)
+        assert cluster_purity(model.labels_, truth) == 1.0
+
+    def test_predict_assigns_nearest(self):
+        points, _ = _blobs()
+        model = KMeans(n_clusters=3, seed=1).fit(points)
+        new_labels = model.predict(points)
+        assert np.array_equal(new_labels, model.labels_)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points, _ = _blobs()
+        one = KMeans(n_clusters=1, seed=0).fit(points).inertia_
+        three = KMeans(n_clusters=3, seed=0).fit(points).inertia_
+        assert three < one
+
+    def test_deterministic_given_seed(self):
+        points, _ = _blobs()
+        a = KMeans(n_clusters=3, seed=5).fit(points)
+        b = KMeans(n_clusters=3, seed=5).fit(points)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((2, 2)))
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        model = KMeans(n_clusters=2, seed=0).fit(points)
+        assert len(model.labels_) == 10
+
+
+class TestClusterPurity:
+    def test_perfect(self):
+        assert cluster_purity([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_half(self):
+        assert cluster_purity([0, 0, 0, 0], [1, 1, 2, 2]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cluster_purity([0], [0, 1])
+
+
+class TestTSNE:
+    def test_preserves_blob_structure(self):
+        points, truth = _blobs(n_per=12)
+        embedding = tsne(points, perplexity=8, n_iter=250, seed=0)
+        assert embedding.shape == (36, 2)
+        # Same-cluster distances smaller than cross-cluster on average.
+        same, cross = [], []
+        for i in range(len(points)):
+            for j in range(i + 1, len(points)):
+                distance = np.linalg.norm(embedding[i] - embedding[j])
+                (same if truth[i] == truth[j] else cross).append(distance)
+        assert np.mean(same) < np.mean(cross)
+
+    def test_kmeans_on_embedding_recovers_clusters(self):
+        points, truth = _blobs(n_per=10)
+        embedding = tsne(points, perplexity=6, n_iter=250, seed=1)
+        labels = KMeans(n_clusters=3, seed=0).fit(embedding).labels_
+        assert cluster_purity(labels, truth) >= 0.9
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            tsne(np.zeros(5))
+
+
+class TestCrossCorr:
+    def test_identical_series_score_one(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=60)
+        assert max_normalized_crosscorr(series, series) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_lag_recovered(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=60)
+        shifted = np.roll(base, 3)
+        assert max_normalized_crosscorr(base, shifted, max_lag=5) > 0.9
+
+    def test_uncorrelated_scores_low(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        assert max_normalized_crosscorr(a, b) < 0.4
+
+    def test_constant_series_scores_zero(self):
+        assert max_normalized_crosscorr(np.ones(30), np.ones(30)) == 0.0
+
+    def test_short_series(self):
+        assert max_normalized_crosscorr(np.ones(1), np.ones(1)) == 0.0
+
+    def test_feature_vector_length(self, cubic_trace, vegas_run):
+        references = [cubic_trace, vegas_run.trace]
+        features = instance_feature_vector(cubic_trace, references)
+        assert features.shape == (4,)
+        # Correlation with itself dominates.
+        assert features[0] > 0.95
+
+    def test_run_series_shapes(self, cubic_trace):
+        rates, delays = run_series(cubic_trace, bin_width=0.5)
+        assert len(rates) == len(delays)

@@ -1,0 +1,101 @@
+"""Tests for KS helpers, CDF utilities and the Table 1 metric."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    cdf_points,
+    distributions_match,
+    ks_statistic,
+    percentile_error_table,
+    summary_distribution_ks,
+)
+from repro.trace.metrics import TraceSummary
+
+
+def _summary(rate, p95, loss):
+    return TraceSummary(
+        flow_id="f", protocol="x", packets_sent=100, packets_delivered=99,
+        mean_rate_mbps=rate, p95_delay_ms=p95, loss_percent=loss,
+        mean_delay_ms=p95 / 2,
+    )
+
+
+class TestKS:
+    def test_identical_samples_match(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=200)
+        stat, p = ks_statistic(a, a)
+        assert stat == 0.0
+        assert p == 1.0
+
+    def test_shifted_distributions_detected(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, size=300)
+        b = rng.normal(3, 1, size=300)
+        assert not distributions_match(a, b)
+
+    def test_same_distribution_matches(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=300)
+        b = rng.normal(size=300)
+        assert distributions_match(a, b)
+
+    def test_nan_filtered(self):
+        a = np.array([1.0, 2.0, np.nan, 3.0])
+        b = np.array([1.0, 2.0, 3.0])
+        stat, _ = ks_statistic(a, b)
+        assert stat == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+
+
+class TestCDF:
+    def test_points(self):
+        values, probs = cdf_points([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert probs == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        values, probs = cdf_points([])
+        assert len(values) == 0
+
+
+class TestPercentileErrorTable:
+    def test_zero_for_identical(self):
+        values = np.linspace(10, 300, 40)
+        row = percentile_error_table(values, values, label="x")
+        assert row.p50_ms == 0.0
+        assert row.mean_ms == 0.0
+
+    def test_detects_constant_shift(self):
+        gt = np.linspace(100, 200, 50)
+        row = percentile_error_table(gt + 30, gt)
+        assert row.p25_ms == pytest.approx(30.0)
+        assert row.p50_ms == pytest.approx(30.0)
+        assert row.mean_ms == pytest.approx(30.0)
+        assert row.mean_pct == pytest.approx(20.0, rel=0.05)
+
+    def test_str_contains_percentages(self):
+        gt = np.linspace(100, 200, 50)
+        row = percentile_error_table(gt * 1.5, gt, label="Yes")
+        assert "Yes" in str(row)
+        assert "%" in str(row)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_error_table([], [1.0])
+
+
+class TestSummaryKS:
+    def test_per_axis_results(self):
+        gt = [_summary(1.0 + i / 10, 100 + i, i / 10) for i in range(10)]
+        sim = [_summary(1.0 + i / 10, 100 + i, i / 10) for i in range(10)]
+        results = summary_distribution_ks(gt, sim)
+        assert set(results) == {
+            "p95_delay_ms", "loss_percent", "mean_rate_mbps"
+        }
+        for stat, p in results.values():
+            assert stat == 0.0

@@ -1,0 +1,148 @@
+"""Tests for the §5.1 reordering predictors and delay modification."""
+
+import numpy as np
+import pytest
+
+from repro.core import iboxnet
+from repro.core.augmentation import (
+    LinearReorderPredictor,
+    LSTMReorderPredictor,
+    apply_reordering,
+    augment_iboxnet_trace,
+    naive_random_reordering,
+    reorder_features,
+    reorder_labels,
+    sample_reorder_flags,
+)
+from repro.trace.features import reordering_events
+
+
+@pytest.fixture(scope="module")
+def iboxnet_sim(vegas_traces):
+    """A reordering-free iBoxNet simulation of the last cellular path."""
+    model = iboxnet.fit(vegas_traces[-1])
+    return model.simulate("vegas", duration=12.0, seed=123)
+
+
+class TestLabelsAndFeatures:
+    def test_labels_match_reordering_events(self, vegas_traces):
+        trace = vegas_traces[0]
+        labels = reorder_labels(trace)
+        assert labels.shape == (trace.packets_delivered,)
+        assert labels[0] == 0
+        assert labels[1:].sum() == reordering_events(trace).sum()
+
+    def test_features_shape(self, vegas_traces):
+        trace = vegas_traces[0]
+        features = reorder_features(trace)
+        assert features.shape == (trace.packets_delivered, 3)
+
+    def test_ground_truth_has_reordering(self, vegas_traces):
+        # The cellular paths do reorder; otherwise §5.1 has nothing to find.
+        rates = [reorder_labels(t).mean() for t in vegas_traces]
+        assert max(rates) > 0.001
+
+    def test_iboxnet_sim_has_none(self, iboxnet_sim):
+        assert reorder_labels(iboxnet_sim).sum() == 0
+
+
+class TestApplyReordering:
+    def test_flagged_packets_become_events(self, iboxnet_sim):
+        n = iboxnet_sim.packets_delivered
+        flags = np.zeros(n, dtype=bool)
+        flags[10] = True
+        flags[100] = True
+        augmented = apply_reordering(iboxnet_sim, flags)
+        events = reorder_labels(augmented)
+        # At least one flag lands; a flag is (correctly) skipped when the
+        # pull-back would deliver the packet before its own send time.
+        assert 1 <= events.sum() <= 2
+
+    def test_delivery_never_precedes_send(self, iboxnet_sim):
+        n = iboxnet_sim.packets_delivered
+        rng = np.random.default_rng(0)
+        flags = rng.random(n) < 0.05
+        flags[0] = False
+        augmented = apply_reordering(iboxnet_sim, flags, rng=rng)
+        delays = augmented.delivered_at - augmented.sent_at
+        assert (delays[augmented.delivered_mask] > 0).all()
+
+    def test_original_trace_unmodified(self, iboxnet_sim):
+        before = iboxnet_sim.delivered_at.copy()
+        flags = np.ones(iboxnet_sim.packets_delivered, dtype=bool)
+        flags[0] = False
+        apply_reordering(iboxnet_sim, flags)
+        assert np.array_equal(
+            before, iboxnet_sim.delivered_at, equal_nan=True
+        )
+
+    def test_flag_count_checked(self, iboxnet_sim):
+        with pytest.raises(ValueError):
+            apply_reordering(iboxnet_sim, np.zeros(3, dtype=bool))
+
+
+class TestNaiveRandom:
+    def test_matches_requested_rate(self, iboxnet_sim):
+        augmented = naive_random_reordering(
+            iboxnet_sim, rate=0.05, rng=np.random.default_rng(1)
+        )
+        achieved = reorder_labels(augmented).mean()
+        assert achieved == pytest.approx(0.05, abs=0.02)
+
+    def test_invalid_rate_rejected(self, iboxnet_sim):
+        with pytest.raises(ValueError):
+            naive_random_reordering(iboxnet_sim, rate=1.5)
+
+
+class TestPredictors:
+    @pytest.fixture(scope="class")
+    def linear(self, vegas_traces):
+        return LinearReorderPredictor().fit(vegas_traces[:3])
+
+    @pytest.fixture(scope="class")
+    def lstm(self, vegas_traces):
+        return LSTMReorderPredictor(epochs=6).fit(vegas_traces[:3])
+
+    def test_linear_probabilities_valid(self, linear, vegas_traces):
+        probs = linear.predict_proba(vegas_traces[3])
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_linear_roughly_calibrated(self, linear, vegas_traces):
+        base_rate = np.concatenate(
+            [reorder_labels(t) for t in vegas_traces[:3]]
+        ).mean()
+        probs = np.concatenate(
+            [linear.predict_proba(t) for t in vegas_traces[:3]]
+        )
+        assert probs.mean() == pytest.approx(base_rate, rel=0.6)
+
+    def test_lstm_calibration_correction(self, lstm, vegas_traces):
+        base_rate = np.concatenate(
+            [reorder_labels(t) for t in vegas_traces[:3]]
+        ).mean()
+        probs = np.concatenate(
+            [lstm.predict_proba(t) for t in vegas_traces[:3]]
+        )
+        assert probs.mean() == pytest.approx(base_rate, rel=0.6)
+
+    def test_lstm_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LSTMReorderPredictor().predict_proba(None)
+
+    def test_augmentation_restores_reordering(
+        self, lstm, iboxnet_sim, vegas_traces
+    ):
+        augmented = augment_iboxnet_trace(iboxnet_sim, lstm, seed=5)
+        achieved = reorder_labels(augmented).mean()
+        gt_rate = np.mean(
+            [reorder_labels(t).mean() for t in vegas_traces]
+        )
+        assert achieved > 0
+        # Same order of magnitude as the ground-truth rate.
+        assert achieved < 8 * max(gt_rate, 0.002)
+
+    def test_sample_flags_deterministic(self):
+        probs = np.full(100, 0.3)
+        a = sample_reorder_flags(probs, np.random.default_rng(1))
+        b = sample_reorder_flags(probs, np.random.default_rng(1))
+        assert np.array_equal(a, b)

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace.io import save_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path, cubic_trace):
+    path = tmp_path / "trace.npz"
+    save_trace(cubic_trace, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reproduce_choices(self):
+        args = build_parser().parse_args(["reproduce", "fig2"])
+        assert args.experiment == "fig2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "fig99"])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out"])
+        assert args.paths == 5
+        assert args.protocols == ["cubic", "vegas"]
+
+
+class TestGenerate:
+    def test_writes_traces(self, tmp_path, capsys):
+        code = main([
+            "generate", str(tmp_path / "data"),
+            "--paths", "2", "--duration", "4", "--protocols", "cubic",
+        ])
+        assert code == 0
+        files = sorted((tmp_path / "data").glob("*.npz"))
+        assert len(files) == 2
+        assert "Mb/s" in capsys.readouterr().out
+
+
+class TestFit:
+    def test_prints_model(self, trace_file, capsys):
+        assert main(["fit", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "IBoxNetModel" in out
+
+    def test_writes_profile(self, trace_file, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        assert main(["fit", str(trace_file), "--profile", str(profile)]) == 0
+        data = json.loads(profile.read_text())
+        assert data["bandwidth_bytes_per_sec"] > 0
+        assert len(data["cross_traffic"]["bin_edges"]) == (
+            len(data["cross_traffic"]["rates_bytes_per_sec"]) + 1
+        )
+
+
+class TestSimulate:
+    def test_counterfactual_runs(self, trace_file, tmp_path, capsys):
+        output = tmp_path / "vegas.npz"
+        code = main([
+            "simulate", str(trace_file), "vegas",
+            "--duration", "4", "--output", str(output),
+        ])
+        assert code == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "counterfactual vegas" in out
+
+        from repro.trace.io import load_trace
+
+        predicted = load_trace(output)
+        assert predicted.protocol == "vegas"
+        assert len(predicted) > 50

@@ -1,0 +1,152 @@
+"""Tests for the §3 three-forces cross-traffic estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.cross_traffic import (
+    CrossTrafficEstimate,
+    estimate_cross_traffic,
+    per_packet_cross_traffic,
+    reconstruct_queue_occupancy,
+)
+from repro.core.static_params import estimate_static_params
+from repro.simulation import units
+from repro.simulation.topology import (
+    ConstantBandwidth,
+    OnOffCT,
+    PathConfig,
+    PoissonCT,
+    run_flow,
+)
+
+RATE = units.mbps_to_bytes_per_sec(10.0)
+DELAY = units.ms_to_sec(25.0)
+
+
+def _run_with_ct(ct, seed=7, duration=15.0):
+    config = PathConfig(
+        bandwidth=ConstantBandwidth(RATE),
+        propagation_delay=DELAY,
+        buffer_bytes=250_000,
+        cross_traffic=ct,
+    )
+    return run_flow(config, "cubic", duration=duration, seed=seed)
+
+
+class TestEstimateDataclass:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CrossTrafficEstimate(bin_edges=(0.0, 1.0), rates_bytes_per_sec=(1.0, 2.0))
+
+    def test_mean_rate_and_total(self):
+        estimate = CrossTrafficEstimate(
+            bin_edges=(0.0, 1.0, 3.0),
+            rates_bytes_per_sec=(1000.0, 500.0),
+        )
+        assert estimate.total_bytes() == pytest.approx(2000.0)
+        assert estimate.mean_rate == pytest.approx(2000.0 / 3.0)
+
+    def test_at_times_lookup(self):
+        estimate = CrossTrafficEstimate(
+            bin_edges=(0.0, 1.0, 2.0),
+            rates_bytes_per_sec=(100.0, 200.0),
+        )
+        lookup = estimate.at_times(np.array([-1.0, 0.5, 1.5, 5.0]))
+        assert list(lookup) == [0.0, 100.0, 200.0, 0.0]
+
+
+class TestQueueReconstruction:
+    def test_occupancy_nonnegative_and_bounded(self, cubic_run):
+        params = estimate_static_params(cubic_run.trace)
+        _, occupancy = reconstruct_queue_occupancy(cubic_run.trace, params)
+        assert (occupancy >= 0).all()
+        # Reconstructed occupancy cannot exceed the estimated buffer much.
+        assert occupancy.max() <= params.buffer_bytes * 1.2
+
+
+class TestEstimation:
+    def test_no_cross_traffic_estimates_near_zero(self):
+        run = _run_with_ct(())
+        params = estimate_static_params(run.trace)
+        estimate = estimate_cross_traffic(run.trace, params)
+        # Lower bound: must not hallucinate significant CT.
+        assert estimate.mean_rate < 0.08 * RATE
+
+    def test_poisson_ct_volume_recovered_as_lower_bound(self):
+        true_rate = 0.3 * RATE
+        run = _run_with_ct((PoissonCT(rate_bytes_per_sec=true_rate),))
+        params = estimate_static_params(run.trace)
+        estimate = estimate_cross_traffic(run.trace, params)
+        # Conservative lower bound: clearly non-zero, never a wild
+        # overestimate.  (The estimate is coupled with the bandwidth
+        # estimate: persistent CT depresses the peak-receive-rate reading
+        # of b, and the b deficit comes out of the CT reading in turn.)
+        assert 0.2 * true_rate < estimate.mean_rate < 1.15 * true_rate
+
+    def test_available_bandwidth_is_preserved(self):
+        """The invariant the emulator actually relies on: the learnt
+        (b_est - CT_est) matches the true available bandwidth (b - CT),
+        even though b and CT are each individually biased low."""
+        true_rate = 0.3 * RATE
+        run = _run_with_ct((PoissonCT(rate_bytes_per_sec=true_rate),))
+        params = estimate_static_params(run.trace)
+        estimate = estimate_cross_traffic(run.trace, params)
+        learnt_available = params.bandwidth_bytes_per_sec - estimate.mean_rate
+        true_available = RATE - true_rate
+        assert learnt_available == pytest.approx(true_available, rel=0.15)
+
+    def test_burst_timing_localized(self):
+        """An on/off burst must appear in the right bins — the property
+        the instance test (Fig. 4) depends on."""
+        run = _run_with_ct(
+            (PoissonCT(rate_bytes_per_sec=0.5 * RATE, start=5.0, stop=10.0),),
+            duration=15.0,
+        )
+        params = estimate_static_params(run.trace)
+        estimate = estimate_cross_traffic(run.trace, params, bin_width=0.5)
+        edges = np.asarray(estimate.bin_edges)
+        rates = np.asarray(estimate.rates_bytes_per_sec)
+        centres = (edges[:-1] + edges[1:]) / 2
+        inside = rates[(centres > 5.5) & (centres < 9.5)]
+        outside = rates[(centres < 4.0) | (centres > 11.0)]
+        assert inside.mean() > 3 * max(outside.mean(), 1e-9)
+
+    def test_busy_fraction_reported(self, cubic_run):
+        params = estimate_static_params(cubic_run.trace)
+        estimate = estimate_cross_traffic(cubic_run.trace, params)
+        assert 0.0 <= estimate.busy_fraction <= 1.0
+        # Cubic keeps the queue busy most of the time.
+        assert estimate.busy_fraction > 0.5
+
+    def test_stricter_busy_threshold_is_more_conservative(self, cubic_run):
+        params = estimate_static_params(cubic_run.trace)
+        loose = estimate_cross_traffic(
+            cubic_run.trace, params, busy_threshold_packets=0.5
+        )
+        strict = estimate_cross_traffic(
+            cubic_run.trace, params, busy_threshold_packets=8.0
+        )
+        assert strict.total_bytes() <= loose.total_bytes() + 1e-6
+
+    def test_empty_trace_yields_zero_estimate(self):
+        from repro.trace.records import Trace
+        from repro.core.static_params import StaticParams
+
+        trace = Trace("f", [], duration=5.0)
+        params = StaticParams(1e6, 0.02, 50_000)
+        estimate = estimate_cross_traffic(trace, params)
+        assert estimate.total_bytes() == 0.0
+
+    def test_invalid_bin_width(self, cubic_run):
+        params = estimate_static_params(cubic_run.trace)
+        with pytest.raises(ValueError):
+            estimate_cross_traffic(cubic_run.trace, params, bin_width=0.0)
+
+
+class TestPerPacketFeature:
+    def test_alignment_with_send_times(self, cubic_run):
+        params = estimate_static_params(cubic_run.trace)
+        estimate = estimate_cross_traffic(cubic_run.trace, params)
+        feature = per_packet_cross_traffic(cubic_run.trace, estimate)
+        assert feature.shape == (len(cubic_run.trace),)
+        assert (feature >= 0).all()

@@ -1,0 +1,127 @@
+"""Tests for cross-traffic sources."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.crosstraffic import (
+    OnOffSource,
+    PoissonSource,
+    RateReplaySource,
+)
+from repro.simulation.delaybox import Sink
+from repro.simulation.engine import Simulator
+
+
+class TestPoissonSource:
+    def test_mean_rate(self):
+        sim = Simulator()
+        sink = Sink()
+        PoissonSource(sim, sink, rate_bytes_per_sec=150_000.0, seed=1)
+        sim.run(until=20.0)
+        observed = sink.bytes_received / 20.0
+        assert observed == pytest.approx(150_000.0, rel=0.1)
+
+    def test_zero_rate_emits_nothing(self):
+        sim = Simulator()
+        sink = Sink()
+        PoissonSource(sim, sink, rate_bytes_per_sec=0.0, seed=1)
+        sim.run(until=5.0)
+        assert sink.packets_received == 0
+
+    def test_start_stop_window(self):
+        sim = Simulator()
+        times = []
+        sink = Sink(on_packet=lambda p: times.append(sim.now))
+        PoissonSource(
+            sim, sink, rate_bytes_per_sec=1.5e6, seed=2, start=2.0, stop=4.0
+        )
+        sim.run(until=10.0)
+        assert times
+        assert min(times) >= 2.0
+        assert max(times) <= 4.0 + 0.1
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim = Simulator()
+            times = []
+            sink = Sink(on_packet=lambda p: times.append(sim.now))
+            PoissonSource(sim, sink, rate_bytes_per_sec=1e6, seed=seed)
+            sim.run(until=2.0)
+            return times
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestOnOffSource:
+    def test_long_run_mean_rate(self):
+        sim = Simulator()
+        sink = Sink()
+        OnOffSource(
+            sim,
+            sink,
+            peak_rate_bytes_per_sec=1e6,
+            mean_on=1.0,
+            mean_off=1.0,
+            seed=3,
+        )
+        sim.run(until=60.0)
+        observed = sink.bytes_received / 60.0
+        assert observed == pytest.approx(0.5e6, rel=0.25)
+
+    def test_burstiness(self):
+        """On/off traffic should have idle gaps far longer than the
+        packet spacing during bursts."""
+        sim = Simulator()
+        times = []
+        sink = Sink(on_packet=lambda p: times.append(sim.now))
+        OnOffSource(
+            sim,
+            sink,
+            peak_rate_bytes_per_sec=1.5e6,
+            mean_on=0.5,
+            mean_off=2.0,
+            seed=4,
+        )
+        sim.run(until=30.0)
+        gaps = np.diff(times)
+        assert gaps.max() > 20 * np.median(gaps)
+
+
+class TestRateReplaySource:
+    def test_replays_configured_volume(self):
+        sim = Simulator()
+        sink = Sink()
+        edges = np.arange(0.0, 10.5, 0.5)
+        rates = np.full(len(edges) - 1, 300_000.0)
+        RateReplaySource(sim, sink, edges, rates)
+        sim.run(until=11.0)
+        expected = 300_000.0 * 10.0
+        assert sink.bytes_received == pytest.approx(expected, rel=0.01)
+
+    def test_zero_bins_emit_nothing(self):
+        sim = Simulator()
+        times = []
+        sink = Sink(on_packet=lambda p: times.append(sim.now))
+        edges = [0.0, 1.0, 2.0, 3.0]
+        rates = [1.5e6, 0.0, 1.5e6]
+        RateReplaySource(sim, sink, edges, rates)
+        sim.run(until=4.0)
+        in_quiet_bin = [t for t in times if 1.0 <= t < 2.0]
+        assert not in_quiet_bin
+
+    def test_fractional_carryover(self):
+        """Sub-packet-per-bin rates must accumulate instead of vanishing."""
+        sim = Simulator()
+        sink = Sink()
+        edges = np.arange(0.0, 10.1, 0.1)
+        rates = np.full(100, 3000.0)  # 300 bytes per 0.1 s bin = 0.2 pkt
+        RateReplaySource(sim, sink, edges, rates)
+        sim.run(until=11.0)
+        assert sink.packets_received == pytest.approx(20, abs=1)
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError):
+            RateReplaySource(Simulator(), Sink(), [0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            RateReplaySource(Simulator(), Sink(), [0.0, 1.0], [-5.0])

@@ -1,0 +1,136 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pantheon import PantheonDataset, generate_dataset, generate_run
+from repro.datasets.rtc import control_loop_bias_setup, generate_rtc_dataset
+from repro.datasets.scenarios import (
+    CellularScenarioSampler,
+    EthernetScenarioSampler,
+    instance_test_config,
+)
+from repro.simulation import units
+from repro.simulation.topology import CellularBandwidth, ConstantBandwidth, FlowCT
+
+
+class TestScenarioSamplers:
+    def test_cellular_ranges_respected(self):
+        sampler = CellularScenarioSampler()
+        for seed in range(30):
+            config = sampler.sample(seed)
+            rate = units.bytes_per_sec_to_mbps(config.bandwidth.nominal_rate)
+            assert 1.5 <= rate <= 6.0
+            assert 0.02 <= config.propagation_delay <= 0.06
+            assert config.buffer_bytes > 0
+            assert 0.003 <= config.reorder_prob <= 0.015
+            assert isinstance(config.bandwidth, CellularBandwidth)
+
+    def test_cellular_ct_mix(self):
+        sampler = CellularScenarioSampler()
+        kinds = set()
+        for seed in range(60):
+            config = sampler.sample(seed)
+            kinds.add(
+                type(config.cross_traffic[0]).__name__
+                if config.cross_traffic
+                else "None"
+            )
+        assert {"None", "PoissonCT", "OnOffCT"} <= kinds
+
+    def test_sampling_deterministic(self):
+        sampler = CellularScenarioSampler()
+        assert sampler.sample(5) == sampler.sample(5)
+
+    def test_ethernet_is_faster_and_clean(self):
+        cellular = CellularScenarioSampler().sample(1)
+        ethernet = EthernetScenarioSampler().sample(1)
+        assert (
+            ethernet.bandwidth.nominal_rate > cellular.bandwidth.nominal_rate
+        )
+        assert ethernet.reorder_prob == 0.0
+        assert isinstance(ethernet.bandwidth, ConstantBandwidth)
+
+    def test_instance_config_places_ct_burst(self):
+        config = instance_test_config(ct_start=20.0, ct_duration=10.0)
+        (spec,) = config.cross_traffic
+        assert isinstance(spec, FlowCT)
+        assert spec.start == 20.0
+        assert spec.stop == 30.0
+
+
+class TestPantheonDataset:
+    def test_generate_run_defaults(self):
+        run = generate_run(seed=3, protocol="vegas", duration=6.0)
+        assert run.protocol == "vegas"
+        assert run.trace.duration == 6.0
+        assert len(run.trace) > 100
+
+    def test_dataset_structure(self, small_dataset):
+        assert len(small_dataset) == 6  # 3 paths x 2 protocols
+        assert len(small_dataset.by_protocol("cubic")) == 3
+        assert len(small_dataset.by_path(10)) == 2
+
+    def test_paired_runs_share_path(self, small_dataset):
+        pairs = small_dataset.paired_runs("cubic", "vegas")
+        assert len(pairs) == 3
+        for control, treatment in pairs:
+            assert control.path_id == treatment.path_id
+            assert control.config == treatment.config
+
+    def test_split_by_path(self, small_dataset):
+        train, test = small_dataset.split(0.67)
+        train_paths = {r.path_id for r in train.runs}
+        test_paths = {r.path_id for r in test.runs}
+        assert train_paths.isdisjoint(test_paths)
+        assert len(train_paths) == 2
+        assert len(test_paths) == 1
+
+    def test_repetitions_differ_but_share_path(self):
+        dataset = generate_dataset(
+            n_paths=1,
+            protocols=("cubic",),
+            duration=4.0,
+            base_seed=3,
+            runs_per_protocol=2,
+        )
+        a, b = dataset.runs
+        assert a.config == b.config
+        assert not np.array_equal(
+            a.trace.delivered_at, b.trace.delivered_at
+        )
+
+    def test_traces_accessor(self, small_dataset):
+        assert len(small_dataset.traces("vegas")) == 3
+        assert len(small_dataset.traces()) == 6
+
+
+class TestRTCDataset:
+    def test_generation_and_split(self):
+        dataset = generate_rtc_dataset(n_calls=4, duration=5.0, base_seed=0)
+        assert len(dataset) == 4
+        train, test = dataset.split(0.5)
+        assert len(train) == 2 and len(test) == 2
+
+    def test_calls_span_congestion_regimes(self):
+        dataset = generate_rtc_dataset(n_calls=10, duration=8.0, base_seed=0)
+        p95s = [
+            float(np.percentile(t.delivered_delays(), 95))
+            for t in dataset.traces
+            if t.packets_delivered
+        ]
+        # Wide distribution: some clean calls, some congested ones.
+        assert min(p95s) < 0.08
+        assert max(p95s) > 2 * min(p95s)
+
+    def test_control_loop_setup_shapes(self):
+        train, test, calibration = control_loop_bias_setup(
+            n_train=4, n_test=2, duration=6.0
+        )
+        assert len(train) == 4
+        assert len(test) == 2
+        assert calibration.protocol == "cubic"
+        # CBR test flows exist and suffer real congestion at the top of
+        # the sweep.
+        worst = test[-1]
+        assert np.percentile(worst.delivered_delays(), 95) > 0.1

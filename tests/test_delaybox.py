@@ -1,0 +1,130 @@
+"""Tests for delay, jitter and reorder boxes."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.delaybox import DelayBox, JitterBox, ReorderBox, Sink
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import Packet
+
+
+def _packet(seq=0):
+    p = Packet(flow_id="f", seq=seq)
+    p.sent_at = 0.0
+    return p
+
+
+class TestDelayBox:
+    def test_fixed_delay(self):
+        sim = Simulator()
+        arrivals = []
+        sink = Sink(on_packet=lambda p: arrivals.append(sim.now))
+        box = DelayBox(sim, 0.05, sink)
+        sim.schedule(0.0, box.accept, _packet())
+        sim.run(until=1.0)
+        assert arrivals == pytest.approx([0.05])
+
+    def test_preserves_order(self):
+        sim = Simulator()
+        order = []
+        sink = Sink(on_packet=lambda p: order.append(p.seq))
+        box = DelayBox(sim, 0.05, sink)
+        for i in range(5):
+            sim.schedule(i * 0.001, box.accept, _packet(seq=i))
+        sim.run(until=1.0)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayBox(Simulator(), -0.1, Sink())
+
+
+class TestJitterBox:
+    def test_zero_jitter_is_passthrough(self):
+        sim = Simulator()
+        arrivals = []
+        sink = Sink(on_packet=lambda p: arrivals.append(sim.now))
+        box = JitterBox(sim, sink, jitter_std=0.0)
+        sim.schedule(0.5, box.accept, _packet())
+        sim.run(until=1.0)
+        assert arrivals == pytest.approx([0.5])
+
+    def test_jitter_delays_are_nonnegative(self):
+        sim = Simulator()
+        arrivals = []
+        sink = Sink(on_packet=lambda p: arrivals.append(sim.now))
+        box = JitterBox(
+            sim, sink, jitter_std=0.01, rng=np.random.default_rng(0)
+        )
+        for i in range(50):
+            sim.schedule(1.0, box.accept, _packet(seq=i))
+        sim.run(until=5.0)
+        assert all(t >= 1.0 for t in arrivals)
+        assert len(set(arrivals)) > 1  # actually jittering
+
+
+class TestReorderBox:
+    def test_no_reordering_at_probability_zero(self):
+        sim = Simulator()
+        order = []
+        sink = Sink(on_packet=lambda p: order.append(p.seq))
+        box = ReorderBox(sim, sink, reorder_prob=0.0, detour_delay=0.1)
+        for i in range(10):
+            sim.schedule(i * 0.001, box.accept, _packet(seq=i))
+        sim.run(until=1.0)
+        assert order == list(range(10))
+        assert box.detoured_packets == 0
+
+    def test_detours_cause_overtaking(self):
+        sim = Simulator()
+        order = []
+        sink = Sink(on_packet=lambda p: order.append(p.seq))
+        box = ReorderBox(
+            sim,
+            sink,
+            reorder_prob=0.3,
+            detour_delay=0.05,
+            rng=np.random.default_rng(2),
+        )
+        for i in range(100):
+            sim.schedule(i * 0.002, box.accept, _packet(seq=i))
+        sim.run(until=2.0)
+        assert box.detoured_packets > 0
+        assert order != sorted(order)
+        assert sorted(order) == list(range(100))  # nothing lost
+
+    def test_detour_rate_matches_probability(self):
+        sim = Simulator()
+        sink = Sink()
+        box = ReorderBox(
+            sim,
+            sink,
+            reorder_prob=0.2,
+            detour_delay=0.01,
+            rng=np.random.default_rng(3),
+        )
+        n = 2000
+        for i in range(n):
+            sim.schedule(0.0, box.accept, _packet(seq=i))
+        sim.run(until=1.0)
+        assert box.detoured_packets / n == pytest.approx(0.2, abs=0.03)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBox(Simulator(), Sink(), reorder_prob=1.5, detour_delay=0.1)
+
+
+class TestSink:
+    def test_counts_packets_and_bytes(self):
+        sink = Sink()
+        for i in range(3):
+            sink.accept(Packet(flow_id="f", seq=i, size=1000))
+        assert sink.packets_received == 3
+        assert sink.bytes_received == 3000
+
+    def test_keep_packets_flag(self):
+        sink = Sink()
+        sink.keep_packets = True
+        packet = Packet(flow_id="f", seq=0)
+        sink.accept(packet)
+        assert sink.received == [packet]

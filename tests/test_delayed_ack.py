@@ -1,0 +1,118 @@
+"""Tests for RFC 1122-style delayed ACKs."""
+
+import pytest
+
+from repro.protocols.base import Receiver, Sender
+from repro.simulation.delaybox import DelayBox
+from repro.simulation.engine import Simulator
+from repro.simulation.links import Bottleneck, ConstantRateProcess
+from repro.simulation.packet import Packet
+from repro.simulation.queues import DropTailQueue
+
+
+def _loop(delayed_ack: bool):
+    sim = Simulator()
+    sender = Sender(sim, "flow", None)
+    ack_path = DelayBox(sim, 0.02, sender)
+    receiver = Receiver(
+        sim, "flow", ack_path, delayed_ack=delayed_ack
+    )
+    forward = DelayBox(sim, 0.02, receiver)
+    queue = DropTailQueue(120_000)
+    sender.downstream = Bottleneck(
+        sim, ConstantRateProcess(1.25e6), queue, forward
+    )
+    return sim, sender, receiver
+
+
+def test_delayed_acks_halve_ack_traffic():
+    results = {}
+    for delayed in (False, True):
+        sim, sender, receiver = _loop(delayed)
+        sender.start()
+        sim.run(until=2.0)
+        results[delayed] = (receiver.packets_received, receiver.acks_sent)
+    # Immediate mode: one ACK per packet.
+    assert results[False][1] == results[False][0]
+    # Delayed mode: materially fewer ACKs (not exactly half — the ACK
+    # clock makes burst sizes odd, and lone tail segments are flushed by
+    # the timer).
+    packets, acks = results[True]
+    assert acks < 0.75 * packets
+    assert acks > 0.4 * packets
+
+
+def test_transfer_still_progresses_with_delayed_acks():
+    sim, sender, receiver = _loop(True)
+    sender.start()
+    sim.run(until=2.0)
+    assert receiver.next_expected > 100
+    assert sender.timeouts == 0
+
+
+def test_timer_flushes_a_lone_segment():
+    sim = Simulator()
+    acks = []
+
+    class AckTap:
+        def accept(self, packet):
+            acks.append((sim.now, packet.ack))
+
+    receiver = Receiver(
+        sim, "flow", AckTap(), delayed_ack=True, delayed_ack_timeout=0.04
+    )
+    packet = Packet(flow_id="flow", seq=0)
+    packet.sent_at = 0.0
+    sim.schedule(1.0, receiver.accept, packet)
+    sim.run(until=2.0)
+    assert len(acks) == 1
+    fired_at, ack_number = acks[0]
+    assert fired_at == pytest.approx(1.04)
+    assert ack_number == 1
+
+
+def test_out_of_order_acks_immediately():
+    sim = Simulator()
+    acks = []
+
+    class AckTap:
+        def accept(self, packet):
+            acks.append((sim.now, packet.ack))
+
+    receiver = Receiver(sim, "flow", AckTap(), delayed_ack=True)
+    for seq in (0, 1):  # one full pair -> immediate flush
+        p = Packet(flow_id="flow", seq=seq)
+        p.sent_at = 0.0
+        receiver.accept(p)
+    assert len(acks) == 1
+    # Now a gap: seq 3 skips 2 -> dupack must go out instantly.
+    p = Packet(flow_id="flow", seq=3)
+    p.sent_at = 0.0
+    receiver.accept(p)
+    assert len(acks) == 2
+    assert acks[-1][1] == 2  # cumulative point unchanged
+
+    # While the hole persists, further segments also ACK immediately.
+    p = Packet(flow_id="flow", seq=4)
+    p.sent_at = 0.0
+    receiver.accept(p)
+    assert len(acks) == 3
+
+
+def test_fast_retransmit_survives_delayed_acks():
+    """Loss recovery must still trigger within dupacks when the receiver
+    delays in-order ACKs."""
+    sim = Simulator()
+    sender = Sender(sim, "flow", None)
+    ack_path = DelayBox(sim, 0.02, sender)
+    receiver = Receiver(sim, "flow", ack_path, delayed_ack=True)
+    forward = DelayBox(sim, 0.02, receiver)
+    queue = DropTailQueue(15_000)  # shallow: forces drops
+    sender.downstream = Bottleneck(
+        sim, ConstantRateProcess(1.25e6), queue, forward
+    )
+    sender.start()
+    sim.run(until=3.0)
+    assert queue.stats.dropped_packets > 0
+    assert sender.retransmissions > 0
+    assert sender.timeouts == 0

@@ -1,0 +1,110 @@
+"""Tests for the NetEm-like emulator built from learnt parameters."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import units
+from repro.simulation.emulator import (
+    EmulatorConfig,
+    NetworkEmulator,
+    RandomLossBox,
+)
+from repro.simulation.delaybox import Sink
+from repro.simulation.packet import Packet
+
+RATE = units.mbps_to_bytes_per_sec(10.0)
+
+
+def _config(**overrides):
+    base = dict(
+        bandwidth_bytes_per_sec=RATE,
+        propagation_delay=0.025,
+        buffer_bytes=200_000.0,
+    )
+    base.update(overrides)
+    return EmulatorConfig(**base)
+
+
+def test_emulated_flow_sees_configured_path():
+    emulator = NetworkEmulator(_config())
+    result = emulator.run("cubic", duration=5.0, seed=1)
+    summary = result.trace.summary()
+    assert summary.mean_rate_mbps == pytest.approx(10.0, rel=0.15)
+    min_delay = result.trace.delivered_delays().min()
+    assert min_delay == pytest.approx(0.025 + 1500 / RATE, abs=0.002)
+
+
+def test_cross_traffic_replay_reduces_goodput():
+    no_ct = NetworkEmulator(_config()).run("cubic", duration=5.0, seed=2)
+    edges = tuple(np.arange(0.0, 5.5, 0.5))
+    rates = tuple([0.5 * RATE] * (len(edges) - 1))
+    with_ct = NetworkEmulator(
+        _config(ct_bin_edges=edges, ct_rates_bytes_per_sec=rates)
+    ).run("cubic", duration=5.0, seed=2)
+    assert (
+        with_ct.trace.summary().mean_rate_mbps
+        < no_ct.trace.summary().mean_rate_mbps - 1.0
+    )
+
+
+def test_include_cross_traffic_false_disables_replay():
+    edges = tuple(np.arange(0.0, 5.5, 0.5))
+    rates = tuple([0.5 * RATE] * (len(edges) - 1))
+    config = _config(
+        ct_bin_edges=edges,
+        ct_rates_bytes_per_sec=rates,
+        include_cross_traffic=False,
+    )
+    result = NetworkEmulator(config).run("cubic", duration=5.0, seed=3)
+    assert result.cross_traffic_bytes == 0
+
+
+def test_statistical_loss_rate_applied():
+    config = _config(statistical_loss_rate=0.05)
+    result = NetworkEmulator(config).run("cubic", duration=5.0, seed=4)
+    assert result.trace.loss_rate == pytest.approx(0.05, abs=0.02)
+
+
+def test_statistical_loss_supersedes_ct_replay():
+    edges = (0.0, 5.0)
+    config = _config(
+        ct_bin_edges=edges,
+        ct_rates_bytes_per_sec=(0.5 * RATE,),
+        statistical_loss_rate=0.02,
+    )
+    path_config = config.to_path_config()
+    assert path_config.cross_traffic == ()
+
+
+def test_scheduled_bandwidth_override():
+    config = _config(
+        bandwidth_schedule=((0.0, 2.0), (RATE, RATE / 5)),
+    )
+    result = NetworkEmulator(config).run("cubic", duration=4.0, seed=5)
+    from repro.trace.features import binned_rate_series
+
+    _, rates = binned_rate_series(result.trace, bin_width=1.0)
+    assert rates[0] > rates[3] * 2
+
+
+class TestRandomLossBox:
+    def test_loss_rate_matches(self):
+        rng = np.random.default_rng(0)
+        sink = Sink()
+        box = RandomLossBox(sink, loss_rate=0.3, rng=rng)
+        n = 5000
+        for i in range(n):
+            box.accept(Packet(flow_id="f", seq=i))
+        assert box.dropped / n == pytest.approx(0.3, abs=0.02)
+        assert sink.packets_received == n - box.dropped
+
+    def test_zero_rate_passes_everything(self):
+        sink = Sink()
+        box = RandomLossBox(sink, 0.0, np.random.default_rng(0))
+        for i in range(100):
+            box.accept(Packet(flow_id="f", seq=i))
+        assert sink.packets_received == 100
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RandomLossBox(Sink(), 1.0, np.random.default_rng(0))

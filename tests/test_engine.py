@@ -1,0 +1,156 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(3.0, fired.append, "c")
+    sim.run(until=10.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run(until=2.0)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run(until=5.0)
+    assert seen == [1.5]
+    assert sim.now == 5.0  # clock lands on `until` even after draining
+
+
+def test_run_stops_at_until_leaving_later_events_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(9.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.pending_events == 1
+    sim.run(until=10.0)
+    assert fired == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=2.0)
+    with pytest.raises(ValueError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.cancel(event)
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_cancel_none_is_noop():
+    Simulator.cancel(None)  # must not raise
+
+
+def test_events_scheduled_during_execution_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run(until=10.0)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_zero_delay_event_fires_after_current():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        sim.schedule(0.0, fired.append, "inner")
+        fired.append("outer")
+
+    sim.schedule(1.0, outer)
+    sim.run(until=2.0)
+    assert fired == ["outer", "inner"]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, lambda: sim.stop())
+    sim.schedule(3.0, fired.append, 3)
+    sim.run(until=10.0)
+    assert fired == [1]
+    # A stopped run can be resumed.
+    sim.run(until=10.0)
+    assert fired == [1, 3]
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert fired == ["a", "b"]
+    assert not sim.step()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1.0, lambda: None)
+    sim.run(until=2.0)
+    assert sim.events_processed == 7
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(RuntimeError):
+            sim.run(until=5.0)
+
+    sim.schedule(1.0, nested)
+    sim.run(until=2.0)
+
+
+def test_callback_args_passed_through():
+    sim = Simulator()
+    received = []
+    sim.schedule(1.0, lambda a, b, c: received.append((a, b, c)), 1, "x", None)
+    sim.run(until=2.0)
+    assert received == [(1, "x", None)]

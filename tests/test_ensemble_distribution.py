@@ -1,0 +1,123 @@
+"""Tests for the §3.1 'ideal' ensemble parameter distribution and the
+variable-bandwidth extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import iboxnet
+from repro.core.ensemble import (
+    ParameterDistribution,
+    fit_parameter_distribution,
+)
+from repro.core.iboxnet import estimate_bandwidth_schedule
+from repro.simulation import units
+from repro.simulation.topology import (
+    PathConfig,
+    ScheduledBandwidth,
+    run_flow,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_models(small_dataset):
+    return [
+        iboxnet.fit(run.trace)
+        for run in small_dataset.by_protocol("cubic")
+    ] + [
+        iboxnet.fit(run.trace)
+        for run in small_dataset.by_protocol("vegas")
+    ]
+
+
+class TestParameterDistribution:
+    def test_fit_requires_two_models(self, fitted_models):
+        with pytest.raises(ValueError):
+            fit_parameter_distribution(fitted_models[:1])
+
+    def test_sampled_parameters_in_training_ballpark(self, fitted_models):
+        distribution = fit_parameter_distribution(fitted_models)
+        sampled = distribution.sample(30, seed=1)
+        assert len(sampled) == 30
+        train_b = [
+            m.params.bandwidth_bytes_per_sec for m in fitted_models
+        ]
+        sampled_b = [m.params.bandwidth_bytes_per_sec for m in sampled]
+        # Log-space Gaussian: samples concentrate around the corpus.
+        assert min(train_b) / 5 < np.median(sampled_b) < max(train_b) * 5
+        for model in sampled:
+            assert model.params.buffer_bytes >= 1500.0
+            assert model.params.propagation_delay > 0
+
+    def test_ct_level_rescaled(self, fitted_models):
+        distribution = fit_parameter_distribution(fitted_models)
+        sampled = distribution.sample(20, seed=2)
+        levels = [
+            m.cross_traffic.mean_rate
+            / m.params.bandwidth_bytes_per_sec
+            for m in sampled
+        ]
+        assert all(level >= 0 for level in levels)
+        assert max(levels) < 3.0
+
+    def test_sampled_models_are_runnable(self, fitted_models):
+        distribution = fit_parameter_distribution(fitted_models)
+        model = distribution.sample(1, seed=3)[0]
+        trace = model.simulate("vegas", duration=4.0, seed=4)
+        assert len(trace) > 50
+
+    def test_sampling_deterministic(self, fitted_models):
+        distribution = fit_parameter_distribution(fitted_models)
+        a = distribution.sample(5, seed=7)
+        b = distribution.sample(5, seed=7)
+        for model_a, model_b in zip(a, b):
+            assert model_a.params == model_b.params
+
+    def test_correlation_accessor(self, fitted_models):
+        distribution = fit_parameter_distribution(fitted_models)
+        value = distribution.correlation("bandwidth", "buffer")
+        assert -1.0 <= value <= 1.0
+
+
+class TestBandwidthSchedule:
+    def test_recovers_a_rate_step(self):
+        """A link that halves its rate mid-run must show up in the learnt
+        schedule."""
+        rate = units.mbps_to_bytes_per_sec(10.0)
+        config = PathConfig(
+            bandwidth=ScheduledBandwidth(
+                times=(0.0, 6.0), rates=(rate, rate / 2)
+            ),
+            propagation_delay=0.02,
+            buffer_bytes=150_000,
+        )
+        run = run_flow(config, "cubic", duration=12.0, seed=5)
+        times, rates = estimate_bandwidth_schedule(
+            run.trace, schedule_window=2.0
+        )
+        first_half = np.mean([r for t, r in zip(times, rates) if t < 5.0])
+        second_half = np.mean([r for t, r in zip(times, rates) if t >= 7.0])
+        assert first_half == pytest.approx(rate, rel=0.15)
+        assert second_half == pytest.approx(rate / 2, rel=0.15)
+
+    def test_variable_bandwidth_model_emulates_the_step(self):
+        rate = units.mbps_to_bytes_per_sec(10.0)
+        config = PathConfig(
+            bandwidth=ScheduledBandwidth(
+                times=(0.0, 6.0), rates=(rate, rate / 2)
+            ),
+            propagation_delay=0.02,
+            buffer_bytes=150_000,
+        )
+        run = run_flow(config, "cubic", duration=12.0, seed=5)
+        schedule = estimate_bandwidth_schedule(run.trace)
+        model = iboxnet.fit(run.trace).with_variable_bandwidth(schedule)
+        sim = model.simulate("cubic", duration=12.0, seed=6)
+        from repro.trace.features import binned_rate_series
+
+        _, sim_rates = binned_rate_series(sim, bin_width=2.0)
+        # The emulated flow's rate drops by roughly half across the step.
+        assert sim_rates[4] < 0.75 * sim_rates[1]
+
+    def test_invalid_windows_rejected(self, cubic_trace):
+        with pytest.raises(ValueError):
+            estimate_bandwidth_schedule(cubic_trace, schedule_window=0.0)

@@ -1,0 +1,108 @@
+"""Tests for the experiment drivers (tiny scales; the full versions run in
+benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pantheon import generate_dataset
+from repro.experiments import (
+    fig2_ensemble,
+    fig3_ablations,
+    fig5_reordering,
+    fig8_discovery,
+    speed,
+)
+from repro.experiments.common import Scale
+
+TINY = Scale(
+    n_paths=4, duration=10.0, runs_per_instance=2, n_rtc_calls=6, ml_epochs=4
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_ab_dataset():
+    return generate_dataset(
+        n_paths=TINY.n_paths,
+        protocols=("cubic", "vegas"),
+        duration=TINY.duration,
+        base_seed=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_vegas_dataset():
+    return generate_dataset(
+        n_paths=TINY.n_paths,
+        protocols=("vegas",),
+        duration=TINY.duration,
+        base_seed=60,
+    )
+
+
+class TestScale:
+    def test_paper_scale_larger_than_quick(self):
+        quick, paper = Scale.quick(), Scale.paper()
+        assert paper.n_paths > quick.n_paths
+        assert paper.duration >= quick.duration
+
+
+class TestFig2:
+    def test_result_structure(self, tiny_ab_dataset):
+        result = fig2_ensemble.run(TINY, dataset=tiny_ab_dataset)
+        assert set(result.scatter) == {
+            "cubic_gt", "cubic_iboxnet", "vegas_gt", "vegas_iboxnet"
+        }
+        for points in result.scatter.values():
+            assert len(points) == TINY.n_paths
+        assert "Fig. 2" in result.format_report()
+
+    def test_ks_entries_complete(self, tiny_ab_dataset):
+        result = fig2_ensemble.run(TINY, dataset=tiny_ab_dataset)
+        for protocol in ("cubic", "vegas"):
+            assert set(result.ks[protocol]) == {
+                "p95_delay_ms", "loss_percent", "mean_rate_mbps"
+            }
+
+
+class TestFig3:
+    def test_three_variants_evaluated(self, tiny_ab_dataset):
+        result = fig3_ablations.run(TINY, dataset=tiny_ab_dataset)
+        assert set(result.errors) == {
+            "iBoxNet (full)", "without CT", "statistical loss"
+        }
+        for variant in result.errors:
+            assert np.isfinite(result.aggregate_error(variant))
+        assert "Fig. 3" in result.format_report()
+
+
+class TestFig5:
+    def test_methods_present(self, tiny_vegas_dataset):
+        result = fig5_reordering.run(
+            TINY, dataset=tiny_vegas_dataset, include_iboxml=False
+        )
+        assert {"ground_truth", "iboxnet", "iboxnet_linear",
+                "iboxnet_lstm"} <= set(result.rates)
+        assert result.mean_rate("iboxnet") == 0.0
+        assert result.mean_rate("ground_truth") > 0.0
+        assert "Fig. 5" in result.format_report()
+
+
+class TestFig8:
+    def test_reordering_discovered_and_restored(self, tiny_vegas_dataset):
+        result = fig8_discovery.run(TINY, dataset=tiny_vegas_dataset)
+        assert "a" in result.missing_in_iboxnet()
+        table = result.reordering_pattern_table()
+        assert table
+        pattern_a = [row for row in table if row[0] == "a"]
+        assert pattern_a and pattern_a[0][2] > 0  # augmentation restores it
+        assert "Fig. 8" in result.format_report()
+
+
+class TestSpeed:
+    def test_costs_measured_and_positive(self):
+        result = speed.run(TINY)
+        assert result.iboxml_sec_per_packet > 0
+        assert result.iboxnet_sec_per_packet > 0
+        assert result.paper_size_params > 1_500_000
+        assert result.paper_size_slowdown > 1.0
+        assert "simulation speed" in result.format_report()

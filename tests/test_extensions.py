@@ -1,0 +1,170 @@
+"""Tests for the §6 'open challenges' extensions: validity limits, the
+realism discriminator, and adaptive cross traffic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.realism import realism_test, window_features
+from repro.core import iboxnet
+from repro.core.adaptive_ct import (
+    adaptivity_demonstration,
+    fit_adaptive_ct,
+)
+from repro.core.validity import ValidityRegion
+from repro.simulation import units
+from repro.simulation.topology import (
+    ConstantBandwidth,
+    FlowCT,
+    PathConfig,
+    run_flow,
+)
+
+RATE = units.mbps_to_bytes_per_sec(10.0)
+
+
+class TestValidityRegion:
+    @pytest.fixture(scope="class")
+    def region(self, vegas_traces):
+        return ValidityRegion().fit(vegas_traces[:3])
+
+    def test_training_traces_score_high(self, region, vegas_traces):
+        # Individual training traces live inside the pooled envelope
+        # (heterogeneous paths mean each trace occupies a different part
+        # of it, so per-trace coverage varies but stays high).
+        coverages = [region.score(t).coverage for t in vegas_traces[:3]]
+        assert min(coverages) > 0.7
+        assert float(np.mean(coverages)) > 0.9
+
+    def test_similar_test_trace_in_region(self, region, vegas_traces):
+        report = region.score(vegas_traces[3])
+        assert report.coverage > 0.7
+
+    def test_out_of_distribution_sender_flagged(self, region):
+        """A CBR blaster far above every trained sending rate must be
+        reported out of the validity region — the paper's R example."""
+        config = PathConfig(
+            bandwidth=ConstantBandwidth(4 * RATE),
+            propagation_delay=0.02,
+            buffer_bytes=1_000_000,
+        )
+        blaster = run_flow(
+            config, "cbr", duration=6.0, seed=1,
+            sender_kwargs={"rate_bytes_per_sec": 3.5 * RATE},
+        ).trace
+        report = region.score(blaster)
+        assert not report.is_valid
+        assert report.per_feature_violation["sending_rate"] > 0.5
+        assert report.worst_feature() in ("sending_rate", "previous_delay")
+
+    def test_report_renders(self, region, vegas_traces):
+        text = region.score(vegas_traces[0]).format_report()
+        assert "coverage" in text
+
+    def test_score_before_fit_rejected(self, vegas_traces):
+        with pytest.raises(RuntimeError):
+            ValidityRegion().score(vegas_traces[0])
+
+    def test_feature_mismatch_rejected(self, region, vegas_traces):
+        with pytest.raises(ValueError):
+            region.score(
+                vegas_traces[0], ct=np.zeros(len(vegas_traces[0]))
+            )
+
+    def test_fit_requires_traces(self):
+        with pytest.raises(ValueError):
+            ValidityRegion().fit([])
+
+
+class TestRealism:
+    def test_identical_corpora_indistinguishable(self, vegas_traces):
+        """Disjoint samples of the *same* process should defeat the
+        discriminator: realism score near 1."""
+        result = realism_test(
+            vegas_traces[:2], vegas_traces[2:], seed=1
+        )
+        assert result.realism_score > 0.4
+
+    def test_grossly_wrong_simulator_detected(self, vegas_traces, clean_config):
+        """A constant-rate, queue-free path is easily told apart from
+        cellular ground truth: realism score near 0."""
+        fake = [
+            run_flow(clean_config, "cbr", duration=12.0, seed=s,
+                     sender_kwargs={"rate_bytes_per_sec": 0.2 * RATE}).trace
+            for s in (1, 2)
+        ]
+        result = realism_test(vegas_traces[:2], fake, seed=1)
+        assert result.realism_score < 0.5
+        assert result.held_out_accuracy > 0.6
+
+    def test_iboxnet_more_realistic_than_strawman(self, vegas_traces, clean_config):
+        """iBoxNet simulations of the same paths should score better than
+        an unrelated path's traffic."""
+        sims = [
+            iboxnet.fit(t).simulate("vegas", duration=12.0, seed=7 + i)
+            for i, t in enumerate(vegas_traces[:2])
+        ]
+        fake = [
+            run_flow(clean_config, "cbr", duration=12.0, seed=s,
+                     sender_kwargs={"rate_bytes_per_sec": 0.2 * RATE}).trace
+            for s in (1, 2)
+        ]
+        iboxnet_score = realism_test(vegas_traces[:2], sims, seed=2)
+        strawman_score = realism_test(vegas_traces[:2], fake, seed=2)
+        assert (
+            iboxnet_score.realism_score >= strawman_score.realism_score
+        )
+
+    def test_window_features_shape(self, cubic_trace):
+        features = window_features(cubic_trace, window=2.0)
+        assert features.shape[1] == 8
+        assert len(features) >= 3
+
+    def test_too_few_windows_rejected(self, cubic_trace):
+        with pytest.raises(ValueError):
+            realism_test([cubic_trace.subtrace(0.0, 1.0)], [cubic_trace])
+
+
+class TestAdaptiveCT:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        """Ground truth: one Cubic cross flow competing on a known path."""
+        config = PathConfig(
+            bandwidth=ConstantBandwidth(RATE),
+            propagation_delay=0.025,
+            buffer_bytes=250_000,
+            cross_traffic=(FlowCT(protocol="cubic"),),
+        )
+        run = run_flow(config, "cubic", duration=12.0, seed=3)
+        model = iboxnet.fit(run.trace)
+        adaptive = fit_adaptive_ct(model, run.trace, max_flows=2, seed=3)
+        return run, adaptive
+
+    def test_fit_finds_competing_flow(self, trained):
+        _, adaptive = trained
+        # The true workload was exactly one Cubic flow.
+        assert adaptive.n_cubic_flows >= 1
+        assert np.isfinite(adaptive.fit_error)
+
+    def test_simulation_matches_training_summary(self, trained):
+        run, adaptive = trained
+        from repro.trace.metrics import summarize
+
+        sim = summarize(adaptive.simulate("cubic", duration=12.0, seed=9))
+        gt = summarize(run.trace)
+        assert sim.mean_rate_mbps == pytest.approx(
+            gt.mean_rate_mbps, rel=0.5
+        )
+
+    def test_cross_traffic_is_adaptive(self, trained):
+        """The §6 point: the learnt CT yields more to a greedy sender
+        than to a gentle one — impossible with non-adaptive replay."""
+        _, adaptive = trained
+        if adaptive.n_cubic_flows == 0:
+            pytest.skip("fit chose no closed-loop flows")
+        shares = adaptivity_demonstration(adaptive, duration=8.0, seed=4)
+        # Cubic extracts at least as much as Vegas against adaptive CT.
+        assert shares["cubic"] >= 0.8 * shares["vegas"]
+
+    def test_str_rendering(self, trained):
+        _, adaptive = trained
+        assert "cubic CT flows" in str(adaptive)

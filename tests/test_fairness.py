@@ -1,0 +1,97 @@
+"""Tests for multi-flow competition and Jain's fairness index."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import (
+    CompetitionResult,
+    jains_index,
+    run_competing_flows,
+)
+from repro.simulation import units
+from repro.simulation.topology import ConstantBandwidth, PathConfig
+
+RATE = units.mbps_to_bytes_per_sec(12.0)
+
+
+def _config(buffer_bdp=2.0):
+    delay = units.ms_to_sec(20.0)
+    return PathConfig(
+        bandwidth=ConstantBandwidth(RATE),
+        propagation_delay=delay,
+        buffer_bytes=RATE * 2 * delay * buffer_bdp,
+    )
+
+
+class TestJainsIndex:
+    def test_equal_allocations_score_one(self):
+        assert jains_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_scores_one_over_n(self):
+        assert jains_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.uniform(0, 10, size=rng.integers(2, 8))
+            value = jains_index(x)
+            assert 1.0 / len(x) - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_scale_invariant(self):
+        x = [1.0, 2.0, 3.0]
+        assert jains_index(x) == pytest.approx(
+            jains_index([10 * v for v in x])
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jains_index([])
+        with pytest.raises(ValueError):
+            jains_index([-1.0, 2.0])
+
+
+class TestCompetition:
+    def test_two_cubics_share_fairly(self):
+        result = run_competing_flows(
+            _config(), ["cubic", "cubic"], duration=15.0, seed=1
+        )
+        assert result.fairness > 0.85
+        total = sum(result.goodputs.values())
+        assert total == pytest.approx(RATE, rel=0.15)
+
+    def test_cubic_starves_vegas(self):
+        """The classic inter-protocol unfairness: a loss-based flow fills
+        the queue, a delay-based one retreats."""
+        result = run_competing_flows(
+            _config(buffer_bdp=4.0), ["cubic", "vegas"], duration=15.0, seed=2
+        )
+        shares = result.shares()
+        assert shares["cubic-0"] > 2 * shares["vegas-1"]
+        assert result.fairness < 0.95
+
+    def test_ledbat_yields_completely(self):
+        result = run_competing_flows(
+            _config(buffer_bdp=4.0), ["cubic", "ledbat"], duration=15.0, seed=3
+        )
+        assert result.shares()["ledbat-1"] < 0.25
+
+    def test_stagger_delays_later_flows(self):
+        result = run_competing_flows(
+            _config(), ["cubic", "cubic"], duration=10.0, seed=4, stagger=5.0
+        )
+        first = result.traces["cubic-0"]
+        second = result.traces["cubic-1"]
+        assert second.sent_at.min() >= 5.0
+        assert result.goodputs["cubic-0"] > result.goodputs["cubic-1"]
+
+    def test_traces_are_complete(self):
+        result = run_competing_flows(
+            _config(), ["cubic", "vegas"], duration=8.0, seed=5
+        )
+        for trace in result.traces.values():
+            assert len(trace) > 100
+        assert "Jain" in result.format_report()
+
+    def test_requires_protocols(self):
+        with pytest.raises(ValueError):
+            run_competing_flows(_config(), [], duration=5.0)

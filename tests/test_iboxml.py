@@ -1,0 +1,201 @@
+"""Tests for the iBoxML state-space delay model."""
+
+import numpy as np
+import pytest
+
+from repro.core.iboxml import (
+    IBoxMLConfig,
+    IBoxMLModel,
+    delay_distribution_error,
+)
+
+
+FAST = IBoxMLConfig(
+    hidden_dim=12, num_layers=1, epochs=6, train_seq_len=100,
+    rollout_rounds=2,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(vegas_traces):
+    model = IBoxMLModel(
+        IBoxMLConfig(
+            hidden_dim=16, num_layers=2, epochs=9, train_seq_len=120,
+        )
+    )
+    model.fit(vegas_traces[:3])
+    return model
+
+
+class TestConfig:
+    def test_input_dim_tracks_ct_flag(self):
+        assert IBoxMLConfig().input_dim == 4
+        assert IBoxMLConfig(include_cross_traffic=True).input_dim == 5
+
+
+class TestTraining:
+    def test_loss_decreases(self, vegas_traces):
+        model = IBoxMLModel(FAST)
+        log = model.fit(vegas_traces[:2])
+        assert log.improved()
+
+    def test_fit_requires_traces(self):
+        with pytest.raises(ValueError):
+            IBoxMLModel(FAST).fit([])
+
+    def test_fitted_rho_in_range(self, trained):
+        assert 0.0 <= trained.fitted_rho_ <= 1.0
+
+    def test_ct_features_alignment_checked(self, vegas_traces):
+        model = IBoxMLModel(FAST)
+        with pytest.raises(ValueError):
+            model.fit(vegas_traces[:2], ct_features=[None])
+
+
+class TestInference:
+    def test_predict_before_fit_rejected(self, vegas_traces):
+        with pytest.raises(RuntimeError):
+            IBoxMLModel(FAST).predict_delays(vegas_traces[0])
+
+    def test_prediction_shape_and_floor(self, trained, vegas_traces):
+        trace = vegas_traces[3]
+        delays = trained.predict_delays(trace, sample=False)
+        assert delays.shape == (len(trace),)
+        assert (delays >= trained.config.min_delay_floor).all()
+
+    def test_free_running_stays_in_training_support(
+        self, trained, vegas_traces
+    ):
+        """The exposure-bias mitigation at work: the free-running unroll
+        must not drift to absurd delays."""
+        trace = vegas_traces[3]
+        predicted = trained.predict_delays(trace, sample=False)
+        train_max = max(
+            t.delivered_delays().max() for t in vegas_traces[:3]
+        )
+        assert predicted.mean() < 2 * train_max
+
+    def test_distribution_roughly_matches_ground_truth(
+        self, trained, vegas_traces
+    ):
+        trace = vegas_traces[3]
+        predicted = trained.predict_delays(trace, sample=True, seed=1)
+        error = delay_distribution_error(
+            predicted, trace.delivered_delays()
+        )
+        gt_mean = trace.delivered_delays().mean()
+        assert error < 2.0 * gt_mean
+
+    def test_sampling_adds_dispersion(self, trained, vegas_traces):
+        trace = vegas_traces[3]
+        mean_only = trained.predict_delays(trace, sample=False)
+        sampled = trained.predict_delays(trace, sample=True, seed=2)
+        assert sampled.std() > mean_only.std()
+
+    def test_sampling_deterministic_given_seed(self, trained, vegas_traces):
+        trace = vegas_traces[3]
+        a = trained.predict_delays(trace, sample=True, seed=3)
+        b = trained.predict_delays(trace, sample=True, seed=3)
+        assert np.allclose(a, b)
+
+    def test_predict_trace_wraps_predictions(self, trained, vegas_traces):
+        trace = vegas_traces[3]
+        predicted = trained.predict_trace(trace, sample=False)
+        assert len(predicted) == len(trace)
+        assert predicted.metadata["model"] == "iboxml"
+        assert np.allclose(predicted.sent_at, trace.sent_at)
+        assert predicted.delivered_mask.all()
+
+    def test_ground_truth_outputs_never_read(self, trained, vegas_traces):
+        """Inference must consume only the input side of the trace: wiping
+        all delivery times (keeping sends) must not change predictions
+        beyond the missing-prev-delay feature... so we check the stronger
+        invariant that predictions only use sent_at/sizes by corrupting
+        deliveries and comparing."""
+        import copy
+        import math
+
+        trace = vegas_traces[3]
+        baseline = trained.predict_delays(trace, sample=False)
+        corrupted = copy.deepcopy(trace)
+        for record in corrupted.records:
+            if not math.isnan(record.delivered_at):
+                record.delivered_at += 0.123  # shift all GT outputs
+        corrupted._cache.clear()
+        shifted = trained.predict_delays(corrupted, sample=False)
+        assert np.allclose(baseline, shifted)
+
+
+class TestCTFeature:
+    def test_ct_feature_is_utilization(self, cubic_trace):
+        feature = IBoxMLModel.estimate_ct_feature(cubic_trace)
+        assert feature.shape == (len(cubic_trace),)
+        assert (feature >= 0).all()
+        assert feature.max() < 3.0  # utilization-scaled, not bytes/s
+
+    def test_ct_model_trains_and_predicts(self, vegas_traces):
+        config = IBoxMLConfig(
+            hidden_dim=12, num_layers=1, epochs=6, train_seq_len=100,
+            rollout_rounds=2, include_cross_traffic=True,
+        )
+        model = IBoxMLModel(config)
+        model.fit(vegas_traces[:2])
+        delays = model.predict_delays(vegas_traces[2], sample=False)
+        assert np.isfinite(delays).all()
+
+
+class TestLossHead:
+    @pytest.fixture(scope="class")
+    def lossy_setup(self):
+        from repro.datasets.pantheon import generate_dataset
+
+        dataset = generate_dataset(
+            n_paths=3, protocols=("cubic",), duration=12.0, base_seed=10
+        )
+        traces = dataset.traces()
+        config = IBoxMLConfig(
+            hidden_dim=16, num_layers=1, epochs=6, train_seq_len=120,
+            rollout_rounds=2, predict_loss=True,
+        )
+        model = IBoxMLModel(config)
+        model.fit(traces[:2])
+        return model, traces
+
+    def test_loss_head_disabled_by_default(self, trained, vegas_traces):
+        with pytest.raises(RuntimeError):
+            trained.predict_loss_proba(vegas_traces[0])
+
+    def test_loss_probabilities_calibrated(self, lossy_setup):
+        model, traces = lossy_setup
+        probs = model.predict_loss_proba(traces[2])
+        base_rate = np.mean([t.loss_rate for t in traces[:2]])
+        assert probs.shape == (len(traces[2]),)
+        assert ((probs >= 0) & (probs <= 1)).all()
+        assert probs.mean() == pytest.approx(base_rate, rel=1.0)
+
+    def test_predicted_trace_contains_losses(self, lossy_setup):
+        model, traces = lossy_setup
+        predicted = model.predict_trace(traces[2], sample=True, seed=5)
+        assert 0.0 < predicted.loss_rate < 0.3
+
+    def test_mean_mode_never_drops(self, lossy_setup):
+        model, traces = lossy_setup
+        predicted = model.predict_trace(traces[2], sample=False, seed=5)
+        assert predicted.loss_rate == 0.0
+
+
+class TestDistributionError:
+    def test_zero_for_identical(self):
+        values = np.linspace(0.01, 0.2, 100)
+        assert delay_distribution_error(values, values) == pytest.approx(0.0)
+
+    def test_detects_shift(self):
+        values = np.linspace(0.01, 0.2, 100)
+        assert delay_distribution_error(
+            values + 0.05, values
+        ) == pytest.approx(0.05, rel=0.01)
+
+    def test_nan_for_empty(self):
+        import math
+
+        assert math.isnan(delay_distribution_error(np.array([]), np.ones(2)))

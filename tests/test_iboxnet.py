@@ -1,0 +1,116 @@
+"""Tests for the iBoxNet model: fit, simulate, ablations."""
+
+import numpy as np
+import pytest
+
+from repro.core import iboxnet
+from repro.simulation import units
+from repro.simulation.topology import (
+    ConstantBandwidth,
+    OnOffCT,
+    PathConfig,
+    run_flow,
+)
+from repro.trace.metrics import summarize
+
+RATE = units.mbps_to_bytes_per_sec(10.0)
+DELAY = units.ms_to_sec(25.0)
+
+
+@pytest.fixture(scope="module")
+def training_run():
+    config = PathConfig(
+        bandwidth=ConstantBandwidth(RATE),
+        propagation_delay=DELAY,
+        buffer_bytes=250_000,
+        cross_traffic=(
+            OnOffCT(
+                peak_rate_bytes_per_sec=0.4 * RATE, mean_on=2.0, mean_off=2.0
+            ),
+        ),
+    )
+    return run_flow(config, "cubic", duration=15.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def model(training_run):
+    return iboxnet.fit(training_run.trace)
+
+
+class TestFit:
+    def test_learns_sane_parameters(self, model):
+        assert model.params.bandwidth_bytes_per_sec == pytest.approx(
+            RATE, rel=0.1
+        )
+        assert model.params.propagation_delay == pytest.approx(
+            DELAY + 1500 / RATE, rel=0.1
+        )
+        assert model.source_protocol == "cubic"
+        assert 0 <= model.source_loss_rate < 0.2
+
+    def test_model_is_frozen(self, model):
+        with pytest.raises(Exception):
+            model.params = None
+
+    def test_str_rendering(self, model):
+        text = str(model)
+        assert "Mb/s" in text
+
+
+class TestSimulate:
+    def test_same_protocol_roundtrip(self, model, training_run):
+        simulated = model.simulate("cubic", duration=15.0, seed=99)
+        gt = summarize(training_run.trace)
+        sim = summarize(simulated)
+        assert sim.mean_rate_mbps == pytest.approx(
+            gt.mean_rate_mbps, rel=0.25
+        )
+        assert sim.p95_delay_ms == pytest.approx(gt.p95_delay_ms, rel=0.35)
+
+    def test_counterfactual_protocol_ordering(self, model, training_run):
+        """Vegas on the learnt path must show its signature: far lower
+        delay than Cubic, both on the learnt model and in truth."""
+        sim_cubic = summarize(model.simulate("cubic", duration=15.0, seed=1))
+        sim_vegas = summarize(model.simulate("vegas", duration=15.0, seed=1))
+        assert sim_vegas.p95_delay_ms < sim_cubic.p95_delay_ms / 2
+        gt_vegas = summarize(
+            run_flow(training_run.config, "vegas", duration=15.0, seed=1).trace
+        )
+        assert sim_vegas.p95_delay_ms == pytest.approx(
+            gt_vegas.p95_delay_ms, rel=0.5
+        )
+
+    def test_simulate_run_exposes_internals(self, model):
+        result = model.simulate_run("cubic", duration=5.0, seed=2)
+        assert result.queue_peak_bytes > 0
+        assert result.trace.metadata["emulated"]
+
+    def test_deterministic_given_seed(self, model):
+        a = model.simulate("vegas", duration=5.0, seed=3)
+        b = model.simulate("vegas", duration=5.0, seed=3)
+        assert np.allclose(a.delivered_at, b.delivered_at, equal_nan=True)
+
+
+class TestAblations:
+    def test_without_cross_traffic(self, model):
+        ablated = model.without_cross_traffic()
+        assert not ablated.include_cross_traffic
+        # Parameters are shared; only the CT injector is disabled.
+        assert ablated.params == model.params
+        sim_full = summarize(model.simulate("cubic", duration=10.0, seed=4))
+        sim_ablated = summarize(
+            ablated.simulate("cubic", duration=10.0, seed=4)
+        )
+        # Without competing traffic the flow gets more of the link.
+        assert sim_ablated.mean_rate_mbps > sim_full.mean_rate_mbps
+
+    def test_statistical_loss_baseline(self, model):
+        baseline = model.with_statistical_loss(0.03)
+        result = baseline.simulate_run("cubic", duration=10.0, seed=5)
+        assert result.trace.loss_rate == pytest.approx(0.03, abs=0.015)
+        assert result.cross_traffic_bytes == 0
+
+    def test_emulator_config_propagates_everything(self, model):
+        config = model.emulator_config()
+        assert config.bandwidth_bytes_per_sec == model.params.bandwidth_bytes_per_sec
+        assert config.ct_bin_edges == model.cross_traffic.bin_edges

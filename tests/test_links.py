@@ -1,0 +1,163 @@
+"""Tests for rate processes, the bottleneck server and the token bucket."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.delaybox import Sink
+from repro.simulation.engine import Simulator
+from repro.simulation.links import (
+    Bottleneck,
+    CellularRateProcess,
+    ConstantRateProcess,
+    MarkovRateProcess,
+    TokenBucket,
+    TraceRateProcess,
+)
+from repro.simulation.packet import Packet
+from repro.simulation.queues import DropTailQueue
+
+
+def _packet(size=1500, seq=0):
+    p = Packet(flow_id="f", seq=seq, size=size)
+    p.sent_at = 0.0
+    return p
+
+
+class TestRateProcesses:
+    def test_constant(self):
+        process = ConstantRateProcess(1e6)
+        assert process.rate_at(0.0) == 1e6
+        assert process.rate_at(100.0) == 1e6
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantRateProcess(0.0)
+
+    def test_trace_step_function(self):
+        process = TraceRateProcess([0.0, 1.0, 2.0], [100.0, 200.0, 50.0])
+        assert process.rate_at(0.5) == 100.0
+        assert process.rate_at(1.0) == 200.0
+        assert process.rate_at(1.99) == 200.0
+        assert process.rate_at(10.0) == 50.0  # holds last value
+
+    def test_trace_rejects_bad_schedules(self):
+        with pytest.raises(ValueError):
+            TraceRateProcess([0.0, 0.0], [1.0, 2.0])  # non-increasing
+        with pytest.raises(ValueError):
+            TraceRateProcess([0.0], [0.0])  # zero rate
+        with pytest.raises(ValueError):
+            TraceRateProcess([], [])
+
+    def test_cellular_is_deterministic_given_seed(self):
+        a = CellularRateProcess(1e6, duration=5.0, seed=42)
+        b = CellularRateProcess(1e6, duration=5.0, seed=42)
+        times = np.linspace(0, 5, 50)
+        assert all(a.rate_at(t) == b.rate_at(t) for t in times)
+
+    def test_cellular_fluctuates_around_mean(self):
+        process = CellularRateProcess(1e6, duration=60.0, seed=1)
+        rates = np.array([process.rate_at(t) for t in np.arange(0, 60, 0.1)])
+        assert rates.std() > 0
+        # Log-space OU around the mean: geometric mean close to nominal.
+        assert 0.5e6 < np.exp(np.log(rates).mean()) < 2e6
+
+    def test_cellular_respects_floor(self):
+        process = CellularRateProcess(
+            1e6, duration=60.0, seed=2, fade_prob=0.5, floor_fraction=0.1
+        )
+        rates = [process.rate_at(t) for t in np.arange(0, 60, 0.1)]
+        assert min(rates) >= 0.1e6 - 1e-9
+
+    def test_markov_switches_between_states(self):
+        process = MarkovRateProcess(
+            [1e6, 2e6, 4e6], duration=50.0, seed=3, mean_holding=1.0
+        )
+        rates = {process.rate_at(t) for t in np.arange(0, 50, 0.25)}
+        assert len(rates) >= 2
+        assert rates <= {1e6, 2e6, 4e6}
+
+
+class TestBottleneck:
+    def test_serialization_delay(self):
+        sim = Simulator()
+        sink = Sink()
+        queue = DropTailQueue(1e6)
+        link = Bottleneck(sim, ConstantRateProcess(1500.0), queue, sink)
+        link.accept(_packet(size=1500))
+        sim.run(until=0.5)
+        assert sink.packets_received == 0  # service takes a full second
+        sim.run(until=1.01)
+        assert sink.packets_received == 1
+
+    def test_back_to_back_service(self):
+        sim = Simulator()
+        arrivals = []
+        sink = Sink(on_packet=lambda p: arrivals.append(sim.now))
+        queue = DropTailQueue(1e6)
+        link = Bottleneck(sim, ConstantRateProcess(15000.0), queue, sink)
+        for i in range(3):
+            link.accept(_packet(seq=i))
+        sim.run(until=1.0)
+        assert arrivals == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_work_conserving_after_idle(self):
+        sim = Simulator()
+        arrivals = []
+        sink = Sink(on_packet=lambda p: arrivals.append(sim.now))
+        queue = DropTailQueue(1e6)
+        link = Bottleneck(sim, ConstantRateProcess(15000.0), queue, sink)
+        link.accept(_packet())
+        sim.run(until=1.0)
+        sim.schedule(0.0, link.accept, _packet(seq=1))
+        sim.run(until=2.0)
+        assert arrivals == pytest.approx([0.1, 1.1])
+
+    def test_throughput_matches_rate_under_load(self):
+        sim = Simulator()
+        sink = Sink()
+        queue = DropTailQueue(1e9)
+        rate = 150_000.0  # 100 pkts/s
+        link = Bottleneck(sim, ConstantRateProcess(rate), queue, sink)
+        for i in range(500):
+            link.accept(_packet(seq=i))
+        sim.run(until=2.0)
+        assert sink.packets_received == pytest.approx(200, abs=2)
+
+    def test_busy_time_accounting(self):
+        sim = Simulator()
+        sink = Sink()
+        queue = DropTailQueue(1e6)
+        link = Bottleneck(sim, ConstantRateProcess(15000.0), queue, sink)
+        for i in range(5):
+            link.accept(_packet(seq=i))
+        sim.run(until=10.0)
+        assert link.busy_time == pytest.approx(0.5)
+        assert not link.is_busy
+
+
+class TestTokenBucket:
+    def test_burst_passes_instantly(self):
+        sim = Simulator()
+        sink = Sink()
+        bucket = TokenBucket(sim, rate=1000.0, burst=4500.0, downstream=sink)
+        for i in range(3):
+            bucket.accept(_packet(seq=i))
+        sim.run(until=0.001)
+        assert sink.packets_received == 3
+
+    def test_sustained_rate_enforced(self):
+        sim = Simulator()
+        arrivals = []
+        sink = Sink(on_packet=lambda p: arrivals.append(sim.now))
+        bucket = TokenBucket(sim, rate=1500.0, burst=1500.0, downstream=sink)
+        for i in range(4):
+            bucket.accept(_packet(seq=i))
+        sim.run(until=10.0)
+        assert sink.packets_received == 4
+        # First packet free (full bucket), then one per second.
+        assert arrivals == pytest.approx([0.0, 1.0, 2.0, 3.0], abs=1e-6)
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TokenBucket(sim, rate=0.0, burst=1.0, downstream=Sink())

@@ -1,0 +1,98 @@
+"""Focused tests for small utilities and plumbing not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Scale, format_header
+from repro.protocols.cubic import CubicSender
+from repro.simulation.crosstraffic import WindowedFlowSource
+from repro.simulation.delaybox import Sink
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import Packet, reset_packet_ids
+from repro.simulation.topology import FlowDemux
+
+
+class TestFormatHeader:
+    def test_boxes_the_title(self):
+        text = format_header("Fig. X")
+        lines = text.split("\n")
+        assert lines[1] == "Fig. X"
+        assert set(lines[0]) == {"="}
+        assert len(lines[0]) >= len("Fig. X")
+
+
+class TestScaleKnobs:
+    def test_quick_fields_positive(self):
+        scale = Scale.quick()
+        assert scale.n_paths > 0
+        assert scale.duration > 0
+        assert scale.ml_epochs > 0
+
+
+class TestFlowDemux:
+    def test_routes_by_flow_id(self):
+        main, other = Sink(), Sink()
+        demux = FlowDemux(default_sink=other)
+        demux.register("main", main)
+        p_main = Packet(flow_id="main", seq=0)
+        p_ct = Packet(flow_id="ct0", seq=0)
+        demux.accept(p_main)
+        demux.accept(p_ct)
+        assert main.packets_received == 1
+        assert other.packets_received == 1
+
+    def test_default_sink_created_when_omitted(self):
+        demux = FlowDemux()
+        demux.accept(Packet(flow_id="anything", seq=0))
+        assert demux.default.packets_received == 1
+
+
+class TestWindowedFlowSource:
+    def test_activate_schedules_start_and_stop(self):
+        sim = Simulator()
+        sink = Sink()
+        sender = CubicSender(sim, "ct", sink)
+        source = WindowedFlowSource(sender, start=1.0, stop=2.0)
+        source.activate(sim)
+        sim.run(until=0.5)
+        sent_before = sender.packets_sent
+        sim.run(until=1.5)
+        assert sender.packets_sent > sent_before
+        sim.run(until=2.1)
+        frozen = sender.packets_sent
+        sim.run(until=4.0)
+        assert sender.packets_sent == frozen
+
+
+class TestPacketIdReset:
+    def test_counter_restarts(self):
+        reset_packet_ids()
+        first = Packet(flow_id="f", seq=0)
+        assert first.uid == 0
+        reset_packet_ids()
+        again = Packet(flow_id="f", seq=0)
+        assert again.uid == 0
+
+
+class TestReprs:
+    def test_simulator_repr(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        text = repr(sim)
+        assert "pending=1" in text
+
+    def test_event_repr_shows_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert "cancelled" in repr(event)
+
+    def test_trace_repr(self, cubic_trace):
+        text = repr(cubic_trace)
+        assert "cubic" in text
+        assert "packets=" in text
+
+    def test_parameter_repr(self):
+        from repro.ml.layers import Parameter
+
+        assert "shape=(2,)" in repr(Parameter("w", np.zeros(2)))

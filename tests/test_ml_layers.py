@@ -1,0 +1,115 @@
+"""Tests for Parameter, Module and Dense (including gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Dense, Module, Parameter
+
+
+def numeric_gradient(f, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = f()
+        flat[i] = old - eps
+        down = f()
+        flat[i] = old
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter("w", np.ones((2, 2)))
+        p.grad += 5.0
+        p.zero_grad()
+        assert (p.grad == 0).all()
+
+
+class TestModuleRegistry:
+    def test_collects_nested_parameters(self):
+        class Inner(Module):
+            def __init__(self):
+                self.w = Parameter("inner.w", np.zeros(3))
+
+        class Outer(Module):
+            def __init__(self):
+                self.a = Parameter("a", np.zeros(2))
+                self.inner = Inner()
+                self.stack = [Inner(), Inner()]
+
+        outer = Outer()
+        names = [p.name for p in outer.parameters()]
+        assert names.count("inner.w") == 3
+        assert "a" in names
+        assert outer.num_parameters() == 2 + 3 * 3
+
+    def test_state_dict_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = Dense(3, 2, rng, name="d")
+        state = dense.state_dict()
+        dense.W.value[:] = 0.0
+        dense.load_state_dict(state)
+        assert np.allclose(dense.W.value, state["d.W"])
+
+    def test_state_dict_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(0)
+        dense = Dense(3, 2, rng, name="d")
+        bad = {k: np.zeros(99) for k in dense.state_dict()}
+        with pytest.raises(ValueError):
+            dense.load_state_dict(bad)
+
+    def test_duplicate_names_rejected(self):
+        class Dupe(Module):
+            def __init__(self):
+                self.a = Parameter("same", np.zeros(1))
+                self.b = Parameter("same", np.zeros(1))
+
+        with pytest.raises(ValueError):
+            Dupe().state_dict()
+
+
+class TestDense:
+    @pytest.mark.parametrize("activation", [None, "tanh", "relu", "sigmoid"])
+    def test_gradients_match_numeric(self, activation):
+        rng = np.random.default_rng(1)
+        dense = Dense(4, 3, rng, activation=activation)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+
+        def loss():
+            out = dense.forward(x)
+            return float(((out - target) ** 2).sum())
+
+        dense.zero_grad()
+        out = dense.forward(x)
+        grad_out = 2 * (out - target)
+        grad_x = dense.backward(grad_out)
+
+        numeric_w = numeric_gradient(loss, dense.W.value)
+        assert np.allclose(dense.W.grad, numeric_w, atol=1e-4)
+        numeric_b = numeric_gradient(loss, dense.b.value)
+        assert np.allclose(dense.b.grad, numeric_b, atol=1e-4)
+        numeric_x = numeric_gradient(loss, x)
+        assert np.allclose(grad_x, numeric_x, atol=1e-4)
+
+    def test_3d_input_supported(self):
+        rng = np.random.default_rng(2)
+        dense = Dense(4, 2, rng)
+        x = rng.normal(size=(3, 7, 4))
+        out = dense.forward(x)
+        assert out.shape == (3, 7, 2)
+        grad = dense.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(2, 2, np.random.default_rng(0), activation="gelu")
+
+    def test_backward_before_forward_rejected(self):
+        dense = Dense(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            dense.backward(np.zeros((1, 2)))

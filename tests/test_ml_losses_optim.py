@@ -1,0 +1,156 @@
+"""Tests for loss functions, optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Parameter
+from repro.ml.losses import (
+    binary_cross_entropy_with_logits,
+    gaussian_nll,
+    mse,
+)
+from repro.ml.optim import SGD, Adam, clip_gradients_by_global_norm
+
+
+class TestMSE:
+    def test_value_and_gradient(self):
+        pred = np.array([1.0, 2.0])
+        target = np.array([0.0, 0.0])
+        loss, grad = mse(pred, target)
+        assert loss == pytest.approx(2.5)
+        assert grad == pytest.approx([1.0, 2.0])
+
+    def test_mask_excludes_positions(self):
+        pred = np.array([1.0, 100.0])
+        target = np.zeros(2)
+        mask = np.array([True, False])
+        loss, grad = mse(pred, target, mask)
+        assert loss == pytest.approx(1.0)
+        assert grad[1] == 0.0
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(3), np.zeros(4, dtype=bool))
+
+
+class TestGaussianNLL:
+    def test_gradients_match_numeric(self):
+        rng = np.random.default_rng(0)
+        mu = rng.normal(size=(4,))
+        log_sigma = rng.normal(size=(4,)) * 0.3
+        target = rng.normal(size=(4,))
+        loss, gmu, gls = gaussian_nll(mu, log_sigma, target)
+        eps = 1e-6
+        for i in range(4):
+            for arr, grad in ((mu, gmu), (log_sigma, gls)):
+                old = arr[i]
+                arr[i] = old + eps
+                up, _, _ = gaussian_nll(mu, log_sigma, target)
+                arr[i] = old - eps
+                down, _, _ = gaussian_nll(mu, log_sigma, target)
+                arr[i] = old
+                assert (up - down) / (2 * eps) == pytest.approx(
+                    grad[i], abs=1e-5
+                )
+
+    def test_minimised_at_truth(self):
+        target = np.array([1.0, 2.0])
+        at_truth, _, _ = gaussian_nll(target, np.log(np.full(2, 0.5)), target)
+        off, _, _ = gaussian_nll(target + 1.0, np.log(np.full(2, 0.5)), target)
+        assert at_truth < off
+
+    def test_sigma_floor_blocks_collapse(self):
+        target = np.zeros(2)
+        loss, _, gls = gaussian_nll(
+            target, np.full(2, -100.0), target
+        )
+        assert np.isfinite(loss)
+        assert (gls == 0).all()  # no gradient through the clamp
+
+
+class TestBCE:
+    def test_matches_reference(self):
+        logits = np.array([0.0, 2.0, -2.0])
+        target = np.array([1.0, 1.0, 0.0])
+        loss, grad = binary_cross_entropy_with_logits(logits, target)
+        probs = 1 / (1 + np.exp(-logits))
+        reference = -np.mean(
+            target * np.log(probs) + (1 - target) * np.log(1 - probs)
+        )
+        assert loss == pytest.approx(reference)
+        assert grad == pytest.approx((probs - target) / 3)
+
+    def test_numerically_stable_at_extremes(self):
+        logits = np.array([500.0, -500.0])
+        target = np.array([1.0, 0.0])
+        loss, grad = binary_cross_entropy_with_logits(logits, target)
+        assert np.isfinite(loss)
+        assert np.isfinite(grad).all()
+
+    def test_pos_weight_scales_positive_term(self):
+        logits = np.array([0.0])
+        target = np.array([1.0])
+        base, _ = binary_cross_entropy_with_logits(logits, target)
+        weighted, _ = binary_cross_entropy_with_logits(
+            logits, target, pos_weight=3.0
+        )
+        assert weighted == pytest.approx(3.0 * base)
+
+
+class TestClipping:
+    def test_scales_down_when_above_norm(self):
+        p = Parameter("w", np.zeros(4))
+        p.grad[:] = [3.0, 0.0, 4.0, 0.0]  # norm 5
+        pre = clip_gradients_by_global_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_untouched_when_below_norm(self):
+        p = Parameter("w", np.zeros(2))
+        p.grad[:] = [0.3, 0.4]
+        clip_gradients_by_global_norm([p], max_norm=1.0)
+        assert p.grad == pytest.approx([0.3, 0.4])
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError):
+            clip_gradients_by_global_norm([], max_norm=0.0)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer_factory, steps=200):
+        p = Parameter("x", np.array([5.0, -3.0]))
+        optimizer = optimizer_factory([p])
+        for _ in range(steps):
+            p.grad = 2 * p.value  # d/dx of x^2
+            optimizer.step()
+        return p.value
+
+    def test_sgd_converges(self):
+        final = self._quadratic_descent(lambda ps: SGD(ps, lr=0.1))
+        assert np.abs(final).max() < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        final = self._quadratic_descent(
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9)
+        )
+        assert np.abs(final).max() < 1e-4
+
+    def test_adam_converges(self):
+        final = self._quadratic_descent(
+            lambda ps: Adam(ps, lr=0.2), steps=400
+        )
+        assert np.abs(final).max() < 1e-3
+
+    def test_adam_bias_correction_first_step(self):
+        p = Parameter("x", np.array([1.0]))
+        adam = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        adam.step()
+        # With bias correction the first step is ~lr regardless of betas.
+        assert p.value[0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=-1.0)

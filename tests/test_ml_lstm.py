@@ -1,0 +1,145 @@
+"""Tests for the LSTM: gradient checks, state handling, step/forward
+consistency."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lstm import LSTM, LSTMCell
+
+
+def check_param_gradients(module, loss_fn, samples=8, eps=1e-6, atol=2e-4):
+    """Compare analytic grads (already accumulated) to finite differences
+    on a random subset of entries per parameter."""
+    rng = np.random.default_rng(123)
+    for p in module.parameters():
+        flat = p.value.ravel()
+        gflat = p.grad.ravel()
+        for i in rng.choice(flat.size, size=min(samples, flat.size),
+                            replace=False):
+            old = flat[i]
+            flat[i] = old + eps
+            up = loss_fn()
+            flat[i] = old - eps
+            down = loss_fn()
+            flat[i] = old
+            numeric = (up - down) / (2 * eps)
+            assert numeric == pytest.approx(gflat[i], abs=atol), p.name
+
+
+class TestLSTMCell:
+    def test_output_shape(self):
+        cell = LSTMCell(3, 5, np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 7, 3))
+        h = cell.forward(x)
+        assert h.shape == (2, 7, 5)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        cell = LSTMCell(3, 4, rng)
+        x = rng.normal(size=(2, 6, 3))
+        target = rng.normal(size=(2, 6, 4))
+
+        def loss():
+            return float(((cell.forward(x) - target) ** 2).sum())
+
+        cell.zero_grad()
+        out = cell.forward(x)
+        cell.backward(2 * (out - target))
+        check_param_gradients(cell, loss)
+
+    def test_input_gradient_check(self):
+        rng = np.random.default_rng(3)
+        cell = LSTMCell(3, 4, rng)
+        x = rng.normal(size=(1, 5, 3))
+        target = rng.normal(size=(1, 5, 4))
+
+        cell.zero_grad()
+        out = cell.forward(x)
+        grad_x = cell.backward(2 * (out - target))
+
+        eps = 1e-6
+        for t in range(5):
+            for d in range(3):
+                old = x[0, t, d]
+                x[0, t, d] = old + eps
+                up = float(((cell.forward(x) - target) ** 2).sum())
+                x[0, t, d] = old - eps
+                down = float(((cell.forward(x) - target) ** 2).sum())
+                x[0, t, d] = old
+                numeric = (up - down) / (2 * eps)
+                assert numeric == pytest.approx(grad_x[0, t, d], abs=2e-4)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(3, 4, np.random.default_rng(0))
+        hidden = cell.hidden_dim
+        assert (cell.b.value[hidden : 2 * hidden] == 1.0).all()
+        assert (cell.b.value[:hidden] == 0.0).all()
+
+    def test_step_matches_sequence_forward(self):
+        rng = np.random.default_rng(4)
+        cell = LSTMCell(3, 4, rng)
+        x = rng.normal(size=(2, 6, 3))
+        hs = cell.forward(x)
+        state = None
+        for t in range(6):
+            h, state = cell.step(x[:, t], state)
+            assert np.allclose(h, hs[:, t], atol=1e-12)
+
+    def test_initial_state_passthrough(self):
+        rng = np.random.default_rng(5)
+        cell = LSTMCell(2, 3, rng)
+        x = rng.normal(size=(1, 4, 2))
+        h0 = rng.normal(size=(1, 3))
+        c0 = rng.normal(size=(1, 3))
+        with_state = cell.forward(x, h0=h0, c0=c0)
+        cold = cell.forward(x)
+        assert not np.allclose(with_state, cold)
+
+
+class TestStackedLSTM:
+    def test_stack_depth(self):
+        stack = LSTM(3, 4, num_layers=3, rng=np.random.default_rng(0))
+        assert len(stack.layers) == 3
+        assert stack.layers[0].input_dim == 3
+        assert stack.layers[1].input_dim == 4
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            LSTM(3, 4, num_layers=0, rng=np.random.default_rng(0))
+
+    def test_gradient_check_two_layers(self):
+        rng = np.random.default_rng(6)
+        stack = LSTM(3, 4, num_layers=2, rng=rng)
+        x = rng.normal(size=(2, 5, 3))
+        target = rng.normal(size=(2, 5, 4))
+
+        def loss():
+            return float(((stack.forward(x) - target) ** 2).sum())
+
+        stack.zero_grad()
+        out = stack.forward(x)
+        stack.backward(2 * (out - target))
+        check_param_gradients(stack, loss, samples=5)
+
+    def test_step_matches_forward(self):
+        rng = np.random.default_rng(7)
+        stack = LSTM(3, 4, num_layers=2, rng=rng)
+        x = rng.normal(size=(1, 6, 3))
+        hs = stack.forward(x)
+        states = None
+        for t in range(6):
+            h, states = stack.step(x[:, t], states)
+            assert np.allclose(h, hs[:, t], atol=1e-12)
+
+    def test_long_sequence_gradients_bounded(self):
+        """BPTT over a long sequence must not explode with forget-bias
+        init and small weights."""
+        rng = np.random.default_rng(8)
+        stack = LSTM(2, 8, num_layers=1, rng=rng)
+        x = rng.normal(size=(1, 300, 2))
+        stack.zero_grad()
+        out = stack.forward(x)
+        stack.backward(np.ones_like(out) / out.size)
+        total = sum(float(np.abs(p.grad).max()) for p in stack.parameters())
+        assert np.isfinite(total)
+        assert total < 1e3

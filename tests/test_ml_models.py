@@ -1,0 +1,157 @@
+"""Tests for the sequence models, scaler and logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.model import (
+    BernoulliSequenceModel,
+    GaussianSequenceModel,
+    _pad_batch,
+)
+from repro.ml.scalers import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_not_divided_by_zero(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(x)
+        assert np.isfinite(scaled).all()
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_column_helpers(self):
+        x = np.column_stack([np.arange(10.0), 10 * np.arange(10.0)])
+        scaler = StandardScaler().fit(x)
+        col = scaler.transform_column(x[:, 1], 1)
+        assert np.allclose(
+            scaler.inverse_transform_column(col, 1), x[:, 1]
+        )
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_3d_fit(self):
+        x = np.random.default_rng(2).normal(size=(4, 5, 3))
+        scaled = StandardScaler().fit_transform(x)
+        assert scaled.shape == x.shape
+
+
+class TestPadBatch:
+    def test_padding_and_mask(self):
+        xs = [np.ones((3, 2)), np.ones((5, 2))]
+        ys = [np.ones(3), np.ones(5)]
+        x, y, mask = _pad_batch(xs, ys, None)
+        assert x.shape == (2, 5, 2)
+        assert mask[0].tolist() == [True] * 3 + [False] * 2
+        assert mask[1].all()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _pad_batch([np.ones((3, 2))], [np.ones(4)], None)
+
+
+class TestGaussianSequenceModel:
+    def test_learns_a_simple_mapping(self):
+        rng = np.random.default_rng(3)
+        sequences = [rng.normal(size=(30, 2)) for _ in range(10)]
+        targets = [2.0 * s[:, 0] - s[:, 1] for s in sequences]
+        model = GaussianSequenceModel(2, hidden_dim=12, num_layers=1, seed=0)
+        log = model.fit(sequences, targets, epochs=40, lr=1e-2, seed=1)
+        assert log.improved()
+        mu, _ = model.forward(sequences[0][None])
+        residual = np.abs(mu[0] - targets[0]).mean()
+        assert residual < 0.5
+
+    def test_sigma_head_tracks_noise_level(self):
+        rng = np.random.default_rng(4)
+        sequences = [rng.normal(size=(40, 1)) for _ in range(10)]
+        noise = 0.5
+        targets = [
+            s[:, 0] + rng.normal(0, noise, size=40) for s in sequences
+        ]
+        model = GaussianSequenceModel(1, hidden_dim=8, num_layers=1, seed=0)
+        model.fit(sequences, targets, epochs=60, lr=1e-2, seed=2)
+        _, log_sigma = model.forward(sequences[0][None])
+        learned_sigma = float(np.exp(log_sigma).mean())
+        assert learned_sigma == pytest.approx(noise, rel=0.5)
+
+    def test_masked_positions_ignored(self):
+        rng = np.random.default_rng(5)
+        sequences = [rng.normal(size=(20, 1)) for _ in range(6)]
+        targets = [s[:, 0].copy() for s in sequences]
+        masks = []
+        for t in targets:
+            mask = np.ones(20, dtype=bool)
+            mask[::4] = False
+            t[~mask] = 1e9  # poison masked positions
+            masks.append(mask)
+        model = GaussianSequenceModel(1, hidden_dim=8, num_layers=1, seed=0)
+        log = model.fit(sequences, targets, masks, epochs=20, lr=1e-2)
+        assert np.isfinite(log.final_loss)
+
+    def test_step_matches_forward(self):
+        rng = np.random.default_rng(6)
+        model = GaussianSequenceModel(2, hidden_dim=6, num_layers=2, seed=3)
+        x = rng.normal(size=(1, 5, 2))
+        mu_seq, ls_seq = model.forward(x)
+        states = None
+        for t in range(5):
+            mu, sigma, states = model.step(x[:, t], states)
+            assert mu[0] == pytest.approx(mu_seq[0, t], abs=1e-12)
+            assert sigma[0] == pytest.approx(
+                np.exp(ls_seq[0, t]), abs=1e-12
+            )
+
+    def test_mismatched_inputs_rejected(self):
+        model = GaussianSequenceModel(2, hidden_dim=4)
+        with pytest.raises(ValueError):
+            model.fit([np.zeros((5, 2))], [np.zeros(5), np.zeros(5)])
+
+
+class TestBernoulliSequenceModel:
+    def test_learns_threshold_rule(self):
+        rng = np.random.default_rng(7)
+        sequences = [rng.normal(size=(50, 1)) for _ in range(10)]
+        labels = [(s[:, 0] > 0.5).astype(int) for s in sequences]
+        model = BernoulliSequenceModel(1, hidden_dim=8, num_layers=1, seed=0)
+        model.fit(sequences, labels, epochs=40, lr=1e-2, seed=1)
+        probs = model.predict_proba(sequences[0])
+        predictions = (probs > 0.5).astype(int)
+        accuracy = (predictions == labels[0]).mean()
+        assert accuracy > 0.85
+
+
+class TestLogisticRegression:
+    def test_separable_problem(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(400, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = LogisticRegression(epochs=500, lr=0.5).fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_probabilities_calibrated_on_base_rate(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(2000, 2))
+        y = (rng.random(2000) < 0.05).astype(int)  # features carry no info
+        model = LogisticRegression(epochs=300).fit(x, y)
+        assert model.predict_proba(x).mean() == pytest.approx(0.05, abs=0.02)
+
+    def test_input_validation(self):
+        model = LogisticRegression()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(10), np.zeros(10))
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((2, 2)))

@@ -1,0 +1,88 @@
+"""Tests for motif mining and pattern diffing."""
+
+import pytest
+
+from repro.discovery.motifs import (
+    aggregate_frequencies,
+    diff_patterns,
+    pattern_frequencies,
+    top_motifs,
+)
+
+
+class TestFrequencies:
+    def test_length_one(self):
+        freqs = pattern_frequencies("aabb", 1)
+        assert freqs == {"a": 0.5, "b": 0.5}
+
+    def test_length_two(self):
+        freqs = pattern_frequencies("abab", 2)
+        assert freqs["ab"] == pytest.approx(2 / 3)
+        assert freqs["ba"] == pytest.approx(1 / 3)
+
+    def test_too_short_string(self):
+        assert pattern_frequencies("a", 2) == {}
+        assert pattern_frequencies("", 1) == {}
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            pattern_frequencies("abc", 0)
+
+    def test_aggregate_weights_by_positions(self):
+        freqs = aggregate_frequencies(["aaa", "b"], 1)
+        assert freqs["a"] == pytest.approx(0.75)
+        assert freqs["b"] == pytest.approx(0.25)
+
+    def test_frequencies_sum_to_one(self):
+        freqs = pattern_frequencies("abcabcabdd", 2)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+
+class TestTopMotifs:
+    def test_ranking(self):
+        motifs = top_motifs("aaabbc", 1, k=2)
+        assert motifs[0][0] == "a"
+        assert motifs[1][0] == "b"
+
+    def test_k_limits_output(self):
+        assert len(top_motifs("abcdef", 1, k=3)) == 3
+
+
+class TestDiff:
+    def test_venn_decomposition(self):
+        gt = ["aabbcc"]
+        sim = ["bbccdd"]
+        diff = diff_patterns(gt, sim, length=1)
+        assert set(diff.only_ground_truth) == {"a"}
+        assert set(diff.only_simulated) == {"d"}
+        assert set(diff.shared) == {"b", "c"}
+
+    def test_paper_scenario_reordering_missing(self):
+        """Fig. 8(a): pattern 'a' present in GT, absent in the simulator."""
+        gt = ["bcbcabcbca", "bcbcbabc"]
+        sim = ["bcbcbcbcbc", "bcbcbc"]
+        diff = diff_patterns(gt, sim, length=1)
+        assert diff.missing_behaviours == ["a"]
+        diff2 = diff_patterns(gt, sim, length=2)
+        missing2 = [p for p in diff2.only_ground_truth if "a" in p]
+        assert missing2  # higher-order patterns involving 'a' also missing
+
+    def test_min_frequency_floor(self):
+        gt = ["a" + "b" * 9999]
+        sim = ["b" * 10000]
+        strict = diff_patterns(gt, sim, length=1, min_frequency=0.01)
+        assert "a" not in strict.only_ground_truth
+        loose = diff_patterns(gt, sim, length=1, min_frequency=1e-6)
+        assert "a" in loose.only_ground_truth
+
+    def test_shared_preserves_both_frequencies(self):
+        diff = diff_patterns(["ab"], ["aab"], length=1)
+        f_gt, f_sim = diff.shared["a"]
+        assert f_gt == pytest.approx(0.5)
+        assert f_sim == pytest.approx(2 / 3)
+
+    def test_format_table(self):
+        diff = diff_patterns(["aabb"], ["bbcc"], length=1)
+        table = diff.format_table()
+        assert "pattern" in table
+        assert "a" in table

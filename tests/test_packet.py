@@ -1,0 +1,45 @@
+"""Tests for the packet data type."""
+
+import pytest
+
+from repro.simulation.packet import Packet
+
+
+def test_uids_are_unique():
+    packets = [Packet(flow_id="f", seq=i) for i in range(100)]
+    uids = {p.uid for p in packets}
+    assert len(uids) == 100
+
+
+def test_retransmissions_get_distinct_uids():
+    first = Packet(flow_id="f", seq=5)
+    second = Packet(flow_id="f", seq=5, is_retransmit=True)
+    assert first.uid != second.uid
+
+
+def test_delay_none_before_delivery():
+    packet = Packet(flow_id="f", seq=0)
+    assert packet.delay is None
+    packet.sent_at = 1.0
+    assert packet.delay is None
+
+
+def test_delay_computed_after_delivery():
+    packet = Packet(flow_id="f", seq=0)
+    packet.sent_at = 1.0
+    packet.delivered_at = 1.25
+    assert packet.delay == pytest.approx(0.25)
+
+
+def test_non_positive_size_rejected():
+    with pytest.raises(ValueError):
+        Packet(flow_id="f", seq=0, size=0)
+    with pytest.raises(ValueError):
+        Packet(flow_id="f", seq=0, size=-100)
+
+
+def test_repr_distinguishes_ack():
+    data = Packet(flow_id="f", seq=1)
+    ack = Packet(flow_id="f", seq=-1, is_ack=True, ack=2)
+    assert "DATA" in repr(data)
+    assert "ACK" in repr(ack)

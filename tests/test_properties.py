@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.stats import cdf_points, percentile_error_table
+from repro.discovery.motifs import pattern_frequencies
+from repro.discovery.sax import paa, sax_inter_arrival
+from repro.ml.losses import binary_cross_entropy_with_logits, gaussian_nll
+from repro.ml.scalers import StandardScaler
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import Packet
+from repro.simulation.queues import DropTailQueue
+from repro.trace.features import sliding_window_rate
+from repro.trace.records import PacketRecord, Trace
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=60
+    )
+)
+def test_event_ordering_invariant(delays):
+    """Whatever the scheduling order, events fire sorted by time."""
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run(until=11.0)
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=3000), min_size=1, max_size=80
+    ),
+    capacity=st.integers(min_value=1500, max_value=50_000),
+)
+def test_queue_conservation(sizes, capacity):
+    """bytes in == bytes queued + bytes dropped + bytes dequeued."""
+    queue = DropTailQueue(capacity)
+    offered = 0
+    for i, size in enumerate(sizes):
+        offered += size
+        queue.push(Packet(flow_id="f", seq=i, size=size), 0.0)
+        if i % 3 == 0:
+            queue.pop(0.0)
+    accounted = (
+        queue.bytes_queued
+        + queue.stats.dropped_bytes
+        + queue.stats.dequeued_bytes
+    )
+    assert accounted == offered
+    assert queue.bytes_queued <= capacity
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=3000), min_size=1, max_size=50
+    )
+)
+def test_queue_capacity_never_exceeded(sizes):
+    queue = DropTailQueue(10_000)
+    peak = 0
+    for i, size in enumerate(sizes):
+        queue.push(Packet(flow_id="f", seq=i, size=size), 0.0)
+        peak = max(peak, queue.bytes_queued)
+    assert peak <= 10_000
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=50
+    ),
+    window=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_sliding_window_rate_nonnegative_and_bounded(times, window):
+    times = np.sort(np.asarray(times))
+    sizes = np.full(len(times), 1500.0)
+    rates = sliding_window_rate(times, sizes, times, window)
+    assert (rates >= 0).all()
+    assert (rates <= len(times) * 1500.0 / window + 1e-6).all()
+
+
+@given(
+    deltas=hnp.arrays(
+        dtype=float,
+        shape=st.integers(min_value=1, max_value=200),
+        elements=st.floats(
+            min_value=-1.0, max_value=1.0, allow_nan=False
+        ),
+    )
+)
+def test_sax_a_iff_negative(deltas):
+    symbols = sax_inter_arrival(deltas)
+    clean = deltas[~np.isnan(deltas)]
+    for symbol, delta in zip(symbols, clean):
+        assert (symbol == "a") == (delta < 0)
+
+
+@given(
+    series=hnp.arrays(
+        dtype=float,
+        shape=st.integers(min_value=1, max_value=100),
+        elements=finite_floats,
+    ),
+    segments=st.integers(min_value=1, max_value=20),
+)
+def test_paa_output_within_input_range(series, segments):
+    reduced = paa(series, segments)
+    assert len(reduced) == min(segments, len(series))
+    assert reduced.min() >= series.min() - 1e-9
+    assert reduced.max() <= series.max() + 1e-9
+
+
+@given(
+    text=st.text(alphabet="abc", min_size=1, max_size=200),
+    length=st.integers(min_value=1, max_value=3),
+)
+def test_pattern_frequencies_sum_to_one(text, length):
+    freqs = pattern_frequencies(text, length)
+    if len(text) >= length:
+        assert sum(freqs.values()) == pytest.approx(1.0)
+    else:
+        assert freqs == {}
+
+
+@given(
+    data=hnp.arrays(
+        dtype=float,
+        shape=st.tuples(
+            st.integers(min_value=2, max_value=50),
+            st.integers(min_value=1, max_value=5),
+        ),
+        elements=finite_floats,
+    )
+)
+def test_scaler_roundtrip_property(data):
+    scaler = StandardScaler().fit(data)
+    recovered = scaler.inverse_transform(scaler.transform(data))
+    assert np.allclose(recovered, data, atol=1e-6 * (1 + np.abs(data).max()))
+
+
+@given(
+    mu=hnp.arrays(dtype=float, shape=8,
+                  elements=st.floats(-10, 10, allow_nan=False)),
+    target=hnp.arrays(dtype=float, shape=8,
+                      elements=st.floats(-10, 10, allow_nan=False)),
+)
+def test_gaussian_nll_finite(mu, target):
+    log_sigma = np.zeros(8)
+    loss, gmu, gls = gaussian_nll(mu, log_sigma, target)
+    assert np.isfinite(loss)
+    assert np.isfinite(gmu).all()
+    assert np.isfinite(gls).all()
+
+
+@given(
+    logits=hnp.arrays(dtype=float, shape=8,
+                      elements=st.floats(-50, 50, allow_nan=False)),
+    labels=hnp.arrays(dtype=bool, shape=8),
+)
+def test_bce_nonnegative_and_finite(logits, labels):
+    loss, grad = binary_cross_entropy_with_logits(
+        logits, labels.astype(float)
+    )
+    assert loss >= 0.0
+    assert np.isfinite(grad).all()
+
+
+@given(
+    values=st.lists(finite_floats, min_size=1, max_size=100)
+)
+def test_cdf_points_monotone(values):
+    xs, ps = cdf_points(values)
+    assert (np.diff(xs) >= 0).all()
+    assert (np.diff(ps) > 0).all()
+    assert ps[-1] == pytest.approx(1.0)
+
+
+@given(
+    shift=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_percentile_error_scales_with_shift(shift):
+    gt = np.linspace(50.0, 150.0, 30)
+    row = percentile_error_table(gt + shift, gt)
+    assert row.p50_ms == pytest.approx(shift, abs=1e-6)
+
+
+@given(
+    sends=st.lists(
+        st.floats(min_value=0.0, max_value=9.0), min_size=2, max_size=60
+    ),
+    delay=st.floats(min_value=0.001, max_value=0.5),
+)
+def test_trace_invariants(sends, delay):
+    records = [
+        PacketRecord(uid=i, seq=i, size=1500, sent_at=s,
+                     delivered_at=s + delay)
+        for i, s in enumerate(sends)
+    ]
+    trace = Trace("f", records, duration=10.0)
+    # Sorted by send time; delays all equal the constant.
+    assert (np.diff(trace.sent_at) >= 0).all()
+    assert trace.delivered_delays() == pytest.approx(
+        np.full(len(sends), delay)
+    )
+    assert trace.loss_rate == 0.0

@@ -1,0 +1,191 @@
+"""Tests for the shared transport machinery (reliability, RTT, recovery)."""
+
+import pytest
+
+from repro.protocols.base import Receiver, Sender
+from repro.simulation import units
+from repro.simulation.delaybox import DelayBox
+from repro.simulation.engine import Simulator
+from repro.simulation.links import Bottleneck, ConstantRateProcess
+from repro.simulation.packet import Packet
+from repro.simulation.queues import DropTailQueue
+
+
+def build_loop(
+    rate_bytes=1.25e6,
+    buffer_bytes=60_000,
+    delay=0.02,
+    sender_cls=Sender,
+    **sender_kwargs,
+):
+    """Minimal sender -> bottleneck -> receiver -> ACK loop."""
+    sim = Simulator()
+    sender = sender_cls(sim, "flow", None, **sender_kwargs)
+    ack_path = DelayBox(sim, delay, sender)
+    receiver = Receiver(sim, "flow", ack_path)
+    forward = DelayBox(sim, delay, receiver)
+    queue = DropTailQueue(buffer_bytes)
+    bottleneck = Bottleneck(sim, ConstantRateProcess(rate_bytes), queue, forward)
+    sender.downstream = bottleneck
+    return sim, sender, receiver, queue
+
+
+def test_bulk_transfer_progresses():
+    sim, sender, receiver, _ = build_loop()
+    sender.start()
+    sim.run(until=2.0)
+    assert receiver.packets_received > 100
+    assert sender.snd_una > 100
+
+
+def test_window_limits_inflight():
+    sim, sender, receiver, _ = build_loop()
+    sender.max_cwnd = 5.0
+    sender.cwnd = 5.0
+    sender.ssthresh = 5.0
+    sender.start()
+    sim.run(until=0.005)  # before any ACK returns
+    assert sender.packets_sent == 5
+
+
+def test_rtt_estimation_converges():
+    sim, sender, _, _ = build_loop(delay=0.02)
+    sender.start()
+    sim.run(until=1.0)
+    # min RTT = 2 * 20ms prop + transmission (1.2ms @ 10Mb/s).
+    assert sender.min_rtt == pytest.approx(0.0412, abs=0.002)
+    assert sender.srtt is not None
+    assert sender.srtt >= sender.min_rtt
+
+
+def test_loss_triggers_fast_retransmit_not_timeout():
+    sim, sender, receiver, queue = build_loop(buffer_bytes=15_000)
+    sender.start()
+    sim.run(until=3.0)
+    assert queue.stats.dropped_packets > 0
+    assert sender.retransmissions > 0
+    assert sender.loss_events > 0
+    # SACK-lite recovery should repair burst losses without RTOs.
+    assert sender.timeouts == 0
+
+
+def test_reliability_no_gaps_at_receiver():
+    sim, sender, receiver, queue = build_loop(buffer_bytes=15_000)
+    sender.start()
+    sim.run(until=3.0)
+    sender.shutdown()
+    sim.run(until=5.0)
+    assert queue.stats.dropped_packets > 0  # losses actually happened
+    # Cumulative point advanced past thousands of packets => every gap
+    # was repaired by retransmission.
+    assert receiver.next_expected > 1000
+
+
+def test_shutdown_stops_transmission():
+    sim, sender, receiver, _ = build_loop()
+    sender.start()
+    sim.run(until=0.5)
+    sender.shutdown()
+    sent_at_shutdown = sender.packets_sent
+    sim.run(until=2.0)
+    assert sender.packets_sent == sent_at_shutdown
+
+
+def test_ack_of_foreign_flow_ignored():
+    sim, sender, _, _ = build_loop()
+    sender.start()
+    sim.run(until=0.1)
+    una_before = sender.snd_una
+    foreign = Packet(
+        flow_id="other", seq=-1, is_ack=True, ack=10_000
+    )
+    sender.accept(foreign)
+    assert sender.snd_una == una_before
+
+
+def test_karns_rule_skips_retransmitted_samples():
+    sim, sender, _, _ = build_loop()
+    sender.start()
+    sim.run(until=0.2)
+    srtt_before = sender.srtt
+    retransmit_ack = Packet(
+        flow_id="flow",
+        seq=-1,
+        is_ack=True,
+        ack=sender.snd_una,
+        echo_seq=0,
+        echo_sent_at=0.0,
+    )
+    retransmit_ack.is_retransmit = True
+    sample = sender._take_rtt_sample(retransmit_ack)
+    assert sample is None
+    assert sender.srtt == srtt_before
+
+
+def test_rto_fires_when_acks_stop():
+    # Receiver that swallows everything: no ACKs at all.
+    sim = Simulator()
+    sender = Sender(sim, "flow", None)
+    from repro.simulation.delaybox import Sink
+
+    queue = DropTailQueue(1e6)
+    bottleneck = Bottleneck(
+        sim, ConstantRateProcess(1.25e6), queue, Sink()
+    )
+    sender.downstream = bottleneck
+    sender.start()
+    sim.run(until=5.0)
+    assert sender.timeouts >= 1
+    assert sender.cwnd == 1.0 or sender.cwnd <= sender.ssthresh
+
+
+def test_rto_backoff_doubles():
+    sim = Simulator()
+    sender = Sender(sim, "flow", None)
+    from repro.simulation.delaybox import Sink
+
+    queue = DropTailQueue(1e6)
+    sender.downstream = Bottleneck(
+        sim, ConstantRateProcess(1.25e6), queue, Sink()
+    )
+    sender.start()
+    sim.run(until=10.0)
+    assert sender.timeouts >= 2
+    assert sender.rto > 1.0  # backed off beyond the initial RTO
+
+
+def test_media_receiver_acks_highest_seen():
+    sim = Simulator()
+    acks = []
+
+    class AckTap:
+        def accept(self, packet):
+            acks.append(packet.ack)
+
+    receiver = Receiver(sim, "flow", AckTap(), cumulative=False)
+    for seq in (0, 1, 3, 4):  # 2 is lost
+        p = Packet(flow_id="flow", seq=seq)
+        p.sent_at = 0.0
+        receiver.accept(p)
+    assert acks == [1, 2, 4, 5]
+
+
+def test_cumulative_receiver_holds_at_gap():
+    sim = Simulator()
+    acks = []
+
+    class AckTap:
+        def accept(self, packet):
+            acks.append(packet.ack)
+
+    receiver = Receiver(sim, "flow", AckTap(), cumulative=True)
+    for seq in (0, 1, 3, 4):
+        p = Packet(flow_id="flow", seq=seq)
+        p.sent_at = 0.0
+        receiver.accept(p)
+    assert acks == [1, 2, 2, 2]
+    # Hole filled -> cumulative jumps past buffered packets.
+    p = Packet(flow_id="flow", seq=2)
+    p.sent_at = 0.0
+    receiver.accept(p)
+    assert acks[-1] == 5

@@ -1,0 +1,160 @@
+"""Behavioural tests for the congestion-control flavours.
+
+These verify the *qualitative signatures* that make each protocol what it
+is — the properties the paper's A/B tests rely on (e.g. Vegas keeps queues
+short; Cubic fills them).
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocols import PROTOCOLS, make_sender
+from repro.simulation import units
+from repro.simulation.topology import (
+    ConstantBandwidth,
+    PathConfig,
+    PoissonCT,
+    run_flow,
+)
+from repro.trace.metrics import summarize
+
+RATE = units.mbps_to_bytes_per_sec(10.0)
+DELAY = units.ms_to_sec(25.0)
+
+
+def _config(buffer_bdp=4.0, ct_fraction=0.0):
+    ct = ()
+    if ct_fraction:
+        ct = (PoissonCT(rate_bytes_per_sec=ct_fraction * RATE),)
+    return PathConfig(
+        bandwidth=ConstantBandwidth(RATE),
+        propagation_delay=DELAY,
+        buffer_bytes=RATE * 2 * DELAY * buffer_bdp,
+        cross_traffic=ct,
+    )
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    out = {}
+    for protocol in ("cubic", "reno", "vegas", "bbr"):
+        run = run_flow(_config(), protocol, duration=10.0, seed=5)
+        out[protocol] = summarize(run.trace)
+    return out
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        assert set(PROTOCOLS) == {
+            "cubic", "vegas", "reno", "bbr", "cbr", "rtc", "ledbat"
+        }
+
+    def test_make_sender_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            make_sender("swift", None, "f", None)
+
+
+class TestLossBased:
+    def test_cubic_fills_the_link(self, summaries):
+        assert summaries["cubic"].mean_rate_mbps > 8.0
+
+    def test_reno_fills_the_link(self, summaries):
+        assert summaries["reno"].mean_rate_mbps > 8.0
+
+    def test_loss_based_protocols_bloat_the_buffer(self, summaries):
+        # 4 BDP buffer at 50 ms base RTT: queueing pushes p95 way up.
+        for protocol in ("cubic", "reno"):
+            assert summaries[protocol].p95_delay_ms > 120
+
+    def test_cubic_beats_reno_on_throughput_at_long_rtt(self):
+        config = PathConfig(
+            bandwidth=ConstantBandwidth(RATE),
+            propagation_delay=units.ms_to_sec(100.0),
+            buffer_bytes=RATE * 2 * 0.1 * 1.0,
+        )
+        cubic = summarize(
+            run_flow(config, "cubic", duration=20.0, seed=6).trace
+        )
+        reno = summarize(run_flow(config, "reno", duration=20.0, seed=6).trace)
+        assert cubic.mean_rate_mbps >= reno.mean_rate_mbps * 0.95
+
+
+class TestVegas:
+    def test_vegas_keeps_delay_low(self, summaries):
+        assert summaries["vegas"].p95_delay_ms < 100
+        assert (
+            summaries["vegas"].p95_delay_ms
+            < summaries["cubic"].p95_delay_ms / 2
+        )
+
+    def test_vegas_avoids_loss(self, summaries):
+        assert summaries["vegas"].loss_percent == pytest.approx(0.0, abs=0.2)
+
+    def test_vegas_still_gets_throughput(self, summaries):
+        assert summaries["vegas"].mean_rate_mbps > 6.0
+
+
+class TestBBR:
+    def test_bbr_reaches_high_throughput(self, summaries):
+        assert summaries["bbr"].mean_rate_mbps > 7.0
+
+    def test_bbr_delay_below_loss_based(self, summaries):
+        assert (
+            summaries["bbr"].p95_delay_ms
+            < max(summaries["cubic"].p95_delay_ms,
+                  summaries["reno"].p95_delay_ms)
+        )
+
+
+class TestCBR:
+    def test_cbr_holds_configured_rate(self):
+        run = run_flow(
+            _config(), "cbr", duration=10.0, seed=7,
+            sender_kwargs={"rate_bytes_per_sec": 250_000.0},
+        )
+        summary = summarize(run.trace)
+        assert summary.mean_rate_mbps == pytest.approx(2.0, rel=0.05)
+
+    def test_cbr_does_not_react_to_congestion(self):
+        # Offered load 0.9 link + 0.5 link CT: heavy loss, yet the CBR
+        # sender keeps blasting at its configured rate.
+        run = run_flow(
+            _config(ct_fraction=0.5), "cbr", duration=10.0, seed=8,
+            sender_kwargs={"rate_bytes_per_sec": 0.9 * RATE},
+        )
+        sent_rate = run.sender_stats["packets_sent"] * 1500 / 10.0
+        assert sent_rate == pytest.approx(0.9 * RATE, rel=0.05)
+        assert run.trace.loss_rate > 0.1
+
+
+class TestRTC:
+    def test_rtc_adapts_rate_upward_on_idle_path(self):
+        run = run_flow(_config(), "rtc", duration=15.0, seed=9)
+        decisions = run.trace  # rate grows over the call
+        summary = summarize(run.trace)
+        assert summary.mean_rate_mbps > 1.0
+
+    def test_rtc_keeps_delay_low_under_competition(self):
+        run = run_flow(_config(ct_fraction=0.4), "rtc", duration=15.0, seed=10)
+        summary = summarize(run.trace)
+        # The delay-gradient loop backs off before filling the 4-BDP buffer.
+        assert summary.p95_delay_ms < 200
+
+    def test_rtc_backs_off_under_overload(self):
+        light = run_flow(_config(ct_fraction=0.1), "rtc", duration=15.0, seed=11)
+        heavy = run_flow(_config(ct_fraction=1.2), "rtc", duration=15.0, seed=11)
+        light_rate = summarize(light.trace).mean_rate_mbps
+        heavy_rate = summarize(heavy.trace).mean_rate_mbps
+        assert heavy_rate < light_rate
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("protocol", ["cubic", "vegas", "bbr", "rtc"])
+    def test_same_seed_same_trace(self, protocol):
+        a = run_flow(_config(ct_fraction=0.2), protocol, duration=3.0, seed=1)
+        b = run_flow(_config(ct_fraction=0.2), protocol, duration=3.0, seed=1)
+        assert len(a.trace) == len(b.trace)
+        assert np.allclose(a.trace.sent_at, b.trace.sent_at)
+        assert np.allclose(
+            a.trace.delivered_at, b.trace.delivered_at, equal_nan=True
+        )

@@ -1,0 +1,115 @@
+"""Tests for droptail and RED queues."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.packet import Packet
+from repro.simulation.queues import DropTailQueue, REDQueue
+
+
+def _packet(size=1500, seq=0):
+    return Packet(flow_id="f", seq=seq, size=size)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        packets = [_packet(seq=i) for i in range(5)]
+        for p in packets:
+            assert queue.push(p, now=0.0)
+        popped = [queue.pop(0.0).seq for _ in range(5)]
+        assert popped == [0, 1, 2, 3, 4]
+
+    def test_byte_accounting(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        queue.push(_packet(size=1000), 0.0)
+        queue.push(_packet(size=500), 0.0)
+        assert queue.bytes_queued == 1500
+        queue.pop(0.0)
+        assert queue.bytes_queued == 500
+
+    def test_overflow_drops_arriving_packet(self):
+        queue = DropTailQueue(capacity_bytes=3000)
+        assert queue.push(_packet(size=1500), 0.0)
+        assert queue.push(_packet(size=1500), 0.0)
+        overflow = _packet(size=1500, seq=2)
+        assert not queue.push(overflow, 0.0)
+        assert overflow.dropped
+        assert queue.stats.dropped_packets == 1
+        # The queued packets are untouched.
+        assert len(queue) == 2
+
+    def test_exact_fit_admitted(self):
+        queue = DropTailQueue(capacity_bytes=3000)
+        assert queue.push(_packet(size=1500), 0.0)
+        assert queue.push(_packet(size=1500), 0.0)  # exactly at capacity
+
+    def test_pop_empty_returns_none(self):
+        queue = DropTailQueue(capacity_bytes=1000)
+        assert queue.pop(0.0) is None
+
+    def test_peak_occupancy_tracked(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        for i in range(4):
+            queue.push(_packet(), 0.0)
+        queue.pop(0.0)
+        assert queue.stats.peak_occupancy_bytes == 4 * 1500
+
+    def test_occupancy_samples_recorded_when_enabled(self):
+        queue = DropTailQueue(capacity_bytes=10_000, record_occupancy=True)
+        queue.push(_packet(), 1.0)
+        queue.pop(2.0)
+        times = [t for t, _ in queue.stats.occupancy_samples]
+        occupancy = [o for _, o in queue.stats.occupancy_samples]
+        assert times == [1.0, 2.0]
+        assert occupancy == [1500, 0]
+
+    def test_drop_rate(self):
+        queue = DropTailQueue(capacity_bytes=1500)
+        queue.push(_packet(), 0.0)
+        queue.push(_packet(), 0.0)  # dropped
+        assert queue.stats.drop_rate == pytest.approx(0.5)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_bytes=0)
+
+
+class TestRED:
+    def test_under_min_threshold_never_drops(self):
+        rng = np.random.default_rng(0)
+        queue = REDQueue(capacity_bytes=100_000, rng=rng)
+        for i in range(10):
+            assert queue.push(_packet(seq=i), 0.0)
+        assert queue.stats.dropped_packets == 0
+
+    def test_hard_limit_always_drops(self):
+        queue = REDQueue(capacity_bytes=3000)
+        queue.push(_packet(), 0.0)
+        queue.push(_packet(), 0.0)
+        assert not queue.push(_packet(), 0.0)
+
+    def test_probabilistic_drops_between_thresholds(self):
+        rng = np.random.default_rng(1)
+        queue = REDQueue(
+            capacity_bytes=30_000,
+            min_thresh=0.01,
+            max_thresh=0.99,
+            max_drop_prob=0.5,
+            ewma_weight=1.0,  # track instantaneous occupancy
+            rng=rng,
+        )
+        admitted = 0
+        offered = 0
+        for i in range(200):
+            if queue.bytes_queued >= 15_000:
+                queue.pop(0.0)
+            offered += 1
+            if queue.push(_packet(seq=i), 0.0):
+                admitted += 1
+        # Some but not all packets should be dropped in the ramp.
+        assert 0 < queue.stats.dropped_packets < offered
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            REDQueue(capacity_bytes=1000, min_thresh=0.9, max_thresh=0.3)

@@ -1,0 +1,150 @@
+"""Tests for path construction and the flow runner."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import units
+from repro.simulation.topology import (
+    CellularBandwidth,
+    ConstantBandwidth,
+    FlowCT,
+    OnOffCT,
+    PathConfig,
+    PoissonCT,
+    ReplayCT,
+    ScheduledBandwidth,
+    run_flow,
+)
+
+
+RATE = units.mbps_to_bytes_per_sec(10.0)
+
+
+def test_path_config_validation():
+    with pytest.raises(ValueError):
+        PathConfig(
+            bandwidth=ConstantBandwidth(RATE),
+            propagation_delay=-0.1,
+            buffer_bytes=1000,
+        )
+    with pytest.raises(ValueError):
+        PathConfig(
+            bandwidth=ConstantBandwidth(RATE),
+            propagation_delay=0.01,
+            buffer_bytes=0,
+        )
+
+
+def test_min_rtt_includes_both_directions():
+    config = PathConfig(
+        bandwidth=ConstantBandwidth(RATE),
+        propagation_delay=0.03,
+        buffer_bytes=10_000,
+        ack_delay=0.02,
+    )
+    assert config.min_rtt == pytest.approx(0.05)
+    symmetric = PathConfig(
+        bandwidth=ConstantBandwidth(RATE),
+        propagation_delay=0.03,
+        buffer_bytes=10_000,
+    )
+    assert symmetric.min_rtt == pytest.approx(0.06)
+
+
+def test_bandwidth_specs_build():
+    assert ConstantBandwidth(RATE).build(10.0, 0).rate_at(3.0) == RATE
+    cellular = CellularBandwidth(RATE).build(10.0, 1)
+    assert cellular.rate_at(5.0) > 0
+    scheduled = ScheduledBandwidth((0.0, 5.0), (RATE, RATE / 2)).build(10.0, 0)
+    assert scheduled.rate_at(6.0) == RATE / 2
+
+
+def test_run_flow_produces_complete_trace(clean_config):
+    result = run_flow(clean_config, "cubic", duration=5.0, seed=1)
+    trace = result.trace
+    assert len(trace) > 100
+    assert trace.duration == 5.0
+    assert trace.protocol == "cubic"
+    # All sends happened within the window.
+    assert trace.sent_at.max() <= 5.0
+    # Deliveries may spill slightly past, but delays stay physical.
+    delays = trace.delivered_delays()
+    assert delays.min() >= clean_config.propagation_delay
+
+
+def test_run_flow_records_queue_and_sender_stats(simple_config):
+    result = run_flow(simple_config, "cubic", duration=5.0, seed=2)
+    assert result.queue_peak_bytes > 0
+    assert result.sender_stats["packets_sent"] == len(result.trace)
+
+
+def test_cross_traffic_competes_for_bandwidth(clean_config):
+    quiet = run_flow(clean_config, "cubic", duration=8.0, seed=3)
+    busy_config = PathConfig(
+        bandwidth=clean_config.bandwidth,
+        propagation_delay=clean_config.propagation_delay,
+        buffer_bytes=clean_config.buffer_bytes,
+        cross_traffic=(PoissonCT(rate_bytes_per_sec=0.5 * RATE),),
+    )
+    busy = run_flow(busy_config, "cubic", duration=8.0, seed=3)
+    assert (
+        busy.trace.summary().mean_rate_mbps
+        < quiet.trace.summary().mean_rate_mbps
+    )
+    assert busy.cross_traffic_bytes > 0
+
+
+def test_flow_ct_is_closed_loop(clean_config):
+    config = PathConfig(
+        bandwidth=clean_config.bandwidth,
+        propagation_delay=clean_config.propagation_delay,
+        buffer_bytes=clean_config.buffer_bytes,
+        cross_traffic=(FlowCT(protocol="cubic", start=0.0, stop=4.0),),
+    )
+    result = run_flow(config, "cubic", duration=8.0, seed=4)
+    from repro.trace.features import binned_rate_series
+
+    _, rates = binned_rate_series(result.trace, bin_width=1.0)
+    # While the CT flow competes (0-4s), the main flow gets roughly half;
+    # afterwards it recovers towards full capacity.
+    assert rates[2] < rates[7]
+
+
+def test_replay_ct_spec(clean_config):
+    config = PathConfig(
+        bandwidth=clean_config.bandwidth,
+        propagation_delay=clean_config.propagation_delay,
+        buffer_bytes=clean_config.buffer_bytes,
+        cross_traffic=(
+            ReplayCT(
+                bin_edges=(0.0, 2.0, 4.0),
+                rates_bytes_per_sec=(0.5 * RATE, 0.0),
+            ),
+        ),
+    )
+    result = run_flow(config, "cubic", duration=6.0, seed=5)
+    assert result.cross_traffic_bytes == pytest.approx(RATE, rel=0.02)
+
+
+def test_path_seed_pins_path_but_not_workload():
+    config = PathConfig(
+        bandwidth=CellularBandwidth(RATE),
+        propagation_delay=0.02,
+        buffer_bytes=100_000,
+        cross_traffic=(PoissonCT(rate_bytes_per_sec=0.3 * RATE),),
+    )
+    a = run_flow(config, "cubic", duration=3.0, seed=1, path_seed=42)
+    b = run_flow(config, "cubic", duration=3.0, seed=2, path_seed=42)
+    # Different workload seeds -> different traces...
+    assert not np.array_equal(a.trace.delivered_at, b.trace.delivered_at)
+    # ...but the identical bandwidth realisation (checked indirectly: the
+    # same path seed with the same workload seed is fully reproducible).
+    c = run_flow(config, "cubic", duration=3.0, seed=2, path_seed=42)
+    assert np.allclose(
+        b.trace.delivered_at, c.trace.delivered_at, equal_nan=True
+    )
+
+
+def test_warmup_delays_flow_start(clean_config):
+    result = run_flow(clean_config, "cubic", duration=5.0, seed=6, warmup=2.0)
+    assert result.trace.sent_at.min() >= 2.0

@@ -1,0 +1,157 @@
+"""Tests for trace feature extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.trace.features import (
+    arrival_order_deltas,
+    binned_delay_series,
+    binned_rate_series,
+    inter_send_times,
+    packet_features,
+    reordering_events,
+    reordering_rate_windows,
+    sending_rate_at_packets,
+    sliding_window_rate,
+)
+from repro.trace.records import PacketRecord, Trace
+
+
+def _trace(sends, deliveries, size=1500, duration=None):
+    records = [
+        PacketRecord(
+            uid=i, seq=i, size=size, sent_at=s,
+            delivered_at=d if d is not None else math.nan,
+        )
+        for i, (s, d) in enumerate(zip(sends, deliveries))
+    ]
+    if duration is None:
+        duration = max(sends) + 1.0
+    return Trace("f", records, duration=duration)
+
+
+class TestSlidingWindowRate:
+    def test_uniform_stream(self):
+        times = np.arange(0.0, 10.0, 0.1)
+        sizes = np.full_like(times, 1000.0)
+        rates = sliding_window_rate(times, sizes, np.array([5.0]), window=1.0)
+        assert rates[0] == pytest.approx(10_000.0)
+
+    def test_window_excludes_future(self):
+        times = np.array([0.0, 2.0])
+        sizes = np.array([1000.0, 1000.0])
+        rate_at_1 = sliding_window_rate(times, sizes, np.array([1.0]), 1.0)
+        # Only the packet at t=0 is inside [0, 1); the window is half-open
+        # at the evaluation point so the t=2 packet is invisible.
+        assert rate_at_1[0] == pytest.approx(1000.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_rate(np.zeros(1), np.zeros(1), np.zeros(1), 0.0)
+
+
+class TestSendingFeatures:
+    def test_sending_rate_paper_definition(self):
+        # 10 packets of 1500 B in the second before the last packet.
+        sends = list(np.arange(0.0, 1.0, 0.1))
+        trace = _trace(sends, [s + 0.01 for s in sends])
+        rates = sending_rate_at_packets(trace)
+        # At the final packet (t=0.9) the preceding second holds pkts 0..8.
+        assert rates[-1] == pytest.approx(9 * 1500.0)
+
+    def test_inter_send_times(self):
+        trace = _trace([0.0, 0.1, 0.4], [0.01, 0.11, 0.41])
+        spacing = inter_send_times(trace)
+        assert spacing == pytest.approx([0.0, 0.1, 0.3])
+
+
+class TestReordering:
+    def test_in_order_trace_has_no_events(self):
+        sends = [0.0, 0.1, 0.2, 0.3]
+        trace = _trace(sends, [s + 0.05 for s in sends])
+        assert not reordering_events(trace).any()
+        assert (arrival_order_deltas(trace) > 0).all()
+
+    def test_overtaking_detected(self):
+        # Packet 1 takes a detour and arrives after packet 2.
+        trace = _trace(
+            [0.0, 0.1, 0.2],
+            [0.05, 0.35, 0.25],
+        )
+        deltas = arrival_order_deltas(trace)
+        events = reordering_events(trace)
+        assert deltas[1] < 0
+        assert list(events) == [False, True]
+
+    def test_lost_packets_do_not_create_events(self):
+        trace = _trace(
+            [0.0, 0.1, 0.2],
+            [0.05, None, 0.25],
+        )
+        assert not reordering_events(trace).any()
+
+    def test_windowed_rates(self):
+        # 2 windows: first has 1 reorder among 10 packets, second none.
+        sends = list(np.arange(0.0, 2.0, 0.1))
+        deliveries = [s + 0.05 for s in sends]
+        deliveries[5] = deliveries[4] - 0.01  # reorder event in window 0
+        trace = _trace(sends, deliveries, duration=2.0)
+        rates = reordering_rate_windows(trace, window=1.0)
+        assert len(rates) == 2
+        assert rates[0] == pytest.approx(0.1)
+        assert rates[1] == 0.0
+
+
+class TestBinnedSeries:
+    def test_rate_series_conserves_bytes(self):
+        sends = list(np.arange(0.0, 5.0, 0.01))
+        trace = _trace(sends, [s + 0.02 for s in sends], duration=5.0)
+        _, rates = binned_rate_series(trace, bin_width=0.5)
+        total = (rates * 0.5).sum()
+        assert total == pytest.approx(len(sends) * 1500.0, rel=0.01)
+
+    def test_delay_series_nan_in_empty_bins(self):
+        trace = _trace([0.1, 2.1], [0.15, 2.2], duration=3.0)
+        _, delays = binned_delay_series(trace, bin_width=1.0)
+        assert not math.isnan(delays[0])
+        assert math.isnan(delays[1])
+        assert not math.isnan(delays[2])
+
+
+class TestPacketFeatures:
+    def test_shape_without_ct(self):
+        sends = list(np.arange(0.0, 1.0, 0.1))
+        trace = _trace(sends, [s + 0.05 for s in sends])
+        features = packet_features(trace)
+        assert features.shape == (10, 4)
+
+    def test_ct_column_appended(self):
+        sends = list(np.arange(0.0, 1.0, 0.1))
+        trace = _trace(sends, [s + 0.05 for s in sends])
+        ct = np.full(10, 7.0)
+        features = packet_features(trace, cross_traffic=ct)
+        assert features.shape == (10, 5)
+        assert (features[:, 4] == 7.0).all()
+
+    def test_ct_shape_mismatch_rejected(self):
+        trace = _trace([0.0, 0.1], [0.05, 0.15])
+        with pytest.raises(ValueError):
+            packet_features(trace, cross_traffic=np.zeros(5))
+
+    def test_prev_delay_carries_forward_over_losses(self):
+        trace = _trace(
+            [0.0, 0.1, 0.2, 0.3],
+            [0.05, None, None, 0.33],
+        )
+        features = packet_features(trace)
+        prev = features[:, 3]
+        assert prev[0] == 0.0
+        assert prev[1] == pytest.approx(0.05)
+        assert prev[2] == pytest.approx(0.05)  # lost pkt leaves it frozen
+        assert prev[3] == pytest.approx(0.05)
+
+    def test_empty_trace(self):
+        trace = Trace("f", [], duration=1.0)
+        assert packet_features(trace).shape == (0, 4)

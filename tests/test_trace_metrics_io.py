@@ -1,0 +1,112 @@
+"""Tests for trace metrics and persistence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.trace.io import load_trace, load_traces, save_trace, save_traces
+from repro.trace.metrics import (
+    loss_percent,
+    mean_rate_mbps,
+    p95_delay_ms,
+    summarize,
+)
+from repro.trace.records import PacketRecord, Trace
+
+
+def _trace(n=100, delay=0.05, loss_every=0):
+    records = []
+    for i in range(n):
+        delivered = i * 0.01 + delay
+        if loss_every and i % loss_every == 0:
+            delivered = math.nan
+        records.append(
+            PacketRecord(
+                uid=i, seq=i, size=1500, sent_at=i * 0.01,
+                delivered_at=delivered,
+            )
+        )
+    return Trace("f", records, duration=1.0, protocol="cubic",
+                 metadata={"seed": 1})
+
+
+class TestMetrics:
+    def test_p95_delay(self):
+        trace = _trace(delay=0.05)
+        assert p95_delay_ms(trace) == pytest.approx(50.0)
+
+    def test_p95_nan_for_all_lost(self):
+        trace = _trace(n=4, loss_every=1)
+        assert math.isnan(p95_delay_ms(trace))
+
+    def test_loss_percent(self):
+        trace = _trace(n=100, loss_every=10)
+        assert loss_percent(trace) == pytest.approx(10.0)
+
+    def test_mean_rate(self):
+        trace = _trace(n=100)
+        # 100 * 1500 B in 1 s = 1.2 Mb/s
+        assert mean_rate_mbps(trace) == pytest.approx(1.2)
+
+    def test_mean_rate_counts_delivered_only(self):
+        lossy = _trace(n=100, loss_every=2)
+        assert mean_rate_mbps(lossy) == pytest.approx(0.6)
+
+    def test_summary_roundtrip(self):
+        summary = summarize(_trace())
+        assert summary.packets_sent == 100
+        assert summary.packets_delivered == 100
+        assert "cubic" in str(summary)
+
+
+class TestIO:
+    @pytest.mark.parametrize("suffix", [".jsonl", ".npz"])
+    def test_roundtrip(self, tmp_path, suffix):
+        trace = _trace(loss_every=7)
+        path = tmp_path / f"trace{suffix}"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.flow_id == trace.flow_id
+        assert loaded.protocol == trace.protocol
+        assert loaded.duration == trace.duration
+        assert loaded.metadata == trace.metadata
+        assert len(loaded) == len(trace)
+        assert np.allclose(loaded.sent_at, trace.sent_at)
+        assert np.allclose(
+            loaded.delivered_at, trace.delivered_at, equal_nan=True
+        )
+        assert [r.is_retransmit for r in loaded.records] == [
+            r.is_retransmit for r in trace.records
+        ]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(_trace(), tmp_path / "trace.csv")
+        with pytest.raises(ValueError):
+            load_trace(tmp_path / "missing.csv")
+
+    def test_directory_roundtrip(self, tmp_path):
+        traces = [_trace(), _trace(n=50)]
+        paths = save_traces(traces, tmp_path / "corpus", fmt="npz")
+        assert len(paths) == 2
+        loaded = load_traces(tmp_path / "corpus")
+        assert [len(t) for t in loaded] == [100, 50]
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(_trace(), path)
+        content = path.read_text().replace(
+            '"format_version": 1', '"format_version": 99'
+        )
+        path.write_text(content)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_real_trace_roundtrip(self, tmp_path, cubic_trace):
+        path = tmp_path / "real.npz"
+        save_trace(cubic_trace, path)
+        loaded = load_trace(path)
+        assert summarize(loaded).p95_delay_ms == pytest.approx(
+            summarize(cubic_trace).p95_delay_ms
+        )

@@ -1,0 +1,132 @@
+"""Tests for the trace data model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.packet import Packet
+from repro.trace.records import PacketRecord, Trace, TraceRecorder
+
+
+def _records(n=5, spacing=0.1, delay=0.05):
+    return [
+        PacketRecord(
+            uid=i, seq=i, size=1500, sent_at=i * spacing,
+            delivered_at=i * spacing + delay,
+        )
+        for i in range(n)
+    ]
+
+
+class TestPacketRecord:
+    def test_lost_when_nan(self):
+        record = PacketRecord(uid=0, seq=0, size=1500, sent_at=1.0)
+        assert record.lost
+        assert math.isnan(record.delay)
+
+    def test_delay(self):
+        record = PacketRecord(
+            uid=0, seq=0, size=1500, sent_at=1.0, delivered_at=1.07
+        )
+        assert not record.lost
+        assert record.delay == pytest.approx(0.07)
+
+
+class TestTrace:
+    def test_records_sorted_by_send_time(self):
+        shuffled = list(reversed(_records()))
+        trace = Trace("f", shuffled, duration=1.0)
+        assert list(trace.seqs) == [0, 1, 2, 3, 4]
+
+    def test_loss_rate(self):
+        records = _records(4)
+        records[1].delivered_at = math.nan
+        trace = Trace("f", records, duration=1.0)
+        assert trace.loss_rate == pytest.approx(0.25)
+        assert trace.packets_delivered == 3
+
+    def test_delivered_delays_excludes_losses(self):
+        records = _records(4)
+        records[0].delivered_at = math.nan
+        trace = Trace("f", records, duration=1.0)
+        assert len(trace.delivered_delays()) == 3
+        assert np.all(trace.delivered_delays() == pytest.approx(0.05))
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("f", _records(), duration=0.0)
+
+    def test_subtrace_rebases_time(self):
+        trace = Trace("f", _records(10), duration=1.0)
+        sub = trace.subtrace(0.3, 0.7)
+        assert len(sub) == 4  # packets sent at 0.3, 0.4, 0.5, 0.6
+        assert sub.sent_at.min() == pytest.approx(0.0)
+        assert sub.duration == pytest.approx(0.4)
+
+    def test_subtrace_invalid_window(self):
+        trace = Trace("f", _records(), duration=1.0)
+        with pytest.raises(ValueError):
+            trace.subtrace(0.5, 0.5)
+
+    def test_summary_convenience(self):
+        trace = Trace("f", _records(), duration=1.0, protocol="cubic")
+        summary = trace.summary()
+        assert summary.protocol == "cubic"
+        assert summary.packets_sent == 5
+
+    def test_empty_trace(self):
+        trace = Trace("f", [], duration=1.0)
+        assert trace.loss_rate == 0.0
+        assert len(trace.delivered_delays()) == 0
+
+
+class TestTraceRecorder:
+    def test_send_then_delivery_matched_by_uid(self):
+        recorder = TraceRecorder("f", protocol="cubic")
+        packet = Packet(flow_id="f", seq=0)
+        packet.sent_at = 1.0
+        recorder.record_send(packet)
+        packet.delivered_at = 1.05
+        recorder.record_delivery(packet)
+        trace = recorder.finish(duration=2.0)
+        assert trace.records[0].delay == pytest.approx(0.05)
+
+    def test_unmatched_delivery_ignored(self):
+        recorder = TraceRecorder("f")
+        stranger = Packet(flow_id="f", seq=9)
+        stranger.delivered_at = 1.0
+        recorder.record_delivery(stranger)  # no send recorded: no crash
+        assert len(recorder.finish(duration=1.0)) == 0
+
+    def test_duplicate_send_rejected(self):
+        recorder = TraceRecorder("f")
+        packet = Packet(flow_id="f", seq=0)
+        packet.sent_at = 0.0
+        recorder.record_send(packet)
+        with pytest.raises(ValueError):
+            recorder.record_send(packet)
+
+    def test_undelivered_packets_are_lost(self):
+        recorder = TraceRecorder("f")
+        packet = Packet(flow_id="f", seq=0)
+        packet.sent_at = 0.0
+        recorder.record_send(packet)
+        trace = recorder.finish(duration=1.0)
+        assert trace.records[0].lost
+
+    def test_retransmissions_tracked_separately(self):
+        recorder = TraceRecorder("f")
+        first = Packet(flow_id="f", seq=0)
+        first.sent_at = 0.0
+        recorder.record_send(first)
+        again = Packet(flow_id="f", seq=0, is_retransmit=True)
+        again.sent_at = 1.0
+        recorder.record_send(again)
+        again.delivered_at = 1.05
+        recorder.record_delivery(again)
+        trace = recorder.finish(duration=2.0)
+        assert len(trace) == 2
+        assert trace.records[0].lost
+        assert trace.records[1].is_retransmit
+        assert not trace.records[1].lost

@@ -1,0 +1,82 @@
+"""Tests for trace invariant validation."""
+
+import math
+
+import pytest
+
+from repro.trace.records import PacketRecord, Trace
+from repro.trace.validate import assert_valid, validate_trace
+
+
+def _record(uid=0, seq=0, size=1500, sent=0.0, delivered=0.05,
+            retransmit=False):
+    return PacketRecord(
+        uid=uid, seq=seq, size=size, sent_at=sent,
+        delivered_at=delivered, is_retransmit=retransmit,
+    )
+
+
+def test_sound_trace_passes():
+    records = [
+        _record(uid=i, seq=i, sent=i * 0.01, delivered=i * 0.01 + 0.05)
+        for i in range(20)
+    ]
+    trace = Trace("f", records, duration=1.0)
+    assert validate_trace(trace) == []
+    assert_valid(trace)  # does not raise
+
+
+def test_simulator_traces_are_sound(cubic_trace, cellular_run):
+    assert validate_trace(cubic_trace) == []
+    assert validate_trace(cellular_run.trace) == []
+
+
+def test_duplicate_uid_detected():
+    records = [_record(uid=1, seq=0), _record(uid=1, seq=1, sent=0.1)]
+    problems = validate_trace(Trace("f", records, duration=1.0))
+    assert any("uid" in p for p in problems)
+
+
+def test_delivery_before_send_detected():
+    records = [_record(uid=0, sent=1.0, delivered=0.5)]
+    problems = validate_trace(Trace("f", records, duration=2.0))
+    assert any("before" in p for p in problems)
+
+
+def test_send_beyond_duration_detected():
+    records = [_record(uid=0, sent=5.0, delivered=5.05)]
+    problems = validate_trace(Trace("f", records, duration=1.0))
+    assert any("duration" in p for p in problems)
+
+
+def test_duplicate_first_transmission_seq_detected():
+    records = [
+        _record(uid=0, seq=3),
+        _record(uid=1, seq=3, sent=0.1),
+    ]
+    problems = validate_trace(Trace("f", records, duration=1.0))
+    assert any("sequence" in p for p in problems)
+
+
+def test_retransmission_same_seq_allowed():
+    records = [
+        _record(uid=0, seq=3, delivered=math.nan),
+        _record(uid=1, seq=3, sent=0.2, delivered=0.3, retransmit=True),
+    ]
+    assert validate_trace(Trace("f", records, duration=1.0)) == []
+
+
+def test_implausible_delay_detected():
+    records = [_record(uid=0, delivered=90.0)]
+    problems = validate_trace(Trace("f", records, duration=100.0))
+    assert any("implausibly" in p for p in problems)
+
+
+def test_assert_valid_raises_with_details():
+    records = [_record(uid=0, sent=1.0, delivered=0.5)]
+    with pytest.raises(ValueError, match="invalid"):
+        assert_valid(Trace("bad", records, duration=2.0))
+
+
+def test_empty_trace_is_valid():
+    assert validate_trace(Trace("f", [], duration=1.0)) == []

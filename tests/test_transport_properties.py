@@ -1,0 +1,154 @@
+"""Property-based tests on the transport and estimation layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cross_traffic import CrossTrafficEstimate
+from repro.core.static_params import estimate_bandwidth
+from repro.discovery.sax import positive_delta_breakpoints
+from repro.protocols.base import Receiver
+from repro.simulation.crosstraffic import RateReplaySource
+from repro.simulation.delaybox import Sink
+from repro.simulation.engine import Simulator
+from repro.simulation.packet import Packet
+from repro.trace.records import PacketRecord, Trace
+
+
+class _AckCollector:
+    def __init__(self):
+        self.acks = []
+
+    def accept(self, packet):
+        self.acks.append(packet.ack)
+
+
+@given(
+    arrival_order=st.permutations(list(range(12))),
+)
+@settings(max_examples=50)
+def test_cumulative_ack_reaches_total_regardless_of_order(arrival_order):
+    """Whatever order packets arrive in, once all have arrived the
+    cumulative ACK is exactly one past the highest sequence."""
+    sim = Simulator()
+    tap = _AckCollector()
+    receiver = Receiver(sim, "f", tap, cumulative=True)
+    for seq in arrival_order:
+        p = Packet(flow_id="f", seq=seq)
+        p.sent_at = 0.0
+        receiver.accept(p)
+    assert tap.acks[-1] == 12
+    # The cumulative ACK never decreases.
+    assert all(b >= a for a, b in zip(tap.acks, tap.acks[1:]))
+
+
+@given(
+    arrival_order=st.permutations(list(range(10))),
+)
+@settings(max_examples=50)
+def test_media_ack_tracks_highest_seen(arrival_order):
+    sim = Simulator()
+    tap = _AckCollector()
+    receiver = Receiver(sim, "f", tap, cumulative=False)
+    highest = -1
+    for seq in arrival_order:
+        p = Packet(flow_id="f", seq=seq)
+        p.sent_at = 0.0
+        receiver.accept(p)
+        highest = max(highest, seq)
+        assert tap.acks[-1] == highest + 1
+
+
+@given(
+    rate=st.floats(min_value=10_000.0, max_value=5e6),
+    gap_factor=st.floats(min_value=1.0, max_value=3.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_bandwidth_estimator_never_exceeds_delivery_physics(rate, gap_factor):
+    """For a synthetic trace delivered at a constant rate, the estimate
+    equals that rate; stretching the gaps can only lower it."""
+    n = 300
+    spacing = 1500.0 / rate * gap_factor
+    records = [
+        PacketRecord(
+            uid=i, seq=i, size=1500,
+            sent_at=i * spacing,
+            delivered_at=i * spacing + 0.01,
+        )
+        for i in range(n)
+    ]
+    trace = Trace("f", records, duration=n * spacing + 1)
+    estimate = estimate_bandwidth(trace)
+    assert estimate <= rate / gap_factor * 1.05 + 1500  # physics bound
+
+
+@given(
+    rates=st.lists(
+        st.floats(min_value=0.0, max_value=2e6), min_size=1, max_size=20
+    ),
+    bin_width=st.floats(min_value=0.1, max_value=2.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_ct_replay_volume_matches_estimate(rates, bin_width):
+    """The replay source reproduces the estimated volume to within one
+    packet."""
+    edges = np.arange(0.0, (len(rates) + 0.5) * bin_width, bin_width)[
+        : len(rates) + 1
+    ]
+    if len(edges) != len(rates) + 1:
+        return
+    estimate = CrossTrafficEstimate(
+        bin_edges=tuple(edges), rates_bytes_per_sec=tuple(rates)
+    )
+    sim = Simulator()
+    sink = Sink()
+    RateReplaySource(sim, sink, edges, rates)
+    sim.run(until=float(edges[-1]) + 1.0)
+    assert abs(sink.bytes_received - estimate.total_bytes()) <= 1500.0
+
+
+@given(
+    deltas=st.lists(
+        st.floats(min_value=-0.1, max_value=0.5, allow_nan=False),
+        min_size=10,
+        max_size=300,
+    ),
+    alphabet=st.integers(min_value=3, max_value=8),
+)
+@settings(max_examples=50)
+def test_positive_breakpoints_are_sorted(deltas, alphabet):
+    breakpoints = positive_delta_breakpoints(
+        np.asarray(deltas), alphabet_size=alphabet
+    )
+    assert len(breakpoints) == alphabet - 2
+    assert (np.diff(breakpoints) >= -1e-12).all()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_flow_runs_are_reproducible_for_any_seed(seed):
+    """Determinism is a hard invariant across the whole stack."""
+    from repro.simulation import units
+    from repro.simulation.topology import (
+        CellularBandwidth,
+        PathConfig,
+        PoissonCT,
+        run_flow,
+    )
+
+    config = PathConfig(
+        bandwidth=CellularBandwidth(units.mbps_to_bytes_per_sec(5.0)),
+        propagation_delay=0.02,
+        buffer_bytes=120_000,
+        reorder_prob=0.01,
+        cross_traffic=(
+            PoissonCT(rate_bytes_per_sec=units.mbps_to_bytes_per_sec(1.0)),
+        ),
+    )
+    a = run_flow(config, "cubic", duration=2.0, seed=seed)
+    b = run_flow(config, "cubic", duration=2.0, seed=seed)
+    assert len(a.trace) == len(b.trace)
+    assert np.allclose(
+        a.trace.delivered_at, b.trace.delivered_at, equal_nan=True
+    )

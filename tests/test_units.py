@@ -1,0 +1,31 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.simulation import units
+
+
+def test_mbps_roundtrip():
+    assert units.bytes_per_sec_to_mbps(
+        units.mbps_to_bytes_per_sec(12.5)
+    ) == pytest.approx(12.5)
+
+
+def test_kbps_roundtrip():
+    assert units.bytes_per_sec_to_kbps(
+        units.kbps_to_bytes_per_sec(300.0)
+    ) == pytest.approx(300.0)
+
+
+def test_mbps_reference_value():
+    # 8 Mb/s == 1 MB/s
+    assert units.mbps_to_bytes_per_sec(8.0) == pytest.approx(1_000_000.0)
+
+
+def test_ms_roundtrip():
+    assert units.sec_to_ms(units.ms_to_sec(123.0)) == pytest.approx(123.0)
+
+
+def test_bdp():
+    # 1 MB/s * 100 ms = 100 kB
+    assert units.bdp_bytes(1_000_000.0, 0.1) == pytest.approx(100_000.0)
