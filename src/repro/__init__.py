@@ -34,6 +34,9 @@ The package is organised as:
     Synthetic Pantheon-like and RTC-like trace generation.
 ``repro.baselines``
     The calibrated-emulator-with-statistical-loss baseline and raw replay.
+``repro.runtime``
+    The batch execution subsystem: declarative jobs, a content-addressed
+    profile cache, a process-pool executor, and per-run JSON manifests.
 
 Quickstart::
 
@@ -55,11 +58,12 @@ from repro import (
     experiments,
     ml,
     protocols,
+    runtime,
     simulation,
     trace,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -71,6 +75,7 @@ __all__ = [
     "experiments",
     "ml",
     "protocols",
+    "runtime",
     "simulation",
     "trace",
 ]

@@ -3,16 +3,22 @@
 Commands mirror the workflows a downstream user needs:
 
 ``reproduce``
-    Run one (or all) of the paper's experiments and print its report.
+    Run one (or all) of the paper's experiments and print its report;
+    ``all`` can fan out across worker processes (``--workers``).
 ``generate``
     Generate a synthetic Pantheon-like dataset and save the traces.
 ``fit``
     Fit an iBoxNet model to a saved trace and print the learnt
     parameters (optionally dumping the profile as JSON — the "iBoxNet
-    profiles" the paper planned to release, §3.2 fn. 2).
+    profiles" the paper planned to release, §3.2 fn. 2 — or skipping
+    the fit entirely when a previously saved profile is supplied).
 ``simulate``
     Run a counterfactual: fit a trace, simulate another protocol over
     the learnt model, print its summary (optionally saving the trace).
+``batch``
+    Fan a directory of traces out across a worker pool: fit each trace
+    through the content-addressed profile cache, run the requested
+    counterfactual protocols, and write a JSON run manifest.
 """
 
 from __future__ import annotations
@@ -23,9 +29,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-EXPERIMENTS = (
-    "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "table1", "speed"
-)
+from repro.experiments.common import EXPERIMENT_NAMES
+
+EXPERIMENTS = EXPERIMENT_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--scale", choices=("quick", "paper"), default="quick",
         help="experiment sizing (default: quick)",
+    )
+    reproduce.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for 'all' (default: 1, serial)",
     )
 
     generate = sub.add_parser(
@@ -67,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", type=Path, default=None,
         help="write the learnt profile as JSON",
     )
+    fit.add_argument(
+        "--from-profile", type=Path, default=None,
+        help="load this profile JSON instead of re-fitting the trace",
+    )
 
     simulate = sub.add_parser(
         "simulate", help="counterfactual: fit a trace, run protocol B on it"
@@ -76,28 +90,75 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=None)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--output", type=Path, default=None)
+
+    batch = sub.add_parser(
+        "batch",
+        help="fit+simulate a directory of traces across a worker pool",
+    )
+    batch.add_argument(
+        "trace_dir", type=Path, help="directory of .npz/.jsonl traces"
+    )
+    batch.add_argument(
+        "--protocols", nargs="+", default=["cubic"],
+        help="counterfactual protocols to simulate (default: cubic)",
+    )
+    batch.add_argument("--workers", type=int, default=1)
+    batch.add_argument(
+        "--duration", type=float, default=None,
+        help="simulation duration (default: each trace's own duration)",
+    )
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="profile cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/profiles)",
+    )
+    batch.add_argument(
+        "--manifest-dir", type=Path, default=None,
+        help="write the run manifest JSON into this directory",
+    )
+    batch.add_argument(
+        "--output-dir", type=Path, default=None,
+        help="save each predicted trace here",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job timeout in seconds",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per failed job (default: 1)",
+    )
     return parser
 
 
 def _cmd_reproduce(args) -> int:
-    from repro import experiments
-    from repro.experiments.common import Scale
+    from repro.experiments.common import run_experiment
 
-    scale = Scale.quick() if args.scale == "quick" else Scale.paper()
-    modules = {
-        "fig2": experiments.fig2_ensemble,
-        "fig3": experiments.fig3_ablations,
-        "fig4": experiments.fig4_instance,
-        "fig5": experiments.fig5_reordering,
-        "fig7": experiments.fig7_control_loop,
-        "fig8": experiments.fig8_discovery,
-        "table1": experiments.table1_rtc,
-        "speed": experiments.speed,
-    }
     targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    if len(targets) > 1 and args.workers > 1:
+        from repro.runtime.batch import run_experiments
+        from repro.runtime.executor import ExecutorConfig
+
+        results, manifest = run_experiments(
+            targets,
+            scale=args.scale,
+            config=ExecutorConfig(workers=args.workers),
+        )
+        for result in results:
+            if result.ok:
+                print(result.value["report"])
+            else:
+                print(
+                    f"EXPERIMENT FAILED {result.spec.label}: "
+                    f"{result.error.error_type}: {result.error.message}"
+                )
+            print()
+        print(manifest.format_report())
+        return 0 if all(r.ok for r in results) else 1
+
     for name in targets:
-        result = modules[name].run(scale)
-        print(result.format_report())
+        print(run_experiment(name, scale=args.scale))
         print()
     return 0
 
@@ -118,33 +179,25 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _profile_dict(model) -> dict:
-    return {
-        "bandwidth_bytes_per_sec": model.params.bandwidth_bytes_per_sec,
-        "propagation_delay_sec": model.params.propagation_delay,
-        "buffer_bytes": model.params.buffer_bytes,
-        "cross_traffic": {
-            "bin_edges": list(model.cross_traffic.bin_edges),
-            "rates_bytes_per_sec": list(
-                model.cross_traffic.rates_bytes_per_sec
-            ),
-        },
-        "source_flow_id": model.source_flow_id,
-        "source_protocol": model.source_protocol,
-        "source_loss_rate": model.source_loss_rate,
-    }
-
-
 def _cmd_fit(args) -> int:
     from repro.core import iboxnet
     from repro.trace.io import load_trace
 
-    trace = load_trace(args.trace)
-    model = iboxnet.fit(trace)
-    print(f"fitted from {trace}")
-    print(f"  {model}")
+    if args.from_profile is not None:
+        model = iboxnet.from_profile(
+            json.loads(args.from_profile.read_text())
+        )
+        print(f"loaded profile {args.from_profile}")
+        print(f"  {model}")
+    else:
+        trace = load_trace(args.trace)
+        model = iboxnet.fit(trace)
+        print(f"fitted from {trace}")
+        print(f"  {model}")
     if args.profile is not None:
-        args.profile.write_text(json.dumps(_profile_dict(model), indent=2))
+        args.profile.write_text(
+            json.dumps(iboxnet.to_profile(model), indent=2)
+        )
         print(f"  profile written to {args.profile}")
     return 0
 
@@ -155,7 +208,7 @@ def _cmd_simulate(args) -> int:
 
     trace = load_trace(args.trace)
     model = iboxnet.fit(trace)
-    duration = args.duration if args.duration else trace.duration
+    duration = args.duration if args.duration is not None else trace.duration
     predicted = model.simulate(args.protocol, duration=duration, seed=args.seed)
     print(f"learnt model: {model}")
     print(f"counterfactual {args.protocol}: {predicted.summary()}")
@@ -165,6 +218,55 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.runtime.batch import run_batch
+    from repro.runtime.executor import ExecutorConfig
+    from repro.trace.io import iter_trace_paths
+
+    try:
+        trace_paths = iter_trace_paths(args.trace_dir)
+    except (FileNotFoundError, NotADirectoryError) as exc:
+        print(f"cannot read trace directory: {exc}", file=sys.stderr)
+        return 2
+    if not trace_paths:
+        print(f"no traces found in {args.trace_dir}", file=sys.stderr)
+        return 2
+    results, manifest, manifest_path = run_batch(
+        trace_paths,
+        protocols=args.protocols,
+        duration=args.duration,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        output_dir=args.output_dir,
+        manifest_dir=args.manifest_dir,
+        config=ExecutorConfig(
+            workers=args.workers,
+            timeout_sec=args.timeout,
+            max_attempts=args.retries + 1,
+        ),
+    )
+    for result in results:
+        if result.ok:
+            hit = "cache hit " if result.cache_hit else "fitted    "
+            for protocol, s in result.value["summaries"].items():
+                print(
+                    f"ok     {hit}{result.value['trace_path']} "
+                    f"[{protocol}] rate={s['mean_rate_mbps']:.2f} Mb/s "
+                    f"p95={s['p95_delay_ms']:.0f} ms "
+                    f"loss={s['loss_percent']:.2f}%"
+                )
+        else:
+            print(
+                f"FAILED {result.spec.params['trace_path']}: "
+                f"{result.error.error_type}: {result.error.message}"
+            )
+    print()
+    print(manifest.format_report())
+    if manifest_path is not None:
+        print(f"manifest written to {manifest_path}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -172,6 +274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "fit": _cmd_fit,
         "simulate": _cmd_simulate,
+        "batch": _cmd_batch,
     }
     return handlers[args.command](args)
 

@@ -120,6 +120,40 @@ def _rescale_ct(
     )
 
 
+def fit_distribution_from_paths(
+    trace_paths: Sequence,
+    workers: int = 1,
+    cache_dir=None,
+    fit_kwargs=None,
+) -> ParameterDistribution:
+    """Learn the joint distribution straight from saved trace files.
+
+    Fitting fans out across ``workers`` processes through the runtime's
+    content-addressed profile cache, so re-learning the distribution
+    over a growing corpus only ever fits the *new* traces.  Traces that
+    fail to fit (corrupt file, degenerate trace) are skipped — the
+    distribution is learnt from whatever survives, matching the
+    executor's never-kill-the-batch contract.
+    """
+    from repro.runtime.batch import fit_profiles
+    from repro.runtime.executor import ExecutorConfig
+
+    models, results = fit_profiles(
+        trace_paths,
+        fit_kwargs=fit_kwargs,
+        cache_dir=cache_dir,
+        config=ExecutorConfig(workers=workers),
+    )
+    fitted = [m for m in models if m is not None]
+    if len(fitted) < 2:
+        failures = [r.error.message for r in results if not r.ok]
+        raise ValueError(
+            "need at least two fittable traces; "
+            f"{len(fitted)} fitted, failures: {failures}"
+        )
+    return fit_parameter_distribution(fitted)
+
+
 def fit_parameter_distribution(
     models: Sequence[IBoxNetModel],
 ) -> ParameterDistribution:

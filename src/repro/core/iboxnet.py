@@ -119,6 +119,93 @@ class IBoxNetModel:
         return f"IBoxNetModel({self.params}, {ct})"
 
 
+# ----------------------------------------------------------------------
+# Profile persistence (§3.2 fn. 2: releasable "iBoxNet profiles")
+# ----------------------------------------------------------------------
+# Version 1 was the original CLI ``--profile`` dump (no version field, no
+# ablation flags).  Version 2 adds the version tag, the ablation switches,
+# the CT busy fraction, and the optional bandwidth schedule, making the
+# round-trip lossless.  Bump this whenever the profile schema (or the
+# fitting procedure whose outputs it captures) changes incompatibly — the
+# runtime cache folds it into its content hash, so stale entries are
+# simply never looked up again.
+PROFILE_VERSION = 2
+
+
+def to_profile(model: IBoxNetModel) -> dict:
+    """Serialise a fitted model to a JSON-able profile dict."""
+    return {
+        "profile_version": PROFILE_VERSION,
+        "bandwidth_bytes_per_sec": model.params.bandwidth_bytes_per_sec,
+        "propagation_delay_sec": model.params.propagation_delay,
+        "buffer_bytes": model.params.buffer_bytes,
+        "cross_traffic": {
+            "bin_edges": list(model.cross_traffic.bin_edges),
+            "rates_bytes_per_sec": list(
+                model.cross_traffic.rates_bytes_per_sec
+            ),
+            "busy_fraction": model.cross_traffic.busy_fraction,
+        },
+        "include_cross_traffic": model.include_cross_traffic,
+        "statistical_loss_rate": model.statistical_loss_rate,
+        "source_flow_id": model.source_flow_id,
+        "source_protocol": model.source_protocol,
+        "source_loss_rate": model.source_loss_rate,
+        "bandwidth_schedule": (
+            None
+            if model.bandwidth_schedule is None
+            else [
+                list(model.bandwidth_schedule[0]),
+                list(model.bandwidth_schedule[1]),
+            ]
+        ),
+    }
+
+
+def from_profile(profile: dict) -> IBoxNetModel:
+    """Rebuild an :class:`IBoxNetModel` from a profile dict.
+
+    Accepts both the current schema and the original version-1 dump
+    (which had no ``profile_version`` field) so previously released
+    profiles keep loading.
+    """
+    version = profile.get("profile_version", 1)
+    if version > PROFILE_VERSION:
+        raise ValueError(
+            f"profile version {version} is newer than supported "
+            f"({PROFILE_VERSION})"
+        )
+    ct = profile["cross_traffic"]
+    schedule = profile.get("bandwidth_schedule")
+    return IBoxNetModel(
+        params=StaticParams(
+            bandwidth_bytes_per_sec=float(profile["bandwidth_bytes_per_sec"]),
+            propagation_delay=float(profile["propagation_delay_sec"]),
+            buffer_bytes=float(profile["buffer_bytes"]),
+        ),
+        cross_traffic=CrossTrafficEstimate(
+            bin_edges=tuple(float(e) for e in ct["bin_edges"]),
+            rates_bytes_per_sec=tuple(
+                float(r) for r in ct["rates_bytes_per_sec"]
+            ),
+            busy_fraction=float(ct.get("busy_fraction", 0.0)),
+        ),
+        include_cross_traffic=bool(profile.get("include_cross_traffic", True)),
+        statistical_loss_rate=float(profile.get("statistical_loss_rate", 0.0)),
+        source_flow_id=profile.get("source_flow_id", ""),
+        source_protocol=profile.get("source_protocol", ""),
+        source_loss_rate=float(profile.get("source_loss_rate", 0.0)),
+        bandwidth_schedule=(
+            None
+            if schedule is None
+            else (
+                tuple(float(t) for t in schedule[0]),
+                tuple(float(r) for r in schedule[1]),
+            )
+        ),
+    )
+
+
 def fit(
     trace: Trace,
     bandwidth_window: float = 1.0,

@@ -2,7 +2,25 @@
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
+
+#: Every paper experiment, in presentation order; the values are the
+#: module names under :mod:`repro.experiments`.  This registry is the
+#: single source of truth for the CLI and for the runtime's experiment
+#: jobs (which need a picklable, name-addressed entry point).
+EXPERIMENT_MODULES = {
+    "fig2": "fig2_ensemble",
+    "fig3": "fig3_ablations",
+    "fig4": "fig4_instance",
+    "fig5": "fig5_reordering",
+    "fig7": "fig7_control_loop",
+    "fig8": "fig8_discovery",
+    "table1": "table1_rtc",
+    "speed": "speed",
+}
+
+EXPERIMENT_NAMES = tuple(EXPERIMENT_MODULES)
 
 
 @dataclass(frozen=True)
@@ -39,6 +57,30 @@ class Scale:
             n_rtc_calls=60,
             ml_epochs=18,
         )
+
+
+def experiment_module(name: str):
+    """Import the experiment module registered under ``name``."""
+    try:
+        modname = EXPERIMENT_MODULES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; "
+            f"choose from {', '.join(EXPERIMENT_NAMES)}"
+        ) from None
+    return importlib.import_module(f"repro.experiments.{modname}")
+
+
+def run_experiment(name: str, scale: str = "quick") -> str:
+    """Run one experiment by name and return its formatted report.
+
+    This is the process-pool entry point for ``reproduce all``: both
+    arguments and the return value are plain strings, so the call
+    pickles across workers regardless of what the experiment's result
+    object contains.
+    """
+    sizing = Scale.quick() if scale == "quick" else Scale.paper()
+    return experiment_module(name).run(sizing).format_report()
 
 
 def format_header(title: str) -> str:

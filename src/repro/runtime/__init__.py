@@ -1,0 +1,53 @@
+"""repro.runtime — the batch execution subsystem.
+
+Turns the one-shot fit/simulate pipeline into an orchestrated engine:
+
+* :mod:`repro.runtime.jobs` — declarative job specs with stable
+  content-hash identities;
+* :mod:`repro.runtime.cache` — a content-addressed on-disk store for
+  fitted iBoxNet profiles (fit once, reuse everywhere);
+* :mod:`repro.runtime.executor` — a process-pool executor with per-job
+  timeout, bounded retry, and graceful degradation;
+* :mod:`repro.runtime.manifest` — per-run JSON manifests so performance
+  and failures are observable run-over-run;
+* :mod:`repro.runtime.batch` — the orchestration entry points the
+  ``repro batch`` / ``repro reproduce`` CLI commands sit on.
+"""
+
+from repro.runtime.cache import ProfileCache, default_cache_dir
+from repro.runtime.executor import BatchExecutor, ExecutorConfig
+from repro.runtime.jobs import (
+    JobError,
+    JobResult,
+    JobSpec,
+    make_experiment_job,
+    make_fit_job,
+    make_simulate_job,
+)
+from repro.runtime.manifest import MANIFEST_VERSION, RunManifest, new_run_id
+from repro.runtime.batch import (
+    fit_profiles,
+    run_batch,
+    run_experiments,
+    run_jobs,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "ExecutorConfig",
+    "JobError",
+    "JobResult",
+    "JobSpec",
+    "MANIFEST_VERSION",
+    "ProfileCache",
+    "RunManifest",
+    "default_cache_dir",
+    "fit_profiles",
+    "make_experiment_job",
+    "make_fit_job",
+    "make_simulate_job",
+    "new_run_id",
+    "run_batch",
+    "run_experiments",
+    "run_jobs",
+]

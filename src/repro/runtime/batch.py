@@ -1,0 +1,227 @@
+"""Batch orchestration: fan traces/experiments out across workers.
+
+This is the layer the ``repro batch`` CLI (and the parallelised
+``reproduce all`` / ensemble fitting) sits on.  The stock workers are
+module-level functions taking a :class:`~repro.runtime.jobs.JobSpec` and
+returning a JSON-able dict, so they pickle cleanly into a process pool
+and their outputs drop straight into a run manifest.
+
+Per-trace unit of work (``simulate_worker``):
+
+1. fit the trace *through the profile cache* (content-addressed on the
+   trace bytes + fit kwargs — a second identical run does zero fitting);
+2. simulate each requested counterfactual protocol over the learnt model;
+3. return the profile plus a summary triple per protocol (optionally
+   saving the predicted traces).
+
+A corrupted trace, a failing estimator, or a crashing protocol yields a
+structured failure record for that one job; the rest of the batch is
+unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.cache import ProfileCache
+from repro.runtime.executor import BatchExecutor, ExecutorConfig
+from repro.runtime.jobs import (
+    JobResult,
+    JobSpec,
+    make_experiment_job,
+    make_fit_job,
+    make_simulate_job,
+)
+from repro.runtime.manifest import RunManifest
+from repro.trace.io import PathLike
+
+
+# ----------------------------------------------------------------------
+# Stock workers (module-level: must pickle into worker processes)
+# ----------------------------------------------------------------------
+def fit_worker(spec: JobSpec) -> Dict[str, Any]:
+    """Fit one trace through the cache; returns the profile dict."""
+    from repro.core.iboxnet import to_profile
+
+    cache = ProfileCache(spec.params.get("cache_dir"))
+    model, hit = cache.fit_cached(
+        spec.params["trace_path"],
+        spec.params.get("fit_kwargs") or {},
+        trace_digest=spec.params.get("trace_digest"),
+    )
+    return {"profile": to_profile(model), "cache_hit": hit}
+
+
+def simulate_worker(spec: JobSpec) -> Dict[str, Any]:
+    """Fit (cached) + simulate every requested protocol over one trace."""
+    from repro.core.iboxnet import to_profile
+    from repro.trace.io import save_trace
+    from repro.trace.metrics import summarize
+
+    params = spec.params
+    cache = ProfileCache(params.get("cache_dir"))
+    model, hit = cache.fit_cached(
+        params["trace_path"],
+        params.get("fit_kwargs") or {},
+        trace_digest=params.get("trace_digest"),
+    )
+    duration = params.get("duration")
+    seed = int(params.get("seed", 0))
+    output_dir = params.get("output_dir")
+    summaries: Dict[str, dict] = {}
+    for protocol in params["protocols"]:
+        sim_duration = duration
+        if sim_duration is None:
+            from repro.trace.io import load_trace
+
+            sim_duration = load_trace(params["trace_path"]).duration
+        predicted = model.simulate(protocol, duration=sim_duration, seed=seed)
+        summary = summarize(predicted)
+        summaries[protocol] = {
+            "mean_rate_mbps": summary.mean_rate_mbps,
+            "p95_delay_ms": summary.p95_delay_ms,
+            "loss_percent": summary.loss_percent,
+            "packets_sent": summary.packets_sent,
+            "packets_delivered": summary.packets_delivered,
+        }
+        if output_dir:
+            stem = Path(params["trace_path"]).stem
+            out = Path(output_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            save_trace(predicted, out / f"{stem}__{protocol}.npz")
+    return {
+        "trace_path": params["trace_path"],
+        "profile": to_profile(model),
+        "cache_hit": hit,
+        "summaries": summaries,
+    }
+
+
+def experiment_worker(spec: JobSpec) -> Dict[str, Any]:
+    """Run one paper experiment; returns its formatted report."""
+    from repro.experiments.common import run_experiment
+
+    report = run_experiment(
+        spec.params["name"], scale=spec.params.get("scale", "quick")
+    )
+    return {"name": spec.params["name"], "report": report}
+
+
+_WORKERS = {
+    "fit": fit_worker,
+    "simulate": simulate_worker,
+    "experiment": experiment_worker,
+}
+
+
+# ----------------------------------------------------------------------
+# Orchestration entry points
+# ----------------------------------------------------------------------
+def run_jobs(
+    specs: Sequence[JobSpec],
+    config: Optional[ExecutorConfig] = None,
+    command: str = "batch",
+) -> Tuple[List[JobResult], RunManifest]:
+    """Execute heterogeneous specs with the stock workers; build a manifest.
+
+    Kinds are dispatched per-spec, so one batch may mix fit, simulate,
+    and experiment jobs.
+    """
+    config = config or ExecutorConfig()
+    started_monotonic = time.monotonic()
+    started_at = datetime.now(timezone.utc).isoformat()
+    executor = BatchExecutor(config)
+    results = executor.run(specs, _dispatch)
+    manifest = RunManifest.from_results(
+        results,
+        command=command,
+        workers=config.workers,
+        started_monotonic=started_monotonic,
+        started_at_iso=started_at,
+        degraded_to_serial=executor.degraded_to_serial,
+    )
+    return results, manifest
+
+
+def _dispatch(spec: JobSpec) -> Dict[str, Any]:
+    worker = _WORKERS.get(spec.kind)
+    if worker is None:
+        raise ValueError(f"unknown job kind: {spec.kind!r}")
+    return worker(spec)
+
+
+def run_batch(
+    trace_paths: Sequence[PathLike],
+    protocols: Sequence[str],
+    duration: Optional[float] = None,
+    seed: int = 0,
+    fit_kwargs: Optional[Dict[str, Any]] = None,
+    cache_dir: Optional[PathLike] = None,
+    output_dir: Optional[PathLike] = None,
+    manifest_dir: Optional[PathLike] = None,
+    config: Optional[ExecutorConfig] = None,
+) -> Tuple[List[JobResult], RunManifest, Optional[Path]]:
+    """The ``repro batch`` pipeline: one simulate job per trace.
+
+    Returns ``(results, manifest, manifest_path)``; the manifest is
+    written only when ``manifest_dir`` is given.
+    """
+    specs = [
+        make_simulate_job(
+            path,
+            protocols=protocols,
+            duration=duration,
+            seed=seed,
+            fit_kwargs=fit_kwargs,
+            cache_dir=None if cache_dir is None else str(cache_dir),
+            output_dir=None if output_dir is None else str(output_dir),
+        )
+        for path in trace_paths
+    ]
+    results, manifest = run_jobs(specs, config=config, command="batch")
+    manifest_path = manifest.write(manifest_dir) if manifest_dir else None
+    return results, manifest, manifest_path
+
+
+def fit_profiles(
+    trace_paths: Sequence[PathLike],
+    fit_kwargs: Optional[Dict[str, Any]] = None,
+    cache_dir: Optional[PathLike] = None,
+    config: Optional[ExecutorConfig] = None,
+) -> Tuple[List[Optional[Any]], List[JobResult]]:
+    """Fit many traces in parallel through the cache.
+
+    Returns ``(models, results)`` aligned with ``trace_paths``; a failed
+    fit leaves ``None`` at its position (and a structured error in the
+    matching result) instead of raising.
+    """
+    from repro.core.iboxnet import from_profile
+
+    specs = [
+        make_fit_job(
+            path,
+            fit_kwargs=fit_kwargs,
+            extra_params={
+                "cache_dir": None if cache_dir is None else str(cache_dir)
+            },
+        )
+        for path in trace_paths
+    ]
+    results, _ = run_jobs(specs, config=config, command="fit")
+    models = [
+        from_profile(r.value["profile"]) if r.ok else None for r in results
+    ]
+    return models, results
+
+
+def run_experiments(
+    names: Sequence[str],
+    scale: str = "quick",
+    config: Optional[ExecutorConfig] = None,
+) -> Tuple[List[JobResult], RunManifest]:
+    """Fan the paper experiments out across workers (``reproduce all``)."""
+    specs = [make_experiment_job(name, scale=scale) for name in names]
+    return run_jobs(specs, config=config, command="reproduce")

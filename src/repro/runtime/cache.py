@@ -1,0 +1,169 @@
+"""Content-addressed on-disk store for fitted iBoxNet profiles.
+
+§3.2 (fn. 2) envisions releasing reusable "iBoxNet profiles"; this is
+the persistence layer that makes a profile something you fit **once**
+and reuse across every later ``simulate`` / ensemble / experiment call.
+
+Keys are pure functions of the inputs: SHA-256 over the trace file's
+raw bytes, the fit kwargs, and :data:`repro.core.iboxnet.PROFILE_VERSION`.
+There is therefore no invalidation protocol — a changed trace, changed
+fit parameters, or a schema bump simply hash to a key that was never
+written, and the stale entry is garbage that ``clear()`` (or an rm -rf)
+can reap at leisure.  Writes are atomic (tmp file + ``os.replace``), so
+concurrent workers fitting the same trace race benignly: last writer
+wins with identical content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.runtime.jobs import content_hash
+from repro.trace.io import PathLike, trace_file_digest
+
+#: Environment override for the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/profiles``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "profiles"
+
+
+class ProfileCache:
+    """A content-addressed profile store rooted at one directory.
+
+    Entries are two-level sharded (``ab/abcdef....json``) so a large
+    corpus never piles tens of thousands of files into one directory.
+    Hit/miss counters are per-instance (i.e. per process); the batch
+    runner aggregates cross-worker hits from job results instead.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    def key_for(
+        self,
+        trace_path: PathLike,
+        fit_kwargs: Optional[Dict[str, Any]] = None,
+        trace_digest: Optional[str] = None,
+    ) -> str:
+        """The cache key for fitting one trace with given parameters."""
+        from repro.core.iboxnet import PROFILE_VERSION
+
+        digest = trace_digest or trace_file_digest(trace_path)
+        return content_hash(
+            "profile",
+            {
+                "fit_kwargs": dict(fit_kwargs or {}),
+                "profile_version": PROFILE_VERSION,
+            },
+            digest,
+        )
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    # ------------------------------------------------------------------
+    # Get / put
+    # ------------------------------------------------------------------
+    def get_profile(self, key: str) -> Optional[dict]:
+        """The raw profile dict for ``key``, or ``None`` on miss.
+
+        A corrupt entry (torn write from a killed process, manual edit)
+        counts as a miss and is removed, so the caller re-fits.
+        """
+        path = self.path_for(key)
+        try:
+            profile = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.hits += 1
+        return profile
+
+    def get(self, key: str):
+        """The cached :class:`IBoxNetModel` for ``key``, or ``None``."""
+        from repro.core.iboxnet import from_profile
+
+        profile = self.get_profile(key)
+        return None if profile is None else from_profile(profile)
+
+    def put_profile(self, key: str, profile: dict) -> Path:
+        """Atomically write a profile dict under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(profile, indent=2))
+        os.replace(tmp, path)
+        return path
+
+    def put(self, key: str, model) -> Path:
+        from repro.core.iboxnet import to_profile
+
+        return self.put_profile(key, to_profile(model))
+
+    # ------------------------------------------------------------------
+    # High-level: fit-through-cache
+    # ------------------------------------------------------------------
+    def fit_cached(
+        self,
+        trace_path: PathLike,
+        fit_kwargs: Optional[Dict[str, Any]] = None,
+        trace_digest: Optional[str] = None,
+    ) -> Tuple[Any, bool]:
+        """Fit ``trace_path`` through the cache.
+
+        Returns ``(model, cache_hit)``; on a miss the trace is loaded,
+        fitted, and the resulting profile stored before returning.
+        """
+        from repro.core import iboxnet
+        from repro.trace.io import load_trace
+
+        key = self.key_for(trace_path, fit_kwargs, trace_digest=trace_digest)
+        model = self.get(key)
+        if model is not None:
+            return model, True
+        trace = load_trace(trace_path)
+        model = iboxnet.fit(trace, **(fit_kwargs or {}))
+        self.put(key, model)
+        return model, False
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,219 @@
+"""Process-pool batch executor with timeouts, retries, and degradation.
+
+The contract that every caller relies on:
+
+* :meth:`BatchExecutor.run` **never raises** for a job failure — each
+  job resolves to a :class:`JobResult` (``ok`` or ``failed`` with a
+  structured :class:`JobError`), in the same order as the input specs;
+* a job that raises is retried up to ``max_attempts`` times with
+  exponential backoff before being recorded as failed;
+* a job that exceeds ``timeout_sec`` is recorded as failed (timeouts
+  are *not* retried — a deterministic job that blew its budget once
+  will blow it again);
+* if a process pool cannot be created at all (restricted sandboxes,
+  missing ``/dev/shm``) the executor degrades to in-process serial
+  execution rather than failing the batch.
+
+Workers are plain module-level callables ``worker(spec) -> value`` so
+they pickle across the process boundary.  By convention a worker that
+returns a dict may include a ``"cache_hit"`` key, which the executor
+lifts onto the :class:`JobResult` for manifest accounting.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.runtime.jobs import JobError, JobResult, JobSpec
+
+try:  # BrokenProcessPool location is version-dependent
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = OSError  # type: ignore[assignment,misc]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs for one batch run."""
+
+    workers: int = 1
+    timeout_sec: Optional[float] = None
+    max_attempts: int = 2
+    backoff_sec: float = 0.25
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+def _guarded(worker: Callable, spec: JobSpec) -> Tuple[str, object, float]:
+    """Run ``worker`` in the worker process, catching everything.
+
+    Returning ``("failed", payload, duration)`` instead of raising keeps
+    exception types that don't pickle (or that unpickle differently)
+    from poisoning the pool.
+    """
+    start = time.perf_counter()
+    try:
+        value = worker(spec)
+    except Exception as exc:  # noqa: BLE001 — the whole point is capture
+        payload = {
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+        return "failed", payload, time.perf_counter() - start
+    return "ok", value, time.perf_counter() - start
+
+
+def _lift_cache_hit(value: object) -> bool:
+    return isinstance(value, dict) and bool(value.get("cache_hit"))
+
+
+class BatchExecutor:
+    """Runs batches of :class:`JobSpec` through a worker callable."""
+
+    def __init__(self, config: Optional[ExecutorConfig] = None):
+        self.config = config or ExecutorConfig()
+        self.degraded_to_serial = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self, specs: Sequence[JobSpec], worker: Callable[[JobSpec], object]
+    ) -> List[JobResult]:
+        """Execute every spec; one :class:`JobResult` per spec, in order."""
+        if not specs:
+            return []
+        if self.config.workers == 1:
+            return [self._run_serial(spec, worker) for spec in specs]
+        try:
+            return self._run_pool(specs, worker)
+        except (OSError, PermissionError, ValueError):
+            # Pool could not even be constructed: degrade, don't die.
+            self.degraded_to_serial = True
+            return [self._run_serial(spec, worker) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # Serial path (workers == 1, or pool unavailable)
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, spec: JobSpec, worker: Callable[[JobSpec], object]
+    ) -> JobResult:
+        total = 0.0
+        for attempt in range(1, self.config.max_attempts + 1):
+            status, payload, duration = _guarded(worker, spec)
+            total += duration
+            if status == "ok":
+                return JobResult(
+                    spec=spec,
+                    status="ok",
+                    value=payload,
+                    attempts=attempt,
+                    duration_sec=total,
+                    cache_hit=_lift_cache_hit(payload),
+                )
+            if attempt < self.config.max_attempts:
+                time.sleep(self.config.backoff_sec * (2 ** (attempt - 1)))
+        return JobResult(
+            spec=spec,
+            status="failed",
+            error=JobError(**payload),  # type: ignore[arg-type]
+            attempts=self.config.max_attempts,
+            duration_sec=total,
+        )
+
+    # ------------------------------------------------------------------
+    # Parallel path
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self, specs: Sequence[JobSpec], worker: Callable[[JobSpec], object]
+    ) -> List[JobResult]:
+        results: List[Optional[JobResult]] = [None] * len(specs)
+        # (index, attempt) still owed a result.
+        pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(specs))]
+        while pending:
+            retry: List[Tuple[int, int]] = []
+            had_timeout = False
+            pool = ProcessPoolExecutor(max_workers=self.config.workers)
+            try:
+                futures = [
+                    (i, attempt, pool.submit(_guarded, worker, specs[i]))
+                    for i, attempt in pending
+                ]
+                for i, attempt, fut in futures:
+                    spec = specs[i]
+                    try:
+                        status, payload, duration = fut.result(
+                            timeout=self.config.timeout_sec
+                        )
+                    except FutureTimeout:
+                        # Deterministic work that blew the budget once
+                        # will blow it again — fail, don't retry.
+                        had_timeout = True
+                        fut.cancel()
+                        results[i] = JobResult(
+                            spec=spec,
+                            status="failed",
+                            error=JobError(
+                                error_type="TimeoutError",
+                                message=(
+                                    f"job exceeded {self.config.timeout_sec}s"
+                                ),
+                            ),
+                            attempts=attempt,
+                            duration_sec=self.config.timeout_sec or 0.0,
+                        )
+                        continue
+                    except (BrokenProcessPool, Exception) as exc:  # noqa: BLE001
+                        # Pool died under us (OOM-killed worker, unpicklable
+                        # return, ...).  Re-run the job; a fresh pool is
+                        # built on the next round.
+                        if attempt < self.config.max_attempts:
+                            retry.append((i, attempt + 1))
+                        else:
+                            results[i] = JobResult(
+                                spec=spec,
+                                status="failed",
+                                error=JobError(
+                                    error_type=type(exc).__name__,
+                                    message=str(exc),
+                                ),
+                                attempts=attempt,
+                            )
+                        continue
+                    if status == "ok":
+                        results[i] = JobResult(
+                            spec=spec,
+                            status="ok",
+                            value=payload,
+                            attempts=attempt,
+                            duration_sec=duration,
+                            cache_hit=_lift_cache_hit(payload),
+                        )
+                    elif attempt < self.config.max_attempts:
+                        retry.append((i, attempt + 1))
+                    else:
+                        results[i] = JobResult(
+                            spec=spec,
+                            status="failed",
+                            error=JobError(**payload),  # type: ignore[arg-type]
+                            attempts=attempt,
+                            duration_sec=duration,
+                        )
+            finally:
+                # After a timeout the pool may hold a hung worker; don't
+                # block the batch waiting for it.
+                pool.shutdown(wait=not had_timeout, cancel_futures=True)
+            pending = retry
+            if pending:
+                max_attempt = max(a for _, a in pending)
+                time.sleep(self.config.backoff_sec * (2 ** (max_attempt - 2)))
+        return [r for r in results if r is not None]

@@ -1,0 +1,192 @@
+"""Declarative job specs with stable content-derived identities.
+
+A :class:`JobSpec` is a pure description of one unit of work — fit a
+trace, simulate a protocol over a fitted profile, run a paper experiment
+— carrying only JSON-able parameters so it can cross a process boundary
+cheaply and be replayed from a manifest.  Its ``job_id`` is a SHA-256
+content hash over the job kind, the canonicalised parameters, and (for
+trace-backed jobs) the digest of the trace bytes themselves: the same
+inputs always produce the same id, and any input change produces a new
+one.  That identity is what makes runs comparable across manifests and
+what the profile cache keys on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.trace.io import PathLike, trace_file_digest
+
+#: Job kinds understood by the stock workers in :mod:`repro.runtime.batch`.
+KIND_FIT = "fit"
+KIND_SIMULATE = "simulate"
+KIND_EXPERIMENT = "experiment"
+
+
+def canonical_json(params: Dict[str, Any]) -> str:
+    """Deterministic JSON encoding used for hashing parameters."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(kind: str, params: Dict[str, Any], *parts: str) -> str:
+    """SHA-256 hex over ``kind`` + canonical params + extra parts."""
+    digest = hashlib.sha256()
+    digest.update(kind.encode())
+    digest.update(b"\0")
+    digest.update(canonical_json(params).encode())
+    for part in parts:
+        digest.update(b"\0")
+        digest.update(part.encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit of work.
+
+    ``params`` must stay JSON-able: specs are pickled to worker
+    processes and echoed verbatim into run manifests.
+    """
+
+    kind: str
+    job_id: str
+    label: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "label": self.label,
+            "params": self.params,
+        }
+
+
+@dataclass
+class JobError:
+    """Structured record of a failed job — never a bare traceback."""
+
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+
+@dataclass
+class JobResult:
+    """Outcome of running one :class:`JobSpec`.
+
+    A failed job is a first-class value (``status == "failed"`` with a
+    :class:`JobError`), not an exception: one bad trace must never kill
+    the batch.
+    """
+
+    spec: JobSpec
+    status: str  # "ok" | "failed"
+    value: Any = None
+    error: Optional[JobError] = None
+    attempts: int = 1
+    duration_sec: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def describe(self) -> Dict[str, Any]:
+        """Manifest row for this result (omits the in-memory value)."""
+        return {
+            "job_id": self.spec.job_id,
+            "kind": self.spec.kind,
+            "label": self.spec.label,
+            "status": self.status,
+            "attempts": self.attempts,
+            "duration_sec": round(self.duration_sec, 6),
+            "cache_hit": self.cache_hit,
+            "error": self.error.describe() if self.error else None,
+        }
+
+
+def make_fit_job(
+    trace_path: PathLike,
+    fit_kwargs: Optional[Dict[str, Any]] = None,
+    extra_params: Optional[Dict[str, Any]] = None,
+) -> JobSpec:
+    """A fit job whose id covers the trace *bytes* plus fit parameters."""
+    from repro.core.iboxnet import PROFILE_VERSION
+
+    digest = trace_file_digest(trace_path)
+    hashed = {
+        "fit_kwargs": dict(fit_kwargs or {}),
+        "profile_version": PROFILE_VERSION,
+    }
+    # Operational knobs (cache location etc.) ride along in the params
+    # but deliberately stay out of the content hash: the *work* is the
+    # same wherever its output lands.
+    params: Dict[str, Any] = {
+        **hashed,
+        "trace_path": str(trace_path),
+        "trace_digest": digest,
+        **(extra_params or {}),
+    }
+    return JobSpec(
+        kind=KIND_FIT,
+        job_id=content_hash(KIND_FIT, hashed, digest),
+        label=f"fit:{trace_path}",
+        params=params,
+    )
+
+
+def make_simulate_job(
+    trace_path: PathLike,
+    protocols,
+    duration: Optional[float],
+    seed: int,
+    fit_kwargs: Optional[Dict[str, Any]] = None,
+    cache_dir: Optional[str] = None,
+    output_dir: Optional[str] = None,
+) -> JobSpec:
+    """A fit+counterfactual job over one trace (the ``repro batch`` unit)."""
+    from repro.core.iboxnet import PROFILE_VERSION
+
+    digest = trace_file_digest(trace_path)
+    hashed = {
+        "protocols": list(protocols),
+        "duration": duration,
+        "seed": seed,
+        "fit_kwargs": dict(fit_kwargs or {}),
+        "profile_version": PROFILE_VERSION,
+    }
+    job_id = content_hash(KIND_SIMULATE, hashed, digest)
+    return JobSpec(
+        kind=KIND_SIMULATE,
+        job_id=job_id,
+        label=f"simulate:{trace_path}",
+        params={
+            **hashed,
+            "trace_path": str(trace_path),
+            "trace_digest": digest,
+            "cache_dir": cache_dir,
+            "output_dir": output_dir,
+        },
+    )
+
+
+def make_experiment_job(name: str, scale: str = "quick") -> JobSpec:
+    """A paper-experiment job (``reproduce all`` fans these out)."""
+    params = {"name": name, "scale": scale}
+    return JobSpec(
+        kind=KIND_EXPERIMENT,
+        job_id=content_hash(KIND_EXPERIMENT, params),
+        label=f"experiment:{name}",
+        params=params,
+    )

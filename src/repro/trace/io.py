@@ -10,6 +10,7 @@ Two formats:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from pathlib import Path
@@ -58,15 +59,38 @@ def save_traces(traces: List[Trace], directory: PathLike, fmt: str = "npz") -> L
     return paths
 
 
-def load_traces(directory: PathLike) -> List[Trace]:
-    """Read every ``.jsonl``/``.npz`` trace in a directory, sorted by name."""
+def iter_trace_paths(directory: PathLike) -> List[Path]:
+    """Every ``.jsonl``/``.npz`` file in a directory, sorted by name."""
     directory = Path(directory)
-    paths = sorted(
+    return sorted(
         p
         for p in directory.iterdir()
         if p.suffix in (".jsonl", ".npz") and p.is_file()
     )
-    return [load_trace(p) for p in paths]
+
+
+def load_traces(directory: PathLike) -> List[Trace]:
+    """Read every ``.jsonl``/``.npz`` trace in a directory, sorted by name."""
+    return [load_trace(p) for p in iter_trace_paths(directory)]
+
+
+def trace_file_digest(path: PathLike, chunk_size: int = 1 << 20) -> str:
+    """SHA-256 of a trace file's raw bytes (hex).
+
+    This is the identity the runtime's content-addressed profile cache
+    keys on: any byte-level change to the trace — different packets,
+    different format, even re-serialisation — yields a different digest,
+    so a cached profile can never be served for data it was not fitted
+    on.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        while True:
+            chunk = f.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 # ----------------------------------------------------------------------

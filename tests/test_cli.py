@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -31,6 +32,12 @@ class TestParser:
         assert args.paths == 5
         assert args.protocols == ["cubic", "vegas"]
 
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch", "traces"])
+        assert args.workers == 1
+        assert args.protocols == ["cubic"]
+        assert args.manifest_dir is None
+
 
 class TestGenerate:
     def test_writes_traces(self, tmp_path, capsys):
@@ -59,6 +66,18 @@ class TestFit:
             len(data["cross_traffic"]["rates_bytes_per_sec"]) + 1
         )
 
+    def test_from_profile_skips_fitting(self, trace_file, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        main(["fit", str(trace_file), "--profile", str(profile)])
+        fitted = capsys.readouterr().out
+        assert main([
+            "fit", str(trace_file), "--from-profile", str(profile),
+        ]) == 0
+        loaded = capsys.readouterr().out
+        assert "loaded profile" in loaded
+        # Same learnt parameters, no re-fit.
+        assert fitted.splitlines()[1] == loaded.splitlines()[1]
+
 
 class TestSimulate:
     def test_counterfactual_runs(self, trace_file, tmp_path, capsys):
@@ -77,3 +96,69 @@ class TestSimulate:
         predicted = load_trace(output)
         assert predicted.protocol == "vegas"
         assert len(predicted) > 50
+
+    def test_explicit_zero_duration_is_not_ignored(self, trace_file):
+        # ``--duration 0`` used to fall back silently to the trace's own
+        # duration; now the explicit value is honoured (and rejected by
+        # the trace layer as invalid, rather than papered over).
+        with pytest.raises(ValueError):
+            main(["simulate", str(trace_file), "vegas", "--duration", "0"])
+
+
+class TestBatch:
+    @pytest.fixture()
+    def batch_dir(self, tmp_path, cubic_trace):
+        directory = tmp_path / "traces"
+        directory.mkdir()
+        for i in range(2):
+            save_trace(cubic_trace, directory / f"{i:02d}_cubic.npz")
+        return directory
+
+    def test_empty_directory_errors(self, tmp_path, capsys):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert main(["batch", str(empty)]) == 2
+
+    def test_batch_writes_manifest_and_hits_cache(
+        self, batch_dir, tmp_path, capsys
+    ):
+        argv = [
+            "batch", str(batch_dir),
+            "--protocols", "vegas",
+            "--duration", "3",
+            "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest-dir", str(tmp_path / "manifests"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache 0 hit / 2 miss" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache 2 hit / 0 miss" in warm
+
+        manifests = sorted((tmp_path / "manifests").glob("manifest-*.json"))
+        assert len(manifests) == 2
+        (warm_path,) = [
+            line.rsplit(" ", 1)[1]
+            for line in warm.splitlines()
+            if line.startswith("manifest written to ")
+        ]
+        data = json.loads(Path(warm_path).read_text())
+        assert data["counts"] == {"total": 2, "ok": 2, "failed": 0}
+        assert data["cache"] == {"hits": 2, "misses": 0}
+
+    def test_batch_survives_corrupt_trace(self, batch_dir, tmp_path, capsys):
+        (batch_dir / "zz_corrupt.jsonl").write_text("not a trace\n")
+        code = main([
+            "batch", str(batch_dir),
+            "--protocols", "vegas",
+            "--duration", "3",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--retries", "0",
+        ])
+        assert code == 1  # completed, but reports the failure
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "zz_corrupt" in out
+        assert out.count("ok     ") == 2

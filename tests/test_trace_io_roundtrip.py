@@ -1,0 +1,101 @@
+"""Save/load equality for both trace formats, including edge cases."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.trace.io import load_trace, save_trace
+from repro.trace.records import PacketRecord, Trace
+
+FORMATS = ("npz", "jsonl")
+
+
+def assert_traces_equal(a: Trace, b: Trace) -> None:
+    assert a.flow_id == b.flow_id
+    assert a.protocol == b.protocol
+    assert a.duration == b.duration
+    assert a.metadata == b.metadata
+    assert len(a) == len(b)
+    for ra, rb in zip(a.records, b.records):
+        assert ra.uid == rb.uid
+        assert ra.seq == rb.seq
+        assert ra.size == rb.size
+        assert ra.sent_at == rb.sent_at
+        assert ra.is_retransmit == rb.is_retransmit
+        if math.isnan(ra.delivered_at):
+            assert math.isnan(rb.delivered_at)
+        else:
+            assert ra.delivered_at == rb.delivered_at
+
+
+def roundtrip(trace: Trace, tmp_path, fmt: str) -> Trace:
+    path = tmp_path / f"trace.{fmt}"
+    save_trace(trace, path)
+    return load_trace(path)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+class TestRoundTrip:
+    def test_empty_trace(self, tmp_path, fmt):
+        trace = Trace("empty", [], duration=1.0, protocol="cubic")
+        loaded = roundtrip(trace, tmp_path, fmt)
+        assert_traces_equal(trace, loaded)
+        assert len(loaded) == 0
+        assert loaded.loss_rate == 0.0
+
+    def test_single_packet(self, tmp_path, fmt):
+        trace = Trace(
+            "one",
+            [PacketRecord(uid=7, seq=1, size=1500, sent_at=0.25,
+                          delivered_at=0.3)],
+            duration=1.0,
+            protocol="vegas",
+            metadata={"note": "solo"},
+        )
+        assert_traces_equal(trace, roundtrip(trace, tmp_path, fmt))
+
+    def test_single_lost_packet(self, tmp_path, fmt):
+        trace = Trace(
+            "lost",
+            [PacketRecord(uid=1, seq=1, size=100, sent_at=0.0)],
+            duration=2.0,
+        )
+        loaded = roundtrip(trace, tmp_path, fmt)
+        assert_traces_equal(trace, loaded)
+        assert loaded.records[0].lost
+        assert loaded.loss_rate == 1.0
+
+    def test_mixed_trace(self, tmp_path, fmt):
+        records = [
+            PacketRecord(uid=i, seq=i, size=1000 + i, sent_at=i * 0.01,
+                         delivered_at=math.nan if i % 3 == 0 else i * 0.01 + 0.05,
+                         is_retransmit=(i % 4 == 0))
+            for i in range(25)
+        ]
+        trace = Trace(
+            "mixed", records, duration=5.0, protocol="reno",
+            metadata={"seed": 3, "path": "p1"},
+        )
+        assert_traces_equal(trace, roundtrip(trace, tmp_path, fmt))
+
+    def test_simulated_trace(self, tmp_path, fmt, cubic_trace):
+        assert_traces_equal(
+            cubic_trace, roundtrip(cubic_trace, tmp_path, fmt)
+        )
+
+
+def test_cross_format_equality(tmp_path):
+    """The same trace saved as npz and jsonl loads back identically."""
+    records = [
+        PacketRecord(uid=i, seq=i, size=1500, sent_at=i * 0.1,
+                     delivered_at=i * 0.1 + 0.02)
+        for i in range(10)
+    ]
+    trace = Trace("xfmt", records, duration=2.0, protocol="cubic")
+    save_trace(trace, tmp_path / "t.npz")
+    save_trace(trace, tmp_path / "t.jsonl")
+    assert_traces_equal(
+        load_trace(tmp_path / "t.npz"), load_trace(tmp_path / "t.jsonl")
+    )
