@@ -19,6 +19,14 @@ Commands mirror the workflows a downstream user needs:
     Fan a directory of traces out across a worker pool: fit each trace
     through the content-addressed profile cache, run the requested
     counterfactual protocols, and write a JSON run manifest.
+``obs``
+    Observability helpers: ``obs summarize <path>`` renders a per-stage
+    timing table from a JSONL event log, a metrics snapshot, or a run
+    manifest.
+
+Global flags (before the subcommand) control telemetry: ``--metrics-out``
+/ ``--trace-out`` enable collection and write the artifacts on exit;
+``--log-level`` / ``--log-format`` control diagnostic logging.
 """
 
 from __future__ import annotations
@@ -29,15 +37,34 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.common import EXPERIMENT_NAMES
 
 EXPERIMENTS = EXPERIMENT_NAMES
+
+_log = obs.get_logger("repro.cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="iBox: Internet in a Box (HotNets 2020) reproduction",
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="info", help="diagnostic log threshold (default: info)",
+    )
+    parser.add_argument(
+        "--log-format", choices=("human", "jsonl"), default="human",
+        help="diagnostic log rendering on stderr (default: human)",
+    )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="enable telemetry and write a metrics snapshot JSON here",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="enable telemetry and write the JSONL span/event log here",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -128,6 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--retries", type=int, default=1,
         help="extra attempts per failed job (default: 1)",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability helpers (summarize telemetry artifacts)"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="per-stage timing table from an event log, metrics "
+        "snapshot, or run manifest",
+    )
+    summarize.add_argument(
+        "path", type=Path,
+        help="JSONL event log, metrics snapshot JSON, or run manifest JSON",
     )
     return parser
 
@@ -226,10 +267,10 @@ def _cmd_batch(args) -> int:
     try:
         trace_paths = iter_trace_paths(args.trace_dir)
     except (FileNotFoundError, NotADirectoryError) as exc:
-        print(f"cannot read trace directory: {exc}", file=sys.stderr)
+        _log.error("batch.bad_trace_dir", dir=str(args.trace_dir), error=str(exc))
         return 2
     if not trace_paths:
-        print(f"no traces found in {args.trace_dir}", file=sys.stderr)
+        _log.error("batch.no_traces", dir=str(args.trace_dir))
         return 2
     results, manifest, manifest_path = run_batch(
         trace_paths,
@@ -267,16 +308,46 @@ def _cmd_batch(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_obs(args) -> int:
+    from repro.obs.summarize import summarize_path
+
+    try:
+        print(summarize_path(args.path))
+    except FileNotFoundError:
+        _log.error("obs.missing_input", path=str(args.path))
+        return 2
+    except ValueError as exc:
+        _log.error("obs.bad_input", path=str(args.path), error=str(exc))
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.configure(
+        enabled=bool(args.metrics_out or args.trace_out),
+        log_level=args.log_level,
+        log_format=args.log_format,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+    )
     handlers = {
         "reproduce": _cmd_reproduce,
         "generate": _cmd_generate,
         "fit": _cmd_fit,
         "simulate": _cmd_simulate,
         "batch": _cmd_batch,
+        "obs": _cmd_obs,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    finally:
+        if obs.enabled():
+            written = obs.flush()
+            if written.get("trace"):
+                print(f"event log written to {written['trace']}")
+            if written.get("metrics"):
+                print(f"metrics written to {written['metrics']}")
 
 
 if __name__ == "__main__":

@@ -21,11 +21,13 @@ input will wrongly predict low delay for a high-rate open-loop sender.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.cross_traffic import estimate_cross_traffic, per_packet_cross_traffic
 from repro.core.static_params import estimate_static_params
 from repro.ml.model import (
@@ -160,7 +162,15 @@ class IBoxMLModel:
             raise ValueError("need at least one training trace")
         if ct_features is not None and len(ct_features) != len(traces):
             raise ValueError("ct_features must align with traces")
+        with obs.span("ml.fit", traces=len(traces)):
+            return self._fit(traces, ct_features, verbose)
 
+    def _fit(
+        self,
+        traces: Sequence[Trace],
+        ct_features: Optional[Sequence[Optional[np.ndarray]]],
+        verbose: bool,
+    ) -> TrainingLog:
         all_features: List[np.ndarray] = []
         all_targets: List[np.ndarray] = []
         all_masks: List[np.ndarray] = []
@@ -392,6 +402,20 @@ class IBoxMLModel:
         n = len(feats)
         if n == 0:
             return np.zeros(0)
+        with obs.span("ml.unroll", packets=n, sample=sample):
+            wall0 = time.perf_counter()
+            out = self._unroll_features_inner(feats, sample, seed)
+            wall = time.perf_counter() - wall0
+            if wall > 0:
+                obs.metrics().histogram(
+                    "ml.packets_per_sec", obs.RATE_BUCKETS
+                ).observe(n / wall)
+        return out
+
+    def _unroll_features_inner(
+        self, feats: np.ndarray, sample: bool, seed: int
+    ) -> np.ndarray:
+        n = len(feats)
         scaled = self.feature_scaler.transform(feats)
         rng = np.random.default_rng(seed)
         predictions = np.zeros(n)

@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.cross_traffic import CrossTrafficEstimate, estimate_cross_traffic
 from repro.core.static_params import StaticParams, estimate_static_params
 from repro.simulation.emulator import EmulatorConfig, NetworkEmulator
@@ -220,17 +221,19 @@ def fit(
     gradient descent, no combinatorial search, which is exactly the
     efficiency argument of §3.2.
     """
-    params = estimate_static_params(
-        trace,
-        window=bandwidth_window,
-        max_delay_percentile=max_delay_percentile,
-    )
-    cross_traffic = estimate_cross_traffic(
-        trace,
-        params,
-        bin_width=ct_bin_width,
-        busy_threshold_packets=busy_threshold_packets,
-    )
+    with obs.span("fit.static_params", packets=len(trace)):
+        params = estimate_static_params(
+            trace,
+            window=bandwidth_window,
+            max_delay_percentile=max_delay_percentile,
+        )
+    with obs.span("fit.cross_traffic", packets=len(trace)):
+        cross_traffic = estimate_cross_traffic(
+            trace,
+            params,
+            bin_width=ct_bin_width,
+            busy_threshold_packets=busy_threshold_packets,
+        )
     return IBoxNetModel(
         params=params,
         cross_traffic=cross_traffic,

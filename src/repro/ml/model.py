@@ -11,15 +11,19 @@ orchestrates because the feedback loop is domain logic.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.ml.layers import Dense, Module
 from repro.ml.losses import binary_cross_entropy_with_logits, gaussian_nll
 from repro.ml.lstm import LSTM
 from repro.ml.optim import Adam, clip_gradients_by_global_norm
+
+_log = obs.get_logger("repro.ml")
 
 
 @dataclass
@@ -103,37 +107,49 @@ class GaussianSequenceModel(Module):
         optimizer = Adam(self.parameters(), lr=lr)
         log = TrainingLog()
         indices = np.arange(len(sequences))
-        for epoch in range(epochs):
-            rng.shuffle(indices)
-            epoch_loss = 0.0
-            epoch_norm = 0.0
-            batches = 0
-            for start in range(0, len(indices), batch_size):
-                batch_idx = indices[start : start + batch_size]
-                x, y, mask = _pad_batch(
-                    [sequences[i] for i in batch_idx],
-                    [targets[i] for i in batch_idx],
-                    [masks[i] for i in batch_idx] if masks is not None else None,
+        with obs.span(
+            "ml.train", model="gaussian", epochs=epochs,
+            sequences=len(sequences),
+        ):
+            for epoch in range(epochs):
+                epoch_start = time.perf_counter()
+                rng.shuffle(indices)
+                epoch_loss = 0.0
+                epoch_norm = 0.0
+                batches = 0
+                for start in range(0, len(indices), batch_size):
+                    batch_idx = indices[start : start + batch_size]
+                    x, y, mask = _pad_batch(
+                        [sequences[i] for i in batch_idx],
+                        [targets[i] for i in batch_idx],
+                        [masks[i] for i in batch_idx] if masks is not None else None,
+                    )
+                    self.zero_grad()
+                    mu, log_sigma = self.forward(x)
+                    loss, grad_mu, grad_log_sigma = gaussian_nll(
+                        mu, log_sigma, y, mask
+                    )
+                    self.backward(grad_mu, grad_log_sigma)
+                    norm = clip_gradients_by_global_norm(
+                        self.parameters(), clip_norm
+                    )
+                    optimizer.step()
+                    epoch_loss += loss
+                    epoch_norm += norm
+                    batches += 1
+                log.losses.append(epoch_loss / max(batches, 1))
+                log.grad_norms.append(epoch_norm / max(batches, 1))
+                obs.metrics().histogram("ml.sec_per_epoch").observe(
+                    time.perf_counter() - epoch_start
                 )
-                self.zero_grad()
-                mu, log_sigma = self.forward(x)
-                loss, grad_mu, grad_log_sigma = gaussian_nll(
-                    mu, log_sigma, y, mask
-                )
-                self.backward(grad_mu, grad_log_sigma)
-                norm = clip_gradients_by_global_norm(
-                    self.parameters(), clip_norm
-                )
-                optimizer.step()
-                epoch_loss += loss
-                epoch_norm += norm
-                batches += 1
-            log.losses.append(epoch_loss / max(batches, 1))
-            log.grad_norms.append(epoch_norm / max(batches, 1))
-            if verbose:
-                print(
-                    f"epoch {epoch + 1}/{epochs}: "
-                    f"nll={log.losses[-1]:.4f} |g|={log.grad_norms[-1]:.2f}"
+                _log.log(
+                    "info" if verbose else "debug",
+                    "train.epoch",
+                    model="gaussian",
+                    epoch=epoch + 1,
+                    epochs=epochs,
+                    nll=round(log.losses[-1], 6),
+                    grad_norm=round(log.grad_norms[-1], 4),
                 )
         return log
 
@@ -206,32 +222,46 @@ class BernoulliSequenceModel(Module):
         optimizer = Adam(self.parameters(), lr=lr)
         log = TrainingLog()
         indices = np.arange(len(sequences))
-        for epoch in range(epochs):
-            rng.shuffle(indices)
-            epoch_loss, batches = 0.0, 0
-            for start in range(0, len(indices), batch_size):
-                batch_idx = indices[start : start + batch_size]
-                x, y, mask = _pad_batch(
-                    [sequences[i] for i in batch_idx],
-                    [labels[i].astype(float) for i in batch_idx],
-                    [masks[i] for i in batch_idx] if masks is not None else None,
+        with obs.span(
+            "ml.train", model="bernoulli", epochs=epochs,
+            sequences=len(sequences),
+        ):
+            for epoch in range(epochs):
+                epoch_start = time.perf_counter()
+                rng.shuffle(indices)
+                epoch_loss, batches = 0.0, 0
+                for start in range(0, len(indices), batch_size):
+                    batch_idx = indices[start : start + batch_size]
+                    x, y, mask = _pad_batch(
+                        [sequences[i] for i in batch_idx],
+                        [labels[i].astype(float) for i in batch_idx],
+                        [masks[i] for i in batch_idx] if masks is not None else None,
+                    )
+                    self.zero_grad()
+                    logits = self.forward(x)
+                    loss, grad = binary_cross_entropy_with_logits(
+                        logits, y, mask, pos_weight=pos_weight
+                    )
+                    self.backward(grad)
+                    norm = clip_gradients_by_global_norm(
+                        self.parameters(), clip_norm
+                    )
+                    optimizer.step()
+                    epoch_loss += loss
+                    log.grad_norms.append(norm)
+                    batches += 1
+                log.losses.append(epoch_loss / max(batches, 1))
+                obs.metrics().histogram("ml.sec_per_epoch").observe(
+                    time.perf_counter() - epoch_start
                 )
-                self.zero_grad()
-                logits = self.forward(x)
-                loss, grad = binary_cross_entropy_with_logits(
-                    logits, y, mask, pos_weight=pos_weight
+                _log.log(
+                    "info" if verbose else "debug",
+                    "train.epoch",
+                    model="bernoulli",
+                    epoch=epoch + 1,
+                    epochs=epochs,
+                    bce=round(log.losses[-1], 6),
                 )
-                self.backward(grad)
-                norm = clip_gradients_by_global_norm(
-                    self.parameters(), clip_norm
-                )
-                optimizer.step()
-                epoch_loss += loss
-                log.grad_norms.append(norm)
-                batches += 1
-            log.losses.append(epoch_loss / max(batches, 1))
-            if verbose:
-                print(f"epoch {epoch + 1}/{epochs}: bce={log.losses[-1]:.4f}")
         return log
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

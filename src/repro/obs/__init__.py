@@ -1,0 +1,97 @@
+"""repro.obs — structured telemetry: spans, metrics, and event logs.
+
+The observability layer for the whole stack (see DESIGN.md §7).  Three
+instruments, one convention (``subsystem.stage`` dotted names), one
+switch:
+
+* :func:`span` — context-manager tracing with wall/CPU durations,
+  nesting, and trace/span ids that survive the process-pool boundary;
+* :func:`metrics` — counters, gauges, and fixed-bucket histograms with
+  JSON and Prometheus-text exporters;
+* :func:`get_logger` — structured events (``train.epoch``,
+  ``executor.retry``) rendered human-readably or as JSONL, and mirrored
+  into the trace buffer when telemetry is on.
+
+Telemetry is **off by default and free when off**: every accessor
+returns a shared no-op stub until :func:`configure` enables it (the CLI
+does so when ``--trace-out`` or ``--metrics-out`` is passed).
+
+Typical instrumentation::
+
+    from repro import obs
+
+    with obs.span("fit.static_params", trace_len=len(trace)):
+        params = estimate(trace)
+    obs.metrics().counter("cache.misses").inc()
+    obs.get_logger("repro.runtime").warning(
+        "executor.retry", job_id=spec.job_id, attempt=2, delay_sec=0.31
+    )
+"""
+
+from repro.obs.core import (
+    ObsState,
+    activate_context,
+    configure,
+    current_context,
+    enabled,
+    events,
+    flush,
+    get_logger,
+    merge_telemetry,
+    metrics,
+    metrics_snapshot,
+    reset,
+    span,
+    trace_id,
+)
+from repro.obs.logger import LEVELS, StructuredLogger
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    NULL_REGISTRY,
+    RATE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.summarize import (
+    format_span_table,
+    load_events,
+    span_stats,
+    summarize_path,
+)
+from repro.obs.tracing import EVENT_VERSION, NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "ObsState",
+    "activate_context",
+    "configure",
+    "current_context",
+    "enabled",
+    "events",
+    "flush",
+    "get_logger",
+    "merge_telemetry",
+    "metrics",
+    "metrics_snapshot",
+    "reset",
+    "span",
+    "trace_id",
+    "LEVELS",
+    "StructuredLogger",
+    "DURATION_BUCKETS",
+    "RATE_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_span_table",
+    "load_events",
+    "span_stats",
+    "summarize_path",
+    "EVENT_VERSION",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,109 @@
+"""Structured logging: named events with typed fields, two render modes.
+
+``get_logger(name)`` (from :mod:`repro.obs`) returns a
+:class:`StructuredLogger` whose methods take an *event name* plus
+keyword fields::
+
+    log = obs.get_logger("repro.ml")
+    log.info("train.epoch", epoch=3, epochs=20, nll=0.412)
+
+Rendering is selected globally (CLI ``--log-format``):
+
+* ``human`` — one aligned line per event on the log stream (stderr by
+  default): ``12:00:01 INFO  repro.ml train.epoch epoch=3 nll=0.412``
+* ``jsonl`` — the same record as one JSON object per line, for
+  machine consumption.
+
+Independently of console rendering, when telemetry is *enabled* every
+event that clears the level threshold is also appended to the active
+trace buffer (type ``event``), so retries, degradations, and epoch
+progress land in the same JSONL event log as the spans around them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Callable, Dict
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def level_number(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+        ) from None
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class StructuredLogger:
+    """A named logger bound (lazily) to the global obs state.
+
+    ``state_getter`` indirection keeps this module free of the global
+    state it reports through — :func:`repro.obs.get_logger` supplies it —
+    and means reconfiguration (or a worker-process context swap) takes
+    effect immediately on every already-constructed logger.
+    """
+
+    __slots__ = ("name", "_state")
+
+    def __init__(self, name: str, state_getter: Callable[[], Any]):
+        self.name = name
+        self._state = state_getter
+
+    # ------------------------------------------------------------------
+    # Level methods
+    # ------------------------------------------------------------------
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        state = self._state()
+        levelno = level_number(level)
+        if levelno < state.log_level:
+            return
+        if state.enabled:
+            state.tracer.record_event(level, self.name, event, fields)
+        if state.console:
+            stream = state.log_stream or sys.stderr
+            if state.log_format == "jsonl":
+                line = json.dumps(
+                    {
+                        "ts": time.time(),
+                        "level": level,
+                        "logger": self.name,
+                        "event": event,
+                        **({"fields": fields} if fields else {}),
+                    }
+                )
+            else:
+                parts = [
+                    time.strftime("%H:%M:%S"),
+                    f"{level.upper():<7}",
+                    self.name,
+                    event,
+                ]
+                parts.extend(
+                    f"{key}={_fmt_value(value)}"
+                    for key, value in fields.items()
+                )
+                line = " ".join(parts)
+            print(line, file=stream)

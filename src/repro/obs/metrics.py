@@ -1,0 +1,341 @@
+"""Zero-dependency metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named bag of instruments.  Instrument
+names follow the repo-wide ``subsystem.stage`` dotted convention (see
+DESIGN.md §7), e.g. ``executor.retries`` or ``ml.sec_per_epoch``.
+
+Design constraints, in order:
+
+1. **Off means free.**  When telemetry is disabled the accessors hand
+   out shared no-op stubs (:data:`NULL_REGISTRY`), so an instrumented
+   hot path costs one attribute call and nothing else.
+2. **Mergeable.**  Worker processes record into their own registry and
+   ship a :meth:`MetricsRegistry.snapshot` back with the job result;
+   the parent folds it in with :meth:`MetricsRegistry.merge_snapshot`.
+   Counters and histograms add; gauges are last-writer-wins.
+3. **Exportable.**  ``snapshot()`` is the JSON schema embedded in run
+   manifests and written by ``--metrics-out``;
+   :meth:`MetricsRegistry.to_prometheus_text` renders the same data in
+   the Prometheus text exposition format for scraping setups.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import os
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+#: Default histogram buckets for durations in seconds (log-ish spaced).
+DURATION_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Default buckets for throughput-style values (events/sec, packets/sec).
+RATE_BUCKETS: Tuple[float, ...] = (
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: use dotted lowercase "
+            "subsystem.stage identifiers"
+        )
+    return name
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus-style, plus min/max tracking).
+
+    ``buckets`` are upper bounds; an implicit +Inf bucket catches the
+    rest.  ``quantile`` interpolates linearly inside the bucket that
+    crosses the requested rank, clamped to the observed min/max, which
+    is plenty for run-over-run timing comparisons.
+    """
+
+    __slots__ = ("name", "uppers", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DURATION_BUCKETS):
+        uppers = tuple(sorted(float(b) for b in buckets))
+        if not uppers:
+            raise ValueError("histogram needs at least one bucket")
+        self.name = name
+        self.uppers = uppers
+        self.counts = [0] * (len(uppers) + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.uppers, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``q`` in [0, 1]) by interpolation."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        lower = self.min
+        for i, bucket_count in enumerate(self.counts):
+            upper = (
+                self.uppers[i] if i < len(self.uppers) else self.max
+            )
+            if bucket_count:
+                upper = min(upper, self.max)
+                if cumulative + bucket_count >= rank:
+                    frac = (rank - cumulative) / bucket_count
+                    return max(
+                        self.min, min(self.max, lower + frac * (upper - lower))
+                    )
+                cumulative += bucket_count
+                lower = upper
+            elif i < len(self.uppers):
+                lower = max(lower, min(self.uppers[i], self.max))
+        return self.max
+
+    def describe(self) -> dict:
+        return {
+            "buckets": list(self.uppers),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge(self, other: dict) -> None:
+        """Fold a :meth:`describe` snapshot (same buckets) into this one."""
+        if list(other["buckets"]) != list(self.uppers):
+            raise ValueError(
+                f"bucket mismatch merging histogram {self.name!r}"
+            )
+        for i, c in enumerate(other["counts"]):
+            self.counts[i] += c
+        self.sum += other["sum"]
+        self.count += other["count"]
+        if other.get("min") is not None:
+            self.min = min(self.min, other["min"])
+        if other.get("max") is not None:
+            self.max = max(self.max, other["max"])
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters.setdefault(
+                name, Counter(_check_name(name))
+            )
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges.setdefault(
+                name, Gauge(_check_name(name))
+            )
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms.setdefault(
+                name, Histogram(_check_name(name), buckets or DURATION_BUCKETS)
+            )
+        return instrument
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # Export / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of every instrument (the on-disk schema)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.describe() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Optional[dict]) -> None:
+        """Fold a worker's snapshot into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last writer wins, which is the only sane cross-process
+        semantic for a gauge).
+        """
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, described in snapshot.get("histograms", {}).items():
+            self.histogram(name, described["buckets"]).merge(described)
+
+    def write_json(self, path) -> Path:
+        """Atomically write the snapshot as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f"{path.suffix}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(self.snapshot(), indent=2))
+        os.replace(tmp, path)
+        return path
+
+    def to_prometheus_text(self, prefix: str = "repro_") -> str:
+        """The snapshot in Prometheus text exposition format.
+
+        Dots become underscores (``executor.retries`` ->
+        ``repro_executor_retries``); histograms expose cumulative
+        ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+        """
+        lines: List[str] = []
+
+        def mangle(name: str) -> str:
+            return prefix + name.replace(".", "_")
+
+        for name, counter in sorted(self._counters.items()):
+            m = mangle(name)
+            lines.append(f"# TYPE {m} counter")
+            lines.append(f"{m} {_fmt(counter.value)}")
+        for name, gauge in sorted(self._gauges.items()):
+            m = mangle(name)
+            lines.append(f"# TYPE {m} gauge")
+            lines.append(f"{m} {_fmt(gauge.value)}")
+        for name, hist in sorted(self._histograms.items()):
+            m = mangle(name)
+            lines.append(f"# TYPE {m} histogram")
+            cumulative = 0
+            for upper, count in zip(hist.uppers, hist.counts):
+                cumulative += count
+                lines.append(
+                    f'{m}_bucket{{le="{_fmt(upper)}"}} {cumulative}'
+                )
+            cumulative += hist.counts[-1]
+            lines.append(f'{m}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{m}_sum {_fmt(hist.sum)}")
+            lines.append(f"{m}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number formatting (integers without the .0)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# No-op stubs: what the accessors hand out when telemetry is disabled
+# ----------------------------------------------------------------------
+class _NullInstrument:
+    """Answers every instrument method with a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry:
+    """Shared no-op registry: recording into it does nothing."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, buckets=None) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+NULL_REGISTRY = NullRegistry()

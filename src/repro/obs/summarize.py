@@ -1,0 +1,259 @@
+"""Render per-stage timing tables from event logs, manifests, metrics.
+
+``repro obs summarize <path>`` accepts any artefact a telemetry-enabled
+run leaves behind and picks the right view by sniffing the content:
+
+* a **JSONL event log** (``--trace-out``) -> per-stage span table
+  (count, errors, total/mean/p50/p95/max wall time) plus a structured
+  log-event tally;
+* a **run manifest** (``manifest-<run_id>.json``) -> per-job table and,
+  when the manifest embeds a metrics snapshot, the metrics view below;
+* a **metrics snapshot** (``--metrics-out``) -> counters, gauges, and
+  histogram summaries.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Histogram
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def load_events(path) -> List[dict]:
+    """Parse a JSONL event log, skipping malformed lines."""
+    events: List[dict] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+    return events
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def span_stats(events: Sequence[dict]) -> List[dict]:
+    """Aggregate ``type == "span"`` records into per-name timing rows."""
+    by_name: Dict[str, List[dict]] = defaultdict(list)
+    for event in events:
+        if event.get("type") == "span" and "wall_sec" in event:
+            by_name[event["name"]].append(event)
+    rows = []
+    for name, spans in by_name.items():
+        walls = sorted(s["wall_sec"] for s in spans)
+        total = sum(walls)
+        rows.append(
+            {
+                "stage": name,
+                "count": len(walls),
+                "errors": sum(1 for s in spans if s.get("status") == "error"),
+                "total_sec": total,
+                "mean_sec": total / len(walls),
+                "p50_sec": _percentile(walls, 0.50),
+                "p95_sec": _percentile(walls, 0.95),
+                "max_sec": walls[-1],
+            }
+        )
+    rows.sort(key=lambda r: r["total_sec"], reverse=True)
+    return rows
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return math.nan
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    frac = position - lower
+    return sorted_values[lower] * (1 - frac) + sorted_values[upper] * frac
+
+
+# ----------------------------------------------------------------------
+# Table rendering
+# ----------------------------------------------------------------------
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain aligned columns: first column left, the rest right-aligned."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for row in (headers, *rows):
+        cells = [
+            row[0].ljust(widths[0]),
+            *(cell.rjust(widths[i + 1]) for i, cell in enumerate(row[1:])),
+        ]
+        lines.append("  ".join(cells).rstrip())
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}"
+
+
+def format_span_table(events: Sequence[dict]) -> str:
+    """The per-stage timing table (the heart of ``obs summarize``)."""
+    rows = span_stats(events)
+    if not rows:
+        return "no spans recorded"
+    table = _format_table(
+        (
+            "stage", "count", "errors", "total_s",
+            "mean_ms", "p50_ms", "p95_ms", "max_ms",
+        ),
+        [
+            (
+                r["stage"],
+                str(r["count"]),
+                str(r["errors"]),
+                f"{r['total_sec']:.3f}",
+                _ms(r["mean_sec"]),
+                _ms(r["p50_sec"]),
+                _ms(r["p95_sec"]),
+                _ms(r["max_sec"]),
+            )
+            for r in rows
+        ],
+    )
+    return table
+
+
+def format_event_tally(events: Sequence[dict]) -> str:
+    """Count structured log events (``type == "event"``) by name."""
+    tally: Dict[str, int] = defaultdict(int)
+    for event in events:
+        if event.get("type") == "event":
+            tally[event["name"]] += 1
+    if not tally:
+        return ""
+    rows = [
+        (name, str(count))
+        for name, count in sorted(tally.items(), key=lambda kv: -kv[1])
+    ]
+    return _format_table(("event", "count"), rows)
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Human view of a metrics snapshot (counters, gauges, histograms)."""
+    sections: List[str] = []
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    if counters or gauges:
+        rows = [(n, _num(v)) for n, v in sorted(counters.items())]
+        rows += [(n, _num(v)) for n, v in sorted(gauges.items())]
+        sections.append(_format_table(("metric", "value"), rows))
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name, described in sorted(histograms.items()):
+            hist = Histogram(name, described["buckets"])
+            hist.merge(described)
+            rows.append(
+                (
+                    name,
+                    str(hist.count),
+                    _num(hist.mean) if hist.count else "-",
+                    _num(hist.quantile(0.5)) if hist.count else "-",
+                    _num(hist.quantile(0.95)) if hist.count else "-",
+                    _num(described["max"]) if hist.count else "-",
+                )
+            )
+        sections.append(
+            _format_table(
+                ("histogram", "count", "mean", "p50", "p95", "max"), rows
+            )
+        )
+    return "\n\n".join(sections) if sections else "no metrics recorded"
+
+
+def _num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def format_manifest_jobs(manifest: dict) -> str:
+    """Per-job table from a run manifest's ``jobs`` list."""
+    jobs = manifest.get("jobs") or []
+    if not jobs:
+        return "manifest has no jobs"
+    rows = [
+        (
+            job.get("label", job.get("job_id", "?"))[:60],
+            job.get("job_id", "")[:12],
+            job.get("status", "?"),
+            str(job.get("attempts", "")),
+            f"{job.get('duration_sec', 0.0):.3f}",
+            "hit" if job.get("cache_hit") else "",
+        )
+        for job in jobs
+    ]
+    return _format_table(
+        ("job", "id", "status", "attempts", "wall_s", "cache"), rows
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point: sniff the artefact type and compose the report
+# ----------------------------------------------------------------------
+def summarize_path(path) -> str:
+    """Summarize an event log, run manifest, or metrics snapshot file."""
+    path = Path(path)
+    text = path.read_text()
+    document: Optional[dict] = None
+    try:
+        parsed = json.loads(text)
+        if isinstance(parsed, dict):
+            document = parsed
+    except json.JSONDecodeError:
+        document = None
+
+    sections: List[str] = []
+    if document is not None and "manifest_version" in document:
+        header = (
+            f"run {document.get('run_id', '?')} "
+            f"({document.get('command', '?')}, "
+            f"{document.get('workers', '?')} worker(s), "
+            f"{document.get('wall_time_sec', 0.0):.2f}s wall)"
+        )
+        sections.append(header)
+        sections.append(format_manifest_jobs(document))
+        if document.get("metrics"):
+            sections.append(format_metrics(document["metrics"]))
+    elif document is not None and (
+        "counters" in document or "histograms" in document
+    ):
+        sections.append(f"metrics snapshot {path.name}")
+        sections.append(format_metrics(document))
+    else:
+        events = load_events(path)
+        if not events:
+            raise ValueError(
+                f"{path} is neither a manifest, a metrics snapshot, "
+                "nor a JSONL event log"
+            )
+        trace_ids = {e.get("trace_id") for e in events} - {None}
+        sections.append(
+            f"event log {path.name}: {len(events)} events, "
+            f"{len(trace_ids)} trace(s)"
+        )
+        sections.append(format_span_table(events))
+        tally = format_event_tally(events)
+        if tally:
+            sections.append(tally)
+    return "\n\n".join(sections)

@@ -26,6 +26,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.runtime.cache import ProfileCache
 from repro.runtime.executor import BatchExecutor, ExecutorConfig
 from repro.runtime.jobs import (
@@ -131,17 +132,22 @@ def run_jobs(
     and experiment jobs.
     """
     config = config or ExecutorConfig()
-    started_monotonic = time.monotonic()
+    # perf_counter for the duration; the ISO stamp is presentation only.
+    started_perf = time.perf_counter()
     started_at = datetime.now(timezone.utc).isoformat()
     executor = BatchExecutor(config)
-    results = executor.run(specs, _dispatch)
+    with obs.span(
+        "batch.run", command=command, jobs=len(specs), workers=config.workers
+    ):
+        results = executor.run(specs, _dispatch)
     manifest = RunManifest.from_results(
         results,
         command=command,
         workers=config.workers,
-        started_monotonic=started_monotonic,
+        started_perf=started_perf,
         started_at_iso=started_at,
         degraded_to_serial=executor.degraded_to_serial,
+        metrics=obs.metrics_snapshot(),
     )
     return results, manifest
 

@@ -21,6 +21,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro import obs
 from repro.runtime.jobs import content_hash
 from repro.trace.io import PathLike, trace_file_digest
 
@@ -97,12 +98,15 @@ class ProfileCache:
             profile = json.loads(path.read_text())
         except FileNotFoundError:
             self.misses += 1
+            obs.metrics().counter("cache.misses").inc()
             return None
         except (json.JSONDecodeError, OSError):
             self.misses += 1
+            obs.metrics().counter("cache.misses").inc()
             path.unlink(missing_ok=True)
             return None
         self.hits += 1
+        obs.metrics().counter("cache.hits").inc()
         return profile
 
     def get(self, key: str):
@@ -147,9 +151,10 @@ class ProfileCache:
         model = self.get(key)
         if model is not None:
             return model, True
-        trace = load_trace(trace_path)
-        model = iboxnet.fit(trace, **(fit_kwargs or {}))
-        self.put(key, model)
+        with obs.span("cache.fit_miss", trace=str(trace_path)):
+            trace = load_trace(trace_path)
+            model = iboxnet.fit(trace, **(fit_kwargs or {}))
+            self.put(key, model)
         return model, False
 
     # ------------------------------------------------------------------

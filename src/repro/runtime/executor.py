@@ -6,7 +6,7 @@ The contract that every caller relies on:
   job resolves to a :class:`JobResult` (``ok`` or ``failed`` with a
   structured :class:`JobError`), in the same order as the input specs;
 * a job that raises is retried up to ``max_attempts`` times with
-  exponential backoff before being recorded as failed;
+  jittered exponential backoff before being recorded as failed;
 * a job that exceeds ``timeout_sec`` is recorded as failed (timeouts
   are *not* retried — a deterministic job that blew its budget once
   will blow it again);
@@ -18,22 +18,37 @@ Workers are plain module-level callables ``worker(spec) -> value`` so
 they pickle across the process boundary.  By convention a worker that
 returns a dict may include a ``"cache_hit"`` key, which the executor
 lifts onto the :class:`JobResult` for manifest accounting.
+
+Telemetry (no-op unless ``repro.obs`` is enabled): every attempt runs
+inside an ``executor.job`` span carrying the spec's content-derived
+``job_id`` — the join key into run manifests.  In the pool path the
+parent's trace context is shipped to the worker and the worker's spans
+and metrics ride back with the result, so one event log covers the
+whole fan-out.  Counters: ``executor.jobs_ok`` / ``executor.jobs_failed``
+/ ``executor.retries`` / ``executor.timeouts`` / ``executor.degraded``;
+histogram: ``executor.job_sec``.  Retries additionally emit a
+structured ``executor.retry`` event with the attempt number and the
+jittered backoff delay.
 """
 
 from __future__ import annotations
 
+import random
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.runtime.jobs import JobError, JobResult, JobSpec
 
 try:  # BrokenProcessPool location is version-dependent
     from concurrent.futures.process import BrokenProcessPool
 except ImportError:  # pragma: no cover
     BrokenProcessPool = OSError  # type: ignore[assignment,misc]
+
+_log = obs.get_logger("repro.runtime")
 
 
 @dataclass(frozen=True)
@@ -44,24 +59,54 @@ class ExecutorConfig:
     timeout_sec: Optional[float] = None
     max_attempts: int = 2
     backoff_sec: float = 0.25
+    #: Backoff jitter as a +/- fraction of the exponential delay (0.5 =>
+    #: each sleep is uniform in [0.5x, 1.5x]).  Jitter decorrelates
+    #: retry storms when many jobs fail at once; 0 restores the old
+    #: deterministic schedule.
+    jitter: float = 0.5
 
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
 
 
-def _guarded(worker: Callable, spec: JobSpec) -> Tuple[str, object, float]:
+def _guarded(
+    worker: Callable,
+    spec: JobSpec,
+    obs_ctx: Optional[dict] = None,
+    attempt: int = 1,
+) -> Tuple[str, object, float, Optional[dict]]:
     """Run ``worker`` in the worker process, catching everything.
 
-    Returning ``("failed", payload, duration)`` instead of raising keeps
-    exception types that don't pickle (or that unpickle differently)
-    from poisoning the pool.
+    Returning ``("failed", payload, duration, telemetry)`` instead of
+    raising keeps exception types that don't pickle (or that unpickle
+    differently) from poisoning the pool.  ``obs_ctx`` (pool path only)
+    adopts the parent's trace identity; the collected telemetry is the
+    fourth element so the parent can merge it.
     """
+    with obs.activate_context(obs_ctx) as collected:
+        status, payload, duration = _run_attempt(worker, spec, attempt)
+    telemetry = collected.telemetry() if collected is not None else None
+    return status, payload, duration, telemetry
+
+
+def _run_attempt(
+    worker: Callable, spec: JobSpec, attempt: int
+) -> Tuple[str, object, float]:
     start = time.perf_counter()
     try:
-        value = worker(spec)
+        with obs.span(
+            "executor.job",
+            job_id=spec.job_id,
+            kind=spec.kind,
+            label=spec.label,
+            attempt=attempt,
+        ):
+            value = worker(spec)
     except Exception as exc:  # noqa: BLE001 — the whole point is capture
         payload = {
             "error_type": type(exc).__name__,
@@ -82,6 +127,7 @@ class BatchExecutor:
     def __init__(self, config: Optional[ExecutorConfig] = None):
         self.config = config or ExecutorConfig()
         self.degraded_to_serial = False
+        self._rng = random.Random()
 
     # ------------------------------------------------------------------
     # Public API
@@ -99,7 +145,43 @@ class BatchExecutor:
         except (OSError, PermissionError, ValueError):
             # Pool could not even be constructed: degrade, don't die.
             self.degraded_to_serial = True
+            obs.metrics().counter("executor.degraded").inc()
+            _log.warning(
+                "executor.degraded_to_serial",
+                workers=self.config.workers,
+                jobs=len(specs),
+            )
             return [self._run_serial(spec, worker) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # Backoff
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, next_attempt: int) -> float:
+        """Jittered exponential delay before attempt ``next_attempt``."""
+        base = self.config.backoff_sec * (2 ** (next_attempt - 2))
+        if self.config.jitter > 0:
+            base *= 1 + self._rng.uniform(
+                -self.config.jitter, self.config.jitter
+            )
+        return max(0.0, base)
+
+    def _note_retry(self, spec: JobSpec, next_attempt: int, delay: float):
+        obs.metrics().counter("executor.retries").inc()
+        _log.warning(
+            "executor.retry",
+            job_id=spec.job_id,
+            label=spec.label,
+            attempt=next_attempt,
+            delay_sec=round(delay, 4),
+        )
+
+    def _record_outcome(self, result: JobResult) -> JobResult:
+        registry = obs.metrics()
+        registry.counter(
+            "executor.jobs_ok" if result.ok else "executor.jobs_failed"
+        ).inc()
+        registry.histogram("executor.job_sec").observe(result.duration_sec)
+        return result
 
     # ------------------------------------------------------------------
     # Serial path (workers == 1, or pool unavailable)
@@ -109,25 +191,33 @@ class BatchExecutor:
     ) -> JobResult:
         total = 0.0
         for attempt in range(1, self.config.max_attempts + 1):
-            status, payload, duration = _guarded(worker, spec)
+            status, payload, duration, _ = _guarded(
+                worker, spec, None, attempt
+            )
             total += duration
             if status == "ok":
-                return JobResult(
-                    spec=spec,
-                    status="ok",
-                    value=payload,
-                    attempts=attempt,
-                    duration_sec=total,
-                    cache_hit=_lift_cache_hit(payload),
+                return self._record_outcome(
+                    JobResult(
+                        spec=spec,
+                        status="ok",
+                        value=payload,
+                        attempts=attempt,
+                        duration_sec=total,
+                        cache_hit=_lift_cache_hit(payload),
+                    )
                 )
             if attempt < self.config.max_attempts:
-                time.sleep(self.config.backoff_sec * (2 ** (attempt - 1)))
-        return JobResult(
-            spec=spec,
-            status="failed",
-            error=JobError(**payload),  # type: ignore[arg-type]
-            attempts=self.config.max_attempts,
-            duration_sec=total,
+                delay = self._backoff_delay(attempt + 1)
+                self._note_retry(spec, attempt + 1, delay)
+                time.sleep(delay)
+        return self._record_outcome(
+            JobResult(
+                spec=spec,
+                status="failed",
+                error=JobError(**payload),  # type: ignore[arg-type]
+                attempts=self.config.max_attempts,
+                duration_sec=total,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -139,19 +229,24 @@ class BatchExecutor:
         results: List[Optional[JobResult]] = [None] * len(specs)
         # (index, attempt) still owed a result.
         pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(specs))]
+        obs_ctx = obs.current_context()
         while pending:
             retry: List[Tuple[int, int]] = []
             had_timeout = False
             pool = ProcessPoolExecutor(max_workers=self.config.workers)
             try:
                 futures = [
-                    (i, attempt, pool.submit(_guarded, worker, specs[i]))
+                    (
+                        i,
+                        attempt,
+                        pool.submit(_guarded, worker, specs[i], obs_ctx, attempt),
+                    )
                     for i, attempt in pending
                 ]
                 for i, attempt, fut in futures:
                     spec = specs[i]
                     try:
-                        status, payload, duration = fut.result(
+                        status, payload, duration, telemetry = fut.result(
                             timeout=self.config.timeout_sec
                         )
                     except FutureTimeout:
@@ -159,17 +254,26 @@ class BatchExecutor:
                         # will blow it again — fail, don't retry.
                         had_timeout = True
                         fut.cancel()
-                        results[i] = JobResult(
-                            spec=spec,
-                            status="failed",
-                            error=JobError(
-                                error_type="TimeoutError",
-                                message=(
-                                    f"job exceeded {self.config.timeout_sec}s"
+                        obs.metrics().counter("executor.timeouts").inc()
+                        _log.warning(
+                            "executor.timeout",
+                            job_id=spec.job_id,
+                            label=spec.label,
+                            timeout_sec=self.config.timeout_sec,
+                        )
+                        results[i] = self._record_outcome(
+                            JobResult(
+                                spec=spec,
+                                status="failed",
+                                error=JobError(
+                                    error_type="TimeoutError",
+                                    message=(
+                                        f"job exceeded {self.config.timeout_sec}s"
+                                    ),
                                 ),
-                            ),
-                            attempts=attempt,
-                            duration_sec=self.config.timeout_sec or 0.0,
+                                attempts=attempt,
+                                duration_sec=self.config.timeout_sec or 0.0,
+                            )
                         )
                         continue
                     except (BrokenProcessPool, Exception) as exc:  # noqa: BLE001
@@ -179,41 +283,51 @@ class BatchExecutor:
                         if attempt < self.config.max_attempts:
                             retry.append((i, attempt + 1))
                         else:
-                            results[i] = JobResult(
-                                spec=spec,
-                                status="failed",
-                                error=JobError(
-                                    error_type=type(exc).__name__,
-                                    message=str(exc),
-                                ),
-                                attempts=attempt,
+                            results[i] = self._record_outcome(
+                                JobResult(
+                                    spec=spec,
+                                    status="failed",
+                                    error=JobError(
+                                        error_type=type(exc).__name__,
+                                        message=str(exc),
+                                    ),
+                                    attempts=attempt,
+                                )
                             )
                         continue
+                    obs.merge_telemetry(telemetry)
                     if status == "ok":
-                        results[i] = JobResult(
-                            spec=spec,
-                            status="ok",
-                            value=payload,
-                            attempts=attempt,
-                            duration_sec=duration,
-                            cache_hit=_lift_cache_hit(payload),
+                        results[i] = self._record_outcome(
+                            JobResult(
+                                spec=spec,
+                                status="ok",
+                                value=payload,
+                                attempts=attempt,
+                                duration_sec=duration,
+                                cache_hit=_lift_cache_hit(payload),
+                            )
                         )
                     elif attempt < self.config.max_attempts:
                         retry.append((i, attempt + 1))
                     else:
-                        results[i] = JobResult(
-                            spec=spec,
-                            status="failed",
-                            error=JobError(**payload),  # type: ignore[arg-type]
-                            attempts=attempt,
-                            duration_sec=duration,
+                        results[i] = self._record_outcome(
+                            JobResult(
+                                spec=spec,
+                                status="failed",
+                                error=JobError(**payload),  # type: ignore[arg-type]
+                                attempts=attempt,
+                                duration_sec=duration,
+                            )
                         )
             finally:
                 # After a timeout the pool may hold a hung worker; don't
                 # block the batch waiting for it.
                 pool.shutdown(wait=not had_timeout, cancel_futures=True)
+            if retry:
+                max_attempt = max(a for _, a in retry)
+                delay = self._backoff_delay(max_attempt)
+                for i, next_attempt in retry:
+                    self._note_retry(specs[i], next_attempt, delay)
+                time.sleep(delay)
             pending = retry
-            if pending:
-                max_attempt = max(a for _, a in pending)
-                time.sleep(self.config.backoff_sec * (2 ** (max_attempt - 2)))
         return [r for r in results if r is not None]

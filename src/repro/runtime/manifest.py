@@ -21,8 +21,14 @@ Schema (``manifest_version`` 1)::
       "cache": {"hits": 5, "misses": 1},
       "degraded_to_serial": false,
       "jobs": [ {job_id, kind, label, status, attempts,
-                 duration_sec, cache_hit, error}, ... ]
+                 duration_sec, cache_hit, error}, ... ],
+      "metrics": { counters/gauges/histograms snapshot }   // optional
     }
+
+The optional ``metrics`` key is the :mod:`repro.obs` registry snapshot
+taken at the end of a telemetry-enabled run (``--metrics-out`` format);
+runs with telemetry disabled omit it, keeping the schema backward
+compatible within ``manifest_version`` 1.
 """
 
 from __future__ import annotations
@@ -62,6 +68,8 @@ class RunManifest:
     wall_time_sec: float
     jobs: List[dict] = field(default_factory=list)
     degraded_to_serial: bool = False
+    #: Optional repro.obs metrics snapshot (telemetry-enabled runs only).
+    metrics: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Derived accounting
@@ -92,10 +100,11 @@ class RunManifest:
         results: Sequence[JobResult],
         command: str,
         workers: int,
-        started_monotonic: float,
+        started_perf: float,
         started_at_iso: str,
         degraded_to_serial: bool = False,
         run_id: Optional[str] = None,
+        metrics: Optional[dict] = None,
     ) -> "RunManifest":
         return cls(
             run_id=run_id or new_run_id(),
@@ -103,13 +112,15 @@ class RunManifest:
             workers=workers,
             started_at=started_at_iso,
             finished_at=datetime.now(timezone.utc).isoformat(),
-            wall_time_sec=round(time.monotonic() - started_monotonic, 6),
+            # Durations always come from perf_counter, never wall clock.
+            wall_time_sec=round(time.perf_counter() - started_perf, 6),
             jobs=[r.describe() for r in results],
             degraded_to_serial=degraded_to_serial,
+            metrics=metrics,
         )
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "manifest_version": MANIFEST_VERSION,
             "run_id": self.run_id,
             "command": self.command,
@@ -122,6 +133,9 @@ class RunManifest:
             "degraded_to_serial": self.degraded_to_serial,
             "jobs": self.jobs,
         }
+        if self.metrics is not None:
+            data["metrics"] = self.metrics
+        return data
 
     def write(self, directory: PathLike) -> Path:
         """Atomically write ``manifest-<run_id>.json`` into ``directory``."""
@@ -148,6 +162,7 @@ class RunManifest:
             wall_time_sec=data["wall_time_sec"],
             jobs=data["jobs"],
             degraded_to_serial=data.get("degraded_to_serial", False),
+            metrics=data.get("metrics"),
         )
 
     def format_report(self) -> str:

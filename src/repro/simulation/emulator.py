@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.simulation.engine import Simulator
 from repro.simulation.packet import Packet
 from repro.simulation.topology import (
@@ -111,6 +112,32 @@ class NetworkEmulator:
         sender_kwargs: Optional[dict] = None,
     ) -> FlowRunResult:
         """Emulate one run of ``protocol`` over the learnt path."""
+        import time
+
+        with obs.span(
+            "emulate.run", protocol=protocol, duration=duration, seed=seed
+        ) as emulate_span:
+            wall0 = time.perf_counter()
+            result = self._run(
+                protocol, duration, seed, flow_id, sender_kwargs
+            )
+            wall = time.perf_counter() - wall0
+            packets = len(result.trace)
+            emulate_span.set("packets", packets)
+            if wall > 0 and packets:
+                obs.metrics().histogram(
+                    "emulate.packets_per_sec", obs.RATE_BUCKETS
+                ).observe(packets / wall)
+        return result
+
+    def _run(
+        self,
+        protocol: str,
+        duration: float,
+        seed: int,
+        flow_id: Optional[str] = None,
+        sender_kwargs: Optional[dict] = None,
+    ) -> FlowRunResult:
         from repro.trace import TraceRecorder
 
         path_config = self.config.to_path_config()

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, List, Optional
+
+from repro import obs
 
 
 class Event:
@@ -115,17 +118,27 @@ class Simulator:
             raise RuntimeError("simulator is already running")
         self._running = True
         self._stopped = False
+        processed_before = self._events_processed
+        wall0 = time.perf_counter()
         try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
-                if event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                self.now = event.time
-                event.callback(*event.args)
-                self._events_processed += 1
+            with obs.span("sim.run", until=until) as run_span:
+                while self._heap and not self._stopped:
+                    event = self._heap[0]
+                    if event.time > until:
+                        break
+                    heapq.heappop(self._heap)
+                    if event.cancelled:
+                        continue
+                    self.now = event.time
+                    event.callback(*event.args)
+                    self._events_processed += 1
+                processed = self._events_processed - processed_before
+                run_span.set("events", processed)
+                wall = time.perf_counter() - wall0
+                if wall > 0 and processed:
+                    obs.metrics().histogram(
+                        "sim.events_per_sec", obs.RATE_BUCKETS
+                    ).observe(processed / wall)
             if not self._stopped:
                 self.now = max(self.now, until)
         finally:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.datasets.pantheon import generate_dataset, generate_run
 from repro.simulation import units
 from repro.simulation.topology import (
@@ -17,6 +18,14 @@ from repro.simulation.topology import (
     PoissonCT,
     run_flow,
 )
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Telemetry state is process-global; keep tests isolated."""
+    obs.reset()
+    yield
+    obs.reset()
 
 
 @pytest.fixture(scope="session")

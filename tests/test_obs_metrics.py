@@ -1,0 +1,165 @@
+"""Tests for the repro.obs metrics registry and exporters."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("executor.retries")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("pool.workers")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_buckets_and_stats(self):
+        h = Histogram("job.sec", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        assert h.counts == [1, 2, 1, 1]  # last is the +Inf bucket
+        assert h.min == 0.05
+        assert h.max == 50.0
+        assert h.mean == pytest.approx(56.05 / 5)
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram("x", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.5
+        assert h.quantile(1.0) == 3.0
+        assert 0.5 <= h.quantile(0.5) <= 3.0
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram("x").quantile(0.5))
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_merge_accumulates(self):
+        a = Histogram("x", buckets=(1.0, 2.0))
+        b = Histogram("x", buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b.describe())
+        assert a.count == 3
+        assert a.min == 0.5
+        assert a.max == 9.0
+        assert a.counts == [1, 1, 1]
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = Histogram("x", buckets=(1.0,))
+        b = Histogram("x", buckets=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b.describe())
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert reg.histogram("c.d") is reg.histogram("c.d")
+        assert len(reg) == 2
+
+    def test_rejects_bad_names(self):
+        reg = MetricsRegistry()
+        for bad in ("Executor.retries", "1abc", "a..b", "a-b", ""):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(2)
+        reg.gauge("pool.size").set(4)
+        reg.histogram("job.sec").observe(0.3)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"cache.hits": 2.0}
+        assert snap["gauges"] == {"pool.size": 4.0}
+        hist = snap["histograms"]["job.sec"]
+        assert hist["count"] == 1
+        assert hist["buckets"] == list(DURATION_BUCKETS)
+        # Snapshot must be JSON-serialisable as-is.
+        json.dumps(snap)
+
+    def test_merge_snapshot_semantics(self):
+        parent = MetricsRegistry()
+        parent.counter("cache.hits").inc(1)
+        parent.gauge("pool.size").set(1)
+        worker = MetricsRegistry()
+        worker.counter("cache.hits").inc(2)
+        worker.counter("cache.misses").inc(1)
+        worker.gauge("pool.size").set(7)
+        worker.histogram("job.sec").observe(0.1)
+        parent.merge_snapshot(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["cache.hits"] == 3.0  # counters add
+        assert snap["counters"]["cache.misses"] == 1.0
+        assert snap["gauges"]["pool.size"] == 7.0  # gauges: last write wins
+        assert snap["histograms"]["job.sec"]["count"] == 1
+
+    def test_merge_none_is_noop(self):
+        reg = MetricsRegistry()
+        reg.merge_snapshot(None)
+        assert len(reg) == 0
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        path = reg.write_json(tmp_path / "sub" / "metrics.json")
+        assert json.loads(path.read_text())["counters"]["a.b"] == 1.0
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("executor.retries").inc(2)
+        reg.gauge("pool.size").set(4)
+        h = reg.histogram("job.sec", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.to_prometheus_text()
+        assert "# TYPE repro_executor_retries counter" in text
+        assert "repro_executor_retries 2" in text
+        assert "repro_pool_size 4" in text
+        # Cumulative buckets: 1 under 0.1, 2 under 1.0, 3 under +Inf.
+        assert 'repro_job_sec_bucket{le="0.1"} 1' in text
+        assert 'repro_job_sec_bucket{le="1"} 2' in text
+        assert 'repro_job_sec_bucket{le="+Inf"} 3' in text
+        assert "repro_job_sec_count 3" in text
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("anything at all!").inc()
+        NULL_REGISTRY.gauge("x").set(1)
+        NULL_REGISTRY.histogram("y").observe(2)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }

@@ -1,0 +1,157 @@
+"""Tests for ``repro obs summarize`` and its aggregation helpers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.summarize import (
+    format_event_tally,
+    format_span_table,
+    load_events,
+    span_stats,
+    summarize_path,
+)
+
+
+def _span(name, wall, status="ok", trace_id="t1"):
+    return {
+        "v": 1, "type": "span", "name": name, "trace_id": trace_id,
+        "span_id": "s", "parent_id": None, "ts": 0.0,
+        "wall_sec": wall, "cpu_sec": wall, "status": status,
+    }
+
+
+def _event(name, trace_id="t1"):
+    return {
+        "v": 1, "type": "event", "name": name, "trace_id": trace_id,
+        "span_id": None, "ts": 0.0, "level": "info", "logger": "repro.test",
+        "fields": {},
+    }
+
+
+@pytest.fixture()
+def event_log(tmp_path):
+    events = [
+        _span("executor.job", 0.2),
+        _span("executor.job", 0.4),
+        _span("fit.static_params", 0.05),
+        _span("fit.static_params", 0.01, status="error"),
+        _event("executor.retry"),
+        _event("executor.retry"),
+        _event("train.epoch"),
+    ]
+    path = tmp_path / "events.jsonl"
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    return path
+
+
+class TestLoadAndAggregate:
+    def test_load_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps(_span("a.b", 0.1)) + "\n"
+            + "{ not json\n\n"
+            + json.dumps(_span("a.b", 0.2)) + "\n"
+        )
+        assert len(load_events(path)) == 2
+
+    def test_span_stats(self, event_log):
+        rows = span_stats(load_events(event_log))
+        by_stage = {r["stage"]: r for r in rows}
+        job = by_stage["executor.job"]
+        assert job["count"] == 2
+        assert job["errors"] == 0
+        assert job["total_sec"] == pytest.approx(0.6)
+        assert job["mean_sec"] == pytest.approx(0.3)
+        assert job["max_sec"] == pytest.approx(0.4)
+        fit = by_stage["fit.static_params"]
+        assert fit["errors"] == 1
+        # Sorted by total time, descending.
+        assert rows[0]["stage"] == "executor.job"
+
+    def test_span_table_renders(self, event_log):
+        table = format_span_table(load_events(event_log))
+        lines = table.splitlines()
+        assert lines[0].split() == [
+            "stage", "count", "errors", "total_s",
+            "mean_ms", "p50_ms", "p95_ms", "max_ms",
+        ]
+        assert any("executor.job" in line for line in lines)
+
+    def test_event_tally(self, event_log):
+        tally = format_event_tally(load_events(event_log))
+        lines = tally.splitlines()
+        # Most frequent first.
+        assert "executor.retry" in lines[2]
+        assert "train.epoch" in lines[3]
+
+    def test_no_spans_message(self):
+        assert format_span_table([_event("x")]) == "no spans recorded"
+
+
+class TestSummarizePath:
+    def test_event_log_view(self, event_log):
+        out = summarize_path(event_log)
+        assert "7 events, 1 trace(s)" in out
+        assert "executor.job" in out
+        assert "executor.retry" in out
+
+    def test_metrics_snapshot_view(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(3)
+        reg.histogram("executor.job_sec").observe(0.2)
+        path = reg.write_json(tmp_path / "metrics.json")
+        out = summarize_path(path)
+        assert "metrics snapshot" in out
+        assert "cache.hits" in out
+        assert "executor.job_sec" in out
+
+    def test_manifest_view(self, tmp_path):
+        manifest = {
+            "manifest_version": 1,
+            "run_id": "run-1",
+            "command": "batch",
+            "workers": 2,
+            "wall_time_sec": 1.5,
+            "jobs": [
+                {"label": "simulate:a.npz", "job_id": "aa" * 16,
+                 "status": "ok", "attempts": 1, "duration_sec": 0.3,
+                 "cache_hit": True},
+                {"label": "simulate:b.npz", "job_id": "bb" * 16,
+                 "status": "failed", "attempts": 2, "duration_sec": 0.1},
+            ],
+            "metrics": {"counters": {"cache.hits": 1.0}},
+        }
+        path = tmp_path / "manifest-run-1.json"
+        path.write_text(json.dumps(manifest))
+        out = summarize_path(path)
+        assert "run run-1 (batch, 2 worker(s), 1.50s wall)" in out
+        assert "simulate:a.npz" in out
+        assert "hit" in out
+        assert "cache.hits" in out
+
+    def test_unrecognized_raises(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("hello\nworld\n")
+        with pytest.raises(ValueError):
+            summarize_path(path)
+
+
+class TestCli:
+    def test_cli_summarize_event_log(self, event_log, capsys):
+        assert main(["obs", "summarize", str(event_log)]) == 0
+        out = capsys.readouterr().out
+        assert "executor.job" in out
+
+    def test_cli_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.json")]) == 2
+
+    def test_cli_summarize_unrecognized(self, tmp_path, capsys):
+        path = tmp_path / "junk.txt"
+        path.write_text("hello\n")
+        assert main(["obs", "summarize", str(path)]) == 2

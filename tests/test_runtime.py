@@ -7,6 +7,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.core import iboxnet
 from repro.runtime.cache import ProfileCache
 from repro.runtime.executor import BatchExecutor, ExecutorConfig
@@ -242,6 +243,91 @@ class TestExecutor:
     def test_empty_batch(self):
         assert BatchExecutor().run([], _echo_worker) == []
 
+    def test_jitter_varies_backoff(self):
+        executor = BatchExecutor(
+            ExecutorConfig(backoff_sec=1.0, jitter=0.5)
+        )
+        delays = {executor._backoff_delay(2) for _ in range(50)}
+        assert len(delays) > 1
+        assert all(0.5 <= d <= 1.5 for d in delays)
+
+    def test_zero_jitter_is_deterministic(self):
+        executor = BatchExecutor(
+            ExecutorConfig(backoff_sec=0.25, jitter=0.0)
+        )
+        assert executor._backoff_delay(2) == 0.25
+        assert executor._backoff_delay(3) == 0.5
+        assert executor._backoff_delay(4) == 1.0
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(jitter=1.5)
+
+
+class TestExecutorTelemetry:
+    """Failure paths must leave a metrics/event trail when enabled."""
+
+    def _counters(self):
+        return obs.metrics_snapshot()["counters"]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_ok_and_failed_counters(self, workers):
+        obs.configure(enabled=True)
+        executor = BatchExecutor(
+            ExecutorConfig(workers=workers, max_attempts=1)
+        )
+        executor.run(_specs(3), _picky_worker)
+        counters = self._counters()
+        assert counters["executor.jobs_ok"] == 2.0
+        assert counters["executor.jobs_failed"] == 1.0
+        snap = obs.metrics_snapshot()
+        assert snap["histograms"]["executor.job_sec"]["count"] == 3
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retry_counter_and_event(self, tmp_path, workers):
+        obs.configure(enabled=True)
+        spec = JobSpec(
+            kind="test", job_id="flaky", label="flaky",
+            params={"marker": str(tmp_path / f"m-{workers}")},
+        )
+        executor = BatchExecutor(
+            ExecutorConfig(workers=workers, max_attempts=2, backoff_sec=0.01)
+        )
+        (result,) = executor.run([spec], _flaky_worker)
+        assert result.ok
+        assert self._counters()["executor.retries"] == 1.0
+        (retry,) = [
+            e for e in obs.events()
+            if e["type"] == "event" and e["name"] == "executor.retry"
+        ]
+        assert retry["fields"]["job_id"] == "flaky"
+        assert retry["fields"]["attempt"] == 2
+        assert retry["fields"]["delay_sec"] >= 0.0
+
+    def test_timeout_counter(self):
+        obs.configure(enabled=True)
+        executor = BatchExecutor(
+            ExecutorConfig(workers=2, timeout_sec=0.5, max_attempts=1)
+        )
+        specs = [
+            JobSpec(kind="test", job_id="slow", label="slow",
+                    params={"sleep": 30.0}),
+        ]
+        (result,) = executor.run(specs, _sleepy_worker)
+        assert not result.ok
+        assert self._counters()["executor.timeouts"] == 1.0
+        (timeout_event,) = [
+            e for e in obs.events()
+            if e["type"] == "event" and e["name"] == "executor.timeout"
+        ]
+        assert timeout_event["fields"]["job_id"] == "slow"
+
+    def test_disabled_executor_records_nothing(self):
+        executor = BatchExecutor(ExecutorConfig(workers=1, max_attempts=1))
+        executor.run(_specs(2), _picky_worker)
+        assert obs.metrics_snapshot() is None
+        assert obs.events() == []
+
 
 # ----------------------------------------------------------------------
 # Manifest
@@ -266,6 +352,39 @@ class TestManifest:
         path.write_text(json.dumps({"manifest_version": 999}))
         with pytest.raises(ValueError):
             RunManifest.load(path)
+
+    def test_metrics_embedded_when_enabled(self, tmp_path, trace_paths):
+        obs.configure(enabled=True)
+        results, manifest, manifest_path = run_batch(
+            trace_paths[:2],
+            protocols=["vegas"],
+            duration=3.0,
+            cache_dir=tmp_path / "cache",
+            manifest_dir=tmp_path / "manifests",
+            config=ExecutorConfig(workers=2),
+        )
+        assert manifest.metrics is not None
+        assert manifest.metrics["counters"]["executor.jobs_ok"] == 2.0
+        loaded = RunManifest.load(manifest_path)
+        assert loaded.metrics == manifest.metrics
+        # Worker-side executor.job spans join manifest rows on job_id.
+        span_ids = {
+            e["attrs"]["job_id"]
+            for e in obs.events()
+            if e["type"] == "span" and e["name"] == "executor.job"
+        }
+        assert span_ids == {j["job_id"] for j in manifest.jobs}
+
+    def test_metrics_absent_when_disabled(self, tmp_path, trace_paths):
+        _, manifest, manifest_path = run_batch(
+            trace_paths[:1],
+            protocols=["vegas"],
+            duration=3.0,
+            cache_dir=tmp_path / "cache",
+            manifest_dir=tmp_path / "manifests",
+        )
+        assert manifest.metrics is None
+        assert "metrics" not in json.loads(manifest_path.read_text())
 
 
 # ----------------------------------------------------------------------
