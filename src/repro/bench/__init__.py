@@ -1,0 +1,72 @@
+"""repro.bench: micro/macro benchmark harness for the hot paths.
+
+The paper's §4.2 makes *throughput* a first-class result (iBoxML's 2.2
+ms/packet is why it "cannot be used for emulation at present"), and the
+ROADMAP's north star is "as fast as the hardware allows".  This package
+turns that into a machine-readable trajectory: named benchmark cases for
+every hot path (iBoxML free-running unroll, LSTM forward/step, iBoxNet
+fit, the DES engine event loop, the emulator packet path, and the batch
+runner's cold/warm cache), timed with warmup and repetition, summarised
+with robust statistics (median / p90 / MAD), and written to versioned
+``BENCH_<host>.json`` files that ``compare`` diffs against a committed
+baseline with a regression threshold.
+
+Benchmark cases drive the *production* code paths, so when telemetry is
+enabled the same :mod:`repro.obs` histograms that production runs fill
+(``ml.packets_per_sec``, ``sim.events_per_sec``,
+``emulate.packets_per_sec``) are filled by bench runs too — one metric
+namespace, two sources (DESIGN.md §7/§8).
+
+Usage — run the suite and compare against a baseline::
+
+    from repro.bench import run_suite, compare_reports, load_report
+
+    report = run_suite(quick=True)            # BenchReport
+    print(report.format_report())
+    report.write("BENCH_myhost.json")
+
+    baseline = load_report("benchmarks/baselines/BENCH_baseline.json")
+    cmp = compare_reports(report, baseline, threshold=1.5)
+    print(cmp.format_report())
+    if cmp.has_regressions:
+        ...
+
+or from the command line::
+
+    repro bench run --quick --output BENCH_ci.json
+    repro bench compare BENCH_ci.json --baseline benchmarks/baselines/BENCH_baseline.json
+
+Cases that optimized a previously shipped implementation keep the
+original as a *reference* in :mod:`repro.bench.reference`; the harness
+times both and reports ``speedup_vs_ref`` so the claimed ratios
+(PERFORMANCE.md) are reproduced, not asserted.  The same references are
+the oracles for the golden-output tests in
+``tests/test_ml_lstm_golden.py``.
+"""
+
+from repro.bench.harness import BenchCase, CaseResult, PreparedCase, run_case
+from repro.bench.results import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    CompareResult,
+    compare_reports,
+    default_output_name,
+    load_report,
+)
+from repro.bench.suites import CASES, case_names, run_suite
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "BenchReport",
+    "CASES",
+    "CaseResult",
+    "CompareResult",
+    "PreparedCase",
+    "case_names",
+    "compare_reports",
+    "default_output_name",
+    "load_report",
+    "run_case",
+    "run_suite",
+]

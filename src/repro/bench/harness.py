@@ -1,0 +1,243 @@
+"""Benchmark harness: warmup, repetition, robust statistics.
+
+One :class:`BenchCase` names one hot path.  ``case.make(quick)`` builds
+the workload (allocating inputs, fitting models, writing temp files —
+everything that must *not* be timed) and returns a :class:`PreparedCase`
+whose ``fn`` is the timed unit of work.  :func:`run_case` then runs
+``warmup`` untimed calls followed by ``repeats`` timed calls on
+``time.perf_counter`` and summarises with median / p90 / MAD — robust
+statistics, because shared machines (CI!) contaminate means with
+scheduling noise (cf. experiments/speed.py, which reports the same
+trio for the paper's §4.2 numbers).
+
+If the prepared case carries a ``ref_fn`` — the preserved
+pre-optimization implementation from :mod:`repro.bench.reference` — it
+is timed under the identical protocol and the result records
+``speedup_vs_ref = ref_median / median``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import obs
+
+DEFAULT_REPEATS = 5
+DEFAULT_WARMUP = 2
+QUICK_REPEATS = 3
+QUICK_WARMUP = 1
+
+
+def median(xs: List[float]) -> float:
+    """Plain median (interpolated for even lengths)."""
+    n = len(xs)
+    if n == 0:
+        raise ValueError("median of empty sequence")
+    s = sorted(xs)
+    mid = n // 2
+    if n % 2:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])
+
+
+def percentile(xs: List[float], q: float) -> float:
+    """Nearest-rank percentile, ``q`` in [0, 100]."""
+    n = len(xs)
+    if n == 0:
+        raise ValueError("percentile of empty sequence")
+    s = sorted(xs)
+    rank = max(1, int(-(-q * n // 100)))  # ceil(q*n/100), clamped to >= 1
+    return s[min(rank, n) - 1]
+
+
+def mad(xs: List[float]) -> float:
+    """Median absolute deviation — a robust spread estimate."""
+    m = median(xs)
+    return median([abs(x - m) for x in xs])
+
+
+@dataclass
+class PreparedCase:
+    """A workload ready to time (built by ``BenchCase.make``)."""
+
+    fn: Callable[[], Any]
+    #: Work items (packets, events, jobs) per ``fn()`` call; used for
+    #: throughput.  ``None`` means ``fn`` returns the item count itself
+    #: (for workloads whose size is only known after running).
+    items: Optional[int] = 1
+    unit: str = "items"
+    #: Preserved pre-optimization implementation of the same workload.
+    ref_fn: Optional[Callable[[], Any]] = None
+    cleanup: Optional[Callable[[], None]] = None
+
+
+@dataclass
+class BenchCase:
+    """A named hot path: how to build its workload, how to report it."""
+
+    name: str
+    make: Callable[[bool], PreparedCase]
+    description: str = ""
+    #: Optional repro.obs histogram fed with the measured throughput so
+    #: bench runs populate the same metric namespace as production runs
+    #: (only set where the timed call bypasses the production call site
+    #: that would otherwise observe it).
+    metric: Optional[str] = None
+
+
+@dataclass
+class CaseResult:
+    """Timing summary for one case (one row of BENCH_<host>.json)."""
+
+    name: str
+    times_sec: List[float]
+    items: int
+    unit: str
+    repeats: int
+    warmup: int
+    description: str = ""
+    ref_times_sec: Optional[List[float]] = None
+    error: Optional[str] = None
+
+    @property
+    def median_sec(self) -> float:
+        return median(self.times_sec)
+
+    @property
+    def p90_sec(self) -> float:
+        return percentile(self.times_sec, 90.0)
+
+    @property
+    def mad_sec(self) -> float:
+        return mad(self.times_sec)
+
+    @property
+    def throughput_per_sec(self) -> Optional[float]:
+        m = self.median_sec
+        if m <= 0 or not self.items:
+            return None
+        return self.items / m
+
+    @property
+    def ref_median_sec(self) -> Optional[float]:
+        if not self.ref_times_sec:
+            return None
+        return median(self.ref_times_sec)
+
+    @property
+    def speedup_vs_ref(self) -> Optional[float]:
+        ref = self.ref_median_sec
+        if ref is None or self.median_sec <= 0:
+            return None
+        return ref / self.median_sec
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.error is not None:
+            return {
+                "name": self.name,
+                "description": self.description,
+                "error": self.error,
+            }
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "description": self.description,
+            "median_sec": self.median_sec,
+            "p90_sec": self.p90_sec,
+            "mad_sec": self.mad_sec,
+            "times_sec": list(self.times_sec),
+            "items": self.items,
+            "unit": self.unit,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "throughput_per_sec": self.throughput_per_sec,
+        }
+        if self.ref_times_sec is not None:
+            out["ref_times_sec"] = list(self.ref_times_sec)
+            out["ref_median_sec"] = self.ref_median_sec
+            out["speedup_vs_ref"] = self.speedup_vs_ref
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "CaseResult":
+        if d.get("error"):
+            return cls(
+                name=d["name"],
+                times_sec=[],
+                items=0,
+                unit="items",
+                repeats=0,
+                warmup=0,
+                description=d.get("description", ""),
+                error=d["error"],
+            )
+        return cls(
+            name=d["name"],
+            times_sec=list(d["times_sec"]),
+            items=d.get("items") or 0,
+            unit=d.get("unit", "items"),
+            repeats=d.get("repeats", len(d["times_sec"])),
+            warmup=d.get("warmup", 0),
+            description=d.get("description", ""),
+            ref_times_sec=(
+                list(d["ref_times_sec"]) if "ref_times_sec" in d else None
+            ),
+        )
+
+
+def _time_calls(
+    fn: Callable[[], Any], repeats: int, warmup: int
+) -> tuple:
+    """Return (times, last_result) for ``repeats`` timed calls."""
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return times, result
+
+
+def run_case(
+    case: BenchCase,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> CaseResult:
+    """Prepare, warm up, time, and summarise one benchmark case."""
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    if warmup is None:
+        warmup = QUICK_WARMUP if quick else DEFAULT_WARMUP
+    with obs.span("bench.case", case=case.name, quick=quick):
+        prepared = case.make(quick)
+        try:
+            times, last = _time_calls(prepared.fn, repeats, warmup)
+            items = (
+                int(last) if prepared.items is None else int(prepared.items)
+            )
+            ref_times = None
+            if prepared.ref_fn is not None:
+                ref_times, _ = _time_calls(prepared.ref_fn, repeats, warmup)
+        finally:
+            if prepared.cleanup is not None:
+                prepared.cleanup()
+    result = CaseResult(
+        name=case.name,
+        times_sec=times,
+        items=items,
+        unit=prepared.unit,
+        repeats=repeats,
+        warmup=warmup,
+        description=case.description,
+        ref_times_sec=ref_times,
+    )
+    throughput = result.throughput_per_sec
+    if case.metric and throughput:
+        obs.metrics().histogram(case.metric, obs.RATE_BUCKETS).observe(
+            throughput
+        )
+    return result

@@ -1,0 +1,303 @@
+"""Versioned benchmark result files and baseline comparison.
+
+``BENCH_<host>.json`` layout (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "host": "ci-runner-7",
+      "platform": {"python": "3.12.1", "numpy": "1.26.4", ...},
+      "created_unix": 1754000000.0,
+      "quick": true,
+      "cases": {
+        "ml.unroll": {
+          "median_sec": ..., "p90_sec": ..., "mad_sec": ...,
+          "times_sec": [...], "items": 1500, "unit": "packets",
+          "throughput_per_sec": ...,
+          "ref_median_sec": ..., "speedup_vs_ref": ...   # micro cases
+        },
+        ...
+      },
+      "metrics": { ... repro.obs snapshot, when telemetry was on ... }
+    }
+
+``compare_reports`` diffs two of these by case *median*: a case regresses
+when ``current/baseline > threshold`` and improves when the inverse ratio
+clears the same bar.  Medians plus a generous default threshold make the
+check robust to shared-runner noise; CI runs it warn-only (DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.bench.harness import CaseResult
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Default regression threshold: a case must slow down by more than this
+#: factor (on medians) to be flagged.  Deliberately loose — machine-to-
+#: machine and run-to-run variance on shared hardware is easily 20-30 %.
+DEFAULT_THRESHOLD = 1.5
+
+PathLike = Union[str, Path]
+
+
+def default_output_name(host: Optional[str] = None) -> str:
+    """``BENCH_<host>.json`` for this (or the given) host."""
+    host = host or socket.gethostname().split(".")[0] or "unknown"
+    safe = "".join(c if (c.isalnum() or c in "-_") else "-" for c in host)
+    return f"BENCH_{safe}.json"
+
+
+@dataclass
+class BenchReport:
+    """One benchmark run: per-case results plus environment provenance."""
+
+    cases: List[CaseResult]
+    host: str
+    platform: Dict[str, str]
+    created_unix: float
+    quick: bool = False
+    schema_version: int = BENCH_SCHEMA_VERSION
+    metrics: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def create(
+        cls, cases: List[CaseResult], quick: bool = False
+    ) -> "BenchReport":
+        from repro import obs
+
+        metrics = obs.metrics_snapshot() if obs.enabled() else None
+        return cls(
+            cases=cases,
+            host=socket.gethostname().split(".")[0] or "unknown",
+            platform={
+                "python": platform.python_version(),
+                "numpy": _numpy_version(),
+                "machine": platform.machine(),
+                "system": platform.system(),
+            },
+            created_unix=time.time(),
+            quick=quick,
+            metrics=metrics,
+        )
+
+    def case(self, name: str) -> Optional[CaseResult]:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "host": self.host,
+            "platform": dict(self.platform),
+            "created_unix": self.created_unix,
+            "quick": self.quick,
+            "cases": {c.name: c.to_dict() for c in self.cases},
+        }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "BenchReport":
+        version = d.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported bench schema_version {version!r} "
+                f"(this build reads {BENCH_SCHEMA_VERSION})"
+            )
+        return cls(
+            cases=[CaseResult.from_dict(c) for c in d["cases"].values()],
+            host=d.get("host", "unknown"),
+            platform=dict(d.get("platform", {})),
+            created_unix=float(d.get("created_unix", 0.0)),
+            quick=bool(d.get("quick", False)),
+            schema_version=version,
+            metrics=d.get("metrics"),
+        )
+
+    def write(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def format_report(self) -> str:
+        lines = [
+            f"benchmarks on {self.host} "
+            f"(python {self.platform.get('python', '?')}, "
+            f"numpy {self.platform.get('numpy', '?')}"
+            f"{', quick' if self.quick else ''})",
+            f"{'case':<22} {'median':>10} {'p90':>10} {'MAD':>9} "
+            f"{'throughput':>16} {'vs ref':>7}",
+        ]
+        for case in self.cases:
+            if case.error is not None:
+                lines.append(f"{case.name:<22} ERROR: {case.error}")
+                continue
+            throughput = case.throughput_per_sec
+            thr = (
+                f"{throughput:,.0f} {case.unit}/s" if throughput else "-"
+            )
+            speedup = case.speedup_vs_ref
+            ref = f"{speedup:.2f}x" if speedup is not None else "-"
+            lines.append(
+                f"{case.name:<22} {_fmt_sec(case.median_sec):>10} "
+                f"{_fmt_sec(case.p90_sec):>10} {_fmt_sec(case.mad_sec):>9} "
+                f"{thr:>16} {ref:>7}"
+            )
+        return "\n".join(lines)
+
+
+def load_report(path: PathLike) -> BenchReport:
+    """Read and validate a ``BENCH_*.json`` file."""
+    return BenchReport.from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Comparison against a baseline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CaseDelta:
+    name: str
+    current_median_sec: float
+    baseline_median_sec: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline on medians; > 1 means slower than baseline."""
+        if self.baseline_median_sec <= 0:
+            return float("inf") if self.current_median_sec > 0 else 1.0
+        return self.current_median_sec / self.baseline_median_sec
+
+
+@dataclass
+class CompareResult:
+    """Outcome of diffing a current report against a baseline."""
+
+    deltas: List[CaseDelta]
+    threshold: float
+    only_current: List[str] = field(default_factory=list)
+    only_baseline: List[str] = field(default_factory=list)
+    errored: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.ratio > self.threshold]
+
+    @property
+    def improvements(self) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.ratio < 1.0 / self.threshold]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions) or bool(self.errored)
+
+    def format_report(self) -> str:
+        lines = [
+            f"{'case':<22} {'baseline':>10} {'current':>10} "
+            f"{'ratio':>7}  verdict (threshold {self.threshold:.2f}x)"
+        ]
+        regressions = {d.name for d in self.regressions}
+        improvements = {d.name for d in self.improvements}
+        for d in self.deltas:
+            if d.name in regressions:
+                verdict = "REGRESSION"
+            elif d.name in improvements:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            lines.append(
+                f"{d.name:<22} {_fmt_sec(d.baseline_median_sec):>10} "
+                f"{_fmt_sec(d.current_median_sec):>10} {d.ratio:>6.2f}x"
+                f"  {verdict}"
+            )
+        for name in self.errored:
+            lines.append(f"{name:<22} {'-':>10} {'-':>10} {'-':>7}  ERROR")
+        for name in self.only_current:
+            lines.append(
+                f"{name:<22} {'-':>10} {'-':>10} {'-':>7}  new case "
+                "(no baseline)"
+            )
+        for name in self.only_baseline:
+            lines.append(
+                f"{name:<22} {'-':>10} {'-':>10} {'-':>7}  missing from "
+                "current run"
+            )
+        n_reg = len(self.regressions) + len(self.errored)
+        lines.append(
+            f"{len(self.deltas)} case(s) compared, {n_reg} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        )
+        return "\n".join(lines)
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareResult:
+    """Diff ``current`` against ``baseline`` case by case.
+
+    Cases present on only one side are reported but don't regress the
+    comparison; a case that *errored* in the current run does (broken
+    beats slow).
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    current_by_name = {c.name: c for c in current.cases}
+    baseline_by_name = {c.name: c for c in baseline.cases}
+    deltas = []
+    errored = []
+    for name, cur in current_by_name.items():
+        base = baseline_by_name.get(name)
+        if cur.error is not None:
+            errored.append(name)
+            continue
+        if base is None or base.error is not None:
+            continue
+        deltas.append(
+            CaseDelta(
+                name=name,
+                current_median_sec=cur.median_sec,
+                baseline_median_sec=base.median_sec,
+            )
+        )
+    compared = {d.name for d in deltas} | set(errored)
+    return CompareResult(
+        deltas=deltas,
+        threshold=threshold,
+        only_current=[n for n in current_by_name if n not in compared],
+        only_baseline=[
+            n for n in baseline_by_name if n not in current_by_name
+        ],
+        errored=errored,
+    )
+
+
+def _fmt_sec(sec: float) -> str:
+    if sec >= 1.0:
+        return f"{sec:.2f} s"
+    if sec >= 1e-3:
+        return f"{sec * 1e3:.1f} ms"
+    return f"{sec * 1e6:.0f} us"
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except Exception:  # pragma: no cover
+        return "unavailable"

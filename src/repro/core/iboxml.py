@@ -35,6 +35,7 @@ from repro.ml.model import (
     GaussianSequenceModel,
     TrainingLog,
 )
+from repro.ml.layers import _sigmoid
 from repro.ml.scalers import StandardScaler
 from repro.trace.features import packet_features
 from repro.trace.records import PacketRecord, Trace
@@ -88,6 +89,12 @@ class IBoxMLConfig:
     # losses (delivered_at = nan, the paper's "infinite delay").
     predict_loss: bool = False
     loss_head_epochs: int = 8
+    # Arithmetic for the free-running unroll (§4.2: inference speed is
+    # what keeps iBoxML out of emulation).  "float32" halves the memory
+    # traffic of the per-step GEMVs; predictions then agree with the
+    # float64 path to ~1e-5 relative (see PERFORMANCE.md), which is far
+    # below the model's own sigma.  Training always runs in float64.
+    unroll_dtype: str = "float64"
 
     @property
     def input_dim(self) -> int:
@@ -377,6 +384,7 @@ class IBoxMLModel:
         ct: Optional[np.ndarray] = None,
         sample: bool = True,
         seed: int = 0,
+        dtype: Optional[str] = None,
     ) -> np.ndarray:
         """Unroll the model over ``trace``'s *input* stream.
 
@@ -388,15 +396,21 @@ class IBoxMLModel:
         ``sample=True`` draws each delay from the predicted Gaussian (the
         generative mode that reproduces delay *distributions*, Figs. 5/7);
         ``sample=False`` returns the mean (point forecasts, Fig. 4-style
-        series comparisons).
+        series comparisons).  ``dtype`` overrides
+        :attr:`IBoxMLConfig.unroll_dtype` for this call ("float32" is the
+        fast path; see PERFORMANCE.md for the accuracy contract).
         """
         if not self._fitted:
             raise RuntimeError("predict called before fit()")
         feats = self._trace_features(trace, ct)
-        return self._unroll_features(feats, sample=sample, seed=seed)
+        return self._unroll_features(feats, sample=sample, seed=seed, dtype=dtype)
 
     def _unroll_features(
-        self, feats: np.ndarray, sample: bool, seed: int = 0
+        self,
+        feats: np.ndarray,
+        sample: bool,
+        seed: int = 0,
+        dtype: Optional[str] = None,
     ) -> np.ndarray:
         """Free-running unroll over a raw (unscaled) feature matrix."""
         n = len(feats)
@@ -404,7 +418,7 @@ class IBoxMLModel:
             return np.zeros(0)
         with obs.span("ml.unroll", packets=n, sample=sample):
             wall0 = time.perf_counter()
-            out = self._unroll_features_inner(feats, sample, seed)
+            out = self._unroll_features_inner(feats, sample, seed, dtype)
             wall = time.perf_counter() - wall0
             if wall > 0:
                 obs.metrics().histogram(
@@ -413,43 +427,114 @@ class IBoxMLModel:
         return out
 
     def _unroll_features_inner(
-        self, feats: np.ndarray, sample: bool, seed: int
+        self,
+        feats: np.ndarray,
+        sample: bool,
+        seed: int,
+        dtype: Optional[str] = None,
     ) -> np.ndarray:
+        """The unroll hot loop (§4.2's bottleneck), optimized three ways:
+
+        1. the layer-0 input projection is precomputed for the *whole*
+           sequence in one GEMM — only the previous-delay column is
+           dynamic, and its contribution is a rank-1 per-step add;
+        2. the loop runs on 1-D vectors with the Gaussian heads inlined
+           as dot products and the scalers applied as scalar arithmetic
+           (the generic path built three throwaway arrays per packet);
+        3. all weights are gathered (and optionally cast to float32, the
+           ``unroll_dtype`` fast path) once, outside the loop.
+
+        In float64 the result is fp-rounding-identical to stepping the
+        model with :meth:`GaussianSequenceModel.step` (same operations,
+        same split-GEMM association; golden test in
+        ``tests/test_ml_lstm_golden.py``).
+        """
         n = len(feats)
-        scaled = self.feature_scaler.transform(feats)
+        np_dtype = np.dtype(dtype or self.config.unroll_dtype)
+        scaled = np.ascontiguousarray(
+            self.feature_scaler.transform(feats), dtype=np_dtype
+        )
         rng = np.random.default_rng(seed)
         predictions = np.zeros(n)
-        states = None
-        prev_delay_real = 0.0
         floor = self.config.min_delay_floor
-        prev_mean = self.feature_scaler.mean_[_PREV_DELAY_COL]
-        prev_std = self.feature_scaler.std_[_PREV_DELAY_COL]
+        prev_mean = float(self.feature_scaler.mean_[_PREV_DELAY_COL])
+        prev_std = float(self.feature_scaler.std_[_PREV_DELAY_COL])
+        t_mean = float(self.target_scaler.mean_[0])
+        t_std = float(self.target_scaler.std_[0])
         rho = (
             self.config.sample_ar_rho
             if self.config.sample_ar_rho is not None
             else self.fitted_rho_
         )
-        innovation_scale = np.sqrt(max(0.0, 1.0 - rho**2))
+        innovation_scale = math.sqrt(max(0.0, 1.0 - rho**2))
         noise_state = float(rng.normal()) if sample else 0.0
+
+        lstm = self.model.lstm
+        H = lstm.hidden_dim
+        layers = []
+        for cell in lstm.layers:
+            w_x, w_h = cell.weight_views()
+            layers.append(
+                (
+                    np.ascontiguousarray(w_x, dtype=np_dtype),
+                    np.ascontiguousarray(w_h, dtype=np_dtype),
+                    cell.b.value.astype(np_dtype),
+                )
+            )
+        w_mu = np.ascontiguousarray(
+            self.model.head_mu.W.value[:, 0], dtype=np_dtype
+        )
+        b_mu = float(self.model.head_mu.b.value[0])
+        w_ls = np.ascontiguousarray(
+            self.model.head_log_sigma.W.value[:, 0], dtype=np_dtype
+        )
+        b_ls = float(self.model.head_log_sigma.b.value[0])
+
+        wx0, wh0, b0 = layers[0]
+        w_prev = np.ascontiguousarray(wx0[_PREV_DELAY_COL])
+        static = scaled
+        static[:, _PREV_DELAY_COL] = 0.0
+        base = static @ wx0 + b0  # (n, 4H): every step's input projection
+        hs = [np.zeros(H, dtype=np_dtype) for _ in layers]
+        cs = [np.zeros(H, dtype=np_dtype) for _ in layers]
+        tanh = np.tanh
+        half = np_dtype.type(0.5)
+        prev_delay_real = 0.0
         for t in range(n):
-            x_t = scaled[t].copy()
-            x_t[_PREV_DELAY_COL] = (prev_delay_real - prev_mean) / prev_std
-            mu, sigma, states = self.model.step(x_t[None, :], states)
-            mean_delay = self.target_scaler.inverse_transform_column(
-                np.array([float(mu[0])]), 0
-            )[0]
-            mean_delay = max(floor, float(mean_delay))
+            prev_scaled = (prev_delay_real - prev_mean) / prev_std
+            out = None
+            for k, (w_x, w_h, b) in enumerate(layers):
+                if k == 0:
+                    z = base[t] + prev_scaled * w_prev + hs[0] @ wh0
+                else:
+                    z = out @ w_x + b + hs[k] @ w_h
+                # sigmoid(x) = (1 + tanh(x/2)) / 2: one vectorized tanh
+                # covers the i/f/o gates (the branch-free identity is
+                # ~3x cheaper per step than masked exp at these sizes).
+                s = tanh(half * z)
+                i = half * (1 + s[:H])
+                f = half * (1 + s[H : 2 * H])
+                o = half * (1 + s[3 * H :])
+                g = tanh(z[2 * H : 3 * H])
+                c = f * cs[k] + i * g
+                h = o * tanh(c)
+                hs[k] = h
+                cs[k] = c
+                out = h
+            mu = float(out @ w_mu) + b_mu
+            mean_delay = mu * t_std + t_mean
+            if mean_delay < floor:
+                mean_delay = floor
             if sample:
+                sigma = math.exp(float(out @ w_ls) + b_ls)
                 # AR(1) noise: marginally N(0, 1), temporally smooth.
                 noise_state = (
                     rho * noise_state
                     + innovation_scale * float(rng.normal())
                 )
-                value = float(mu[0]) + float(sigma[0]) * noise_state
-                delay = self.target_scaler.inverse_transform_column(
-                    np.array([value]), 0
-                )[0]
-                delay = max(floor, float(delay))
+                delay = (mu + sigma * noise_state) * t_std + t_mean
+                if delay < floor:
+                    delay = floor
             else:
                 delay = mean_delay
             predictions[t] = delay

@@ -11,13 +11,19 @@ from a V100, but the structural conclusion — ML inference is orders of
 magnitude more expensive per packet than the network-model emulator, and
 it bounds the emulatable data rate — is reproduced, including the implied
 maximum emulation rate in Mb/s.
+
+Each cost is timed over several repetitions on ``time.perf_counter`` and
+reported as the *median* with the MAD alongside (the same robust trio as
+``repro bench``; a mean alone hides scheduler noise on shared machines).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable, Tuple
 
+from repro.bench.harness import mad, median
 from repro.core import iboxnet
 from repro.core.iboxml import IBoxMLConfig, IBoxMLModel
 from repro.datasets.pantheon import generate_run
@@ -37,6 +43,10 @@ class SpeedResult:
     # untrained model measures it faithfully.
     paper_size_sec_per_packet: float = 0.0
     paper_size_params: int = 0
+    # Median absolute deviation of the per-packet cost across repetitions.
+    iboxml_mad_sec: float = 0.0
+    iboxnet_mad_sec: float = 0.0
+    paper_size_mad_sec: float = 0.0
 
     @property
     def iboxml_max_rate_mbps(self) -> float:
@@ -69,28 +79,48 @@ class SpeedResult:
         lines.append(
             f"iBoxML  ({self.iboxml_params} params): "
             f"{self.iboxml_sec_per_packet * 1000:.3f} ms/packet "
+            f"(MAD {self.iboxml_mad_sec * 1000:.3f} ms) "
             f"=> max {self.iboxml_max_rate_mbps:.1f} Mb/s emulation"
         )
         if self.paper_size_params:
             lines.append(
                 f"iBoxML  ({self.paper_size_params} params, paper size): "
                 f"{self.paper_size_sec_per_packet * 1000:.3f} ms/packet "
+                f"(MAD {self.paper_size_mad_sec * 1000:.3f} ms) "
                 f"=> max {self.paper_size_max_rate_mbps:.1f} Mb/s emulation"
             )
         lines.append(
             f"iBoxNet (emulation):  "
             f"{self.iboxnet_sec_per_packet * 1000:.3f} ms/packet "
+            f"(MAD {self.iboxnet_mad_sec * 1000:.3f} ms) "
             f"=> max {self.iboxnet_max_rate_mbps:.1f} Mb/s emulation"
         )
         lines.append(
-            f"iBoxML is {self.slowdown:.0f}x "
+            f"iBoxML is {self.slowdown:.1f}x "
             f"(paper-size: {self.paper_size_slowdown:.0f}x) more expensive "
             f"per packet (paper: 2.2 ms/packet on a V100 => 5.5 Mb/s)"
         )
         return "\n".join(lines)
 
 
-def run(scale: Scale = Scale.quick(), base_seed: int = 30) -> SpeedResult:
+def _timed_per_item(
+    fn: Callable[[], int], repeats: int
+) -> Tuple[float, float]:
+    """Median and MAD of the per-item cost of ``fn`` over ``repeats`` runs.
+
+    ``fn`` returns the number of items (packets, steps) it processed.
+    """
+    costs = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        items = fn()
+        costs.append((time.perf_counter() - start) / max(items, 1))
+    return median(costs), mad(costs)
+
+
+def run(
+    scale: Scale = Scale.quick(), base_seed: int = 30, repeats: int = 3
+) -> SpeedResult:
     """Measure per-packet inference/emulation cost for both approaches."""
     train_run = generate_run(base_seed, "cubic", duration=scale.duration)
     test_run = generate_run(base_seed + 1, "cubic", duration=scale.duration)
@@ -101,16 +131,20 @@ def run(scale: Scale = Scale.quick(), base_seed: int = 30) -> SpeedResult:
     model = IBoxMLModel(config)
     model.fit([train_run.trace])
 
-    start = time.perf_counter()
-    delays = model.predict_delays(test_run.trace, sample=False)
-    iboxml_cost = (time.perf_counter() - start) / max(len(delays), 1)
+    iboxml_cost, iboxml_mad = _timed_per_item(
+        lambda: len(model.predict_delays(test_run.trace, sample=False)),
+        repeats,
+    )
 
     net_model = iboxnet.fit(train_run.trace)
-    start = time.perf_counter()
-    sim_trace = net_model.simulate(
-        "cubic", duration=scale.duration, seed=base_seed + 2
+    iboxnet_cost, iboxnet_mad = _timed_per_item(
+        lambda: len(
+            net_model.simulate(
+                "cubic", duration=scale.duration, seed=base_seed + 2
+            )
+        ),
+        repeats,
     )
-    iboxnet_cost = (time.perf_counter() - start) / max(len(sim_trace), 1)
 
     # Paper-size architecture: 4 layers, hidden width chosen so the stack
     # lands near the quoted ~2 M parameters.
@@ -119,15 +153,17 @@ def run(scale: Scale = Scale.quick(), base_seed: int = 30) -> SpeedResult:
     )
     import numpy as np
 
-    states = None
     x = np.zeros((1, paper_model.config.input_dim))
     n_steps = 300
-    paper_model.model.step(x, states)  # warm-up
-    start = time.perf_counter()
-    states = None
-    for _ in range(n_steps):
-        _, _, states = paper_model.model.step(x, states)
-    paper_cost = (time.perf_counter() - start) / n_steps
+    paper_model.model.step(x, None)  # warm-up
+
+    def paper_steps() -> int:
+        states = None
+        for _ in range(n_steps):
+            _, _, states = paper_model.model.step(x, states)
+        return n_steps
+
+    paper_cost, paper_mad = _timed_per_item(paper_steps, repeats)
 
     return SpeedResult(
         iboxml_sec_per_packet=iboxml_cost,
@@ -135,4 +171,7 @@ def run(scale: Scale = Scale.quick(), base_seed: int = 30) -> SpeedResult:
         iboxml_params=model.num_parameters(),
         paper_size_sec_per_packet=paper_cost,
         paper_size_params=paper_model.num_parameters(),
+        iboxml_mad_sec=iboxml_mad,
+        iboxnet_mad_sec=iboxnet_mad,
+        paper_size_mad_sec=paper_mad,
     )

@@ -14,6 +14,15 @@ flow early in training).  ``forward`` runs a whole (B, T, D) batch and
 caches activations; ``backward`` consumes dL/dh of shape (B, T, H) and
 returns dL/dx, accumulating parameter gradients.  Stateful single-step
 ``step``/``step_grad``-free inference is used by the free-running unroll.
+
+Hot-path layout (see PERFORMANCE.md): the fused weight ``W`` stacks the
+input block ``W_x`` (input_dim rows) on top of the recurrent block ``W_h``
+(hidden_dim rows), so ``[x, h] @ W == x @ W_x + h @ W_h``.  Splitting lets
+``forward`` compute the input projection for *every* timestep in one GEMM
+up front — only the recurrent term ``h @ W_h`` is inherently sequential —
+and lets ``step`` skip the per-call ``np.concatenate``.  The split views
+are cached per layer and rebuilt automatically if the parameter buffer is
+ever replaced (in-place optimizer updates keep them valid for free).
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.ml import initializers
-from repro.ml.layers import Module, Parameter, _sigmoid
+from repro.ml.layers import Module, Parameter
 
 
 class LSTMCell(Module):
@@ -51,6 +60,23 @@ class LSTMCell(Module):
         bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget-gate bias
         self.b = Parameter(f"{name}.b", bias)
         self._cache: Optional[dict] = None
+        self._w_x: Optional[np.ndarray] = None
+        self._w_h: Optional[np.ndarray] = None
+
+    def weight_views(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(W_x, W_h)`` views into the fused weight matrix.
+
+        Views are invalidated by identity: optimizers update ``W.value``
+        in place (views stay live); anything that rebinds the buffer
+        (e.g. a hand-rolled ``p.value = ...``) makes ``base`` differ and
+        triggers a rebuild.
+        """
+        w = self.W.value
+        w_x = self._w_x
+        if w_x is None or w_x.base is not w:
+            self._w_x = w_x = w[: self.input_dim]
+            self._w_h = w[self.input_dim :]
+        return w_x, self._w_h
 
     # ------------------------------------------------------------------
     # Sequence forward/backward (training)
@@ -77,12 +103,21 @@ class LSTMCell(Module):
             "o": np.zeros((batch, steps, H)),
             "c": np.zeros((batch, steps, H)),
         }
+        w_x, w_h = self.weight_views()
+        # Input projection for the whole sequence in one GEMM; only the
+        # recurrent term h @ W_h must stay inside the timestep loop.
+        x_proj = x @ w_x + self.b.value
         for t in range(steps):
             cache["h_prev"][:, t] = h
             cache["c_prev"][:, t] = c
-            zi, zf, zg, zo = self._gates(x[:, t], h)
-            i, f = _sigmoid(zi), _sigmoid(zf)
-            g, o = np.tanh(zg), _sigmoid(zo)
+            z = x_proj[:, t] + h @ w_h
+            # sigmoid(x) = (1 + tanh(x/2)) / 2 — one vectorized tanh for
+            # the three sigmoid gates beats per-gate masked-exp sigmoid.
+            s = np.tanh(0.5 * z)
+            i = 0.5 * (1 + s[:, :H])
+            f = 0.5 * (1 + s[:, H : 2 * H])
+            o = 0.5 * (1 + s[:, 3 * H :])
+            g = np.tanh(z[:, 2 * H : 3 * H])
             c = f * c + i * g
             h = o * np.tanh(c)
             hs[:, t] = h
@@ -90,11 +125,6 @@ class LSTMCell(Module):
                 cache[key][:, t] = val
         self._cache = cache
         return hs
-
-    def _gates(self, x_t: np.ndarray, h_prev: np.ndarray):
-        z = np.concatenate([x_t, h_prev], axis=1) @ self.W.value + self.b.value
-        H = self.hidden_dim
-        return z[:, :H], z[:, H : 2 * H], z[:, 2 * H : 3 * H], z[:, 3 * H :]
 
     def backward(self, grad_h: np.ndarray) -> np.ndarray:
         """``grad_h``: (B, T, H) upstream dL/dh_t; returns dL/dx."""
@@ -104,11 +134,13 @@ class LSTMCell(Module):
         x = cache["x"]
         batch, steps, _ = x.shape
         H = self.hidden_dim
-        grad_x = np.zeros_like(x)
         dh_next = np.zeros((batch, H))
         dc_next = np.zeros((batch, H))
-        dW = np.zeros_like(self.W.value)
-        db = np.zeros_like(self.b.value)
+        w_x, w_h = self.weight_views()
+        # Per-step work is only what the recurrence forces (dz and its
+        # backflow through W_h); parameter and input gradients batch into
+        # single GEMMs over the whole sequence afterwards.
+        dz_all = np.zeros((batch, steps, 4 * H))
         for t in range(steps - 1, -1, -1):
             i = cache["i"][:, t]
             f = cache["f"][:, t]
@@ -116,7 +148,6 @@ class LSTMCell(Module):
             o = cache["o"][:, t]
             c = cache["c"][:, t]
             c_prev = cache["c_prev"][:, t]
-            h_prev = cache["h_prev"][:, t]
             tanh_c = np.tanh(c)
 
             dh = grad_h[:, t] + dh_next
@@ -127,21 +158,21 @@ class LSTMCell(Module):
             df = dc * c_prev
             dc_next = dc * f
 
-            dzi = di * i * (1 - i)
-            dzf = df * f * (1 - f)
-            dzg = dg * (1 - g**2)
-            dzo = do * o * (1 - o)
-            dz = np.concatenate([dzi, dzf, dzg, dzo], axis=1)
-
-            inp = np.concatenate([x[:, t], h_prev], axis=1)
-            dW += inp.T @ dz
-            db += dz.sum(axis=0)
-            d_inp = dz @ self.W.value.T
-            grad_x[:, t] = d_inp[:, : self.input_dim]
-            dh_next = d_inp[:, self.input_dim :]
-        self.W.grad += dW
-        self.b.grad += db
-        return grad_x
+            dz = dz_all[:, t]
+            dz[:, :H] = di * i * (1 - i)
+            dz[:, H : 2 * H] = df * f * (1 - f)
+            dz[:, 2 * H : 3 * H] = dg * (1 - g**2)
+            dz[:, 3 * H :] = do * o * (1 - o)
+            dh_next = dz @ w_h.T
+        flat_dz = dz_all.reshape(-1, 4 * H)
+        self.W.grad[: self.input_dim] += (
+            x.reshape(-1, self.input_dim).T @ flat_dz
+        )
+        self.W.grad[self.input_dim :] += (
+            cache["h_prev"].reshape(-1, H).T @ flat_dz
+        )
+        self.b.grad += flat_dz.sum(axis=0)
+        return dz_all @ w_x.T
 
     # ------------------------------------------------------------------
     # Single-step inference (free-running unroll)
@@ -151,14 +182,19 @@ class LSTMCell(Module):
     ) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
         """One inference step; ``x_t``: (B, input_dim).  No caching."""
         batch = x_t.shape[0]
+        H = self.hidden_dim
         if state is None:
-            h = np.zeros((batch, self.hidden_dim))
-            c = np.zeros((batch, self.hidden_dim))
+            h = np.zeros((batch, H))
+            c = np.zeros((batch, H))
         else:
             h, c = state
-        zi, zf, zg, zo = self._gates(x_t, h)
-        i, f = _sigmoid(zi), _sigmoid(zf)
-        g, o = np.tanh(zg), _sigmoid(zo)
+        w_x, w_h = self.weight_views()
+        z = x_t @ w_x + h @ w_h + self.b.value
+        s = np.tanh(0.5 * z)  # same gate identity as forward()
+        i = 0.5 * (1 + s[:, :H])
+        f = 0.5 * (1 + s[:, H : 2 * H])
+        o = 0.5 * (1 + s[:, 3 * H :])
+        g = np.tanh(z[:, 2 * H : 3 * H])
         c = f * c + i * g
         h = o * np.tanh(c)
         return h, (h, c)

@@ -26,6 +26,28 @@ Typical instrumentation::
     obs.get_logger("repro.runtime").warning(
         "executor.retry", job_id=spec.job_id, attempt=2, delay_sec=0.31
     )
+
+Enabling, exporting, and merging across processes::
+
+    from repro import obs
+
+    obs.configure(enabled=True, trace_out="events.jsonl")
+
+    snapshot = obs.metrics_snapshot()        # plain dict -> json.dump()
+    text = obs.metrics().to_prometheus_text()  # Prometheus exposition
+
+    # Worker processes ship ``{"events": [...], "metrics": {...}}``
+    # payloads back with their job results; the parent folds them into
+    # its own registry and trace buffer so one report covers the whole
+    # pool (counters/histograms add, gauges last-write-wins, spans keep
+    # the parent run's trace_id):
+    obs.merge_telemetry(worker_telemetry)
+
+    obs.flush()                              # write buffered events out
+
+Post-hoc analysis reads the files back: :func:`load_events` /
+:func:`span_stats` / :func:`format_span_table` power
+``repro obs summarize <events.jsonl | metrics.json | manifest.json>``.
 """
 
 from repro.obs.core import (

@@ -12,6 +12,37 @@ Turns the one-shot fit/simulate pipeline into an orchestrated engine:
   and failures are observable run-over-run;
 * :mod:`repro.runtime.batch` — the orchestration entry points the
   ``repro batch`` / ``repro reproduce`` CLI commands sit on.
+
+The library API mirrors the CLI one-to-one.  Simulate counterfactuals
+over a directory of traces, in parallel, through the profile cache::
+
+    from pathlib import Path
+    from repro.runtime import ExecutorConfig, run_batch
+
+    results, manifest, path = run_batch(
+        sorted(Path("data").glob("*.npz")),
+        protocols=["vegas", "cubic"],
+        cache_dir="cache/",
+        manifest_dir="runs/",
+        config=ExecutorConfig(workers=4, timeout_sec=120.0),
+    )
+    failed = [r for r in results if not r.ok]   # structured, never raises
+
+Fit (or re-fit from cache) without simulating — ``models`` is aligned
+with the input paths, with ``None`` at failed positions::
+
+    from repro.runtime import fit_profiles
+
+    models, results = fit_profiles(paths, cache_dir="cache/")
+
+Higher layers compose on these primitives rather than re-implementing
+pooling: e.g. :func:`repro.core.ensemble.fit_distribution_from_paths`
+learns the §3.1 joint parameter distribution straight from trace files
+by fanning ``fit_profiles`` across workers and keeping whatever fits.
+
+Every run produces a :class:`RunManifest` whose per-job rows carry
+content-derived ``job_id`` values — manifests from different runs join
+on ``job_id``, which is how speed or failure regressions are diffed.
 """
 
 from repro.runtime.cache import ProfileCache, default_cache_dir

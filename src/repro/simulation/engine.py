@@ -21,10 +21,14 @@ class Event:
 
     Events are created via :meth:`Simulator.schedule` and may be cancelled
     with :meth:`Simulator.cancel` (or :meth:`Event.cancel`).  A cancelled
-    event stays in the heap but is skipped when popped.
+    event stays in the heap but is skipped when popped; the owning
+    simulator keeps a count of cancelled-but-still-heaped events so
+    :attr:`Simulator.pending_events` never has to scan the calendar.  The
+    back-reference is dropped when the event is popped, so cancelling an
+    already-fired event (a stale timer handle, say) cannot skew the count.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -32,16 +36,23 @@ class Event:
         seq: int,
         callback: Callable[..., None],
         args: tuple,
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event so it will not fire."""
+        """Mark the event so it will not fire (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._cancelled_pending += 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -69,6 +80,7 @@ class Simulator:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self._events_processed = 0
+        self._cancelled_pending = 0
         self._running = False
         self._stopped = False
 
@@ -95,7 +107,7 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        event = Event(time, next(self._counter), callback, args)
+        event = Event(time, next(self._counter), callback, args, sim=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -118,21 +130,27 @@ class Simulator:
             raise RuntimeError("simulator is already running")
         self._running = True
         self._stopped = False
-        processed_before = self._events_processed
+        # Hot loop: heap, pop, and the processed counter live in locals
+        # (the counter folds back into the instance in ``finally`` so a
+        # raising callback still leaves the tally correct).
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
         wall0 = time.perf_counter()
         try:
             with obs.span("sim.run", until=until) as run_span:
-                while self._heap and not self._stopped:
-                    event = self._heap[0]
+                while heap and not self._stopped:
+                    event = heap[0]
                     if event.time > until:
                         break
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    event._sim = None
                     if event.cancelled:
+                        self._cancelled_pending -= 1
                         continue
                     self.now = event.time
                     event.callback(*event.args)
-                    self._events_processed += 1
-                processed = self._events_processed - processed_before
+                    processed += 1
                 run_span.set("events", processed)
                 wall = time.perf_counter() - wall0
                 if wall > 0 and processed:
@@ -142,13 +160,17 @@ class Simulator:
             if not self._stopped:
                 self.now = max(self.now, until)
         finally:
+            self._events_processed += processed
             self._running = False
 
     def step(self) -> bool:
         """Process a single event.  Returns ``False`` if the calendar is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            event._sim = None
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self.now = event.time
             event.callback(*event.args)
@@ -165,8 +187,8 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return len(self._heap) - self._cancelled_pending
 
     @property
     def events_processed(self) -> int:

@@ -1,0 +1,296 @@
+"""repro.bench: harness statistics, result schema, baseline comparison,
+and the ``repro bench`` CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchCase,
+    PreparedCase,
+    compare_reports,
+    default_output_name,
+    load_report,
+    run_case,
+    run_suite,
+)
+from repro.bench.harness import CaseResult, mad, median, percentile
+from repro.bench.results import BenchReport
+from repro.cli import main
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+
+def test_percentile_nearest_rank():
+    xs = [float(i) for i in range(1, 11)]  # 1..10
+    assert percentile(xs, 90.0) == 9.0
+    assert percentile(xs, 100.0) == 10.0
+    assert percentile(xs, 0.0) == 1.0
+
+
+def test_mad_robust_to_outlier():
+    assert mad([1.0, 1.0, 1.0, 100.0]) == 0.0
+    assert mad([1.0, 2.0, 3.0]) == 1.0
+
+
+def test_stats_reject_empty():
+    with pytest.raises(ValueError):
+        median([])
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def _counting_case(counter):
+    def make(quick):
+        def fn():
+            counter["calls"] += 1
+
+        def ref():
+            counter["ref_calls"] += 1
+
+        def cleanup():
+            counter["cleaned"] += 1
+
+        return PreparedCase(fn=fn, ref_fn=ref, items=10, unit="widgets",
+                            cleanup=cleanup)
+
+    return BenchCase(name="test.counting", make=make, description="test")
+
+
+def test_run_case_call_protocol():
+    counter = {"calls": 0, "ref_calls": 0, "cleaned": 0}
+    result = run_case(_counting_case(counter), repeats=4, warmup=2)
+    assert counter["calls"] == 6  # warmup + timed
+    assert counter["ref_calls"] == 6
+    assert counter["cleaned"] == 1
+    assert len(result.times_sec) == 4
+    assert result.items == 10
+    assert result.unit == "widgets"
+    assert result.speedup_vs_ref is not None
+
+
+def test_run_case_items_from_fn():
+    case = BenchCase(
+        name="test.dynamic",
+        make=lambda quick: PreparedCase(fn=lambda: 123, items=None),
+    )
+    result = run_case(case, repeats=2, warmup=0)
+    assert result.items == 123
+
+
+def test_run_case_cleanup_on_failure():
+    counter = {"cleaned": 0}
+
+    def make(quick):
+        def boom():
+            raise RuntimeError("kaboom")
+
+        return PreparedCase(
+            fn=boom,
+            cleanup=lambda: counter.__setitem__(
+                "cleaned", counter["cleaned"] + 1
+            ),
+        )
+
+    with pytest.raises(RuntimeError):
+        run_case(BenchCase(name="test.boom", make=make), repeats=1, warmup=0)
+    assert counter["cleaned"] == 1
+
+
+def test_run_suite_records_case_errors():
+    from repro.bench import suites
+
+    broken = BenchCase(
+        name="test.broken",
+        make=lambda quick: (_ for _ in ()).throw(RuntimeError("nope")),
+    )
+    suites.CASES["test.broken"] = broken
+    try:
+        report = run_suite(filters=["test.broken"], quick=True)
+    finally:
+        del suites.CASES["test.broken"]
+    case = report.case("test.broken")
+    assert case is not None
+    assert "nope" in case.error
+    # an errored case round-trips through JSON too
+    restored = BenchReport.from_dict(report.to_dict())
+    assert restored.case("test.broken").error == case.error
+
+
+def test_run_suite_unknown_filter():
+    with pytest.raises(ValueError):
+        run_suite(filters=["no.such.case"])
+
+
+# ---------------------------------------------------------------------------
+# Results schema
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    # ml.lstm_step is the cheapest real case; one repeat keeps this a
+    # smoke test of the full pipeline, not a benchmark.
+    return run_suite(filters=["ml.lstm_step"], quick=True, repeats=1,
+                     warmup=0)
+
+
+def test_report_schema(quick_report, tmp_path):
+    d = quick_report.to_dict()
+    assert d["schema_version"] == BENCH_SCHEMA_VERSION
+    assert d["quick"] is True
+    assert set(d["cases"]) == {"ml.lstm_step"}
+    case = d["cases"]["ml.lstm_step"]
+    for key in ("median_sec", "p90_sec", "mad_sec", "times_sec", "items",
+                "unit", "throughput_per_sec", "speedup_vs_ref"):
+        assert key in case
+    path = quick_report.write(tmp_path / "BENCH_test.json")
+    loaded = load_report(path)
+    assert loaded.case("ml.lstm_step").median_sec == pytest.approx(
+        quick_report.case("ml.lstm_step").median_sec
+    )
+
+
+def test_load_rejects_unknown_schema_version(quick_report, tmp_path):
+    d = quick_report.to_dict()
+    d["schema_version"] = 999
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(d))
+    with pytest.raises(ValueError, match="schema_version"):
+        load_report(path)
+
+
+def test_default_output_name():
+    name = default_output_name("ci.runner.07")
+    assert name == "BENCH_ci-runner-07.json"
+    assert default_output_name("a b/c") == "BENCH_a-b-c.json"
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def _report_with_times(times_by_name):
+    return BenchReport(
+        cases=[
+            CaseResult(name=name, times_sec=times, items=1, unit="items",
+                       repeats=len(times), warmup=0)
+            for name, times in times_by_name.items()
+        ],
+        host="test",
+        platform={},
+        created_unix=0.0,
+    )
+
+
+def test_compare_flags_synthetic_2x_slowdown():
+    baseline = _report_with_times({"a": [1.0, 1.0], "b": [1.0, 1.0]})
+    current = _report_with_times({"a": [2.0, 2.0], "b": [1.0, 1.0]})
+    result = compare_reports(current, baseline, threshold=1.5)
+    assert result.has_regressions
+    assert [d.name for d in result.regressions] == ["a"]
+    assert result.deltas[0].ratio == pytest.approx(2.0)
+    assert "REGRESSION" in result.format_report()
+
+
+def test_compare_detects_improvement_and_ok():
+    baseline = _report_with_times({"a": [2.0], "b": [1.0]})
+    current = _report_with_times({"a": [1.0], "b": [1.1]})
+    result = compare_reports(current, baseline, threshold=1.5)
+    assert not result.has_regressions
+    assert [d.name for d in result.improvements] == ["a"]
+
+
+def test_compare_handles_disjoint_cases():
+    baseline = _report_with_times({"a": [1.0], "gone": [1.0]})
+    current = _report_with_times({"a": [1.0], "new": [1.0]})
+    result = compare_reports(current, baseline)
+    assert result.only_current == ["new"]
+    assert result.only_baseline == ["gone"]
+    assert not result.has_regressions
+
+
+def test_compare_errored_current_case_regresses():
+    baseline = _report_with_times({"a": [1.0]})
+    current = BenchReport(
+        cases=[CaseResult(name="a", times_sec=[], items=0, unit="items",
+                          repeats=0, warmup=0, error="RuntimeError: x")],
+        host="test", platform={}, created_unix=0.0,
+    )
+    result = compare_reports(current, baseline)
+    assert result.has_regressions
+    assert result.errored == ["a"]
+
+
+def test_compare_rejects_bad_threshold():
+    r = _report_with_times({"a": [1.0]})
+    with pytest.raises(ValueError):
+        compare_reports(r, r, threshold=1.0)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_bench_run_quick_smoke(tmp_path, capsys):
+    out = tmp_path / "BENCH_cli.json"
+    code = main([
+        "bench", "run", "--quick", "--filter", "ml.lstm_step",
+        "--repeats", "1", "--output", str(out),
+    ])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "ml.lstm_step" in stdout
+    data = json.loads(out.read_text())
+    assert data["schema_version"] == BENCH_SCHEMA_VERSION
+    assert "ml.lstm_step" in data["cases"]
+    # bench runs force telemetry on, so the shared obs histograms ride
+    # along in the report
+    assert "metrics" in data
+
+
+def test_cli_bench_list(capsys):
+    assert main(["bench", "run", "--list"]) == 0
+    stdout = capsys.readouterr().out
+    assert "ml.unroll" in stdout
+    assert "sim.engine" in stdout
+
+
+def test_cli_bench_compare(tmp_path, capsys):
+    baseline = _report_with_times({"a": [1.0]})
+    current = _report_with_times({"a": [2.5]})
+    base_path = baseline.write(tmp_path / "base.json")
+    cur_path = current.write(tmp_path / "cur.json")
+    # warn-only by default
+    assert main([
+        "bench", "compare", str(cur_path), "--baseline", str(base_path),
+    ]) == 0
+    stdout = capsys.readouterr().out
+    assert "REGRESSION" in stdout
+    assert "warn-only" in stdout
+    # fatal when asked
+    assert main([
+        "bench", "compare", str(cur_path), "--baseline", str(base_path),
+        "--fail-on-regression",
+    ]) == 1
+    # missing baseline file is a usage error
+    assert main([
+        "bench", "compare", str(cur_path), "--baseline",
+        str(tmp_path / "missing.json"),
+    ]) == 2
