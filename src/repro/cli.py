@@ -19,6 +19,11 @@ Commands mirror the workflows a downstream user needs:
     Fan a directory of traces out across a worker pool: fit each trace
     through the content-addressed profile cache, run the requested
     counterfactual protocols, and write a JSON run manifest.
+``chaos``
+    Seeded fault-injection campaign (DESIGN.md §9): corrupt traces,
+    crash/kill/hang workers, tear a cache entry — all deterministically
+    from ``--seed`` — and verify every guard holds.  Exits non-zero on
+    any guard violation, so CI can run it as a smoke job.
 ``obs``
     Observability helpers: ``obs summarize <path>`` renders a per-stage
     timing table from a JSONL event log, a metrics snapshot, or a run
@@ -160,6 +165,44 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--retries", type=int, default=1,
         help="extra attempts per failed job (default: 1)",
+    )
+    batch.add_argument(
+        "--budget-sec", type=float, default=None,
+        help="total wall-clock budget; jobs not finished in time are "
+        "recorded as failed (BudgetExhausted) and can be --resume'd",
+    )
+    batch.add_argument(
+        "--repair-policy", choices=("strict", "repair", "skip"),
+        default="strict",
+        help="how to load corrupt traces: strict fails the job, repair "
+        "sanitizes records, skip drops malformed lines (default: strict)",
+    )
+    batch.add_argument(
+        "--resume", type=Path, default=None, metavar="MANIFEST",
+        help="resume from a prior run's manifest: jobs recorded ok "
+        "there are skipped, everything else re-runs",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign against the guards",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="campaign seed; same seed, same faults (default: 7)",
+    )
+    chaos.add_argument(
+        "--policy", choices=("strict", "repair", "skip"), default="repair",
+        help="repair policy for the corrupted-trace phase (default: repair)",
+    )
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument(
+        "--duration", type=float, default=3.0,
+        help="seconds of synthetic trace per fault (default: 3)",
+    )
+    chaos.add_argument(
+        "--workdir", type=Path, default=None,
+        help="campaign scratch directory (default: a fresh temp dir)",
     )
 
     obs_cmd = sub.add_parser(
@@ -327,22 +370,35 @@ def _cmd_batch(args) -> int:
     if not trace_paths:
         _log.error("batch.no_traces", dir=str(args.trace_dir))
         return 2
-    results, manifest, manifest_path = run_batch(
-        trace_paths,
-        protocols=args.protocols,
-        duration=args.duration,
-        seed=args.seed,
-        cache_dir=args.cache_dir,
-        output_dir=args.output_dir,
-        manifest_dir=args.manifest_dir,
-        config=ExecutorConfig(
-            workers=args.workers,
-            timeout_sec=args.timeout,
-            max_attempts=args.retries + 1,
-        ),
-    )
+    try:
+        results, manifest, manifest_path = run_batch(
+            trace_paths,
+            protocols=args.protocols,
+            duration=args.duration,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            output_dir=args.output_dir,
+            manifest_dir=args.manifest_dir,
+            repair_policy=args.repair_policy,
+            resume_from=args.resume,
+            config=ExecutorConfig(
+                workers=args.workers,
+                timeout_sec=args.timeout,
+                max_attempts=args.retries + 1,
+                budget_sec=args.budget_sec,
+            ),
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        _log.error(
+            "batch.bad_resume_manifest",
+            manifest=str(args.resume),
+            error=str(exc),
+        )
+        return 2
     for result in results:
-        if result.ok:
+        if result.resumed:
+            print(f"ok     resumed   {result.spec.params['trace_path']}")
+        elif result.ok:
             hit = "cache hit " if result.cache_hit else "fitted    "
             for protocol, s in result.value["summaries"].items():
                 print(
@@ -361,6 +417,33 @@ def _cmd_batch(args) -> int:
     if manifest_path is not None:
         print(f"manifest written to {manifest_path}")
     return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_chaos(args) -> int:
+    import tempfile
+
+    from repro.guard.chaos import run_campaign
+
+    if args.workdir is not None:
+        args.workdir.mkdir(parents=True, exist_ok=True)
+        report = run_campaign(
+            args.workdir,
+            seed=args.seed,
+            policy=args.policy,
+            workers=args.workers,
+            duration=args.duration,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            report = run_campaign(
+                tmp,
+                seed=args.seed,
+                policy=args.policy,
+                workers=args.workers,
+                duration=args.duration,
+            )
+    print(report.format_report())
+    return 0 if report.ok else 1
 
 
 def _cmd_obs(args) -> int:
@@ -457,6 +540,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fit": _cmd_fit,
         "simulate": _cmd_simulate,
         "batch": _cmd_batch,
+        "chaos": _cmd_chaos,
         "obs": _cmd_obs,
         "bench": _cmd_bench,
     }

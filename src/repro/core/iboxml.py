@@ -30,6 +30,7 @@ import numpy as np
 from repro import obs
 from repro.core.cross_traffic import estimate_cross_traffic, per_packet_cross_traffic
 from repro.core.static_params import estimate_static_params
+from repro.guard.numeric import sanitize_training_arrays
 from repro.ml.model import (
     BernoulliSequenceModel,
     GaussianSequenceModel,
@@ -189,6 +190,12 @@ class IBoxMLModel:
             # Lost packets have no target; fill with a value that is masked
             # out so scaling statistics are not corrupted.
             delays[~mask] = 0.0
+            # Non-finite rows (NaN bursts, infinities that survived
+            # upstream repair) would poison the scaler statistics and
+            # every gradient after them; mask and zero them instead.
+            feats, delays, mask, _ = sanitize_training_arrays(
+                feats, delays, mask
+            )
             all_features.append(feats)
             all_targets.append(delays)
             all_masks.append(mask)

@@ -1,0 +1,479 @@
+"""Deterministic, seeded fault injection (the chaos half of repro.guard).
+
+Every injector is a pure function of its inputs and a seed, so a fault
+campaign is *replayable*: ``repro chaos --seed 7`` corrupts the same
+bytes of the same traces every time, which is what lets CI assert that
+the guards recover rather than merely hoping they do.
+
+Three fault surfaces, mirroring where production runs actually break:
+
+* **record faults** (:data:`TRACE_FAULTS`) — semantic corruption of an
+  in-memory trace: duplicate transmission uids, clock skew (deliveries
+  before sends), timestamp reordering, NaN bursts, size corruption;
+* **file faults** (:data:`FILE_FAULTS`) — byte-level damage to a saved
+  trace: truncation mid-line, garbage lines, type-corrupted fields;
+* **runtime faults** (:func:`chaos_worker`, :func:`tear_cache_entry`) —
+  executor-level injected worker crashes, process kills, hangs that
+  trip the timeout, and torn cache writes.
+
+:func:`run_campaign` wires all three through the real batch pipeline
+and checks the guard invariants; the ``repro chaos`` CLI is a thin
+wrapper around it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro import obs
+from repro.runtime.jobs import JobSpec
+from repro.trace.records import PacketRecord, Trace
+
+_log = obs.get_logger("repro.guard")
+
+
+def _note_injection(surface: str, fault: str, target: str) -> None:
+    obs.metrics().counter("chaos.injected").inc()
+    _log.info("chaos.injected", surface=surface, fault=fault, target=target)
+
+
+def _clone(trace: Trace, records: List[PacketRecord]) -> Trace:
+    return Trace(
+        trace.flow_id,
+        records,
+        duration=trace.duration,
+        protocol=trace.protocol,
+        metadata=dict(trace.metadata),
+    )
+
+
+def _copy_record(r: PacketRecord, **overrides) -> PacketRecord:
+    fields = {
+        "uid": r.uid,
+        "seq": r.seq,
+        "size": r.size,
+        "sent_at": r.sent_at,
+        "delivered_at": r.delivered_at,
+        "is_retransmit": r.is_retransmit,
+    }
+    fields.update(overrides)
+    return PacketRecord(**fields)
+
+
+# ----------------------------------------------------------------------
+# Record-level faults: Trace -> corrupted Trace
+# ----------------------------------------------------------------------
+def fault_duplicate_uids(trace: Trace, rng: random.Random) -> Trace:
+    """Give ~2% of records (at least 2) another record's uid."""
+    records = [_copy_record(r) for r in trace.records]
+    n = len(records)
+    if n < 2:
+        return _clone(trace, records)
+    k = max(2, n // 50)
+    for idx in rng.sample(range(1, n), min(k, n - 1)):
+        donor = rng.randrange(0, idx)
+        records[idx] = _copy_record(records[idx], uid=records[donor].uid)
+    return _clone(trace, records)
+
+
+def fault_clock_skew(trace: Trace, rng: random.Random) -> Trace:
+    """A receiver-clock step: one window's deliveries precede their sends."""
+    records = [_copy_record(r) for r in trace.records]
+    n = len(records)
+    if n == 0:
+        return _clone(trace, records)
+    start = rng.randrange(0, max(1, n - n // 10))
+    skew = 0.005 + rng.random() * 0.05
+    for idx in range(start, min(n, start + max(1, n // 10))):
+        r = records[idx]
+        if not math.isnan(r.delivered_at):
+            records[idx] = _copy_record(r, delivered_at=r.sent_at - skew)
+    return _clone(trace, records)
+
+
+def fault_reorder_timestamps(trace: Trace, rng: random.Random) -> Trace:
+    """Swap send timestamps between random pairs (logger race condition)."""
+    records = [_copy_record(r) for r in trace.records]
+    n = len(records)
+    for _ in range(max(1, n // 40)):
+        if n < 2:
+            break
+        i, j = rng.sample(range(n), 2)
+        records[i], records[j] = (
+            _copy_record(records[i], sent_at=records[j].sent_at),
+            _copy_record(records[j], sent_at=records[i].sent_at),
+        )
+    return _clone(trace, records)
+
+
+def fault_nan_burst(trace: Trace, rng: random.Random) -> Trace:
+    """A capture hiccup: a contiguous burst of NaN send timestamps."""
+    records = [_copy_record(r) for r in trace.records]
+    n = len(records)
+    if n == 0:
+        return _clone(trace, records)
+    start = rng.randrange(0, n)
+    for idx in range(start, min(n, start + max(1, n // 20))):
+        records[idx] = _copy_record(records[idx], sent_at=math.nan)
+    return _clone(trace, records)
+
+
+def fault_bad_sizes(trace: Trace, rng: random.Random) -> Trace:
+    """Corrupt ~2% of packet sizes to zero or negative values."""
+    records = [_copy_record(r) for r in trace.records]
+    n = len(records)
+    for idx in rng.sample(range(n), min(max(1, n // 50), n)):
+        records[idx] = _copy_record(
+            records[idx], size=rng.choice([0, -records[idx].size or -1])
+        )
+    return _clone(trace, records)
+
+
+TRACE_FAULTS: Dict[str, Callable[[Trace, random.Random], Trace]] = {
+    "duplicate_uids": fault_duplicate_uids,
+    "clock_skew": fault_clock_skew,
+    "reorder": fault_reorder_timestamps,
+    "nan_burst": fault_nan_burst,
+    "bad_sizes": fault_bad_sizes,
+}
+
+
+def inject_trace_fault(name: str, trace: Trace, seed: int) -> Trace:
+    """Apply one named record fault deterministically under ``seed``."""
+    corrupted = TRACE_FAULTS[name](trace, random.Random(seed))
+    _note_injection("trace", name, trace.flow_id)
+    return corrupted
+
+
+# ----------------------------------------------------------------------
+# File-level faults: path -> damaged bytes on disk
+# ----------------------------------------------------------------------
+def fault_truncate_file(path: Path, rng: random.Random) -> None:
+    """Cut the file at ~60% — mid-record for JSONL, fatal for NPZ."""
+    data = path.read_bytes()
+    cut = max(1, int(len(data) * 0.6))
+    path.write_bytes(data[:cut])
+
+
+def fault_garbage_line(path: Path, rng: random.Random) -> None:
+    """Replace one record line with non-JSON garbage (JSONL only)."""
+    lines = path.read_text().splitlines()
+    if len(lines) > 1:
+        idx = rng.randrange(1, len(lines))  # never the header
+        lines[idx] = '{"uid": 3, "seq": '  # torn write
+    path.write_text("\n".join(lines) + "\n")
+
+
+def fault_corrupt_field(path: Path, rng: random.Random) -> None:
+    """Type-corrupt one record's fields (valid JSON, wrong schema)."""
+    lines = path.read_text().splitlines()
+    if len(lines) > 1:
+        idx = rng.randrange(1, len(lines))
+        lines[idx] = '{"uid": "??", "seq": null}'  # missing keys too
+    path.write_text("\n".join(lines) + "\n")
+
+
+FILE_FAULTS: Dict[str, Callable[[Path, random.Random], None]] = {
+    "truncate": fault_truncate_file,
+    "garbage_line": fault_garbage_line,
+    "corrupt_field": fault_corrupt_field,
+}
+
+
+def inject_file_fault(name: str, path, seed: int) -> None:
+    """Apply one named byte-level fault deterministically under ``seed``."""
+    path = Path(path)
+    FILE_FAULTS[name](path, random.Random(seed))
+    _note_injection("file", name, str(path))
+
+
+# ----------------------------------------------------------------------
+# Runtime faults
+# ----------------------------------------------------------------------
+def chaos_worker(spec: JobSpec):
+    """Executor drill worker: misbehaves per ``spec.params['fault']``.
+
+    Module-level so it pickles into pool workers.  ``kill`` refuses to
+    run outside a child process — killing the orchestrating process is
+    the one fault nothing could recover from.
+    """
+    fault = spec.params.get("fault")
+    if fault == "crash":
+        raise RuntimeError("chaos: injected worker crash")
+    if fault == "kill":
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            os._exit(13)  # simulates OOM-kill / segfault
+        raise RuntimeError("chaos: refusing os._exit outside a pool worker")
+    if fault == "hang":
+        time.sleep(float(spec.params.get("hang_sec", 30.0)))
+        return {"fault": "hang", "survived": True}
+    return {"fault": None, "ok": True}
+
+
+def make_chaos_job(
+    fault: Optional[str],
+    timeout_sec: Optional[float] = None,
+    **params,
+) -> JobSpec:
+    """A drill spec for :func:`chaos_worker` (content-hashed like any job)."""
+    from repro.runtime.jobs import content_hash
+
+    all_params = {"fault": fault, **params}
+    return JobSpec(
+        kind="chaos",
+        job_id=content_hash("chaos", all_params),
+        label=f"chaos:{fault or 'normal'}",
+        params=all_params,
+        timeout_sec=timeout_sec,
+    )
+
+
+def tear_cache_entry(cache, key: str, keep_fraction: float = 0.5) -> Path:
+    """Simulate a torn write: truncate a cache entry's JSON mid-file."""
+    path = cache.path_for(key)
+    data = path.read_text()
+    path.write_text(data[: max(1, int(len(data) * keep_fraction))])
+    _note_injection("cache", "torn_write", str(path))
+    return path
+
+
+# ----------------------------------------------------------------------
+# The campaign: every surface through the real pipeline
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """Outcome of one seeded campaign; ``ok`` iff every guard held."""
+
+    seed: int
+    policy: str
+    injected: List[dict] = field(default_factory=list)
+    batch_statuses: Dict[str, str] = field(default_factory=dict)
+    drill_statuses: Dict[str, str] = field(default_factory=dict)
+    manifest_path: Optional[Path] = None
+    quarantined: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format_report(self) -> str:
+        lines = [
+            f"chaos campaign: seed={self.seed} policy={self.policy} "
+            f"faults={len(self.injected)}"
+        ]
+        for inj in self.injected:
+            lines.append(
+                f"  injected {inj['surface']:<6} {inj['fault']:<14} "
+                f"-> {inj['target']}"
+            )
+        for label, status in sorted(self.batch_statuses.items()):
+            lines.append(f"  batch  {status:<6} {label}")
+        for label, status in sorted(self.drill_statuses.items()):
+            lines.append(f"  drill  {status:<6} {label}")
+        lines.append(f"  cache quarantined entries: {self.quarantined}")
+        if self.manifest_path:
+            lines.append(f"  manifest: {self.manifest_path}")
+        if self.violations:
+            lines.append("GUARD VIOLATIONS:")
+            lines.extend(f"  !! {v}" for v in self.violations)
+        else:
+            lines.append("all guards held: every fault isolated or repaired")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    workdir,
+    seed: int = 7,
+    policy: str = "repair",
+    workers: int = 2,
+    duration: float = 3.0,
+    trace_faults: Optional[List[str]] = None,
+    file_faults: Optional[List[str]] = None,
+    runtime_faults: Optional[List[str]] = None,
+) -> ChaosReport:
+    """Run the full seeded fault campaign through the real pipeline.
+
+    1. Generate a small clean dataset; corrupt one trace per fault.
+    2. ``run_batch`` over the directory under ``policy`` — asserts one
+       bad trace fails (or repairs) one job, never the batch.
+    3. Executor drills: crash / kill / hang workers, one per drill.
+    4. Torn cache write: corrupt a profile entry, assert quarantine +
+       transparent re-fit.
+
+    Never raises for a guard violation — violations are listed in the
+    returned report (the CLI turns them into a non-zero exit).
+    """
+    from repro.datasets.pantheon import generate_run
+    from repro.guard.repair import check_policy
+    from repro.runtime.batch import run_batch
+    from repro.runtime.cache import ProfileCache
+    from repro.runtime.executor import BatchExecutor, ExecutorConfig
+    from repro.trace.io import save_trace
+
+    check_policy(policy)
+    workdir = Path(workdir)
+    data_dir = workdir / "data"
+    data_dir.mkdir(parents=True, exist_ok=True)
+    report = ChaosReport(seed=seed, policy=policy)
+
+    trace_faults = (
+        list(TRACE_FAULTS) if trace_faults is None else list(trace_faults)
+    )
+    file_faults = (
+        list(FILE_FAULTS) if file_faults is None else list(file_faults)
+    )
+    runtime_faults = (
+        ["crash", "kill", "hang"]
+        if runtime_faults is None
+        else list(runtime_faults)
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 1: corrupted traces through the batch pipeline
+    # ------------------------------------------------------------------
+    plan: List[tuple] = [("clean", None)]
+    plan += [("trace", name) for name in trace_faults]
+    plan += [("file", name) for name in file_faults]
+    for i, (surface, name) in enumerate(plan):
+        run = generate_run(
+            seed=seed + i, protocol="cubic", duration=duration
+        )
+        trace = run.trace
+        fmt = "npz" if (surface, name) == ("file", "truncate") else "jsonl"
+        path = data_dir / f"{i:02d}_{name or 'clean'}.{fmt}"
+        if surface == "trace":
+            trace = inject_trace_fault(name, trace, seed=seed + 100 + i)
+        save_trace(trace, path)
+        if surface == "file":
+            inject_file_fault(name, path, seed=seed + 100 + i)
+        if surface != "clean":
+            report.injected.append(
+                {"surface": surface, "fault": name, "target": path.name}
+            )
+
+    cache_dir = workdir / "cache"
+    try:
+        results, manifest, manifest_path = run_batch(
+            sorted(data_dir.iterdir()),
+            protocols=["cubic"],
+            duration=duration,
+            seed=seed,
+            cache_dir=cache_dir,
+            manifest_dir=workdir / "manifests",
+            repair_policy=policy,
+            config=ExecutorConfig(workers=workers, timeout_sec=120.0),
+        )
+    except Exception as exc:  # noqa: BLE001 — escaping IS the violation
+        report.violations.append(
+            f"run_batch raised instead of isolating the fault: {exc!r}"
+        )
+        return report
+    report.manifest_path = manifest_path
+    for result in results:
+        report.batch_statuses[result.spec.label] = result.status
+
+    jobs = manifest.to_dict()["jobs"]
+    if len(jobs) != len(plan):
+        report.violations.append(
+            f"manifest has {len(jobs)} jobs for {len(plan)} traces "
+            "(jobs went missing)"
+        )
+    for job in jobs:
+        if job["status"] not in ("ok", "failed"):
+            report.violations.append(
+                f"job {job['label']} has status {job['status']!r} "
+                "(must be ok|failed)"
+            )
+    clean_label = f"simulate:{data_dir / '00_clean.jsonl'}"
+    if report.batch_statuses.get(clean_label) != "ok":
+        report.violations.append("the clean trace's job did not succeed")
+    if policy == "repair":
+        # Every record-fault trace must have been repaired into a
+        # successful job; only byte-destroyed files may fail.
+        for result in results:
+            name = Path(result.spec.params["trace_path"]).stem.split("_", 1)[1]
+            if name in TRACE_FAULTS and result.status != "ok":
+                report.violations.append(
+                    f"repair policy did not recover trace fault {name!r}: "
+                    f"{result.error.message if result.error else ''}"
+                )
+
+    # ------------------------------------------------------------------
+    # Phase 2: executor drills, one fault per drill
+    # ------------------------------------------------------------------
+    expected = {"crash": "failed", "kill": "failed", "hang": "failed"}
+    for fault in runtime_faults:
+        spec = make_chaos_job(
+            fault,
+            timeout_sec=1.0 if fault == "hang" else None,
+            hang_sec=30.0,
+            seed=seed,
+        )
+        executor = BatchExecutor(
+            ExecutorConfig(workers=max(2, workers), timeout_sec=60.0,
+                           max_attempts=2)
+        )
+        try:
+            drill = executor.run([spec], chaos_worker)
+        except Exception as exc:  # noqa: BLE001
+            report.violations.append(
+                f"executor raised for fault {fault!r}: {exc!r}"
+            )
+            continue
+        if len(drill) != 1:
+            report.violations.append(
+                f"executor drill {fault!r} lost its job result"
+            )
+            continue
+        result = drill[0]
+        report.drill_statuses[spec.label] = result.status
+        if result.status != expected.get(fault, "ok"):
+            report.violations.append(
+                f"fault {fault!r} resolved to {result.status!r}, "
+                f"expected {expected.get(fault, 'ok')!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Phase 3: torn cache write -> quarantine + transparent re-fit
+    # ------------------------------------------------------------------
+    cache = ProfileCache(cache_dir)
+    key = cache.key_for(
+        data_dir / "00_clean.jsonl", fit_kwargs=None, repair_policy=policy
+    )
+    if cache.path_for(key).exists():
+        tear_cache_entry(cache, key)
+        report.injected.append(
+            {"surface": "cache", "fault": "torn_write", "target": key[:12]}
+        )
+        if cache.get_profile(key) is not None:
+            report.violations.append(
+                "torn cache entry was served instead of quarantined"
+            )
+        refit, hit = cache.fit_cached(
+            data_dir / "00_clean.jsonl", repair_policy=policy
+        )
+        if hit or refit is None:
+            report.violations.append(
+                "cache did not transparently re-fit after quarantine"
+            )
+    else:
+        report.violations.append(
+            "expected a cache entry for the clean trace to tear"
+        )
+    quarantine = cache.root / "quarantine"
+    report.quarantined = (
+        len(list(quarantine.glob("*.json"))) if quarantine.exists() else 0
+    )
+    if report.quarantined < 1:
+        report.violations.append("quarantine directory is empty after tear")
+    return report

@@ -1,0 +1,171 @@
+"""Numerical training guards: NaN/Inf detection and best-so-far rollback.
+
+Training an LSTM on raw path traces is exactly where RBU
+(arXiv:2202.13870) reports instability: one NaN burst in the features,
+one exploding batch, and every parameter is garbage from that step on —
+but the fit still "succeeds" and returns a diverged model.
+
+:class:`DivergenceGuard` wraps a training loop with three defenses:
+
+* **step veto** — an update whose loss is non-finite or whose (pre-clip)
+  gradient norm exceeds ``max_grad_norm`` is skipped entirely
+  (``guard.skipped_updates``), so poisoned gradients never reach the
+  optimizer;
+* **best-so-far snapshots** — parameters are checkpointed (in memory)
+  whenever an epoch improves on the best finite loss seen;
+* **final rollback** — if training ends diverged (non-finite final loss,
+  or worse than ``rollback_tolerance ×`` the best epoch), the best
+  snapshot is restored (``guard.divergence_rollbacks``) so callers get
+  the best finite model instead of the last one.
+
+The guard is deliberately loop-shaped rather than model-shaped: anything
+exposing ``state_dict()`` / ``load_state_dict()`` can be guarded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import obs
+
+_log = obs.get_logger("repro.guard")
+
+
+class DivergenceGuard:
+    """Watchdog for one training run of a ``Module``-like model."""
+
+    def __init__(
+        self,
+        model,
+        max_grad_norm: float = 1e4,
+        rollback_tolerance: float = 2.0,
+        label: str = "train",
+    ):
+        self.model = model
+        self.max_grad_norm = max_grad_norm
+        self.rollback_tolerance = rollback_tolerance
+        self.label = label
+        self.skipped_updates = 0
+        self.rolled_back = False
+        self.best_loss = math.inf
+        # The pre-training state is the floor: a run that never produces
+        # a finite epoch still rolls back to sane initial parameters.
+        self._best_state = self._snapshot()
+
+    # ------------------------------------------------------------------
+    # Per-batch: veto poisoned updates
+    # ------------------------------------------------------------------
+    def allow_update(self, loss: float, grad_norm: float) -> bool:
+        """True if this batch's optimizer step may proceed."""
+        healthy = (
+            math.isfinite(loss)
+            and math.isfinite(grad_norm)
+            and grad_norm <= self.max_grad_norm
+        )
+        if not healthy:
+            self.skipped_updates += 1
+            obs.metrics().counter("guard.skipped_updates").inc()
+            _log.warning(
+                "guard.update_skipped",
+                label=self.label,
+                loss=float(loss) if math.isfinite(loss) else str(loss),
+                grad_norm=(
+                    float(grad_norm)
+                    if math.isfinite(grad_norm)
+                    else str(grad_norm)
+                ),
+            )
+        return healthy
+
+    # ------------------------------------------------------------------
+    # Per-epoch: track the best finite parameters
+    # ------------------------------------------------------------------
+    def note_epoch(self, mean_loss: float) -> None:
+        if math.isfinite(mean_loss) and mean_loss < self.best_loss:
+            self.best_loss = mean_loss
+            self._best_state = self._snapshot()
+
+    # ------------------------------------------------------------------
+    # End of training: roll back if the run diverged
+    # ------------------------------------------------------------------
+    def finalize(self, final_loss: float) -> bool:
+        """Restore the best snapshot if the run ended diverged.
+
+        Returns True when a rollback happened.  "Diverged" means the
+        final epoch loss is non-finite, the parameters contain
+        non-finite values, or the loss regressed past
+        ``rollback_tolerance ×`` the best epoch (sign-aware: NLL losses
+        are frequently negative).
+        """
+        diverged = not math.isfinite(final_loss) or not self._params_finite()
+        if not diverged and math.isfinite(self.best_loss):
+            # Tolerance band above the best loss, scaled by its
+            # magnitude so negative NLLs are handled symmetrically.
+            span = (self.rollback_tolerance - 1.0) * max(
+                abs(self.best_loss), 1.0
+            )
+            diverged = final_loss > self.best_loss + span
+        if not diverged:
+            return False
+        self.model.load_state_dict(self._best_state)
+        self.rolled_back = True
+        obs.metrics().counter("guard.divergence_rollbacks").inc()
+        _log.warning(
+            "guard.divergence_rollback",
+            label=self.label,
+            final_loss=(
+                float(final_loss)
+                if math.isfinite(final_loss)
+                else str(final_loss)
+            ),
+            best_loss=(
+                float(self.best_loss)
+                if math.isfinite(self.best_loss)
+                else str(self.best_loss)
+            ),
+            skipped_updates=self.skipped_updates,
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Dict[str, np.ndarray]:
+        return {
+            name: value.copy()
+            for name, value in self.model.state_dict().items()
+        }
+
+    def _params_finite(self) -> bool:
+        return all(
+            np.all(np.isfinite(p.value)) for p in self.model.parameters()
+        )
+
+
+def sanitize_training_arrays(
+    features: np.ndarray,
+    targets: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+):
+    """Mask out rows with non-finite features or targets.
+
+    Returns ``(features, targets, mask, n_bad)``: bad rows are excluded
+    from the mask and their values zeroed so scaler statistics and
+    padded batches stay finite.  Counts ``guard.nonfinite_inputs``.
+    """
+    finite_rows = np.isfinite(features).all(axis=1) & np.isfinite(targets)
+    if mask is None:
+        mask = np.ones(len(targets), dtype=bool)
+    n_bad = int((~finite_rows & mask).sum())
+    if n_bad == 0 and bool(finite_rows.all()):
+        return features, targets, mask, 0
+    features = np.where(finite_rows[:, None], features, 0.0)
+    targets = np.where(finite_rows, targets, 0.0)
+    mask = mask & finite_rows
+    if n_bad:
+        obs.metrics().counter("guard.nonfinite_inputs").inc(n_bad)
+        _log.warning("guard.nonfinite_inputs", rows=n_bad)
+    return features, targets, mask, n_bad

@@ -1,0 +1,226 @@
+"""Trace sanitize/repair pipeline (the hardening half of repro.guard).
+
+Real packet traces are messy: capture glitches duplicate transmission
+ids, clock skew makes deliveries precede sends, a logger hiccup writes
+NaN timestamps.  The paper's whole pipeline (§2–§4) sits downstream of
+these files, so every loader accepts a *repair policy*:
+
+``strict``
+    Invariant violations raise (today's behaviour, the default).
+``repair``
+    Violations are fixed record-by-record — duplicates dropped, negative
+    delays voided to loss, non-finite fields removed — and the actions
+    are counted in :class:`RepairReport` and the ``guard.repairs``
+    metric.
+``skip``
+    Violations are tolerated: the trace loads as-is (malformed *lines*
+    are still skipped by the I/O layer) and the caller deals with it.
+
+The contract: :func:`repair_trace` output always passes
+:func:`repro.trace.validate.validate_trace` for the structural
+invariants it knows how to fix, and every mutation is counted so a
+"repaired" fit is never silently indistinguishable from a clean one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.trace.records import PacketRecord, Trace
+
+_log = obs.get_logger("repro.guard")
+
+#: The three load-time policies understood across the stack.
+REPAIR_POLICIES = ("strict", "repair", "skip")
+
+#: Delays beyond this are voided to loss under ``repair`` (mirrors the
+#: validator's default plausibility ceiling).
+MAX_PLAUSIBLE_DELAY = 60.0
+
+
+def check_policy(policy: str) -> str:
+    if policy not in REPAIR_POLICIES:
+        raise ValueError(
+            f"unknown repair policy {policy!r}; use one of {REPAIR_POLICIES}"
+        )
+    return policy
+
+
+@dataclass
+class RepairReport:
+    """What :func:`repair_trace` did to one trace."""
+
+    trace: Trace
+    #: Action name -> how many records it touched.
+    actions: Dict[str, int] = field(default_factory=dict)
+    #: Records removed outright (subset of the actions above).
+    dropped: int = 0
+
+    @property
+    def repaired(self) -> bool:
+        return bool(self.actions)
+
+    @property
+    def total_repairs(self) -> int:
+        return sum(self.actions.values())
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "flow_id": self.trace.flow_id,
+            "actions": dict(self.actions),
+            "dropped": self.dropped,
+        }
+
+
+def _finite(x: float) -> bool:
+    return isinstance(x, (int, float)) and math.isfinite(x)
+
+
+def repair_trace(
+    trace: Trace,
+    min_plausible_delay: float = 1e-6,
+    max_plausible_delay: float = MAX_PLAUSIBLE_DELAY,
+) -> RepairReport:
+    """Fix every structural invariant violation the validator can flag.
+
+    Record-level repairs, in order:
+
+    * drop records whose ``sent_at`` is non-finite or negative, or whose
+      ``size`` is non-finite or non-positive (nothing downstream can use
+      them);
+    * drop all but the first record sharing a transmission ``uid``;
+    * void deliveries that precede their send (clock skew) or exceed the
+      plausibility ceiling to loss (``delivered_at = nan`` — the paper's
+      "infinite delay" encoding), likewise ``±inf`` deliveries;
+    * re-flag duplicate first-transmission sequence numbers as
+      retransmits (keeping the earliest as the original);
+    * extend a declared duration that the send timestamps overrun.
+
+    The input trace is never mutated; the report's ``trace`` is a new
+    object (or the input itself when nothing needed fixing).
+    """
+    actions: Dict[str, int] = {}
+
+    def note(action: str, count: int = 1) -> None:
+        if count:
+            actions[action] = actions.get(action, 0) + count
+
+    kept: List[PacketRecord] = []
+    seen_uids = set()
+    dropped = 0
+    changed = False
+    for r in trace.records:  # already sorted by (sent_at, uid)
+        if not _finite(r.sent_at) or r.sent_at < 0:
+            note("drop_bad_sent_at")
+            dropped += 1
+            changed = True
+            continue
+        if not _finite(r.size) or r.size <= 0:
+            note("drop_bad_size")
+            dropped += 1
+            changed = True
+            continue
+        if r.uid in seen_uids:
+            note("drop_duplicate_uid")
+            dropped += 1
+            changed = True
+            continue
+        seen_uids.add(r.uid)
+
+        delivered = r.delivered_at
+        if not math.isnan(delivered) and not math.isfinite(delivered):
+            note("void_nonfinite_delivery")
+            delivered = math.nan
+        elif not math.isnan(delivered):
+            delay = delivered - r.sent_at
+            if delay < min_plausible_delay:
+                note("void_negative_delay")
+                delivered = math.nan
+            elif delay > max_plausible_delay:
+                note("void_implausible_delay")
+                delivered = math.nan
+        if delivered is not r.delivered_at and not (
+            math.isnan(delivered) and math.isnan(r.delivered_at)
+        ):
+            r = PacketRecord(
+                uid=r.uid,
+                seq=r.seq,
+                size=r.size,
+                sent_at=r.sent_at,
+                delivered_at=delivered,
+                is_retransmit=r.is_retransmit,
+            )
+            changed = True
+        kept.append(r)
+
+    # Duplicate first-transmission seqs: the earliest stays the
+    # original, later copies become retransmits.
+    seen_seqs = set()
+    for k, r in enumerate(kept):
+        if r.is_retransmit:
+            continue
+        if r.seq in seen_seqs:
+            note("mark_retransmit")
+            kept[k] = PacketRecord(
+                uid=r.uid,
+                seq=r.seq,
+                size=r.size,
+                sent_at=r.sent_at,
+                delivered_at=r.delivered_at,
+                is_retransmit=True,
+            )
+            changed = True
+        else:
+            seen_seqs.add(r.seq)
+
+    duration = trace.duration
+    if not _finite(duration) or duration <= 0:
+        note("fix_duration")
+        duration = max((r.sent_at for r in kept), default=0.0) + 1e-3
+        changed = True
+    max_sent = max((r.sent_at for r in kept), default=0.0)
+    if max_sent > duration + 1e-9:
+        note("extend_duration")
+        duration = max_sent + 1e-9
+        changed = True
+
+    if not changed:
+        return RepairReport(trace=trace)
+
+    repaired = Trace(
+        trace.flow_id,
+        kept,
+        duration=duration,
+        protocol=trace.protocol,
+        metadata={**trace.metadata, "repaired": dict(actions)},
+    )
+    report = RepairReport(trace=repaired, actions=actions, dropped=dropped)
+    obs.metrics().counter("guard.repairs").inc(report.total_repairs)
+    _log.warning(
+        "guard.trace_repaired",
+        flow_id=trace.flow_id,
+        dropped=dropped,
+        **actions,
+    )
+    return report
+
+
+def sanitize_trace(trace: Trace, policy: str = "strict") -> Trace:
+    """Apply a repair policy to an already-loaded trace.
+
+    ``strict`` raises on any invariant violation (via
+    :func:`repro.trace.validate.assert_valid`); ``repair`` returns the
+    repaired trace; ``skip`` returns the input untouched.
+    """
+    from repro.trace.validate import assert_valid
+
+    check_policy(policy)
+    if policy == "skip":
+        return trace
+    if policy == "strict":
+        assert_valid(trace)
+        return trace
+    return repair_trace(trace).trace

@@ -11,6 +11,7 @@ orchestrates because the feedback loop is domain logic.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -91,6 +92,7 @@ class GaussianSequenceModel(Module):
         clip_norm: float = 5.0,
         seed: int = 0,
         verbose: bool = False,
+        max_grad_norm: float = 1e4,
     ) -> TrainingLog:
         """Teacher-forced maximum-likelihood training.
 
@@ -98,13 +100,24 @@ class GaussianSequenceModel(Module):
         ``masks[i]`` (optional, boolean) excludes positions (lost packets)
         from the loss.  Variable lengths are padded per batch; padding is
         always masked out.
+
+        Training is watched by a :class:`repro.guard.DivergenceGuard`:
+        updates with non-finite loss or pre-clip gradient norm beyond
+        ``max_grad_norm`` are skipped, and a run that ends diverged
+        rolls the parameters back to the best finite epoch instead of
+        returning garbage.
         """
+        from repro.guard.numeric import DivergenceGuard
+
         if len(sequences) != len(targets):
             raise ValueError("sequences and targets must align")
         if masks is not None and len(masks) != len(sequences):
             raise ValueError("masks must align with sequences")
         rng = np.random.default_rng(seed)
         optimizer = Adam(self.parameters(), lr=lr)
+        guard = DivergenceGuard(
+            self, max_grad_norm=max_grad_norm, label="gaussian"
+        )
         log = TrainingLog()
         indices = np.arange(len(sequences))
         with obs.span(
@@ -129,16 +142,21 @@ class GaussianSequenceModel(Module):
                     loss, grad_mu, grad_log_sigma = gaussian_nll(
                         mu, log_sigma, y, mask
                     )
-                    self.backward(grad_mu, grad_log_sigma)
-                    norm = clip_gradients_by_global_norm(
-                        self.parameters(), clip_norm
-                    )
-                    optimizer.step()
+                    norm = float("nan")
+                    if guard.allow_update(loss, 0.0):
+                        self.backward(grad_mu, grad_log_sigma)
+                        norm = clip_gradients_by_global_norm(
+                            self.parameters(), clip_norm
+                        )
+                        if guard.allow_update(loss, norm):
+                            optimizer.step()
                     epoch_loss += loss
-                    epoch_norm += norm
+                    if math.isfinite(norm):
+                        epoch_norm += norm
                     batches += 1
                 log.losses.append(epoch_loss / max(batches, 1))
                 log.grad_norms.append(epoch_norm / max(batches, 1))
+                guard.note_epoch(log.losses[-1])
                 obs.metrics().histogram("ml.sec_per_epoch").observe(
                     time.perf_counter() - epoch_start
                 )
@@ -151,6 +169,7 @@ class GaussianSequenceModel(Module):
                     nll=round(log.losses[-1], 6),
                     grad_norm=round(log.grad_norms[-1], 4),
                 )
+        guard.finalize(log.final_loss)
         return log
 
     # ------------------------------------------------------------------
@@ -214,12 +233,18 @@ class BernoulliSequenceModel(Module):
         pos_weight: float = 1.0,
         seed: int = 0,
         verbose: bool = False,
+        max_grad_norm: float = 1e4,
     ) -> TrainingLog:
         """Teacher-free BCE training on (T_i, D) sequences of binary labels."""
+        from repro.guard.numeric import DivergenceGuard
+
         if len(sequences) != len(labels):
             raise ValueError("sequences and labels must align")
         rng = np.random.default_rng(seed)
         optimizer = Adam(self.parameters(), lr=lr)
+        guard = DivergenceGuard(
+            self, max_grad_norm=max_grad_norm, label="bernoulli"
+        )
         log = TrainingLog()
         indices = np.arange(len(sequences))
         with obs.span(
@@ -242,15 +267,18 @@ class BernoulliSequenceModel(Module):
                     loss, grad = binary_cross_entropy_with_logits(
                         logits, y, mask, pos_weight=pos_weight
                     )
-                    self.backward(grad)
-                    norm = clip_gradients_by_global_norm(
-                        self.parameters(), clip_norm
-                    )
-                    optimizer.step()
+                    if guard.allow_update(loss, 0.0):
+                        self.backward(grad)
+                        norm = clip_gradients_by_global_norm(
+                            self.parameters(), clip_norm
+                        )
+                        if guard.allow_update(loss, norm):
+                            optimizer.step()
+                        log.grad_norms.append(norm)
                     epoch_loss += loss
-                    log.grad_norms.append(norm)
                     batches += 1
                 log.losses.append(epoch_loss / max(batches, 1))
+                guard.note_epoch(log.losses[-1])
                 obs.metrics().histogram("ml.sec_per_epoch").observe(
                     time.perf_counter() - epoch_start
                 )
@@ -262,6 +290,7 @@ class BernoulliSequenceModel(Module):
                     epochs=epochs,
                     bce=round(log.losses[-1], 6),
                 )
+        guard.finalize(log.final_loss)
         return log
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

@@ -39,6 +39,8 @@ from repro.runtime.jobs import (
 from repro.runtime.manifest import RunManifest
 from repro.trace.io import PathLike
 
+_log = obs.get_logger("repro.runtime")
+
 
 # ----------------------------------------------------------------------
 # Stock workers (module-level: must pickle into worker processes)
@@ -52,6 +54,7 @@ def fit_worker(spec: JobSpec) -> Dict[str, Any]:
         spec.params["trace_path"],
         spec.params.get("fit_kwargs") or {},
         trace_digest=spec.params.get("trace_digest"),
+        repair_policy=spec.params.get("repair_policy", "strict"),
     )
     return {"profile": to_profile(model), "cache_hit": hit}
 
@@ -63,11 +66,13 @@ def simulate_worker(spec: JobSpec) -> Dict[str, Any]:
     from repro.trace.metrics import summarize
 
     params = spec.params
+    policy = params.get("repair_policy", "strict")
     cache = ProfileCache(params.get("cache_dir"))
     model, hit = cache.fit_cached(
         params["trace_path"],
         params.get("fit_kwargs") or {},
         trace_digest=params.get("trace_digest"),
+        repair_policy=policy,
     )
     duration = params.get("duration")
     seed = int(params.get("seed", 0))
@@ -78,7 +83,9 @@ def simulate_worker(spec: JobSpec) -> Dict[str, Any]:
         if sim_duration is None:
             from repro.trace.io import load_trace
 
-            sim_duration = load_trace(params["trace_path"]).duration
+            sim_duration = load_trace(
+                params["trace_path"], policy=policy
+            ).duration
         predicted = model.simulate(protocol, duration=sim_duration, seed=seed)
         summary = summarize(predicted)
         summaries[protocol] = {
@@ -125,21 +132,70 @@ def run_jobs(
     specs: Sequence[JobSpec],
     config: Optional[ExecutorConfig] = None,
     command: str = "batch",
+    resume_manifest: Optional[RunManifest] = None,
 ) -> Tuple[List[JobResult], RunManifest]:
     """Execute heterogeneous specs with the stock workers; build a manifest.
 
     Kinds are dispatched per-spec, so one batch may mix fit, simulate,
     and experiment jobs.
+
+    With ``resume_manifest``, specs whose ``job_id`` already completed
+    ``ok`` in that manifest are *not* executed: their prior row is
+    carried into the new manifest (marked ``resumed``) and their result
+    comes back with ``resumed=True`` and ``value=None``.  Failed and
+    never-started jobs re-run, so resuming an interrupted batch yields
+    a manifest equivalent to an uninterrupted one.
     """
     config = config or ExecutorConfig()
     # perf_counter for the duration; the ISO stamp is presentation only.
     started_perf = time.perf_counter()
     started_at = datetime.now(timezone.utc).isoformat()
+
+    completed: Dict[str, dict] = {}
+    if resume_manifest is not None:
+        completed = {
+            row["job_id"]: row
+            for row in resume_manifest.jobs
+            if row["status"] == "ok"
+        }
+    to_run = [s for s in specs if s.job_id not in completed]
+    skipped = len(specs) - len(to_run)
+    if skipped:
+        obs.metrics().counter("batch.resumed_jobs").inc(skipped)
+        _log.info(
+            "batch.resume",
+            resumed_from=resume_manifest.run_id,
+            completed=skipped,
+            to_run=len(to_run),
+        )
+
     executor = BatchExecutor(config)
     with obs.span(
-        "batch.run", command=command, jobs=len(specs), workers=config.workers
+        "batch.run", command=command, jobs=len(to_run), workers=config.workers
     ):
-        results = executor.run(specs, _dispatch)
+        run_results = executor.run(to_run, _dispatch)
+
+    # Positional re-merge (a batch may legitimately contain duplicate
+    # job_ids, e.g. the same trace listed twice).
+    run_iter = iter(run_results)
+    results: List[JobResult] = []
+    for spec in specs:
+        if spec.job_id in completed:
+            row = completed[spec.job_id]
+            results.append(
+                JobResult(
+                    spec=spec,
+                    status="ok",
+                    value=None,
+                    attempts=row.get("attempts", 1),
+                    duration_sec=row.get("duration_sec", 0.0),
+                    cache_hit=bool(row.get("cache_hit")),
+                    resumed=True,
+                )
+            )
+        else:
+            results.append(next(run_iter))
+
     manifest = RunManifest.from_results(
         results,
         command=command,
@@ -147,6 +203,9 @@ def run_jobs(
         started_perf=started_perf,
         started_at_iso=started_at,
         degraded_to_serial=executor.degraded_to_serial,
+        resumed_from=(
+            resume_manifest.run_id if resume_manifest is not None else None
+        ),
         metrics=obs.metrics_snapshot(),
     )
     return results, manifest
@@ -169,12 +228,23 @@ def run_batch(
     output_dir: Optional[PathLike] = None,
     manifest_dir: Optional[PathLike] = None,
     config: Optional[ExecutorConfig] = None,
+    repair_policy: str = "strict",
+    resume_from: Optional[PathLike] = None,
 ) -> Tuple[List[JobResult], RunManifest, Optional[Path]]:
     """The ``repro batch`` pipeline: one simulate job per trace.
 
     Returns ``(results, manifest, manifest_path)``; the manifest is
-    written only when ``manifest_dir`` is given.
+    written only when ``manifest_dir`` is given.  ``repair_policy``
+    (``strict|repair|skip``) governs how corrupt traces are loaded and
+    is part of each job's identity.  ``resume_from`` points at a prior
+    run's manifest: jobs recorded there as ``ok`` are skipped.
     """
+    from repro.guard.repair import check_policy
+
+    check_policy(repair_policy)
+    resume_manifest = (
+        RunManifest.load(resume_from) if resume_from is not None else None
+    )
     specs = [
         make_simulate_job(
             path,
@@ -184,10 +254,16 @@ def run_batch(
             fit_kwargs=fit_kwargs,
             cache_dir=None if cache_dir is None else str(cache_dir),
             output_dir=None if output_dir is None else str(output_dir),
+            repair_policy=repair_policy,
         )
         for path in trace_paths
     ]
-    results, manifest = run_jobs(specs, config=config, command="batch")
+    results, manifest = run_jobs(
+        specs,
+        config=config,
+        command="batch",
+        resume_manifest=resume_manifest,
+    )
     manifest_path = manifest.write(manifest_dir) if manifest_dir else None
     return results, manifest, manifest_path
 

@@ -28,6 +28,8 @@ from repro.trace.io import PathLike, trace_file_digest
 #: Environment override for the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+_log = obs.get_logger("repro.runtime")
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/profiles``."""
@@ -59,8 +61,14 @@ class ProfileCache:
         trace_path: PathLike,
         fit_kwargs: Optional[Dict[str, Any]] = None,
         trace_digest: Optional[str] = None,
+        repair_policy: str = "strict",
     ) -> str:
-        """The cache key for fitting one trace with given parameters."""
+        """The cache key for fitting one trace with given parameters.
+
+        ``repair_policy`` is part of the key: a profile fitted from a
+        repaired trace is a different artifact than one fitted strictly
+        from the same bytes.
+        """
         from repro.core.iboxnet import PROFILE_VERSION
 
         digest = trace_digest or trace_file_digest(trace_path)
@@ -69,6 +77,7 @@ class ProfileCache:
             {
                 "fit_kwargs": dict(fit_kwargs or {}),
                 "profile_version": PROFILE_VERSION,
+                "repair_policy": repair_policy,
             },
             digest,
         )
@@ -76,13 +85,24 @@ class ProfileCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self.root / "quarantine"
+
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
+
+    def _entries(self):
+        return (
+            p for p in self.root.glob("*/*.json")
+            if p.parent.name != "quarantine"
+        )
 
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entries())
 
     # ------------------------------------------------------------------
     # Get / put
@@ -90,8 +110,10 @@ class ProfileCache:
     def get_profile(self, key: str) -> Optional[dict]:
         """The raw profile dict for ``key``, or ``None`` on miss.
 
-        A corrupt entry (torn write from a killed process, manual edit)
-        counts as a miss and is removed, so the caller re-fits.
+        A corrupt entry (torn write from a killed process, manual edit,
+        wrong schema) counts as a miss and is *quarantined* — moved to
+        ``<root>/quarantine/`` rather than deleted, so the damage stays
+        inspectable while the caller re-fits into a clean slot.
         """
         path = self.path_for(key)
         try:
@@ -101,20 +123,45 @@ class ProfileCache:
             obs.metrics().counter("cache.misses").inc()
             return None
         except (json.JSONDecodeError, OSError):
+            self._quarantine(path, "undecodable json")
             self.misses += 1
             obs.metrics().counter("cache.misses").inc()
-            path.unlink(missing_ok=True)
+            return None
+        if not isinstance(profile, dict) or "profile_version" not in profile:
+            self._quarantine(path, "not a profile object")
+            self.misses += 1
+            obs.metrics().counter("cache.misses").inc()
             return None
         self.hits += 1
         obs.metrics().counter("cache.hits").inc()
         return profile
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            # Quarantine is best-effort; a vanished file is already gone.
+            path.unlink(missing_ok=True)
+        obs.metrics().counter("cache.quarantined").inc()
+        _log.warning(
+            "cache.quarantined", entry=path.name, reason=reason
+        )
 
     def get(self, key: str):
         """The cached :class:`IBoxNetModel` for ``key``, or ``None``."""
         from repro.core.iboxnet import from_profile
 
         profile = self.get_profile(key)
-        return None if profile is None else from_profile(profile)
+        if profile is None:
+            return None
+        try:
+            return from_profile(profile)
+        except (KeyError, TypeError, ValueError):
+            # Valid JSON, structurally wrong: quarantine like any other
+            # corruption and treat as a miss.
+            self._quarantine(self.path_for(key), "unloadable profile")
+            return None
 
     def put_profile(self, key: str, profile: dict) -> Path:
         """Atomically write a profile dict under ``key``."""
@@ -138,21 +185,28 @@ class ProfileCache:
         trace_path: PathLike,
         fit_kwargs: Optional[Dict[str, Any]] = None,
         trace_digest: Optional[str] = None,
+        repair_policy: str = "strict",
     ) -> Tuple[Any, bool]:
         """Fit ``trace_path`` through the cache.
 
-        Returns ``(model, cache_hit)``; on a miss the trace is loaded,
-        fitted, and the resulting profile stored before returning.
+        Returns ``(model, cache_hit)``; on a miss the trace is loaded
+        under ``repair_policy``, fitted, and the resulting profile
+        stored before returning.
         """
         from repro.core import iboxnet
         from repro.trace.io import load_trace
 
-        key = self.key_for(trace_path, fit_kwargs, trace_digest=trace_digest)
+        key = self.key_for(
+            trace_path,
+            fit_kwargs,
+            trace_digest=trace_digest,
+            repair_policy=repair_policy,
+        )
         model = self.get(key)
         if model is not None:
             return model, True
         with obs.span("cache.fit_miss", trace=str(trace_path)):
-            trace = load_trace(trace_path)
+            trace = load_trace(trace_path, policy=repair_policy)
             model = iboxnet.fit(trace, **(fit_kwargs or {}))
             self.put(key, model)
         return model, False
@@ -164,11 +218,11 @@ class ProfileCache:
         return {"hits": self.hits, "misses": self.misses}
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every live entry (quarantine is kept); returns count."""
         removed = 0
         if not self.root.exists():
             return removed
-        for path in self.root.glob("*/*.json"):
+        for path in list(self._entries()):
             path.unlink(missing_ok=True)
             removed += 1
         return removed

@@ -58,6 +58,12 @@ class ExecutorConfig:
     workers: int = 1
     timeout_sec: Optional[float] = None
     max_attempts: int = 2
+    #: Total wall-clock budget for the whole batch.  When it runs out,
+    #: jobs not yet finished are recorded as failed with error type
+    #: ``BudgetExhausted`` — the manifest stays complete (every job is
+    #: ``ok`` or ``failed``) and a later ``--resume`` picks up exactly
+    #: the unfinished ones.
+    budget_sec: Optional[float] = None
     backoff_sec: float = 0.25
     #: Backoff jitter as a +/- fraction of the exponential delay (0.5 =>
     #: each sleep is uniform in [0.5x, 1.5x]).  Jitter decorrelates
@@ -72,6 +78,8 @@ class ExecutorConfig:
             raise ValueError("max_attempts must be >= 1")
         if not 0 <= self.jitter <= 1:
             raise ValueError("jitter must be in [0, 1]")
+        if self.budget_sec is not None and self.budget_sec <= 0:
+            raise ValueError("budget_sec must be positive")
 
 
 def _guarded(
@@ -138,10 +146,15 @@ class BatchExecutor:
         """Execute every spec; one :class:`JobResult` per spec, in order."""
         if not specs:
             return []
+        deadline = (
+            time.perf_counter() + self.config.budget_sec
+            if self.config.budget_sec is not None
+            else None
+        )
         if self.config.workers == 1:
-            return [self._run_serial(spec, worker) for spec in specs]
+            return self._run_all_serial(specs, worker, deadline)
         try:
-            return self._run_pool(specs, worker)
+            return self._run_pool(specs, worker, deadline)
         except (OSError, PermissionError, ValueError):
             # Pool could not even be constructed: degrade, don't die.
             self.degraded_to_serial = True
@@ -151,7 +164,36 @@ class BatchExecutor:
                 workers=self.config.workers,
                 jobs=len(specs),
             )
-            return [self._run_serial(spec, worker) for spec in specs]
+            return self._run_all_serial(specs, worker, deadline)
+
+    def _effective_timeout(self, spec: JobSpec) -> Optional[float]:
+        """Per-spec timeout override, else the config default."""
+        if spec.timeout_sec is not None:
+            return spec.timeout_sec
+        return self.config.timeout_sec
+
+    def _budget_exhausted_result(self, spec: JobSpec) -> JobResult:
+        obs.metrics().counter("executor.budget_exhausted").inc()
+        _log.warning(
+            "executor.budget_exhausted",
+            job_id=spec.job_id,
+            label=spec.label,
+            budget_sec=self.config.budget_sec,
+        )
+        return self._record_outcome(
+            JobResult(
+                spec=spec,
+                status="failed",
+                error=JobError(
+                    error_type="BudgetExhausted",
+                    message=(
+                        f"batch budget of {self.config.budget_sec}s ran out "
+                        "before this job finished"
+                    ),
+                ),
+                attempts=0,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Backoff
@@ -186,6 +228,27 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     # Serial path (workers == 1, or pool unavailable)
     # ------------------------------------------------------------------
+    def _run_all_serial(
+        self,
+        specs: Sequence[JobSpec],
+        worker: Callable[[JobSpec], object],
+        deadline: Optional[float] = None,
+    ) -> List[JobResult]:
+        """Serial execution with the budget checked between jobs.
+
+        In-process execution cannot preempt a running job, so per-job
+        timeouts do not apply here; the budget is enforced at job
+        boundaries (a job started before the deadline runs to
+        completion).
+        """
+        results: List[JobResult] = []
+        for spec in specs:
+            if deadline is not None and time.perf_counter() >= deadline:
+                results.append(self._budget_exhausted_result(spec))
+                continue
+            results.append(self._run_serial(spec, worker))
+        return results
+
     def _run_serial(
         self, spec: JobSpec, worker: Callable[[JobSpec], object]
     ) -> JobResult:
@@ -224,13 +287,20 @@ class BatchExecutor:
     # Parallel path
     # ------------------------------------------------------------------
     def _run_pool(
-        self, specs: Sequence[JobSpec], worker: Callable[[JobSpec], object]
+        self,
+        specs: Sequence[JobSpec],
+        worker: Callable[[JobSpec], object],
+        deadline: Optional[float] = None,
     ) -> List[JobResult]:
         results: List[Optional[JobResult]] = [None] * len(specs)
         # (index, attempt) still owed a result.
         pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(specs))]
         obs_ctx = obs.current_context()
         while pending:
+            if deadline is not None and time.perf_counter() >= deadline:
+                for i, _ in pending:
+                    results[i] = self._budget_exhausted_result(specs[i])
+                break
             retry: List[Tuple[int, int]] = []
             had_timeout = False
             pool = ProcessPoolExecutor(max_workers=self.config.workers)
@@ -245,21 +315,42 @@ class BatchExecutor:
                 ]
                 for i, attempt, fut in futures:
                     spec = specs[i]
-                    try:
-                        status, payload, duration, telemetry = fut.result(
-                            timeout=self.config.timeout_sec
-                        )
-                    except FutureTimeout:
-                        # Deterministic work that blew the budget once
-                        # will blow it again — fail, don't retry.
+                    job_timeout = self._effective_timeout(spec)
+                    remaining = (
+                        None if deadline is None
+                        else deadline - time.perf_counter()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        # Budget gone before this job's turn: don't wait.
                         had_timeout = True
                         fut.cancel()
+                        results[i] = self._budget_exhausted_result(spec)
+                        continue
+                    wait_timeout = job_timeout
+                    if remaining is not None:
+                        wait_timeout = (
+                            remaining if wait_timeout is None
+                            else min(wait_timeout, remaining)
+                        )
+                    try:
+                        status, payload, duration, telemetry = fut.result(
+                            timeout=wait_timeout
+                        )
+                    except FutureTimeout:
+                        had_timeout = True
+                        fut.cancel()
+                        if job_timeout is None or wait_timeout < job_timeout:
+                            # The batch budget, not the job's own limit.
+                            results[i] = self._budget_exhausted_result(spec)
+                            continue
+                        # Deterministic work that blew the budget once
+                        # will blow it again — fail, don't retry.
                         obs.metrics().counter("executor.timeouts").inc()
                         _log.warning(
                             "executor.timeout",
                             job_id=spec.job_id,
                             label=spec.label,
-                            timeout_sec=self.config.timeout_sec,
+                            timeout_sec=job_timeout,
                         )
                         results[i] = self._record_outcome(
                             JobResult(
@@ -268,11 +359,11 @@ class BatchExecutor:
                                 error=JobError(
                                     error_type="TimeoutError",
                                     message=(
-                                        f"job exceeded {self.config.timeout_sec}s"
+                                        f"job exceeded {job_timeout}s"
                                     ),
                                 ),
                                 attempts=attempt,
-                                duration_sec=self.config.timeout_sec or 0.0,
+                                duration_sec=job_timeout or 0.0,
                             )
                         )
                         continue

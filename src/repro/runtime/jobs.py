@@ -55,6 +55,9 @@ class JobSpec:
     job_id: str
     label: str
     params: Dict[str, Any] = field(default_factory=dict)
+    #: Per-job wall-clock limit; overrides ``ExecutorConfig.timeout_sec``
+    #: for this spec only (pool path).  Operational — not part of job_id.
+    timeout_sec: Optional[float] = None
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -97,6 +100,9 @@ class JobResult:
     attempts: int = 1
     duration_sec: float = 0.0
     cache_hit: bool = False
+    #: True when this result was carried over from a prior manifest by
+    #: ``repro batch --resume`` instead of being executed (value is None).
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -112,6 +118,7 @@ class JobResult:
             "attempts": self.attempts,
             "duration_sec": round(self.duration_sec, 6),
             "cache_hit": self.cache_hit,
+            "resumed": self.resumed,
             "error": self.error.describe() if self.error else None,
         }
 
@@ -120,14 +127,22 @@ def make_fit_job(
     trace_path: PathLike,
     fit_kwargs: Optional[Dict[str, Any]] = None,
     extra_params: Optional[Dict[str, Any]] = None,
+    repair_policy: str = "strict",
 ) -> JobSpec:
-    """A fit job whose id covers the trace *bytes* plus fit parameters."""
+    """A fit job whose id covers the trace *bytes* plus fit parameters.
+
+    ``repair_policy`` is part of the content hash: repairing a corrupt
+    trace changes what gets fitted, so ``strict`` and ``repair`` runs
+    over the same bytes must never share a job identity (or a cache
+    entry).
+    """
     from repro.core.iboxnet import PROFILE_VERSION
 
     digest = trace_file_digest(trace_path)
     hashed = {
         "fit_kwargs": dict(fit_kwargs or {}),
         "profile_version": PROFILE_VERSION,
+        "repair_policy": repair_policy,
     }
     # Operational knobs (cache location etc.) ride along in the params
     # but deliberately stay out of the content hash: the *work* is the
@@ -154,6 +169,7 @@ def make_simulate_job(
     fit_kwargs: Optional[Dict[str, Any]] = None,
     cache_dir: Optional[str] = None,
     output_dir: Optional[str] = None,
+    repair_policy: str = "strict",
 ) -> JobSpec:
     """A fit+counterfactual job over one trace (the ``repro batch`` unit)."""
     from repro.core.iboxnet import PROFILE_VERSION
@@ -165,6 +181,7 @@ def make_simulate_job(
         "seed": seed,
         "fit_kwargs": dict(fit_kwargs or {}),
         "profile_version": PROFILE_VERSION,
+        "repair_policy": repair_policy,
     }
     job_id = content_hash(KIND_SIMULATE, hashed, digest)
     return JobSpec(

@@ -68,6 +68,8 @@ class RunManifest:
     wall_time_sec: float
     jobs: List[dict] = field(default_factory=list)
     degraded_to_serial: bool = False
+    #: run_id of the manifest this run resumed from (``batch --resume``).
+    resumed_from: Optional[str] = None
     #: Optional repro.obs metrics snapshot (telemetry-enabled runs only).
     metrics: Optional[dict] = None
 
@@ -104,6 +106,7 @@ class RunManifest:
         started_at_iso: str,
         degraded_to_serial: bool = False,
         run_id: Optional[str] = None,
+        resumed_from: Optional[str] = None,
         metrics: Optional[dict] = None,
     ) -> "RunManifest":
         return cls(
@@ -116,6 +119,7 @@ class RunManifest:
             wall_time_sec=round(time.perf_counter() - started_perf, 6),
             jobs=[r.describe() for r in results],
             degraded_to_serial=degraded_to_serial,
+            resumed_from=resumed_from,
             metrics=metrics,
         )
 
@@ -133,6 +137,8 @@ class RunManifest:
             "degraded_to_serial": self.degraded_to_serial,
             "jobs": self.jobs,
         }
+        if self.resumed_from is not None:
+            data["resumed_from"] = self.resumed_from
         if self.metrics is not None:
             data["metrics"] = self.metrics
         return data
@@ -162,6 +168,7 @@ class RunManifest:
             wall_time_sec=data["wall_time_sec"],
             jobs=data["jobs"],
             degraded_to_serial=data.get("degraded_to_serial", False),
+            resumed_from=data.get("resumed_from"),
             metrics=data.get("metrics"),
         )
 
@@ -174,6 +181,12 @@ class RunManifest:
             f"cache {cache['hits']} hit / {cache['misses']} miss, "
             f"{self.workers} worker(s), {self.wall_time_sec:.2f}s wall",
         ]
+        resumed = sum(1 for j in self.jobs if j.get("resumed"))
+        if resumed:
+            lines.append(
+                f"  ({resumed} job(s) carried over from run "
+                f"{self.resumed_from})"
+            )
         if self.degraded_to_serial:
             lines.append("  (process pool unavailable; ran serially)")
         for job in self.failures:

@@ -6,6 +6,16 @@ Two formats:
   inspectable, diff-friendly, the "release format" for iBoxNet profiles the
   paper mentions in §3.2 footnote 2.
 * **NPZ** — columnar numpy arrays; compact and fast for datasets.
+
+Loading takes a repair policy (DESIGN.md §9).  Under ``strict`` (the
+default) a malformed file raises :class:`TraceLoadError` carrying the
+file path, 1-based line numbers, and the offending records — up to
+``max_errors`` of them, so a million-line trace reports a *summary* of
+what is wrong rather than dying at line 3 with no context.  Under
+``repair``/``skip`` malformed lines are skipped (and counted in the
+``guard.malformed_lines`` metric and the trace's metadata); ``repair``
+additionally runs the loaded records through
+:func:`repro.guard.repair.repair_trace`.
 """
 
 from __future__ import annotations
@@ -14,15 +24,41 @@ import hashlib
 import json
 import math
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.trace.records import PacketRecord, Trace
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+_log = obs.get_logger("repro.trace")
+
+
+class TraceLoadError(ValueError):
+    """A trace file could not be parsed.
+
+    Carries the path, a bounded list of per-line errors (each with its
+    1-based line number and the offending text), and the total count —
+    context a bare ``ValueError: 'uid'`` at some unknown depth never
+    gave anyone.
+    """
+
+    def __init__(self, path: PathLike, errors: List[str], total: int):
+        self.path = Path(path)
+        self.errors = list(errors)
+        self.total = total
+        shown = "\n  ".join(self.errors)
+        suffix = (
+            "" if total <= len(self.errors)
+            else f"\n  ... and {total - len(self.errors)} more error(s)"
+        )
+        super().__init__(
+            f"cannot load trace {self.path}: {total} error(s)\n  {shown}{suffix}"
+        )
 
 
 def save_trace(trace: Trace, path: PathLike) -> None:
@@ -36,14 +72,32 @@ def save_trace(trace: Trace, path: PathLike) -> None:
         raise ValueError(f"unsupported trace format: {path.suffix!r}")
 
 
-def load_trace(path: PathLike) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+def load_trace(
+    path: PathLike, policy: str = "strict", max_errors: int = 20
+) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    ``policy`` is one of ``strict|repair|skip`` (see module docstring);
+    ``max_errors`` bounds how many per-line errors are *detailed* in a
+    strict-mode :class:`TraceLoadError` (all are counted).
+    """
+    from repro.guard.repair import check_policy, repair_trace
+
+    check_policy(policy)
     path = Path(path)
     if path.suffix == ".jsonl":
-        return _load_jsonl(path)
-    if path.suffix == ".npz":
-        return _load_npz(path)
-    raise ValueError(f"unsupported trace format: {path.suffix!r}")
+        trace = _load_jsonl(path, policy=policy, max_errors=max_errors)
+    elif path.suffix == ".npz":
+        trace = _load_npz(path)
+    else:
+        raise ValueError(f"unsupported trace format: {path.suffix!r}")
+    if policy == "repair":
+        trace = repair_trace(trace).trace
+    elif policy == "strict":
+        from repro.trace.validate import assert_valid
+
+        assert_valid(trace)
+    return trace
 
 
 def save_traces(traces: List[Trace], directory: PathLike, fmt: str = "npz") -> List[Path]:
@@ -118,35 +172,103 @@ def _save_jsonl(trace: Trace, path: Path) -> None:
             f.write(json.dumps(row) + "\n")
 
 
-def _load_jsonl(path: Path) -> Trace:
+def _parse_jsonl_record(line: str) -> PacketRecord:
+    row = json.loads(line)
+    delivered = row["delivered_at"]
+    record = PacketRecord(
+        uid=row["uid"],
+        seq=row["seq"],
+        size=row["size"],
+        sent_at=row["sent_at"],
+        delivered_at=math.nan if delivered is None else delivered,
+        is_retransmit=row["is_retransmit"],
+    )
+    # Fail here, with line context, not deep inside an estimator: the
+    # sort key and every numpy column need real numbers (NaN is the one
+    # sanctioned non-number — the loss encoding).
+    for name in ("uid", "seq", "size", "sent_at", "delivered_at"):
+        if not isinstance(getattr(record, name), (int, float)):
+            raise TypeError(f"field {name!r} is not numeric")
+    return record
+
+
+def _load_jsonl(
+    path: Path, policy: str = "strict", max_errors: int = 20
+) -> Trace:
+    errors: List[str] = []
+    total_errors = 0
     with open(path) as f:
-        header = json.loads(f.readline())
+        header_line = f.readline()
+        try:
+            header = json.loads(header_line)
+            if not isinstance(header, dict):
+                raise TypeError("header is not a JSON object")
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise TraceLoadError(
+                path, [f"{path}:1: bad header: {exc}: {header_line[:120]!r}"], 1
+            ) from exc
         if header.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version in {path}: "
-                f"{header.get('format_version')}"
+            raise TraceLoadError(
+                path,
+                [
+                    f"{path}:1: unsupported trace format version "
+                    f"{header.get('format_version')!r}"
+                ],
+                1,
             )
         records = []
-        for line in f:
-            row = json.loads(line)
-            delivered = row["delivered_at"]
-            records.append(
-                PacketRecord(
-                    uid=row["uid"],
-                    seq=row["seq"],
-                    size=row["size"],
-                    sent_at=row["sent_at"],
-                    delivered_at=math.nan if delivered is None else delivered,
-                    is_retransmit=row["is_retransmit"],
-                )
+        for line_no, line in enumerate(f, start=2):
+            if not line.strip():
+                continue
+            try:
+                records.append(_parse_jsonl_record(line))
+            except (
+                json.JSONDecodeError, KeyError, TypeError, ValueError,
+            ) as exc:
+                total_errors += 1
+                if len(errors) < max_errors:
+                    errors.append(
+                        f"{path}:{line_no}: {type(exc).__name__}: {exc}: "
+                        f"{line.strip()[:120]!r}"
+                    )
+    if total_errors and policy == "strict":
+        raise TraceLoadError(path, errors, total_errors)
+    if total_errors:
+        obs.metrics().counter("guard.malformed_lines").inc(total_errors)
+        _log.warning(
+            "guard.malformed_lines",
+            path=str(path),
+            skipped=total_errors,
+            first=errors[0] if errors else "",
+        )
+    metadata = header.get("metadata") or {}
+    if total_errors:
+        metadata = {**metadata, "malformed_lines": total_errors}
+    duration = header.get("duration")
+    if not isinstance(duration, (int, float)) or not math.isfinite(duration) \
+            or duration <= 0:
+        if policy == "strict":
+            raise TraceLoadError(
+                path, [f"{path}:1: bad duration in header: {duration!r}"], 1
             )
-    return Trace(
-        header["flow_id"],
-        records,
-        duration=header["duration"],
-        protocol=header["protocol"],
-        metadata=header["metadata"],
-    )
+        # A repairable header: infer the duration from the data.
+        finite_sends = [
+            r.sent_at for r in records if math.isfinite(r.sent_at)
+        ]
+        duration = max(finite_sends, default=0.0) + 1e-3
+        metadata = {**metadata, "repaired_duration": duration}
+    try:
+        return Trace(
+            header["flow_id"],
+            records,
+            duration=duration,
+            protocol=header.get("protocol", "unknown"),
+            metadata=metadata,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceLoadError(
+            path, [f"{path}:1: bad header: {type(exc).__name__}: {exc}"], 1
+        ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -178,35 +300,65 @@ def _save_npz(trace: Trace, path: Path) -> None:
 
 
 def _load_npz(path: Path) -> Trace:
-    with np.load(path, allow_pickle=False) as data:
-        header = json.loads(str(data["header"]))
+    try:
+        data = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile/np format damage has many spellings
+        raise TraceLoadError(
+            path, [f"{path}: unreadable npz: {type(exc).__name__}: {exc}"], 1
+        ) from exc
+    with data:
+        try:
+            header = json.loads(str(data["header"]))
+        except (KeyError, json.JSONDecodeError, ValueError) as exc:
+            raise TraceLoadError(
+                path, [f"{path}: bad npz header: {exc}"], 1
+            ) from exc
         if header.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version in {path}: "
-                f"{header.get('format_version')}"
+            raise TraceLoadError(
+                path,
+                [
+                    f"{path}: unsupported trace format version "
+                    f"{header.get('format_version')!r}"
+                ],
+                1,
             )
-        records = [
-            PacketRecord(
-                uid=int(u),
-                seq=int(s),
-                size=int(sz),
-                sent_at=float(sa),
-                delivered_at=float(da),
-                is_retransmit=bool(rt),
-            )
-            for u, s, sz, sa, da, rt in zip(
-                data["uid"],
-                data["seq"],
-                data["size"],
-                data["sent_at"],
-                data["delivered_at"],
-                data["is_retransmit"],
-            )
-        ]
-    return Trace(
-        header["flow_id"],
-        records,
-        duration=header["duration"],
-        protocol=header["protocol"],
-        metadata=header["metadata"],
-    )
+        try:
+            records = [
+                PacketRecord(
+                    uid=int(u),
+                    seq=int(s),
+                    size=int(sz),
+                    sent_at=float(sa),
+                    delivered_at=float(da),
+                    is_retransmit=bool(rt),
+                )
+                for u, s, sz, sa, da, rt in zip(
+                    data["uid"],
+                    data["seq"],
+                    data["size"],
+                    data["sent_at"],
+                    data["delivered_at"],
+                    data["is_retransmit"],
+                )
+            ]
+        except Exception as exc:  # damaged zip member / dtype corruption
+            raise TraceLoadError(
+                path,
+                [f"{path}: unreadable npz columns: "
+                 f"{type(exc).__name__}: {exc}"],
+                1,
+            ) from exc
+    try:
+        return Trace(
+            header["flow_id"],
+            records,
+            duration=header["duration"],
+            protocol=header["protocol"],
+            metadata=header["metadata"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceLoadError(
+            path, [f"{path}: bad npz header: {type(exc).__name__}: {exc}"], 1
+        ) from exc

@@ -33,24 +33,41 @@ def validate_trace(
         problems.append("duplicate transmission uids")
 
     sent = trace.sent_at
-    if np.any(np.diff(sent) < 0):
+    if not np.all(np.isfinite(sent)):
+        problems.append("non-finite send timestamps")
+    finite_sent = sent[np.isfinite(sent)]
+    if np.any(np.diff(finite_sent) < 0):
         problems.append("records not sorted by send time")
-    if np.any(sent < 0):
+    if np.any(finite_sent < 0):
         problems.append("negative send timestamps")
-    if np.any(sent > trace.duration + 1e-9):
+    if len(finite_sent) and np.any(finite_sent > trace.duration + 1e-9):
         problems.append(
             f"send timestamps beyond the declared duration "
-            f"({sent.max():.3f} > {trace.duration:.3f})"
+            f"({finite_sent.max():.3f} > {trace.duration:.3f})"
         )
+    if not np.isfinite(trace.duration):
+        problems.append("non-finite declared duration")
 
     sizes = trace.sizes
-    if np.any(sizes <= 0):
+    if not np.all(np.isfinite(sizes)):
+        problems.append("non-finite packet sizes")
+    if np.any(sizes[np.isfinite(sizes)] <= 0):
         problems.append("non-positive packet sizes")
 
-    mask = trace.delivered_mask
-    delays = trace.delays[mask]
+    delivered = trace.delivered_at
+    # nan encodes loss and is legitimate; +/-inf is corruption.
+    if np.any(np.isinf(delivered)):
+        problems.append("non-finite (infinite) delivery timestamps")
+
+    mask = trace.delivered_mask & np.isfinite(delivered) & np.isfinite(sent)
+    delays = (delivered - sent)[mask]
     if len(delays):
-        if np.any(delays < min_plausible_delay):
+        if np.any(delays < 0):
+            problems.append(
+                f"negative delays: deliveries before their sends "
+                f"(min delay {delays.min():.6f} s)"
+            )
+        elif np.any(delays < min_plausible_delay):
             problems.append(
                 "deliveries at or before their sends "
                 f"(min delay {delays.min():.6f} s)"

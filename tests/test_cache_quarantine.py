@@ -1,0 +1,111 @@
+"""Corrupt cache entries are quarantined, never served or fatal."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.guard.chaos import tear_cache_entry
+from repro.runtime.cache import ProfileCache
+from repro.trace.io import save_trace
+
+
+@pytest.fixture(scope="module")
+def fitted(tmp_path_factory):
+    """One fitted trace in a warm cache, shared read-only by key."""
+    from repro.datasets.pantheon import generate_run
+
+    root = tmp_path_factory.mktemp("cacheq")
+    trace_path = root / "t.jsonl"
+    save_trace(generate_run(seed=31, duration=1.5).trace, trace_path)
+    cache = ProfileCache(root / "cache")
+    model, hit = cache.fit_cached(trace_path)
+    assert not hit and model is not None
+    key = cache.key_for(trace_path)
+    return {
+        "trace_path": trace_path,
+        "key": key,
+        "profile": json.loads(cache.path_for(key).read_text()),
+    }
+
+
+@pytest.fixture
+def cache(tmp_path, fitted):
+    """A fresh cache pre-seeded with the known-good profile."""
+    c = ProfileCache(tmp_path / "cache")
+    c.put_profile(fitted["key"], fitted["profile"])
+    return c
+
+
+class TestQuarantine:
+    def test_torn_write_quarantined_not_served(self, cache, fitted):
+        obs.configure(enabled=True)
+        key = fitted["key"]
+        tear_cache_entry(cache, key)
+        assert cache.get_profile(key) is None
+        # Moved, not deleted: the damage stays inspectable.
+        assert not cache.path_for(key).exists()
+        assert (cache.quarantine_dir / f"{key}.json").exists()
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["cache.quarantined"] == 1
+
+    def test_truncated_json_quarantined(self, cache, fitted):
+        key = fitted["key"]
+        cache.path_for(key).write_text('{"profile_version":')
+        assert cache.get_profile(key) is None
+        assert (cache.quarantine_dir / f"{key}.json").exists()
+
+    def test_wrong_schema_quarantined(self, cache, fitted):
+        key = fitted["key"]
+        cache.path_for(key).write_text('{"not": "a profile"}')
+        assert cache.get_profile(key) is None
+        assert (cache.quarantine_dir / f"{key}.json").exists()
+
+    def test_non_dict_json_quarantined(self, cache, fitted):
+        key = fitted["key"]
+        cache.path_for(key).write_text("[1, 2, 3]")
+        assert cache.get_profile(key) is None
+        assert (cache.quarantine_dir / f"{key}.json").exists()
+
+    def test_unloadable_profile_quarantined_via_get(self, cache, fitted):
+        # Valid JSON, right header, garbage body: json-level checks pass
+        # and from_profile is what rejects it.
+        key = fitted["key"]
+        version = fitted["profile"]["profile_version"]
+        cache.path_for(key).write_text(
+            json.dumps({"profile_version": version, "junk": True})
+        )
+        assert cache.get(key) is None
+        assert (cache.quarantine_dir / f"{key}.json").exists()
+
+    def test_plain_miss_not_quarantined(self, cache):
+        assert cache.get_profile("0" * 64) is None
+        assert not cache.quarantine_dir.exists()
+
+
+class TestAccountingAfterQuarantine:
+    def test_len_and_clear_exclude_quarantine(self, cache, fitted):
+        key = fitted["key"]
+        assert len(cache) == 1
+        tear_cache_entry(cache, key)
+        cache.get_profile(key)  # triggers the quarantine move
+        assert len(cache) == 0
+        assert cache.clear() == 0
+        assert (cache.quarantine_dir / f"{key}.json").exists()
+
+    def test_fit_cached_refits_after_quarantine(self, cache, fitted):
+        key = fitted["key"]
+        tear_cache_entry(cache, key)
+        model, hit = cache.fit_cached(fitted["trace_path"])
+        assert not hit and model is not None
+        # The clean slot is repopulated; next call is a hit again.
+        assert cache.path_for(key).exists()
+        _, hit = cache.fit_cached(fitted["trace_path"])
+        assert hit
+
+    def test_corruption_counts_as_miss_in_stats(self, cache, fitted):
+        key = fitted["key"]
+        assert cache.get_profile(key) is not None
+        tear_cache_entry(cache, key)
+        assert cache.get_profile(key) is None
+        assert cache.stats() == {"hits": 1, "misses": 1}

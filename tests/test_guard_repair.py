@@ -1,0 +1,177 @@
+"""Tests for the trace sanitize/repair pipeline (repro.guard.repair)."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.guard.chaos import TRACE_FAULTS, inject_trace_fault
+from repro.guard.repair import (
+    REPAIR_POLICIES,
+    RepairReport,
+    check_policy,
+    repair_trace,
+    sanitize_trace,
+)
+from repro.trace.records import PacketRecord, Trace
+from repro.trace.validate import validate_trace
+
+
+def _record(uid=0, seq=None, size=1500, sent=0.0, delivered=None,
+            retransmit=False):
+    if seq is None:
+        seq = uid
+    if delivered is None:
+        delivered = sent + 0.05
+    return PacketRecord(
+        uid=uid, seq=seq, size=size, sent_at=sent,
+        delivered_at=delivered, is_retransmit=retransmit,
+    )
+
+
+def _clean_trace(n=20):
+    records = [
+        _record(uid=i, sent=i * 0.01, delivered=i * 0.01 + 0.05)
+        for i in range(n)
+    ]
+    return Trace("clean", records, duration=1.0)
+
+
+class TestRepairTrace:
+    def test_clean_trace_returned_unchanged(self):
+        trace = _clean_trace()
+        report = repair_trace(trace)
+        assert report.trace is trace
+        assert not report.repaired
+        assert report.total_repairs == 0
+
+    def test_duplicate_uids_dropped_keeping_first(self):
+        records = [
+            _record(uid=0, sent=0.0),
+            _record(uid=0, seq=1, sent=0.1),
+            _record(uid=1, seq=2, sent=0.2),
+        ]
+        report = repair_trace(Trace("f", records, duration=1.0))
+        assert report.actions == {"drop_duplicate_uid": 1}
+        assert report.dropped == 1
+        assert [r.uid for r in report.trace.records] == [0, 1]
+        assert report.trace.records[0].sent_at == 0.0
+
+    def test_negative_delay_voided_to_loss(self):
+        records = [_record(uid=0, sent=1.0, delivered=0.5)]
+        report = repair_trace(Trace("f", records, duration=2.0))
+        assert report.actions == {"void_negative_delay": 1}
+        assert report.trace.records[0].lost
+
+    def test_implausible_delay_voided_to_loss(self):
+        records = [_record(uid=0, sent=0.0, delivered=90.0)]
+        report = repair_trace(Trace("f", records, duration=100.0))
+        assert report.actions == {"void_implausible_delay": 1}
+        assert report.trace.records[0].lost
+
+    def test_nan_sent_dropped_and_inf_delivery_voided(self):
+        records = [
+            _record(uid=0),
+            _record(uid=1, sent=math.nan, delivered=math.nan),
+            _record(uid=2, sent=0.2, delivered=math.inf),
+        ]
+        report = repair_trace(Trace("f", records, duration=1.0))
+        assert report.actions["drop_bad_sent_at"] == 1
+        assert report.actions["void_nonfinite_delivery"] == 1
+        uids = [r.uid for r in report.trace.records]
+        assert 1 not in uids
+        inf_rec = next(r for r in report.trace.records if r.uid == 2)
+        assert inf_rec.lost
+
+    def test_bad_sizes_dropped(self):
+        records = [_record(uid=0), _record(uid=1, sent=0.1, size=-1500)]
+        report = repair_trace(Trace("f", records, duration=1.0))
+        assert report.actions == {"drop_bad_size": 1}
+        assert len(report.trace) == 1
+
+    def test_duplicate_first_transmission_marked_retransmit(self):
+        records = [
+            _record(uid=0, seq=5, sent=0.0),
+            _record(uid=1, seq=5, sent=0.1),
+        ]
+        report = repair_trace(Trace("f", records, duration=1.0))
+        assert report.actions == {"mark_retransmit": 1}
+        assert not report.trace.records[0].is_retransmit
+        assert report.trace.records[1].is_retransmit
+
+    def test_overrun_duration_extended(self):
+        records = [_record(uid=0, sent=5.0, delivered=5.05)]
+        report = repair_trace(Trace("f", records, duration=1.0))
+        assert "extend_duration" in report.actions
+        assert report.trace.duration >= 5.0
+
+    def test_input_trace_never_mutated(self):
+        records = [
+            _record(uid=0, sent=1.0, delivered=0.5),
+            _record(uid=0, seq=1, sent=1.1),
+        ]
+        trace = Trace("f", records, duration=2.0)
+        before = len(trace)
+        repair_trace(trace)
+        assert len(trace) == before
+        assert trace.records[0].delivered_at == 0.5
+
+    def test_metadata_notes_repairs(self):
+        records = [_record(uid=0, sent=1.0, delivered=0.5)]
+        report = repair_trace(Trace("f", records, duration=2.0))
+        assert report.trace.metadata["repaired"] == report.actions
+
+    def test_repairs_counted_in_metrics(self):
+        obs.configure(enabled=True)
+        records = [
+            _record(uid=0, sent=1.0, delivered=0.5),
+            _record(uid=0, seq=1, sent=1.1),
+        ]
+        repair_trace(Trace("f", records, duration=2.0))
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["counters"]["guard.repairs"] == 2
+
+
+@pytest.mark.parametrize("fault", sorted(TRACE_FAULTS))
+def test_every_chaos_fault_repairs_to_validity(fault, cellular_run):
+    """The contract: repair output passes validation for every injector."""
+    corrupted = inject_trace_fault(fault, cellular_run.trace, seed=123)
+    repaired = repair_trace(corrupted).trace
+    assert validate_trace(repaired) == []
+
+
+class TestSanitizeAndPolicy:
+    def test_policies_tuple(self):
+        assert REPAIR_POLICIES == ("strict", "repair", "skip")
+        for policy in REPAIR_POLICIES:
+            assert check_policy(policy) == policy
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="lenient"):
+            check_policy("lenient")
+
+    def test_sanitize_strict_raises_on_violation(self):
+        records = [_record(uid=0, sent=1.0, delivered=0.5)]
+        with pytest.raises(ValueError, match="invalid"):
+            sanitize_trace(Trace("f", records, duration=2.0), "strict")
+
+    def test_sanitize_skip_returns_input(self):
+        records = [_record(uid=0, sent=1.0, delivered=0.5)]
+        trace = Trace("f", records, duration=2.0)
+        assert sanitize_trace(trace, "skip") is trace
+
+    def test_sanitize_repair_fixes(self):
+        records = [_record(uid=0, sent=1.0, delivered=0.5)]
+        trace = Trace("f", records, duration=2.0)
+        repaired = sanitize_trace(trace, "repair")
+        assert validate_trace(repaired) == []
+
+
+def test_repair_report_describe():
+    records = [_record(uid=0, sent=1.0, delivered=0.5)]
+    report = repair_trace(Trace("f", records, duration=2.0))
+    described = report.describe()
+    assert described["flow_id"] == "f"
+    assert described["actions"] == {"void_negative_delay": 1}
+    assert described["dropped"] == 0
+    assert isinstance(report, RepairReport)

@@ -1,0 +1,182 @@
+"""Tests for the numerical training guards (repro.guard.numeric)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.guard.numeric import DivergenceGuard, sanitize_training_arrays
+from repro.ml.model import GaussianSequenceModel
+
+
+def _model():
+    return GaussianSequenceModel(input_dim=3, hidden_dim=8, num_layers=1,
+                                 seed=0)
+
+
+def _data(rng_seed=1, n=4, t=20):
+    rng = np.random.default_rng(rng_seed)
+    seqs = [rng.normal(size=(t, 3)) for _ in range(n)]
+    tgts = [np.abs(rng.normal(size=t)) + 0.01 for _ in range(n)]
+    return seqs, tgts
+
+
+class TestAllowUpdate:
+    def test_finite_update_allowed(self):
+        guard = DivergenceGuard(_model())
+        assert guard.allow_update(1.5, 10.0)
+        assert guard.skipped_updates == 0
+
+    @pytest.mark.parametrize(
+        "loss,norm",
+        [
+            (math.nan, 1.0),
+            (math.inf, 1.0),
+            (1.0, math.nan),
+            (1.0, math.inf),
+            (1.0, 1e5),  # explosion beyond max_grad_norm=1e4
+        ],
+    )
+    def test_unhealthy_update_vetoed(self, loss, norm):
+        guard = DivergenceGuard(_model())
+        assert not guard.allow_update(loss, norm)
+        assert guard.skipped_updates == 1
+
+    def test_skips_counted_in_metrics(self):
+        obs.configure(enabled=True)
+        guard = DivergenceGuard(_model())
+        guard.allow_update(math.nan, 0.0)
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["counters"]["guard.skipped_updates"] == 1
+
+
+class TestRollback:
+    def test_healthy_run_keeps_final_params(self):
+        model = _model()
+        guard = DivergenceGuard(model)
+        guard.note_epoch(2.0)
+        guard.note_epoch(1.0)
+        assert not guard.finalize(1.0)
+        assert not guard.rolled_back
+
+    def test_nonfinite_final_loss_rolls_back_to_best(self):
+        model = _model()
+        guard = DivergenceGuard(model)
+        guard.note_epoch(1.0)  # snapshot best here
+        best = {k: v.copy() for k, v in model.state_dict().items()}
+        for p in model.parameters():
+            p.value += 99.0  # later epochs wreck the params
+        assert guard.finalize(math.nan)
+        assert guard.rolled_back
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, best[name])
+
+    def test_nonfinite_params_roll_back_even_with_finite_loss(self):
+        model = _model()
+        guard = DivergenceGuard(model)
+        guard.note_epoch(1.0)
+        model.parameters()[0].value[:] = np.nan
+        assert guard.finalize(0.9)
+        assert all(
+            np.all(np.isfinite(p.value)) for p in model.parameters()
+        )
+
+    def test_regression_past_tolerance_rolls_back(self):
+        model = _model()
+        guard = DivergenceGuard(model, rollback_tolerance=2.0)
+        guard.note_epoch(1.0)
+        # 1.0 best, tolerance band is best + (2-1)*max(|best|,1) = 2.0
+        assert guard.finalize(5.0)
+
+    def test_small_regression_tolerated(self):
+        guard = DivergenceGuard(_model(), rollback_tolerance=2.0)
+        guard.note_epoch(1.0)
+        assert not guard.finalize(1.5)
+
+    def test_run_with_no_finite_epoch_restores_initial_state(self):
+        model = _model()
+        initial = {k: v.copy() for k, v in model.state_dict().items()}
+        guard = DivergenceGuard(model)
+        for p in model.parameters():
+            p.value[:] = np.inf
+        assert guard.finalize(math.nan)
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, initial[name])
+
+    def test_rollback_counted_in_metrics(self):
+        obs.configure(enabled=True)
+        guard = DivergenceGuard(_model())
+        guard.finalize(math.nan)
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["counters"]["guard.divergence_rollbacks"] == 1
+
+
+class TestFitIntegration:
+    def test_clean_fit_unaffected(self):
+        seqs, tgts = _data()
+        log = _model().fit(seqs, tgts, epochs=3)
+        assert len(log.losses) == 3
+        assert all(math.isfinite(l) for l in log.losses)
+
+    def test_nan_targets_leave_params_finite(self):
+        seqs, tgts = _data()
+        tgts[0][:] = np.nan
+        model = _model()
+        model.fit(seqs, tgts, epochs=3)
+        assert all(
+            np.all(np.isfinite(p.value)) for p in model.parameters()
+        )
+
+    def test_iboxml_fit_survives_nan_burst(self, cellular_run):
+        from repro.core.iboxml import IBoxMLConfig, IBoxMLModel
+        from repro.guard.chaos import inject_trace_fault
+        from repro.guard.repair import repair_trace
+
+        corrupted = inject_trace_fault(
+            "nan_burst", cellular_run.trace, seed=5
+        )
+        trace = repair_trace(corrupted).trace
+        model = IBoxMLModel(IBoxMLConfig(epochs=2, hidden_dim=8,
+                                         num_layers=1))
+        log = model.fit([trace])
+        assert math.isfinite(log.final_loss)
+
+
+class TestSanitizeTrainingArrays:
+    def test_clean_arrays_pass_through(self):
+        feats = np.ones((10, 3))
+        tgts = np.ones(10)
+        f, t, m, n_bad = sanitize_training_arrays(feats, tgts)
+        assert n_bad == 0
+        assert f is feats
+        assert m.all()
+
+    def test_nonfinite_rows_masked_and_zeroed(self):
+        feats = np.ones((5, 3))
+        feats[1, 2] = np.nan
+        tgts = np.ones(5)
+        tgts[3] = np.inf
+        f, t, m, n_bad = sanitize_training_arrays(feats, tgts)
+        assert n_bad == 2
+        assert not m[1] and not m[3]
+        assert np.isfinite(f).all() and np.isfinite(t).all()
+
+    def test_existing_mask_respected(self):
+        feats = np.ones((4, 2))
+        feats[0, 0] = np.nan
+        tgts = np.ones(4)
+        mask = np.array([False, True, True, True])
+        f, t, m, n_bad = sanitize_training_arrays(feats, tgts, mask)
+        # Row 0 was already masked out; it is not "new" damage.
+        assert n_bad == 0
+        assert not m[0]
+        assert np.isfinite(f).all()
+
+    def test_counted_in_metrics(self):
+        obs.configure(enabled=True)
+        feats = np.ones((3, 2))
+        feats[1] = np.nan
+        sanitize_training_arrays(feats, np.ones(3))
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["counters"]["guard.nonfinite_inputs"] == 1

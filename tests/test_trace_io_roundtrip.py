@@ -86,6 +86,124 @@ class TestRoundTrip:
         )
 
 
+class TestLoadErrors:
+    """Malformed files fail with path + line context, not a bare KeyError."""
+
+    def _write_jsonl(self, tmp_path, lines):
+        path = tmp_path / "bad.jsonl"
+        header = (
+            '{"format_version": 1, "flow_id": "f", "protocol": "cubic", '
+            '"duration": 1.0, "metadata": {}}'
+        )
+        path.write_text("\n".join([header, *lines]) + "\n")
+        return path
+
+    def _row(self, uid, sent=0.0):
+        return (
+            f'{{"uid": {uid}, "seq": {uid}, "size": 1500, '
+            f'"sent_at": {sent}, "delivered_at": {sent + 0.05}, '
+            f'"is_retransmit": false}}'
+        )
+
+    def test_malformed_line_reports_path_and_line_number(self, tmp_path):
+        from repro.trace.io import TraceLoadError
+
+        path = self._write_jsonl(
+            tmp_path, [self._row(0), "{not json", self._row(1, 0.1)]
+        )
+        with pytest.raises(TraceLoadError) as exc_info:
+            load_trace(path)
+        err = exc_info.value
+        assert err.path == path
+        assert err.total == 1
+        assert f"{path}:3" in str(err)
+        assert "{not json" in str(err)
+
+    def test_max_errors_bounds_detail_but_counts_all(self, tmp_path):
+        from repro.trace.io import TraceLoadError
+
+        bad = ["{oops"] * 30
+        path = self._write_jsonl(tmp_path, bad)
+        with pytest.raises(TraceLoadError) as exc_info:
+            load_trace(path, max_errors=5)
+        err = exc_info.value
+        assert err.total == 30
+        assert len(err.errors) == 5
+        assert "25 more error(s)" in str(err)
+
+    def test_skip_policy_loads_good_lines_and_counts(self, tmp_path):
+        path = self._write_jsonl(
+            tmp_path, [self._row(0), "garbage", self._row(1, 0.1)]
+        )
+        trace = load_trace(path, policy="skip")
+        assert len(trace) == 2
+        assert trace.metadata["malformed_lines"] == 1
+
+    def test_nonnumeric_field_reports_type(self, tmp_path):
+        from repro.trace.io import TraceLoadError
+
+        row = (
+            '{"uid": "??", "seq": 0, "size": 1500, "sent_at": 0.0, '
+            '"delivered_at": 0.05, "is_retransmit": false}'
+        )
+        path = self._write_jsonl(tmp_path, [row])
+        with pytest.raises(TraceLoadError, match="uid"):
+            load_trace(path)
+
+    def test_bad_header_duration_strict_vs_skip(self, tmp_path):
+        from repro.trace.io import TraceLoadError
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format_version": 1, "flow_id": "f", "protocol": "cubic", '
+            '"duration": null, "metadata": {}}\n' + self._row(0) + "\n"
+        )
+        with pytest.raises(TraceLoadError, match="duration"):
+            load_trace(path)
+        trace = load_trace(path, policy="skip")
+        assert trace.duration > 0
+        assert "repaired_duration" in trace.metadata
+
+    def test_truncated_npz_raises_trace_load_error(self, tmp_path):
+        from repro.trace.io import TraceLoadError
+
+        trace = Trace(
+            "t",
+            [PacketRecord(uid=0, seq=0, size=1500, sent_at=0.0,
+                          delivered_at=0.05)],
+            duration=1.0,
+        )
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceLoadError, match="npz"):
+            load_trace(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_strict_load_validates_invariants(self, tmp_path):
+        # A parseable file whose physics are broken (delivery before
+        # send) must fail a strict load, not just a malformed one.
+        row = (
+            '{"uid": 0, "seq": 0, "size": 1500, "sent_at": 1.0, '
+            '"delivered_at": 0.5, "is_retransmit": false}'
+        )
+        path = self._write_jsonl(tmp_path, [row])
+        with pytest.raises(ValueError, match="invalid"):
+            load_trace(path)
+        # repair voids the impossible delivery to loss instead.
+        repaired = load_trace(path, policy="repair")
+        assert len(repaired) == 1
+        assert repaired.records[0].lost
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="policy"):
+            load_trace(tmp_path / "t.jsonl", policy="lenient")
+
+
 def test_cross_format_equality(tmp_path):
     """The same trace saved as npz and jsonl loads back identically."""
     records = [

@@ -80,3 +80,52 @@ def test_assert_valid_raises_with_details():
 
 def test_empty_trace_is_valid():
     assert validate_trace(Trace("f", [], duration=1.0)) == []
+
+
+def test_nan_send_timestamp_detected():
+    records = [_record(uid=0), _record(uid=1, seq=1, sent=math.nan,
+                                       delivered=math.nan)]
+    problems = validate_trace(Trace("f", records, duration=1.0))
+    assert any("non-finite send" in p for p in problems)
+
+
+def test_nonmonotonic_send_timestamps_detected():
+    records = [
+        _record(uid=0, seq=0, sent=0.1, delivered=0.15),
+        _record(uid=1, seq=1, sent=0.5, delivered=0.55),
+    ]
+    trace = Trace("f", records, duration=1.0)
+    # The constructor sorts, so model post-construction corruption (the
+    # documented programming error the validator exists to catch).
+    trace.records.reverse()
+    trace._cache.clear()
+    problems = validate_trace(trace)
+    assert any("sorted" in p for p in problems)
+
+
+def test_negative_delay_has_distinct_message():
+    records = [_record(uid=0, sent=1.0, delivered=0.5)]
+    problems = validate_trace(Trace("f", records, duration=2.0))
+    assert any("negative delays" in p for p in problems)
+    # The softer "at or before" message must not double-report.
+    assert not any("at or before" in p for p in problems)
+
+
+def test_nonfinite_duration_detected():
+    records = [_record(uid=0)]
+    problems = validate_trace(Trace("f", records, duration=math.inf))
+    assert any("non-finite declared duration" in p for p in problems)
+
+
+def test_nonfinite_size_detected():
+    records = [_record(uid=0, size=math.nan)]
+    problems = validate_trace(Trace("f", records, duration=1.0))
+    assert any("non-finite packet sizes" in p for p in problems)
+
+
+def test_infinite_delivery_detected_but_nan_is_loss():
+    inf_rec = [_record(uid=0, delivered=math.inf)]
+    problems = validate_trace(Trace("f", inf_rec, duration=1.0))
+    assert any("infinite" in p for p in problems)
+    lost = [_record(uid=0, delivered=math.nan)]
+    assert validate_trace(Trace("f", lost, duration=1.0)) == []
