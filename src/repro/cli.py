@@ -19,11 +19,19 @@ Commands mirror the workflows a downstream user needs:
     Fan a directory of traces out across a worker pool: fit each trace
     through the content-addressed profile cache, run the requested
     counterfactual protocols, and write a JSON run manifest.
+``serve``
+    The long-running service (DESIGN.md §10): ``serve run`` starts the
+    crash-tolerant daemon (spool/unix-socket intake, durable WAL
+    journal, supervised workers, graceful drain on SIGTERM);
+    ``serve submit`` sends job requests; ``serve status`` summarises
+    the journal of a live or dead service.
 ``chaos``
-    Seeded fault-injection campaign (DESIGN.md §9): corrupt traces,
-    crash/kill/hang workers, tear a cache entry — all deterministically
-    from ``--seed`` — and verify every guard holds.  Exits non-zero on
-    any guard violation, so CI can run it as a smoke job.
+    Seeded fault-injection campaigns (DESIGN.md §9): ``--campaign
+    guards`` (default) corrupts traces, crash/kill/hang workers, and
+    tears a cache entry; ``--campaign service`` SIGKILLs the serve
+    daemon mid-run and asserts exactly-once recovery plus graceful
+    drain.  Exits non-zero on any guard violation, so CI can run both
+    as smoke jobs.
 ``obs``
     Observability helpers: ``obs summarize <path>`` renders a per-stage
     timing table from a JSONL event log, a metrics snapshot, or a run
@@ -43,7 +51,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal as _signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -183,9 +193,101 @@ def build_parser() -> argparse.ArgumentParser:
         "there are skipped, everything else re-runs",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="crash-tolerant job service: run the daemon, submit, status",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    serve_run = serve_sub.add_parser(
+        "run", help="start the supervised daemon (drains on SIGTERM/SIGINT)"
+    )
+    serve_run.add_argument(
+        "--state", type=Path, required=True,
+        help="state directory (journal, results, manifests, lock)",
+    )
+    serve_run.add_argument(
+        "--spool", type=Path, default=None,
+        help="watched spool directory for JSONL job requests",
+    )
+    serve_run.add_argument(
+        "--socket", type=Path, default=None,
+        help="unix socket path for the request/response protocol",
+    )
+    serve_run.add_argument("--workers", type=int, default=2)
+    serve_run.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission queue bound; beyond it jobs are shed (default: 64)",
+    )
+    serve_run.add_argument(
+        "--default-timeout", type=float, default=None,
+        help="per-job deadline when the request carries none",
+    )
+    serve_run.add_argument(
+        "--drain-timeout", type=float, default=15.0,
+        help="seconds to let in-flight leases settle on drain (default: 15)",
+    )
+    serve_run.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive failures that open a job class's circuit "
+        "breaker (default: 3)",
+    )
+    serve_run.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open breaker waits before a half-open probe "
+        "(default: 30)",
+    )
+    serve_run.add_argument(
+        "--poll-interval", type=float, default=0.05,
+        help="scheduler tick in seconds (default: 0.05)",
+    )
+    serve_run.add_argument(
+        "--idle-exit-sec", type=float, default=None,
+        help="drain and exit 0 after being idle this long (default: never)",
+    )
+    serve_run.add_argument(
+        "--max-runtime-sec", type=float, default=None,
+        help="hard lifetime cap; drain and exit when reached (CI safety)",
+    )
+    serve_run.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on journal appends (tests only; weakens "
+        "crash durability)",
+    )
+    serve_submit = serve_sub.add_parser(
+        "submit", help="submit JSONL job requests to a daemon"
+    )
+    serve_submit.add_argument(
+        "requests", nargs="*",
+        help="request JSON objects (default: read JSONL from stdin)",
+    )
+    serve_submit.add_argument(
+        "--spool", type=Path, default=None,
+        help="drop the requests into this spool directory",
+    )
+    serve_submit.add_argument(
+        "--socket", type=Path, default=None,
+        help="send over this unix socket and print each response",
+    )
+    serve_status = serve_sub.add_parser(
+        "status", help="summarise a service's journal (live or dead)"
+    )
+    serve_status.add_argument(
+        "--state", type=Path, required=True, help="the daemon's state dir"
+    )
+    serve_status.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable output",
+    )
+
     chaos = sub.add_parser(
         "chaos",
         help="seeded fault-injection campaign against the guards",
+    )
+    chaos.add_argument(
+        "--campaign", choices=("guards", "service"), default="guards",
+        help="guards: trace/file/runtime faults through the batch "
+        "pipeline; service: SIGKILL the serve daemon and assert "
+        "exactly-once recovery (default: guards)",
     )
     chaos.add_argument(
         "--seed", type=int, default=7,
@@ -357,11 +459,38 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+# Which interrupt-ish signal the batch handlers caught (exit code is
+# 128 + signal: 130 for SIGINT, 143 for SIGTERM).
+_CAUGHT_SIGNAL = {"signum": None}
+
+
+def _install_batch_signal_handlers() -> None:
+    """Route SIGINT/SIGTERM into KeyboardInterrupt so the executor can
+    checkpoint: finished jobs keep their results, unfinished ones are
+    recorded ``Interrupted``, and the partial manifest still gets
+    written for ``--resume``."""
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _raise(signum, frame):
+        _CAUGHT_SIGNAL["signum"] = signum
+        raise KeyboardInterrupt
+
+    _signal.signal(_signal.SIGINT, _raise)
+    _signal.signal(_signal.SIGTERM, _raise)
+
+
+def _interrupt_exit_code() -> int:
+    signum = _CAUGHT_SIGNAL["signum"] or _signal.SIGINT
+    return 128 + int(signum)
+
+
 def _cmd_batch(args) -> int:
     from repro.runtime.batch import run_batch
     from repro.runtime.executor import ExecutorConfig
     from repro.trace.io import iter_trace_paths
 
+    _install_batch_signal_handlers()
     try:
         trace_paths = iter_trace_paths(args.trace_dir)
     except (FileNotFoundError, NotADirectoryError) as exc:
@@ -395,6 +524,11 @@ def _cmd_batch(args) -> int:
             error=str(exc),
         )
         return 2
+    except KeyboardInterrupt:
+        # The signal landed outside the executor's checkpointing window
+        # (spec hashing, manifest write): nothing partial to save.
+        _log.error("batch.interrupted_before_manifest")
+        return _interrupt_exit_code()
     for result in results:
         if result.resumed:
             print(f"ok     resumed   {result.spec.params['trace_path']}")
@@ -416,13 +550,107 @@ def _cmd_batch(args) -> int:
     print(manifest.format_report())
     if manifest_path is not None:
         print(f"manifest written to {manifest_path}")
+    if _CAUGHT_SIGNAL["signum"] is not None:
+        # Partial manifest written above; conventional 130/143 exit so
+        # wrappers see the interruption, not a job failure.
+        print("interrupted: resume with --resume "
+              f"{manifest_path or '<manifest>'}")
+        return _interrupt_exit_code()
     return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import (
+        ServeConfig,
+        format_status,
+        serve_forever,
+        serve_status,
+        submit_to_spool,
+        submit_via_socket,
+    )
+
+    if args.serve_command == "run":
+        try:
+            config = ServeConfig(
+                state_dir=args.state,
+                spool_dir=args.spool,
+                socket_path=args.socket,
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                poll_interval=args.poll_interval,
+                default_timeout_sec=args.default_timeout,
+                drain_timeout_sec=args.drain_timeout,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown_sec=args.breaker_cooldown,
+                idle_exit_sec=args.idle_exit_sec,
+                max_runtime_sec=args.max_runtime_sec,
+                fsync=not args.no_fsync,
+            )
+        except ValueError as exc:
+            _log.error("serve.bad_config", error=str(exc))
+            return 2
+        return serve_forever(config)
+
+    if args.serve_command == "submit":
+        if args.spool is None and args.socket is None:
+            _log.error("serve.submit_needs_target")
+            return 2
+        raw_lines = args.requests or [
+            line for line in sys.stdin.read().splitlines() if line.strip()
+        ]
+        try:
+            requests = [json.loads(line) for line in raw_lines]
+        except json.JSONDecodeError as exc:
+            _log.error("serve.bad_request_json", error=str(exc))
+            return 2
+        if not requests:
+            _log.error("serve.no_requests")
+            return 2
+        if args.socket is not None:
+            try:
+                responses = submit_via_socket(args.socket, requests)
+            except (OSError, ConnectionError) as exc:
+                _log.error(
+                    "serve.socket_unreachable",
+                    socket=str(args.socket),
+                    error=str(exc),
+                )
+                return 2
+            for response in responses:
+                print(json.dumps(response))
+            return 0 if all(
+                r.get("status") in ("accepted", "duplicate")
+                for r in responses
+            ) else 1
+        path = submit_to_spool(args.spool, requests)
+        print(f"spooled {len(requests)} request(s) -> {path}")
+        return 0
+
+    # serve status
+    status = serve_status(args.state)
+    print(json.dumps(status, indent=2) if args.as_json
+          else format_status(status))
+    return 0
 
 
 def _cmd_chaos(args) -> int:
     import tempfile
 
-    from repro.guard.chaos import run_campaign
+    from repro.guard.chaos import run_campaign, run_service_campaign
+
+    if args.campaign == "service":
+        if args.workdir is not None:
+            args.workdir.mkdir(parents=True, exist_ok=True)
+            report = run_service_campaign(args.workdir, seed=args.seed,
+                                          workers=args.workers)
+        else:
+            with tempfile.TemporaryDirectory(
+                prefix="repro-chaos-serve-"
+            ) as tmp:
+                report = run_service_campaign(tmp, seed=args.seed,
+                                              workers=args.workers)
+        print(report.format_report())
+        return 0 if report.ok else 1
 
     if args.workdir is not None:
         args.workdir.mkdir(parents=True, exist_ok=True)
@@ -540,6 +768,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fit": _cmd_fit,
         "simulate": _cmd_simulate,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "chaos": _cmd_chaos,
         "obs": _cmd_obs,
         "bench": _cmd_bench,

@@ -216,6 +216,11 @@ def chaos_worker(spec: JobSpec):
     if fault == "hang":
         time.sleep(float(spec.params.get("hang_sec", 30.0)))
         return {"fault": "hang", "survived": True}
+    if fault == "sleep":
+        # A well-behaved slow job: the service campaign uses these so a
+        # SIGKILL reliably lands while leases are in flight.
+        time.sleep(float(spec.params.get("sleep_sec", 0.5)))
+        return {"fault": "sleep", "ok": True}
     return {"fault": None, "ok": True}
 
 
@@ -476,4 +481,241 @@ def run_campaign(
     )
     if report.quarantined < 1:
         report.violations.append("quarantine directory is empty after tear")
+    return report
+
+
+# ----------------------------------------------------------------------
+# The service campaign: SIGKILL the daemon, demand exactly-once
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceChaosReport:
+    """Outcome of one serve-daemon kill/recover campaign."""
+
+    seed: int
+    jobs: int
+    kill_signal: str = "SIGKILL"
+    completed_before_kill: int = 0
+    recovered: int = 0
+    drain_exit_code: Optional[int] = None
+    manifest_path: Optional[Path] = None
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format_report(self) -> str:
+        lines = [
+            f"service chaos campaign: seed={self.seed} jobs={self.jobs}",
+            f"  completed before {self.kill_signal}: "
+            f"{self.completed_before_kill}",
+            f"  jobs recovered after restart: {self.recovered}",
+            f"  drain (SIGTERM) exit code: {self.drain_exit_code}",
+        ]
+        if self.manifest_path:
+            lines.append(f"  manifest: {self.manifest_path}")
+        if self.violations:
+            lines.append("GUARD VIOLATIONS:")
+            lines.extend(f"  !! {v}" for v in self.violations)
+        else:
+            lines.append(
+                "all guards held: zero lost jobs, zero duplicate "
+                "completions, graceful drain"
+            )
+        return "\n".join(lines)
+
+
+def _spawn_daemon(workdir: Path, workers: int, log_name: str):
+    """Start ``repro serve run`` as a real child process."""
+    import subprocess
+    import sys
+
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    log = open(workdir / log_name, "w")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "run",
+            "--state",
+            str(workdir / "state"),
+            "--spool",
+            str(workdir / "spool"),
+            "--workers",
+            str(workers),
+            "--poll-interval",
+            "0.05",
+            "--max-runtime-sec",
+            "120",
+        ],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        env=env,
+    )
+
+
+def _wait_for(predicate, timeout_sec: float, poll: float = 0.1) -> bool:
+    deadline = time.monotonic() + timeout_sec
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+def run_service_campaign(
+    workdir,
+    seed: int = 7,
+    jobs: int = 8,
+    workers: int = 2,
+    kill_after_completions: int = 2,
+    sleep_sec: float = 0.4,
+    timeout_sec: float = 60.0,
+) -> ServiceChaosReport:
+    """SIGKILL the serve daemon mid-run and assert full recovery.
+
+    1. Start the daemon over an empty state dir; submit ``jobs`` slow
+       (but well-behaved) drill jobs through the spool.
+    2. Once ``kill_after_completions`` jobs have completed, SIGKILL the
+       daemon — leases are orphaned mid-flight by construction.
+    3. Restart the daemon over the same state dir: the journal replay
+       must requeue every non-terminal job and run them to completion.
+    4. SIGTERM for a graceful drain: exit code 0, a complete manifest.
+
+    Guard invariants checked: **no lost jobs** (every submitted job_id
+    ends ``completed``), **no duplicate completions** (each job_id has
+    exactly one ``completed`` record across the whole journal), and a
+    clean drain.
+    """
+    import signal as _signal
+
+    from repro.serve.client import serve_status, submit_to_spool
+    from repro.serve.journal import JobJournal
+
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    spool = workdir / "spool"
+    state = workdir / "state"
+    report = ServiceChaosReport(seed=seed, jobs=jobs)
+
+    requests = [
+        {
+            "kind": "chaos",
+            "params": {"fault": "sleep", "sleep_sec": sleep_sec, "idx": i,
+                       "seed": seed},
+            "label": f"drill:sleep:{i}",
+            "class": "drill",
+            "timeout_sec": 30.0,
+        }
+        for i in range(jobs)
+    ]
+
+    def completed_count() -> int:
+        state_now = JobJournal.read_state(state / "journal")
+        return sum(
+            1 for j in state_now.jobs.values() if j.status == "completed"
+        )
+
+    daemon = _spawn_daemon(workdir, workers, "daemon-1.log")
+    try:
+        submit_to_spool(spool, requests)
+        if not _wait_for(
+            lambda: completed_count() >= kill_after_completions, timeout_sec
+        ):
+            report.violations.append(
+                f"daemon completed {completed_count()}/{jobs} jobs but never "
+                f"reached {kill_after_completions} within {timeout_sec}s"
+            )
+            return report
+        report.completed_before_kill = completed_count()
+        daemon.send_signal(_signal.SIGKILL)
+        daemon.wait(timeout=10)
+        _note_injection("service", "sigkill", f"pid {daemon.pid}")
+    finally:
+        if daemon.poll() is None:  # never leak a live daemon
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    # ------------------------------------------------------------------
+    # Restart: replay must requeue the orphans and finish everything.
+    # ------------------------------------------------------------------
+    daemon = _spawn_daemon(workdir, workers, "daemon-2.log")
+    try:
+        if not _wait_for(lambda: completed_count() >= jobs, timeout_sec):
+            status = serve_status(state)
+            report.violations.append(
+                f"after restart only {completed_count()}/{jobs} jobs "
+                f"completed within {timeout_sec}s: {status['counts']}"
+            )
+            return report
+        report.recovered = jobs - report.completed_before_kill
+        daemon.send_signal(_signal.SIGTERM)
+        try:
+            report.drain_exit_code = daemon.wait(timeout=30)
+        except Exception:  # noqa: BLE001
+            report.violations.append("daemon did not exit after SIGTERM")
+            return report
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    if report.drain_exit_code != 0:
+        report.violations.append(
+            f"graceful drain exited {report.drain_exit_code}, expected 0"
+        )
+
+    # ------------------------------------------------------------------
+    # The exactly-once ledger check.
+    # ------------------------------------------------------------------
+    from repro.serve.requests import normalize_request
+
+    final = JobJournal.read_state(state / "journal")
+    submitted_ids = {normalize_request(r)["job_id"] for r in requests}
+    journal_ids = set(final.jobs)
+    lost = submitted_ids - journal_ids
+    if lost:
+        report.violations.append(f"{len(lost)} submitted job(s) left no journal trace")
+    for job_id in submitted_ids & journal_ids:
+        job = final.jobs[job_id]
+        if job.status != "completed":
+            report.violations.append(
+                f"job {job.request.get('label')} ended {job.status!r}, "
+                "expected completed"
+            )
+        if job.completions != 1:
+            report.violations.append(
+                f"job {job.request.get('label')} has {job.completions} "
+                "completed records (exactly-once violated)"
+            )
+        result_file = state / "results" / f"{job_id}.json"
+        if not result_file.exists():
+            report.violations.append(
+                f"job {job.request.get('label')} has no result artifact"
+            )
+
+    manifests = sorted((state / "manifests").glob("manifest-*.json"))
+    if not manifests:
+        report.violations.append("drain did not write a run manifest")
+    else:
+        report.manifest_path = manifests[-1]
+        manifest = json.loads(report.manifest_path.read_text())
+        row_ids = {j["job_id"] for j in manifest["jobs"]}
+        if not submitted_ids <= row_ids:
+            report.violations.append("manifest is missing submitted jobs")
+        not_ok = [
+            j["label"]
+            for j in manifest["jobs"]
+            if j["job_id"] in submitted_ids and j["status"] != "ok"
+        ]
+        if not_ok:
+            report.violations.append(
+                f"manifest rows not ok after drain: {not_ok}"
+            )
     return report

@@ -124,6 +124,18 @@ _WORKERS = {
     "experiment": experiment_worker,
 }
 
+#: The job kinds this module can execute (the serve daemon builds its
+#: request vocabulary from this).
+WORKER_KINDS = tuple(_WORKERS)
+
+
+def worker_for(kind: str):
+    """The stock worker callable for ``kind``; raises on unknown kinds."""
+    worker = _WORKERS.get(kind)
+    if worker is None:
+        raise ValueError(f"unknown job kind: {kind!r}")
+    return worker
+
 
 # ----------------------------------------------------------------------
 # Orchestration entry points
@@ -212,10 +224,7 @@ def run_jobs(
 
 
 def _dispatch(spec: JobSpec) -> Dict[str, Any]:
-    worker = _WORKERS.get(spec.kind)
-    if worker is None:
-        raise ValueError(f"unknown job kind: {spec.kind!r}")
-    return worker(spec)
+    return worker_for(spec.kind)(spec)
 
 
 def run_batch(

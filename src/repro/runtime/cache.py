@@ -107,34 +107,41 @@ class ProfileCache:
     # ------------------------------------------------------------------
     # Get / put
     # ------------------------------------------------------------------
-    def get_profile(self, key: str) -> Optional[dict]:
+    def get_profile(self, key: str, count: bool = True) -> Optional[dict]:
         """The raw profile dict for ``key``, or ``None`` on miss.
 
         A corrupt entry (torn write from a killed process, manual edit,
         wrong schema) counts as a miss and is *quarantined* — moved to
         ``<root>/quarantine/`` rather than deleted, so the damage stays
         inspectable while the caller re-fits into a clean slot.
+
+        ``count=False`` skips the hit/miss counters; it exists for
+        double-checked lookups (miss, take fit lock, re-check) that
+        would otherwise tally one logical miss twice.
         """
         path = self.path_for(key)
         try:
             profile = json.loads(path.read_text())
         except FileNotFoundError:
-            self.misses += 1
-            obs.metrics().counter("cache.misses").inc()
+            self._count_miss(count)
             return None
         except (json.JSONDecodeError, OSError):
             self._quarantine(path, "undecodable json")
-            self.misses += 1
-            obs.metrics().counter("cache.misses").inc()
+            self._count_miss(count)
             return None
         if not isinstance(profile, dict) or "profile_version" not in profile:
             self._quarantine(path, "not a profile object")
+            self._count_miss(count)
+            return None
+        if count:
+            self.hits += 1
+            obs.metrics().counter("cache.hits").inc()
+        return profile
+
+    def _count_miss(self, count: bool) -> None:
+        if count:
             self.misses += 1
             obs.metrics().counter("cache.misses").inc()
-            return None
-        self.hits += 1
-        obs.metrics().counter("cache.hits").inc()
-        return profile
 
     def _quarantine(self, path: Path, reason: str) -> None:
         try:
@@ -148,11 +155,11 @@ class ProfileCache:
             "cache.quarantined", entry=path.name, reason=reason
         )
 
-    def get(self, key: str):
+    def get(self, key: str, count: bool = True):
         """The cached :class:`IBoxNetModel` for ``key``, or ``None``."""
         from repro.core.iboxnet import from_profile
 
-        profile = self.get_profile(key)
+        profile = self.get_profile(key, count=count)
         if profile is None:
             return None
         try:
@@ -180,20 +187,34 @@ class ProfileCache:
     # ------------------------------------------------------------------
     # High-level: fit-through-cache
     # ------------------------------------------------------------------
+    def lock_path_for(self, key: str) -> Path:
+        """The advisory lockfile serialising fit-on-miss for ``key``."""
+        return self.root / "locks" / f"{key}.lock"
+
     def fit_cached(
         self,
         trace_path: PathLike,
         fit_kwargs: Optional[Dict[str, Any]] = None,
         trace_digest: Optional[str] = None,
         repair_policy: str = "strict",
+        lock_timeout: Optional[float] = 600.0,
     ) -> Tuple[Any, bool]:
         """Fit ``trace_path`` through the cache.
 
         Returns ``(model, cache_hit)``; on a miss the trace is loaded
         under ``repair_policy``, fitted, and the resulting profile
         stored before returning.
+
+        The fit itself runs under a per-key advisory file lock
+        (``fcntl.flock``): when several processes miss on the same key
+        at once — the serve daemon's workers, parallel batch runs over
+        a shared cache — exactly one fits while the rest wait, then
+        read the winner's entry as a hit instead of burning the same
+        CPU again.  A crashed winner releases the flock automatically,
+        so waiters simply take over.
         """
         from repro.core import iboxnet
+        from repro.runtime.locks import file_lock
         from repro.trace.io import load_trace
 
         key = self.key_for(
@@ -205,10 +226,22 @@ class ProfileCache:
         model = self.get(key)
         if model is not None:
             return model, True
-        with obs.span("cache.fit_miss", trace=str(trace_path)):
-            trace = load_trace(trace_path, policy=repair_policy)
-            model = iboxnet.fit(trace, **(fit_kwargs or {}))
-            self.put(key, model)
+        with file_lock(self.lock_path_for(key), timeout=lock_timeout) as waited:
+            if waited:
+                # Another process held the fit lock: it was fitting this
+                # very key.
+                obs.metrics().counter("cache.lock_waits").inc()
+            # Re-check under the lock: a concurrent fitter may have
+            # finished between our miss above and acquiring the lock.
+            # counter-neutral — the miss above already tallied this
+            # lookup once.
+            model = self.get(key, count=False)
+            if model is not None:
+                return model, True
+            with obs.span("cache.fit_miss", trace=str(trace_path)):
+                trace = load_trace(trace_path, policy=repair_policy)
+                model = iboxnet.fit(trace, **(fit_kwargs or {}))
+                self.put(key, model)
         return model, False
 
     # ------------------------------------------------------------------

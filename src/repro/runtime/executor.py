@@ -12,7 +12,13 @@ The contract that every caller relies on:
   will blow it again);
 * if a process pool cannot be created at all (restricted sandboxes,
   missing ``/dev/shm``) the executor degrades to in-process serial
-  execution rather than failing the batch.
+  execution rather than failing the batch;
+* a SIGINT/SIGTERM (anything that raises :class:`KeyboardInterrupt`
+  into the orchestrating thread) does not lose the batch: finished
+  results are kept, every unfinished job resolves to ``failed`` with
+  error type ``Interrupted``, and :attr:`BatchExecutor.interrupted` is
+  set — so the caller still writes a complete manifest that a later
+  ``--resume`` can pick up exactly where the signal landed.
 
 Workers are plain module-level callables ``worker(spec) -> value`` so
 they pickle across the process boundary.  By convention a worker that
@@ -135,6 +141,10 @@ class BatchExecutor:
     def __init__(self, config: Optional[ExecutorConfig] = None):
         self.config = config or ExecutorConfig()
         self.degraded_to_serial = False
+        #: True once a KeyboardInterrupt (SIGINT, or SIGTERM re-raised
+        #: by the CLI handler) cut the batch short.  Jobs that never
+        #: finished are recorded as failed/``Interrupted``.
+        self.interrupted = False
         self._rng = random.Random()
 
     # ------------------------------------------------------------------
@@ -195,6 +205,28 @@ class BatchExecutor:
             )
         )
 
+    def _mark_interrupted(self) -> None:
+        if not self.interrupted:
+            self.interrupted = True
+            obs.metrics().counter("executor.interrupted").inc()
+            _log.warning("executor.interrupted")
+
+    def _interrupted_result(self, spec: JobSpec) -> JobResult:
+        return self._record_outcome(
+            JobResult(
+                spec=spec,
+                status="failed",
+                error=JobError(
+                    error_type="Interrupted",
+                    message=(
+                        "batch interrupted by signal before this job "
+                        "finished; re-run it with --resume"
+                    ),
+                ),
+                attempts=0,
+            )
+        )
+
     # ------------------------------------------------------------------
     # Backoff
     # ------------------------------------------------------------------
@@ -239,14 +271,24 @@ class BatchExecutor:
         In-process execution cannot preempt a running job, so per-job
         timeouts do not apply here; the budget is enforced at job
         boundaries (a job started before the deadline runs to
-        completion).
+        completion).  A KeyboardInterrupt lands inside the running
+        job's frame: that job and everything after it resolve to
+        ``Interrupted`` instead of the exception escaping with the
+        finished results.
         """
         results: List[JobResult] = []
         for spec in specs:
+            if self.interrupted:
+                results.append(self._interrupted_result(spec))
+                continue
             if deadline is not None and time.perf_counter() >= deadline:
                 results.append(self._budget_exhausted_result(spec))
                 continue
-            results.append(self._run_serial(spec, worker))
+            try:
+                results.append(self._run_serial(spec, worker))
+            except KeyboardInterrupt:
+                self._mark_interrupted()
+                results.append(self._interrupted_result(spec))
         return results
 
     def _run_serial(
@@ -296,6 +338,27 @@ class BatchExecutor:
         # (index, attempt) still owed a result.
         pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(specs))]
         obs_ctx = obs.current_context()
+        try:
+            self._pool_rounds(specs, worker, deadline, results, pending, obs_ctx)
+        except KeyboardInterrupt:
+            # A signal outside the per-future wait (submit, backoff
+            # sleep, pool construction): same contract, no lost batch.
+            self._mark_interrupted()
+        if self.interrupted:
+            for i, result in enumerate(results):
+                if result is None:
+                    results[i] = self._interrupted_result(specs[i])
+        return [r for r in results if r is not None]
+
+    def _pool_rounds(
+        self,
+        specs: Sequence[JobSpec],
+        worker: Callable[[JobSpec], object],
+        deadline: Optional[float],
+        results: List[Optional[JobResult]],
+        pending: List[Tuple[int, int]],
+        obs_ctx,
+    ) -> None:
         while pending:
             if deadline is not None and time.perf_counter() >= deadline:
                 for i, _ in pending:
@@ -315,6 +378,9 @@ class BatchExecutor:
                 ]
                 for i, attempt, fut in futures:
                     spec = specs[i]
+                    if self.interrupted:
+                        fut.cancel()
+                        continue
                     job_timeout = self._effective_timeout(spec)
                     remaining = (
                         None if deadline is None
@@ -336,6 +402,13 @@ class BatchExecutor:
                         status, payload, duration, telemetry = fut.result(
                             timeout=wait_timeout
                         )
+                    except KeyboardInterrupt:
+                        # The signal landed mid-wait: keep what finished,
+                        # stop waiting for the rest (the finally below
+                        # cancels and abandons them without blocking).
+                        self._mark_interrupted()
+                        fut.cancel()
+                        continue
                     except FutureTimeout:
                         had_timeout = True
                         fut.cancel()
@@ -411,9 +484,15 @@ class BatchExecutor:
                             )
                         )
             finally:
-                # After a timeout the pool may hold a hung worker; don't
-                # block the batch waiting for it.
-                pool.shutdown(wait=not had_timeout, cancel_futures=True)
+                # After a timeout the pool may hold a hung worker — and
+                # after an interrupt the user wants out *now*; neither
+                # may block the batch.
+                pool.shutdown(
+                    wait=not (had_timeout or self.interrupted),
+                    cancel_futures=True,
+                )
+            if self.interrupted:
+                return
             if retry:
                 max_attempt = max(a for _, a in retry)
                 delay = self._backoff_delay(max_attempt)
@@ -421,4 +500,3 @@ class BatchExecutor:
                     self._note_retry(specs[i], next_attempt, delay)
                 time.sleep(delay)
             pending = retry
-        return [r for r in results if r is not None]

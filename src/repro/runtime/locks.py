@@ -1,0 +1,154 @@
+"""Advisory inter-process file locks.
+
+One primitive, two users: the profile cache serialises fit-on-miss so
+two processes racing on the same key fit once (the loser waits, then
+reads the winner's entry), and the serve daemon holds a lock on its
+state directory so a second daemon cannot interleave journal writes
+with a live one.
+
+The implementation prefers ``fcntl.flock`` — released automatically by
+the kernel when the holding process dies, even on SIGKILL, which is
+exactly the crash-tolerance the serve daemon needs.  Where ``fcntl`` is
+unavailable the fallback is an ``O_EXCL`` lockfile with a staleness
+bound (a crashed holder's lockfile is broken after ``stale_sec``).
+Lockfiles are never unlinked in the flock path: unlink + re-create
+races would let two processes hold "the same" lock on different inodes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from pathlib import Path
+from typing import Iterator, Optional
+
+try:  # POSIX only; the fallback below covers everything else
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from repro.trace.io import PathLike
+
+
+class LockTimeout(TimeoutError):
+    """The lock could not be acquired within the caller's timeout."""
+
+
+def _acquire_flock(fd: int, timeout: Optional[float], poll: float) -> bool:
+    """Returns True when the lock was contended (we had to wait)."""
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        return False
+    except OSError:
+        pass
+    if timeout is None:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        return True
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return True
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise LockTimeout(f"lock not acquired within {timeout}s")
+            time.sleep(poll)
+
+
+def _acquire_excl(
+    path: Path, timeout: Optional[float], poll: float, stale_sec: float
+) -> bool:
+    contended = False
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            return contended
+        except FileExistsError:
+            contended = True
+            try:
+                age = time.time() - path.stat().st_mtime
+                if age > stale_sec:
+                    # Holder is presumed dead; break its lock.
+                    path.unlink(missing_ok=True)
+                    continue
+            except OSError:
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                raise LockTimeout(f"lock not acquired within {timeout}s")
+            time.sleep(poll)
+
+
+@contextlib.contextmanager
+def file_lock(
+    path: PathLike,
+    timeout: Optional[float] = None,
+    poll_interval: float = 0.05,
+    stale_sec: float = 60.0,
+) -> Iterator[bool]:
+    """Hold an exclusive advisory lock at ``path`` for the ``with`` body.
+
+    Yields ``True`` when the lock was *contended* (another process held
+    it first and we waited) — callers use that to re-check work another
+    process may have finished, e.g. a cache entry the winner wrote.
+    Raises :class:`LockTimeout` when ``timeout`` (seconds) elapses.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fcntl is not None:
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            contended = _acquire_flock(fd, timeout, poll_interval)
+            yield contended
+        finally:
+            os.close(fd)  # closing the fd releases the flock
+    else:  # pragma: no cover - non-POSIX platforms
+        contended = _acquire_excl(path, timeout, poll_interval, stale_sec)
+        try:
+            yield contended
+        finally:
+            path.unlink(missing_ok=True)
+
+
+class ProcessLock:
+    """A held-for-process-lifetime lock (the daemon's single-instance pin).
+
+    Unlike :func:`file_lock` this is not a context manager: the serve
+    daemon acquires it at startup and simply never releases it — the
+    kernel drops the flock when the process exits, *including* on
+    SIGKILL, so a crashed daemon never wedges its state directory.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+
+    def acquire(self) -> bool:
+        """Try to take the lock; False when another live process holds it."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            try:
+                _acquire_excl(self.path, timeout=0.0, poll=0.01, stale_sec=60.0)
+            except LockTimeout:
+                return False
+            return True
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        os.ftruncate(fd, 0)
+        os.write(fd, str(os.getpid()).encode())
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        elif fcntl is None:  # pragma: no cover
+            self.path.unlink(missing_ok=True)

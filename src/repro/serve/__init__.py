@@ -1,0 +1,73 @@
+"""repro.serve — a crash-tolerant, supervised simulation service.
+
+The long-running counterpart to ``repro batch`` (DESIGN.md §10): a
+``repro serve run`` daemon accepts fit/simulate/experiment job requests
+as JSONL over a watched spool directory or a unix socket, journals each
+one to a durable fsync'd WAL before acting on it, and executes leases
+in supervised worker processes with heartbeats, deadline kills, and
+crash backoff.  After a SIGKILL the journal replay requeues every
+orphaned lease; completed jobs are never re-run.  SIGTERM/SIGINT drain
+gracefully: intake stops, leases settle or are checkpointed, and a
+complete run manifest is written before exit 0.
+
+Quickstart::
+
+    # terminal 1 — the service
+    repro serve run --state /tmp/svc --spool /tmp/svc/spool --workers 2
+
+    # terminal 2 — a client
+    repro serve submit --spool /tmp/svc/spool \
+        '{"kind": "simulate", "params": {...}}'
+    repro serve status --state /tmp/svc
+
+Programmatic use mirrors the CLI::
+
+    from repro.serve import ServeConfig, ServeDaemon, submit_to_spool
+
+    config = ServeConfig(state_dir=state, spool_dir=spool, workers=2)
+    daemon = ServeDaemon(config)   # replays the journal, requeues orphans
+    daemon.run()                   # blocks until signalled, then drains
+"""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.client import (
+    format_status,
+    serve_status,
+    submit_to_spool,
+    submit_via_socket,
+)
+from repro.serve.daemon import ServeConfig, ServeDaemon, serve_forever
+from repro.serve.journal import JobJournal, JobRecord, JournalState
+from repro.serve.queue import AdmissionQueue
+from repro.serve.requests import (
+    BadRequest,
+    normalize_request,
+    request_to_spec,
+    resolve_worker,
+)
+from repro.serve.supervisor import Lease, LeaseEvent, Supervisor
+
+__all__ = [
+    "AdmissionQueue",
+    "BadRequest",
+    "CircuitBreaker",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "JobJournal",
+    "JobRecord",
+    "JournalState",
+    "Lease",
+    "LeaseEvent",
+    "ServeConfig",
+    "ServeDaemon",
+    "Supervisor",
+    "format_status",
+    "normalize_request",
+    "request_to_spec",
+    "resolve_worker",
+    "serve_forever",
+    "serve_status",
+    "submit_to_spool",
+    "submit_via_socket",
+]

@@ -1,0 +1,100 @@
+"""Per-job-class circuit breakers.
+
+A spec class that keeps failing (a bad trace directory, a crashing
+protocol) must not burn worker slots and retries forever: after
+``failure_threshold`` consecutive failures the class's breaker *opens*
+and further jobs of that class are short-circuited to ``rejected:
+circuit_open``.  After ``cooldown_sec`` the breaker goes *half-open*
+and admits a single probe: success closes it, failure re-opens it (and
+restarts the cooldown).
+
+The clock is injectable so the transition tests don't sleep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro import obs
+
+_log = obs.get_logger("repro.serve")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class _ClassState:
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    probe_in_flight: bool = False
+
+
+@dataclass
+class CircuitBreaker:
+    """One breaker per job class, keyed lazily."""
+
+    failure_threshold: int = 3
+    cooldown_sec: float = 30.0
+    clock: Callable[[], float] = time.monotonic
+    _classes: Dict[str, _ClassState] = field(default_factory=dict)
+
+    def _cls(self, job_class: str) -> _ClassState:
+        return self._classes.setdefault(job_class, _ClassState())
+
+    def state(self, job_class: str) -> str:
+        cls = self._cls(job_class)
+        self._maybe_half_open(job_class, cls)
+        return cls.state
+
+    def _maybe_half_open(self, job_class: str, cls: _ClassState) -> None:
+        if cls.state == OPEN and self.clock() - cls.opened_at >= self.cooldown_sec:
+            cls.state = HALF_OPEN
+            cls.probe_in_flight = False
+            _log.info("breaker.half_open", job_class=job_class)
+
+    def allow(self, job_class: str) -> bool:
+        """May a job of this class be dispatched right now?
+
+        In half-open state exactly one probe is allowed through; its
+        outcome (reported via :meth:`record_success` /
+        :meth:`record_failure`) decides the next state.
+        """
+        cls = self._cls(job_class)
+        self._maybe_half_open(job_class, cls)
+        if cls.state == CLOSED:
+            return True
+        if cls.state == HALF_OPEN and not cls.probe_in_flight:
+            cls.probe_in_flight = True
+            return True
+        return False
+
+    def record_success(self, job_class: str) -> None:
+        cls = self._cls(job_class)
+        if cls.state == HALF_OPEN:
+            _log.info("breaker.closed", job_class=job_class)
+        cls.state = CLOSED
+        cls.consecutive_failures = 0
+        cls.probe_in_flight = False
+
+    def record_failure(self, job_class: str) -> None:
+        cls = self._cls(job_class)
+        cls.consecutive_failures += 1
+        cls.probe_in_flight = False
+        if cls.state == HALF_OPEN or (
+            cls.state == CLOSED
+            and cls.consecutive_failures >= self.failure_threshold
+        ):
+            cls.state = OPEN
+            cls.opened_at = self.clock()
+            obs.metrics().counter("breaker.open").inc()
+            _log.warning(
+                "breaker.open",
+                job_class=job_class,
+                consecutive_failures=cls.consecutive_failures,
+                cooldown_sec=self.cooldown_sec,
+            )

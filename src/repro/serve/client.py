@@ -1,0 +1,115 @@
+"""Client helpers: submit jobs to a running daemon, inspect its state.
+
+Two transports, same JSONL payload:
+
+* **spool** — :func:`submit_to_spool` writes a request file atomically
+  (tmp + rename) into the watched directory; fire-and-forget, survives
+  the daemon being down (the file waits), no response channel beyond
+  the journal;
+* **socket** — :func:`submit_via_socket` speaks the request/response
+  protocol over the daemon's unix socket and returns one response dict
+  per request (``accepted`` / ``rejected`` + retry-after / ``duplicate``).
+
+:func:`serve_status` replays the journal read-only — it works on a live
+daemon's state dir and on a dead one's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from repro.serve.journal import JobJournal
+from repro.trace.io import PathLike
+
+
+def submit_to_spool(
+    spool_dir: PathLike, requests: Sequence[Dict[str, Any]]
+) -> Path:
+    """Atomically drop one JSONL file of requests into the spool."""
+    spool = Path(spool_dir)
+    spool.mkdir(parents=True, exist_ok=True)
+    name = f"{time.strftime('%Y%m%d-%H%M%S')}-{uuid.uuid4().hex[:8]}.jsonl"
+    tmp = spool / f".{name}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        for request in requests:
+            fh.write(json.dumps(request) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    path = spool / name
+    os.replace(tmp, path)
+    return path
+
+
+def submit_via_socket(
+    socket_path: PathLike,
+    requests: Sequence[Dict[str, Any]],
+    timeout: float = 10.0,
+) -> List[Dict[str, Any]]:
+    """Send requests over the daemon's unix socket; one response each."""
+    responses: List[Dict[str, Any]] = []
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+        conn.settimeout(timeout)
+        conn.connect(str(socket_path))
+        reader = conn.makefile("r", encoding="utf-8")
+        writer = conn.makefile("w", encoding="utf-8")
+        for request in requests:
+            writer.write(json.dumps(request) + "\n")
+            writer.flush()
+            line = reader.readline()
+            if not line:
+                raise ConnectionError("daemon closed the socket mid-protocol")
+            responses.append(json.loads(line))
+    return responses
+
+
+def serve_status(state_dir: PathLike) -> Dict[str, Any]:
+    """Journal-derived service state: counts plus per-job statuses."""
+    state_dir = Path(state_dir)
+    state = JobJournal.read_state(state_dir / "journal")
+    pid_file = state_dir / "serve.pid"
+    pid = None
+    if pid_file.exists():
+        try:
+            pid = int(pid_file.read_text().strip())
+        except ValueError:
+            pid = None
+    return {
+        "state_dir": str(state_dir),
+        "pid": pid,
+        "counts": state.counts(),
+        "torn_records": state.torn_records,
+        "jobs": [
+            {
+                "job_id": j.request["job_id"],
+                "label": j.request.get("label"),
+                "status": j.status,
+                "attempts": j.attempts,
+                "completions": j.completions,
+            }
+            for j in state.in_order()
+        ],
+    }
+
+
+def format_status(status: Dict[str, Any]) -> str:
+    counts = status["counts"]
+    lines = [
+        f"serve state {status['state_dir']}"
+        + (f" (pid {status['pid']})" if status.get("pid") else ""),
+        "  "
+        + " ".join(f"{k}={v}" for k, v in counts.items()),
+    ]
+    if status.get("torn_records"):
+        lines.append(f"  torn journal records dropped: {status['torn_records']}")
+    for job in status["jobs"]:
+        lines.append(
+            f"  {job['status']:<9} attempts={job['attempts']} "
+            f"{job['label']}"
+        )
+    return "\n".join(lines)

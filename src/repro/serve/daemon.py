@@ -1,0 +1,497 @@
+"""The ``repro serve`` daemon: a crash-tolerant simulation service.
+
+One long-running process that accepts fit/simulate/experiment job
+requests (JSONL via a watched spool directory and/or a unix socket),
+journals every admission decision to a durable WAL before acting on it,
+and runs jobs through a supervised process-per-lease worker set.
+
+The invariants (DESIGN.md §10):
+
+* **admit-then-act** — a request is fsync'd to the journal as
+  ``submitted`` before it can run, so a SIGKILL never loses an admitted
+  job;
+* **at-least-once execution, exactly-once completion** — on restart the
+  journal is replayed and every non-terminal job is requeued; jobs with
+  a ``completed`` record are never run again.  Effects are idempotent
+  (content-hashed ids, atomic result writes, the profile cache), so a
+  re-run lease converges to the same artifacts;
+* **bounded everything** — the admission queue sheds (``rejected:
+  overloaded`` + retry-after hint) instead of growing, per-class
+  circuit breakers short-circuit repeatedly failing specs, and crashed
+  worker slots restart under exponential backoff;
+* **graceful drain** — SIGTERM/SIGINT stop intake, let in-flight
+  leases finish (up to ``drain_timeout_sec``, then checkpoint/requeue),
+  flush the journal, write a complete run manifest, and exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.runtime.locks import ProcessLock
+from repro.runtime.manifest import RunManifest, new_run_id
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.journal import JobJournal
+from repro.serve.queue import AdmissionQueue
+from repro.serve.requests import BadRequest, normalize_request
+from repro.serve.supervisor import LeaseEvent, Supervisor
+from repro.trace.io import PathLike
+
+_log = obs.get_logger("repro.serve")
+
+#: A lease may crash-requeue at most this many times before the job is
+#: recorded ``failed`` (WorkerCrashLoop) instead of looping forever.
+DEFAULT_MAX_LEASES = 3
+
+
+@dataclass
+class ServeConfig:
+    """Operational knobs for one daemon."""
+
+    state_dir: Path
+    spool_dir: Optional[Path] = None
+    socket_path: Optional[Path] = None
+    workers: int = 2
+    queue_limit: int = 64
+    poll_interval: float = 0.05
+    default_timeout_sec: Optional[float] = None
+    drain_timeout_sec: float = 15.0
+    max_leases: int = DEFAULT_MAX_LEASES
+    breaker_threshold: int = 3
+    breaker_cooldown_sec: float = 30.0
+    #: Exit gracefully once the service has been completely idle (no
+    #: queue, no leases, no intake) for this long.  None = run forever.
+    idle_exit_sec: Optional[float] = None
+    #: Hard wall-clock cap on the daemon's lifetime (safety for CI).
+    max_runtime_sec: Optional[float] = None
+    fsync: bool = True
+
+    def __post_init__(self):
+        self.state_dir = Path(self.state_dir)
+        if self.spool_dir is not None:
+            self.spool_dir = Path(self.spool_dir)
+        if self.socket_path is not None:
+            self.socket_path = Path(self.socket_path)
+        if self.spool_dir is None and self.socket_path is None:
+            raise ValueError("need a spool dir and/or a socket path")
+
+
+class ServeDaemon:
+    """See the module docstring; drive with :meth:`run` (or, in tests,
+    :meth:`tick` for deterministic single steps)."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.state_dir = config.state_dir
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._lock_file = ProcessLock(self.state_dir / "serve.lock")
+        if not self._lock_file.acquire():
+            raise RuntimeError(
+                f"another serve daemon holds {self.state_dir}/serve.lock"
+            )
+        self.journal = JobJournal(self.state_dir / "journal", fsync=config.fsync)
+        self.queue = AdmissionQueue(limit=config.queue_limit)
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            cooldown_sec=config.breaker_cooldown_sec,
+        )
+        self.supervisor = Supervisor(
+            workers=config.workers, results_dir=self.state_dir / "results"
+        )
+        self._admission = threading.Lock()
+        self.draining = False
+        self._stop_signal: Optional[int] = None
+        self._last_activity = time.monotonic()
+        self._started_mono = time.monotonic()
+        self._started_perf = time.perf_counter()
+        self._started_iso = datetime.now(timezone.utc).isoformat()
+        self._server_socket: Optional[socket.socket] = None
+        self._socket_thread: Optional[threading.Thread] = None
+        self.recovered = self._recover()
+        (self.state_dir / "serve.pid").write_text(str(os.getpid()))
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> int:
+        """Requeue every non-terminal journaled job; returns the count."""
+        orphans = self.journal.state.to_requeue()
+        for record in orphans:
+            if record.status == "leased":
+                # Its lease died with the previous daemon: note the
+                # requeue so the journal reflects reality again.
+                self.journal.requeued(record.request["job_id"], "orphaned_lease")
+            self.queue.push(record.request, force=True)
+        if orphans:
+            obs.metrics().counter("serve.recovered").inc(len(orphans))
+            _log.info(
+                "serve.recovered",
+                jobs=len(orphans),
+                state_dir=str(self.state_dir),
+            )
+        return len(orphans)
+
+    # ------------------------------------------------------------------
+    # Admission (spool scanner and socket threads both land here)
+    # ------------------------------------------------------------------
+    def admit(self, raw: Any) -> Dict[str, Any]:
+        """Admit one raw request object; returns the response dict."""
+        try:
+            request = normalize_request(
+                raw, default_timeout_sec=self.config.default_timeout_sec
+            )
+        except BadRequest as exc:
+            obs.metrics().counter("serve.invalid").inc()
+            _log.warning("serve.invalid_request", error=str(exc))
+            return {"status": "rejected", "reason": "invalid", "detail": str(exc)}
+        with self._admission:
+            self._last_activity = time.monotonic()
+            job_id = request["job_id"]
+            known = self.journal.state.jobs.get(job_id)
+            if known is not None:
+                return {
+                    "status": "duplicate",
+                    "job_id": job_id,
+                    "state": known.status,
+                }
+            if self.draining:
+                return {
+                    "status": "rejected",
+                    "job_id": job_id,
+                    "reason": "draining",
+                    "retry_after_sec": self.config.drain_timeout_sec,
+                }
+            if self.queue.full:
+                hint = self.queue.retry_after_hint(self.config.workers)
+                self.journal.submitted(request)
+                self.journal.rejected(job_id, "overloaded", retry_after_sec=hint)
+                obs.metrics().counter("serve.shed").inc()
+                _log.warning(
+                    "serve.shed",
+                    job_id=job_id,
+                    queue_depth=len(self.queue),
+                    retry_after_sec=hint,
+                )
+                return {
+                    "status": "rejected",
+                    "job_id": job_id,
+                    "reason": "overloaded",
+                    "retry_after_sec": hint,
+                }
+            self.journal.submitted(request)
+            self.queue.push(request)
+            obs.metrics().counter("serve.admitted").inc()
+            return {"status": "accepted", "job_id": job_id}
+
+    # ------------------------------------------------------------------
+    # Spool intake
+    # ------------------------------------------------------------------
+    def _intake_spool(self) -> int:
+        spool = self.config.spool_dir
+        if spool is None or self.draining or not spool.exists():
+            return 0
+        admitted = 0
+        done = spool / "done"
+        for path in sorted(spool.glob("*.jsonl")):
+            try:
+                lines = path.read_text().splitlines()
+            except OSError:
+                continue  # mid-rename; next tick gets it
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError:
+                    obs.metrics().counter("serve.invalid").inc()
+                    _log.warning("serve.invalid_spool_line", file=path.name)
+                    continue
+                response = self.admit(raw)
+                if response["status"] == "accepted":
+                    admitted += 1
+            # Journal writes above are durable; only then is the spool
+            # file retired (a crash in between just re-reads it, and the
+            # journal dedupes every already-submitted job_id).
+            done.mkdir(parents=True, exist_ok=True)
+            os.replace(path, done / path.name)
+        return admitted
+
+    # ------------------------------------------------------------------
+    # Unix-socket intake
+    # ------------------------------------------------------------------
+    def _start_socket(self) -> None:
+        path = self.config.socket_path
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.unlink(missing_ok=True)
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(str(path))
+        server.listen(8)
+        server.settimeout(0.2)
+        self._server_socket = server
+
+        def _serve_connections():
+            while self._server_socket is not None:
+                try:
+                    conn, _ = server.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                threading.Thread(
+                    target=self._handle_connection, args=(conn,), daemon=True
+                ).start()
+
+        self._socket_thread = threading.Thread(
+            target=_serve_connections, daemon=True
+        )
+        self._socket_thread.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        with conn:
+            reader = conn.makefile("r", encoding="utf-8")
+            writer = conn.makefile("w", encoding="utf-8")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError:
+                    response = {"status": "rejected", "reason": "invalid",
+                                "detail": "undecodable JSON line"}
+                else:
+                    response = self.admit(raw)
+                writer.write(json.dumps(response) + "\n")
+                writer.flush()
+
+    def _stop_socket(self) -> None:
+        server, self._server_socket = self._server_socket, None
+        if server is not None:
+            server.close()
+        if self.config.socket_path is not None:
+            self.config.socket_path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Dispatch + lease outcomes
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        while self.supervisor.free_slots() > 0:
+            with self._admission:
+                request = self.queue.pop()
+            if request is None:
+                return
+            job_class = request.get("class") or request["kind"]
+            if not self.breaker.allow(job_class):
+                self.journal.rejected(request["job_id"], "circuit_open")
+                _log.warning(
+                    "serve.circuit_open",
+                    job_id=request["job_id"],
+                    job_class=job_class,
+                )
+                continue
+            state = self.journal.state.jobs.get(request["job_id"])
+            lease_no = (state.attempts if state else 0) + 1
+            lease = self.supervisor.dispatch(request, lease_no)
+            if lease is None:  # every free slot is backing off
+                with self._admission:
+                    self.queue.push(request, front=True, force=True)
+                return
+            self.journal.leased(
+                request["job_id"], lease_no, pid=lease.process.pid
+            )
+            self._last_activity = time.monotonic()
+
+    def _handle_event(self, event: LeaseEvent) -> None:
+        job_id = event.request["job_id"]
+        job_class = event.request.get("class") or event.request["kind"]
+        self._last_activity = time.monotonic()
+        if event.outcome == "completed":
+            result = event.result or {}
+            self.journal.completed(
+                job_id,
+                duration_sec=event.duration_sec,
+                cache_hit=bool(result.get("cache_hit")),
+            )
+            self.queue.observe_service_time(event.duration_sec)
+            self.breaker.record_success(job_class)
+            obs.metrics().counter("serve.completed").inc()
+            return
+        if event.outcome == "failed":
+            error = (event.result or {}).get("error") or {
+                "error_type": "UnknownFailure",
+                "message": "worker wrote a failed result without an error",
+            }
+            self.journal.failed(job_id, error)
+            self.breaker.record_failure(job_class)
+            obs.metrics().counter("serve.failed").inc()
+            return
+        if event.outcome == "timeout":
+            self.journal.failed(
+                job_id,
+                {
+                    "error_type": "TimeoutError",
+                    "message": (
+                        f"lease exceeded its {event.request.get('timeout_sec')}s "
+                        "deadline and was killed"
+                    ),
+                },
+            )
+            self.breaker.record_failure(job_class)
+            obs.metrics().counter("serve.failed").inc()
+            return
+        # Crash: the worker died without a result.  Requeue (bounded).
+        self.breaker.record_failure(job_class)
+        state = self.journal.state.jobs.get(job_id)
+        attempts = state.attempts if state else 1
+        if attempts >= self.config.max_leases:
+            self.journal.failed(
+                job_id,
+                {
+                    "error_type": "WorkerCrashLoop",
+                    "message": (
+                        f"worker crashed on all {attempts} leases "
+                        f"(last exitcode {event.exitcode})"
+                    ),
+                },
+            )
+            obs.metrics().counter("serve.failed").inc()
+            return
+        self.journal.requeued(job_id, f"worker_crash_exit_{event.exitcode}")
+        with self._admission:
+            self.queue.push(event.request, front=True, force=True)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """One deterministic scheduling step (tests call this directly)."""
+        self._intake_spool()
+        self._dispatch()
+        for event in self.supervisor.poll():
+            self._handle_event(event)
+        obs.metrics().gauge("serve.busy_workers").set(self.supervisor.busy)
+
+    def _install_signals(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return
+
+        def _on_signal(signum, frame):
+            self._stop_signal = signum
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    def _should_stop(self) -> bool:
+        if self._stop_signal is not None:
+            return True
+        now = time.monotonic()
+        if (
+            self.config.max_runtime_sec is not None
+            and now - self._started_mono >= self.config.max_runtime_sec
+        ):
+            _log.warning("serve.max_runtime_reached")
+            return True
+        if (
+            self.config.idle_exit_sec is not None
+            and len(self.queue) == 0
+            and self.supervisor.busy == 0
+            and now - self._last_activity >= self.config.idle_exit_sec
+        ):
+            _log.info("serve.idle_exit")
+            return True
+        return False
+
+    def run(self) -> int:
+        """Serve until a signal (or idle/max-runtime), then drain; 0 on
+        a graceful exit."""
+        self._install_signals()
+        self._start_socket()
+        _log.info(
+            "serve.started",
+            pid=os.getpid(),
+            state_dir=str(self.state_dir),
+            spool=str(self.config.spool_dir),
+            socket=(
+                str(self.config.socket_path)
+                if self.config.socket_path
+                else None
+            ),
+            workers=self.config.workers,
+            recovered=self.recovered,
+        )
+        try:
+            while not self._should_stop():
+                self.tick()
+                time.sleep(self.config.poll_interval)
+        finally:
+            self.drain()
+        return 0
+
+    # ------------------------------------------------------------------
+    # Graceful drain
+    # ------------------------------------------------------------------
+    def drain(self) -> Path:
+        """Stop intake, settle in-flight leases, flush, write manifest."""
+        with obs.span(
+            "serve.drain",
+            signal=self._stop_signal,
+            in_flight=self.supervisor.busy,
+            queued=len(self.queue),
+        ):
+            self.draining = True
+            self._stop_socket()
+            deadline = time.monotonic() + self.config.drain_timeout_sec
+            while self.supervisor.busy and time.monotonic() < deadline:
+                for event in self.supervisor.poll():
+                    self._handle_event(event)
+                if self.supervisor.busy:
+                    time.sleep(self.config.poll_interval)
+            # Checkpoint anything still running: kill the worker, requeue
+            # the lease — the job stays pending in the journal, so the
+            # next daemon picks it up where this one left off.
+            for lease in self.supervisor.kill_all():
+                self.journal.requeued(lease.job_id, "drain_timeout")
+                _log.warning("serve.drain_requeued", job_id=lease.job_id)
+            manifest_path = self._write_manifest()
+            self.journal.close()
+            self._lock_file.release()
+            (self.state_dir / "serve.pid").unlink(missing_ok=True)
+            _log.info("serve.drained", manifest=str(manifest_path))
+        return manifest_path
+
+    def _write_manifest(self) -> Path:
+        rows = [j.manifest_row() for j in self.journal.state.in_order()]
+        manifest = RunManifest(
+            run_id=new_run_id(),
+            command="serve",
+            workers=self.config.workers,
+            started_at=self._started_iso,
+            finished_at=datetime.now(timezone.utc).isoformat(),
+            wall_time_sec=round(time.perf_counter() - self._started_perf, 6),
+            jobs=rows,
+            metrics=obs.metrics_snapshot(),
+        )
+        return manifest.write(self.state_dir / "manifests")
+
+
+def serve_forever(config: ServeConfig) -> int:
+    """CLI entry: build the daemon and run it to a graceful exit."""
+    try:
+        daemon = ServeDaemon(config)
+    except RuntimeError as exc:
+        _log.error("serve.start_failed", error=str(exc))
+        return 1
+    return daemon.run()

@@ -1,0 +1,420 @@
+"""Durable append-only job journal (the serve daemon's WAL).
+
+Every admission decision and lease transition is one fsync'd JSONL
+record, so the journal is the single source of truth for "what did the
+service promise and what actually happened".  After a SIGKILL the
+daemon replays the journal and requeues every job whose lease was
+orphaned; a job with a ``completed`` record is never run again, which
+is what makes the service's contract *at-least-once execution with
+exactly-once completion accounting* (effects are idempotent via
+content-hashed job ids and the profile cache).
+
+Record grammar (``v`` 1), one JSON object per line::
+
+    {"v":1,"type":"submitted","job_id":...,"request":{...},"ts":...}
+    {"v":1,"type":"leased",   "job_id":...,"lease":n,"pid":...,"ts":...}
+    {"v":1,"type":"completed","job_id":...,"duration_sec":...,"cache_hit":...}
+    {"v":1,"type":"failed",   "job_id":...,"error":{...}}
+    {"v":1,"type":"rejected", "job_id":...,"reason":...,"retry_after_sec":...}
+    {"v":1,"type":"requeued", "job_id":...,"reason":...}
+    {"v":1,"type":"job", ...}         # compaction snapshot of one job
+
+Durability model: the active segment is ``wal.jsonl``; when it exceeds
+``max_segment_bytes`` it rotates to ``wal-<seq>.jsonl``, and once
+``compact_after_segments`` rotated segments pile up the whole history
+is compacted into one snapshot (``job`` records) written atomically
+(tmp + fsync + ``os.replace``).  A torn final record — the tail a
+SIGKILL leaves mid-write — is truncated away on open, and replay
+counts (but survives) any undecodable line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.trace.io import PathLike
+
+_log = obs.get_logger("repro.serve")
+
+JOURNAL_VERSION = 1
+
+#: States a job can be in after replay.  ``pending`` and ``leased`` are
+#: the non-terminal ones — exactly the set :meth:`JournalState.to_requeue`
+#: hands back to the daemon after a crash.
+TERMINAL = ("completed", "failed", "rejected")
+
+
+@dataclass
+class JobRecord:
+    """Replayed state of one job."""
+
+    request: dict
+    status: str = "pending"  # pending | leased | completed | failed | rejected
+    attempts: int = 0  # number of leases granted
+    completions: int = 0  # completed records seen (must end up <= 1)
+    duration_sec: float = 0.0
+    cache_hit: bool = False
+    error: Optional[dict] = None
+    reason: Optional[str] = None
+    order: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+    def snapshot(self) -> dict:
+        """The compaction record that reconstructs this state exactly."""
+        return {
+            "v": JOURNAL_VERSION,
+            "type": "job",
+            "job_id": self.request["job_id"],
+            "request": self.request,
+            "status": self.status,
+            "attempts": self.attempts,
+            "completions": self.completions,
+            "duration_sec": self.duration_sec,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+            "reason": self.reason,
+        }
+
+    def manifest_row(self) -> dict:
+        """This job as a run-manifest row (status must be ok|failed)."""
+        if self.status == "completed":
+            status, error = "ok", None
+        elif self.status == "failed":
+            status, error = "failed", self.error
+        elif self.status == "rejected":
+            status = "failed"
+            error = {
+                "error_type": "Rejected",
+                "message": self.reason or "rejected",
+                "traceback": "",
+            }
+        else:  # pending/leased at drain time: recoverable, not lost
+            status = "failed"
+            error = {
+                "error_type": "Drained",
+                "message": "service drained before this job ran; "
+                "it remains pending in the journal",
+                "traceback": "",
+            }
+        return {
+            "job_id": self.request["job_id"],
+            "kind": self.request.get("kind"),
+            "label": self.request.get("label"),
+            "status": status,
+            "attempts": self.attempts,
+            "duration_sec": round(self.duration_sec, 6),
+            "cache_hit": self.cache_hit,
+            "resumed": False,
+            "error": error,
+        }
+
+
+@dataclass
+class JournalState:
+    """Everything replay can tell us about the journal's jobs."""
+
+    jobs: Dict[str, JobRecord] = field(default_factory=dict)
+    torn_records: int = 0
+    duplicate_submits: int = 0
+
+    def in_order(self) -> List[JobRecord]:
+        return sorted(self.jobs.values(), key=lambda j: j.order)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {
+            "total": len(self.jobs),
+            "pending": 0,
+            "leased": 0,
+            "completed": 0,
+            "failed": 0,
+            "rejected": 0,
+        }
+        for job in self.jobs.values():
+            out[job.status] = out.get(job.status, 0) + 1
+        return out
+
+    def to_requeue(self) -> List[JobRecord]:
+        """Non-terminal jobs, in submit order — the crash-recovery set."""
+        return [j for j in self.in_order() if not j.terminal]
+
+    def apply(self, record: dict) -> None:
+        rtype = record.get("type")
+        job_id = record.get("job_id")
+        if not job_id:
+            return
+        if rtype == "job":  # compaction snapshot: absolute, replaces
+            self.jobs[job_id] = JobRecord(
+                request=record.get("request") or {"job_id": job_id},
+                status=record.get("status", "pending"),
+                attempts=int(record.get("attempts", 0)),
+                completions=int(record.get("completions", 0)),
+                duration_sec=float(record.get("duration_sec", 0.0)),
+                cache_hit=bool(record.get("cache_hit")),
+                error=record.get("error"),
+                reason=record.get("reason"),
+                order=len(self.jobs),
+            )
+            return
+        if rtype == "submitted":
+            if job_id in self.jobs:
+                self.duplicate_submits += 1
+                return
+            self.jobs[job_id] = JobRecord(
+                request=record.get("request") or {"job_id": job_id},
+                order=len(self.jobs),
+            )
+            return
+        job = self.jobs.get(job_id)
+        if job is None:
+            # A transition without a submit (lost to compaction bug or
+            # manual edit): synthesise a stub so accounting stays total.
+            job = JobRecord(request={"job_id": job_id}, order=len(self.jobs))
+            self.jobs[job_id] = job
+        if rtype == "leased":
+            job.attempts += 1
+            if not job.terminal:
+                job.status = "leased"
+        elif rtype == "completed":
+            job.status = "completed"
+            job.completions += 1
+            job.duration_sec = float(record.get("duration_sec", 0.0))
+            job.cache_hit = bool(record.get("cache_hit"))
+        elif rtype == "failed":
+            job.status = "failed"
+            job.error = record.get("error")
+        elif rtype == "rejected":
+            job.status = "rejected"
+            job.reason = record.get("reason")
+        elif rtype == "requeued":
+            if not job.terminal:
+                job.status = "pending"
+
+
+class JobJournal:
+    """Writer + replayer for one journal directory.
+
+    The daemon owns exactly one instance (guarded by its state-dir
+    lock); read-only observers (``repro serve status``, the chaos
+    campaign) use :meth:`read_state` and never touch the files.
+    """
+
+    ACTIVE = "wal.jsonl"
+
+    def __init__(
+        self,
+        root: PathLike,
+        fsync: bool = True,
+        max_segment_bytes: int = 1 << 20,
+        compact_after_segments: int = 4,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.max_segment_bytes = max_segment_bytes
+        self.compact_after_segments = compact_after_segments
+        self.state = JournalState()
+        self._fh = None
+        self._replay_existing()
+        self._open_active()
+
+    # ------------------------------------------------------------------
+    # Segments
+    # ------------------------------------------------------------------
+    @property
+    def active_path(self) -> Path:
+        return self.root / self.ACTIVE
+
+    def _rotated(self) -> List[Path]:
+        return sorted(self.root.glob("wal-*.jsonl"))
+
+    def segments(self) -> List[Path]:
+        paths = self._rotated()
+        if self.active_path.exists():
+            paths.append(self.active_path)
+        return paths
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _replay_file(path: Path, state: JournalState) -> None:
+        try:
+            data = path.read_text()
+        except FileNotFoundError:
+            return
+        for line in data.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                state.torn_records += 1
+                continue
+            if not isinstance(record, dict):
+                state.torn_records += 1
+                continue
+            state.apply(record)
+
+    @classmethod
+    def read_state(cls, root: PathLike) -> JournalState:
+        """Replay a journal directory without opening it for writing."""
+        root = Path(root)
+        state = JournalState()
+        paths = sorted(root.glob("wal-*.jsonl"))
+        active = root / cls.ACTIVE
+        if active.exists():
+            paths.append(active)
+        for path in paths:
+            cls._replay_file(path, state)
+        return state
+
+    def _replay_existing(self) -> None:
+        for path in self.segments():
+            self._replay_file(path, self.state)
+        if self.state.torn_records:
+            obs.metrics().counter("serve.torn_records").inc(
+                self.state.torn_records
+            )
+            _log.warning(
+                "journal.torn_records",
+                count=self.state.torn_records,
+                root=str(self.root),
+            )
+
+    def _open_active(self) -> None:
+        # Truncate a torn tail (a record a SIGKILL cut mid-write) so new
+        # appends never concatenate onto half a line.
+        path = self.active_path
+        if path.exists():
+            data = path.read_bytes()
+            if data and not data.endswith(b"\n"):
+                cut = data.rfind(b"\n") + 1
+                with open(path, "r+b") as fh:
+                    fh.truncate(cut)
+        self._fh = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("journal is closed")
+        record = {"v": JOURNAL_VERSION, "ts": round(time.time(), 3), **record}
+        self.state.apply(record)
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        if self._fh.tell() >= self.max_segment_bytes:
+            self.rotate()
+
+    # Typed appenders -- the daemon's vocabulary.
+    def submitted(self, request: dict) -> None:
+        self.append(
+            {"type": "submitted", "job_id": request["job_id"], "request": request}
+        )
+
+    def leased(self, job_id: str, lease: int, pid: Optional[int] = None) -> None:
+        self.append(
+            {"type": "leased", "job_id": job_id, "lease": lease, "pid": pid}
+        )
+
+    def completed(
+        self, job_id: str, duration_sec: float = 0.0, cache_hit: bool = False
+    ) -> None:
+        self.append(
+            {
+                "type": "completed",
+                "job_id": job_id,
+                "duration_sec": round(duration_sec, 6),
+                "cache_hit": cache_hit,
+            }
+        )
+
+    def failed(self, job_id: str, error: dict) -> None:
+        self.append({"type": "failed", "job_id": job_id, "error": error})
+
+    def rejected(
+        self,
+        job_id: str,
+        reason: str,
+        retry_after_sec: Optional[float] = None,
+    ) -> None:
+        self.append(
+            {
+                "type": "rejected",
+                "job_id": job_id,
+                "reason": reason,
+                "retry_after_sec": retry_after_sec,
+            }
+        )
+
+    def requeued(self, job_id: str, reason: str) -> None:
+        self.append({"type": "requeued", "job_id": job_id, "reason": reason})
+
+    # ------------------------------------------------------------------
+    # Rotation / compaction
+    # ------------------------------------------------------------------
+    def rotate(self) -> Path:
+        """Seal the active segment and start a new one."""
+        self._fh.close()
+        seq = len(self._rotated()) + 1
+        target = self.root / f"wal-{seq:06d}.jsonl"
+        while target.exists():  # pragma: no cover - defensive
+            seq += 1
+            target = self.root / f"wal-{seq:06d}.jsonl"
+        os.replace(self.active_path, target)
+        self._fh = open(self.active_path, "a", encoding="utf-8")
+        _log.info("journal.rotated", segment=target.name)
+        if len(self._rotated()) >= self.compact_after_segments:
+            self.compact()
+        return target
+
+    def compact(self) -> None:
+        """Fold the whole history into one snapshot segment.
+
+        The snapshot is written to a tmp file, fsync'd, and atomically
+        swapped in as the new active segment before the old segments are
+        removed — a crash at any point leaves a replayable journal
+        (``job`` records are absolute, so replaying stale segments
+        before the snapshot is harmless).
+        """
+        self._fh.close()
+        tmp = self.root / f"{self.ACTIVE}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for job in self.state.in_order():
+                fh.write(json.dumps(job.snapshot(), separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        old = self._rotated()
+        os.replace(tmp, self.active_path)
+        for path in old:
+            path.unlink(missing_ok=True)
+        self._fh = open(self.active_path, "a", encoding="utf-8")
+        obs.metrics().counter("serve.compactions").inc()
+        _log.info(
+            "journal.compacted", jobs=len(self.state.jobs), segments=len(old)
+        )
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None

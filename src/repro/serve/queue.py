@@ -1,0 +1,76 @@
+"""Bounded admission queue with load-shedding.
+
+The service's overload contract: when the queue is full, new work is
+*rejected now* (``overloaded`` + a retry-after hint derived from the
+observed service rate) rather than accepted into an ever-growing
+backlog that OOMs the daemon.  Shedding is cheap and explicit; queueing
+is bounded; collapsing is not an option.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro import obs
+
+
+class AdmissionQueue:
+    """FIFO of admitted-but-not-yet-leased requests, with a hard cap."""
+
+    def __init__(self, limit: int = 64):
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self.limit = limit
+        self._items: Deque[Dict] = deque()
+        #: EMA of recent job service times, fed by the daemon; drives
+        #: the retry-after hint handed to shed clients.
+        self.ema_service_sec = 1.0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.limit
+
+    def retry_after_hint(self, workers: int) -> float:
+        """Seconds until a shed client plausibly finds room: the time
+        for the current backlog to drain through ``workers`` slots."""
+        backlog = len(self._items) + 1
+        return round(
+            max(1.0, backlog * self.ema_service_sec / max(1, workers)), 1
+        )
+
+    def observe_service_time(self, duration_sec: float, alpha: float = 0.3) -> None:
+        if duration_sec > 0:
+            self.ema_service_sec += alpha * (duration_sec - self.ema_service_sec)
+
+    def push(
+        self, request: Dict, front: bool = False, force: bool = False
+    ) -> bool:
+        """Enqueue; False (and nothing stored) when the queue is full.
+
+        ``force`` bypasses the cap — used only for crash-recovery
+        requeues and returned leases, which were already admitted once
+        and must never be dropped by the very mechanism that protects
+        admission.
+        """
+        if self.full and not force:
+            return False
+        if front:
+            self._items.appendleft(request)
+        else:
+            self._items.append(request)
+        self._gauge()
+        return True
+
+    def pop(self) -> Optional[Dict]:
+        if not self._items:
+            return None
+        request = self._items.popleft()
+        self._gauge()
+        return request
+
+    def _gauge(self) -> None:
+        obs.metrics().gauge("serve.queue_depth").set(len(self._items))

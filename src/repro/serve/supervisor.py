@@ -1,0 +1,289 @@
+"""Worker supervision: leases, heartbeats, deadline kills, crash backoff.
+
+Each leased job runs in its own child process (``multiprocessing``)
+that writes its outcome to ``results/<job_id>.json`` atomically and
+exits 0 — even a *failed* job is a structured result written by a
+healthy worker.  A worker that dies without a result file (segfault,
+OOM-kill, ``os._exit``) is a **crash**; one that lives past its
+deadline is **killed** by the supervisor's heartbeat sweep.
+
+Crash handling is slot-local exponential backoff: a slot whose workers
+keep dying waits ``backoff_base * 2**(n-1)`` seconds before accepting
+its next lease (``supervisor.restarts`` counts every restart), so a
+poisonous job class cannot hot-loop the fork path while the breaker is
+still counting its way open.  Process liveness is the heartbeat —
+``Process.is_alive()`` is checked every poll, which is exactly the
+signal a kernel-killed worker stops emitting.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.trace.io import PathLike
+
+_log = obs.get_logger("repro.serve")
+
+
+def _worker_entry(request: dict, result_path: str) -> None:
+    """Child-process body: run the job, write the result, exit 0.
+
+    Any exception becomes a structured ``failed`` result — only a
+    process-level death (kill/OOM/``os._exit``) leaves no result file,
+    which is how the supervisor tells crashes from failures.
+    """
+    from repro.serve.requests import request_to_spec, resolve_worker
+
+    started = time.perf_counter()
+    try:
+        spec = request_to_spec(request)
+        worker = resolve_worker(spec.kind)
+        value = worker(spec)
+        payload = {
+            "status": "ok",
+            "job_id": request["job_id"],
+            "value": value,
+            "cache_hit": isinstance(value, dict) and bool(value.get("cache_hit")),
+            "duration_sec": time.perf_counter() - started,
+        }
+    except BaseException as exc:  # noqa: BLE001 — capture is the contract
+        payload = {
+            "status": "failed",
+            "job_id": request["job_id"],
+            "error": {
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+            "duration_sec": time.perf_counter() - started,
+        }
+    path = Path(result_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(payload))
+    except TypeError:
+        payload["value"] = repr(payload.get("value"))
+        tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+@dataclass
+class Lease:
+    """One running (or just-finished) worker process."""
+
+    request: dict
+    lease: int  # attempt number for this job
+    process: multiprocessing.Process
+    result_path: Path
+    started_mono: float
+    deadline_mono: Optional[float]
+
+    @property
+    def job_id(self) -> str:
+        return self.request["job_id"]
+
+
+@dataclass
+class LeaseEvent:
+    """What the poll sweep observed about one lease."""
+
+    outcome: str  # "completed" | "failed" | "crashed" | "timeout"
+    request: dict
+    result: Optional[dict] = None
+    exitcode: Optional[int] = None
+    duration_sec: float = 0.0
+
+
+@dataclass
+class _Slot:
+    lease: Optional[Lease] = None
+    consecutive_crashes: int = 0
+    available_at: float = 0.0  # monotonic; backoff gate after crashes
+
+
+@dataclass
+class Supervisor:
+    """A fixed set of worker slots over a results directory."""
+
+    workers: int
+    results_dir: Path
+    backoff_base: float = 0.5
+    backoff_max: float = 30.0
+    _slots: List[_Slot] = field(default_factory=list)
+    _ctx: Optional[multiprocessing.context.BaseContext] = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.results_dir = Path(self.results_dir)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self._slots = [_Slot() for _ in range(self.workers)]
+        # fork keeps dispatch cheap where available; spawn elsewhere.
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        self._ctx = multiprocessing.get_context(method)
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    def free_slots(self) -> int:
+        now = time.monotonic()
+        return sum(
+            1
+            for s in self._slots
+            if s.lease is None and s.available_at <= now
+        )
+
+    @property
+    def busy(self) -> int:
+        return sum(1 for s in self._slots if s.lease is not None)
+
+    def in_flight(self) -> List[Lease]:
+        return [s.lease for s in self._slots if s.lease is not None]
+
+    def result_path_for(self, job_id: str) -> Path:
+        return self.results_dir / f"{job_id}.json"
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: dict, lease: int) -> Optional[Lease]:
+        """Start a worker for ``request`` in a free slot, or None."""
+        now = time.monotonic()
+        slot = next(
+            (
+                s
+                for s in self._slots
+                if s.lease is None and s.available_at <= now
+            ),
+            None,
+        )
+        if slot is None:
+            return None
+        result_path = self.result_path_for(request["job_id"])
+        result_path.unlink(missing_ok=True)  # a fresh lease, a fresh result
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(request, str(result_path)),
+            daemon=True,
+        )
+        process.start()
+        timeout = request.get("timeout_sec")
+        slot.lease = Lease(
+            request=request,
+            lease=lease,
+            process=process,
+            result_path=result_path,
+            started_mono=now,
+            deadline_mono=None if timeout is None else now + float(timeout),
+        )
+        return slot.lease
+
+    # ------------------------------------------------------------------
+    # Heartbeat / reap sweep
+    # ------------------------------------------------------------------
+    def poll(self) -> List[LeaseEvent]:
+        """Reap finished/overdue leases; one event per resolved lease."""
+        events: List[LeaseEvent] = []
+        now = time.monotonic()
+        for slot in self._slots:
+            lease = slot.lease
+            if lease is None:
+                continue
+            if lease.process.is_alive():
+                if (
+                    lease.deadline_mono is not None
+                    and now >= lease.deadline_mono
+                ):
+                    lease.process.kill()
+                    lease.process.join(timeout=5.0)
+                    events.append(
+                        LeaseEvent(
+                            outcome="timeout",
+                            request=lease.request,
+                            duration_sec=now - lease.started_mono,
+                        )
+                    )
+                    self._release(slot, crashed=False)
+                continue
+            # Process exited: result file decides completed/failed/crash.
+            lease.process.join()
+            duration = now - lease.started_mono
+            result = self._read_result(lease.result_path)
+            if result is None:
+                obs.metrics().counter("supervisor.restarts").inc()
+                events.append(
+                    LeaseEvent(
+                        outcome="crashed",
+                        request=lease.request,
+                        exitcode=lease.process.exitcode,
+                        duration_sec=duration,
+                    )
+                )
+                self._release(slot, crashed=True)
+                continue
+            outcome = "completed" if result.get("status") == "ok" else "failed"
+            events.append(
+                LeaseEvent(
+                    outcome=outcome,
+                    request=lease.request,
+                    result=result,
+                    exitcode=lease.process.exitcode,
+                    duration_sec=float(result.get("duration_sec", duration)),
+                )
+            )
+            self._release(slot, crashed=False)
+        return events
+
+    @staticmethod
+    def _read_result(path: Path) -> Optional[dict]:
+        try:
+            data = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _release(self, slot: _Slot, crashed: bool) -> None:
+        lease = slot.lease
+        slot.lease = None
+        if not crashed:
+            slot.consecutive_crashes = 0
+            slot.available_at = 0.0
+            return
+        slot.consecutive_crashes += 1
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * (2 ** (slot.consecutive_crashes - 1)),
+        )
+        slot.available_at = time.monotonic() + delay
+        _log.warning(
+            "supervisor.worker_crashed",
+            job_id=lease.job_id if lease else None,
+            exitcode=lease.process.exitcode if lease else None,
+            restart_backoff_sec=round(delay, 3),
+            consecutive_crashes=slot.consecutive_crashes,
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def kill_all(self) -> List[Lease]:
+        """Kill every in-flight worker (drain timeout); returns leases."""
+        killed: List[Lease] = []
+        for slot in self._slots:
+            if slot.lease is None:
+                continue
+            if slot.lease.process.is_alive():
+                slot.lease.process.kill()
+            slot.lease.process.join(timeout=5.0)
+            killed.append(slot.lease)
+            slot.lease = None
+        return killed

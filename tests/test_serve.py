@@ -1,0 +1,588 @@
+"""Tests for repro.serve: journal, breaker, queue, locks, and daemon.
+
+Daemon tests drive :meth:`ServeDaemon.tick` directly instead of
+:meth:`run` so each scheduling step is deterministic; only the worker
+child processes are real.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.runtime.locks import LockTimeout, ProcessLock, file_lock
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.client import (
+    format_status,
+    serve_status,
+    submit_to_spool,
+    submit_via_socket,
+)
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.journal import JobJournal
+from repro.serve.queue import AdmissionQueue
+from repro.serve.requests import BadRequest, normalize_request, request_to_spec
+
+
+def _req(i: int, fault=None, job_class: str = "drill", **params):
+    """A chaos-kind request: fault=None completes immediately."""
+    return {
+        "kind": "chaos",
+        "params": {"fault": fault, "i": i, **params},
+        "label": f"drill:{i}",
+        "class": job_class,
+        "timeout_sec": 30.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_roundtrip_replay(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=False)
+        request = normalize_request(_req(0))
+        journal.submitted(request)
+        journal.leased(request["job_id"], 1, pid=123)
+        journal.completed(request["job_id"], duration_sec=0.5, cache_hit=True)
+        journal.close()
+
+        state = JobJournal.read_state(tmp_path)
+        assert state.counts()["completed"] == 1
+        job = state.jobs[request["job_id"]]
+        assert job.attempts == 1
+        assert job.completions == 1
+        assert job.cache_hit is True
+        assert job.duration_sec == 0.5
+
+    def test_torn_tail_is_truncated_and_survives_replay(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=False)
+        first = normalize_request(_req(0))
+        second = normalize_request(_req(1))
+        journal.submitted(first)
+        journal.completed(first["job_id"])
+        journal.close()
+
+        # Simulate a SIGKILL mid-append: half a record, no newline.
+        with open(tmp_path / JobJournal.ACTIVE, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"type":"submitted","job_id":"to')
+
+        reopened = JobJournal(tmp_path, fsync=False)
+        assert reopened.state.counts()["completed"] == 1
+        # The torn tail is gone from disk, so new appends stay parseable.
+        data = (tmp_path / JobJournal.ACTIVE).read_bytes()
+        assert data.endswith(b"\n")
+        reopened.submitted(second)
+        reopened.close()
+        state = JobJournal.read_state(tmp_path)
+        assert state.counts() == {
+            "total": 2, "pending": 1, "leased": 0,
+            "completed": 1, "failed": 0, "rejected": 0,
+        }
+
+    def test_undecodable_middle_line_is_counted_not_fatal(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=False)
+        journal.submitted(normalize_request(_req(0)))
+        journal.close()
+        with open(tmp_path / JobJournal.ACTIVE, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+        state = JobJournal.read_state(tmp_path)
+        assert state.torn_records == 1
+        assert state.counts()["total"] == 1
+
+    def test_rotation_and_compaction_preserve_state(self, tmp_path):
+        journal = JobJournal(
+            tmp_path, fsync=False,
+            max_segment_bytes=256, compact_after_segments=2,
+        )
+        requests = [normalize_request(_req(i)) for i in range(8)]
+        for request in requests:
+            journal.submitted(request)
+            journal.leased(request["job_id"], 1)
+            journal.completed(request["job_id"], duration_sec=0.1)
+        live = journal.state.counts()
+        assert live["completed"] == 8
+        # Rotation happened (tiny segments), and compaction folded the
+        # rotated segments away again.
+        assert not list(tmp_path.glob("wal-*.jsonl"))
+        journal.close()
+        replayed = JobJournal.read_state(tmp_path)
+        assert replayed.counts() == live
+        assert [j.request["job_id"] for j in replayed.in_order()] == [
+            r["job_id"] for r in requests
+        ]
+
+    def test_duplicate_submit_is_deduped(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=False)
+        request = normalize_request(_req(0))
+        journal.submitted(request)
+        journal.submitted(request)
+        journal.close()
+        assert journal.state.duplicate_submits == 1
+        assert len(journal.state.jobs) == 1
+
+    def test_requeue_reverts_lease_but_never_completion(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=False)
+        request = normalize_request(_req(0))
+        journal.submitted(request)
+        journal.leased(request["job_id"], 1)
+        journal.requeued(request["job_id"], "orphaned_lease")
+        assert journal.state.jobs[request["job_id"]].status == "pending"
+        journal.completed(request["job_id"])
+        journal.requeued(request["job_id"], "bogus")
+        assert journal.state.jobs[request["job_id"]].status == "completed"
+        journal.close()
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    @pytest.fixture()
+    def clocked(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, cooldown_sec=10.0, clock=clock
+        )
+        return breaker, clock
+
+    def test_opens_after_threshold_consecutive_failures(self, clocked):
+        obs.configure(enabled=True)
+        breaker, _ = clocked
+        for _ in range(2):
+            breaker.record_failure("sim")
+        assert breaker.state("sim") == CLOSED
+        assert breaker.allow("sim")
+        breaker.record_failure("sim")
+        assert breaker.state("sim") == OPEN
+        assert not breaker.allow("sim")
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["breaker.open"] == 1
+
+    def test_success_resets_the_failure_streak(self, clocked):
+        breaker, _ = clocked
+        breaker.record_failure("sim")
+        breaker.record_failure("sim")
+        breaker.record_success("sim")
+        breaker.record_failure("sim")
+        breaker.record_failure("sim")
+        assert breaker.state("sim") == CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self, clocked):
+        breaker, clock = clocked
+        for _ in range(3):
+            breaker.record_failure("sim")
+        clock.now += 10.0
+        assert breaker.state("sim") == HALF_OPEN
+        assert breaker.allow("sim")       # the probe
+        assert not breaker.allow("sim")   # everyone else still waits
+
+    def test_probe_success_closes(self, clocked):
+        breaker, clock = clocked
+        for _ in range(3):
+            breaker.record_failure("sim")
+        clock.now += 10.0
+        assert breaker.allow("sim")
+        breaker.record_success("sim")
+        assert breaker.state("sim") == CLOSED
+        assert breaker.allow("sim")
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clocked):
+        breaker, clock = clocked
+        for _ in range(3):
+            breaker.record_failure("sim")
+        clock.now += 10.0
+        assert breaker.allow("sim")
+        breaker.record_failure("sim")
+        assert breaker.state("sim") == OPEN
+        clock.now += 9.0
+        assert not breaker.allow("sim")
+        clock.now += 1.0
+        assert breaker.allow("sim")
+
+    def test_classes_are_independent(self, clocked):
+        breaker, _ = clocked
+        for _ in range(3):
+            breaker.record_failure("bad")
+        assert not breaker.allow("bad")
+        assert breaker.allow("good")
+
+
+# ----------------------------------------------------------------------
+# Admission queue
+# ----------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_fifo_and_front_push(self):
+        queue = AdmissionQueue(limit=4)
+        assert queue.push({"job_id": "a"})
+        assert queue.push({"job_id": "b"})
+        assert queue.push({"job_id": "c"}, front=True)
+        assert [queue.pop()["job_id"] for _ in range(3)] == ["c", "a", "b"]
+        assert queue.pop() is None
+
+    def test_full_queue_sheds_and_force_bypasses(self):
+        queue = AdmissionQueue(limit=2)
+        assert queue.push({"job_id": "a"})
+        assert queue.push({"job_id": "b"})
+        assert queue.full
+        assert not queue.push({"job_id": "c"})
+        assert len(queue) == 2
+        # Crash-recovery requeues were already admitted once; the cap
+        # must never drop them.
+        assert queue.push({"job_id": "d"}, force=True)
+        assert len(queue) == 3
+
+    def test_retry_after_hint_scales_with_backlog(self):
+        queue = AdmissionQueue(limit=64)
+        queue.ema_service_sec = 2.0
+        empty_hint = queue.retry_after_hint(workers=1)
+        for i in range(9):
+            queue.push({"job_id": str(i)})
+        assert queue.retry_after_hint(workers=1) == 20.0
+        assert queue.retry_after_hint(workers=4) == 5.0
+        assert queue.retry_after_hint(workers=1) > empty_hint
+        assert queue.retry_after_hint(workers=1000) >= 1.0
+
+    def test_service_time_ema(self):
+        queue = AdmissionQueue(limit=4)
+        queue.observe_service_time(11.0, alpha=0.5)
+        assert queue.ema_service_sec == 6.0
+        queue.observe_service_time(0.0)  # ignored
+        assert queue.ema_service_sec == 6.0
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=0)
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+class TestRequests:
+    def test_defaults_and_content_hashed_id(self):
+        a = normalize_request({"kind": "chaos", "params": {"i": 1}})
+        b = normalize_request({"kind": "chaos", "params": {"i": 1}})
+        c = normalize_request({"kind": "chaos", "params": {"i": 2}})
+        assert a["job_id"] == b["job_id"] != c["job_id"]
+        assert a["class"] == "chaos"
+
+    def test_timeout_propagates_into_spec(self):
+        request = normalize_request(_req(0))
+        spec = request_to_spec(request)
+        assert spec.timeout_sec == 30.0
+        assert spec.kind == "chaos"
+
+    @pytest.mark.parametrize("raw", [
+        "not a dict",
+        {"kind": "no-such-kind"},
+        {"kind": "chaos", "params": []},
+        {"kind": "chaos", "timeout_sec": -1},
+        {"kind": "chaos", "timeout_sec": "soon"},
+    ])
+    def test_bad_requests_rejected(self, raw):
+        with pytest.raises(BadRequest):
+            normalize_request(raw)
+
+
+# ----------------------------------------------------------------------
+# Locks
+# ----------------------------------------------------------------------
+class TestLocks:
+    def test_uncontended_lock_reports_no_wait(self, tmp_path):
+        with file_lock(tmp_path / "x.lock") as waited:
+            assert waited is False
+
+    def test_contended_lock_waits_and_reports_it(self, tmp_path):
+        path = tmp_path / "x.lock"
+        held = threading.Event()
+
+        def _holder():
+            with file_lock(path):
+                held.set()
+                time.sleep(0.3)
+
+        thread = threading.Thread(target=_holder)
+        thread.start()
+        assert held.wait(5.0)
+        with file_lock(path, timeout=5.0) as waited:
+            assert waited is True
+        thread.join()
+
+    def test_lock_timeout(self, tmp_path):
+        path = tmp_path / "x.lock"
+        held = threading.Event()
+        release = threading.Event()
+
+        def _holder():
+            with file_lock(path):
+                held.set()
+                release.wait(5.0)
+
+        thread = threading.Thread(target=_holder)
+        thread.start()
+        assert held.wait(5.0)
+        with pytest.raises(LockTimeout):
+            with file_lock(path, timeout=0.1, poll_interval=0.01):
+                pass
+        release.set()
+        thread.join()
+
+    def test_process_lock_is_exclusive_until_released(self, tmp_path):
+        first = ProcessLock(tmp_path / "serve.lock")
+        second = ProcessLock(tmp_path / "serve.lock")
+        assert first.acquire()
+        assert not second.acquire()
+        first.release()
+        assert second.acquire()
+        second.release()
+
+
+# ----------------------------------------------------------------------
+# Daemon (tick-driven)
+# ----------------------------------------------------------------------
+def _run_until(daemon: ServeDaemon, predicate, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        daemon.tick()
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("daemon did not reach the expected state in time")
+
+
+@pytest.fixture()
+def serve_dir(tmp_path):
+    return tmp_path
+
+
+@pytest.fixture()
+def daemon_factory(serve_dir):
+    daemons = []
+
+    def _make(**overrides):
+        kwargs = dict(
+            state_dir=serve_dir / "state",
+            spool_dir=serve_dir / "spool",
+            workers=1,
+            queue_limit=8,
+            poll_interval=0.01,
+            drain_timeout_sec=10.0,
+            fsync=False,
+        )
+        kwargs.update(overrides)
+        daemon = ServeDaemon(ServeConfig(**kwargs))
+        daemons.append(daemon)
+        return daemon
+
+    yield _make
+    for daemon in daemons:
+        daemon.supervisor.kill_all()
+        daemon._stop_socket()
+        try:
+            daemon.journal.close()
+        except Exception:
+            pass
+        daemon._lock_file.release()
+
+
+class TestServeDaemon:
+    def test_accepts_runs_and_drains_with_complete_manifest(
+        self, daemon_factory, serve_dir
+    ):
+        daemon = daemon_factory(workers=2)
+        for i in range(3):
+            response = daemon.admit(_req(i))
+            assert response["status"] == "accepted"
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 3
+        )
+        manifest_path = daemon.drain()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["command"] == "serve"
+        assert [j["status"] for j in manifest["jobs"]] == ["ok"] * 3
+        # Every completion left a durable result artifact.
+        for job in manifest["jobs"]:
+            assert (serve_dir / "state" / "results"
+                    / f"{job['job_id']}.json").exists()
+
+    def test_spool_intake_retires_files_to_done(
+        self, daemon_factory, serve_dir
+    ):
+        daemon = daemon_factory()
+        spool_file = submit_to_spool(serve_dir / "spool", [_req(0), _req(1)])
+        daemon.tick()
+        assert not spool_file.exists()
+        assert (serve_dir / "spool" / "done" / spool_file.name).exists()
+        assert daemon.journal.state.counts()["total"] == 2
+
+    def test_duplicate_submission_is_idempotent(self, daemon_factory):
+        daemon = daemon_factory()
+        first = daemon.admit(_req(0))
+        second = daemon.admit(_req(0))
+        assert first["status"] == "accepted"
+        assert second["status"] == "duplicate"
+        assert second["job_id"] == first["job_id"]
+        assert daemon.journal.state.counts()["total"] == 1
+
+    def test_invalid_request_is_rejected_not_fatal(self, daemon_factory):
+        obs.configure(enabled=True)
+        daemon = daemon_factory()
+        response = daemon.admit({"kind": "no-such-kind"})
+        assert response == {
+            "status": "rejected",
+            "reason": "invalid",
+            "detail": response["detail"],
+        }
+        assert obs.metrics_snapshot()["counters"]["serve.invalid"] == 1
+
+    def test_load_shed_under_full_queue(self, daemon_factory):
+        obs.configure(enabled=True)
+        daemon = daemon_factory(queue_limit=1)
+        accepted = daemon.admit(_req(0))
+        shed = daemon.admit(_req(1))
+        assert accepted["status"] == "accepted"
+        assert shed["status"] == "rejected"
+        assert shed["reason"] == "overloaded"
+        assert shed["retry_after_sec"] >= 1.0
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["serve.shed"] == 1
+        # The shed job is journaled as rejected — visible in status, and
+        # resubmittable once load drops.
+        assert daemon.journal.state.jobs[shed["job_id"]].status == "rejected"
+
+    def test_draining_daemon_rejects_new_work(self, daemon_factory):
+        daemon = daemon_factory()
+        daemon.draining = True
+        response = daemon.admit(_req(0))
+        assert response["status"] == "rejected"
+        assert response["reason"] == "draining"
+        assert response["retry_after_sec"] > 0
+
+    def test_drain_waits_for_inflight_lease(self, daemon_factory, serve_dir):
+        daemon = daemon_factory()
+        daemon.admit(_req(0, fault="sleep", sleep_sec=0.4))
+        _run_until(daemon, lambda: daemon.supervisor.busy == 1)
+        manifest_path = daemon.drain()
+        manifest = json.loads(manifest_path.read_text())
+        assert [j["status"] for j in manifest["jobs"]] == ["ok"]
+        state = JobJournal.read_state(serve_dir / "state" / "journal")
+        assert state.counts()["completed"] == 1
+
+    def test_drain_timeout_requeues_not_loses(self, daemon_factory, serve_dir):
+        daemon = daemon_factory(drain_timeout_sec=0.2)
+        daemon.admit(_req(0, fault="sleep", sleep_sec=30.0))
+        _run_until(daemon, lambda: daemon.supervisor.busy == 1)
+        manifest_path = daemon.drain()
+        manifest = json.loads(manifest_path.read_text())
+        (row,) = manifest["jobs"]
+        assert row["status"] == "failed"
+        assert row["error"]["error_type"] == "Drained"
+        # ...but the journal still owns the job: the next daemon resumes it.
+        state = JobJournal.read_state(serve_dir / "state" / "journal")
+        assert state.counts()["pending"] == 1
+
+    def test_sigkill_recovery_requeues_and_completes(
+        self, daemon_factory, serve_dir
+    ):
+        first = daemon_factory()
+        for i in range(3):
+            first.admit(_req(i))
+        # Lease one so recovery sees both pending and orphaned-leased jobs.
+        first._dispatch()
+        assert first.supervisor.busy == 1
+        # Simulate SIGKILL: no drain, no requeue, just gone.
+        first.supervisor.kill_all()
+        first.journal.close()
+        first._lock_file.release()
+
+        second = daemon_factory()
+        assert second.recovered == 3
+        _run_until(
+            second, lambda: second.journal.state.counts()["completed"] == 3
+        )
+        for job in second.journal.state.jobs.values():
+            assert job.completions == 1  # exactly-once accounting
+
+    def test_crash_looping_job_is_bounded(self, daemon_factory):
+        obs.configure(enabled=True)
+        daemon = daemon_factory(max_leases=2)
+        daemon.supervisor.backoff_base = 0.02
+        response = daemon.admit(_req(0, fault="kill"))
+        job_id = response["job_id"]
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[job_id].terminal,
+        )
+        job = daemon.journal.state.jobs[job_id]
+        assert job.status == "failed"
+        assert job.error["error_type"] == "WorkerCrashLoop"
+        assert job.attempts == 2
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["supervisor.restarts"] == 2
+
+    def test_breaker_short_circuits_failing_class(self, daemon_factory):
+        daemon = daemon_factory(breaker_threshold=1)
+        first = daemon.admit(_req(0, fault="crash", job_class="bad"))
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[first["job_id"]].terminal,
+        )
+        assert daemon.journal.state.jobs[first["job_id"]].status == "failed"
+        second = daemon.admit(_req(1, fault="crash", job_class="bad"))
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[second["job_id"]].terminal,
+        )
+        job = daemon.journal.state.jobs[second["job_id"]]
+        assert job.status == "rejected"
+        assert job.reason == "circuit_open"
+        assert job.attempts == 0  # never leased
+
+    def test_second_daemon_on_same_state_dir_refused(
+        self, daemon_factory, serve_dir
+    ):
+        daemon_factory()
+        with pytest.raises(RuntimeError, match="serve.lock"):
+            ServeDaemon(ServeConfig(
+                state_dir=serve_dir / "state",
+                spool_dir=serve_dir / "spool",
+                fsync=False,
+            ))
+
+    def test_socket_admission_roundtrip(self, daemon_factory, serve_dir):
+        daemon = daemon_factory(socket_path=serve_dir / "serve.sock")
+        daemon._start_socket()
+        responses = submit_via_socket(
+            serve_dir / "serve.sock", [_req(0), _req(0), {"bad": True}]
+        )
+        assert responses[0]["status"] == "accepted"
+        assert responses[1]["status"] == "duplicate"
+        assert responses[2]["status"] == "rejected"
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+
+    def test_status_reads_journal_without_touching_it(
+        self, daemon_factory, serve_dir
+    ):
+        daemon = daemon_factory()
+        daemon.admit(_req(0))
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        status = serve_status(serve_dir / "state")
+        assert status["counts"]["completed"] == 1
+        assert status["jobs"][0]["completions"] == 1
+        assert "completed" in format_status(status)
