@@ -569,6 +569,15 @@ def _wait_for(predicate, timeout_sec: float, poll: float = 0.1) -> bool:
     return False
 
 
+def _daemon_ready(state: Path, pid: int) -> bool:
+    """True once the daemon wrote its pid file — which it does only
+    after its signal handlers are installed, so SIGTERM is safe."""
+    try:
+        return int((state / "serve.pid").read_text().strip()) == pid
+    except (OSError, ValueError):
+        return False
+
+
 def run_service_campaign(
     workdir,
     seed: int = 7,
@@ -624,6 +633,13 @@ def run_service_campaign(
 
     daemon = _spawn_daemon(workdir, workers, "daemon-1.log")
     try:
+        if not _wait_for(
+            lambda: _daemon_ready(state, daemon.pid), timeout_sec
+        ):
+            report.violations.append(
+                f"daemon never became ready within {timeout_sec}s"
+            )
+            return report
         submit_to_spool(spool, requests)
         if not _wait_for(
             lambda: completed_count() >= kill_after_completions, timeout_sec
@@ -647,6 +663,16 @@ def run_service_campaign(
     # ------------------------------------------------------------------
     daemon = _spawn_daemon(workdir, workers, "daemon-2.log")
     try:
+        # SIGTERM before the restarted daemon installs its handlers
+        # would kill it with the default disposition (exit -15) — wait
+        # for readiness before asking anything of it.
+        if not _wait_for(
+            lambda: _daemon_ready(state, daemon.pid), timeout_sec
+        ):
+            report.violations.append(
+                f"restarted daemon never became ready within {timeout_sec}s"
+            )
+            return report
         if not _wait_for(lambda: completed_count() >= jobs, timeout_sec):
             status = serve_status(state)
             report.violations.append(

@@ -211,6 +211,43 @@ class BatchExecutor:
             obs.metrics().counter("executor.interrupted").inc()
             _log.warning("executor.interrupted")
 
+    def _harvest_finished(self, fut, spec: JobSpec, attempt: int):
+        """A future that was already done when the interrupt landed.
+
+        Its work is a real outcome, not an interrupted one — convert it
+        (no waiting, no retries: the batch is stopping) so ``--resume``
+        does not needlessly re-run jobs that finished before the
+        signal.  Returns None when the future is unfinished, cancelled,
+        or its worker died raising.
+        """
+        if not fut.done() or fut.cancelled():
+            return None
+        try:
+            status, payload, duration, telemetry = fut.result(timeout=0)
+        except BaseException:  # noqa: BLE001 — pool died; treat as unfinished
+            return None
+        obs.merge_telemetry(telemetry)
+        if status == "ok":
+            return self._record_outcome(
+                JobResult(
+                    spec=spec,
+                    status="ok",
+                    value=payload,
+                    attempts=attempt,
+                    duration_sec=duration,
+                    cache_hit=_lift_cache_hit(payload),
+                )
+            )
+        return self._record_outcome(
+            JobResult(
+                spec=spec,
+                status="failed",
+                error=JobError(**payload),  # type: ignore[arg-type]
+                attempts=attempt,
+                duration_sec=duration,
+            )
+        )
+
     def _interrupted_result(self, spec: JobSpec) -> JobResult:
         return self._record_outcome(
             JobResult(
@@ -379,7 +416,12 @@ class BatchExecutor:
                 for i, attempt, fut in futures:
                     spec = specs[i]
                     if self.interrupted:
-                        fut.cancel()
+                        # Keep what finished before the signal; only
+                        # the truly unfinished fall through to
+                        # ``Interrupted``.
+                        results[i] = self._harvest_finished(fut, spec, attempt)
+                        if results[i] is None:
+                            fut.cancel()
                         continue
                     job_timeout = self._effective_timeout(spec)
                     remaining = (

@@ -57,6 +57,19 @@ class CircuitBreaker:
             cls.probe_in_flight = False
             _log.info("breaker.half_open", job_class=job_class)
 
+    def remaining_cooldown(self, job_class: str) -> float:
+        """Seconds until an OPEN breaker half-opens; 0.0 when not open.
+
+        This is the retry-after hint handed to clients whose new work
+        is short-circuited at admission, and the delay the daemon uses
+        to defer already-admitted jobs of an open class.
+        """
+        cls = self._cls(job_class)
+        self._maybe_half_open(job_class, cls)
+        if cls.state != OPEN:
+            return 0.0
+        return max(0.0, self.cooldown_sec - (self.clock() - cls.opened_at))
+
     def allow(self, job_class: str) -> bool:
         """May a job of this class be dispatched right now?
 

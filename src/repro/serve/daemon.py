@@ -17,8 +17,15 @@ The invariants (DESIGN.md §10):
   re-run lease converges to the same artifacts;
 * **bounded everything** — the admission queue sheds (``rejected:
   overloaded`` + retry-after hint) instead of growing, per-class
-  circuit breakers short-circuit repeatedly failing specs, and crashed
-  worker slots restart under exponential backoff;
+  circuit breakers short-circuit *new* work of repeatedly failing
+  specs at admission (``rejected: circuit_open`` + retry-after), and
+  crashed worker slots restart under exponential backoff;
+* **rejections are retryable, acceptances are kept** — a ``rejected``
+  job was never run, so resubmitting the same job_id after the
+  retry-after hint re-admits it (journaled ``requeued: resubmitted``);
+  conversely a job the client was told was ``accepted`` is never
+  terminally rejected later: if its class breaker is open at dispatch
+  time the lease is deferred until the breaker half-opens;
 * **graceful drain** — SIGTERM/SIGINT stop intake, let in-flight
   leases finish (up to ``drain_timeout_sec``, then checkpoint/requeue),
   flush the journal, write a complete run manifest, and exit 0.
@@ -109,6 +116,11 @@ class ServeDaemon:
             workers=config.workers, results_dir=self.state_dir / "results"
         )
         self._admission = threading.Lock()
+        #: Already-admitted jobs whose class breaker was open at
+        #: dispatch time, parked as ``(ready_at_monotonic, request)``
+        #: until the breaker half-opens — an accepted job is never
+        #: terminally rejected by the breaker.
+        self._deferred: List[tuple] = []
         self.draining = False
         self._stop_signal: Optional[int] = None
         self._last_activity = time.monotonic()
@@ -118,7 +130,6 @@ class ServeDaemon:
         self._server_socket: Optional[socket.socket] = None
         self._socket_thread: Optional[threading.Thread] = None
         self.recovered = self._recover()
-        (self.state_dir / "serve.pid").write_text(str(os.getpid()))
 
     # ------------------------------------------------------------------
     # Crash recovery
@@ -158,12 +169,17 @@ class ServeDaemon:
             self._last_activity = time.monotonic()
             job_id = request["job_id"]
             known = self.journal.state.jobs.get(job_id)
-            if known is not None:
+            # A *rejected* job (shed, or short-circuited by an open
+            # breaker) was never run: resubmitting it after the
+            # retry-after hint must be able to succeed, so only
+            # pending/leased/completed/failed states dedupe.
+            if known is not None and known.status != "rejected":
                 return {
                     "status": "duplicate",
                     "job_id": job_id,
                     "state": known.status,
                 }
+            resubmit = known is not None
             if self.draining:
                 return {
                     "status": "rejected",
@@ -171,9 +187,35 @@ class ServeDaemon:
                     "reason": "draining",
                     "retry_after_sec": self.config.drain_timeout_sec,
                 }
+            job_class = request.get("class") or request["kind"]
+            cooldown = self.breaker.remaining_cooldown(job_class)
+            if cooldown > 0:
+                # Short-circuit *new* work of a repeatedly failing
+                # class at the door — never promise "accepted" for a
+                # job the breaker would only block at dispatch time.
+                hint = round(cooldown, 1)
+                if not resubmit:
+                    self.journal.submitted(request)
+                self.journal.rejected(
+                    job_id, "circuit_open", retry_after_sec=hint
+                )
+                obs.metrics().counter("serve.circuit_rejected").inc()
+                _log.warning(
+                    "serve.circuit_open",
+                    job_id=job_id,
+                    job_class=job_class,
+                    retry_after_sec=hint,
+                )
+                return {
+                    "status": "rejected",
+                    "job_id": job_id,
+                    "reason": "circuit_open",
+                    "retry_after_sec": hint,
+                }
             if self.queue.full:
                 hint = self.queue.retry_after_hint(self.config.workers)
-                self.journal.submitted(request)
+                if not resubmit:
+                    self.journal.submitted(request)
                 self.journal.rejected(job_id, "overloaded", retry_after_sec=hint)
                 obs.metrics().counter("serve.shed").inc()
                 _log.warning(
@@ -188,7 +230,10 @@ class ServeDaemon:
                     "reason": "overloaded",
                     "retry_after_sec": hint,
                 }
-            self.journal.submitted(request)
+            if resubmit:
+                self.journal.requeued(job_id, "resubmitted")
+            else:
+                self.journal.submitted(request)
             self.queue.push(request)
             obs.metrics().counter("serve.admitted").inc()
             return {"status": "accepted", "job_id": job_id}
@@ -287,7 +332,40 @@ class ServeDaemon:
     # ------------------------------------------------------------------
     # Dispatch + lease outcomes
     # ------------------------------------------------------------------
+    def _revive_deferred(self) -> None:
+        """Move breaker-deferred jobs whose wait is up back in line."""
+        if not self._deferred:
+            return
+        now = time.monotonic()
+        ready = [req for at, req in self._deferred if at <= now]
+        if not ready:
+            return
+        self._deferred = [(at, req) for at, req in self._deferred if at > now]
+        with self._admission:
+            for request in reversed(ready):
+                self.queue.push(request, front=True, force=True)
+
+    def _defer(self, request: Dict[str, Any], job_class: str) -> None:
+        """Park an admitted job until its class breaker may half-open.
+
+        The job stays ``pending`` in the journal — the daemon made an
+        "accepted" promise and keeps it: the job waits out the cooldown
+        (or a poll interval, when a half-open probe is already in
+        flight) instead of being terminally rejected.
+        """
+        cooldown = self.breaker.remaining_cooldown(job_class)
+        delay = cooldown if cooldown > 0 else max(self.config.poll_interval, 0.05)
+        self._deferred.append((time.monotonic() + delay, request))
+        obs.metrics().counter("serve.deferred").inc()
+        _log.info(
+            "serve.deferred",
+            job_id=request["job_id"],
+            job_class=job_class,
+            delay_sec=round(delay, 3),
+        )
+
     def _dispatch(self) -> None:
+        self._revive_deferred()
         while self.supervisor.free_slots() > 0:
             with self._admission:
                 request = self.queue.pop()
@@ -295,12 +373,7 @@ class ServeDaemon:
                 return
             job_class = request.get("class") or request["kind"]
             if not self.breaker.allow(job_class):
-                self.journal.rejected(request["job_id"], "circuit_open")
-                _log.warning(
-                    "serve.circuit_open",
-                    job_id=request["job_id"],
-                    job_class=job_class,
-                )
+                self._defer(request, job_class)
                 continue
             state = self.journal.state.jobs.get(request["job_id"])
             lease_no = (state.attempts if state else 0) + 1
@@ -407,6 +480,7 @@ class ServeDaemon:
         if (
             self.config.idle_exit_sec is not None
             and len(self.queue) == 0
+            and not self._deferred
             and self.supervisor.busy == 0
             and now - self._last_activity >= self.config.idle_exit_sec
         ):
@@ -419,6 +493,12 @@ class ServeDaemon:
         a graceful exit."""
         self._install_signals()
         self._start_socket()
+        # The pid file doubles as the *readiness* marker: it appears
+        # only once signal handlers are live, so a supervisor (or the
+        # chaos campaign) that waits for it can safely SIGTERM — a
+        # signal any earlier would hit the interpreter's default
+        # disposition and kill the process ungracefully.
+        (self.state_dir / "serve.pid").write_text(str(os.getpid()))
         _log.info(
             "serve.started",
             pid=os.getpid(),
@@ -450,6 +530,7 @@ class ServeDaemon:
             signal=self._stop_signal,
             in_flight=self.supervisor.busy,
             queued=len(self.queue),
+            deferred=len(self._deferred),
         ):
             self.draining = True
             self._stop_socket()

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -195,8 +196,13 @@ class JournalState:
             job.status = "rejected"
             job.reason = record.get("reason")
         elif rtype == "requeued":
-            if not job.terminal:
+            # Reverts a lease (crash/drain requeue) and also a
+            # *rejection* (a shed or circuit-opened job being
+            # resubmitted once there is room again); a job that
+            # actually ran to completed/failed is immutable.
+            if job.status not in ("completed", "failed"):
                 job.status = "pending"
+                job.reason = None
 
 
 class JobJournal:
@@ -205,6 +211,13 @@ class JobJournal:
     The daemon owns exactly one instance (guarded by its state-dir
     lock); read-only observers (``repro serve status``, the chaos
     campaign) use :meth:`read_state` and never touch the files.
+
+    Appends arrive from more than one thread — socket-intake threads
+    journal admissions while the main loop journals lease transitions —
+    so every write path (append/rotate/compact/flush/close) serialises
+    on one internal lock: records never interleave mid-line, and a
+    rotation triggered by one thread can't close the handle under
+    another thread's append.
     """
 
     ACTIVE = "wal.jsonl"
@@ -223,6 +236,9 @@ class JobJournal:
         self.compact_after_segments = compact_after_segments
         self.state = JournalState()
         self._fh = None
+        # Reentrant: append() -> rotate() -> compact() nest on the
+        # same thread.
+        self._lock = threading.RLock()
         self._replay_existing()
         self._open_active()
 
@@ -307,16 +323,19 @@ class JobJournal:
     # Append
     # ------------------------------------------------------------------
     def append(self, record: dict) -> None:
-        if self._fh is None:
-            raise RuntimeError("journal is closed")
-        record = {"v": JOURNAL_VERSION, "ts": round(time.time(), 3), **record}
-        self.state.apply(record)
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
-        if self._fh.tell() >= self.max_segment_bytes:
-            self.rotate()
+        with self._lock:
+            if self._fh is None:
+                raise RuntimeError("journal is closed")
+            record = {
+                "v": JOURNAL_VERSION, "ts": round(time.time(), 3), **record
+            }
+            self.state.apply(record)
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            if self._fh.tell() >= self.max_segment_bytes:
+                self.rotate()
 
     # Typed appenders -- the daemon's vocabulary.
     def submitted(self, request: dict) -> None:
@@ -367,18 +386,19 @@ class JobJournal:
     # ------------------------------------------------------------------
     def rotate(self) -> Path:
         """Seal the active segment and start a new one."""
-        self._fh.close()
-        seq = len(self._rotated()) + 1
-        target = self.root / f"wal-{seq:06d}.jsonl"
-        while target.exists():  # pragma: no cover - defensive
-            seq += 1
+        with self._lock:
+            self._fh.close()
+            seq = len(self._rotated()) + 1
             target = self.root / f"wal-{seq:06d}.jsonl"
-        os.replace(self.active_path, target)
-        self._fh = open(self.active_path, "a", encoding="utf-8")
-        _log.info("journal.rotated", segment=target.name)
-        if len(self._rotated()) >= self.compact_after_segments:
-            self.compact()
-        return target
+            while target.exists():  # pragma: no cover - defensive
+                seq += 1
+                target = self.root / f"wal-{seq:06d}.jsonl"
+            os.replace(self.active_path, target)
+            self._fh = open(self.active_path, "a", encoding="utf-8")
+            _log.info("journal.rotated", segment=target.name)
+            if len(self._rotated()) >= self.compact_after_segments:
+                self.compact()
+            return target
 
     def compact(self) -> None:
         """Fold the whole history into one snapshot segment.
@@ -389,18 +409,21 @@ class JobJournal:
         (``job`` records are absolute, so replaying stale segments
         before the snapshot is harmless).
         """
-        self._fh.close()
-        tmp = self.root / f"{self.ACTIVE}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            for job in self.state.in_order():
-                fh.write(json.dumps(job.snapshot(), separators=(",", ":")) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        old = self._rotated()
-        os.replace(tmp, self.active_path)
-        for path in old:
-            path.unlink(missing_ok=True)
-        self._fh = open(self.active_path, "a", encoding="utf-8")
+        with self._lock:
+            self._fh.close()
+            tmp = self.root / f"{self.ACTIVE}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for job in self.state.in_order():
+                    fh.write(
+                        json.dumps(job.snapshot(), separators=(",", ":")) + "\n"
+                    )
+                fh.flush()
+                os.fsync(fh.fileno())
+            old = self._rotated()
+            os.replace(tmp, self.active_path)
+            for path in old:
+                path.unlink(missing_ok=True)
+            self._fh = open(self.active_path, "a", encoding="utf-8")
         obs.metrics().counter("serve.compactions").inc()
         _log.info(
             "journal.compacted", jobs=len(self.state.jobs), segments=len(old)
@@ -408,13 +431,15 @@ class JobJournal:
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
-            if self.fsync:
-                os.fsync(self._fh.fileno())
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                if self.fsync:
+                    os.fsync(self._fh.fileno())
 
     def close(self) -> None:
-        if self._fh is not None:
-            self.flush()
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self.flush()
+                self._fh.close()
+                self._fh = None

@@ -13,6 +13,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import threading
+import time
+from concurrent.futures import Future
 
 import pytest
 
@@ -40,6 +43,12 @@ def _well_behaved(spec: JobSpec):
     return spec.params["n"] * 10
 
 
+def _slow_job_zero(spec: JobSpec):
+    if spec.params["n"] == 0:
+        time.sleep(3.0)
+    return spec.params["n"] * 10
+
+
 def _specs(n):
     return [
         JobSpec(kind="test", job_id=f"job-{i}", label=f"job-{i}",
@@ -62,6 +71,41 @@ class TestExecutorInterrupt:
             assert result.attempts == 0
         counters = obs.metrics_snapshot()["counters"]
         assert counters["executor.interrupted"] == 1
+
+    def test_harvest_keeps_done_futures_drops_unfinished(self):
+        executor = BatchExecutor(ExecutorConfig(workers=2))
+        spec = _specs(1)[0]
+        done = Future()
+        done.set_result(("ok", 42, 0.01, None))
+        harvested = executor._harvest_finished(done, spec, 1)
+        assert harvested.ok
+        assert harvested.value == 42
+        assert executor._harvest_finished(Future(), spec, 1) is None
+        cancelled = Future()
+        cancelled.cancel()
+        assert executor._harvest_finished(cancelled, spec, 1) is None
+
+    def test_pool_interrupt_keeps_already_finished_results(self):
+        # job-0 sleeps well past the SIGINT; jobs 1 and 2 finish almost
+        # immediately in their own pool workers.  The interrupt lands
+        # while the orchestrator waits on job-0 — the contract is that
+        # the finished results survive and only job-0 is Interrupted.
+        executor = BatchExecutor(ExecutorConfig(workers=3))
+        timer = threading.Timer(
+            1.0, os.kill, args=(os.getpid(), signal.SIGINT)
+        )
+        timer.start()
+        try:
+            results = executor.run(_specs(3), _slow_job_zero)
+        finally:
+            timer.cancel()
+        assert executor.interrupted
+        assert len(results) == 3
+        by_id = {r.spec.job_id: r for r in results}
+        assert not by_id["job-0"].ok
+        assert by_id["job-0"].error.error_type == "Interrupted"
+        assert by_id["job-1"].ok and by_id["job-1"].value == 10
+        assert by_id["job-2"].ok and by_id["job-2"].value == 20
 
     def test_interrupted_run_resumes(self, tmp_path, monkeypatch):
         monkeypatch.setitem(batch._WORKERS, "test", _interrupt_on_one)

@@ -137,6 +137,48 @@ class TestJournal:
         assert journal.state.jobs[request["job_id"]].status == "completed"
         journal.close()
 
+    def test_requeue_reverts_rejection_for_resubmission(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=False)
+        request = normalize_request(_req(0))
+        journal.submitted(request)
+        journal.rejected(request["job_id"], "overloaded", retry_after_sec=2.0)
+        assert journal.state.jobs[request["job_id"]].status == "rejected"
+        journal.requeued(request["job_id"], "resubmitted")
+        job = journal.state.jobs[request["job_id"]]
+        assert job.status == "pending"
+        assert job.reason is None
+        journal.close()
+        replayed = JobJournal.read_state(tmp_path)
+        assert replayed.jobs[request["job_id"]].status == "pending"
+
+    def test_concurrent_appends_never_tear_records(self, tmp_path):
+        # Socket-intake threads and the main loop append concurrently;
+        # tiny segments force rotation + compaction under contention.
+        journal = JobJournal(
+            tmp_path, fsync=False,
+            max_segment_bytes=4096, compact_after_segments=2,
+        )
+        threads_n, per_thread = 4, 200
+
+        def _hammer(t: int) -> None:
+            for i in range(per_thread):
+                journal.submitted(
+                    {"job_id": f"job-{t}-{i}", "kind": "chaos", "params": {}}
+                )
+
+        threads = [
+            threading.Thread(target=_hammer, args=(t,))
+            for t in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        journal.close()
+        state = JobJournal.read_state(tmp_path)
+        assert state.torn_records == 0
+        assert len(state.jobs) == threads_n * per_thread
+
 
 # ----------------------------------------------------------------------
 # Circuit breaker
@@ -461,6 +503,87 @@ class TestServeDaemon:
         # The shed job is journaled as rejected — visible in status, and
         # resubmittable once load drops.
         assert daemon.journal.state.jobs[shed["job_id"]].status == "rejected"
+
+    def test_shed_job_resubmitted_after_backoff_is_accepted(
+        self, daemon_factory, serve_dir
+    ):
+        daemon = daemon_factory(queue_limit=1)
+        first = daemon.admit(_req(0))
+        shed = daemon.admit(_req(1))
+        assert shed["status"] == "rejected"
+        assert shed["reason"] == "overloaded"
+        # The client honours retry_after_sec; by then the queue drained.
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[first["job_id"]].status
+            == "completed",
+        )
+        retry = daemon.admit(_req(1))
+        assert retry["status"] == "accepted"
+        assert retry["job_id"] == shed["job_id"]
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[retry["job_id"]].status
+            == "completed",
+        )
+        assert daemon.journal.state.jobs[retry["job_id"]].completions == 1
+        # Replay agrees: the resubmission record survives a restart.
+        daemon.journal.flush()
+        state = JobJournal.read_state(serve_dir / "state" / "journal")
+        assert state.counts()["completed"] == 2
+
+    def test_circuit_open_rejection_is_resubmittable(self, daemon_factory):
+        daemon = daemon_factory(
+            breaker_threshold=1, breaker_cooldown_sec=0.5
+        )
+        bad = daemon.admit(_req(0, fault="crash", job_class="bad"))
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[bad["job_id"]].terminal,
+        )
+        # New work of the open class is short-circuited at the door,
+        # with a retry-after hint that is actually honourable.
+        rejected = daemon.admit(_req(1, job_class="bad"))
+        assert rejected["status"] == "rejected"
+        assert rejected["reason"] == "circuit_open"
+        assert rejected["retry_after_sec"] > 0
+        time.sleep(0.6)  # cooldown elapses; breaker half-opens
+        retry = daemon.admit(_req(1, job_class="bad"))
+        assert retry["status"] == "accepted"
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[retry["job_id"]].terminal,
+        )
+        job = daemon.journal.state.jobs[retry["job_id"]]
+        assert job.status == "completed"
+        assert job.completions == 1
+
+    def test_admitted_job_is_deferred_not_rejected_by_open_breaker(
+        self, daemon_factory
+    ):
+        daemon = daemon_factory(
+            breaker_threshold=1, breaker_cooldown_sec=0.3
+        )
+        bad = daemon.admit(_req(0, fault="crash", job_class="flaky"))
+        good = daemon.admit(_req(1, job_class="flaky"))
+        assert good["status"] == "accepted"
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[bad["job_id"]].terminal,
+        )
+        # The crash opened the breaker; the already-accepted job is
+        # parked (still pending in the journal), never rejected.
+        _run_until(daemon, lambda: len(daemon._deferred) == 1)
+        assert daemon.journal.state.jobs[good["job_id"]].status == "pending"
+        # After cooldown it becomes the half-open probe and completes,
+        # closing the breaker.
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[good["job_id"]].terminal,
+        )
+        job = daemon.journal.state.jobs[good["job_id"]]
+        assert job.status == "completed"
+        assert daemon.breaker.state("flaky") == CLOSED
 
     def test_draining_daemon_rejects_new_work(self, daemon_factory):
         daemon = daemon_factory()
