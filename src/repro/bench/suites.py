@@ -267,6 +267,69 @@ def _make_batch(quick: bool, warm: bool) -> PreparedCase:
     )
 
 
+def _sweep_grid(n_paths: int, protocols, seeds: int, duration: float):
+    from repro.sweep import ScenarioGrid, SweepPath
+
+    rates = np.linspace(4e5, 2e6, n_paths)  # 3.2..16 Mbit/s
+    delays = np.linspace(0.01, 0.06, n_paths)
+    paths = tuple(
+        SweepPath(
+            bandwidth_bytes_per_sec=float(rate),
+            propagation_delay=float(delay),
+            buffer_bytes=float(2 * rate * 2 * delay),  # 2 BDP
+            label=f"bench-{k}",
+        )
+        for k, (rate, delay) in enumerate(zip(rates, delays))
+    )
+    return ScenarioGrid(
+        paths=paths,
+        protocols=tuple(protocols),
+        seeds=tuple(range(seeds)),
+        duration=duration,
+    )
+
+
+def _make_sweep_flow(quick: bool) -> PreparedCase:
+    """The lockstep fast path: pack once, time ``run_fleet`` alone."""
+    from repro.sweep import pack_fleet, run_fleet
+
+    duration = 4.0
+    n_paths = 8 if quick else 16
+    seeds = 8 if quick else 16
+    grid = _sweep_grid(
+        n_paths, ("cubic", "reno", "bbr", "rtc"), seeds, duration
+    )
+    fleet = pack_fleet(grid.expand())
+    return PreparedCase(
+        fn=lambda: run_fleet(fleet).n_scenarios,
+        items=len(grid),
+        unit="scenarios",
+    )
+
+
+def _make_sweep_packet_ref(quick: bool) -> PreparedCase:
+    """The same scenario shape through the packet engine (the cost the
+    flow core displaces; the ≥50× claim is this case vs sweep.flow_1k)."""
+    from repro.simulation.topology import run_flow
+    from repro.sweep.fidelity import path_config_for
+
+    duration = 4.0
+    grid = _sweep_grid(2, ("cubic", "reno"), 1, duration)
+    specs = grid.expand()[: 2 if quick else 4]
+
+    def run() -> int:
+        for spec in specs:
+            run_flow(
+                path_config_for(spec.path),
+                spec.protocol,
+                spec.duration,
+                spec.seed,
+            )
+        return len(specs)
+
+    return PreparedCase(fn=run, items=len(specs), unit="scenarios")
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -329,6 +392,20 @@ CASES: Dict[str, BenchCase] = {
             make=lambda quick: _make_batch(quick, warm=True),
             description="repro batch pipeline, warm profile cache "
             "(every job is a content-address hit)",
+        ),
+        BenchCase(
+            name="sweep.flow_1k",
+            make=_make_sweep_flow,
+            description="vectorized flow-level fleet (paths x 4 "
+            "protocols x seeds, 4 s) advanced in lockstep",
+            metric="sweep.scenarios_per_sec",
+        ),
+        BenchCase(
+            name="sweep.packet_ref",
+            make=_make_sweep_packet_ref,
+            description="identical scenario shape through the per-packet "
+            "DES engine (the cost the sweep core displaces)",
+            metric="sweep.scenarios_per_sec",
         ),
     )
 }

@@ -32,6 +32,12 @@ Commands mirror the workflows a downstream user needs:
     daemon mid-run and asserts exactly-once recovery plus graceful
     drain.  Exits non-zero on any guard violation, so CI can run both
     as smoke jobs.
+``sweep``
+    Vectorized flow-level scenario sweeps (DESIGN.md §11): ``sweep
+    run`` advances a whole grid (paths × protocols × seeds) in lockstep
+    through the fluid fast path and writes the standard run manifest;
+    ``sweep validate`` runs the pinned golden scenarios through both
+    the flow core and the packet engine and reports per-metric error.
 ``obs``
     Observability helpers: ``obs summarize <path>`` renders a per-stage
     timing table from a JSONL event log, a metrics snapshot, or a run
@@ -305,6 +311,78 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--workdir", type=Path, default=None,
         help="campaign scratch directory (default: a fresh temp dir)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="vectorized flow-level scenario sweeps (run, validate)",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="advance a scenario grid through the flow-level core"
+    )
+    sweep_run.add_argument(
+        "--grid", type=Path, default=None,
+        help="scenario grid JSON (ScenarioGrid.to_params format); "
+        "overrides the inline path flags",
+    )
+    sweep_run.add_argument(
+        "--profile", type=Path, nargs="+", default=None,
+        help="iBoxNet profile JSON file(s) to sweep over",
+    )
+    sweep_run.add_argument(
+        "--bandwidth-mbps", type=float, nargs="+", default=[10.0],
+        help="constant bottleneck rates for inline paths (default: 10)",
+    )
+    sweep_run.add_argument(
+        "--delay-ms", type=float, nargs="+", default=[25.0],
+        help="one-way propagation delays for inline paths (default: 25)",
+    )
+    sweep_run.add_argument(
+        "--buffer-kb", type=float, nargs="+", default=[125.0],
+        help="bottleneck buffer sizes for inline paths (default: 125)",
+    )
+    sweep_run.add_argument(
+        "--protocols", nargs="+", default=["cubic"],
+        help="protocols to sweep (default: cubic)",
+    )
+    sweep_run.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of seeds per (path, protocol) (default: 1)",
+    )
+    sweep_run.add_argument(
+        "--seed-base", type=int, default=0,
+        help="first seed value (default: 0)",
+    )
+    sweep_run.add_argument("--duration", type=float, default=8.0)
+    sweep_run.add_argument(
+        "--dt", type=float, default=None,
+        help="interval length in seconds (default: 0.01)",
+    )
+    sweep_run.add_argument(
+        "--chunk-size", type=int, default=256,
+        help="target scenarios per lockstep chunk (default: 256)",
+    )
+    sweep_run.add_argument("--workers", type=int, default=1)
+    sweep_run.add_argument(
+        "--manifest-dir", type=Path, default=None,
+        help="write the run manifest JSON into this directory",
+    )
+    sweep_run.add_argument(
+        "--output", type=Path, default=None,
+        help="write per-scenario results JSON here",
+    )
+    sweep_validate = sweep_sub.add_parser(
+        "validate",
+        help="fidelity check: flow core vs packet engine on the golden grid",
+    )
+    sweep_validate.add_argument(
+        "--duration", type=float, default=8.0,
+        help="seconds per golden scenario (default: 8)",
+    )
+    sweep_validate.add_argument(
+        "--report", type=Path, default=None,
+        help="write the fidelity report JSON here",
     )
 
     obs_cmd = sub.add_parser(
@@ -674,6 +752,128 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sweep import ScenarioGrid, SweepPath, run_fidelity, split_grid
+
+    if args.sweep_command == "validate":
+        from repro.sweep import golden_grid
+
+        report = run_fidelity(grid=golden_grid(duration=args.duration))
+        print(report.format_report())
+        if args.report is not None:
+            args.report.parent.mkdir(parents=True, exist_ok=True)
+            args.report.write_text(json.dumps(report.to_dict(), indent=2))
+            print(f"fidelity report written to {args.report}")
+        return 0 if report.passed else 1
+
+    # sweep run
+    from repro.runtime.batch import run_jobs
+    from repro.runtime.executor import ExecutorConfig
+    from repro.runtime.jobs import make_sweep_job
+
+    if args.grid is not None:
+        try:
+            grid = ScenarioGrid.from_params(json.loads(args.grid.read_text()))
+        except (OSError, ValueError, KeyError) as exc:
+            _log.error("sweep.bad_grid", path=str(args.grid), error=str(exc))
+            return 2
+    else:
+        paths = []
+        if args.profile:
+            for profile_path in args.profile:
+                try:
+                    profile = json.loads(profile_path.read_text())
+                except (OSError, ValueError) as exc:
+                    _log.error(
+                        "sweep.bad_profile",
+                        path=str(profile_path),
+                        error=str(exc),
+                    )
+                    return 2
+                paths.append(
+                    SweepPath.from_profile(profile, label=profile_path.stem)
+                )
+        else:
+            for mbps in args.bandwidth_mbps:
+                for delay_ms in args.delay_ms:
+                    for buffer_kb in args.buffer_kb:
+                        paths.append(
+                            SweepPath(
+                                bandwidth_bytes_per_sec=mbps * 125_000.0,
+                                propagation_delay=delay_ms / 1000.0,
+                                buffer_bytes=buffer_kb * 1000.0,
+                                label=f"{mbps:g}mbps-{delay_ms:g}ms"
+                                f"-{buffer_kb:g}kb",
+                            )
+                        )
+        try:
+            grid = ScenarioGrid(
+                paths=tuple(paths),
+                protocols=tuple(args.protocols),
+                seeds=tuple(
+                    range(args.seed_base, args.seed_base + args.seeds)
+                ),
+                duration=args.duration,
+                **({"dt": args.dt} if args.dt is not None else {}),
+            )
+        except ValueError as exc:
+            _log.error("sweep.bad_grid_params", error=str(exc))
+            return 2
+
+    with obs.span("sweep.run", scenarios=len(grid)):
+        chunks = split_grid(grid, args.chunk_size)
+        specs = [
+            make_sweep_job(chunk.to_params(), chunk=f"{i}/{len(chunks)}")
+            for i, chunk in enumerate(chunks)
+        ]
+        results, manifest = run_jobs(
+            specs,
+            config=ExecutorConfig(workers=args.workers),
+            command="sweep",
+        )
+
+    rows = []
+    for result in results:
+        if result.ok and result.value:
+            rows.extend(result.value["scenarios"])
+        elif not result.ok:
+            print(
+                f"FAILED {result.spec.label}: "
+                f"{result.error.error_type}: {result.error.message}"
+            )
+    n_faulted = sum(1 for row in rows if row["status"] == "faulted")
+    for row in rows[:20]:
+        if row["status"] == "ok":
+            print(
+                f"ok      {row['label']} "
+                f"rate={row['mean_rate_mbps']:.2f} Mb/s "
+                f"p95={row['p95_delay_ms']:.0f} ms "
+                f"loss={row['loss_percent']:.2f}%"
+            )
+        else:
+            print(f"FAULTED {row['label']}: {row['fault_reason']}")
+    if len(rows) > 20:
+        print(f"... {len(rows) - 20} more scenario(s)")
+    print()
+    print(
+        f"sweep: {len(rows)} scenario(s), {n_faulted} faulted, "
+        f"grid {grid.grid_id[:12]}"
+    )
+    print(manifest.format_report())
+    if args.manifest_dir is not None:
+        manifest_path = manifest.write(args.manifest_dir)
+        print(f"manifest written to {manifest_path}")
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(
+            json.dumps(
+                {"grid_id": grid.grid_id, "scenarios": rows}, indent=2
+            )
+        )
+        print(f"results written to {args.output}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def _cmd_obs(args) -> int:
     from repro.obs.summarize import summarize_path
 
@@ -770,6 +970,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
+        "sweep": _cmd_sweep,
         "obs": _cmd_obs,
         "bench": _cmd_bench,
     }

@@ -481,7 +481,84 @@ def run_campaign(
     )
     if report.quarantined < 1:
         report.violations.append("quarantine directory is empty after tear")
+
+    # ------------------------------------------------------------------
+    # Phase 4: NaN row in a sweep fleet -> isolated, not batch poison
+    # ------------------------------------------------------------------
+    _sweep_nan_drill(report, seed=seed)
     return report
+
+
+def _sweep_nan_drill(report: ChaosReport, seed: int) -> None:
+    """Poison one scenario's parameter row in a packed sweep fleet and
+    assert the vectorized core isolates it: the poisoned scenario comes
+    back ``faulted`` with a reason, and every other scenario's summary
+    is *bit-identical* to a clean run of the same fleet."""
+    import numpy as np
+
+    from repro.sweep import ScenarioGrid, SweepPath, pack_fleet, run_fleet
+
+    grid = ScenarioGrid(
+        paths=(
+            SweepPath(
+                bandwidth_bytes_per_sec=1.25e6,
+                propagation_delay=0.02,
+                buffer_bytes=50_000.0,
+                label="chaos-sweep",
+            ),
+        ),
+        protocols=("cubic", "reno", "bbr"),
+        seeds=(seed, seed + 1),
+        duration=2.0,
+    )
+    scenarios = grid.expand()
+    clean = run_fleet(pack_fleet(scenarios))
+
+    poisoned_fleet = pack_fleet(scenarios)
+    rng = np.random.default_rng(seed)
+    victim = int(rng.integers(poisoned_fleet.n_scenarios))
+    poisoned_fleet.service_rate[victim, :] = np.nan
+    report.injected.append(
+        {
+            "surface": "sweep",
+            "fault": "nan_row",
+            "target": poisoned_fleet.scenario_ids[victim][:12],
+        }
+    )
+    try:
+        poisoned = run_fleet(poisoned_fleet)
+    except Exception as exc:  # noqa: BLE001 — escaping IS the violation
+        report.violations.append(
+            f"sweep core raised on a NaN parameter row: {exc!r}"
+        )
+        return
+
+    bad = poisoned.scenarios[victim]
+    if bad.status != "faulted" or not bad.fault_reason:
+        report.violations.append(
+            "poisoned sweep scenario was not reported as faulted "
+            f"(status={bad.status!r}, reason={bad.fault_reason!r})"
+        )
+    for i, (before, after) in enumerate(
+        zip(clean.scenarios, poisoned.scenarios)
+    ):
+        if i == victim:
+            continue
+        if after.status != "ok":
+            report.violations.append(
+                f"NaN row poisoned neighbour scenario {after.label!r} "
+                f"(status={after.status!r})"
+            )
+        elif (
+            after.mean_rate_mbps != before.mean_rate_mbps
+            or after.mean_delay_ms != before.mean_delay_ms
+            or after.p95_delay_ms != before.p95_delay_ms
+            or after.loss_percent != before.loss_percent
+        ):
+            report.violations.append(
+                f"NaN row changed neighbour scenario {after.label!r} "
+                "summaries (lockstep isolation broken)"
+            )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,350 @@
+"""Per-interval fluid response models of the packet protocols.
+
+Each model here is the flow-level twin of a packet sender in this
+package: same constants, same qualitative control law, but advanced one
+*interval* at a time over a whole vector of flows at once instead of one
+ACK at a time for a single flow.  This is what lets ``repro.sweep``
+advance thousands of scenarios in lockstep (cf. m4 and the flow-level
+tail-latency estimators in PAPERS.md): window dynamics become per-
+interval recursions on arrays, and the per-packet machinery (dupacks,
+RTO timers, pacing events) is deliberately dropped — see DESIGN.md §11
+for where that approximation is known to break.
+
+Conventions shared by every model:
+
+* state is a dict of 1-D arrays over the flows of that protocol group;
+* :meth:`send_rate` maps (state, env) to an offered rate in bytes/s;
+* :meth:`on_interval` advances the state by ``env.dt`` seconds given
+  the interval's feedback (RTT, loss fraction, goodput);
+* loss *events* are edge-triggered and at most one per RTT (the caller
+  gates them), mirroring how fast retransmit collapses a whole loss
+  burst into one multiplicative decrease.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.protocols.bbr import CWND_GAIN, PROBE_BW_GAINS, STARTUP_GAIN
+from repro.protocols.cubic import (
+    CUBIC_BETA,
+    CUBIC_C,
+    FAST_CONVERGENCE_FACTOR,
+)
+from repro.protocols.vegas import VEGAS_ALPHA, VEGAS_BETA, VEGAS_GAMMA
+from repro.simulation.packet import DEFAULT_MTU_BYTES
+
+#: Safety bound on fluid windows (packets): far above any realistic BDP
+#: in these sweeps, but keeps a runaway recursion from overflowing.
+CWND_CAP = 1e6
+
+
+@dataclass
+class FluidEnv:
+    """One interval's network feedback for one protocol group.
+
+    All arrays are gathered to the group's flows.  ``loss_event`` is the
+    RTT-gated edge trigger; ``loss_frac`` is the raw per-interval drop
+    fraction (used by loss-proportional controllers like RTC).
+    """
+
+    t: float
+    dt: float
+    mss: float
+    rtt: np.ndarray
+    base_rtt: np.ndarray
+    srv: np.ndarray
+    sent: np.ndarray = field(default=None)  # offered bytes/s this interval
+    delivered: np.ndarray = field(default=None)  # accepted bytes/s
+    loss_frac: np.ndarray = field(default=None)
+    loss_event: np.ndarray = field(default=None)  # bool
+
+
+class FluidModel:
+    """Base class: window-driven unless ``send_rate`` is overridden."""
+
+    name = "?"
+
+    def init_state(self, n: int) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def send_rate(self, state: Dict[str, np.ndarray], env: FluidEnv) -> np.ndarray:
+        # Fluid window model: a window w sustains w*MSS bytes per RTT.
+        return state["cwnd"] * env.mss / env.rtt
+
+    def on_interval(self, state: Dict[str, np.ndarray], env: FluidEnv) -> None:
+        raise NotImplementedError
+
+
+class RenoFluid(FluidModel):
+    """AIMD: doubling per RTT below ssthresh, +1 segment per RTT above,
+    halve on a loss event (reno.py)."""
+
+    name = "reno"
+    loss_backoff = 0.5
+
+    def init_state(self, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "cwnd": np.full(n, 10.0),
+            "ssthresh": np.full(n, np.inf),
+        }
+
+    def on_interval(self, state, env) -> None:
+        cwnd, ssthresh = state["cwnd"], state["ssthresh"]
+        per_rtt = env.dt / env.rtt
+        slow = cwnd < ssthresh
+        # Slow start compounds (x2 per RTT); CA is additive.
+        growth = np.where(
+            slow, cwnd * (np.exp2(per_rtt) - 1.0), per_rtt
+        )
+        cwnd += growth
+        hit = env.loss_event
+        if np.any(hit):
+            ssthresh[hit] = np.maximum(2.0, cwnd[hit] * self.loss_backoff)
+            cwnd[hit] = np.maximum(2.0, cwnd[hit] * self.loss_backoff)
+        np.clip(cwnd, 1.0, CWND_CAP, out=cwnd)
+
+
+class CubicFluid(FluidModel):
+    """RFC 8312 window curve W(t) = C(t-K)^3 + W_max with the
+    TCP-friendly floor, anchored per loss epoch (cubic.py)."""
+
+    name = "cubic"
+
+    def init_state(self, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "cwnd": np.full(n, 10.0),
+            "ssthresh": np.full(n, np.inf),
+            "w_max": np.zeros(n),
+            "k": np.zeros(n),
+            "epoch_t": np.full(n, np.nan),  # nan = no epoch yet
+        }
+
+    def on_interval(self, state, env) -> None:
+        cwnd = state["cwnd"]
+        in_epoch = np.isfinite(state["epoch_t"])
+        slow = ~in_epoch & (cwnd < state["ssthresh"])
+        per_rtt = env.dt / env.rtt
+        cwnd[slow] += cwnd[slow] * (np.exp2(per_rtt[slow]) - 1.0)
+        if np.any(in_epoch):
+            state["epoch_t"][in_epoch] += env.dt
+            t = state["epoch_t"][in_epoch]
+            rtt = env.rtt[in_epoch]
+            w_max = state["w_max"][in_epoch]
+            target = (
+                CUBIC_C * (t + rtt - state["k"][in_epoch]) ** 3 + w_max
+            )
+            # TCP-friendly region: Reno's rate from the epoch start.
+            w_est = w_max * CUBIC_BETA + (
+                3 * (1 - CUBIC_BETA) / (1 + CUBIC_BETA)
+            ) * (t / rtt)
+            cwnd[in_epoch] = np.maximum(
+                np.maximum(target, w_est), 2.0
+            )
+        hit = env.loss_event
+        if np.any(hit):
+            old = cwnd[hit]
+            w_max = np.where(
+                old < state["w_max"][hit],
+                old * FAST_CONVERGENCE_FACTOR,
+                old,
+            )
+            new = np.maximum(2.0, old * CUBIC_BETA)
+            state["w_max"][hit] = w_max
+            state["ssthresh"][hit] = new
+            cwnd[hit] = new
+            state["epoch_t"][hit] = 0.0
+            state["k"][hit] = np.cbrt(
+                np.maximum(w_max - new, 0.0) / CUBIC_C
+            )
+        np.clip(cwnd, 1.0, CWND_CAP, out=cwnd)
+
+
+class VegasFluid(FluidModel):
+    """Delay-based: keep (expected - actual) * baseRTT between alpha and
+    beta packets queued (vegas.py)."""
+
+    name = "vegas"
+
+    def init_state(self, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "cwnd": np.full(n, 10.0),
+            "slow": np.ones(n, dtype=bool),
+        }
+
+    def on_interval(self, state, env) -> None:
+        cwnd, slow = state["cwnd"], state["slow"]
+        per_rtt = env.dt / env.rtt
+        # Packets the flow itself keeps queued at the bottleneck.
+        diff = cwnd * (1.0 - env.base_rtt / env.rtt)
+        exit_slow = slow & (diff > VEGAS_GAMMA)
+        grow_slow = slow & ~exit_slow
+        # Vegas slow start: +50% per RTT average slope (see vegas.py).
+        cwnd[grow_slow] *= 1.5 ** per_rtt[grow_slow]
+        cwnd[exit_slow] = np.maximum(2.0, cwnd[exit_slow] - 1.0)
+        slow[exit_slow] = False
+        ca = ~slow
+        cwnd[ca & (diff < VEGAS_ALPHA)] += per_rtt[ca & (diff < VEGAS_ALPHA)]
+        shrink = ca & (diff > VEGAS_BETA)
+        cwnd[shrink] = np.maximum(2.0, cwnd[shrink] - per_rtt[shrink])
+        hit = env.loss_event
+        if np.any(hit):
+            cwnd[hit] = np.maximum(2.0, cwnd[hit] * 0.75)
+            slow[hit] = False
+        np.clip(cwnd, 1.0, CWND_CAP, out=cwnd)
+
+
+class BBRFluid(FluidModel):
+    """Rate-based bandwidth prober: pace at gain * btl_bw, bound
+    inflight by CWND_GAIN * BDP, cycle gains per RTT (bbr.py).
+
+    The windowed-max bandwidth filter becomes a leaky max (decay over
+    ~the 2 s window), which keeps the estimator O(1) per interval.
+    """
+
+    name = "bbr"
+    bw_window = 2.0
+
+    def init_state(self, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "bw_est": np.full(n, DEFAULT_MTU_BYTES / 0.05),
+            "in_startup": np.ones(n, dtype=bool),
+            "full_bw": np.zeros(n),
+            "full_cnt": np.zeros(n),
+            "gain_idx": np.zeros(n, dtype=np.int64),
+            "phase_start": np.zeros(n),
+        }
+
+    def send_rate(self, state, env) -> np.ndarray:
+        gains = np.where(
+            state["in_startup"],
+            STARTUP_GAIN,
+            np.asarray(PROBE_BW_GAINS)[state["gain_idx"]],
+        )
+        rate = gains * state["bw_est"]
+        # Inflight bound: x * rtt <= CWND_GAIN * bw_est * rt_prop.
+        bound = CWND_GAIN * state["bw_est"] * env.base_rtt / env.rtt
+        return np.maximum(env.mss, np.minimum(rate, bound))
+
+    def on_interval(self, state, env) -> None:
+        decay = 1.0 - env.dt / self.bw_window
+        state["bw_est"] = np.maximum(
+            env.delivered, state["bw_est"] * decay
+        )
+        boundary = env.t - state["phase_start"] >= env.base_rtt
+        if not np.any(boundary):
+            return
+        startup = boundary & state["in_startup"]
+        grew = startup & (state["bw_est"] > state["full_bw"] * 1.25)
+        state["full_bw"][grew] = state["bw_est"][grew]
+        state["full_cnt"][grew] = 0
+        stalled = startup & ~grew
+        state["full_cnt"][stalled] += 1
+        done = stalled & (state["full_cnt"] >= 3)
+        state["in_startup"][done] = False
+        state["gain_idx"][done] = 0
+        cycling = boundary & ~state["in_startup"] & ~done
+        state["gain_idx"][cycling] = (
+            state["gain_idx"][cycling] + 1
+        ) % len(PROBE_BW_GAINS)
+        state["phase_start"][boundary] = env.t
+
+
+class CBRFluid(FluidModel):
+    """Open-loop constant-rate sender (cbr.py default rate)."""
+
+    name = "cbr"
+    rate_bytes_per_sec = 250_000.0
+
+    def init_state(self, n: int) -> Dict[str, np.ndarray]:
+        return {"rate": np.full(n, self.rate_bytes_per_sec)}
+
+    def send_rate(self, state, env) -> np.ndarray:
+        return state["rate"]
+
+    def on_interval(self, state, env) -> None:
+        pass
+
+
+class RTCFluid(FluidModel):
+    """GCC-flavoured delay-gradient controller: multiplicative backoff
+    on rising delay or heavy loss, additive increase otherwise, every
+    100 ms (rtc.py constants)."""
+
+    name = "rtc"
+    start_rate = 125_000.0
+    min_rate = 12_500.0
+    max_rate = 2_500_000.0
+    update_interval = 0.1
+    overuse_threshold = 0.01  # sec of delay growth per sec
+    backoff = 0.85
+    increase_per_interval = 3_000.0
+    loss_tolerance = 0.05
+
+    def init_state(self, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "rate": np.full(n, self.start_rate),
+            "last_update": np.zeros(n),
+            "prev_delay": np.full(n, np.nan),
+            "acc_sent": np.zeros(n),
+            "acc_lost": np.zeros(n),
+        }
+
+    def send_rate(self, state, env) -> np.ndarray:
+        return state["rate"]
+
+    def on_interval(self, state, env) -> None:
+        state["acc_sent"] += env.sent * env.dt
+        state["acc_lost"] += env.sent * env.loss_frac * env.dt
+        due = env.t - state["last_update"] >= self.update_interval
+        if not np.any(due):
+            return
+        rate = state["rate"]
+        sent = state["acc_sent"][due]
+        lost = state["acc_lost"][due]
+        loss_rate = np.where(sent > 0, lost / np.maximum(sent, 1e-9), 0.0)
+        elapsed = env.t - state["last_update"][due]
+        prev = state["prev_delay"][due]
+        gradient = np.where(
+            np.isfinite(prev), (env.rtt[due] - prev) / elapsed, 0.0
+        )
+        updated = np.where(
+            loss_rate > self.loss_tolerance,
+            rate[due] * (1.0 - 0.5 * loss_rate),
+            np.where(
+                gradient > self.overuse_threshold,
+                rate[due] * self.backoff,
+                rate[due] + self.increase_per_interval,
+            ),
+        )
+        rate[due] = np.clip(updated, self.min_rate, self.max_rate)
+        state["prev_delay"][due] = env.rtt[due]
+        state["last_update"][due] = env.t
+        state["acc_sent"][due] = 0.0
+        state["acc_lost"][due] = 0.0
+
+
+#: Factories, keyed like :data:`repro.protocols.PROTOCOLS`.  LEDBAT has
+#: no fluid twin yet; sweeps over it fall back to the packet engine.
+FLUID_MODELS: Dict[str, Callable[[], FluidModel]] = {
+    "reno": RenoFluid,
+    "cubic": CubicFluid,
+    "vegas": VegasFluid,
+    "bbr": BBRFluid,
+    "cbr": CBRFluid,
+    "rtc": RTCFluid,
+}
+
+
+def fluid_model_for(protocol: str) -> FluidModel:
+    """Instantiate the fluid twin of ``protocol`` (KeyError if none)."""
+    try:
+        return FLUID_MODELS[protocol.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"no fluid model for protocol {protocol!r}; "
+            f"available: {', '.join(FLUID_MODELS)}"
+        ) from None

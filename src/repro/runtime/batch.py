@@ -118,10 +118,20 @@ def experiment_worker(spec: JobSpec) -> Dict[str, Any]:
     return {"name": spec.params["name"], "report": report}
 
 
+def sweep_worker(spec: JobSpec) -> Dict[str, Any]:
+    """Advance one chunk of flow-level sweep scenarios in lockstep."""
+    from repro.sweep import ScenarioGrid, run_scenarios
+
+    grid = ScenarioGrid.from_params(spec.params["grid"])
+    fleet = run_scenarios(grid.expand())
+    return {"grid_id": grid.grid_id, **fleet.to_dict()}
+
+
 _WORKERS = {
     "fit": fit_worker,
     "simulate": simulate_worker,
     "experiment": experiment_worker,
+    "sweep": sweep_worker,
 }
 
 #: The job kinds this module can execute (the serve daemon builds its

@@ -24,6 +24,7 @@ from repro.trace.io import PathLike, trace_file_digest
 KIND_FIT = "fit"
 KIND_SIMULATE = "simulate"
 KIND_EXPERIMENT = "experiment"
+KIND_SWEEP = "sweep"
 
 
 def canonical_json(params: Dict[str, Any]) -> str:
@@ -195,6 +196,31 @@ def make_simulate_job(
             "cache_dir": cache_dir,
             "output_dir": output_dir,
         },
+    )
+
+
+def make_sweep_job(
+    grid_params: Dict[str, Any],
+    label: Optional[str] = None,
+    chunk: Optional[str] = None,
+) -> JobSpec:
+    """A flow-level sweep job over one scenario chunk.
+
+    ``grid_params`` is a :meth:`repro.sweep.ScenarioGrid.to_params`
+    dict — fully content-hashed, so identical chunks resubmitted to the
+    serve daemon dedupe on job_id.  ``chunk`` disambiguates the label
+    when one grid is split across several specs (the split itself is
+    part of ``grid_params`` because each chunk carries its own scenario
+    subset).
+    """
+    hashed = {"grid": grid_params}
+    job_id = content_hash(KIND_SWEEP, hashed)
+    suffix = f":{chunk}" if chunk else ""
+    return JobSpec(
+        kind=KIND_SWEEP,
+        job_id=job_id,
+        label=label or f"sweep:{job_id[:12]}{suffix}",
+        params=hashed,
     )
 
 

@@ -75,6 +75,66 @@ class TraceRateProcess:
         return float(np.mean(self._rates))
 
 
+def cellular_rate_matrix(
+    mean_rates_bytes_per_sec: Sequence[float],
+    duration: float,
+    seeds: Sequence[int],
+    volatility: float = 0.35,
+    reversion: float = 0.5,
+    step: float = 0.1,
+    fade_prob: float = 0.01,
+    fade_depth: float = 0.15,
+    floor_fraction: float = 0.05,
+):
+    """Realise many cellular rate processes at once.
+
+    Returns ``(times, rates)`` where ``rates`` has shape
+    ``(len(seeds), len(times))`` in bytes/s.  Row ``i`` draws exactly the
+    same numbers as ``CellularRateProcess(mean[i], duration, seeds[i])``
+    — one generator per seed, same draw order — so the batched sweep
+    engine and the per-run packet engine see identical bandwidth for
+    identical (mean, seed) pairs.  The OU recursion itself is advanced
+    across all rows per time step, which is what makes packing a fleet
+    of cellular scenarios cheap.
+    """
+    means = np.asarray(mean_rates_bytes_per_sec, dtype=float)
+    seeds_arr = [int(s) for s in seeds]
+    if means.ndim != 1 or means.size != len(seeds_arr):
+        raise ValueError("need one mean rate per seed")
+    if np.any(means <= 0):
+        raise ValueError("mean rates must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    m = means.size
+    n = max(2, int(np.ceil(duration / step)) + 1)
+    times = np.arange(n) * step
+    x0 = np.empty(m)
+    noise = np.empty((m, n - 1))
+    fades = np.empty((m, n), dtype=bool)
+    for i, seed in enumerate(seeds_arr):
+        rng = np.random.default_rng(seed)
+        x0[i] = rng.normal(0.0, volatility / 2)
+        noise[i] = rng.normal(0.0, 1.0, size=n - 1)
+        fades[i] = rng.random(n) < fade_prob
+    # OU in log space around log(mean): x_{k+1} = x_k + theta*(0-x_k)*dt
+    #                                            + sigma*sqrt(dt)*N(0,1)
+    x = np.empty((m, n))
+    x[:, 0] = x0
+    sqrt_dt = np.sqrt(step)
+    for k in range(n - 1):
+        x[:, k + 1] = (
+            x[:, k]
+            + reversion * (0.0 - x[:, k]) * step
+            + volatility * sqrt_dt * noise[:, k]
+        )
+    rates = means[:, None] * np.exp(x)
+    # Occasional deep fades (handover / scheduling stalls).
+    rates[fades] *= fade_depth
+    floors = floor_fraction * means
+    rates = np.maximum(rates, floors[:, None])
+    return times, rates
+
+
 class CellularRateProcess(TraceRateProcess):
     """Cellular-like fluctuating bandwidth.
 
@@ -99,30 +159,18 @@ class CellularRateProcess(TraceRateProcess):
     ):
         if mean_rate_bytes_per_sec <= 0:
             raise ValueError("mean rate must be positive")
-        if duration <= 0:
-            raise ValueError("duration must be positive")
-        rng = np.random.default_rng(seed)
-        n = max(2, int(np.ceil(duration / step)) + 1)
-        times = np.arange(n) * step
-        # OU in log space around log(mean): x_{k+1} = x_k + theta*(0-x_k)*dt
-        #                                            + sigma*sqrt(dt)*N(0,1)
-        x = np.empty(n)
-        x[0] = rng.normal(0.0, volatility / 2)
-        noise = rng.normal(0.0, 1.0, size=n - 1)
-        sqrt_dt = np.sqrt(step)
-        for k in range(n - 1):
-            x[k + 1] = (
-                x[k]
-                + reversion * (0.0 - x[k]) * step
-                + volatility * sqrt_dt * noise[k]
-            )
-        rates = mean_rate_bytes_per_sec * np.exp(x)
-        # Occasional deep fades (handover / scheduling stalls).
-        fades = rng.random(n) < fade_prob
-        rates[fades] *= fade_depth
-        floor = floor_fraction * mean_rate_bytes_per_sec
-        rates = np.maximum(rates, floor)
-        super().__init__(times, rates)
+        times, rates = cellular_rate_matrix(
+            [mean_rate_bytes_per_sec],
+            duration=duration,
+            seeds=[seed],
+            volatility=volatility,
+            reversion=reversion,
+            step=step,
+            fade_prob=fade_prob,
+            fade_depth=fade_depth,
+            floor_fraction=floor_fraction,
+        )
+        super().__init__(times, rates[0])
         self.configured_mean_rate = float(mean_rate_bytes_per_sec)
 
 

@@ -1,0 +1,49 @@
+"""repro.sweep — vectorized flow-level scenario sweeps.
+
+The fast path next to the packet engine: declare a
+:class:`~repro.sweep.scenario.ScenarioGrid` (paths × protocols × seeds),
+pack it into lockstep arrays, and advance the whole fleet one interval
+at a time with :func:`~repro.sweep.flowsim.run_fleet`.  The
+:mod:`~repro.sweep.fidelity` harness keeps the approximation honest by
+diffing the flow core against the packet engine on pinned scenarios.
+"""
+
+from repro.sweep.flowsim import (
+    FleetResult,
+    ScenarioResult,
+    run_fleet,
+    run_scenarios,
+)
+from repro.sweep.scenario import (
+    FleetParams,
+    ScenarioGrid,
+    ScenarioSpec,
+    SweepPath,
+    pack_fleet,
+    split_grid,
+)
+from repro.sweep.fidelity import (
+    DEFAULT_TOLERANCES,
+    FidelityReport,
+    compare_engines,
+    golden_grid,
+    run_fidelity,
+)
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "FidelityReport",
+    "FleetParams",
+    "FleetResult",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepPath",
+    "compare_engines",
+    "golden_grid",
+    "pack_fleet",
+    "run_fidelity",
+    "run_fleet",
+    "run_scenarios",
+    "split_grid",
+]

@@ -1,0 +1,276 @@
+"""Fidelity harness: measure the flow core against the packet engine.
+
+The sweep engine buys its throughput by approximating; this module makes
+the cost of that approximation a *measured* quantity.  It runs the same
+(path, protocol, seed) scenarios through both engines and reports
+per-metric error:
+
+* ``throughput_rel`` — relative error of mean delivered rate;
+* ``mean_delay_rel`` / ``p95_delay_rel`` — relative error of one-way
+  delay statistics;
+* ``loss_abs`` — absolute error of the loss *fraction* (0..1), because
+  relative error explodes when the packet engine sees a handful of
+  drops.
+
+``repro sweep validate`` and the tier-1 golden test both go through
+:func:`run_fidelity`; the golden grid pins scenarios where the fluid
+approximation is expected to hold (constant bandwidth, buffer around
+1–2 BDP, multi-second runs) so drift means a real regression, not noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.simulation.topology import (
+    CellularBandwidth,
+    ConstantBandwidth,
+    PathConfig,
+    PoissonCT,
+    ReplayCT,
+    ScheduledBandwidth,
+    run_flow,
+)
+from repro.sweep.flowsim import run_scenarios
+from repro.sweep.scenario import ScenarioGrid, ScenarioSpec, SweepPath
+
+_LOG = obs.get_logger("sweep.fidelity")
+
+#: Pinned tolerances for the golden fidelity gate (see ISSUE 6 / tests).
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "throughput_rel": 0.15,
+    "mean_delay_rel": 0.15,
+    "p95_delay_rel": 0.25,
+    "loss_abs": 0.02,
+}
+
+
+def path_config_for(path: SweepPath) -> PathConfig:
+    """The packet-engine twin of a sweep path."""
+    if path.bandwidth_kind == "constant":
+        bandwidth = ConstantBandwidth(path.bandwidth_bytes_per_sec)
+    elif path.bandwidth_kind == "cellular":
+        bandwidth = CellularBandwidth(path.bandwidth_bytes_per_sec)
+    else:
+        times, rates = path.bandwidth_schedule
+        bandwidth = ScheduledBandwidth(tuple(times), tuple(rates))
+    cross = []
+    if path.ct_rates_bytes_per_sec:
+        cross.append(
+            ReplayCT(
+                bin_edges=tuple(path.ct_bin_edges),
+                rates_bytes_per_sec=tuple(path.ct_rates_bytes_per_sec),
+            )
+        )
+    elif path.ct_rate_bytes_per_sec:
+        cross.append(PoissonCT(path.ct_rate_bytes_per_sec))
+    return PathConfig(
+        bandwidth=bandwidth,
+        propagation_delay=path.propagation_delay,
+        buffer_bytes=path.buffer_bytes,
+        cross_traffic=tuple(cross),
+    )
+
+
+def _rel(est: float, ref: float) -> float:
+    if not np.isfinite(est) or not np.isfinite(ref):
+        return float("inf")
+    return abs(est - ref) / max(abs(ref), 1e-9)
+
+
+@dataclass
+class ScenarioComparison:
+    """Flow vs packet metrics for one scenario."""
+
+    scenario_id: str
+    label: str
+    protocol: str
+    seed: int
+    flow: Dict[str, float]
+    packet: Dict[str, float]
+    errors: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario_id": self.scenario_id,
+            "label": self.label,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "flow": self.flow,
+            "packet": self.packet,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class FidelityReport:
+    """Aggregate fidelity verdict over a scenario set."""
+
+    comparisons: List[ScenarioComparison]
+    tolerances: Dict[str, float]
+    worst: Dict[str, float] = field(default_factory=dict)
+    mean: Dict[str, float] = field(default_factory=dict)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self):
+        metrics = list(DEFAULT_TOLERANCES)
+        for metric in metrics:
+            values = [c.errors[metric] for c in self.comparisons]
+            self.worst[metric] = max(values) if values else 0.0
+            self.mean[metric] = float(np.mean(values)) if values else 0.0
+        for comp in self.comparisons:
+            for metric, tol in self.tolerances.items():
+                if comp.errors.get(metric, 0.0) > tol:
+                    self.failures.append(
+                        {
+                            "scenario_id": comp.scenario_id,
+                            "label": comp.label,
+                            "metric": metric,
+                            "error": comp.errors[metric],
+                            "tolerance": tol,
+                        }
+                    )
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "tolerances": self.tolerances,
+            "worst": self.worst,
+            "mean": self.mean,
+            "failures": self.failures,
+            "n_scenarios": len(self.comparisons),
+            "comparisons": [c.to_dict() for c in self.comparisons],
+        }
+
+    def format_report(self) -> str:
+        lines = [
+            f"fidelity: {len(self.comparisons)} scenarios, "
+            f"{'PASS' if self.passed else 'FAIL'}",
+        ]
+        for metric, tol in self.tolerances.items():
+            lines.append(
+                f"  {metric:<16} worst {self.worst[metric]:.4f} "
+                f"mean {self.mean[metric]:.4f} (tol {tol})"
+            )
+        for failure in self.failures[:10]:
+            lines.append(
+                f"  FAIL {failure['label']}: {failure['metric']} "
+                f"{failure['error']:.4f} > {failure['tolerance']}"
+            )
+        return "\n".join(lines)
+
+
+def compare_engines(
+    scenarios: Sequence[ScenarioSpec],
+    tolerances: Optional[Dict[str, float]] = None,
+) -> FidelityReport:
+    """Run ``scenarios`` through both engines and diff the summaries."""
+    from repro.trace.metrics import summarize
+
+    tolerances = dict(tolerances or DEFAULT_TOLERANCES)
+    with obs.span("sweep.fidelity", scenarios=len(scenarios)):
+        fleet = run_scenarios(list(scenarios))
+        comparisons = []
+        for spec, flow_result in zip(scenarios, fleet.scenarios):
+            config = path_config_for(spec.path)
+            packet_run = run_flow(
+                config, spec.protocol, spec.duration, spec.seed
+            )
+            ref = summarize(packet_run.trace)
+            flow = {
+                "mean_rate_mbps": flow_result.mean_rate_mbps,
+                "mean_delay_ms": flow_result.mean_delay_ms,
+                "p95_delay_ms": flow_result.p95_delay_ms,
+                "loss_percent": flow_result.loss_percent,
+            }
+            packet = {
+                "mean_rate_mbps": ref.mean_rate_mbps,
+                "mean_delay_ms": ref.mean_delay_ms,
+                "p95_delay_ms": ref.p95_delay_ms,
+                "loss_percent": ref.loss_percent,
+            }
+            errors = {
+                "throughput_rel": _rel(
+                    flow["mean_rate_mbps"], packet["mean_rate_mbps"]
+                ),
+                "mean_delay_rel": _rel(
+                    flow["mean_delay_ms"], packet["mean_delay_ms"]
+                ),
+                "p95_delay_rel": _rel(
+                    flow["p95_delay_ms"], packet["p95_delay_ms"]
+                ),
+                "loss_abs": (
+                    abs(flow["loss_percent"] - packet["loss_percent"]) / 100.0
+                    if np.isfinite(flow["loss_percent"])
+                    and np.isfinite(packet["loss_percent"])
+                    else float("inf")
+                ),
+            }
+            comparisons.append(
+                ScenarioComparison(
+                    scenario_id=spec.scenario_id,
+                    label=spec.label,
+                    protocol=spec.protocol,
+                    seed=spec.seed,
+                    flow=flow,
+                    packet=packet,
+                    errors=errors,
+                )
+            )
+    report = FidelityReport(comparisons=comparisons, tolerances=tolerances)
+    _LOG.info(
+        "sweep.fidelity_done",
+        scenarios=len(comparisons),
+        passed=report.passed,
+        worst=report.worst,
+    )
+    return report
+
+
+def golden_grid(duration: float = 8.0) -> ScenarioGrid:
+    """The pinned scenario set for the tier-1 fidelity gate.
+
+    Chosen where the fluid approximation is *expected* to be good:
+    constant bandwidth, buffers near 1–2 BDP, window protocols that
+    reach steady state within the window.  Regressions here mean the
+    recursion changed, not that the approximation got unlucky.
+    """
+    mbps = 125_000.0  # bytes/s per Mb/s
+    paths = (
+        SweepPath(
+            bandwidth_bytes_per_sec=10 * mbps,
+            propagation_delay=0.025,
+            buffer_bytes=2 * 10 * mbps * 0.05,  # 2 BDP at 50 ms RTT
+            label="10mbps-50ms-2bdp",
+        ),
+        SweepPath(
+            bandwidth_bytes_per_sec=4 * mbps,
+            propagation_delay=0.04,
+            buffer_bytes=1 * 4 * mbps * 0.08,  # 1 BDP at 80 ms RTT
+            label="4mbps-80ms-1bdp",
+        ),
+    )
+    return ScenarioGrid(
+        paths=paths,
+        protocols=("cubic", "reno"),
+        seeds=(1, 2),
+        duration=duration,
+    )
+
+
+def run_fidelity(
+    grid: Optional[ScenarioGrid] = None,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> FidelityReport:
+    """Validate the flow core against the packet engine on ``grid``
+    (default: the golden grid)."""
+    grid = grid or golden_grid()
+    return compare_engines(grid.expand(), tolerances=tolerances)

@@ -1,0 +1,378 @@
+"""The vectorized flow-level core: advance a fleet of scenarios in lockstep.
+
+Where the packet engine (``repro.simulation``) schedules one event per
+packet, this core advances *all* scenarios one interval at a time over
+``(n_scenarios,)`` arrays.  Per interval of length ``dt``:
+
+1. gather the interval's service rate ``srv`` and cross-traffic rate;
+2. compute each flow's RTT from the current queue:
+   ``rtt = prop + ack + queue/srv + mss/srv``;
+3. ask each protocol group's fluid model for an offered rate ``x``
+   (window models send ``cwnd * mss / rtt``);
+4. drop-tail byte accounting::
+
+       inflow    = (x + cross) * dt
+       raw       = queue + inflow - srv * dt
+       overflow  = min(max(raw - buffer, 0), inflow)
+       queue'    = clip(raw, 0, buffer)
+       loss_frac = overflow / inflow
+
+5. credit delivery by *accepted arrivals* ``x * (1 - loss_frac)`` —
+   accepted bytes eventually drain, matching the packet engine's
+   post-duration drain — and record a byte-weighted one-way delay
+   sample ``prop + q_mid/srv + mss/srv``;
+6. edge-trigger loss events at most once per RTT and hand the interval's
+   feedback to each fluid model's ``on_interval``.
+
+Scenario isolation: every recursion above is elementwise, so a
+non-finite parameter row corrupts only its own scenario.  ``run_fleet``
+flags such rows (pre-loop parameter check plus post-loop summary check)
+as status ``"faulted"`` and reports them alongside the healthy rows —
+the batch never fails wholesale.  ``repro.guard``'s chaos campaign
+injects exactly this fault to keep the property honest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.protocols.fluid import FluidEnv, fluid_model_for
+from repro.simulation.packet import DEFAULT_MTU_BYTES
+from repro.simulation.units import bytes_per_sec_to_mbps, sec_to_ms
+from repro.sweep.scenario import FleetParams
+
+_LOG = obs.get_logger("sweep.flowsim")
+
+#: Fraction of an interval's arrivals that must drop to count as a
+#: congestion signal (filters float dust from the overflow subtraction).
+LOSS_EVENT_THRESHOLD = 1e-6
+
+#: Detection latency for a loss signal, as a fraction of the current
+#: RTT.  A drop at the bottleneck reaches the sender via queue drain +
+#: dupacks (~1 RTT), but a real sender is ack-clocked meanwhile and
+#: cannot sustain its pre-drop rate, so the *effective* window during
+#: which fluid overflow keeps accumulating is a fraction of the RTT.
+#: Calibrated against the packet engine on the golden grid.
+LOSS_SIGNAL_DELAY_FRACTION = 0.5
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's summary, shaped like a packet ``TraceSummary``."""
+
+    scenario_id: str
+    label: str
+    protocol: str
+    seed: int
+    status: str  # "ok" | "faulted"
+    mean_rate_mbps: float
+    mean_delay_ms: float
+    p95_delay_ms: float
+    loss_percent: float
+    sent_bytes: float
+    delivered_bytes: float
+    fault_reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario_id": self.scenario_id,
+            "label": self.label,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "status": self.status,
+            "mean_rate_mbps": self.mean_rate_mbps,
+            "mean_delay_ms": self.mean_delay_ms,
+            "p95_delay_ms": self.p95_delay_ms,
+            "loss_percent": self.loss_percent,
+            "sent_bytes": self.sent_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "fault_reason": self.fault_reason,
+        }
+
+
+@dataclass
+class FleetResult:
+    """Results for one lockstep batch."""
+
+    scenarios: List[ScenarioResult]
+    n_intervals: int
+    duration: float
+    elapsed_sec: float
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def n_faulted(self) -> int:
+        return sum(1 for s in self.scenarios if s.status == "faulted")
+
+    @property
+    def scenarios_per_sec(self) -> float:
+        if self.elapsed_sec <= 0:
+            return float("inf")
+        return self.n_scenarios / self.elapsed_sec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_scenarios": self.n_scenarios,
+            "n_faulted": self.n_faulted,
+            "n_intervals": self.n_intervals,
+            "duration": self.duration,
+            "elapsed_sec": self.elapsed_sec,
+            "scenarios_per_sec": self.scenarios_per_sec,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+
+def _finite_rows(params: FleetParams) -> np.ndarray:
+    """Boolean mask of rows whose parameters are all finite and sane."""
+    ok = (
+        np.isfinite(params.service_rate).all(axis=1)
+        & np.isfinite(params.cross_rate).all(axis=1)
+        & np.isfinite(params.prop_delay)
+        & np.isfinite(params.ack_delay)
+        & np.isfinite(params.buffer_bytes)
+        & (params.service_rate > 0).all(axis=1)
+        & (params.cross_rate >= 0).all(axis=1)
+        & (params.prop_delay >= 0)
+        & (params.ack_delay >= 0)
+        & (params.buffer_bytes > 0)
+    )
+    return ok
+
+
+def weighted_p95(samples: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Row-wise weighted 95th percentile.
+
+    ``samples``/``weights`` are ``(n, T)``; rows with zero total weight
+    yield NaN.  Matches ``np.percentile`` semantics in the limit of many
+    equal weights (nearest-rank on the weighted CDF).
+    """
+    n = samples.shape[0]
+    out = np.full(n, np.nan)
+    order = np.argsort(samples, axis=1)
+    sorted_samples = np.take_along_axis(samples, order, axis=1)
+    sorted_weights = np.take_along_axis(weights, order, axis=1)
+    cum = np.cumsum(sorted_weights, axis=1)
+    total = cum[:, -1]
+    live = total > 0
+    if not np.any(live):
+        return out
+    targets = 0.95 * total[live]
+    idx = np.empty(int(live.sum()), dtype=np.int64)
+    live_rows = np.nonzero(live)[0]
+    for j, row in enumerate(live_rows):
+        idx[j] = int(np.searchsorted(cum[row], targets[j], side="left"))
+    idx = np.minimum(idx, samples.shape[1] - 1)
+    out[live_rows] = sorted_samples[live_rows, idx]
+    return out
+
+
+def run_fleet(params: FleetParams, mss: float = float(DEFAULT_MTU_BYTES)) -> FleetResult:
+    """Advance every scenario in ``params`` through the full sweep window.
+
+    Pure and deterministic: all randomness (cellular realisations) was
+    consumed when the fleet was packed.  Emits the ``sweep.chunk`` span,
+    the ``sweep.scenarios`` counter and the ``sweep.scenarios_per_sec``
+    histogram.
+    """
+    n = params.n_scenarios
+    big_t = params.n_intervals
+    dt = params.dt
+    if params.cross_rate.shape != (n, big_t):
+        raise ValueError("cross_rate shape mismatch")
+    for name in ("prop_delay", "ack_delay", "buffer_bytes"):
+        if getattr(params, name).shape != (n,):
+            raise ValueError(f"{name} must have shape (n_scenarios,)")
+    if len(params.protocols) != n:
+        raise ValueError("need one protocol per scenario")
+
+    started = time.perf_counter()
+    with obs.span("sweep.chunk", scenarios=n, intervals=big_t) as chunk:
+        healthy = _finite_rows(params)
+        fault_reason = [
+            "" if ok else "non-finite or out-of-range parameters"
+            for ok in healthy
+        ]
+        if not np.all(healthy):
+            _LOG.warning(
+                "sweep.faulted_params",
+                count=int((~healthy).sum()),
+                scenario_ids=[
+                    params.scenario_ids[i]
+                    for i in np.nonzero(~healthy)[0][:8]
+                ],
+            )
+
+        # Group scenarios by protocol; each group owns a state dict of
+        # arrays and an index vector into the fleet axis.
+        groups = []
+        for proto in sorted(set(params.protocols)):
+            idx = np.array(
+                [i for i, p in enumerate(params.protocols) if p == proto],
+                dtype=np.int64,
+            )
+            model = fluid_model_for(proto)
+            groups.append((proto, idx, model, model.init_state(len(idx))))
+
+        queue = np.zeros(n)
+        sent_bytes = np.zeros(n)
+        delivered_bytes = np.zeros(n)
+        lost_bytes = np.zeros(n)
+        last_backoff = np.full(n, -np.inf)
+        pending_due = np.full(n, np.inf)
+        delay_samples = np.zeros((n, big_t))
+        delay_weights = np.zeros((n, big_t))
+        rate = np.zeros(n)
+        prop = params.prop_delay
+        ack = params.ack_delay
+        buffer_bytes = params.buffer_bytes
+
+        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+            for k in range(big_t):
+                t = k * dt
+                srv = params.service_rate[:, k]
+                cross = params.cross_rate[:, k]
+                serialization = mss / srv
+                rtt = prop + ack + queue / srv + serialization
+
+                envs = []
+                for proto, idx, model, state in groups:
+                    env = FluidEnv(
+                        t=t,
+                        dt=dt,
+                        mss=mss,
+                        rtt=rtt[idx],
+                        base_rtt=prop[idx] + ack[idx] + serialization[idx],
+                        srv=srv[idx],
+                    )
+                    rate[idx] = model.send_rate(state, env)
+                    envs.append(env)
+
+                inflow = (rate + cross) * dt
+                raw = queue + inflow - srv * dt
+                overflow = np.minimum(
+                    np.maximum(raw - buffer_bytes, 0.0), inflow
+                )
+                queue_next = np.clip(raw, 0.0, buffer_bytes)
+                loss_frac = np.where(
+                    inflow > 0, overflow / np.maximum(inflow, 1e-12), 0.0
+                )
+
+                accepted = rate * (1.0 - loss_frac)
+                sent_bytes += rate * dt
+                delivered_bytes += accepted * dt
+                lost_bytes += rate * loss_frac * dt
+                q_mid = 0.5 * (queue + queue_next)
+                delay_samples[:, k] = prop + q_mid / srv + serialization
+                delay_weights[:, k] = accepted * dt
+
+                # Loss signal with detection latency: a drop at the
+                # bottleneck reaches the sender one RTT later (queue
+                # drain + dupacks), during which the window keeps
+                # growing and overflow keeps accumulating — this is
+                # what reproduces the packet engine's overshoot bursts.
+                lossy = loss_frac > LOSS_EVENT_THRESHOLD
+                arm = (
+                    lossy
+                    & ~np.isfinite(pending_due)
+                    & (t - last_backoff >= rtt)
+                )
+                pending_due[arm] = t + LOSS_SIGNAL_DELAY_FRACTION * rtt[arm]
+                loss_event = t >= pending_due
+                last_backoff[loss_event] = t
+                pending_due[loss_event] = np.inf
+
+                for (proto, idx, model, state), env in zip(groups, envs):
+                    env.sent = rate[idx]
+                    env.delivered = accepted[idx]
+                    env.loss_frac = loss_frac[idx]
+                    env.loss_event = loss_event[idx]
+                    model.on_interval(state, env)
+
+                queue = queue_next
+
+            mean_rate = bytes_per_sec_to_mbps(
+                delivered_bytes / params.duration
+            )
+            total_weight = delay_weights.sum(axis=1)
+            mean_delay = np.where(
+                total_weight > 0,
+                (delay_samples * delay_weights).sum(axis=1)
+                / np.maximum(total_weight, 1e-12),
+                np.nan,
+            )
+            p95_delay = weighted_p95(delay_samples, delay_weights)
+            loss_pct = np.where(
+                sent_bytes > 0,
+                100.0 * lost_bytes / np.maximum(sent_bytes, 1e-12),
+                0.0,
+            )
+
+        # Post-loop check: a row whose summary went non-finite despite
+        # finite inputs is faulted too (delay NaN from zero delivery is
+        # legitimate, so only rate/loss are load-bearing here).
+        summary_ok = np.isfinite(mean_rate) & np.isfinite(loss_pct)
+        for i in np.nonzero(healthy & ~summary_ok)[0]:
+            fault_reason[i] = "non-finite summary"
+        healthy = healthy & summary_ok
+
+        elapsed = time.perf_counter() - started
+        results = []
+        for i in range(n):
+            ok = bool(healthy[i])
+            results.append(
+                ScenarioResult(
+                    scenario_id=(
+                        params.scenario_ids[i]
+                        if params.scenario_ids
+                        else f"row-{i}"
+                    ),
+                    label=params.labels[i] if params.labels else f"row-{i}",
+                    protocol=params.protocols[i],
+                    seed=int(params.seeds[i]),
+                    status="ok" if ok else "faulted",
+                    mean_rate_mbps=float(mean_rate[i]) if ok else float("nan"),
+                    mean_delay_ms=(
+                        float(sec_to_ms(mean_delay[i])) if ok else float("nan")
+                    ),
+                    p95_delay_ms=(
+                        float(sec_to_ms(p95_delay[i])) if ok else float("nan")
+                    ),
+                    loss_percent=float(loss_pct[i]) if ok else float("nan"),
+                    sent_bytes=float(sent_bytes[i]) if ok else float("nan"),
+                    delivered_bytes=(
+                        float(delivered_bytes[i]) if ok else float("nan")
+                    ),
+                    fault_reason=fault_reason[i],
+                )
+            )
+
+        chunk.set("faulted", int((~healthy).sum()))
+        chunk.set("elapsed_sec", round(elapsed, 6))
+        registry = obs.metrics()
+        registry.counter("sweep.scenarios").inc(n)
+        if elapsed > 0:
+            registry.histogram(
+                "sweep.scenarios_per_sec", obs.RATE_BUCKETS
+            ).observe(n / elapsed)
+
+    return FleetResult(
+        scenarios=results,
+        n_intervals=big_t,
+        duration=params.duration,
+        elapsed_sec=elapsed,
+    )
+
+
+def run_scenarios(scenarios: Sequence[Any]) -> FleetResult:
+    """Convenience: pack a ``ScenarioSpec`` list and run it."""
+    from repro.sweep.scenario import pack_fleet
+
+    return run_fleet(pack_fleet(scenarios))

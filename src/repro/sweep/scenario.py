@@ -1,0 +1,396 @@
+"""Declarative scenario grids for the flow-level sweep engine.
+
+A :class:`ScenarioGrid` is the sweep analogue of a batch of ``simulate``
+jobs: a cross product of paths × protocols × seeds, plus the shared
+sweep resolution (duration, interval).  Everything is JSON-able and
+content-hashed with the same :func:`~repro.runtime.jobs.content_hash`
+scheme the rest of the runtime uses, so sweep jobs are idempotent under
+resubmission and scenario results are cacheable/joinable by id.
+
+Paths come either from ground-truth parameters (:class:`SweepPath`) or
+from a learnt iBoxNet profile via :meth:`SweepPath.from_profile` — the
+flow core consumes the same (b, d, B, C) quadruple the emulator sets on
+a packet path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.jobs import content_hash
+
+#: Bandwidth kinds the flow core can realise on the interval grid.
+BANDWIDTH_KINDS = ("constant", "cellular", "scheduled")
+
+#: Default sweep resolution: 10 ms intervals resolve queue dynamics well
+#: below any RTT in the datasets while keeping T small.
+DEFAULT_DT = 0.01
+
+
+@dataclass(frozen=True)
+class SweepPath:
+    """One path's parameters, as the flow core consumes them.
+
+    ``ct_bin_edges``/``ct_rates_bytes_per_sec`` replay an estimated
+    cross-traffic series (the iBoxNet C); ``ct_rate_bytes_per_sec`` is a
+    constant open-loop rate (the ground-truth Poisson mean).  Closed-loop
+    cross traffic (FlowCT) has no fluid analogue and is not expressible
+    here — use the packet engine for those paths.
+    """
+
+    bandwidth_bytes_per_sec: float
+    propagation_delay: float
+    buffer_bytes: float
+    bandwidth_kind: str = "constant"
+    ct_rate_bytes_per_sec: float = 0.0
+    ct_bin_edges: Tuple[float, ...] = ()
+    ct_rates_bytes_per_sec: Tuple[float, ...] = ()
+    bandwidth_schedule: Optional[Tuple[Tuple[float, ...], Tuple[float, ...]]] = None
+    label: str = ""
+
+    def __post_init__(self):
+        if self.bandwidth_kind not in BANDWIDTH_KINDS:
+            raise ValueError(
+                f"bandwidth_kind must be one of {BANDWIDTH_KINDS}, "
+                f"got {self.bandwidth_kind!r}"
+            )
+        if self.bandwidth_kind == "scheduled" and not self.bandwidth_schedule:
+            raise ValueError("scheduled bandwidth needs a bandwidth_schedule")
+        if len(self.ct_bin_edges) not in (0, len(self.ct_rates_bytes_per_sec) + 1):
+            raise ValueError("ct_bin_edges must be one longer than ct rates")
+
+    @classmethod
+    def from_profile(cls, profile: Dict[str, Any], label: str = "") -> "SweepPath":
+        """Build a sweep path from an iBoxNet profile dict (to_profile)."""
+        ct = profile.get("cross_traffic") or {}
+        schedule = profile.get("bandwidth_schedule")
+        kind = "constant"
+        sched_tuple = None
+        if schedule:
+            kind = "scheduled"
+            sched_tuple = (
+                tuple(float(t) for t in schedule["times"]),
+                tuple(float(r) for r in schedule["rates_bytes_per_sec"]),
+            )
+        include_ct = bool(profile.get("include_cross_traffic", True))
+        return cls(
+            bandwidth_bytes_per_sec=float(profile["bandwidth_bytes_per_sec"]),
+            propagation_delay=float(profile["propagation_delay_sec"]),
+            buffer_bytes=float(profile["buffer_bytes"]),
+            bandwidth_kind=kind,
+            ct_bin_edges=(
+                tuple(float(e) for e in ct.get("bin_edges", ()))
+                if include_ct
+                else ()
+            ),
+            ct_rates_bytes_per_sec=(
+                tuple(float(r) for r in ct.get("rates_bytes_per_sec", ()))
+                if include_ct
+                else ()
+            ),
+            bandwidth_schedule=sched_tuple,
+            label=label,
+        )
+
+    def to_params(self) -> Dict[str, Any]:
+        """JSON-able parameter dict (also the hashed identity)."""
+        params: Dict[str, Any] = {
+            "bandwidth_bytes_per_sec": self.bandwidth_bytes_per_sec,
+            "propagation_delay": self.propagation_delay,
+            "buffer_bytes": self.buffer_bytes,
+            "bandwidth_kind": self.bandwidth_kind,
+            "ct_rate_bytes_per_sec": self.ct_rate_bytes_per_sec,
+            "ct_bin_edges": list(self.ct_bin_edges),
+            "ct_rates_bytes_per_sec": list(self.ct_rates_bytes_per_sec),
+            "label": self.label,
+        }
+        if self.bandwidth_schedule is not None:
+            params["bandwidth_schedule"] = [
+                list(self.bandwidth_schedule[0]),
+                list(self.bandwidth_schedule[1]),
+            ]
+        return params
+
+    @classmethod
+    def from_params(cls, params: Dict[str, Any]) -> "SweepPath":
+        schedule = params.get("bandwidth_schedule")
+        return cls(
+            bandwidth_bytes_per_sec=float(params["bandwidth_bytes_per_sec"]),
+            propagation_delay=float(params["propagation_delay"]),
+            buffer_bytes=float(params["buffer_bytes"]),
+            bandwidth_kind=params.get("bandwidth_kind", "constant"),
+            ct_rate_bytes_per_sec=float(
+                params.get("ct_rate_bytes_per_sec", 0.0)
+            ),
+            ct_bin_edges=tuple(
+                float(e) for e in params.get("ct_bin_edges", ())
+            ),
+            ct_rates_bytes_per_sec=tuple(
+                float(r) for r in params.get("ct_rates_bytes_per_sec", ())
+            ),
+            bandwidth_schedule=(
+                (tuple(schedule[0]), tuple(schedule[1]))
+                if schedule
+                else None
+            ),
+            label=params.get("label", ""),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One (path, protocol, seed) point of a grid."""
+
+    path: SweepPath
+    protocol: str
+    seed: int
+    duration: float
+    dt: float = DEFAULT_DT
+
+    @property
+    def scenario_id(self) -> str:
+        """Content hash identifying this scenario's exact inputs."""
+        return content_hash(
+            "sweep.scenario",
+            {
+                "path": self.path.to_params(),
+                "protocol": self.protocol,
+                "seed": self.seed,
+                "duration": self.duration,
+                "dt": self.dt,
+            },
+        )
+
+    @property
+    def label(self) -> str:
+        path_label = self.path.label or (
+            f"{self.path.bandwidth_bytes_per_sec / 125_000:.0f}mbps"
+        )
+        return f"{path_label}/{self.protocol}/s{self.seed}"
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """The declarative cross product: paths × protocols × seeds."""
+
+    paths: Tuple[SweepPath, ...]
+    protocols: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    duration: float
+    dt: float = DEFAULT_DT
+
+    def __post_init__(self):
+        if not self.paths or not self.protocols or not self.seeds:
+            raise ValueError("grid needs at least one path/protocol/seed")
+        if self.duration <= 0 or self.dt <= 0:
+            raise ValueError("duration and dt must be positive")
+        from repro.protocols.fluid import FLUID_MODELS
+
+        unknown = [p for p in self.protocols if p.lower() not in FLUID_MODELS]
+        if unknown:
+            raise ValueError(
+                f"no fluid model for protocol(s) {unknown}; "
+                f"available: {', '.join(FLUID_MODELS)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.paths) * len(self.protocols) * len(self.seeds)
+
+    def expand(self) -> List[ScenarioSpec]:
+        """Materialise the cross product, path-major (cache-friendly)."""
+        return [
+            ScenarioSpec(
+                path=path,
+                protocol=protocol.lower(),
+                seed=seed,
+                duration=self.duration,
+                dt=self.dt,
+            )
+            for path in self.paths
+            for protocol in self.protocols
+            for seed in self.seeds
+        ]
+
+    @property
+    def grid_id(self) -> str:
+        return content_hash("sweep.grid", self.to_params())
+
+    def to_params(self) -> Dict[str, Any]:
+        return {
+            "paths": [p.to_params() for p in self.paths],
+            "protocols": [p.lower() for p in self.protocols],
+            "seeds": [int(s) for s in self.seeds],
+            "duration": self.duration,
+            "dt": self.dt,
+        }
+
+    @classmethod
+    def from_params(cls, params: Dict[str, Any]) -> "ScenarioGrid":
+        return cls(
+            paths=tuple(
+                SweepPath.from_params(p) for p in params["paths"]
+            ),
+            protocols=tuple(params["protocols"]),
+            seeds=tuple(int(s) for s in params["seeds"]),
+            duration=float(params["duration"]),
+            dt=float(params.get("dt", DEFAULT_DT)),
+        )
+
+
+def split_grid(grid: ScenarioGrid, chunk_size: int) -> List[ScenarioGrid]:
+    """Split a grid into sub-grids of at most ``chunk_size`` scenarios.
+
+    Splits the protocol axis first (one fluid model per group keeps the
+    lockstep dispatch simple), then the seed axis.  Each chunk is itself
+    a valid :class:`ScenarioGrid` and therefore a content-hashed,
+    resubmittable unit of work.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunks: List[ScenarioGrid] = []
+    per_proto = len(grid.paths) * len(grid.seeds)
+    for protocol in grid.protocols:
+        seeds_per_chunk = max(1, chunk_size // max(1, len(grid.paths)))
+        if per_proto <= chunk_size:
+            seeds_per_chunk = len(grid.seeds)
+        for start in range(0, len(grid.seeds), seeds_per_chunk):
+            chunks.append(
+                ScenarioGrid(
+                    paths=grid.paths,
+                    protocols=(protocol,),
+                    seeds=grid.seeds[start:start + seeds_per_chunk],
+                    duration=grid.duration,
+                    dt=grid.dt,
+                )
+            )
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# Fleet packing: scenarios -> lockstep arrays
+# ----------------------------------------------------------------------
+@dataclass
+class FleetParams:
+    """Scenario parameters packed as ``(n_scenarios, ...)`` arrays.
+
+    This is the flow core's input contract: ``service_rate`` and
+    ``cross_rate`` are already realised on the interval grid (cellular
+    randomness included), so :func:`repro.sweep.flowsim.run_fleet` is a
+    pure deterministic recursion over these arrays.
+    """
+
+    dt: float
+    duration: float
+    service_rate: np.ndarray  # (n, T) bytes/s
+    cross_rate: np.ndarray  # (n, T) bytes/s
+    prop_delay: np.ndarray  # (n,) forward one-way sec
+    ack_delay: np.ndarray  # (n,) reverse one-way sec
+    buffer_bytes: np.ndarray  # (n,)
+    protocols: List[str]  # per-scenario protocol name
+    seeds: np.ndarray  # (n,)
+    scenario_ids: List[str] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.service_rate.shape[0]
+
+    @property
+    def n_intervals(self) -> int:
+        return self.service_rate.shape[1]
+
+
+def _step_series_on_grid(
+    times: Sequence[float],
+    values: Sequence[float],
+    grid: np.ndarray,
+) -> np.ndarray:
+    """Sample a step function (breakpoints, values) on the sweep grid."""
+    times_arr = np.asarray(times, dtype=float)
+    values_arr = np.asarray(values, dtype=float)
+    idx = np.searchsorted(times_arr, grid, side="right") - 1
+    idx = np.clip(idx, 0, len(values_arr) - 1)
+    return values_arr[idx]
+
+
+def pack_fleet(scenarios: Sequence[ScenarioSpec]) -> FleetParams:
+    """Realise a scenario list into lockstep arrays.
+
+    All scenarios must share (duration, dt) — they advance on one clock.
+    Cellular bandwidth is realised through
+    :func:`repro.simulation.links.cellular_rate_matrix` with each
+    scenario's own seed, so a sweep scenario sees byte-identical
+    bandwidth to a packet run over the same (path, seed).
+    """
+    from repro.simulation.links import cellular_rate_matrix
+
+    if not scenarios:
+        raise ValueError("cannot pack an empty scenario list")
+    duration = scenarios[0].duration
+    dt = scenarios[0].dt
+    for spec in scenarios:
+        if spec.duration != duration or spec.dt != dt:
+            raise ValueError("all scenarios in a fleet share duration and dt")
+    n = len(scenarios)
+    t_grid = np.arange(int(np.ceil(duration / dt))) * dt
+    big_t = len(t_grid)
+
+    service = np.empty((n, big_t))
+    cross = np.zeros((n, big_t))
+    prop = np.empty(n)
+    buffer_bytes = np.empty(n)
+    seeds = np.empty(n, dtype=np.int64)
+
+    cellular_rows = [
+        i for i, s in enumerate(scenarios)
+        if s.path.bandwidth_kind == "cellular"
+    ]
+    if cellular_rows:
+        cell_times, cell_rates = cellular_rate_matrix(
+            [scenarios[i].path.bandwidth_bytes_per_sec for i in cellular_rows],
+            duration=duration,
+            seeds=[scenarios[i].seed for i in cellular_rows],
+        )
+        # 100 ms realisation grid -> sweep grid (step-function lookup).
+        idx = np.clip(
+            np.searchsorted(cell_times, t_grid, side="right") - 1,
+            0,
+            cell_rates.shape[1] - 1,
+        )
+        service[cellular_rows, :] = cell_rates[:, idx]
+
+    for i, spec in enumerate(scenarios):
+        path = spec.path
+        prop[i] = path.propagation_delay
+        buffer_bytes[i] = path.buffer_bytes
+        seeds[i] = spec.seed
+        if path.bandwidth_kind == "constant":
+            service[i, :] = path.bandwidth_bytes_per_sec
+        elif path.bandwidth_kind == "scheduled":
+            times, rates = path.bandwidth_schedule
+            service[i, :] = _step_series_on_grid(times, rates, t_grid)
+        if path.ct_rates_bytes_per_sec:
+            cross[i, :] = _step_series_on_grid(
+                path.ct_bin_edges[:-1],
+                path.ct_rates_bytes_per_sec,
+                t_grid,
+            )
+        elif path.ct_rate_bytes_per_sec:
+            cross[i, :] = path.ct_rate_bytes_per_sec
+
+    return FleetParams(
+        dt=dt,
+        duration=duration,
+        service_rate=service,
+        cross_rate=cross,
+        prop_delay=prop,
+        ack_delay=prop.copy(),  # PathConfig defaults reverse = forward
+        buffer_bytes=buffer_bytes,
+        protocols=[s.protocol for s in scenarios],
+        seeds=seeds,
+        scenario_ids=[s.scenario_id for s in scenarios],
+        labels=[s.label for s in scenarios],
+    )

@@ -459,6 +459,54 @@ class TestServeDaemon:
             assert (serve_dir / "state" / "results"
                     / f"{job['job_id']}.json").exists()
 
+    def test_sweep_job_submits_and_completes(
+        self, daemon_factory, serve_dir
+    ):
+        from repro.sweep import ScenarioGrid, SweepPath
+
+        grid = ScenarioGrid(
+            paths=(
+                SweepPath(
+                    bandwidth_bytes_per_sec=1.25e6,
+                    propagation_delay=0.02,
+                    buffer_bytes=50_000.0,
+                    label="serve-sweep",
+                ),
+            ),
+            protocols=("cubic", "reno"),
+            seeds=(0, 1),
+            duration=1.0,
+        )
+        daemon = daemon_factory()
+        response = daemon.admit(
+            {
+                "kind": "sweep",
+                "params": {"grid": grid.to_params()},
+                "label": "sweep:serve-test",
+                "timeout_sec": 60.0,
+            }
+        )
+        assert response["status"] == "accepted"
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        result_path = (
+            serve_dir / "state" / "results" / f"{response['job_id']}.json"
+        )
+        result = json.loads(result_path.read_text())
+        assert result["status"] == "ok"
+        value = result["value"]
+        assert value["grid_id"] == grid.grid_id
+        assert value["n_scenarios"] == 4
+        assert value["n_faulted"] == 0
+        assert all(
+            row["status"] == "ok" for row in value["scenarios"]
+        )
+        manifest_path = daemon.drain()
+        manifest = json.loads(manifest_path.read_text())
+        assert [j["status"] for j in manifest["jobs"]] == ["ok"]
+        assert manifest["jobs"][0]["kind"] == "sweep"
+
     def test_spool_intake_retires_files_to_done(
         self, daemon_factory, serve_dir
     ):
