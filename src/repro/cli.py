@@ -259,6 +259,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip fsync on journal appends (tests only; weakens "
         "crash durability)",
     )
+    serve_run.add_argument(
+        "--snapshot-interval", type=float, default=2.0,
+        help="seconds between live snapshot flushes to "
+        "<state>/obs/metrics.json (default: 2)",
+    )
+    serve_run.add_argument(
+        "--slo", action="append", default=None, metavar="CLASS=LAT[:TARGET]",
+        help="declare a per-class SLO, e.g. 'drill=250ms:0.99' "
+        "(latency objective + success target; repeatable)",
+    )
+    serve_run.add_argument(
+        "--profile", action="store_true",
+        help="attach the wall-clock sampling profiler; collapsed "
+        "stacks land in <state>/obs/profile.collapsed on drain",
+    )
     serve_submit = serve_sub.add_parser(
         "submit", help="submit JSONL job requests to a daemon"
     )
@@ -391,12 +406,36 @@ def build_parser() -> argparse.ArgumentParser:
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser(
         "summarize",
-        help="per-stage timing table from an event log, metrics "
-        "snapshot, or run manifest",
+        help="per-stage timing table from event logs, metrics "
+        "snapshots, or run manifests (multiple inputs merge)",
     )
     summarize.add_argument(
-        "path", type=Path,
-        help="JSONL event log, metrics snapshot JSON, or run manifest JSON",
+        "paths", nargs="+", metavar="PATH",
+        help="JSONL event log(s), metrics snapshot JSON(s), or run "
+        "manifest JSON(s); glob patterns are expanded, multiple "
+        "metrics snapshots are merged (counters/histograms sum)",
+    )
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="terminal view of a live daemon: queue depth, leases, "
+        "per-class latency percentiles, breakers, SLO budgets",
+    )
+    obs_top.add_argument(
+        "--state", type=Path, default=None,
+        help="daemon state dir (reads <state>/obs/metrics.json)",
+    )
+    obs_top.add_argument(
+        "--snapshot", type=Path, default=None,
+        help="read this snapshot file directly",
+    )
+    obs_top.add_argument(
+        "--socket", type=Path, default=None,
+        help="ask a live daemon over its unix socket (stats verb) "
+        "instead of reading the snapshot file",
+    )
+    obs_top.add_argument(
+        "--watch", type=float, default=None, metavar="SEC",
+        help="refresh every SEC seconds until interrupted",
     )
 
     bench = sub.add_parser(
@@ -425,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument(
         "--list", action="store_true", dest="list_cases",
         help="list available cases and exit",
+    )
+    bench_run.add_argument(
+        "--profile", action="store_true",
+        help="sample thread stacks while the suite runs and write "
+        "collapsed flamegraph text next to the result file",
     )
     bench_compare = bench_sub.add_parser(
         "compare", help="diff a BENCH_*.json against a baseline"
@@ -648,7 +692,10 @@ def _cmd_serve(args) -> int:
     )
 
     if args.serve_command == "run":
+        from repro.obs.live import parse_slo
+
         try:
+            slos = tuple(parse_slo(spec) for spec in (args.slo or []))
             config = ServeConfig(
                 state_dir=args.state,
                 spool_dir=args.spool,
@@ -663,6 +710,9 @@ def _cmd_serve(args) -> int:
                 idle_exit_sec=args.idle_exit_sec,
                 max_runtime_sec=args.max_runtime_sec,
                 fsync=not args.no_fsync,
+                snapshot_interval_sec=args.snapshot_interval,
+                slos=slos,
+                profile=args.profile,
             )
         except ValueError as exc:
             _log.error("serve.bad_config", error=str(exc))
@@ -875,17 +925,74 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_obs(args) -> int:
-    from repro.obs.summarize import summarize_path
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
 
+    import glob as globlib
+
+    from repro.obs.summarize import summarize_paths
+
+    paths: List[Path] = []
+    for raw in args.paths:
+        if any(ch in raw for ch in "*?["):
+            matches = sorted(globlib.glob(raw))
+            if not matches:
+                _log.error("obs.glob_no_match", pattern=raw)
+                return 2
+            paths.extend(Path(m) for m in matches)
+        else:
+            paths.append(Path(raw))
     try:
-        print(summarize_path(args.path))
-    except FileNotFoundError:
-        _log.error("obs.missing_input", path=str(args.path))
+        print(summarize_paths(paths))
+    except FileNotFoundError as exc:
+        _log.error("obs.missing_input", path=str(exc))
         return 2
     except ValueError as exc:
-        _log.error("obs.bad_input", path=str(args.path), error=str(exc))
+        _log.error("obs.bad_input", error=str(exc))
         return 2
     return 0
+
+
+def _cmd_obs_top(args) -> int:
+    import time as _time
+
+    from repro.obs.live import format_top, read_snapshot
+
+    if args.socket is None and args.state is None and args.snapshot is None:
+        _log.error("obs.top_needs_source")
+        print("obs top: pass --state, --snapshot, or --socket",
+              file=sys.stderr)
+        return 2
+
+    def load() -> dict:
+        if args.socket is not None:
+            from repro.serve import query_daemon
+
+            response = query_daemon(args.socket, "stats")
+            if response.get("status") != "ok":
+                raise ValueError(f"daemon said {response}")
+            return response["stats"]
+        path = (
+            args.snapshot
+            if args.snapshot is not None
+            else args.state / "obs" / "metrics.json"
+        )
+        return read_snapshot(path)
+
+    while True:
+        try:
+            snapshot = load()
+        except (OSError, ValueError, ConnectionError, KeyError) as exc:
+            _log.error("obs.top_unreadable", error=str(exc))
+            return 2
+        print(format_top(snapshot))
+        if args.watch is None:
+            return 0
+        try:
+            _time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+        print()
 
 
 def _cmd_bench(args) -> int:
@@ -909,6 +1016,11 @@ def _cmd_bench(args) -> int:
         if not obs.enabled():
             obs.configure(enabled=True, log_level=args.log_level,
                           log_format=args.log_format)
+        profiler = None
+        if args.profile:
+            from repro.obs.profile import SamplingProfiler
+
+            profiler = SamplingProfiler().start()
         try:
             report = run_suite(
                 filters=args.filter, quick=args.quick, repeats=args.repeats
@@ -916,10 +1028,19 @@ def _cmd_bench(args) -> int:
         except ValueError as exc:
             _log.error("bench.bad_filter", error=str(exc))
             return 2
+        finally:
+            if profiler is not None:
+                profiler.stop()
         print(report.format_report())
         output = args.output or Path(default_output_name())
         path = report.write(output)
         print(f"results written to {path}")
+        if profiler is not None:
+            collapsed = output.with_suffix(".collapsed")
+            profiler.write(collapsed)
+            print(
+                f"profile ({profiler.samples} samples) written to {collapsed}"
+            )
         return 1 if any(c.error for c in report.cases) else 0
 
     # bench compare

@@ -575,6 +575,7 @@ class ServiceChaosReport:
     recovered: int = 0
     drain_exit_code: Optional[int] = None
     manifest_path: Optional[Path] = None
+    flight_dump: Optional[Path] = None
     violations: List[str] = field(default_factory=list)
 
     @property
@@ -591,13 +592,15 @@ class ServiceChaosReport:
         ]
         if self.manifest_path:
             lines.append(f"  manifest: {self.manifest_path}")
+        if self.flight_dump:
+            lines.append(f"  flight recorder dump: {self.flight_dump}")
         if self.violations:
             lines.append("GUARD VIOLATIONS:")
             lines.extend(f"  !! {v}" for v in self.violations)
         else:
             lines.append(
                 "all guards held: zero lost jobs, zero duplicate "
-                "completions, graceful drain"
+                "completions, flight dump on lease kill, graceful drain"
             )
         return "\n".join(lines)
 
@@ -646,6 +649,24 @@ def _wait_for(predicate, timeout_sec: float, poll: float = 0.1) -> bool:
     return False
 
 
+def _find_flight_dump(state: Path) -> Optional[Path]:
+    """Newest *valid* ``lease_killed`` flight dump under <state>/obs."""
+    candidates = sorted((state / "obs").glob("flight-*.json"), reverse=True)
+    for path in candidates:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue  # possibly mid-write; a later poll retries
+        if (
+            isinstance(payload, dict)
+            and payload.get("reason") == "lease_killed"
+            and isinstance(payload.get("events"), list)
+            and isinstance(payload.get("context"), dict)
+        ):
+            return path
+    return None
+
+
 def _daemon_ready(state: Path, pid: int) -> bool:
     """True once the daemon wrote its pid file — which it does only
     after its signal handlers are installed, so SIGTERM is safe."""
@@ -683,6 +704,7 @@ def run_service_campaign(
 
     from repro.serve.client import serve_status, submit_to_spool
     from repro.serve.journal import JobJournal
+    from repro.serve.requests import normalize_request
 
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
@@ -758,6 +780,43 @@ def run_service_campaign(
             )
             return report
         report.recovered = jobs - report.completed_before_kill
+        # --------------------------------------------------------------
+        # Flight-recorder phase: a hung lease is SIGKILLed by its
+        # deadline, which must leave a parseable flight dump behind.
+        # --------------------------------------------------------------
+        hang_request = {
+            "kind": "chaos",
+            "params": {"fault": "hang", "hang_sec": 30.0, "seed": seed},
+            "label": "hangdrill:flight",
+            "class": "hangdrill",
+            "timeout_sec": 1.5,
+        }
+        hang_id = normalize_request(hang_request)["job_id"]
+        submit_to_spool(spool, [hang_request])
+
+        def hang_failed() -> bool:
+            state_now = JobJournal.read_state(state / "journal")
+            job = state_now.jobs.get(hang_id)
+            return job is not None and job.status == "failed"
+
+        if not _wait_for(hang_failed, timeout_sec):
+            report.violations.append(
+                "hung lease was not deadline-killed (journal never "
+                "recorded it failed)"
+            )
+        else:
+            _note_injection("service", "hang", f"job {hang_id[:12]}")
+            flight_ok = _wait_for(
+                lambda: _find_flight_dump(state) is not None, 15.0
+            )
+            dump = _find_flight_dump(state)
+            if not flight_ok or dump is None:
+                report.violations.append(
+                    "no valid flight-recorder dump appeared in "
+                    f"{state / 'obs'} after the lease SIGKILL"
+                )
+            else:
+                report.flight_dump = dump
         daemon.send_signal(_signal.SIGTERM)
         try:
             report.drain_exit_code = daemon.wait(timeout=30)
@@ -777,8 +836,6 @@ def run_service_campaign(
     # ------------------------------------------------------------------
     # The exactly-once ledger check.
     # ------------------------------------------------------------------
-    from repro.serve.requests import normalize_request
-
     final = JobJournal.read_state(state / "journal")
     submitted_ids = {normalize_request(r)["job_id"] for r in requests}
     journal_ids = set(final.jobs)

@@ -53,6 +53,7 @@ Post-hoc analysis reads the files back: :func:`load_events` /
 from repro.obs.core import (
     ObsState,
     activate_context,
+    bound_event_buffer,
     configure,
     current_context,
     enabled,
@@ -63,6 +64,7 @@ from repro.obs.core import (
     metrics,
     metrics_snapshot,
     reset,
+    set_event_sink,
     span,
     trace_id,
 )
@@ -74,13 +76,17 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogHistogram,
     MetricsRegistry,
+    histogram_from_snapshot,
 )
 from repro.obs.summarize import (
     format_span_table,
     load_events,
+    merge_metrics_files,
     span_stats,
     summarize_path,
+    summarize_paths,
 )
 from repro.obs.tracing import EVENT_VERSION, NULL_SPAN, Span, Tracer
 
@@ -107,11 +113,17 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
+    "histogram_from_snapshot",
+    "bound_event_buffer",
+    "set_event_sink",
     "format_span_table",
     "load_events",
+    "merge_metrics_files",
     "span_stats",
     "summarize_path",
+    "summarize_paths",
     "EVENT_VERSION",
     "NULL_SPAN",
     "Span",

@@ -25,6 +25,7 @@ The cross-process contract (used by :mod:`repro.runtime.executor`):
 
 from __future__ import annotations
 
+import collections
 import contextlib
 import json
 import os
@@ -150,6 +151,30 @@ def trace_id() -> Optional[str]:
 def metrics_snapshot() -> Optional[dict]:
     """The registry snapshot, or ``None`` when telemetry is disabled."""
     return _STATE.registry.snapshot() if _STATE.enabled else None
+
+
+def set_event_sink(sink) -> None:
+    """Install (or clear, with ``None``) a tap on finished trace records.
+
+    The sink is called with every finished span/log-event dict in
+    addition to normal buffering; the flight recorder uses this to feed
+    its ring.  Applies to the *current* tracer, so install after
+    :func:`configure`.
+    """
+    _STATE.tracer.sink = sink
+
+
+def bound_event_buffer(maxlen: int) -> None:
+    """Cap the trace event buffer (drop-oldest) for long-running daemons.
+
+    The default unbounded list is right for batch runs that flush on
+    exit; a daemon alive for days would grow it without limit, so the
+    serve runtime swaps in a ``deque(maxlen=...)`` — ``flush`` and
+    ``merge_telemetry`` only need append/extend/iterate, which deques
+    provide.
+    """
+    tracer = _STATE.tracer
+    tracer.events = collections.deque(tracer.events, maxlen=maxlen)
 
 
 def flush(

@@ -1,0 +1,547 @@
+"""Live telemetry for long-running processes: flusher, SLOs, flight ring.
+
+Post-hoc telemetry (PR 2) only becomes visible when a process exits and
+writes its artifacts; a daemon absorbing traffic for days is a black
+box while it runs.  This module is the *live* layer (DESIGN.md §12):
+
+* :class:`SnapshotFlusher` — a background thread that atomically
+  publishes ``<dir>/metrics.json`` (registry snapshot + service stats)
+  and ``<dir>/metrics.prom`` (Prometheus text) every ``interval_sec``.
+  Readers (``repro obs top``, ``repro serve status``, scrapers) only
+  ever see complete files: writes go to a tmp file then ``os.replace``.
+* :class:`SLOTracker` — per-job-class latency objective + error
+  budget.  A job is *good* iff it succeeded **and** finished within
+  the objective; the flusher evaluates the bad fraction of each flush
+  window against the budget (``1 - success_target``) and reports
+  burn-rate violations (``serve.slo_burn``).
+* :class:`FlightRecorder` — a bounded in-memory ring of recent spans,
+  log events, and metric deltas (fed via the tracer sink,
+  ``obs.set_event_sink``).  On a crash-ish trigger — unhandled daemon
+  exception, lease SIGKILL, breaker opening — :meth:`FlightRecorder.dump`
+  writes the ring plus a metrics snapshot atomically to
+  ``<dir>/flight-<ts>.json`` so the last seconds before the incident
+  survive the incident.  Dumps are rate-limited per reason.
+* :func:`format_top` / :func:`read_snapshot` — the ``repro obs top``
+  terminal view over a published snapshot file.
+
+Everything here is zero-dependency and safe to run alongside the
+instrumented code: flusher/recorder failures are contained (a broken
+disk must not take down the daemon), and all mutation is lock-guarded.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.obs.metrics import histogram_from_snapshot
+from repro.obs.summarize import _format_table
+
+#: Snapshot / flight-dump schema version.
+LIVE_VERSION = 1
+
+#: Default flight-recorder ring capacity (most-recent records kept).
+DEFAULT_RING_SIZE = 512
+
+#: Default minimum seconds between two dumps for the *same* reason.
+DEFAULT_DUMP_INTERVAL_SEC = 1.0
+
+
+# ----------------------------------------------------------------------
+# SLOs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SLO:
+    """A latency objective + error budget for one job class."""
+
+    job_class: str
+    latency_objective_sec: float
+    success_target: float = 0.99
+
+    @property
+    def budget(self) -> float:
+        """Allowed bad fraction (error budget)."""
+        return max(1.0 - self.success_target, 1e-9)
+
+
+def parse_slo(spec: str) -> SLO:
+    """Parse a CLI SLO spec: ``<class>=<latency>:<target>``.
+
+    The latency accepts ``250ms``, ``1.5s``, or a bare number of
+    seconds; the target is a success fraction, e.g.
+    ``drill=250ms:0.99``.  The target may be omitted
+    (``drill=250ms``) and defaults to 0.99.
+    """
+    if "=" not in spec:
+        raise ValueError(
+            f"bad SLO spec {spec!r}: expected <class>=<latency>[:<target>]"
+        )
+    job_class, _, rest = spec.partition("=")
+    latency_text, _, target_text = rest.partition(":")
+    latency_text = latency_text.strip().lower()
+    try:
+        if latency_text.endswith("ms"):
+            latency = float(latency_text[:-2]) / 1000.0
+        elif latency_text.endswith("s"):
+            latency = float(latency_text[:-1])
+        else:
+            latency = float(latency_text)
+        target = float(target_text) if target_text else 0.99
+    except ValueError as exc:
+        raise ValueError(f"bad SLO spec {spec!r}: {exc}") from None
+    if not latency > 0:
+        raise ValueError(f"bad SLO spec {spec!r}: latency must be > 0")
+    if not 0 < target < 1:
+        raise ValueError(
+            f"bad SLO spec {spec!r}: target must be in (0, 1)"
+        )
+    return SLO(job_class.strip(), latency, target)
+
+
+class SLOTracker:
+    """Tracks per-class good/bad outcomes against declared SLOs.
+
+    ``observe`` is called once per finished job; ``evaluate`` is called
+    by the flusher each flush and returns burn-rate violations for the
+    window since the previous evaluation (windows shorter than
+    ``min_events`` roll forward instead of producing noisy verdicts).
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[SLO],
+        burn_threshold: float = 2.0,
+        min_events: int = 10,
+    ):
+        self.slos: Dict[str, SLO] = {s.job_class: s for s in slos}
+        self.burn_threshold = burn_threshold
+        self.min_events = min_events
+        self._lock = threading.Lock()
+        # per class: [total, bad, window_total, window_bad, last_burn]
+        self._state: Dict[str, List[float]] = {
+            cls: [0, 0, 0, 0, 0.0] for cls in self.slos
+        }
+
+    def observe(self, job_class: str, latency_sec: float, ok: bool) -> None:
+        slo = self.slos.get(job_class)
+        if slo is None:
+            return
+        good = ok and latency_sec <= slo.latency_objective_sec
+        with self._lock:
+            state = self._state[job_class]
+            state[0] += 1
+            state[2] += 1
+            if not good:
+                state[1] += 1
+                state[3] += 1
+
+    def evaluate(self) -> List[dict]:
+        """Close the current window; return burn-rate violations."""
+        burns: List[dict] = []
+        with self._lock:
+            for cls, slo in self.slos.items():
+                state = self._state[cls]
+                window_total, window_bad = state[2], state[3]
+                if window_total < self.min_events:
+                    continue  # window rolls forward
+                burn = (window_bad / window_total) / slo.budget
+                state[2] = state[3] = 0
+                state[4] = burn
+                if burn >= self.burn_threshold:
+                    burns.append(
+                        {
+                            "job_class": cls,
+                            "burn_rate": burn,
+                            "window_total": int(window_total),
+                            "window_bad": int(window_bad),
+                            "objective_sec": slo.latency_objective_sec,
+                            "success_target": slo.success_target,
+                        }
+                    )
+        return burns
+
+    def status(self) -> Dict[str, dict]:
+        """Cumulative per-class budget view for the live snapshot."""
+        out: Dict[str, dict] = {}
+        with self._lock:
+            for cls, slo in self.slos.items():
+                total, bad, _, _, last_burn = self._state[cls]
+                bad_frac = (bad / total) if total else 0.0
+                out[cls] = {
+                    "objective_sec": slo.latency_objective_sec,
+                    "success_target": slo.success_target,
+                    "total": int(total),
+                    "bad": int(bad),
+                    # Fraction of the error budget consumed so far;
+                    # > 1 means the SLO is already blown overall.
+                    "budget_used": bad_frac / slo.budget,
+                    "last_burn_rate": last_burn,
+                }
+        return out
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+class FlightRecorder:
+    """Bounded ring of recent telemetry, dumped atomically on incidents."""
+
+    def __init__(
+        self,
+        out_dir,
+        ring_size: int = DEFAULT_RING_SIZE,
+        min_interval_sec: float = DEFAULT_DUMP_INTERVAL_SEC,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.out_dir = Path(out_dir)
+        self.min_interval_sec = min_interval_sec
+        self._clock = clock
+        self._ring: deque = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._last_dump: Dict[str, float] = {}
+        self.dumps = 0
+
+    # -- feeding the ring ------------------------------------------------
+    def record(self, record: dict) -> None:
+        """Tracer-sink entry point: every finished span/event lands here."""
+        with self._lock:
+            self._ring.append(record)
+
+    def note(self, kind: str, **fields: Any) -> None:
+        """Append a recorder-local entry (metric deltas, state changes)."""
+        entry = {"type": kind, "ts": self._clock()}
+        entry.update(fields)
+        with self._lock:
+            self._ring.append(entry)
+
+    # -- dumping ---------------------------------------------------------
+    def dump(
+        self,
+        reason: str,
+        context: Optional[dict] = None,
+        force: bool = False,
+    ) -> Optional[Path]:
+        """Write the ring + a metrics snapshot to ``flight-<ts>.json``.
+
+        Returns the written path, or ``None`` when rate-limited (same
+        reason within ``min_interval_sec``, unless ``force``).  Never
+        raises: a flight recorder that crashes the daemon it is meant
+        to autopsy would be worse than useless.
+        """
+        try:
+            now = self._clock()
+            last = self._last_dump.get(reason, -math.inf)
+            if not force and now - last < self.min_interval_sec:
+                return None
+            self._last_dump[reason] = now
+            with self._lock:
+                events = list(self._ring)
+            payload = {
+                "v": LIVE_VERSION,
+                "reason": reason,
+                "ts": now,
+                "pid": os.getpid(),
+                "context": context or {},
+                "metrics": obs.metrics_snapshot(),
+                "events": events,
+            }
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            stamp = int(now * 1000)
+            path = self.out_dir / f"flight-{stamp}.json"
+            while path.exists():
+                stamp += 1
+                path = self.out_dir / f"flight-{stamp}.json"
+            tmp = path.with_suffix(f".json.tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload, indent=2, default=str))
+            os.replace(tmp, path)
+            self.dumps += 1
+            return path
+        except Exception:
+            return None
+
+
+# ----------------------------------------------------------------------
+# Snapshot flusher
+# ----------------------------------------------------------------------
+class SnapshotFlusher:
+    """Periodically publishes the live snapshot files, atomically.
+
+    ``service_stats`` is an optional callable returning a JSON-able
+    dict of process-specific state (queue depth, leases, breaker
+    states, journal lag — whatever the host process wants visible); it
+    is embedded under ``"service"`` in ``metrics.json``.  Each flush
+    also evaluates the SLO tracker (if any), emitting
+    ``serve.slo_burn`` events/counters and feeding burn + metric-delta
+    entries to the flight recorder (if any).
+    """
+
+    def __init__(
+        self,
+        out_dir,
+        interval_sec: float = 2.0,
+        service_stats: Optional[Callable[[], dict]] = None,
+        slo_tracker: Optional[SLOTracker] = None,
+        recorder: Optional[FlightRecorder] = None,
+    ):
+        self.out_dir = Path(out_dir)
+        self.interval_sec = interval_sec
+        self.service_stats = service_stats
+        self.slo_tracker = slo_tracker
+        self.recorder = recorder
+        self.flushes = 0
+        self.errors = 0
+        self._last_counters: Dict[str, float] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._log = obs.get_logger("repro.obs.live")
+
+    @property
+    def json_path(self) -> Path:
+        return self.out_dir / "metrics.json"
+
+    @property
+    def prom_path(self) -> Path:
+        return self.out_dir / "metrics.prom"
+
+    def flush_now(self) -> dict:
+        """Build + atomically publish one snapshot; returns the snapshot."""
+        snapshot = self.build_snapshot()
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(self.json_path, json.dumps(snapshot, default=str))
+        _atomic_write(self.prom_path, obs.metrics().to_prometheus_text())
+        self.flushes += 1
+        return snapshot
+
+    def build_snapshot(self) -> dict:
+        service: dict = {}
+        if self.service_stats is not None:
+            service = self.service_stats() or {}
+        metrics = obs.metrics_snapshot() or {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        self._track_deltas(metrics.get("counters") or {})
+        snapshot = {
+            "v": LIVE_VERSION,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "interval_sec": self.interval_sec,
+            "service": service,
+            "metrics": metrics,
+        }
+        if self.slo_tracker is not None:
+            for burn in self.slo_tracker.evaluate():
+                obs.metrics().counter("serve.slo_burn").inc()
+                self._log.warning("serve.slo_burn", **burn)
+                if self.recorder is not None:
+                    self.recorder.note("slo_burn", **burn)
+            snapshot["slo"] = self.slo_tracker.status()
+        return snapshot
+
+    def _track_deltas(self, counters: Dict[str, float]) -> None:
+        """Feed changed-counter deltas into the flight ring each flush."""
+        if self.recorder is None:
+            self._last_counters = dict(counters)
+            return
+        deltas = {
+            name: value - self._last_counters.get(name, 0.0)
+            for name, value in counters.items()
+            if value != self._last_counters.get(name, 0.0)
+        }
+        self._last_counters = dict(counters)
+        if deltas:
+            self.recorder.note("metrics_delta", counters=deltas)
+
+    # -- background thread ----------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="obs-snapshot-flusher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_flush: bool = True) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.interval_sec + 2.0)
+        if final_flush:
+            try:
+                self.flush_now()
+            except Exception:
+                self.errors += 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_sec):
+            try:
+                self.flush_now()
+            except Exception:
+                # The snapshot dir may vanish (tmp-dir teardown) or the
+                # disk may be full; the host process must keep running.
+                self.errors += 1
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(f"{path.suffix}.tmp.{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# `repro obs top`
+# ----------------------------------------------------------------------
+def read_snapshot(path) -> dict:
+    """Load a published ``metrics.json`` live snapshot."""
+    return json.loads(Path(path).read_text())
+
+
+def format_top(snapshot: dict, now: Optional[float] = None) -> str:
+    """Render the ``repro obs top`` view of one live snapshot."""
+    now = time.time() if now is None else now
+    age = now - snapshot.get("ts", now)
+    service = snapshot.get("service") or {}
+    sections: List[str] = []
+
+    interval = snapshot.get("interval_sec")
+    stale = interval is not None and age > 2 * interval
+    header = (
+        f"serve pid {snapshot.get('pid', '?')} — snapshot age {age:.1f}s"
+    )
+    if interval is not None:
+        header += f" (flush every {interval:g}s)"
+    if stale:
+        header += "  [STALE]"
+    sections.append(header)
+
+    overview_rows = []
+    if "queue_depth" in service:
+        depth = service["queue_depth"]
+        limit = service.get("queue_limit")
+        overview_rows.append(
+            ("queue depth", f"{depth}/{limit}" if limit else str(depth))
+        )
+    if "in_flight" in service:
+        in_flight = service["in_flight"] or {}
+        total = sum(in_flight.values())
+        workers = service.get("workers")
+        detail = ", ".join(
+            f"{cls}={n}" for cls, n in sorted(in_flight.items())
+        )
+        cell = f"{total}/{workers}" if workers else str(total)
+        if detail:
+            cell += f"  ({detail})"
+        overview_rows.append(("active leases", cell))
+    if "journal" in service:
+        journal = service["journal"]
+        lag = journal.get("lag_sec")
+        overview_rows.append(
+            (
+                "journal",
+                f"{journal.get('records', '?')} records, "
+                f"lag {lag:.1f}s" if lag is not None else "?",
+            )
+        )
+    if "draining" in service:
+        overview_rows.append(
+            ("draining", "yes" if service["draining"] else "no")
+        )
+    if overview_rows:
+        sections.append(
+            "\n".join(f"{k:>14}  {v}" for k, v in overview_rows)
+        )
+
+    breakers = service.get("breakers") or {}
+    if breakers:
+        rows = []
+        for cls, info in sorted(breakers.items()):
+            rows.append(
+                (
+                    cls,
+                    info.get("state", "?"),
+                    str(info.get("failures", 0)),
+                    f"{info.get('cooldown_sec', 0.0):.1f}",
+                )
+            )
+        sections.append(
+            _format_table(("breaker", "state", "fails", "cooldown_s"), rows)
+        )
+
+    histograms = (snapshot.get("metrics") or {}).get("histograms") or {}
+    latency_rows = []
+    for name, described in sorted(histograms.items()):
+        if not name.startswith("serve.latency_sec."):
+            continue
+        cls = name[len("serve.latency_sec."):]
+        hist = histogram_from_snapshot(name, described)
+        if not hist.count:
+            continue
+        latency_rows.append(
+            (
+                cls,
+                str(hist.count),
+                _fmt_ms(hist.quantile(0.50)),
+                _fmt_ms(hist.quantile(0.95)),
+                _fmt_ms(hist.quantile(0.99)),
+                _fmt_ms(described.get("max") or 0.0),
+            )
+        )
+    if latency_rows:
+        sections.append(
+            _format_table(
+                ("class", "jobs", "p50_ms", "p95_ms", "p99_ms", "max_ms"),
+                latency_rows,
+            )
+        )
+
+    slo = snapshot.get("slo") or {}
+    if slo:
+        rows = []
+        for cls, info in sorted(slo.items()):
+            rows.append(
+                (
+                    cls,
+                    _fmt_ms(info["objective_sec"]),
+                    f"{info['success_target']:.3g}",
+                    str(info["total"]),
+                    str(info["bad"]),
+                    f"{info['budget_used']:.2f}",
+                    f"{info['last_burn_rate']:.2f}",
+                )
+            )
+        sections.append(
+            _format_table(
+                (
+                    "slo_class", "obj_ms", "target",
+                    "jobs", "bad", "budget_used", "burn",
+                ),
+                rows,
+            )
+        )
+
+    counters = (snapshot.get("metrics") or {}).get("counters") or {}
+    serve_counters = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith(("serve.", "supervisor.", "breaker."))
+    }
+    if serve_counters:
+        rows = [
+            (name, f"{value:g}")
+            for name, value in sorted(serve_counters.items())
+        ]
+        sections.append(_format_table(("counter", "value"), rows))
+
+    return "\n\n".join(sections)
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}"

@@ -1,4 +1,4 @@
-"""Zero-dependency metrics: counters, gauges, fixed-bucket histograms.
+"""Zero-dependency metrics: counters, gauges, and two histogram kinds.
 
 A :class:`MetricsRegistry` is a named bag of instruments.  Instrument
 names follow the repo-wide ``subsystem.stage`` dotted convention (see
@@ -12,11 +12,21 @@ Design constraints, in order:
 2. **Mergeable.**  Worker processes record into their own registry and
    ship a :meth:`MetricsRegistry.snapshot` back with the job result;
    the parent folds it in with :meth:`MetricsRegistry.merge_snapshot`.
-   Counters and histograms add; gauges are last-writer-wins.
-3. **Exportable.**  ``snapshot()`` is the JSON schema embedded in run
+   Counters and histograms add; gauges are last-writer-wins.  The
+   :class:`LogHistogram` kind is mergeable *by construction* — bucket
+   boundaries are a pure function of the growth factor, so snapshots
+   from different processes, shards, or machines always line up.
+3. **Thread-safe when live.**  The serve daemon records from its main
+   loop, socket-intake threads, and the snapshot flusher concurrently;
+   every mutating instrument method serialises on a per-instrument
+   lock, and instrument creation / snapshotting serialise on a
+   registry lock so a flusher never iterates a dict mid-resize.
+4. **Exportable.**  ``snapshot()`` is the JSON schema embedded in run
    manifests and written by ``--metrics-out``;
    :meth:`MetricsRegistry.to_prometheus_text` renders the same data in
-   the Prometheus text exposition format for scraping setups.
+   the Prometheus text exposition format (cumulative ``le``-labelled
+   buckets including ``+Inf``, plus ``_sum``/``_count``) for scraping
+   setups and the live ``state/obs/metrics.prom`` snapshot.
 """
 
 from __future__ import annotations
@@ -26,8 +36,9 @@ import json
 import math
 import os
 import re
+import threading
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
 
@@ -42,6 +53,11 @@ RATE_BUCKETS: Tuple[float, ...] = (
     1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7,
 )
 
+#: Default growth factor for :class:`LogHistogram` buckets: each bucket
+#: is 10% wider than the one below, bounding the relative quantile
+#: error at ~5% (geometric-midpoint interpolation) over any value range.
+DEFAULT_LOG_FACTOR = 1.1
+
 
 def _check_name(name: str) -> str:
     if not _NAME_RE.match(name):
@@ -55,35 +71,40 @@ def _check_name(name: str) -> str:
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down (last write wins)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -92,10 +113,17 @@ class Histogram:
     ``buckets`` are upper bounds; an implicit +Inf bucket catches the
     rest.  ``quantile`` interpolates linearly inside the bucket that
     crosses the requested rank, clamped to the observed min/max, which
-    is plenty for run-over-run timing comparisons.
+    is plenty for run-over-run timing comparisons.  Two fixed-bucket
+    histograms only merge when their bucket layouts agree — use
+    :class:`LogHistogram` where snapshots from arbitrary processes
+    must roll up.
     """
 
-    __slots__ = ("name", "uppers", "counts", "sum", "count", "min", "max")
+    __slots__ = (
+        "name", "uppers", "counts", "sum", "count", "min", "max", "_lock",
+    )
+
+    kind = "fixed"
 
     def __init__(self, name: str, buckets: Sequence[float] = DURATION_BUCKETS):
         uppers = tuple(sorted(float(b) for b in buckets))
@@ -108,15 +136,17 @@ class Histogram:
         self.count = 0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect.bisect_left(self.uppers, value)] += 1
-        self.sum += value
-        self.count += 1
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.counts[bisect.bisect_left(self.uppers, value)] += 1
+            self.sum += value
+            self.count += 1
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -149,14 +179,16 @@ class Histogram:
         return self.max
 
     def describe(self) -> dict:
-        return {
-            "buckets": list(self.uppers),
-            "counts": list(self.counts),
-            "sum": self.sum,
-            "count": self.count,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-        }
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "buckets": list(self.uppers),
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+            }
 
     def merge(self, other: dict) -> None:
         """Fold a :meth:`describe` snapshot (same buckets) into this one."""
@@ -164,14 +196,154 @@ class Histogram:
             raise ValueError(
                 f"bucket mismatch merging histogram {self.name!r}"
             )
-        for i, c in enumerate(other["counts"]):
-            self.counts[i] += c
-        self.sum += other["sum"]
-        self.count += other["count"]
-        if other.get("min") is not None:
-            self.min = min(self.min, other["min"])
-        if other.get("max") is not None:
-            self.max = max(self.max, other["max"])
+        with self._lock:
+            for i, c in enumerate(other["counts"]):
+                self.counts[i] += c
+            self.sum += other["sum"]
+            self.count += other["count"]
+            if other.get("min") is not None:
+                self.min = min(self.min, other["min"])
+            if other.get("max") is not None:
+                self.max = max(self.max, other["max"])
+
+
+class LogHistogram:
+    """Streaming log-bucketed histogram (HDR-style), mergeable anywhere.
+
+    Positive values land in bucket ``floor(log(v) / log(factor))``,
+    whose bounds are ``[factor**i, factor**(i+1))``; non-positive
+    values land in a dedicated zero bucket.  Buckets are a *sparse*
+    ``{index: count}`` dict, so the histogram covers any dynamic range
+    (nanoseconds to hours) in O(observed octaves) memory and two
+    snapshots merge by summing counts per index — no bucket-layout
+    agreement needed, which is what makes multi-process and multi-shard
+    roll-up safe.  Relative quantile error is bounded by
+    ``factor - 1`` (10% at the default factor; interpolation inside
+    the crossing bucket roughly halves that).
+    """
+
+    __slots__ = (
+        "name", "factor", "_inv_log_factor", "counts", "zero_count",
+        "sum", "count", "min", "max", "_lock",
+    )
+
+    kind = "log"
+
+    def __init__(self, name: str, factor: float = DEFAULT_LOG_FACTOR):
+        if not factor > 1.0:
+            raise ValueError("log histogram factor must be > 1")
+        self.name = name
+        self.factor = float(factor)
+        self._inv_log_factor = 1.0 / math.log(self.factor)
+        self.counts: Dict[int, int] = {}
+        self.zero_count = 0
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def _index(self, value: float) -> int:
+        return math.floor(math.log(value) * self._inv_log_factor)
+
+    def bucket_upper(self, index: int) -> float:
+        return self.factor ** (index + 1)
+
+    def bucket_lower(self, index: int) -> float:
+        return self.factor ** index
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            if value > 0.0:
+                idx = self._index(value)
+                self.counts[idx] = self.counts.get(idx, 0) + 1
+            else:
+                self.zero_count += 1
+            self.sum += value
+            self.count += 1
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile, clamped to the observed range."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        with self._lock:
+            rank = q * self.count
+            cumulative = self.zero_count
+            if cumulative >= rank and self.zero_count:
+                return max(self.min, min(self.max, 0.0))
+            for idx in sorted(self.counts):
+                bucket_count = self.counts[idx]
+                if cumulative + bucket_count >= rank:
+                    lower = self.bucket_lower(idx)
+                    upper = self.bucket_upper(idx)
+                    frac = (rank - cumulative) / bucket_count
+                    value = lower + frac * (upper - lower)
+                    return max(self.min, min(self.max, value))
+                cumulative += bucket_count
+            return self.max
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "factor": self.factor,
+                "counts": {str(i): c for i, c in sorted(self.counts.items())},
+                "zero": self.zero_count,
+                "sum": self.sum,
+                "count": self.count,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+            }
+
+    def merge(self, other: dict) -> None:
+        """Fold a :meth:`describe` snapshot into this one (sums counts)."""
+        if other.get("kind") != self.kind:
+            raise ValueError(
+                f"cannot merge a {other.get('kind')!r} snapshot into "
+                f"log histogram {self.name!r}"
+            )
+        if not math.isclose(float(other.get("factor", 0.0)), self.factor):
+            raise ValueError(
+                f"factor mismatch merging log histogram {self.name!r}: "
+                f"{other.get('factor')} != {self.factor}"
+            )
+        with self._lock:
+            for raw_idx, c in (other.get("counts") or {}).items():
+                idx = int(raw_idx)
+                self.counts[idx] = self.counts.get(idx, 0) + int(c)
+            self.zero_count += int(other.get("zero", 0))
+            self.sum += other["sum"]
+            self.count += other["count"]
+            if other.get("min") is not None:
+                self.min = min(self.min, other["min"])
+            if other.get("max") is not None:
+                self.max = max(self.max, other["max"])
+
+
+AnyHistogram = Union[Histogram, LogHistogram]
+
+
+def histogram_from_snapshot(name: str, described: dict) -> AnyHistogram:
+    """Rebuild the right histogram kind from a ``describe()`` snapshot."""
+    if described.get("kind") == LogHistogram.kind:
+        hist: AnyHistogram = LogHistogram(
+            name, described.get("factor", DEFAULT_LOG_FACTOR)
+        )
+    else:
+        hist = Histogram(name, described["buckets"])
+    hist.merge(described)
+    return hist
 
 
 class MetricsRegistry:
@@ -180,7 +352,10 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._histograms: Dict[str, AnyHistogram] = {}
+        #: Guards instrument *creation* and snapshot iteration; the
+        #: instruments themselves carry their own locks for updates.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Instrument accessors (get-or-create)
@@ -188,17 +363,21 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters.setdefault(
-                name, Counter(_check_name(name))
-            )
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = Counter(_check_name(name))
+                    self._counters[name] = instrument
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges.setdefault(
-                name, Gauge(_check_name(name))
-            )
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = Gauge(_check_name(name))
+                    self._gauges[name] = instrument
         return instrument
 
     def histogram(
@@ -206,8 +385,37 @@ class MetricsRegistry:
     ) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms.setdefault(
-                name, Histogram(_check_name(name), buckets or DURATION_BUCKETS)
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = Histogram(
+                        _check_name(name), buckets or DURATION_BUCKETS
+                    )
+                    self._histograms[name] = instrument
+        if not isinstance(instrument, Histogram):
+            raise TypeError(
+                f"{name!r} is a {type(instrument).__name__}, not a "
+                "fixed-bucket Histogram"
+            )
+        return instrument
+
+    def log_histogram(
+        self, name: str, factor: Optional[float] = None
+    ) -> LogHistogram:
+        """Get-or-create a mergeable log-bucketed histogram."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = LogHistogram(
+                        _check_name(name), factor or DEFAULT_LOG_FACTOR
+                    )
+                    self._histograms[name] = instrument
+        if not isinstance(instrument, LogHistogram):
+            raise TypeError(
+                f"{name!r} is a {type(instrument).__name__}, not a "
+                "LogHistogram"
             )
         return instrument
 
@@ -217,14 +425,22 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Export / merge
     # ------------------------------------------------------------------
+    def _instruments(self) -> tuple:
+        """A consistent view of the three dicts (guarded copy)."""
+        with self._lock:
+            return (
+                sorted(self._counters.items()),
+                sorted(self._gauges.items()),
+                sorted(self._histograms.items()),
+            )
+
     def snapshot(self) -> dict:
         """JSON-able snapshot of every instrument (the on-disk schema)."""
+        counters, gauges, histograms = self._instruments()
         return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {
-                n: h.describe() for n, h in sorted(self._histograms.items())
-            },
+            "counters": {n: c.value for n, c in counters},
+            "gauges": {n: g.value for n, g in gauges},
+            "histograms": {n: h.describe() for n, h in histograms},
         }
 
     def merge_snapshot(self, snapshot: Optional[dict]) -> None:
@@ -232,16 +448,23 @@ class MetricsRegistry:
 
         Counters and histograms accumulate; gauges take the incoming
         value (last writer wins, which is the only sane cross-process
-        semantic for a gauge).
+        semantic for a gauge).  Histograms dispatch on the snapshot's
+        ``kind``: ``log`` merges by bucket index, anything else is the
+        fixed-bucket layout (which must match).
         """
         if not snapshot:
             return
         for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).value += value
+            self.counter(name).inc(value)
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
         for name, described in snapshot.get("histograms", {}).items():
-            self.histogram(name, described["buckets"]).merge(described)
+            if described.get("kind") == LogHistogram.kind:
+                self.log_histogram(
+                    name, described.get("factor")
+                ).merge(described)
+            else:
+                self.histogram(name, described["buckets"]).merge(described)
 
     def write_json(self, path) -> Path:
         """Atomically write the snapshot as JSON; returns the path."""
@@ -256,35 +479,53 @@ class MetricsRegistry:
         """The snapshot in Prometheus text exposition format.
 
         Dots become underscores (``executor.retries`` ->
-        ``repro_executor_retries``); histograms expose cumulative
-        ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+        ``repro_executor_retries``); every histogram kind exposes
+        cumulative ``_bucket{le=...}`` series ending in the mandatory
+        ``le="+Inf"`` bucket, plus ``_sum`` and ``_count``.
         """
         lines: List[str] = []
 
         def mangle(name: str) -> str:
             return prefix + name.replace(".", "_")
 
-        for name, counter in sorted(self._counters.items()):
+        counters, gauges, histograms = self._instruments()
+        for name, counter in counters:
             m = mangle(name)
             lines.append(f"# TYPE {m} counter")
             lines.append(f"{m} {_fmt(counter.value)}")
-        for name, gauge in sorted(self._gauges.items()):
+        for name, gauge in gauges:
             m = mangle(name)
             lines.append(f"# TYPE {m} gauge")
             lines.append(f"{m} {_fmt(gauge.value)}")
-        for name, hist in sorted(self._histograms.items()):
+        for name, hist in histograms:
             m = mangle(name)
             lines.append(f"# TYPE {m} histogram")
+            described = hist.describe()
             cumulative = 0
-            for upper, count in zip(hist.uppers, hist.counts):
-                cumulative += count
-                lines.append(
-                    f'{m}_bucket{{le="{_fmt(upper)}"}} {cumulative}'
-                )
-            cumulative += hist.counts[-1]
-            lines.append(f'{m}_bucket{{le="+Inf"}} {cumulative}')
-            lines.append(f"{m}_sum {_fmt(hist.sum)}")
-            lines.append(f"{m}_count {hist.count}")
+            if described["kind"] == LogHistogram.kind:
+                if described["zero"]:
+                    cumulative += described["zero"]
+                    lines.append(f'{m}_bucket{{le="0"}} {cumulative}')
+                factor = described["factor"]
+                for raw_idx in sorted(
+                    described["counts"], key=lambda k: int(k)
+                ):
+                    cumulative += described["counts"][raw_idx]
+                    upper = factor ** (int(raw_idx) + 1)
+                    lines.append(
+                        f'{m}_bucket{{le="{_fmt_le(upper)}"}} {cumulative}'
+                    )
+            else:
+                for upper, count in zip(
+                    described["buckets"], described["counts"]
+                ):
+                    cumulative += count
+                    lines.append(
+                        f'{m}_bucket{{le="{_fmt_le(upper)}"}} {cumulative}'
+                    )
+            lines.append(f'{m}_bucket{{le="+Inf"}} {described["count"]}')
+            lines.append(f'{m}_sum {_fmt(described["sum"])}')
+            lines.append(f'{m}_count {described["count"]}')
         return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -293,6 +534,13 @@ def _fmt(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def _fmt_le(value: float) -> str:
+    """Bucket-bound formatting: short, stable, no float-noise digits."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
 
 
 # ----------------------------------------------------------------------
@@ -330,11 +578,17 @@ class NullRegistry:
     def histogram(self, name, buckets=None) -> _NullInstrument:
         return NULL_INSTRUMENT
 
+    def log_histogram(self, name, factor=None) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
     def merge_snapshot(self, snapshot) -> None:
         pass
+
+    def to_prometheus_text(self, prefix: str = "repro_") -> str:
+        return ""
 
 
 NULL_INSTRUMENT = _NullInstrument()

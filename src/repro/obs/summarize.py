@@ -20,7 +20,7 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import MetricsRegistry, histogram_from_snapshot
 
 
 # ----------------------------------------------------------------------
@@ -161,8 +161,7 @@ def format_metrics(snapshot: dict) -> str:
     if histograms:
         rows = []
         for name, described in sorted(histograms.items()):
-            hist = Histogram(name, described["buckets"])
-            hist.merge(described)
+            hist = histogram_from_snapshot(name, described)
             rows.append(
                 (
                     name,
@@ -209,6 +208,100 @@ def format_manifest_jobs(manifest: dict) -> str:
 
 
 # ----------------------------------------------------------------------
+# Multi-file merge (the per-shard roll-up primitive)
+# ----------------------------------------------------------------------
+def classify_artifact(path) -> str:
+    """Sniff an artefact: ``manifest`` | ``metrics`` | ``events``."""
+    path = Path(path)
+    text = path.read_text()
+    try:
+        parsed = json.loads(text)
+    except json.JSONDecodeError:
+        parsed = None
+    if isinstance(parsed, dict):
+        if "manifest_version" in parsed:
+            return "manifest"
+        if (
+            "counters" in parsed
+            or "histograms" in parsed
+            or isinstance(parsed.get("metrics"), dict)
+        ):
+            return "metrics"
+    return "events"
+
+
+def _metrics_payload(document: dict) -> dict:
+    """The registry snapshot inside a metrics file or live snapshot."""
+    # Live snapshots (obs.live) nest the registry under "metrics";
+    # plain ``--metrics-out`` files *are* the registry snapshot.
+    if "counters" not in document and isinstance(
+        document.get("metrics"), dict
+    ):
+        return document["metrics"]
+    return document
+
+
+def merge_metrics_files(paths: Sequence) -> dict:
+    """Merge N metrics snapshots: counters/histograms sum, gauges LWW.
+
+    Histograms merge through the registry's kind dispatch — the
+    log-bucketed kind rolls up across files from different processes
+    or shards without any bucket-layout agreement.
+    """
+    registry = MetricsRegistry()
+    for path in paths:
+        document = json.loads(Path(path).read_text())
+        registry.merge_snapshot(_metrics_payload(document))
+    return registry.snapshot()
+
+
+def summarize_paths(paths: Sequence) -> str:
+    """Summarize one artefact, or merge-and-summarize several.
+
+    Multiple metrics snapshots merge into one registry view (counters
+    by sum, histograms via the mergeable representation); multiple
+    event logs concatenate into one span table.  Manifests are always
+    reported individually.
+    """
+    paths = [Path(p) for p in paths]
+    if not paths:
+        raise ValueError("no inputs to summarize")
+    if len(paths) == 1:
+        return summarize_path(paths[0])
+
+    by_kind: Dict[str, List[Path]] = defaultdict(list)
+    for path in paths:
+        by_kind[classify_artifact(path)].append(path)
+
+    sections: List[str] = []
+    for manifest_path in by_kind.get("manifest", []):
+        sections.append(summarize_path(manifest_path))
+    event_paths = by_kind.get("events", [])
+    if event_paths:
+        events: List[dict] = []
+        for path in event_paths:
+            events.extend(load_events(path))
+        trace_ids = {e.get("trace_id") for e in events} - {None}
+        sections.append(
+            f"event logs ({len(event_paths)} file(s)): "
+            f"{len(events)} events, {len(trace_ids)} trace(s)"
+        )
+        sections.append(format_span_table(events))
+        tally = format_event_tally(events)
+        if tally:
+            sections.append(tally)
+    metrics_paths = by_kind.get("metrics", [])
+    if metrics_paths:
+        merged = merge_metrics_files(metrics_paths)
+        names = ", ".join(p.name for p in metrics_paths)
+        sections.append(
+            f"merged metrics ({len(metrics_paths)} file(s): {names})"
+        )
+        sections.append(format_metrics(merged))
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
 # Entry point: sniff the artefact type and compose the report
 # ----------------------------------------------------------------------
 def summarize_path(path) -> str:
@@ -236,10 +329,12 @@ def summarize_path(path) -> str:
         if document.get("metrics"):
             sections.append(format_metrics(document["metrics"]))
     elif document is not None and (
-        "counters" in document or "histograms" in document
+        "counters" in document
+        or "histograms" in document
+        or isinstance(document.get("metrics"), dict)
     ):
         sections.append(f"metrics snapshot {path.name}")
-        sections.append(format_metrics(document))
+        sections.append(format_metrics(_metrics_payload(document)))
     else:
         events = load_events(path)
         if not events:

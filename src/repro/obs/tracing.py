@@ -23,7 +23,7 @@ from __future__ import annotations
 import contextvars
 import time
 import uuid
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 #: Event-log schema version, stamped on every record.
 EVENT_VERSION = 1
@@ -91,7 +91,7 @@ class Span:
             self.attrs.setdefault("error_type", exc_type.__name__)
         if self.attrs:
             record["attrs"] = self.attrs
-        self.tracer.events.append(record)
+        self.tracer.emit(record)
         return False  # never swallow exceptions
 
 
@@ -126,9 +126,23 @@ class Tracer:
         #: top-level spans hang off the submitting span in the parent.
         self.root_parent_id = root_parent_id
         self.events: List[dict] = []
+        #: Optional tap called with every finished record *in addition to*
+        #: buffering it — the flight recorder's feed (see obs.live).  Sink
+        #: failures are swallowed: observability must never take down the
+        #: instrumented code path.
+        self.sink: Optional[Callable[[dict], None]] = None
         self._current: contextvars.ContextVar[Optional[Span]] = (
             contextvars.ContextVar("repro_obs_span", default=None)
         )
+
+    def emit(self, record: dict) -> None:
+        """Buffer a finished record and tee it to the sink, if any."""
+        self.events.append(record)
+        if self.sink is not None:
+            try:
+                self.sink(record)
+            except Exception:
+                pass
 
     def current(self) -> Optional[Span]:
         return self._current.get()
@@ -148,7 +162,7 @@ class Tracer:
         fields: Dict[str, Any],
     ) -> None:
         """Buffer a structured log event, linked to the current span."""
-        self.events.append(
+        self.emit(
             {
                 "v": EVENT_VERSION,
                 "type": "event",

@@ -32,6 +32,8 @@ Programmatic use mirrors the CLI::
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.serve.client import (
     format_status,
+    query_daemon,
+    read_live_snapshot,
     serve_status,
     submit_to_spool,
     submit_via_socket,
@@ -64,6 +66,8 @@ __all__ = [
     "Supervisor",
     "format_status",
     "normalize_request",
+    "query_daemon",
+    "read_live_snapshot",
     "request_to_spec",
     "resolve_worker",
     "serve_forever",

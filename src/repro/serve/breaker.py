@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro import obs
 
@@ -41,6 +41,11 @@ class CircuitBreaker:
     failure_threshold: int = 3
     cooldown_sec: float = 30.0
     clock: Callable[[], float] = time.monotonic
+    #: Observer invoked as ``on_open(job_class, consecutive_failures)``
+    #: each time a breaker transitions to OPEN — the daemon hooks the
+    #: flight recorder here.  Exceptions are swallowed: an observer
+    #: must never break admission.
+    on_open: Optional[Callable[[str, int], None]] = None
     _classes: Dict[str, _ClassState] = field(default_factory=dict)
 
     def _cls(self, job_class: str) -> _ClassState:
@@ -111,3 +116,21 @@ class CircuitBreaker:
                 consecutive_failures=cls.consecutive_failures,
                 cooldown_sec=self.cooldown_sec,
             )
+            if self.on_open is not None:
+                try:
+                    self.on_open(job_class, cls.consecutive_failures)
+                except Exception:
+                    pass
+
+    def states(self) -> Dict[str, dict]:
+        """Live view of every known class: state, failures, cooldown."""
+        out: Dict[str, dict] = {}
+        for job_class in list(self._classes):
+            out[job_class] = {
+                "state": self.state(job_class),
+                "failures": self._classes[job_class].consecutive_failures,
+                "cooldown_sec": round(
+                    self.remaining_cooldown(job_class), 3
+                ),
+            }
+        return out

@@ -22,7 +22,7 @@ import socket
 import time
 import uuid
 from pathlib import Path
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.serve.journal import JobJournal
 from repro.trace.io import PathLike
@@ -68,8 +68,35 @@ def submit_via_socket(
     return responses
 
 
+def query_daemon(
+    socket_path: PathLike, verb: str = "stats", timeout: float = 10.0
+) -> Dict[str, Any]:
+    """Ask a live daemon a control verb (``stats`` / ``health``)."""
+    responses = submit_via_socket(socket_path, [{"verb": verb}], timeout)
+    return responses[0]
+
+
+def read_live_snapshot(state_dir: PathLike) -> Optional[Dict[str, Any]]:
+    """The flusher-published live snapshot, plus its age; None if absent."""
+    path = Path(state_dir) / "obs" / "metrics.json"
+    try:
+        snapshot = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    if not isinstance(snapshot, dict):
+        return None
+    snapshot["age_sec"] = round(time.time() - snapshot.get("ts", 0.0), 3)
+    return snapshot
+
+
 def serve_status(state_dir: PathLike) -> Dict[str, Any]:
-    """Journal-derived service state: counts plus per-job statuses."""
+    """Journal-derived service state: counts plus per-job statuses.
+
+    When the daemon's snapshot flusher has published
+    ``<state>/obs/metrics.json``, a ``live`` section is attached with
+    queue depth, per-class in-flight counts, and the snapshot age —
+    near-real-time state that journal replay alone cannot provide.
+    """
     state_dir = Path(state_dir)
     state = JobJournal.read_state(state_dir / "journal")
     pid_file = state_dir / "serve.pid"
@@ -79,7 +106,7 @@ def serve_status(state_dir: PathLike) -> Dict[str, Any]:
             pid = int(pid_file.read_text().strip())
         except ValueError:
             pid = None
-    return {
+    status: Dict[str, Any] = {
         "state_dir": str(state_dir),
         "pid": pid,
         "counts": state.counts(),
@@ -95,6 +122,17 @@ def serve_status(state_dir: PathLike) -> Dict[str, Any]:
             for j in state.in_order()
         ],
     }
+    snapshot = read_live_snapshot(state_dir)
+    if snapshot is not None:
+        service = snapshot.get("service") or {}
+        status["live"] = {
+            "snapshot_age_sec": snapshot["age_sec"],
+            "queue_depth": service.get("queue_depth"),
+            "in_flight": service.get("in_flight") or {},
+            "draining": service.get("draining"),
+            "uptime_sec": service.get("uptime_sec"),
+        }
+    return status
 
 
 def format_status(status: Dict[str, Any]) -> str:
@@ -105,6 +143,18 @@ def format_status(status: Dict[str, Any]) -> str:
         "  "
         + " ".join(f"{k}={v}" for k, v in counts.items()),
     ]
+    live = status.get("live")
+    if live:
+        in_flight = live.get("in_flight") or {}
+        detail = " ".join(
+            f"{cls}={n}" for cls, n in sorted(in_flight.items())
+        )
+        lines.append(
+            f"  live: queue_depth={live.get('queue_depth')} "
+            f"in_flight={sum(in_flight.values())}"
+            + (f" ({detail})" if detail else "")
+            + f" snapshot_age={live.get('snapshot_age_sec'):.1f}s"
+        )
     if status.get("torn_records"):
         lines.append(f"  torn journal records dropped: {status['torn_records']}")
     for job in status["jobs"]:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import signal
 import socket
 import threading
@@ -42,9 +43,17 @@ import time
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.obs.live import (
+    LIVE_VERSION,
+    FlightRecorder,
+    SLO,
+    SLOTracker,
+    SnapshotFlusher,
+)
+from repro.obs.profile import SamplingProfiler
 from repro.runtime.locks import ProcessLock
 from repro.runtime.manifest import RunManifest, new_run_id
 from repro.serve.breaker import CircuitBreaker
@@ -59,6 +68,20 @@ _log = obs.get_logger("repro.serve")
 #: A lease may crash-requeue at most this many times before the job is
 #: recorded ``failed`` (WorkerCrashLoop) instead of looping forever.
 DEFAULT_MAX_LEASES = 3
+
+#: Cap on the daemon's in-memory trace buffer (a service alive for days
+#: must not grow it without bound; the flight ring keeps the recent tail).
+EVENT_BUFFER_MAXLEN = 4096
+
+_CLASS_SANITIZE_RE = re.compile(r"[^a-z0-9_]")
+
+
+def _metric_class(job_class: str) -> str:
+    """A job class as a valid metric-name segment."""
+    cleaned = _CLASS_SANITIZE_RE.sub("_", job_class.lower())
+    if not cleaned or not cleaned[0].isalpha():
+        cleaned = f"c{cleaned}"
+    return cleaned
 
 
 @dataclass
@@ -82,6 +105,22 @@ class ServeConfig:
     #: Hard wall-clock cap on the daemon's lifetime (safety for CI).
     max_runtime_sec: Optional[float] = None
     fsync: bool = True
+    #: The serve daemon is the long-running "serve era" process: it
+    #: self-enables telemetry so the live snapshot/flight-recorder
+    #: machinery has real data.  Set False to run dark.
+    live_obs: bool = True
+    #: Cadence of the background snapshot flusher (state/obs/metrics.json
+    #: + metrics.prom); readers treat anything older than 2× this stale.
+    snapshot_interval_sec: float = 2.0
+    #: Declared per-class SLOs (latency objective + error budget),
+    #: evaluated by the flusher each flush window.
+    slos: Sequence[SLO] = ()
+    #: Attach the wall-clock sampling profiler for the daemon's lifetime;
+    #: collapsed stacks land in state/obs/profile.collapsed on drain.
+    profile: bool = False
+    profile_interval_sec: float = 0.01
+    #: Flight-recorder ring capacity (recent spans/events/metric deltas).
+    flight_ring: int = 512
 
     def __post_init__(self):
         self.state_dir = Path(self.state_dir)
@@ -101,6 +140,35 @@ class ServeDaemon:
         self.config = config
         self.state_dir = config.state_dir
         self.state_dir.mkdir(parents=True, exist_ok=True)
+        # Enable telemetry *before* any instrument is created: configure
+        # swaps in a fresh registry, so doing it later would orphan
+        # counters.  An already-enabled state (CLI --metrics-out, tests)
+        # is left untouched.
+        if config.live_obs and not obs.enabled():
+            obs.configure(enabled=True)
+        if obs.enabled():
+            obs.bound_event_buffer(EVENT_BUFFER_MAXLEN)
+        self.obs_dir = self.state_dir / "obs"
+        self.recorder = FlightRecorder(
+            self.obs_dir, ring_size=config.flight_ring
+        )
+        if obs.enabled():
+            obs.set_event_sink(self.recorder.record)
+        self.slo_tracker = (
+            SLOTracker(list(config.slos)) if config.slos else None
+        )
+        self.flusher = SnapshotFlusher(
+            self.obs_dir,
+            interval_sec=config.snapshot_interval_sec,
+            service_stats=self.live_service_stats,
+            slo_tracker=self.slo_tracker,
+            recorder=self.recorder,
+        )
+        self.profiler = (
+            SamplingProfiler(interval_sec=config.profile_interval_sec)
+            if config.profile
+            else None
+        )
         self._lock_file = ProcessLock(self.state_dir / "serve.lock")
         if not self._lock_file.acquire():
             raise RuntimeError(
@@ -111,6 +179,7 @@ class ServeDaemon:
         self.breaker = CircuitBreaker(
             failure_threshold=config.breaker_threshold,
             cooldown_sec=config.breaker_cooldown_sec,
+            on_open=self._on_breaker_open,
         )
         self.supervisor = Supervisor(
             workers=config.workers, results_dir=self.state_dir / "results"
@@ -151,6 +220,82 @@ class ServeDaemon:
                 state_dir=str(self.state_dir),
             )
         return len(orphans)
+
+    # ------------------------------------------------------------------
+    # Live telemetry (snapshot flusher / stats verb / flight recorder)
+    # ------------------------------------------------------------------
+    def _on_breaker_open(self, job_class: str, failures: int) -> None:
+        self.recorder.dump(
+            "breaker_open",
+            {"job_class": job_class, "consecutive_failures": failures},
+        )
+
+    def live_service_stats(self) -> Dict[str, Any]:
+        """Process-local service state embedded in every live snapshot."""
+        in_flight: Dict[str, int] = {}
+        for lease in self.supervisor.in_flight():
+            cls = lease.request.get("class") or lease.request["kind"]
+            in_flight[cls] = in_flight.get(cls, 0) + 1
+        now = time.time()
+        journal = {
+            "records": self.journal.appended_records,
+            "lag_sec": (
+                round(now - self.journal.last_append_ts, 3)
+                if self.journal.last_append_ts is not None
+                else None
+            ),
+            "segments": len(self.journal.segments()),
+        }
+        return {
+            "queue_depth": len(self.queue),
+            "queue_limit": self.config.queue_limit,
+            "workers": self.config.workers,
+            "in_flight": in_flight,
+            "deferred": len(self._deferred),
+            "draining": self.draining,
+            "uptime_sec": round(time.monotonic() - self._started_mono, 3),
+            "journal": journal,
+            "breakers": self.breaker.states(),
+            "counts": self.journal.state.counts(),
+        }
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        """A full live snapshot, same shape as the flushed metrics.json."""
+        payload = {
+            "v": LIVE_VERSION,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "interval_sec": self.config.snapshot_interval_sec,
+            "service": self.live_service_stats(),
+            "metrics": obs.metrics_snapshot()
+            or {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+        if self.slo_tracker is not None:
+            payload["slo"] = self.slo_tracker.status()
+        return payload
+
+    def _handle_verb(self, verb: str) -> Dict[str, Any]:
+        """Answer a control verb from the socket (not a job request)."""
+        if verb == "stats":
+            return {"status": "ok", "stats": self._stats_payload()}
+        if verb == "health":
+            return {
+                "status": "ok",
+                "health": {
+                    "pid": os.getpid(),
+                    "draining": self.draining,
+                    "uptime_sec": round(
+                        time.monotonic() - self._started_mono, 3
+                    ),
+                    "queue_depth": len(self.queue),
+                    "busy_workers": self.supervisor.busy,
+                },
+            }
+        return {
+            "status": "rejected",
+            "reason": "invalid",
+            "detail": f"unknown verb {verb!r} (use 'stats' or 'health')",
+        }
 
     # ------------------------------------------------------------------
     # Admission (spool scanner and socket threads both land here)
@@ -318,7 +463,10 @@ class ServeDaemon:
                     response = {"status": "rejected", "reason": "invalid",
                                 "detail": "undecodable JSON line"}
                 else:
-                    response = self.admit(raw)
+                    if isinstance(raw, dict) and "verb" in raw:
+                        response = self._handle_verb(raw["verb"])
+                    else:
+                        response = self.admit(raw)
                 writer.write(json.dumps(response) + "\n")
                 writer.flush()
 
@@ -387,10 +535,23 @@ class ServeDaemon:
             )
             self._last_activity = time.monotonic()
 
+    def _observe_outcome(self, event: LeaseEvent, job_class: str) -> None:
+        """Feed the per-class latency histogram and the SLO tracker."""
+        obs.metrics().log_histogram(
+            f"serve.latency_sec.{_metric_class(job_class)}"
+        ).observe(event.duration_sec)
+        if self.slo_tracker is not None:
+            self.slo_tracker.observe(
+                job_class,
+                event.duration_sec,
+                ok=event.outcome == "completed",
+            )
+
     def _handle_event(self, event: LeaseEvent) -> None:
         job_id = event.request["job_id"]
         job_class = event.request.get("class") or event.request["kind"]
         self._last_activity = time.monotonic()
+        self._observe_outcome(event, job_class)
         if event.outcome == "completed":
             result = event.result or {}
             self.journal.completed(
@@ -424,8 +585,27 @@ class ServeDaemon:
             )
             self.breaker.record_failure(job_class)
             obs.metrics().counter("serve.failed").inc()
+            # The supervisor just SIGKILLed this lease — capture the
+            # telemetry tail leading up to it.
+            self.recorder.dump(
+                "lease_killed",
+                {
+                    "job_id": job_id,
+                    "job_class": job_class,
+                    "timeout_sec": event.request.get("timeout_sec"),
+                    "duration_sec": event.duration_sec,
+                },
+            )
             return
         # Crash: the worker died without a result.  Requeue (bounded).
+        self.recorder.dump(
+            "lease_crashed",
+            {
+                "job_id": job_id,
+                "job_class": job_class,
+                "exitcode": event.exitcode,
+            },
+        )
         self.breaker.record_failure(job_class)
         state = self.journal.state.jobs.get(job_id)
         attempts = state.attempts if state else 1
@@ -512,10 +692,22 @@ class ServeDaemon:
             workers=self.config.workers,
             recovered=self.recovered,
         )
+        self.flusher.start()
+        if self.profiler is not None:
+            self.profiler.start()
         try:
             while not self._should_stop():
                 self.tick()
                 time.sleep(self.config.poll_interval)
+        except Exception as exc:
+            # The last seconds of telemetry before an unhandled daemon
+            # exception are exactly what the autopsy needs.
+            self.recorder.dump(
+                "unhandled_exception",
+                {"error_type": type(exc).__name__, "message": str(exc)},
+                force=True,
+            )
+            raise
         finally:
             self.drain()
         return 0
@@ -546,6 +738,17 @@ class ServeDaemon:
             for lease in self.supervisor.kill_all():
                 self.journal.requeued(lease.job_id, "drain_timeout")
                 _log.warning("serve.drain_requeued", job_id=lease.job_id)
+            if self.profiler is not None:
+                self.profiler.stop()
+                profile_path = self.profiler.write(
+                    self.obs_dir / "profile.collapsed"
+                )
+                _log.info(
+                    "serve.profile_written",
+                    path=str(profile_path),
+                    samples=self.profiler.samples,
+                )
+            self.flusher.stop(final_flush=True)
             manifest_path = self._write_manifest()
             self.journal.close()
             self._lock_file.release()

@@ -236,6 +236,12 @@ class JobJournal:
         self.compact_after_segments = compact_after_segments
         self.state = JournalState()
         self._fh = None
+        #: Wall-clock time of the most recent durable append (None until
+        #: the first one); the live snapshot reports ``now - this`` as
+        #: journal lag.
+        self.last_append_ts: Optional[float] = None
+        #: Records appended by *this* writer (not counting replay).
+        self.appended_records = 0
         # Reentrant: append() -> rotate() -> compact() nest on the
         # same thread.
         self._lock = threading.RLock()
@@ -334,6 +340,8 @@ class JobJournal:
             self._fh.flush()
             if self.fsync:
                 os.fsync(self._fh.fileno())
+            self.last_append_ts = time.time()
+            self.appended_records += 1
             if self._fh.tell() >= self.max_segment_bytes:
                 self.rotate()
 

@@ -42,6 +42,10 @@ def _worker_entry(request: dict, result_path: str) -> None:
     """
     from repro.serve.requests import request_to_spec, resolve_worker
 
+    # A forked child inherits the parent's obs state — including locks
+    # the daemon's flusher/sampler threads may have held at fork time.
+    # Reset to a fresh disabled state before touching any of it.
+    obs.reset()
     started = time.perf_counter()
     try:
         spec = request_to_spec(request)

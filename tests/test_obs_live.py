@@ -1,0 +1,322 @@
+"""Tests for repro.obs.live: flusher, SLO tracking, flight recorder."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.live import (
+    DEFAULT_RING_SIZE,
+    LIVE_VERSION,
+    SLO,
+    FlightRecorder,
+    SLOTracker,
+    SnapshotFlusher,
+    format_top,
+    parse_slo,
+    read_snapshot,
+)
+
+
+class TestParseSLO:
+    def test_milliseconds(self):
+        slo = parse_slo("drill=250ms")
+        assert slo.job_class == "drill"
+        assert slo.latency_objective_sec == pytest.approx(0.25)
+        assert slo.success_target == 0.99
+
+    def test_seconds_suffix_and_target(self):
+        slo = parse_slo("fit=1.5s:0.999")
+        assert slo.latency_objective_sec == pytest.approx(1.5)
+        assert slo.success_target == 0.999
+
+    def test_bare_seconds(self):
+        assert parse_slo("x=2").latency_objective_sec == 2.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "noequals",
+            "cls=",
+            "cls=abc",
+            "cls=0ms",
+            "cls=-1s",
+            "cls=1s:0",
+            "cls=1s:1",
+            "cls=1s:1.5",
+            "cls=1s:xyz",
+        ],
+    )
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+    def test_budget_property(self):
+        assert SLO("x", 1.0, 0.99).budget == pytest.approx(0.01)
+        # A 100% target still leaves a non-zero budget (no div-by-zero).
+        assert SLO("x", 1.0, 1.0).budget > 0
+
+
+class TestSLOTracker:
+    def _tracker(self, **kwargs):
+        return SLOTracker([SLO("drill", 0.1, 0.99)], **kwargs)
+
+    def test_small_window_rolls_forward(self):
+        tracker = self._tracker(min_events=10)
+        for _ in range(5):
+            tracker.observe("drill", 1.0, ok=True)  # all too slow -> bad
+        assert tracker.evaluate() == []  # below min_events: no verdict
+        for _ in range(5):
+            tracker.observe("drill", 1.0, ok=True)
+        burns = tracker.evaluate()  # rolled-forward window now has 10
+        assert len(burns) == 1
+        assert burns[0]["window_total"] == 10
+        assert burns[0]["window_bad"] == 10
+
+    def test_burn_rate_math(self):
+        tracker = self._tracker(min_events=10, burn_threshold=2.0)
+        # 1 bad out of 10 = 10% bad fraction over a 1% budget -> burn 10x.
+        for i in range(10):
+            tracker.observe("drill", 1.0 if i == 0 else 0.01, ok=True)
+        burns = tracker.evaluate()
+        assert len(burns) == 1
+        assert burns[0]["burn_rate"] == pytest.approx(10.0)
+
+    def test_within_budget_no_burn(self):
+        tracker = self._tracker(min_events=10, burn_threshold=2.0)
+        for _ in range(100):
+            tracker.observe("drill", 0.01, ok=True)
+        assert tracker.evaluate() == []
+
+    def test_failure_counts_as_bad_even_when_fast(self):
+        tracker = self._tracker(min_events=1)
+        tracker.observe("drill", 0.001, ok=False)
+        burns = tracker.evaluate()
+        assert burns and burns[0]["window_bad"] == 1
+
+    def test_untracked_class_ignored(self):
+        tracker = self._tracker(min_events=1)
+        tracker.observe("other", 99.0, ok=False)
+        assert tracker.evaluate() == []
+        assert tracker.status()["drill"]["total"] == 0
+
+    def test_status_budget_used(self):
+        tracker = self._tracker(min_events=10)
+        for i in range(100):
+            tracker.observe("drill", 1.0 if i < 2 else 0.01, ok=True)
+        status = tracker.status()["drill"]
+        assert status["total"] == 100
+        assert status["bad"] == 2
+        # 2% bad over a 1% budget: twice the budget consumed.
+        assert status["budget_used"] == pytest.approx(2.0)
+
+    def test_window_resets_after_evaluate(self):
+        tracker = self._tracker(min_events=5)
+        for _ in range(5):
+            tracker.observe("drill", 1.0, ok=True)
+        assert tracker.evaluate()  # burns, window closes
+        assert tracker.evaluate() == []  # fresh empty window
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self, tmp_path):
+        recorder = FlightRecorder(tmp_path, ring_size=4)
+        for i in range(10):
+            recorder.note("tick", i=i)
+        path = recorder.dump("test", force=True)
+        payload = json.loads(path.read_text())
+        assert len(payload["events"]) == 4
+        assert [e["i"] for e in payload["events"]] == [6, 7, 8, 9]
+
+    def test_dump_payload_schema(self, tmp_path):
+        obs.configure(enabled=True)
+        obs.metrics().counter("serve.jobs").inc(3)
+        recorder = FlightRecorder(tmp_path)
+        recorder.record({"type": "span", "name": "lease"})
+        path = recorder.dump("lease_killed", context={"job_id": "j1"})
+        assert path is not None and path.name.startswith("flight-")
+        payload = json.loads(path.read_text())
+        assert payload["v"] == LIVE_VERSION
+        assert payload["reason"] == "lease_killed"
+        assert payload["context"] == {"job_id": "j1"}
+        assert payload["metrics"]["counters"]["serve.jobs"] == 3.0
+        assert payload["events"][0]["name"] == "lease"
+
+    def test_rate_limit_per_reason(self, tmp_path):
+        clock = [1000.0]
+        recorder = FlightRecorder(
+            tmp_path, min_interval_sec=1.0, clock=lambda: clock[0]
+        )
+        assert recorder.dump("breaker_open") is not None
+        assert recorder.dump("breaker_open") is None  # same reason, too soon
+        assert recorder.dump("lease_killed") is not None  # other reason ok
+        assert recorder.dump("breaker_open", force=True) is not None
+        clock[0] += 1.5
+        assert recorder.dump("breaker_open") is not None
+        assert recorder.dumps == 4
+
+    def test_dump_never_raises(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("a file where a directory should be")
+        recorder = FlightRecorder(target / "sub")
+        assert recorder.dump("whatever", force=True) is None
+
+    def test_default_ring_size(self, tmp_path):
+        recorder = FlightRecorder(tmp_path)
+        assert recorder._ring.maxlen == DEFAULT_RING_SIZE
+
+
+class TestSnapshotFlusher:
+    def test_flush_now_schema_and_files(self, tmp_path):
+        obs.configure(enabled=True)
+        obs.metrics().counter("serve.jobs").inc()
+        obs.metrics().log_histogram("serve.latency_sec.drill").observe(0.02)
+        flusher = SnapshotFlusher(
+            tmp_path, interval_sec=0.5,
+            service_stats=lambda: {"queue_depth": 2, "draining": False},
+        )
+        snapshot = flusher.flush_now()
+        assert snapshot["v"] == LIVE_VERSION
+        assert snapshot["interval_sec"] == 0.5
+        assert snapshot["service"]["queue_depth"] == 2
+        assert snapshot["metrics"]["counters"]["serve.jobs"] == 1.0
+        on_disk = read_snapshot(flusher.json_path)
+        assert on_disk["service"] == snapshot["service"]
+        prom = flusher.prom_path.read_text()
+        assert "repro_serve_jobs 1" in prom
+        assert 'repro_serve_latency_sec_drill_bucket{le="+Inf"} 1' in prom
+
+    def test_flush_evaluates_slos(self, tmp_path):
+        obs.configure(enabled=True)
+        tracker = SLOTracker([SLO("drill", 0.1)], min_events=5)
+        recorder = FlightRecorder(tmp_path)
+        flusher = SnapshotFlusher(
+            tmp_path, slo_tracker=tracker, recorder=recorder
+        )
+        for _ in range(5):
+            tracker.observe("drill", 9.0, ok=True)
+        snapshot = flusher.flush_now()
+        assert snapshot["slo"]["drill"]["bad"] == 5
+        # The burn counter increments during evaluation, so it lands in
+        # the registry now and in the *next* published snapshot.
+        assert obs.metrics().counter("serve.slo_burn").value == 1.0
+        # The burn landed in the flight ring too.
+        dump = json.loads(recorder.dump("t", force=True).read_text())
+        assert any(e.get("type") == "slo_burn" for e in dump["events"])
+
+    def test_counter_deltas_feed_recorder(self, tmp_path):
+        obs.configure(enabled=True)
+        recorder = FlightRecorder(tmp_path)
+        flusher = SnapshotFlusher(tmp_path, recorder=recorder)
+        obs.metrics().counter("serve.jobs").inc(2)
+        flusher.flush_now()
+        obs.metrics().counter("serve.jobs").inc(3)
+        flusher.flush_now()
+        dump = json.loads(recorder.dump("t", force=True).read_text())
+        deltas = [
+            e for e in dump["events"] if e.get("type") == "metrics_delta"
+        ]
+        assert deltas[0]["counters"]["serve.jobs"] == 2.0
+        assert deltas[1]["counters"]["serve.jobs"] == 3.0
+
+    def test_readers_never_see_torn_json(self, tmp_path):
+        """Hammer flush_now while a reader loop parses the snapshot."""
+        obs.configure(enabled=True)
+        histogram = obs.metrics().log_histogram("serve.latency_sec.x")
+        flusher = SnapshotFlusher(tmp_path, service_stats=lambda: {"n": 1})
+        flusher.flush_now()
+        stop = threading.Event()
+        torn: list = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snapshot = read_snapshot(flusher.json_path)
+                    assert snapshot["v"] == LIVE_VERSION
+                except Exception as exc:  # pragma: no cover - failure path
+                    torn.append(exc)
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for i in range(200):
+            histogram.observe(0.001 * (i + 1))
+            flusher.flush_now()
+        stop.set()
+        thread.join()
+        assert not torn
+        assert flusher.flushes == 201
+
+    def test_background_thread_flushes_and_survives_errors(self, tmp_path):
+        obs.configure(enabled=True)
+        flusher = SnapshotFlusher(tmp_path / "obs", interval_sec=0.02)
+        flusher.start()
+        deadline = threading.Event()
+        for _ in range(100):
+            if flusher.json_path.exists():
+                break
+            deadline.wait(0.05)
+        flusher.stop(final_flush=True)
+        assert flusher.json_path.exists()
+        assert flusher.flushes >= 1
+        # A second stop is harmless.
+        flusher.stop(final_flush=False)
+
+
+class TestFormatTop:
+    def _snapshot(self, ts=1000.0):
+        obs.configure(enabled=True)
+        registry = obs.metrics()
+        for v in (0.01, 0.02, 0.3):
+            registry.log_histogram("serve.latency_sec.drill").observe(v)
+        registry.counter("serve.jobs.completed").inc(3)
+        tracker = SLOTracker([SLO("drill", 0.1)], min_events=1)
+        for v in (0.01, 0.02, 0.3):
+            tracker.observe("drill", v, ok=True)
+        snapshot = {
+            "v": LIVE_VERSION,
+            "ts": ts,
+            "pid": 4242,
+            "interval_sec": 2.0,
+            "service": {
+                "queue_depth": 3,
+                "queue_limit": 64,
+                "workers": 2,
+                "in_flight": {"drill": 1, "fit": 1},
+                "draining": False,
+                "journal": {"records": 17, "lag_sec": 0.4},
+                "breakers": {
+                    "drill": {
+                        "state": "open", "failures": 5, "cooldown_sec": 9.5
+                    }
+                },
+            },
+            "metrics": obs.metrics_snapshot(),
+            "slo": tracker.status(),
+        }
+        return snapshot
+
+    def test_renders_all_sections(self):
+        text = format_top(self._snapshot(ts=1000.0), now=1001.0)
+        assert "pid 4242" in text
+        assert "snapshot age 1.0s" in text
+        assert "[STALE]" not in text
+        assert "queue depth" in text and "3/64" in text
+        assert "active leases" in text and "2/2" in text
+        assert "drill=1" in text and "fit=1" in text
+        assert "17 records" in text
+        assert "open" in text  # breaker state
+        assert "p95_ms" in text
+        assert "slo_class" in text
+        assert "serve.jobs.completed" in text
+
+    def test_stale_flag(self):
+        text = format_top(self._snapshot(ts=1000.0), now=1010.0)
+        assert "[STALE]" in text
+
+    def test_minimal_snapshot_renders(self):
+        text = format_top({"ts": 5.0, "pid": 1}, now=6.0)
+        assert "pid 1" in text

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 
 import pytest
 
@@ -13,7 +14,9 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogHistogram,
     MetricsRegistry,
+    histogram_from_snapshot,
 )
 
 
@@ -82,6 +85,107 @@ class TestHistogram:
         b = Histogram("x", buckets=(2.0,))
         with pytest.raises(ValueError):
             a.merge(b.describe())
+
+
+class TestLogHistogram:
+    def test_observe_and_stats(self):
+        h = LogHistogram("serve.latency_sec.drill")
+        for v in (0.001, 0.01, 0.1, 1.0, 10.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(11.111)
+        assert h.min == 0.001
+        assert h.max == 10.0
+        assert h.mean == pytest.approx(11.111 / 5)
+
+    def test_zero_and_negative_values_bucket_separately(self):
+        h = LogHistogram("x.y")
+        h.observe(0.0)
+        h.observe(-1.0)
+        h.observe(0.5)
+        assert h.zero_count == 2
+        assert h.count == 3
+        assert sum(h.counts.values()) == 1
+
+    def test_quantile_relative_error_bounded(self):
+        # Bucket width bounds relative quantile error by (factor - 1).
+        h = LogHistogram("x.y", factor=1.1)
+        values = [0.001 * (1.07 ** i) for i in range(200)]
+        for v in values:
+            h.observe(v)
+        values.sort()
+        for q in (0.5, 0.95, 0.99):
+            exact = values[min(len(values) - 1, int(q * len(values)))]
+            approx = h.quantile(q)
+            assert abs(approx - exact) / exact < 0.15
+
+    def test_quantile_clamped_and_empty(self):
+        h = LogHistogram("x.y")
+        assert math.isnan(h.quantile(0.5))
+        h.observe(2.0)
+        assert h.quantile(0.0) == 2.0
+        assert h.quantile(1.0) == 2.0
+
+    def test_merge_is_layout_free(self):
+        # The point of log buckets: two independently created
+        # histograms always merge — no bucket agreement needed.
+        a = LogHistogram("x.y")
+        b = LogHistogram("x.y")
+        for v in (0.01, 0.02, 5.0):
+            a.observe(v)
+        for v in (0.5, 100.0, 0.0):
+            b.observe(v)
+        a.merge(b.describe())
+        assert a.count == 6
+        assert a.zero_count == 1
+        assert a.min == 0.0
+        assert a.max == 100.0
+        assert a.sum == pytest.approx(105.53)
+
+    def test_merge_totals_equal_single_stream(self):
+        import random
+
+        rng = random.Random(42)
+        values = [rng.expovariate(10.0) for _ in range(600)]
+        whole = LogHistogram("x.y")
+        for v in values:
+            whole.observe(v)
+        parts = [LogHistogram("x.y") for _ in range(3)]
+        for i, v in enumerate(values):
+            parts[i % 3].observe(v)
+        merged = LogHistogram("x.y")
+        for part in parts:
+            merged.merge(part.describe())
+        assert merged.count == whole.count
+        assert merged.sum == pytest.approx(whole.sum)
+        assert merged.counts == whole.counts
+        assert merged.quantile(0.95) == pytest.approx(whole.quantile(0.95))
+
+    def test_merge_rejects_kind_and_factor_mismatch(self):
+        log = LogHistogram("x.y")
+        with pytest.raises(ValueError):
+            log.merge(Histogram("x.y").describe())
+        other = LogHistogram("x.y", factor=2.0)
+        other.observe(1.0)
+        with pytest.raises(ValueError):
+            log.merge(other.describe())
+
+    def test_describe_round_trips_through_json(self):
+        h = LogHistogram("x.y")
+        for v in (0.003, 0.4, 7.0):
+            h.observe(v)
+        described = json.loads(json.dumps(h.describe()))
+        rebuilt = histogram_from_snapshot("x.y", described)
+        assert isinstance(rebuilt, LogHistogram)
+        assert rebuilt.count == 3
+        assert rebuilt.counts == h.counts
+
+    def test_histogram_from_snapshot_fixed_kind(self):
+        h = Histogram("x.y", buckets=(1.0, 2.0))
+        h.observe(1.5)
+        rebuilt = histogram_from_snapshot("x.y", h.describe())
+        assert isinstance(rebuilt, Histogram)
+        assert rebuilt.counts == h.counts
 
 
 class TestRegistry:
@@ -156,6 +260,46 @@ class TestRegistry:
         assert 'repro_job_sec_bucket{le="+Inf"} 3' in text
         assert "repro_job_sec_count 3" in text
 
+    def test_prometheus_log_histogram_golden(self):
+        # Exact exposition text for a log histogram: the zero bucket is
+        # le="0", each sparse bucket is cumulative, +Inf closes the set.
+        reg = MetricsRegistry()
+        h = reg.log_histogram("job.sec", factor=10.0)
+        for v in (0.0, 0.5, 5.0):
+            h.observe(v)
+        assert reg.to_prometheus_text() == (
+            "# TYPE repro_job_sec histogram\n"
+            'repro_job_sec_bucket{le="0"} 1\n'
+            'repro_job_sec_bucket{le="1"} 2\n'
+            'repro_job_sec_bucket{le="10"} 3\n'
+            'repro_job_sec_bucket{le="+Inf"} 3\n'
+            "repro_job_sec_sum 5.5\n"
+            "repro_job_sec_count 3\n"
+        )
+
+    def test_prometheus_fixed_histogram_golden(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("job.sec", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert reg.to_prometheus_text() == (
+            "# TYPE repro_job_sec histogram\n"
+            'repro_job_sec_bucket{le="0.1"} 1\n'
+            'repro_job_sec_bucket{le="1"} 2\n'
+            'repro_job_sec_bucket{le="+Inf"} 3\n'
+            "repro_job_sec_sum 5.55\n"
+            "repro_job_sec_count 3\n"
+        )
+
+    def test_log_histogram_accessor_kind_guard(self):
+        reg = MetricsRegistry()
+        reg.histogram("a.b")
+        with pytest.raises(TypeError):
+            reg.log_histogram("a.b")
+        reg.log_histogram("c.d")
+        with pytest.raises(TypeError):
+            reg.histogram("c.d")
+
     def test_null_registry_is_inert(self):
         NULL_REGISTRY.counter("anything at all!").inc()
         NULL_REGISTRY.gauge("x").set(1)
@@ -163,3 +307,79 @@ class TestRegistry:
         assert NULL_REGISTRY.snapshot() == {
             "counters": {}, "gauges": {}, "histograms": {}
         }
+
+class TestConcurrency:
+    """Registry instruments must be safe to hammer from many threads."""
+
+    def _hammer(self, n_threads, fn):
+        barrier = threading.Barrier(n_threads)
+
+        def run():
+            barrier.wait()
+            fn()
+
+        threads = [threading.Thread(target=run) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_exact_under_contention(self):
+        reg = MetricsRegistry()
+
+        def work():
+            c = reg.counter("hits")
+            for _ in range(10_000):
+                c.inc()
+
+        self._hammer(4, work)
+        assert reg.counter("hits").value == 40_000.0
+
+    def test_log_histogram_exact_count_under_contention(self):
+        reg = MetricsRegistry()
+
+        def work():
+            h = reg.log_histogram("lat.sec")
+            for i in range(5_000):
+                h.observe(0.001 + (i % 10) * 0.01)
+
+        self._hammer(4, work)
+        h = reg.log_histogram("lat.sec")
+        assert h.count == 20_000
+        assert sum(h.counts.values()) == 20_000
+
+    def test_get_or_create_race_returns_one_instrument(self):
+        reg = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def work():
+            c = reg.counter("raced")
+            with lock:
+                seen.append(c)
+
+        self._hammer(8, work)
+        assert len(set(id(c) for c in seen)) == 1
+
+
+class TestOverhead:
+    def test_disabled_path_is_cheap(self):
+        # When obs is disabled every instrument call must be a no-op on
+        # the NULL_REGISTRY.  Guard with a generous absolute bound so the
+        # test only fails on a real regression (e.g. lock acquisition or
+        # dict churn sneaking into the disabled path), not on CI noise.
+        import time as _time
+
+        from repro import obs
+
+        obs.reset()
+        assert not obs.enabled()
+        registry = obs.metrics()
+        assert registry is NULL_REGISTRY
+        start = _time.perf_counter()
+        for _ in range(100_000):
+            registry.counter("x.y").inc()
+            registry.log_histogram("x.z").observe(0.5)
+        elapsed = _time.perf_counter() - start
+        obs.reset()
+        assert elapsed < 2.0, f"disabled-path overhead too high: {elapsed:.2f}s"

@@ -1,0 +1,115 @@
+"""Tests for the repro.obs.profile sampling profiler."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.profile import SamplingProfiler, _frame_label
+
+
+def _busy_loop(stop: threading.Event) -> float:
+    x = 0.0
+    while not stop.is_set():
+        for i in range(2000):
+            x += i * 0.5
+    return x
+
+
+def _profile_busy(interval_sec=0.001, duration=0.25, **kwargs):
+    """Run the profiler against a busy worker thread; return it stopped."""
+    stop = threading.Event()
+    worker = threading.Thread(target=_busy_loop, args=(stop,), name="busy")
+    worker.start()
+    try:
+        profiler = SamplingProfiler(interval_sec=interval_sec, **kwargs)
+        with profiler:
+            time.sleep(duration)
+    finally:
+        stop.set()
+        worker.join()
+    return profiler
+
+
+class TestSamplingProfiler:
+    def test_collects_samples_from_other_threads(self):
+        profiler = _profile_busy()
+        assert profiler.samples > 10
+        assert profiler.wall_sec > 0
+        lines = profiler.collapsed().splitlines()
+        assert lines, "expected at least one stack"
+        # The busy loop must appear, attributed to its function.
+        assert any("_busy_loop" in line for line in lines)
+
+    def test_collapsed_format(self):
+        profiler = _profile_busy(duration=0.1)
+        lines = profiler.collapsed().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack, f"bad collapsed line: {line!r}"
+            assert count.isdigit()
+            for frame in stack.split(";"):
+                assert ":" in frame  # module:function labels
+
+    def test_stacks_are_outermost_first(self):
+        profiler = _profile_busy(duration=0.2)
+        busy_lines = [
+            line
+            for line in profiler.collapsed().splitlines()
+            if "_busy_loop" in line
+        ]
+        assert busy_lines
+        stack = busy_lines[0].rpartition(" ")[0].split(";")
+        # Thread bootstrap frames are outermost, the target innermost.
+        assert "_busy_loop" in stack[-1]
+
+    def test_sample_once_skips_own_thread(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once(skip_ident=threading.get_ident())
+        assert not any(
+            ":test_sample_once_skips_own_thread" in line
+            for line in profiler.collapsed().splitlines()
+        )
+
+    def test_write_atomic(self, tmp_path):
+        profiler = _profile_busy(duration=0.1)
+        path = profiler.write(tmp_path / "sub" / "profile.collapsed")
+        assert path.exists()
+        assert path.read_text() == profiler.collapsed()
+        assert not list(path.parent.glob("*.tmp*"))
+
+    def test_top_functions(self):
+        profiler = _profile_busy(duration=0.2)
+        top = profiler.top_functions(limit=5)
+        assert top and len(top) <= 5
+        assert all(count >= 1 for _, count in top)
+        assert any("_busy_loop" in label for label, _ in top)
+
+    def test_max_samples_bounds_collection(self):
+        # One tick may record a stack per live thread, so the cap can
+        # overshoot by at most (threads - 1); it must not keep growing.
+        profiler = _profile_busy(
+            interval_sec=0.0001, duration=0.2, max_samples=5
+        )
+        assert profiler.samples <= 5 + threading.active_count() + 2
+
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval_sec=0.001)
+        profiler.start()
+        profiler.start()  # second start is a no-op
+        profiler.stop()
+        profiler.stop()
+        assert profiler.wall_sec >= 0
+
+    def test_rejects_bad_interval(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_sec=0)
+
+    def test_frame_label(self):
+        import sys
+
+        frame = sys._getframe()
+        assert _frame_label(frame) == f"{__name__}:test_frame_label"

@@ -155,3 +155,106 @@ class TestCli:
         path = tmp_path / "junk.txt"
         path.write_text("hello\n")
         assert main(["obs", "summarize", str(path)]) == 2
+
+class TestMergeAndMultiPath:
+    def _write_registry(self, tmp_path, name, values, hits):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(hits)
+        for v in values:
+            reg.log_histogram("serve.latency_sec.drill").observe(v)
+        return reg.write_json(tmp_path / name)
+
+    def test_merged_totals_equal_single_file_sums(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.summarize import merge_metrics_files
+
+        values = [0.01, 0.02, 0.3, 1.2, 0.07, 0.5]
+        a = self._write_registry(tmp_path, "a.json", values[:3], hits=2)
+        b = self._write_registry(tmp_path, "b.json", values[3:], hits=5)
+        merged = merge_metrics_files([a, b])
+        # Equal to one registry that saw the whole stream.
+        whole = MetricsRegistry()
+        whole.counter("cache.hits").inc(7)
+        for v in values:
+            whole.log_histogram("serve.latency_sec.drill").observe(v)
+        expected = whole.snapshot()
+        assert merged["counters"] == expected["counters"]
+        got = merged["histograms"]["serve.latency_sec.drill"]
+        want = expected["histograms"]["serve.latency_sec.drill"]
+        # Addition order differs between the two paths; sums agree to ulp.
+        assert got.pop("sum") == pytest.approx(want.pop("sum"))
+        assert got == want
+
+    def test_merge_unwraps_live_snapshots(self, tmp_path):
+        import json as _json
+
+        from repro.obs.summarize import merge_metrics_files
+
+        plain = self._write_registry(tmp_path, "plain.json", [0.1], hits=1)
+        live = tmp_path / "live.json"
+        live.write_text(
+            _json.dumps(
+                {
+                    "v": 1,
+                    "ts": 0.0,
+                    "service": {"queue_depth": 0},
+                    "metrics": {
+                        "counters": {"cache.hits": 4.0},
+                        "gauges": {},
+                        "histograms": {},
+                    },
+                }
+            )
+        )
+        merged = merge_metrics_files([plain, live])
+        assert merged["counters"]["cache.hits"] == 5.0
+
+    def test_summarize_paths_merges_metrics(self, tmp_path):
+        from repro.obs.summarize import summarize_paths
+
+        a = self._write_registry(tmp_path, "a.json", [0.1, 0.2], hits=1)
+        b = self._write_registry(tmp_path, "b.json", [0.3], hits=2)
+        out = summarize_paths([a, b])
+        assert "2 file(s)" in out or "a.json" in out
+        assert "cache.hits" in out
+        # Merged count: 3 observations across both files.
+        assert "serve.latency_sec.drill" in out
+
+    def test_summarize_paths_single_delegates(self, event_log):
+        from repro.obs.summarize import summarize_paths
+
+        assert summarize_paths([event_log]) == summarize_path(event_log)
+
+    def test_summarize_paths_mixed_inputs(self, tmp_path, event_log):
+        from repro.obs.summarize import summarize_paths
+
+        metrics = self._write_registry(tmp_path, "m.json", [0.1], hits=1)
+        out = summarize_paths([event_log, metrics])
+        assert "executor.job" in out  # span table from the event log
+        assert "cache.hits" in out  # metrics section
+
+    def test_classify_artifact(self, tmp_path, event_log):
+        from repro.obs.summarize import classify_artifact
+
+        metrics = self._write_registry(tmp_path, "m.json", [], hits=1)
+        assert classify_artifact(metrics) == "metrics"
+        assert classify_artifact(event_log) == "events"
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({"manifest_version": 1, "jobs": []}))
+        assert classify_artifact(manifest) == "manifest"
+
+    def test_cli_glob_expansion(self, tmp_path, capsys):
+        self._write_registry(tmp_path, "shard-0.json", [0.1], hits=1)
+        self._write_registry(tmp_path, "shard-1.json", [0.2], hits=2)
+        assert (
+            main(["obs", "summarize", str(tmp_path / "shard-*.json")]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "cache.hits" in out
+
+    def test_cli_glob_no_match(self, tmp_path, capsys):
+        assert (
+            main(["obs", "summarize", str(tmp_path / "missing-*.json")]) == 2
+        )

@@ -16,8 +16,11 @@ import pytest
 from repro import obs
 from repro.runtime.locks import LockTimeout, ProcessLock, file_lock
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.obs.live import SLO
 from repro.serve.client import (
     format_status,
+    query_daemon,
+    read_live_snapshot,
     serve_status,
     submit_to_spool,
     submit_via_socket,
@@ -757,3 +760,139 @@ class TestServeDaemon:
         assert status["counts"]["completed"] == 1
         assert status["jobs"][0]["completions"] == 1
         assert "completed" in format_status(status)
+
+# ----------------------------------------------------------------------
+# Live observability wiring (PR 7)
+# ----------------------------------------------------------------------
+class TestServeLiveObs:
+    def test_daemon_self_enables_telemetry(self, daemon_factory):
+        daemon_factory()
+        assert obs.enabled()
+
+    def test_live_obs_false_leaves_obs_alone(self, daemon_factory):
+        obs.reset()
+        daemon_factory(live_obs=False)
+        assert not obs.enabled()
+
+    def test_stats_verb_over_socket(self, daemon_factory, serve_dir):
+        daemon = daemon_factory(socket_path=serve_dir / "serve.sock")
+        daemon._start_socket()
+        daemon.admit(_req(0))
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        response = query_daemon(serve_dir / "serve.sock", "stats")
+        assert response["status"] == "ok"
+        stats = response["stats"]
+        service = stats["service"]
+        assert service["queue_depth"] == 0
+        assert service["workers"] == 1
+        assert service["counts"]["completed"] == 1
+        assert service["journal"]["records"] >= 3  # submit+lease+complete
+        assert service["journal"]["lag_sec"] is not None
+        assert "drill" in service["breakers"]
+        metrics = stats["metrics"]
+        assert metrics["counters"]["serve.completed"] == 1.0
+        assert "serve.latency_sec.drill" in metrics["histograms"]
+
+    def test_health_verb_and_unknown_verb(self, daemon_factory, serve_dir):
+        daemon = daemon_factory(socket_path=serve_dir / "serve.sock")
+        daemon._start_socket()
+        health = query_daemon(serve_dir / "serve.sock", "health")
+        assert health["status"] == "ok"
+        assert health["health"]["draining"] is False
+        assert health["health"]["pid"] > 0
+        bad = query_daemon(serve_dir / "serve.sock", "reboot")
+        assert bad["status"] == "rejected"
+        assert bad["reason"] == "invalid"
+
+    def test_per_class_latency_histograms(self, daemon_factory):
+        daemon = daemon_factory(workers=2)
+        daemon.admit(_req(0, job_class="drill"))
+        daemon.admit(_req(1, job_class="Weird-Class"))
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 2
+        )
+        registry = obs.metrics()
+        assert registry.log_histogram("serve.latency_sec.drill").count == 1
+        # Class names are sanitised into metric-name-safe labels.
+        assert (
+            registry.log_histogram("serve.latency_sec.weird_class").count
+            == 1
+        )
+
+    def test_serve_status_live_section(self, daemon_factory, serve_dir):
+        daemon = daemon_factory()
+        daemon.admit(_req(0))
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        daemon.flusher.flush_now()
+        snapshot = read_live_snapshot(serve_dir / "state")
+        assert snapshot is not None
+        assert snapshot["age_sec"] < 60.0
+        status = serve_status(serve_dir / "state")
+        live = status["live"]
+        assert live["queue_depth"] == 0
+        assert live["draining"] is False
+        assert live["in_flight"] == {}
+        assert "live: queue_depth=0" in format_status(status)
+
+    def test_status_without_snapshot_has_no_live_section(
+        self, daemon_factory, serve_dir
+    ):
+        daemon = daemon_factory()
+        daemon.admit(_req(0))
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        status = serve_status(serve_dir / "state")
+        assert "live" not in status
+        assert "live:" not in format_status(status)
+
+    def test_flusher_publishes_prometheus_and_json(
+        self, daemon_factory, serve_dir
+    ):
+        daemon = daemon_factory()
+        daemon.admit(_req(0))
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        daemon.flusher.flush_now()
+        obs_dir = serve_dir / "state" / "obs"
+        snapshot = json.loads((obs_dir / "metrics.json").read_text())
+        assert snapshot["service"]["counts"]["completed"] == 1
+        prom = (obs_dir / "metrics.prom").read_text()
+        assert "repro_serve_completed 1" in prom
+        assert 'repro_serve_latency_sec_drill_bucket{le="+Inf"} 1' in prom
+
+    def test_flight_dump_on_lease_timeout(self, daemon_factory, serve_dir):
+        daemon = daemon_factory()
+        request = _req(0, fault="hang", hang_sec=30.0)
+        request["timeout_sec"] = 1.0
+        daemon.admit(request)
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["failed"] == 1
+        )
+        dumps = sorted((serve_dir / "state" / "obs").glob("flight-*.json"))
+        assert dumps, "expected a flight dump after the SIGKILLed lease"
+        payload = json.loads(dumps[-1].read_text())
+        assert payload["reason"] == "lease_killed"
+        assert payload["context"]["job_class"] == "drill"
+        assert isinstance(payload["events"], list)
+        assert payload["metrics"]["counters"]["serve.failed"] == 1.0
+
+    def test_slo_tracking_wired_into_daemon(self, daemon_factory):
+        daemon = daemon_factory(
+            slos=(SLO("drill", latency_objective_sec=0.000001),)
+        )
+        daemon.admit(_req(0))
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        # The job completed but blew its (absurd) latency objective.
+        status = daemon.slo_tracker.status()["drill"]
+        assert status["total"] == 1
+        assert status["bad"] == 1
+        payload = daemon._stats_payload()
+        assert payload["slo"]["drill"]["bad"] == 1
