@@ -274,6 +274,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the wall-clock sampling profiler; collapsed "
         "stacks land in <state>/obs/profile.collapsed on drain",
     )
+    serve_fleet = serve_sub.add_parser(
+        "fleet",
+        help="run a routed multi-daemon fleet: N shards behind one "
+        "consistent-hashing socket",
+    )
+    serve_fleet.add_argument(
+        "--state", type=Path, required=True,
+        help="fleet state directory (spawns shard-<i> subdirs inside)",
+    )
+    serve_fleet.add_argument(
+        "--shards", type=int, default=3,
+        help="number of shard daemons to run (default: 3)",
+    )
+    serve_fleet.add_argument(
+        "--socket", type=Path, default=None,
+        help="fleet intake socket (default: <state>/fleet.sock)",
+    )
+    serve_fleet.add_argument(
+        "--workers-per-shard", type=int, default=2,
+        help="worker slots in each shard daemon (default: 2)",
+    )
+    serve_fleet.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="per-shard admission queue bound (default: 64)",
+    )
+    serve_fleet.add_argument(
+        "--default-timeout", type=float, default=None,
+        help="per-job deadline when the request carries none",
+    )
+    serve_fleet.add_argument(
+        "--drain-timeout", type=float, default=15.0,
+        help="per-shard drain budget on fleet shutdown (default: 15)",
+    )
+    serve_fleet.add_argument(
+        "--supervise-interval", type=float, default=0.25,
+        help="seconds between shard liveness sweeps (default: 0.25)",
+    )
+    serve_fleet.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0,
+        help="live-snapshot age that flags a wedged shard (default: 10)",
+    )
+    serve_fleet.add_argument(
+        "--snapshot-interval", type=float, default=1.0,
+        help="per-shard live snapshot flush interval (default: 1)",
+    )
+    serve_fleet.add_argument(
+        "--max-runtime-sec", type=float, default=None,
+        help="hard fleet lifetime cap; drain and exit when reached "
+        "(CI safety)",
+    )
+    serve_fleet.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on shard journal appends (tests only)",
+    )
     serve_submit = serve_sub.add_parser(
         "submit", help="submit JSONL job requests to a daemon"
     )
@@ -290,10 +344,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="send over this unix socket and print each response",
     )
     serve_status = serve_sub.add_parser(
-        "status", help="summarise a service's journal (live or dead)"
+        "status",
+        help="summarise a service's journal (live or dead); fleet state "
+        "dirs get the cross-shard roll-up",
     )
     serve_status.add_argument(
-        "--state", type=Path, required=True, help="the daemon's state dir"
+        "--state", type=Path, required=True,
+        help="the daemon's (or fleet's) state dir",
     )
     serve_status.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -305,10 +362,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded fault-injection campaign against the guards",
     )
     chaos.add_argument(
-        "--campaign", choices=("guards", "service"), default="guards",
+        "--campaign", choices=("guards", "service", "fleet"),
+        default="guards",
         help="guards: trace/file/runtime faults through the batch "
-        "pipeline; service: SIGKILL the serve daemon and assert "
-        "exactly-once recovery (default: guards)",
+        "pipeline; service: SIGKILL the serve daemon (then a fleet "
+        "shard) and assert exactly-once recovery; fleet: just the "
+        "shard-kill drill (default: guards)",
     )
     chaos.add_argument(
         "--seed", type=int, default=7,
@@ -683,13 +742,39 @@ def _cmd_batch(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.serve import (
+        FleetConfig,
         ServeConfig,
+        fleet_forever,
+        fleet_status,
+        format_fleet_status,
         format_status,
+        is_fleet_state,
         serve_forever,
         serve_status,
         submit_to_spool,
         submit_via_socket,
     )
+
+    if args.serve_command == "fleet":
+        try:
+            config = FleetConfig(
+                state_dir=args.state,
+                shards=args.shards,
+                socket_path=args.socket,
+                workers_per_shard=args.workers_per_shard,
+                queue_limit=args.queue_limit,
+                default_timeout_sec=args.default_timeout,
+                drain_timeout_sec=args.drain_timeout,
+                supervise_interval_sec=args.supervise_interval,
+                heartbeat_timeout_sec=args.heartbeat_timeout,
+                snapshot_interval_sec=args.snapshot_interval,
+                max_runtime_sec=args.max_runtime_sec,
+                fsync=not args.no_fsync,
+            )
+            return fleet_forever(config)
+        except (ValueError, RuntimeError) as exc:
+            _log.error("serve.fleet_failed", error=str(exc))
+            return 2
 
     if args.serve_command == "run":
         from repro.obs.live import parse_slo
@@ -754,7 +839,12 @@ def _cmd_serve(args) -> int:
         print(f"spooled {len(requests)} request(s) -> {path}")
         return 0
 
-    # serve status
+    # serve status — fleet state dirs get the cross-shard roll-up
+    if is_fleet_state(args.state):
+        status = fleet_status(args.state)
+        print(json.dumps(status, indent=2) if args.as_json
+              else format_fleet_status(status))
+        return 0
     status = serve_status(args.state)
     print(json.dumps(status, indent=2) if args.as_json
           else format_status(status))
@@ -764,19 +854,28 @@ def _cmd_serve(args) -> int:
 def _cmd_chaos(args) -> int:
     import tempfile
 
-    from repro.guard.chaos import run_campaign, run_service_campaign
+    from repro.guard.chaos import (
+        run_campaign,
+        run_fleet_campaign,
+        run_service_campaign,
+    )
 
-    if args.campaign == "service":
+    if args.campaign in ("service", "fleet"):
+        if args.campaign == "service":
+            def runner(workdir):
+                return run_service_campaign(workdir, seed=args.seed,
+                                            workers=args.workers)
+        else:
+            def runner(workdir):
+                return run_fleet_campaign(workdir, seed=args.seed)
         if args.workdir is not None:
             args.workdir.mkdir(parents=True, exist_ok=True)
-            report = run_service_campaign(args.workdir, seed=args.seed,
-                                          workers=args.workers)
+            report = runner(args.workdir)
         else:
             with tempfile.TemporaryDirectory(
-                prefix="repro-chaos-serve-"
+                prefix=f"repro-chaos-{args.campaign}-"
             ) as tmp:
-                report = run_service_campaign(tmp, seed=args.seed,
-                                              workers=args.workers)
+                report = runner(tmp)
         print(report.format_report())
         return 0 if report.ok else 1
 

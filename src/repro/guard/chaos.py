@@ -576,11 +576,12 @@ class ServiceChaosReport:
     drain_exit_code: Optional[int] = None
     manifest_path: Optional[Path] = None
     flight_dump: Optional[Path] = None
+    fleet: Optional["FleetChaosReport"] = None
     violations: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and (self.fleet is None or self.fleet.ok)
 
     def format_report(self) -> str:
         lines = [
@@ -602,6 +603,8 @@ class ServiceChaosReport:
                 "all guards held: zero lost jobs, zero duplicate "
                 "completions, flight dump on lease kill, graceful drain"
             )
+        if self.fleet is not None:
+            lines.append(self.fleet.format_report())
         return "\n".join(lines)
 
 
@@ -878,4 +881,309 @@ def run_service_campaign(
             report.violations.append(
                 f"manifest rows not ok after drain: {not_ok}"
             )
+
+    # ------------------------------------------------------------------
+    # Fleet phase: the same kill drill against a routed 3-shard fleet.
+    # ------------------------------------------------------------------
+    report.fleet = run_fleet_campaign(
+        workdir / "fleet", seed=seed, timeout_sec=timeout_sec + 30
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# The fleet campaign: SIGKILL one shard, demand exactly-once fleet-wide
+# ----------------------------------------------------------------------
+@dataclass
+class FleetChaosReport:
+    """Outcome of one shard-kill/handoff campaign against a fleet."""
+
+    seed: int
+    shards: int
+    jobs: int
+    victim: Optional[str] = None
+    completed_before_kill: int = 0
+    moved: int = 0
+    readmitted: bool = False
+    drain_exit_code: Optional[int] = None
+    rollup_counters_checked: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format_report(self) -> str:
+        lines = [
+            f"fleet chaos campaign: seed={self.seed} "
+            f"shards={self.shards} jobs={self.jobs}",
+            f"  victim shard: {self.victim} "
+            f"(killed after {self.completed_before_kill} completions)",
+            f"  jobs handed off to survivors: {self.moved}",
+            f"  victim re-admitted to the ring: {self.readmitted}",
+            f"  drain (SIGTERM) exit code: {self.drain_exit_code}",
+            f"  roll-up counters verified against per-shard sums: "
+            f"{self.rollup_counters_checked}",
+        ]
+        if self.violations:
+            lines.append("GUARD VIOLATIONS:")
+            lines.extend(f"  !! {v}" for v in self.violations)
+        else:
+            lines.append(
+                "all guards held: zero lost jobs fleet-wide, zero "
+                "double completions, roll-up equals per-shard sums"
+            )
+        return "\n".join(lines)
+
+
+def _spawn_fleet(workdir: Path, state: Path, shards: int, log_name: str):
+    """Start ``repro serve fleet`` as a real child process."""
+    import subprocess
+    import sys
+
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    log = open(workdir / log_name, "w")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "fleet",
+            "--state",
+            str(state),
+            "--shards",
+            str(shards),
+            "--workers-per-shard",
+            "1",
+            "--snapshot-interval",
+            "0.5",
+            "--supervise-interval",
+            "0.1",
+            "--max-runtime-sec",
+            "150",
+        ],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        env=env,
+    )
+
+
+def run_fleet_campaign(
+    workdir,
+    seed: int = 7,
+    shards: int = 3,
+    jobs: int = 9,
+    kill_after_completions: int = 2,
+    sleep_sec: float = 0.5,
+    timeout_sec: float = 90.0,
+) -> FleetChaosReport:
+    """SIGKILL one shard of a routed fleet mid-run; assert exactly-once.
+
+    1. Start ``repro serve fleet --shards N`` over an empty state dir
+       and submit ``jobs`` slow drill jobs through the fleet socket
+       (recording which shard accepted each).
+    2. Once ``kill_after_completions`` jobs completed fleet-wide,
+       SIGKILL the shard that owns the most jobs.  The fleet must mark
+       it dead, hand its unfinished jobs to the survivors
+       (journal-first ``moved`` tombstones), and respawn it.
+    3. Wait for every submitted job to complete *somewhere*, and for the
+       victim to be re-admitted to the ring.
+    4. SIGTERM the fleet for a graceful drain (exit 0).
+
+    Guard invariants: **zero lost jobs fleet-wide** (every job_id
+    completed on some shard), **zero double completions** (the sum of
+    ``completed`` records across every shard journal is one per job),
+    and the `serve status` roll-up counters equal the sums of the
+    per-shard snapshots.
+    """
+    import signal as _signal
+
+    from repro.obs.summarize import merge_metrics_files
+    from repro.serve.client import query_daemon, submit_via_socket
+    from repro.serve.journal import JobJournal
+    from repro.serve.requests import normalize_request
+
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    state = workdir / "state"
+    report = FleetChaosReport(seed=seed, shards=shards, jobs=jobs)
+
+    requests = [
+        {
+            "kind": "chaos",
+            "params": {"fault": "sleep", "sleep_sec": sleep_sec, "idx": i,
+                       "seed": seed},
+            "label": f"fleetdrill:sleep:{i}",
+            "class": "drill",
+            "timeout_sec": 30.0,
+        }
+        for i in range(jobs)
+    ]
+    submitted_ids = {normalize_request(r)["job_id"] for r in requests}
+
+    def shard_dirs() -> List[Path]:
+        return sorted(state.glob("shard-*"))
+
+    def fleet_completions() -> Dict[str, int]:
+        done: Dict[str, int] = {}
+        for shard_dir in shard_dirs():
+            journal_state = JobJournal.read_state(shard_dir / "journal")
+            for job_id, job in journal_state.jobs.items():
+                if job_id in submitted_ids:
+                    done[job_id] = done.get(job_id, 0) + job.completions
+        return done
+
+    def completed_count() -> int:
+        return sum(1 for n in fleet_completions().values() if n >= 1)
+
+    def fleet_ready() -> bool:
+        if not (state / "fleet.pid").exists():
+            return False
+        return all(
+            (state / f"shard-{i}" / "serve.pid").exists()
+            for i in range(shards)
+        )
+
+    fleet = _spawn_fleet(workdir, state, shards, "fleet.log")
+    try:
+        if not _wait_for(fleet_ready, timeout_sec):
+            report.violations.append(
+                f"fleet never became ready within {timeout_sec}s"
+            )
+            return report
+        responses = submit_via_socket(state / "fleet.sock", requests)
+        not_accepted = [
+            r for r in responses if r.get("status") != "accepted"
+        ]
+        if not_accepted:
+            report.violations.append(
+                f"fleet rejected {len(not_accepted)} submissions: "
+                f"{not_accepted[:3]}"
+            )
+            return report
+        owned: Dict[str, int] = {}
+        for response in responses:
+            owned[response["shard"]] = owned.get(response["shard"], 0) + 1
+        victim = max(owned, key=lambda name: owned[name])
+        report.victim = victim
+        victim_pid = int((state / victim / "serve.pid").read_text())
+
+        if not _wait_for(
+            lambda: completed_count() >= kill_after_completions, timeout_sec
+        ):
+            report.violations.append(
+                f"fleet completed {completed_count()}/{jobs} jobs but "
+                f"never reached {kill_after_completions} within "
+                f"{timeout_sec}s"
+            )
+            return report
+        report.completed_before_kill = completed_count()
+        os.kill(victim_pid, _signal.SIGKILL)
+        _note_injection("fleet", "sigkill", f"shard {victim}")
+
+        if not _wait_for(lambda: completed_count() >= jobs, timeout_sec):
+            done = fleet_completions()
+            report.violations.append(
+                f"after shard kill only {completed_count()}/{jobs} jobs "
+                f"completed within {timeout_sec}s "
+                f"(missing: {sorted(submitted_ids - set(done))[:3]})"
+            )
+            return report
+
+        def victim_live() -> bool:
+            try:
+                health = query_daemon(state / "fleet.sock", "health")
+            except (OSError, ConnectionError):
+                return False
+            status = health.get("health", {}).get("shard_status", {})
+            return status.get(victim, {}).get("status") == "live"
+
+        report.readmitted = _wait_for(victim_live, timeout_sec)
+        if not report.readmitted:
+            report.violations.append(
+                f"victim shard {victim} was never re-admitted to the ring"
+            )
+
+        fleet.send_signal(_signal.SIGTERM)
+        try:
+            report.drain_exit_code = fleet.wait(timeout=60)
+        except Exception:  # noqa: BLE001
+            report.violations.append("fleet did not exit after SIGTERM")
+            return report
+    finally:
+        if fleet.poll() is None:  # never leak a live fleet
+            fleet.kill()
+            fleet.wait(timeout=10)
+
+    if report.drain_exit_code != 0:
+        report.violations.append(
+            f"fleet drain exited {report.drain_exit_code}, expected 0"
+        )
+
+    # ------------------------------------------------------------------
+    # The exactly-once ledger check, fleet-wide across every journal.
+    # ------------------------------------------------------------------
+    completions = fleet_completions()
+    lost = submitted_ids - set(completions)
+    if lost:
+        report.violations.append(
+            f"{len(lost)} submitted job(s) left no journal trace anywhere"
+        )
+    for job_id, count in completions.items():
+        if count == 0:
+            report.violations.append(
+                f"job {job_id[:12]} never completed on any shard (lost)"
+            )
+        elif count > 1:
+            report.violations.append(
+                f"job {job_id[:12]} has {count} completed records across "
+                "the fleet (double completion)"
+            )
+    report.moved = sum(
+        1
+        for shard_dir in shard_dirs()
+        for job in JobJournal.read_state(shard_dir / "journal")
+        .moved_out()
+        .values()
+        if job.request.get("job_id") in submitted_ids
+    )
+    if report.victim is not None and report.moved == 0:
+        report.violations.append(
+            "victim shard was killed but no jobs were handed off "
+            "(kill landed too late to exercise the drill)"
+        )
+
+    # ------------------------------------------------------------------
+    # Roll-up equality: merged counters == sum of per-shard snapshots.
+    # ------------------------------------------------------------------
+    snapshot_paths = [
+        d / "obs" / "metrics.json"
+        for d in shard_dirs()
+        if (d / "obs" / "metrics.json").exists()
+    ]
+    if len(snapshot_paths) != shards:
+        report.violations.append(
+            f"only {len(snapshot_paths)}/{shards} shards published a "
+            "live snapshot"
+        )
+    if snapshot_paths:
+        merged = merge_metrics_files(snapshot_paths)
+        sums: Dict[str, float] = {}
+        for path in snapshot_paths:
+            document = json.loads(path.read_text())
+            payload = document.get("metrics", document)
+            for name, value in (payload.get("counters") or {}).items():
+                sums[name] = sums.get(name, 0) + value
+        for name, value in merged.get("counters", {}).items():
+            if abs(value - sums.get(name, 0)) > 1e-9:
+                report.violations.append(
+                    f"roll-up counter {name} is {value}, per-shard sum "
+                    f"is {sums.get(name, 0)}"
+                )
+        report.rollup_counters_checked = len(merged.get("counters", {}))
     return report

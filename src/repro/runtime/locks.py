@@ -35,6 +35,27 @@ class LockTimeout(TimeoutError):
     """The lock could not be acquired within the caller's timeout."""
 
 
+#: fds of :class:`ProcessLock` instances held by *this* process, keyed
+#: to the acquiring pid.  A forked ``multiprocessing`` child inherits
+#: those open descriptors, and a flock follows the open file
+#: description — so an orphaned worker would keep its dead parent's
+#: state-dir lock held and block fleet handoff.  Forked children call
+#: :func:`release_inherited_locks` first thing to hand them back.
+_HELD_LOCK_FDS: dict = {}
+
+
+def release_inherited_locks() -> None:
+    """Close lock fds this process inherited from its (fork) parent."""
+    pid = os.getpid()
+    for fd, owner in list(_HELD_LOCK_FDS.items()):
+        if owner != pid:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            _HELD_LOCK_FDS.pop(fd, None)
+
+
 def _acquire_flock(fd: int, timeout: Optional[float], poll: float) -> bool:
     """Returns True when the lock was contended (we had to wait)."""
     try:
@@ -144,10 +165,12 @@ class ProcessLock:
         os.ftruncate(fd, 0)
         os.write(fd, str(os.getpid()).encode())
         self._fd = fd
+        _HELD_LOCK_FDS[fd] = os.getpid()
         return True
 
     def release(self) -> None:
         if self._fd is not None:
+            _HELD_LOCK_FDS.pop(self._fd, None)
             os.close(self._fd)
             self._fd = None
         elif fcntl is None:  # pragma: no cover

@@ -10,15 +10,23 @@ orphaned lease; completed jobs are never re-run.  SIGTERM/SIGINT drain
 gracefully: intake stops, leases settle or are checkpointed, and a
 complete run manifest is written before exit 0.
 
+For horizontal scale, ``repro serve fleet`` runs N of those daemons
+behind one consistent-hashing router socket (DESIGN.md §13): each shard
+keeps its own state dir and every §10 invariant, while the fleet layer
+adds routing, shard-death handoff, restart with re-admission, and a
+cross-shard status roll-up.  OPERATIONS.md is the operator's manual.
+
 Quickstart::
 
-    # terminal 1 — the service
+    # terminal 1 — the service (single daemon ...)
     repro serve run --state /tmp/svc --spool /tmp/svc/spool --workers 2
+    # ... or a routed 3-shard fleet)
+    repro serve fleet --state /tmp/fleet --shards 3
 
-    # terminal 2 — a client
-    repro serve submit --spool /tmp/svc/spool \
+    # terminal 2 — a client (same protocol either way)
+    repro serve submit --socket /tmp/fleet/fleet.sock \
         '{"kind": "simulate", "params": {...}}'
-    repro serve status --state /tmp/svc
+    repro serve status --state /tmp/fleet
 
 Programmatic use mirrors the CLI::
 
@@ -39,6 +47,15 @@ from repro.serve.client import (
     submit_via_socket,
 )
 from repro.serve.daemon import ServeConfig, ServeDaemon, serve_forever
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetManager,
+    ShardHandle,
+    fleet_forever,
+    fleet_status,
+    format_fleet_status,
+    is_fleet_state,
+)
 from repro.serve.journal import JobJournal, JobRecord, JournalState
 from repro.serve.queue import AdmissionQueue
 from repro.serve.requests import (
@@ -47,6 +64,7 @@ from repro.serve.requests import (
     request_to_spec,
     resolve_worker,
 )
+from repro.serve.router import FleetRouter, HashRing
 from repro.serve.supervisor import Lease, LeaseEvent, Supervisor
 
 __all__ = [
@@ -56,6 +74,10 @@ __all__ = [
     "CLOSED",
     "HALF_OPEN",
     "OPEN",
+    "FleetConfig",
+    "FleetManager",
+    "FleetRouter",
+    "HashRing",
     "JobJournal",
     "JobRecord",
     "JournalState",
@@ -63,8 +85,13 @@ __all__ = [
     "LeaseEvent",
     "ServeConfig",
     "ServeDaemon",
+    "ShardHandle",
     "Supervisor",
+    "fleet_forever",
+    "fleet_status",
+    "format_fleet_status",
     "format_status",
+    "is_fleet_state",
     "normalize_request",
     "query_daemon",
     "read_live_snapshot",

@@ -8,7 +8,24 @@ circuit_open``.  After ``cooldown_sec`` the breaker goes *half-open*
 and admits a single probe: success closes it, failure re-opens it (and
 restarts the cooldown).
 
-The clock is injectable so the transition tests don't sleep.
+The clock is injectable so the transition tests don't sleep — and so
+this example runs instantly::
+
+    from repro.serve.breaker import CircuitBreaker, OPEN, CLOSED
+
+    now = [0.0]
+    breaker = CircuitBreaker(
+        failure_threshold=2, cooldown_sec=30.0, clock=lambda: now[0]
+    )
+    breaker.record_failure("drill")
+    breaker.record_failure("drill")        # second consecutive failure
+    assert breaker.state("drill") == OPEN
+    assert not breaker.allow("drill")
+    assert breaker.remaining_cooldown("drill") == 30.0  # retry-after
+    now[0] = 31.0                          # cooldown elapsed
+    assert breaker.allow("drill")          # the one half-open probe
+    breaker.record_success("drill")
+    assert breaker.state("drill") == CLOSED
 """
 
 from __future__ import annotations

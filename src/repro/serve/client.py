@@ -11,7 +11,24 @@ Two transports, same JSONL payload:
   per request (``accepted`` / ``rejected`` + retry-after / ``duplicate``).
 
 :func:`serve_status` replays the journal read-only — it works on a live
-daemon's state dir and on a dead one's.
+daemon's state dir and on a dead one's (the report then says ``down``
+plus the age of the last telemetry snapshot).  Against a fleet state
+dir, use :func:`repro.serve.fleet_status` instead (``repro serve
+status`` picks automatically).
+
+Against a daemon (or fleet) listening on a unix socket::
+
+    from repro.serve import submit_via_socket, serve_status, format_status
+
+    responses = submit_via_socket(
+        "/tmp/ibox-serve/serve.sock",   # or a fleet's .../fleet.sock
+        [{"kind": "chaos", "params": {"fault": "sleep"}}],
+    )
+    assert responses[0]["status"] in ("accepted", "duplicate")
+    job_id = responses[0]["job_id"]     # content hash: resubmit-safe
+
+    status = serve_status("/tmp/ibox-serve")   # journal replay, read-only
+    print(format_status(status))               # humans; the dict for tools
 """
 
 from __future__ import annotations
@@ -106,9 +123,21 @@ def serve_status(state_dir: PathLike) -> Dict[str, Any]:
             pid = int(pid_file.read_text().strip())
         except ValueError:
             pid = None
+    # A daemon is "up" only if its pid marker names a live process; a
+    # SIGKILL leaves the marker behind, so the pid alone is not enough.
+    daemon = "down"
+    if pid is not None:
+        try:
+            os.kill(pid, 0)
+            daemon = "up"
+        except ProcessLookupError:
+            daemon = "down"
+        except PermissionError:  # exists, but owned by someone else
+            daemon = "up"
     status: Dict[str, Any] = {
         "state_dir": str(state_dir),
         "pid": pid,
+        "daemon": daemon,
         "counts": state.counts(),
         "torn_records": state.torn_records,
         "jobs": [
@@ -137,23 +166,37 @@ def serve_status(state_dir: PathLike) -> Dict[str, Any]:
 
 def format_status(status: Dict[str, Any]) -> str:
     counts = status["counts"]
+    daemon = status.get("daemon")
+    head = f"serve state {status['state_dir']}"
+    if daemon == "up":
+        head += f" — up (pid {status['pid']})"
+    elif daemon == "down":
+        head += " — down"
+    elif status.get("pid"):
+        head += f" (pid {status['pid']})"
     lines = [
-        f"serve state {status['state_dir']}"
-        + (f" (pid {status['pid']})" if status.get("pid") else ""),
+        head,
         "  "
         + " ".join(f"{k}={v}" for k, v in counts.items()),
     ]
     live = status.get("live")
+    if live and daemon == "down":
+        # Dead daemon: the snapshot below is the last thing it
+        # published, not the current state — flag its age first.
+        age = live.get("snapshot_age_sec")
+        if age is not None:
+            lines.append(f"  down; last snapshot {age:.1f}s ago")
     if live:
         in_flight = live.get("in_flight") or {}
         detail = " ".join(
             f"{cls}={n}" for cls, n in sorted(in_flight.items())
         )
+        age = live.get("snapshot_age_sec")
         lines.append(
             f"  live: queue_depth={live.get('queue_depth')} "
             f"in_flight={sum(in_flight.values())}"
             + (f" ({detail})" if detail else "")
-            + f" snapshot_age={live.get('snapshot_age_sec'):.1f}s"
+            + (f" snapshot_age={age:.1f}s" if age is not None else "")
         )
     if status.get("torn_records"):
         lines.append(f"  torn journal records dropped: {status['torn_records']}")

@@ -29,6 +29,27 @@ The invariants (DESIGN.md §10):
 * **graceful drain** — SIGTERM/SIGINT stop intake, let in-flight
   leases finish (up to ``drain_timeout_sec``, then checkpoint/requeue),
   flush the journal, write a complete run manifest, and exit 0.
+
+Embedding the daemon (the CLI's ``repro serve run`` does exactly
+this)::
+
+    from pathlib import Path
+    from repro.serve import ServeConfig, ServeDaemon
+
+    config = ServeConfig(
+        state_dir=Path("/tmp/ibox-serve"),
+        socket_path=Path("/tmp/ibox-serve/serve.sock"),
+        workers=2,
+        queue_limit=64,
+        max_runtime_sec=5.0,   # drain and return on its own (demo/CI)
+    )
+    exit_code = ServeDaemon(config).run()   # blocks until drained
+    assert exit_code == 0
+
+While it runs, clients reach it with
+:func:`repro.serve.submit_via_socket`; afterwards
+:func:`repro.serve.serve_status` replays the journal.  For N of these
+behind one consistent-hashing socket, see :mod:`repro.serve.fleet`.
 """
 
 from __future__ import annotations

@@ -26,6 +26,26 @@ is compacted into one snapshot (``job`` records) written atomically
 (tmp + fsync + ``os.replace``).  A torn final record — the tail a
 SIGKILL leaves mid-write — is truncated away on open, and replay
 counts (but survives) any undecodable line.
+
+Fleet handoff rides the same grammar: when a shard dies, the router
+appends ``rejected`` records with reason ``moved:<target-shard>`` to the
+dead shard's journal before resubmitting the jobs elsewhere, so a
+restart of the dead shard replays them as terminal and never re-runs a
+job another shard now owns (see DESIGN.md §13).
+
+Usage — write a journal, crash, replay it::
+
+    from repro.serve.journal import JobJournal
+
+    journal = JobJournal("state/journal", fsync=False)
+    journal.submitted({"job_id": "j1", "kind": "chaos", "params": {}})
+    journal.leased("j1", lease=1, pid=1234)
+    # ... SIGKILL here loses nothing already appended ...
+    state = JobJournal.read_state("state/journal")
+    assert [j.request["job_id"] for j in state.to_requeue()] == ["j1"]
+    journal.completed("j1", duration_sec=0.2)
+    assert journal.state.jobs["j1"].status == "completed"
+    journal.close()
 """
 
 from __future__ import annotations
@@ -50,6 +70,11 @@ JOURNAL_VERSION = 1
 #: hands back to the daemon after a crash.
 TERMINAL = ("completed", "failed", "rejected")
 
+#: Rejection-reason prefix marking a job handed off to another shard.
+#: ``rejected`` is terminal on replay, which is exactly what handoff
+#: needs: the dead shard, once restarted, will never requeue the job.
+MOVED_PREFIX = "moved:"
+
 
 @dataclass
 class JobRecord:
@@ -68,6 +93,15 @@ class JobRecord:
     @property
     def terminal(self) -> bool:
         return self.status in TERMINAL
+
+    @property
+    def moved_target(self) -> Optional[str]:
+        """The shard this job was handed off to, if it was moved."""
+        if self.status == "rejected" and (self.reason or "").startswith(
+            MOVED_PREFIX
+        ):
+            return self.reason[len(MOVED_PREFIX):]
+        return None
 
     def snapshot(self) -> dict:
         """The compaction record that reconstructs this state exactly."""
@@ -146,6 +180,20 @@ class JournalState:
     def to_requeue(self) -> List[JobRecord]:
         """Non-terminal jobs, in submit order — the crash-recovery set."""
         return [j for j in self.in_order() if not j.terminal]
+
+    def moved_out(self) -> Dict[str, JobRecord]:
+        """Jobs this journal handed off to another shard, by job id.
+
+        The fleet's start-up recovery scan cross-references these
+        against every *other* shard's journal: a moved job that never
+        arrived anywhere (the router died between the ``moved`` append
+        and the resubmission) is resubmitted to its current owner.
+        """
+        return {
+            job_id: job
+            for job_id, job in self.jobs.items()
+            if job.moved_target is not None
+        }
 
     def apply(self, record: dict) -> None:
         rtype = record.get("type")
@@ -388,6 +436,19 @@ class JobJournal:
 
     def requeued(self, job_id: str, reason: str) -> None:
         self.append({"type": "requeued", "job_id": job_id, "reason": reason})
+
+    def moved(self, job_id: str, target: str) -> None:
+        """Hand ``job_id`` off to ``target`` (a terminal record here).
+
+        Appended to a *dead* shard's journal by the fleet router while
+        it holds that shard's state-dir lock; ordering matters — the
+        move is journaled before the job is resubmitted elsewhere, so a
+        crash between the two steps leaves a journal trail from which
+        the handoff can be completed (never a duplicate execution).
+        """
+        self.append(
+            {"type": "rejected", "job_id": job_id, "reason": f"{MOVED_PREFIX}{target}"}
+        )
 
     # ------------------------------------------------------------------
     # Rotation / compaction

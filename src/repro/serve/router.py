@@ -1,0 +1,283 @@
+"""Fleet routing: a consistent-hash ring plus an async intake endpoint.
+
+Two pieces, deliberately separable:
+
+* :class:`HashRing` — pure data structure.  Hashes each shard name onto
+  the ring at ``replicas`` virtual points (md5, no seed dependence) and
+  assigns every ``job_id`` to the first shard point clockwise from the
+  id's own hash.  The property the fleet leans on: removing a member
+  only remaps the keys that member owned — every other key keeps its
+  owner, so a shard death never migrates jobs between *surviving*
+  shards.
+
+* :class:`FleetRouter` — the asyncio unix-socket JSONL front end that
+  replaces the single daemon's polling spool walk.  Each inbound line is
+  either a control verb (``{"verb": "stats"}``) answered locally, or a
+  job request: the router normalises it (so the ``job_id`` used for
+  routing is exactly the one the shard will journal), asks its
+  ``owner_of`` callback for the owning live shard, and forwards the line
+  over that shard's own unix socket, relaying the shard's
+  accepted/duplicate/rejected response back annotated with
+  ``"shard": <name>``.
+
+Usage — the ring alone is handy for tests and capacity math::
+
+    from repro.serve.router import HashRing
+
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    owner = ring.owner("job-abc123")          # deterministic
+    survivors = ring.without("shard-1")       # shard-1 dies
+    assert [k for k in ("a", "b", "c")
+            if ring.owner(k) != "shard-1"
+            and survivors.owner(k) != ring.owner(k)] == []
+
+The router is normally driven by :class:`repro.serve.fleet.FleetManager`,
+which owns the shard processes and supplies the ``owner_of`` /
+``control`` / ``on_shard_error`` callbacks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from bisect import bisect_right
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import get_logger, metrics
+from repro.serve.requests import BadRequest, normalize_request
+
+log = get_logger("repro.serve.router")
+
+#: Virtual points per shard.  64 keeps the ring balanced to within a few
+#: percent for single-digit shard counts while staying cheap to rebuild.
+DEFAULT_REPLICAS = 64
+
+
+def _ring_hash(key: str) -> int:
+    """Stable 64-bit ring position (md5 prefix; no PYTHONHASHSEED)."""
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing of string keys onto named members.
+
+    Immutable by convention: membership changes produce a new ring via
+    :meth:`without` / :meth:`with_member`, which keeps ownership lookups
+    lock-free for concurrent readers.
+    """
+
+    def __init__(
+        self, members: Iterable[str], replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        self.replicas = int(replicas)
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.members: Tuple[str, ...] = tuple(sorted(set(members)))
+        points: List[Tuple[int, str]] = []
+        for member in self.members:
+            for i in range(self.replicas):
+                points.append((_ring_hash(f"{member}#{i}"), member))
+        points.sort()
+        self._points = points
+        self._hashes = [p[0] for p in points]
+
+    def owner(self, key: str) -> str:
+        """The member owning ``key`` (first point clockwise from its hash)."""
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        idx = bisect_right(self._hashes, _ring_hash(key))
+        if idx == len(self._points):
+            idx = 0
+        return self._points[idx][1]
+
+    def without(self, *members: str) -> "HashRing":
+        """A new ring with ``members`` removed (e.g. dead shards)."""
+        gone = set(members)
+        return HashRing(
+            (m for m in self.members if m not in gone), self.replicas
+        )
+
+    def with_member(self, member: str) -> "HashRing":
+        """A new ring with ``member`` (re-)admitted."""
+        return HashRing((*self.members, member), self.replicas)
+
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of ``keys`` each member owns — for balance checks."""
+        counts = {m: 0 for m in self.members}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, member: object) -> bool:
+        return member in self.members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(members={list(self.members)}, replicas={self.replicas})"
+
+
+class FleetRouter:
+    """Asyncio unix-socket JSONL intake that forwards to owning shards.
+
+    The router is transport + routing only; all admission policy
+    (dedupe, breaker, queue shed) stays in the shard daemons, so a
+    response seen through the router is byte-for-byte a daemon response
+    plus the ``shard`` annotation.
+
+    Parameters
+    ----------
+    socket_path:
+        Where to listen (the fleet's public endpoint).
+    owner_of:
+        ``job_id -> (shard_name, shard_socket_path)`` for the current
+        ring of *live* shards, or ``None`` when no shard is available.
+    control:
+        ``verb -> payload`` for ``stats`` / ``health`` verbs, answered
+        at the router with fleet-wide aggregates.
+    on_shard_error:
+        Called with a shard name whenever forwarding to it fails — the
+        fleet manager uses this as an early death signal, ahead of its
+        own supervision sweep.
+    """
+
+    def __init__(
+        self,
+        socket_path: Path,
+        owner_of: Callable[[str], Optional[Tuple[str, Path]]],
+        control: Callable[[str], Dict[str, Any]],
+        on_shard_error: Optional[Callable[[str], None]] = None,
+        default_timeout_sec: Optional[float] = None,
+        forward_timeout_sec: float = 10.0,
+        retry_after_sec: float = 1.0,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self._owner_of = owner_of
+        self._control = control
+        self._on_shard_error = on_shard_error
+        self._default_timeout_sec = default_timeout_sec
+        self._forward_timeout_sec = forward_timeout_sec
+        self._retry_after_sec = retry_after_sec
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=str(self.socket_path)
+        )
+        log.info("router.listen", socket=str(self.socket_path))
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.socket_path.exists():
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"status": "rejected", "reason": f"invalid: {exc}"}
+        if isinstance(raw, dict) and "verb" in raw:
+            try:
+                payload = self._control(str(raw["verb"]))
+            except Exception as exc:  # control must never kill the loop
+                return {"status": "error", "error": str(exc)}
+            return payload
+        try:
+            request = normalize_request(raw, self._default_timeout_sec)
+        except BadRequest as exc:
+            metrics().counter("serve.fleet.rejected").inc()
+            return {"status": "rejected", "reason": f"invalid: {exc}"}
+        if request.get("timeout_sec") is None:
+            # Leave the key absent so the shard applies its own default
+            # instead of seeing an explicit null.
+            request.pop("timeout_sec", None)
+        return await self.route(request)
+
+    async def route(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Forward one normalised request to its owning live shard."""
+        job_id = request["job_id"]
+        target = self._owner_of(job_id)
+        if target is None:
+            metrics().counter("serve.fleet.no_shard").inc()
+            return {
+                "status": "rejected",
+                "reason": "no_live_shard",
+                "retry_after_sec": self._retry_after_sec,
+                "job_id": job_id,
+            }
+        shard, shard_socket = target
+        try:
+            response = await asyncio.wait_for(
+                self._forward(shard_socket, request),
+                timeout=self._forward_timeout_sec,
+            )
+        except (OSError, asyncio.TimeoutError, ConnectionError) as exc:
+            log.warning("router.forward_failed", shard=shard, error=str(exc))
+            metrics().counter("serve.fleet.forward_failed").inc()
+            if self._on_shard_error is not None:
+                self._on_shard_error(shard)
+            return {
+                "status": "rejected",
+                "reason": "shard_unavailable",
+                "retry_after_sec": self._retry_after_sec,
+                "job_id": job_id,
+                "shard": shard,
+            }
+        metrics().counter("serve.fleet.routed").inc()
+        response.setdefault("shard", shard)
+        return response
+
+    @staticmethod
+    async def _forward(
+        shard_socket: Path, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        reader, writer = await asyncio.open_unix_connection(str(shard_socket))
+        try:
+            writer.write((json.dumps(request) + "\n").encode("utf-8"))
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("shard closed the socket mid-protocol")
+            response = json.loads(line)
+            if not isinstance(response, dict):
+                raise ConnectionError("shard returned a non-object response")
+            return response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass

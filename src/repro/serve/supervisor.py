@@ -14,6 +14,28 @@ poisonous job class cannot hot-loop the fork path while the breaker is
 still counting its way open.  Process liveness is the heartbeat —
 ``Process.is_alive()`` is checked every poll, which is exactly the
 signal a kernel-killed worker stops emitting.
+
+Dispatch/poll, driven by hand (the daemon's scheduler tick does the
+same loop)::
+
+    import time
+    from pathlib import Path
+    from repro.serve.requests import normalize_request
+    from repro.serve.supervisor import Supervisor
+
+    sup = Supervisor(workers=2, results_dir=Path("/tmp/ibox-results"))
+    request = normalize_request(
+        {"kind": "chaos", "params": {"fault": "sleep", "sleep_sec": 0.1}}
+    )
+    lease = sup.dispatch(request, lease=1)   # None when no slot is free
+    assert lease is not None
+
+    events = []
+    while not events:                        # the heartbeat sweep
+        time.sleep(0.05)
+        events = sup.poll()
+    assert events[0].outcome == "completed"  # result file written
+    assert sup.free_slots() == 2             # slot released
 """
 
 from __future__ import annotations
@@ -46,6 +68,12 @@ def _worker_entry(request: dict, result_path: str) -> None:
     # the daemon's flusher/sampler threads may have held at fork time.
     # Reset to a fresh disabled state before touching any of it.
     obs.reset()
+    # It also inherits the daemon's state-dir flock fd; give that back
+    # immediately, or an orphaned worker outliving a SIGKILLed daemon
+    # keeps the lock held and blocks fleet handoff of the dead shard.
+    from repro.runtime.locks import release_inherited_locks
+
+    release_inherited_locks()
     started = time.perf_counter()
     try:
         spec = request_to_spec(request)

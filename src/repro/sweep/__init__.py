@@ -6,6 +6,39 @@ pack it into lockstep arrays, and advance the whole fleet one interval
 at a time with :func:`~repro.sweep.flowsim.run_fleet`.  The
 :mod:`~repro.sweep.fidelity` harness keeps the approximation honest by
 diffing the flow core against the packet engine on pinned scenarios.
+
+A 2 paths x 2 protocols x 2 seeds sweep, end to end::
+
+    from repro.sweep import ScenarioGrid, SweepPath, run_scenarios
+
+    grid = ScenarioGrid(
+        paths=(
+            SweepPath(
+                bandwidth_bytes_per_sec=1.5e6,
+                propagation_delay=0.03,
+                buffer_bytes=64_000,
+                label="dsl",
+            ),
+            SweepPath(
+                bandwidth_bytes_per_sec=12e6,
+                propagation_delay=0.01,
+                buffer_bytes=256_000,
+                bandwidth_kind="cellular",
+                label="lte",
+            ),
+        ),
+        protocols=("cubic", "bbr"),
+        seeds=(1, 2),
+        duration=10.0,
+    )
+    result = run_scenarios(grid.expand())    # 8 scenarios, lockstep
+    assert result.n_scenarios == 8 and result.n_faulted == 0
+    best = max(result.scenarios, key=lambda s: s.mean_rate_mbps)
+    print(best.label, best.protocol, round(best.mean_rate_mbps, 2))
+
+``repro sweep run`` is the CLI over the same path (grids from JSON,
+shards via ``split_grid``, manifests, telemetry), and ``repro sweep
+validate`` runs the fidelity harness.
 """
 
 from repro.sweep.flowsim import (

@@ -1,0 +1,445 @@
+"""Fleet mode: hash-ring routing, cross-shard roll-up, shard-kill recovery.
+
+Three layers, cheapest first: pure ring properties, offline status
+aggregation over synthetic shard state dirs, and one end-to-end drill
+that runs a real 2-shard fleet as subprocesses, SIGKILLs a shard
+mid-run, and demands exactly-once completion fleet-wide.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    FleetConfig,
+    FleetManager,
+    FleetRouter,
+    HashRing,
+    JobJournal,
+    fleet_status,
+    format_fleet_status,
+    format_status,
+    is_fleet_state,
+    serve_status,
+    submit_via_socket,
+)
+
+
+# ----------------------------------------------------------------------
+# HashRing properties
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_and_total(self):
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        keys = [f"job-{i}" for i in range(500)]
+        owners = {k: ring.owner(k) for k in keys}
+        again = HashRing(["shard-2", "shard-1", "shard-0"])  # order-free
+        assert all(again.owner(k) == owners[k] for k in keys)
+        assert set(owners.values()) == {"shard-0", "shard-1", "shard-2"}
+
+    def test_stability_under_shard_loss(self):
+        """Removing a member only remaps *that member's* keys."""
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        keys = [f"job-{i}" for i in range(1000)]
+        owners = {k: ring.owner(k) for k in keys}
+        survivors = ring.without("shard-1")
+        for key in keys:
+            if owners[key] != "shard-1":
+                assert survivors.owner(key) == owners[key]
+            else:
+                assert survivors.owner(key) in ("shard-0", "shard-2")
+
+    def test_readmission_restores_ownership(self):
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        keys = [f"job-{i}" for i in range(300)]
+        owners = {k: ring.owner(k) for k in keys}
+        back = ring.without("shard-2").with_member("shard-2")
+        assert all(back.owner(k) == owners[k] for k in keys)
+
+    def test_balance_is_roughly_even(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        spread = ring.spread([f"job-{i}" for i in range(2000)])
+        assert all(count > 200 for count in spread.values())
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing([]).owner("job")
+
+
+# ----------------------------------------------------------------------
+# Offline status: dead-daemon reporting and cross-shard aggregation
+# ----------------------------------------------------------------------
+def _write_snapshot(state_dir: Path, counters: dict, ts: float) -> None:
+    obs_dir = state_dir / "obs"
+    obs_dir.mkdir(parents=True, exist_ok=True)
+    (obs_dir / "metrics.json").write_text(
+        json.dumps(
+            {
+                "v": 1,
+                "ts": ts,
+                "metrics": {
+                    "counters": counters,
+                    "gauges": {},
+                    "histograms": {},
+                },
+                "service": {"queue_depth": 0, "in_flight": {}},
+            }
+        )
+    )
+
+
+def _seed_shard(
+    shard_dir: Path, jobs: list, counters: dict, snapshot_age: float
+) -> None:
+    journal = JobJournal(shard_dir / "journal", fsync=False)
+    for job_id, outcome in jobs:
+        request = {"job_id": job_id, "kind": "chaos", "label": job_id,
+                   "params": {}}
+        journal.submitted(request)
+        if outcome == "completed":
+            journal.leased(job_id, lease=1)
+            journal.completed(job_id, duration_sec=0.1)
+        elif outcome == "moved":
+            journal.moved(job_id, "elsewhere")
+        elif outcome == "leased":
+            journal.leased(job_id, lease=1)
+    journal.close()
+    _write_snapshot(shard_dir, counters, ts=time.time() - snapshot_age)
+
+
+class TestServeStatusDown:
+    def test_dead_daemon_reports_down_with_snapshot_age(self, tmp_path):
+        """Satellite fix: status on a dead daemon must not raise."""
+        state = tmp_path / "state"
+        _seed_shard(state, [("j1", "completed")], {"serve.completed": 1},
+                    snapshot_age=42.0)
+        # A pid that is long gone: our own dead child.
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        (state / "serve.pid").write_text(str(child.pid))
+
+        status = serve_status(state)
+        assert status["daemon"] == "down"
+        assert status["live"]["snapshot_age_sec"] == pytest.approx(
+            42.0, abs=5.0
+        )
+        text = format_status(status)
+        assert "down" in text
+        assert "last snapshot" in text
+
+    def test_live_daemon_reports_up(self, tmp_path):
+        state = tmp_path / "state"
+        _seed_shard(state, [("j1", "completed")], {}, snapshot_age=0.0)
+        (state / "serve.pid").write_text(str(os.getpid()))
+        status = serve_status(state)
+        assert status["daemon"] == "up"
+        assert "up" in format_status(status)
+
+    def test_missing_snapshot_does_not_crash_format(self, tmp_path):
+        state = tmp_path / "state"
+        journal = JobJournal(state / "journal", fsync=False)
+        journal.close()
+        status = serve_status(state)
+        assert status["daemon"] == "down"
+        format_status(status)  # must not raise
+
+
+class TestFleetStatusAggregation:
+    def test_rollup_equals_per_shard_sums(self, tmp_path):
+        state = tmp_path / "fleet"
+        _seed_shard(
+            state / "shard-0",
+            [("a", "completed"), ("b", "completed")],
+            {"serve.admitted": 2, "serve.completed": 2},
+            snapshot_age=1.0,
+        )
+        _seed_shard(
+            state / "shard-1",
+            [("c", "completed")],
+            {"serve.admitted": 1, "serve.completed": 1, "serve.shed": 4},
+            snapshot_age=1.0,
+        )
+        assert is_fleet_state(state)
+        status = fleet_status(state)
+        assert status["counts"]["total"] == 3
+        assert status["counts"]["completed"] == 3
+        # Merged counters are exactly the sums of the shard snapshots.
+        assert status["rollup"]["counters"]["serve.admitted"] == 3
+        assert status["rollup"]["counters"]["serve.completed"] == 3
+        assert status["rollup"]["counters"]["serve.shed"] == 4
+        assert status["rollup"]["inputs"] == 2
+
+    def test_moved_job_counts_once_at_its_new_owner(self, tmp_path):
+        """A handed-off job is 'rejected: moved' on the dead shard and
+        completed on the survivor — the fleet view must count it once,
+        as completed."""
+        state = tmp_path / "fleet"
+        _seed_shard(state / "shard-0", [("x", "moved")], {}, 1.0)
+        _seed_shard(state / "shard-1", [("x", "completed")], {}, 1.0)
+        status = fleet_status(state)
+        assert status["counts"]["total"] == 1
+        assert status["counts"]["completed"] == 1
+        assert status["counts"]["rejected"] == 0
+        (job,) = status["jobs"]
+        assert job["status"] == "completed"
+        assert job["shard"] == "shard-1"
+        assert job["completions"] == 1
+        text = format_fleet_status(status)
+        assert "DOUBLE-COMPLETED" not in text
+
+    def test_leased_beats_rejected_in_precedence(self, tmp_path):
+        state = tmp_path / "fleet"
+        _seed_shard(state / "shard-0", [("x", "moved")], {}, 1.0)
+        _seed_shard(state / "shard-1", [("x", "leased")], {}, 1.0)
+        status = fleet_status(state)
+        assert status["jobs"][0]["status"] == "leased"
+
+    def test_single_daemon_dir_is_not_a_fleet(self, tmp_path):
+        state = tmp_path / "state"
+        _seed_shard(state, [("j", "completed")], {}, 1.0)
+        assert not is_fleet_state(state)
+
+
+# ----------------------------------------------------------------------
+# Start-up recovery scan for half-finished handoffs
+# ----------------------------------------------------------------------
+class TestRecoverMoved:
+    def test_orphaned_move_is_resubmitted(self, tmp_path):
+        state = tmp_path / "fleet"
+        # shard-0 journaled the move but the old manager died before
+        # forwarding; no other shard ever saw the job.
+        _seed_shard(state / "shard-0", [("lost", "moved")], {}, 1.0)
+        _seed_shard(state / "shard-1", [], {}, 1.0)
+        manager = FleetManager(FleetConfig(state_dir=state, shards=2))
+        manager._recover_moved()
+        assert "lost" in manager._pending_handoffs
+
+    def test_delivered_move_is_left_alone(self, tmp_path):
+        state = tmp_path / "fleet"
+        _seed_shard(state / "shard-0", [("x", "moved")], {}, 1.0)
+        _seed_shard(state / "shard-1", [("x", "completed")], {}, 1.0)
+        manager = FleetManager(FleetConfig(state_dir=state, shards=2))
+        manager._recover_moved()
+        assert manager._pending_handoffs == {}
+
+
+# ----------------------------------------------------------------------
+# Router forwarding (in-process fake shard; no subprocesses)
+# ----------------------------------------------------------------------
+class TestFleetRouter:
+    def _fake_shard(self, socket_path: Path, reply: dict):
+        async def handle(reader, writer):
+            line = await reader.readline()
+            request = json.loads(line)
+            response = {**reply, "job_id": request.get("job_id")}
+            writer.write((json.dumps(response) + "\n").encode())
+            await writer.drain()
+            writer.close()
+
+        return asyncio.start_unix_server(handle, path=str(socket_path))
+
+    def test_forwards_and_annotates_shard(self, tmp_path):
+        async def scenario():
+            shard_sock = tmp_path / "shard.sock"
+            server = await self._fake_shard(
+                shard_sock, {"status": "accepted"}
+            )
+            router = FleetRouter(
+                tmp_path / "fleet.sock",
+                owner_of=lambda job_id: ("shard-7", shard_sock),
+                control=lambda verb: {"status": "ok", "verb": verb},
+            )
+            await router.start()
+            try:
+                response = await router.route(
+                    {"job_id": "j1", "kind": "chaos", "params": {},
+                     "label": "j1", "class": "chaos"}
+                )
+            finally:
+                await router.stop()
+                server.close()
+                await server.wait_closed()
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["status"] == "accepted"
+        assert response["shard"] == "shard-7"
+        assert response["job_id"] == "j1"
+
+    def test_unreachable_shard_rejects_and_reports(self, tmp_path):
+        suspected = []
+
+        async def scenario():
+            router = FleetRouter(
+                tmp_path / "fleet.sock",
+                owner_of=lambda job_id: (
+                    "shard-9", tmp_path / "nowhere.sock"
+                ),
+                control=lambda verb: {},
+                on_shard_error=suspected.append,
+            )
+            return await router.route(
+                {"job_id": "j2", "kind": "chaos", "params": {}}
+            )
+
+        response = asyncio.run(scenario())
+        assert response["status"] == "rejected"
+        assert response["reason"] == "shard_unavailable"
+        assert response["retry_after_sec"] > 0
+        assert suspected == ["shard-9"]
+
+    def test_no_live_shard_rejects_with_retry_hint(self, tmp_path):
+        async def scenario():
+            router = FleetRouter(
+                tmp_path / "fleet.sock",
+                owner_of=lambda job_id: None,
+                control=lambda verb: {},
+            )
+            return await router.route(
+                {"job_id": "j3", "kind": "chaos", "params": {}}
+            )
+
+        response = asyncio.run(scenario())
+        assert response["status"] == "rejected"
+        assert response["reason"] == "no_live_shard"
+
+
+# ----------------------------------------------------------------------
+# End-to-end: real fleet, SIGKILL one shard, exactly-once fleet-wide
+# ----------------------------------------------------------------------
+def _spawn_fleet(state: Path, shards: int, log_path: Path):
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    with open(log_path, "w") as log:
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "fleet",
+                "--state", str(state),
+                "--shards", str(shards),
+                "--workers-per-shard", "1",
+                "--no-fsync",
+                "--snapshot-interval", "0.25",
+                "--supervise-interval", "0.1",
+                "--max-runtime-sec", "90",
+            ],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+
+
+def _wait_for(predicate, timeout_sec: float, poll: float = 0.1) -> bool:
+    deadline = time.monotonic() + timeout_sec
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="POSIX signals required"
+)
+def test_shard_kill_requeue_drill(tmp_path):
+    """Kill one shard of a live 2-shard fleet; every job must complete
+    exactly once somewhere, and the fleet must re-admit the shard."""
+    state = tmp_path / "fleet"
+    jobs = 6
+    requests = [
+        {
+            "kind": "chaos",
+            "job_id": f"drill-{i}",
+            "label": f"drill-{i}",
+            "class": "drill",
+            "timeout_sec": 30.0,
+            "params": {"fault": "sleep", "sleep_sec": 0.4, "idx": i},
+        }
+        for i in range(jobs)
+    ]
+
+    def fleet_completions() -> dict:
+        done = {}
+        for shard_dir in sorted(state.glob("shard-*")):
+            journal_state = JobJournal.read_state(shard_dir / "journal")
+            for job_id, job in journal_state.jobs.items():
+                done[job_id] = done.get(job_id, 0) + job.completions
+        return done
+
+    fleet = _spawn_fleet(state, shards=2, log_path=tmp_path / "fleet.log")
+    try:
+        assert _wait_for(
+            lambda: (state / "fleet.pid").exists()
+            and all(
+                (state / f"shard-{i}" / "serve.pid").exists()
+                for i in range(2)
+            ),
+            timeout_sec=30,
+        ), (tmp_path / "fleet.log").read_text()[-2000:]
+
+        responses = submit_via_socket(state / "fleet.sock", requests)
+        assert all(r["status"] == "accepted" for r in responses), responses
+        by_shard = {}
+        for r in responses:
+            by_shard.setdefault(r["shard"], []).append(r["job_id"])
+        victim = max(by_shard, key=lambda s: len(by_shard[s]))
+        victim_pid = int((state / victim / "serve.pid").read_text())
+
+        # Let at least one job finish, then SIGKILL the busier shard.
+        assert _wait_for(
+            lambda: sum(
+                1 for n in fleet_completions().values() if n
+            ) >= 1,
+            timeout_sec=30,
+        )
+        os.kill(victim_pid, signal.SIGKILL)
+
+        assert _wait_for(
+            lambda: all(
+                fleet_completions().get(f"drill-{i}", 0) >= 1
+                for i in range(jobs)
+            ),
+            timeout_sec=45,
+        ), f"incomplete: {fleet_completions()}"
+
+        # Exactly-once fleet-wide: one completed record per job.
+        done = fleet_completions()
+        assert all(
+            done[f"drill-{i}"] == 1 for i in range(jobs)
+        ), f"double completions: {done}"
+
+        # The victim must come back and be re-admitted (new pid marker).
+        assert _wait_for(
+            lambda: (state / victim / "serve.pid").exists()
+            and int((state / victim / "serve.pid").read_text())
+            != victim_pid,
+            timeout_sec=30,
+        )
+    finally:
+        if fleet.poll() is None:
+            fleet.send_signal(signal.SIGTERM)
+            try:
+                fleet.wait(timeout=40)
+            except subprocess.TimeoutExpired:
+                fleet.kill()
+                fleet.wait(timeout=10)
+
+    assert fleet.returncode == 0, (
+        tmp_path / "fleet.log"
+    ).read_text()[-2000:]
+
+    # Offline roll-up over the same state dir agrees with the journals.
+    status = fleet_status(state)
+    assert status["counts"]["completed"] == jobs
+    assert not status["router"]["alive"]
