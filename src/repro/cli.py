@@ -313,7 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_fleet.add_argument(
         "--heartbeat-timeout", type=float, default=10.0,
-        help="live-snapshot age that flags a wedged shard (default: 10)",
+        help="live-snapshot age past which a wedged-but-alive shard is "
+        "killed and failed over (default: 10)",
+    )
+    serve_fleet.add_argument(
+        "--suspect-sweeps", type=int, default=4,
+        help="consecutive unreachable-shard sweeps before the manager "
+        "kills and fails over the shard (default: 4)",
     )
     serve_fleet.add_argument(
         "--snapshot-interval", type=float, default=1.0,
@@ -767,6 +773,7 @@ def _cmd_serve(args) -> int:
                 drain_timeout_sec=args.drain_timeout,
                 supervise_interval_sec=args.supervise_interval,
                 heartbeat_timeout_sec=args.heartbeat_timeout,
+                suspect_sweep_limit=args.suspect_sweeps,
                 snapshot_interval_sec=args.snapshot_interval,
                 max_runtime_sec=args.max_runtime_sec,
                 fsync=not args.no_fsync,

@@ -22,8 +22,12 @@ The invariants (DESIGN.md §10):
   crashed worker slots restart under exponential backoff;
 * **rejections are retryable, acceptances are kept** — a ``rejected``
   job was never run, so resubmitting the same job_id after the
-  retry-after hint re-admits it (journaled ``requeued: resubmitted``);
-  conversely a job the client was told was ``accepted`` is never
+  retry-after hint re-admits it (journaled ``requeued: resubmitted``).
+  The one exception is a fleet ``moved:<shard>`` tombstone: that job
+  now belongs to another shard, so resubmission answers ``duplicate``
+  (only the fleet manager's ``requeue``-flagged recovery resubmission
+  may revive it here).  Conversely a job the client was told was
+  ``accepted`` is never
   terminally rejected later: if its class breaker is open at dispatch
   time the lease is deferred until the breaker half-opens;
 * **graceful drain** — SIGTERM/SIGINT stop intake, let in-flight
@@ -333,6 +337,10 @@ class ServeDaemon:
             return {"status": "rejected", "reason": "invalid", "detail": str(exc)}
         with self._admission:
             self._last_activity = time.monotonic()
+            # Transport-only flag (never journaled): the fleet manager
+            # marks its handoff-recovery resubmissions with it so the
+            # moved-tombstone dedupe below lets them through.
+            requeue_moved = bool(request.pop("requeue", False))
             job_id = request["job_id"]
             known = self.journal.state.jobs.get(job_id)
             # A *rejected* job (shed, or short-circuited by an open
@@ -344,6 +352,22 @@ class ServeDaemon:
                     "status": "duplicate",
                     "job_id": job_id,
                     "state": known.status,
+                }
+            if (
+                known is not None
+                and known.moved_target is not None
+                and not requeue_moved
+            ):
+                # A ``moved:<shard>`` tombstone is a rejection in the
+                # journal but not a retryable one: the fleet handed this
+                # job to another shard, and re-admitting it here would
+                # race the new owner and break fleet-wide exactly-once
+                # completion.
+                return {
+                    "status": "duplicate",
+                    "job_id": job_id,
+                    "state": "moved",
+                    "moved_to": known.moved_target,
                 }
             resubmit = known is not None
             if self.draining:

@@ -95,6 +95,11 @@ class FleetConfig:
     shard_poll_interval: float = 0.05
     supervise_interval_sec: float = 0.25
     heartbeat_timeout_sec: float = 10.0
+    #: Consecutive supervision sweeps a shard may stay router-suspect
+    #: (forwarding to it keeps failing while its process is alive)
+    #: before the manager presumes it wedged and SIGKILLs it into the
+    #: normal dead-shard handoff/respawn path.
+    suspect_sweep_limit: int = 4
     restart_backoff_sec: float = 0.5
     restart_backoff_max_sec: float = 10.0
     start_timeout_sec: float = 30.0
@@ -129,6 +134,12 @@ class ShardHandle:
     needs_handoff: bool = False
     next_restart_at: float = 0.0  # monotonic clock
     last_exit: Optional[int] = None
+    #: Consecutive sweeps the router has reported this shard unreachable.
+    suspect_sweeps: int = 0
+    #: Monotonic time this shard last became live; gives a respawned
+    #: shard a grace window before its (possibly stale, pre-restart)
+    #: snapshot can trip the heartbeat check.
+    live_since: float = 0.0
 
     @property
     def socket_path(self) -> Path:
@@ -175,6 +186,10 @@ class FleetManager:
         self._by_name = {s.name: s for s in self.shards}
         self._ring = HashRing([], config.ring_replicas)
         self._pending_handoffs: Dict[str, Dict[str, Any]] = {}
+        #: Handed-off jobs the fleet could not deliver anywhere, by
+        #: job_id — kept (with the verbatim request) and surfaced in
+        #: health/stats so operators can detect and replay them.
+        self._lost_handoffs: Dict[str, Dict[str, Any]] = {}
         self._suspect: set = set()
         self._stop = asyncio.Event()
         self._started_at = time.time()
@@ -261,6 +276,7 @@ class FleetManager:
         )
         log_file.close()
         shard.status = "starting"
+        shard.suspect_sweeps = 0
         log.info("fleet.shard_spawned", shard=shard.name, pid=shard.process.pid)
 
     # ------------------------------------------------------------------
@@ -277,6 +293,7 @@ class FleetManager:
             for shard in self.shards:
                 if shard.status == "starting" and shard.ready():
                     shard.status = "live"
+                    shard.live_since = time.monotonic()
             if all(s.status == "live" for s in self.shards):
                 break
             dead = [s for s in self.shards if not s.process_alive()]
@@ -352,10 +369,21 @@ class FleetManager:
                 if best == "rejected" and job_id not in self._pending_handoffs:
                     request = dict(job.request)
                     if request.get("job_id") and request.get("kind"):
+                        # ``requeue`` lets the resubmission through the
+                        # moved-tombstone dedupe if its current ring
+                        # owner is the (respawned) shard that moved it.
+                        request["requeue"] = True
                         self._pending_handoffs[job_id] = request
                         log.warning(
                             "fleet.recovering_lost_handoff",
                             job_id=job_id,
+                            from_shard=name,
+                        )
+                    else:
+                        self._lose_handoff(
+                            job_id,
+                            request,
+                            reason="malformed_moved_request",
                             from_shard=name,
                         )
 
@@ -370,25 +398,45 @@ class FleetManager:
                     self._mark_dead(shard)
                 elif shard.name in self._suspect:
                     # The router could not reach it but the process is
-                    # up — transient (e.g. mid-restart); just clear.
-                    self._suspect.discard(shard.name)
-                elif shard.status == "live":
-                    snapshot = read_live_snapshot(shard.state_dir)
+                    # up.  One suspect sweep is usually transient (e.g.
+                    # mid-restart); a shard that stays unreachable sweep
+                    # after sweep is wedged and must be failed over, or
+                    # its ring keys are rejected indefinitely.
+                    shard.suspect_sweeps += 1
                     if (
-                        snapshot is not None
-                        and snapshot["age_sec"]
-                        > self.config.heartbeat_timeout_sec
+                        shard.suspect_sweeps
+                        >= self.config.suspect_sweep_limit
                     ):
-                        # Alive process, stale heartbeat: the flusher
-                        # publishes every snapshot_interval_sec, so this
-                        # is a wedged main loop — surface it loudly.
-                        log.warning(
-                            "fleet.shard_heartbeat_stale",
-                            shard=shard.name,
-                            age_sec=round(snapshot["age_sec"], 3),
+                        self._kill_wedged(
+                            shard,
+                            "router_unreachable",
+                            sweeps=shard.suspect_sweeps,
                         )
+                else:
+                    shard.suspect_sweeps = 0
+                    if shard.status == "live":
+                        snapshot = read_live_snapshot(shard.state_dir)
+                        if (
+                            snapshot is not None
+                            and snapshot["age_sec"]
+                            > self.config.heartbeat_timeout_sec
+                            and now - shard.live_since
+                            > self.config.heartbeat_timeout_sec
+                        ):
+                            # Alive process, stale heartbeat: the
+                            # flusher publishes every
+                            # snapshot_interval_sec, so this is a wedged
+                            # main loop — fail it over.  (The live_since
+                            # grace keeps a respawned shard's leftover
+                            # pre-restart snapshot from re-tripping it.)
+                            self._kill_wedged(
+                                shard,
+                                "heartbeat_stale",
+                                age_sec=round(snapshot["age_sec"], 3),
+                            )
                 if shard.status == "starting" and shard.ready():
                     shard.status = "live"
+                    shard.live_since = now
                     self._rebuild_ring()
                     log.info(
                         "fleet.shard_admitted",
@@ -397,11 +445,46 @@ class FleetManager:
                     )
             if shard.status == "dead":
                 if shard.needs_handoff:
-                    self._handoff(shard)
+                    if len(self._ring) == 0:
+                        # No survivor can take the orphans, and waiting
+                        # for one would deadlock a fully-dead fleet
+                        # (respawn is gated on the handoff).  Respawn
+                        # first instead: the restarted daemon's own
+                        # journal replay requeues its non-terminal
+                        # jobs, so nothing is lost by eliding the move.
+                        log.warning(
+                            "fleet.handoff_elided_empty_ring",
+                            shard=shard.name,
+                        )
+                        shard.needs_handoff = False
+                    else:
+                        self._handoff(shard)
                 if not shard.needs_handoff and now >= shard.next_restart_at:
                     shard.restarts += 1
                     self._spawn(shard)
         self._suspect.clear()
+
+    def _kill_wedged(self, shard: ShardHandle, reason: str, **fields) -> None:
+        """SIGKILL a wedged-but-alive shard so normal death handling runs.
+
+        A hung daemon keeps its ring keys while answering nothing, so
+        every request it owns is rejected until something removes it.
+        Escalating to a kill converts "wedged" into the failure mode the
+        fleet already handles — handoff plus respawn — and the kill also
+        drops the shard's flock, so :meth:`_handoff` can take the lock.
+        """
+        log.warning(
+            "fleet.shard_wedged", shard=shard.name, reason=reason, **fields
+        )
+        metrics().counter("serve.fleet.shard_wedged").inc()
+        process = shard.process
+        if process is not None and process.poll() is None:
+            process.kill()
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+        self._mark_dead(shard)
 
     def _mark_dead(self, shard: ShardHandle) -> None:
         shard.last_exit = (
@@ -448,7 +531,9 @@ class FleetManager:
                     job_id = job.request["job_id"]
                     target = self._ring.owner(job_id)
                     journal.moved(job_id, target)
-                    self._pending_handoffs[job_id] = dict(job.request)
+                    self._pending_handoffs[job_id] = {
+                        **job.request, "requeue": True
+                    }
                     moved += 1
             finally:
                 journal.close()
@@ -476,12 +561,27 @@ class FleetManager:
                     status=status,
                 )
             elif str(response.get("reason", "")).startswith("invalid"):
-                log.error(
-                    "fleet.handoff_invalid", job_id=job_id, response=response
+                self._lose_handoff(
+                    job_id, request, reason="invalid", response=response
                 )
             else:  # overloaded / circuit open / no live shard: retry
                 still[job_id] = request
         self._pending_handoffs = still
+
+    def _lose_handoff(
+        self, job_id: str, request: Dict[str, Any], **detail: Any
+    ) -> None:
+        """Record a handed-off job the fleet could not deliver anywhere.
+
+        Its only other trace is the ``moved`` tombstone on the dead
+        shard, so a silent drop would contradict the zero-lost-jobs
+        invariant without anyone noticing; keeping the verbatim request
+        here (surfaced via ``health``/``stats``) lets operators detect
+        the loss and replay the job.
+        """
+        self._lost_handoffs[job_id] = {"request": dict(request), **detail}
+        metrics().counter("serve.fleet.jobs_lost").inc()
+        log.error("fleet.handoff_lost", job_id=job_id, **detail)
 
     async def _supervise(self) -> None:
         while not self._stop.is_set():
@@ -509,6 +609,8 @@ class FleetManager:
                 s.name: s.restarts for s in self.shards if s.restarts
             },
             "pending_handoffs": len(self._pending_handoffs),
+            "lost_handoffs": len(self._lost_handoffs),
+            "lost_handoff_jobs": sorted(self._lost_handoffs),
             "uptime_sec": round(time.time() - self._started_at, 3),
         }
 
@@ -673,10 +775,16 @@ def fleet_status(state_dir: PathLike) -> Dict[str, Any]:
     router_alive = False
     try:
         router_pid = int((state_dir / FLEET_PID).read_text().strip())
-        os.kill(router_pid, 0)
-        router_alive = True
     except (FileNotFoundError, ValueError, OSError):
         pass
+    if router_pid is not None:
+        try:
+            os.kill(router_pid, 0)
+            router_alive = True
+        except PermissionError:  # exists, but owned by someone else
+            router_alive = True
+        except OSError:
+            pass
 
     shards: List[Dict[str, Any]] = []
     best: Dict[str, Dict[str, Any]] = {}

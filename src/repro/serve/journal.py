@@ -31,7 +31,8 @@ Fleet handoff rides the same grammar: when a shard dies, the router
 appends ``rejected`` records with reason ``moved:<target-shard>`` to the
 dead shard's journal before resubmitting the jobs elsewhere, so a
 restart of the dead shard replays them as terminal and never re-runs a
-job another shard now owns (see DESIGN.md §13).
+job another shard now owns; unlike ordinary rejections, a moved job
+answers ``duplicate`` if resubmitted to this shard (see DESIGN.md §13).
 
 Usage — write a journal, crash, replay it::
 

@@ -74,7 +74,7 @@ def normalize_request(
     job_id = raw.get("job_id") or content_hash(kind, params)
     label = raw.get("label") or f"{kind}:{params.get('trace_path', job_id[:12])}"
     job_class = raw.get("class") or kind
-    return {
+    request = {
         "kind": kind,
         "params": params,
         "job_id": str(job_id),
@@ -82,6 +82,12 @@ def normalize_request(
         "timeout_sec": timeout,
         "class": str(job_class),
     }
+    if raw.get("requeue"):
+        # Fleet-internal: the manager flags handoff-recovery
+        # resubmissions so a ``moved`` tombstone does not dedupe them.
+        # The daemon strips the flag at admission; it is never journaled.
+        request["requeue"] = True
+    return request
 
 
 def request_to_spec(request: Dict[str, Any]) -> JobSpec:

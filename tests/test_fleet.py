@@ -222,6 +222,27 @@ class TestRecoverMoved:
         manager = FleetManager(FleetConfig(state_dir=state, shards=2))
         manager._recover_moved()
         assert "lost" in manager._pending_handoffs
+        # Flagged so a moved tombstone at its (respawned) ring owner
+        # cannot dedupe the recovery resubmission away.
+        assert manager._pending_handoffs["lost"]["requeue"] is True
+
+    def test_malformed_moved_request_is_surfaced_as_lost(self, tmp_path):
+        """A tombstone whose stored request cannot be resubmitted must
+        land in the lost-handoffs list, not vanish into a log line."""
+        state = tmp_path / "fleet"
+        # A moved record for a job that was never submitted leaves only
+        # a stub request ({"job_id": ...}, no kind) behind.
+        journal = JobJournal(state / "shard-0" / "journal", fsync=False)
+        journal.moved("ghost", "elsewhere")
+        journal.close()
+        _seed_shard(state / "shard-1", [], {}, 1.0)
+        manager = FleetManager(FleetConfig(state_dir=state, shards=2))
+        manager._recover_moved()
+        assert "ghost" not in manager._pending_handoffs
+        assert "ghost" in manager._lost_handoffs
+        section = manager._fleet_section()
+        assert section["lost_handoffs"] == 1
+        assert section["lost_handoff_jobs"] == ["ghost"]
 
     def test_delivered_move_is_left_alone(self, tmp_path):
         state = tmp_path / "fleet"
@@ -230,6 +251,139 @@ class TestRecoverMoved:
         manager = FleetManager(FleetConfig(state_dir=state, shards=2))
         manager._recover_moved()
         assert manager._pending_handoffs == {}
+
+
+# ----------------------------------------------------------------------
+# Supervision sweeps: empty-ring respawn, wedged-shard escalation,
+# undeliverable-handoff surfacing (hand-rigged shard handles; the only
+# real subprocesses are inert sleepers standing in for wedged daemons)
+# ----------------------------------------------------------------------
+class TestFleetSupervision:
+    def _manager(self, tmp_path, **overrides) -> FleetManager:
+        return FleetManager(
+            FleetConfig(state_dir=tmp_path / "fleet", shards=1, **overrides)
+        )
+
+    def _sleeper(self) -> subprocess.Popen:
+        return subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"]
+        )
+
+    def test_empty_ring_respawns_dead_shard(self, tmp_path, monkeypatch):
+        """Regression: with every shard dead there is no handoff target,
+        and gating respawn on the handoff deadlocked the fleet forever
+        (no_live_shard for every request until a manager restart)."""
+        manager = self._manager(tmp_path)
+        shard = manager.shards[0]
+        shard.status = "dead"
+        shard.needs_handoff = True
+        shard.next_restart_at = 0.0
+        spawned = []
+        monkeypatch.setattr(
+            manager, "_spawn", lambda s: spawned.append(s.name)
+        )
+        manager._sweep()
+        assert spawned == ["shard-0"]
+        assert not shard.needs_handoff
+
+    def test_persistent_suspicion_kills_wedged_shard(self, tmp_path):
+        """Router forwarding failures against an alive process must
+        escalate to a kill + failover, not be discarded every sweep."""
+        manager = self._manager(tmp_path, suspect_sweep_limit=3)
+        shard = manager.shards[0]
+        proc = self._sleeper()
+        try:
+            shard.process = proc
+            shard.status = "live"
+            shard.live_since = time.monotonic()
+            for _ in range(2):
+                manager._note_suspect(shard.name)
+                manager._sweep()
+                assert shard.status == "live"  # below the limit
+            manager._note_suspect(shard.name)
+            manager._sweep()
+            assert shard.status == "dead"
+            assert proc.poll() is not None  # SIGKILLed by the manager
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_one_off_suspicion_is_forgiven(self, tmp_path):
+        manager = self._manager(tmp_path, suspect_sweep_limit=3)
+        shard = manager.shards[0]
+        proc = self._sleeper()
+        try:
+            shard.process = proc
+            shard.status = "live"
+            shard.live_since = time.monotonic()
+            manager._note_suspect(shard.name)
+            manager._sweep()
+            manager._sweep()  # clean sweep resets the streak
+            manager._note_suspect(shard.name)
+            manager._sweep()
+            assert shard.status == "live"
+            assert shard.suspect_sweeps == 1
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    def test_stale_heartbeat_kills_wedged_shard(self, tmp_path):
+        manager = self._manager(tmp_path, heartbeat_timeout_sec=5.0)
+        shard = manager.shards[0]
+        proc = self._sleeper()
+        try:
+            shard.process = proc
+            shard.status = "live"
+            _write_snapshot(shard.state_dir, {}, ts=time.time() - 60)
+            # Grace window: a freshly (re)admitted shard is not judged
+            # on the snapshot left over from its previous life.
+            shard.live_since = time.monotonic()
+            manager._sweep()
+            assert shard.status == "live"
+            # Long-live shard with a long-stale snapshot: wedged.
+            shard.live_since = time.monotonic() - 30.0
+            manager._sweep()
+            assert shard.status == "dead"
+            assert proc.poll() is not None
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_undeliverable_handoff_is_surfaced_not_dropped(self, tmp_path):
+        """An 'invalid' resubmission response means the job can never
+        run anywhere — it must show up in health/stats, not just a log."""
+        manager = self._manager(tmp_path)
+        request = {"job_id": "bad", "kind": "chaos", "params": {}}
+        manager._pending_handoffs["bad"] = request
+
+        async def fake_route(req):
+            return {"status": "rejected", "reason": "invalid: boom"}
+
+        manager.router.route = fake_route
+        asyncio.run(manager._pump_handoffs())
+        assert manager._pending_handoffs == {}
+        assert manager._lost_handoffs["bad"]["request"] == request
+        section = manager._fleet_section()
+        assert section["lost_handoffs"] == 1
+        assert section["lost_handoff_jobs"] == ["bad"]
+
+
+class TestFleetStatusRouterProbe:
+    def test_permission_error_means_alive(self, tmp_path, monkeypatch):
+        """A fleet pid owned by another user is up, not down — mirror
+        serve_status's treatment of PermissionError."""
+        state = tmp_path / "fleet"
+        _seed_shard(state / "shard-0", [], {}, 1.0)
+        (state / "fleet.pid").write_text("4242")
+
+        def fake_kill(pid, sig):
+            raise PermissionError(f"pid {pid} belongs to someone else")
+
+        monkeypatch.setattr(os, "kill", fake_kill)
+        status = fleet_status(state)
+        assert status["router"] == {"pid": 4242, "alive": True}
 
 
 # ----------------------------------------------------------------------
@@ -443,3 +597,67 @@ def test_shard_kill_requeue_drill(tmp_path):
     status = fleet_status(state)
     assert status["counts"]["completed"] == jobs
     assert not status["router"]["alive"]
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="POSIX signals required"
+)
+def test_single_shard_fleet_recovers_from_kill(tmp_path):
+    """Regression for the empty-ring deadlock: killing the only shard of
+    a --shards 1 fleet leaves no handoff target, but the manager must
+    still respawn it (journal replay requeues its jobs) instead of
+    rejecting everything with no_live_shard until restarted by hand."""
+    state = tmp_path / "fleet"
+    jobs = 3
+    requests = [
+        {
+            "kind": "chaos",
+            "job_id": f"solo-{i}",
+            "label": f"solo-{i}",
+            "class": "solo",
+            "timeout_sec": 30.0,
+            "params": {"fault": "sleep", "sleep_sec": 0.3, "idx": i},
+        }
+        for i in range(jobs)
+    ]
+
+    def completions() -> dict:
+        journal_state = JobJournal.read_state(state / "shard-0" / "journal")
+        return {j: job.completions for j, job in journal_state.jobs.items()}
+
+    fleet = _spawn_fleet(state, shards=1, log_path=tmp_path / "fleet.log")
+    try:
+        assert _wait_for(
+            lambda: (state / "fleet.pid").exists()
+            and (state / "shard-0" / "serve.pid").exists(),
+            timeout_sec=30,
+        ), (tmp_path / "fleet.log").read_text()[-2000:]
+
+        responses = submit_via_socket(state / "fleet.sock", requests)
+        assert all(r["status"] == "accepted" for r in responses), responses
+        victim_pid = int((state / "shard-0" / "serve.pid").read_text())
+        os.kill(victim_pid, signal.SIGKILL)
+
+        # The shard must come back on its own and finish every job
+        # exactly once (its own replay requeues them; nothing moved).
+        assert _wait_for(
+            lambda: all(
+                completions().get(f"solo-{i}", 0) >= 1 for i in range(jobs)
+            ),
+            timeout_sec=45,
+        ), f"incomplete after respawn: {completions()}"
+        assert int((state / "shard-0" / "serve.pid").read_text()) != victim_pid
+    finally:
+        if fleet.poll() is None:
+            fleet.send_signal(signal.SIGTERM)
+            try:
+                fleet.wait(timeout=40)
+            except subprocess.TimeoutExpired:
+                fleet.kill()
+                fleet.wait(timeout=10)
+
+    assert fleet.returncode == 0, (
+        tmp_path / "fleet.log"
+    ).read_text()[-2000:]
+    done = completions()
+    assert all(done[f"solo-{i}"] == 1 for i in range(jobs)), done

@@ -609,6 +609,29 @@ class TestServeDaemon:
         assert job.status == "completed"
         assert job.completions == 1
 
+    def test_moved_tombstone_is_not_resubmittable(self, daemon_factory):
+        """A fleet ``moved:<shard>`` tombstone must dedupe — the job
+        belongs to another shard now, and re-running it here would
+        break fleet-wide exactly-once — except for the fleet manager's
+        ``requeue``-flagged recovery resubmission."""
+        daemon = daemon_factory()
+        request = normalize_request(_req(0))
+        daemon.journal.submitted(request)
+        daemon.journal.moved(request["job_id"], "shard-1")
+
+        response = daemon.admit(_req(0))
+        assert response["status"] == "duplicate"
+        assert response["state"] == "moved"
+        assert response["moved_to"] == "shard-1"
+        job = daemon.journal.state.jobs[request["job_id"]]
+        assert job.status == "rejected"  # tombstone untouched
+
+        revived = daemon.admit({**_req(0), "requeue": True})
+        assert revived["status"] == "accepted"
+        job = daemon.journal.state.jobs[request["job_id"]]
+        assert job.status == "pending"
+        assert "requeue" not in job.request  # flag is transport-only
+
     def test_admitted_job_is_deferred_not_rejected_by_open_breaker(
         self, daemon_factory
     ):
