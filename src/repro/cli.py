@@ -219,6 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--socket", type=Path, default=None,
         help="unix socket path for the request/response protocol",
     )
+    serve_run.add_argument(
+        "--bind", default=None, metavar="ENDPOINT",
+        help="intake endpoint spec: 'unix:<path>' or 'tcp:<host>:<port>' "
+        "(port 0 = ephemeral, published in <state>/serve.endpoint); "
+        "mutually exclusive with --socket",
+    )
     serve_run.add_argument("--workers", type=int, default=2)
     serve_run.add_argument(
         "--queue-limit", type=int, default=64,
@@ -292,6 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet intake socket (default: <state>/fleet.sock)",
     )
     serve_fleet.add_argument(
+        "--bind", default=None, metavar="ENDPOINT",
+        help="fleet intake endpoint spec: 'unix:<path>' or "
+        "'tcp:<host>:<port>' (port 0 = ephemeral, published in "
+        "<state>/fleet.endpoint; TCP fleets bind their shards on "
+        "tcp:127.0.0.1:0 too); mutually exclusive with --socket",
+    )
+    serve_fleet.add_argument(
         "--workers-per-shard", type=int, default=2,
         help="worker slots in each shard daemon (default: 2)",
     )
@@ -346,8 +359,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop the requests into this spool directory",
     )
     serve_submit.add_argument(
-        "--socket", type=Path, default=None,
-        help="send over this unix socket and print each response",
+        "--socket", default=None, metavar="ENDPOINT",
+        help="send over this endpoint and print each response: a unix "
+        "socket path, 'unix:<path>', or 'tcp:<host>:<port>'",
+    )
+    serve_submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="submit through the resilient client with this overall "
+        "deadline budget (bounded retries, backoff, reconnect); "
+        "default: one shot, fail fast",
     )
     serve_status = serve_sub.add_parser(
         "status",
@@ -368,12 +388,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded fault-injection campaign against the guards",
     )
     chaos.add_argument(
-        "--campaign", choices=("guards", "service", "fleet"),
+        "--campaign", choices=("guards", "service", "fleet", "transport"),
         default="guards",
         help="guards: trace/file/runtime faults through the batch "
         "pipeline; service: SIGKILL the serve daemon (then a fleet "
         "shard) and assert exactly-once recovery; fleet: just the "
-        "shard-kill drill (default: guards)",
+        "shard-kill drill; transport: lossy-wire drill through the "
+        "network-chaos proxy over unix and TCP, plus a TCP fleet "
+        "kill drill (default: guards)",
     )
     chaos.add_argument(
         "--seed", type=int, default=7,
@@ -767,6 +789,7 @@ def _cmd_serve(args) -> int:
                 state_dir=args.state,
                 shards=args.shards,
                 socket_path=args.socket,
+                bind=args.bind,
                 workers_per_shard=args.workers_per_shard,
                 queue_limit=args.queue_limit,
                 default_timeout_sec=args.default_timeout,
@@ -792,6 +815,7 @@ def _cmd_serve(args) -> int:
                 state_dir=args.state,
                 spool_dir=args.spool,
                 socket_path=args.socket,
+                bind=args.bind,
                 workers=args.workers,
                 queue_limit=args.queue_limit,
                 poll_interval=args.poll_interval,
@@ -828,7 +852,14 @@ def _cmd_serve(args) -> int:
             return 2
         if args.socket is not None:
             try:
-                responses = submit_via_socket(args.socket, requests)
+                if args.deadline is not None:
+                    from repro.serve import ResilientClient
+
+                    responses = ResilientClient(
+                        args.socket, deadline_sec=args.deadline
+                    ).submit(requests)
+                else:
+                    responses = submit_via_socket(args.socket, requests)
             except (OSError, ConnectionError) as exc:
                 _log.error(
                     "serve.socket_unreachable",
@@ -865,13 +896,17 @@ def _cmd_chaos(args) -> int:
         run_campaign,
         run_fleet_campaign,
         run_service_campaign,
+        run_transport_campaign,
     )
 
-    if args.campaign in ("service", "fleet"):
+    if args.campaign in ("service", "fleet", "transport"):
         if args.campaign == "service":
             def runner(workdir):
                 return run_service_campaign(workdir, seed=args.seed,
                                             workers=args.workers)
+        elif args.campaign == "transport":
+            def runner(workdir):
+                return run_transport_campaign(workdir, seed=args.seed)
         else:
             def runner(workdir):
                 return run_fleet_campaign(workdir, seed=args.seed)

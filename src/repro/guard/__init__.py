@@ -31,13 +31,20 @@ from repro.guard.chaos import (
     FILE_FAULTS,
     TRACE_FAULTS,
     ChaosReport,
+    FleetChaosReport,
+    ServiceChaosReport,
+    TransportChaosReport,
     chaos_worker,
     inject_file_fault,
     inject_trace_fault,
     make_chaos_job,
     run_campaign,
+    run_fleet_campaign,
+    run_service_campaign,
+    run_transport_campaign,
     tear_cache_entry,
 )
+from repro.guard.netchaos import NetChaosConfig, NetChaosProxy
 from repro.guard.numeric import DivergenceGuard, sanitize_training_arrays
 from repro.guard.repair import (
     MAX_PLAUSIBLE_DELAY,
@@ -52,11 +59,19 @@ __all__ = [
     "FILE_FAULTS",
     "TRACE_FAULTS",
     "ChaosReport",
+    "FleetChaosReport",
+    "NetChaosConfig",
+    "NetChaosProxy",
+    "ServiceChaosReport",
+    "TransportChaosReport",
     "chaos_worker",
     "inject_file_fault",
     "inject_trace_fault",
     "make_chaos_job",
     "run_campaign",
+    "run_fleet_campaign",
+    "run_service_campaign",
+    "run_transport_campaign",
     "tear_cache_entry",
     "DivergenceGuard",
     "sanitize_training_arrays",

@@ -30,7 +30,7 @@ import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro import obs
 from repro.runtime.jobs import JobSpec
@@ -901,6 +901,7 @@ class FleetChaosReport:
     seed: int
     shards: int
     jobs: int
+    bind: Optional[str] = None
     victim: Optional[str] = None
     completed_before_kill: int = 0
     moved: int = 0
@@ -916,7 +917,8 @@ class FleetChaosReport:
     def format_report(self) -> str:
         lines = [
             f"fleet chaos campaign: seed={self.seed} "
-            f"shards={self.shards} jobs={self.jobs}",
+            f"shards={self.shards} jobs={self.jobs}"
+            + (f" bind={self.bind}" if self.bind else ""),
             f"  victim shard: {self.victim} "
             f"(killed after {self.completed_before_kill} completions)",
             f"  jobs handed off to survivors: {self.moved}",
@@ -936,7 +938,13 @@ class FleetChaosReport:
         return "\n".join(lines)
 
 
-def _spawn_fleet(workdir: Path, state: Path, shards: int, log_name: str):
+def _spawn_fleet(
+    workdir: Path,
+    state: Path,
+    shards: int,
+    log_name: str,
+    bind: Optional[str] = None,
+):
     """Start ``repro serve fleet`` as a real child process."""
     import subprocess
     import sys
@@ -947,26 +955,29 @@ def _spawn_fleet(workdir: Path, state: Path, shards: int, log_name: str):
     env = dict(os.environ)
     env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
     log = open(workdir / log_name, "w")
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "fleet",
+        "--state",
+        str(state),
+        "--shards",
+        str(shards),
+        "--workers-per-shard",
+        "1",
+        "--snapshot-interval",
+        "0.5",
+        "--supervise-interval",
+        "0.1",
+        "--max-runtime-sec",
+        "150",
+    ]
+    if bind is not None:
+        argv += ["--bind", bind]
     return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            "fleet",
-            "--state",
-            str(state),
-            "--shards",
-            str(shards),
-            "--workers-per-shard",
-            "1",
-            "--snapshot-interval",
-            "0.5",
-            "--supervise-interval",
-            "0.1",
-            "--max-runtime-sec",
-            "150",
-        ],
+        argv,
         stdout=log,
         stderr=subprocess.STDOUT,
         env=env,
@@ -981,12 +992,16 @@ def run_fleet_campaign(
     kill_after_completions: int = 2,
     sleep_sec: float = 0.5,
     timeout_sec: float = 90.0,
+    bind: Optional[str] = None,
 ) -> FleetChaosReport:
     """SIGKILL one shard of a routed fleet mid-run; assert exactly-once.
 
     1. Start ``repro serve fleet --shards N`` over an empty state dir
-       and submit ``jobs`` slow drill jobs through the fleet socket
-       (recording which shard accepted each).
+       and submit ``jobs`` slow drill jobs through the fleet endpoint
+       (recording which shard accepted each).  ``bind`` (e.g.
+       ``tcp:127.0.0.1:0``) runs the whole fleet — router *and* shard
+       forwarding — over TCP; the drill reads the actually-bound
+       endpoint from ``<state>/fleet.endpoint``.
     2. Once ``kill_after_completions`` jobs completed fleet-wide,
        SIGKILL the shard that owns the most jobs.  The fleet must mark
        it dead, hand its unfinished jobs to the survivors
@@ -1011,7 +1026,7 @@ def run_fleet_campaign(
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
     state = workdir / "state"
-    report = FleetChaosReport(seed=seed, shards=shards, jobs=jobs)
+    report = FleetChaosReport(seed=seed, shards=shards, jobs=jobs, bind=bind)
 
     requests = [
         {
@@ -1042,21 +1057,28 @@ def run_fleet_campaign(
         return sum(1 for n in fleet_completions().values() if n >= 1)
 
     def fleet_ready() -> bool:
+        # The manager publishes fleet.endpoint (the actually-bound
+        # router endpoint, needed for tcp:...:0) before fleet.pid.
         if not (state / "fleet.pid").exists():
+            return False
+        if not (state / "fleet.endpoint").exists():
             return False
         return all(
             (state / f"shard-{i}" / "serve.pid").exists()
             for i in range(shards)
         )
 
-    fleet = _spawn_fleet(workdir, state, shards, "fleet.log")
+    def fleet_endpoint() -> str:
+        return (state / "fleet.endpoint").read_text().strip()
+
+    fleet = _spawn_fleet(workdir, state, shards, "fleet.log", bind=bind)
     try:
         if not _wait_for(fleet_ready, timeout_sec):
             report.violations.append(
                 f"fleet never became ready within {timeout_sec}s"
             )
             return report
-        responses = submit_via_socket(state / "fleet.sock", requests)
+        responses = submit_via_socket(fleet_endpoint(), requests)
         not_accepted = [
             r for r in responses if r.get("status") != "accepted"
         ]
@@ -1097,7 +1119,7 @@ def run_fleet_campaign(
 
         def victim_live() -> bool:
             try:
-                health = query_daemon(state / "fleet.sock", "health")
+                health = query_daemon(fleet_endpoint(), "health")
             except (OSError, ConnectionError):
                 return False
             status = health.get("health", {}).get("shard_status", {})
@@ -1186,4 +1208,391 @@ def run_fleet_campaign(
                     f"is {sums.get(name, 0)}"
                 )
         report.rollup_counters_checked = len(merged.get("counters", {}))
+    return report
+
+
+# ----------------------------------------------------------------------
+# The transport campaign: a lossy wire between client and daemon
+# ----------------------------------------------------------------------
+@dataclass
+class TransportChaosReport:
+    """Outcome of one network-chaos campaign against the transport."""
+
+    seed: int
+    jobs: int
+    phases: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    fleet: Optional[FleetChaosReport] = None
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and (self.fleet is None or self.fleet.ok)
+
+    def format_report(self) -> str:
+        lines = [
+            f"transport chaos campaign: seed={self.seed} jobs={self.jobs}"
+        ]
+        for scheme, phase in sorted(self.phases.items()):
+            proxy = phase.get("proxy") or {}
+            faults = " ".join(
+                f"{k}={proxy[k]}"
+                for k in ("dropped", "duplicated", "delayed", "truncated",
+                          "severed")
+                if k in proxy
+            )
+            lines.append(
+                f"  [{scheme}] upstream={phase.get('upstream')} "
+                f"acked={phase.get('acked')} "
+                f"classified_failures={phase.get('classified_failures')} "
+                f"drain_exit={phase.get('drain_exit_code')}"
+            )
+            if faults:
+                lines.append(
+                    f"  [{scheme}] injected: {faults} "
+                    f"(frames={proxy.get('frames')})"
+                )
+        if self.violations:
+            lines.append("GUARD VIOLATIONS:")
+            lines.extend(f"  !! {v}" for v in self.violations)
+        else:
+            lines.append(
+                "all guards held: every client call succeeded or failed "
+                "classified, every job completed exactly once, both "
+                "transports survived oversize/garbage/torn frames"
+            )
+        if self.fleet is not None:
+            lines.append(self.fleet.format_report())
+        return "\n".join(lines)
+
+
+def _spawn_bound_daemon(workdir: Path, state: Path, bind: str, log_name: str):
+    """Start ``repro serve run --bind <spec>`` as a real child process."""
+    import subprocess
+    import sys
+
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    log = open(workdir / log_name, "w")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "run",
+            "--state",
+            str(state),
+            "--bind",
+            bind,
+            "--workers",
+            "2",
+            "--poll-interval",
+            "0.05",
+            "--snapshot-interval",
+            "0.5",
+            "--max-runtime-sec",
+            "150",
+        ],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        env=env,
+    )
+
+
+def _recv_frame(conn, timeout: float = 5.0) -> Optional[Dict[str, Any]]:
+    """Read one framed-JSONL response off a raw socket; None on EOF."""
+    from repro.serve.transport import FrameAssembler
+
+    assembler = FrameAssembler(max_bytes=8 * 1024 * 1024)
+    conn.settimeout(timeout)
+    while True:
+        data = conn.recv(65536)
+        if not data:
+            return None
+        for kind, payload in assembler.feed(data):
+            if kind == "frame":
+                return json.loads(payload.decode("utf-8"))
+
+
+def _transport_drill(
+    report: TransportChaosReport,
+    workdir: Path,
+    seed: int,
+    jobs: int,
+    scheme: str,
+    timeout_sec: float,
+) -> None:
+    """One daemon (unix or tcp) behind the chaos proxy, end to end."""
+    import signal as _signal
+
+    from repro.guard.netchaos import NetChaosConfig, NetChaosProxy
+    from repro.serve.journal import JobJournal
+    from repro.serve.requests import normalize_request
+    from repro.serve.transport import (
+        MAX_FRAME_BYTES,
+        ResilientClient,
+        TransportError,
+        exchange,
+        parse_endpoint,
+    )
+
+    phase: Dict[str, Any] = {"scheme": scheme}
+    report.phases[scheme] = phase
+    workdir.mkdir(parents=True, exist_ok=True)
+    state = workdir / "state"
+    bind = (
+        f"unix:{state / 'serve.sock'}"
+        if scheme == "unix"
+        else "tcp:127.0.0.1:0"
+    )
+    daemon = _spawn_bound_daemon(workdir, state, bind, f"daemon-{scheme}.log")
+    try:
+        if not _wait_for(
+            lambda: _daemon_ready(state, daemon.pid), timeout_sec
+        ):
+            report.violations.append(
+                f"[{scheme}] daemon never became ready within {timeout_sec}s"
+            )
+            return
+        upstream = (state / "serve.endpoint").read_text().strip()
+        phase["upstream"] = upstream
+
+        # --------------------------------------------------------------
+        # Deterministic hardening probes, straight at the daemon: an
+        # oversized frame and a garbage frame must each be *answered*
+        # (frame_too_large / invalid), and the connection must survive
+        # both — resync at the next newline, not a killed socket.
+        # --------------------------------------------------------------
+        conn = parse_endpoint(upstream).connect(timeout=5.0)
+        try:
+            conn.sendall(b'{"pad": "' + b"x" * MAX_FRAME_BYTES + b'"}\n')
+            response = _recv_frame(conn)
+            if not response or response.get("reason") != "frame_too_large":
+                report.violations.append(
+                    f"[{scheme}] oversized frame was not rejected as "
+                    f"frame_too_large: {response}"
+                )
+            conn.sendall(b"this is not json\n")
+            response = _recv_frame(conn)
+            if not response or response.get("reason") != "invalid":
+                report.violations.append(
+                    f"[{scheme}] garbage frame was not rejected as "
+                    f"invalid: {response}"
+                )
+            conn.sendall(b'{"verb": "health"}\n')
+            response = _recv_frame(conn)
+            if not isinstance(response, dict) or "status" not in response:
+                report.violations.append(
+                    f"[{scheme}] connection unusable after rejected "
+                    f"frames: {response}"
+                )
+        finally:
+            conn.close()
+        _note_injection("transport", "oversize+garbage", upstream)
+
+        # --------------------------------------------------------------
+        # The lossy-wire drill: every submission goes through the chaos
+        # proxy via the resilient client; every call must come back as
+        # an ack or a classified, retryable transport error — never a
+        # raw traceback, never a hang past the deadline budget.
+        # --------------------------------------------------------------
+        requests = [
+            {
+                "kind": "chaos",
+                "params": {"fault": "sleep", "sleep_sec": 0.05, "idx": i,
+                           "seed": seed, "scheme": scheme},
+                "label": f"transport:{scheme}:{i}",
+                "class": "drill",
+                "timeout_sec": 30.0,
+            }
+            for i in range(jobs)
+        ]
+        ids = [normalize_request(dict(r))["job_id"] for r in requests]
+        proxy = NetChaosProxy(
+            "tcp:127.0.0.1:0",
+            upstream,
+            NetChaosConfig(
+                seed=seed,
+                drop_prob=0.08,
+                dup_prob=0.08,
+                delay_prob=0.10,
+                delay_sec=0.02,
+                truncate_prob=0.04,
+                sever_prob=0.04,
+            ),
+        )
+        front = proxy.start()
+        _note_injection("transport", "netchaos", front.describe())
+        deadline_sec = 25.0
+        acked: Dict[str, str] = {}
+        failures = 0
+        try:
+            client = ResilientClient(
+                front,
+                deadline_sec=deadline_sec,
+                max_attempts=12,
+                connect_timeout_sec=2.0,
+                io_timeout_sec=1.5,
+                backoff_base_sec=0.05,
+                backoff_max_sec=0.5,
+            )
+            for request, job_id in zip(requests, ids):
+                began = time.monotonic()
+                try:
+                    response = client.call(dict(request))
+                except TransportError as exc:
+                    failures += 1
+                    if not isinstance(exc.retryable, bool):
+                        report.violations.append(
+                            f"[{scheme}] transport error lacks a "
+                            f"retryable classification: {exc!r}"
+                        )
+                except Exception as exc:  # noqa: BLE001 — escaping IS the bug
+                    report.violations.append(
+                        f"[{scheme}] unclassified client error (raw "
+                        f"traceback escape): {exc!r}"
+                    )
+                else:
+                    if response.get("status") in ("accepted", "duplicate"):
+                        acked[job_id] = response["status"]
+                    else:
+                        report.violations.append(
+                            f"[{scheme}] submission answered {response}"
+                        )
+                elapsed = time.monotonic() - began
+                if elapsed > deadline_sec + 10.0:
+                    report.violations.append(
+                        f"[{scheme}] client call ran {elapsed:.1f}s, past "
+                        f"its {deadline_sec}s deadline budget"
+                    )
+        finally:
+            proxy.stop()
+        phase["acked"] = len(acked)
+        phase["classified_failures"] = failures
+        phase["proxy"] = proxy.stats()
+        injected = sum(
+            phase["proxy"][k]
+            for k in ("dropped", "duplicated", "delayed", "truncated",
+                      "severed")
+        )
+        if injected == 0:
+            report.violations.append(
+                f"[{scheme}] proxy injected no faults — the drill "
+                "proved nothing (adjust probabilities or seed)"
+            )
+
+        # Un-acked jobs are redelivered off-proxy: content-hashed ids
+        # make resubmission idempotent even if the lossy copy landed.
+        missing = [
+            dict(r) for r, job_id in zip(requests, ids) if job_id not in acked
+        ]
+        if missing:
+            for response in exchange(upstream, missing, timeout=10.0):
+                if response.get("status") not in ("accepted", "duplicate"):
+                    report.violations.append(
+                        f"[{scheme}] off-proxy redelivery answered "
+                        f"{response}"
+                    )
+
+        def all_completed() -> bool:
+            journal_state = JobJournal.read_state(state / "journal")
+            return all(
+                job_id in journal_state.jobs
+                and journal_state.jobs[job_id].status == "completed"
+                for job_id in ids
+            )
+
+        if not _wait_for(all_completed, timeout_sec):
+            journal_state = JobJournal.read_state(state / "journal")
+            done = sum(
+                1
+                for job_id in ids
+                if job_id in journal_state.jobs
+                and journal_state.jobs[job_id].status == "completed"
+            )
+            report.violations.append(
+                f"[{scheme}] only {done}/{jobs} jobs completed within "
+                f"{timeout_sec}s"
+            )
+            return
+        daemon.send_signal(_signal.SIGTERM)
+        try:
+            phase["drain_exit_code"] = daemon.wait(timeout=30)
+        except Exception:  # noqa: BLE001
+            report.violations.append(
+                f"[{scheme}] daemon did not exit after SIGTERM"
+            )
+            return
+        if phase["drain_exit_code"] != 0:
+            report.violations.append(
+                f"[{scheme}] drain exited {phase['drain_exit_code']}, "
+                "expected 0"
+            )
+    finally:
+        if daemon.poll() is None:  # never leak a live daemon
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    # ------------------------------------------------------------------
+    # The exactly-once ledger check: dup'd frames, torn responses, and
+    # idempotent resubmission must all collapse to one completion each.
+    # ------------------------------------------------------------------
+    final = JobJournal.read_state(state / "journal")
+    for job_id in ids:
+        job = final.jobs.get(job_id)
+        if job is None:
+            report.violations.append(
+                f"[{scheme}] job {job_id[:12]} left no journal trace (lost)"
+            )
+        elif job.completions != 1:
+            report.violations.append(
+                f"[{scheme}] job {job_id[:12]} has {job.completions} "
+                "completed records (exactly-once violated)"
+            )
+
+
+def run_transport_campaign(
+    workdir,
+    seed: int = 7,
+    jobs: int = 10,
+    timeout_sec: float = 90.0,
+    fleet_drill: bool = True,
+) -> TransportChaosReport:
+    """Prove the transport layer under a seeded lossy wire (DESIGN.md §14).
+
+    1. **Hardening probes** — a real daemon must answer an oversized
+       frame with ``frame_too_large`` and a garbage frame with
+       ``invalid``, and keep the connection usable after both.
+    2. **Lossy-wire drill** — submissions go through a seeded
+       :class:`repro.guard.netchaos.NetChaosProxy` (drop / duplicate /
+       delay / truncate / sever) via :class:`ResilientClient`; every
+       call must return an ack or a classified retryable error within
+       its deadline budget, and every job must complete **exactly once**
+       daemon-side regardless of duplicated or torn frames.
+    3. Steps 1–2 run twice — daemon on a unix socket, then on
+       ``tcp:127.0.0.1:0`` — the unix/TCP parity half of the tentpole.
+    4. **TCP fleet drill** — the full shard-kill campaign of
+       :func:`run_fleet_campaign`, but with router and shards bound on
+       TCP (``fleet_drill=False`` skips it for quick local runs).
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    report = TransportChaosReport(seed=seed, jobs=jobs)
+    _transport_drill(
+        report, workdir / "unix", seed, jobs, "unix", timeout_sec
+    )
+    _transport_drill(
+        report, workdir / "tcp", seed + 1, jobs, "tcp", timeout_sec
+    )
+    if fleet_drill:
+        report.fleet = run_fleet_campaign(
+            workdir / "fleet-tcp",
+            seed=seed,
+            shards=2,
+            bind="tcp:127.0.0.1:0",
+            timeout_sec=timeout_sec + 30,
+        )
     return report

@@ -1,0 +1,311 @@
+"""Seeded network-chaos proxy: a lossy wire between client and daemon.
+
+:class:`NetChaosProxy` sits between a transport client and a serve
+daemon (or fleet router) and injects faults *at frame granularity* —
+the same framed-JSONL units the real protocol speaks (DESIGN.md §14).
+Per forwarded frame it may, with seeded probabilities:
+
+* **drop** the frame (peer never sees it; the sender's read times out);
+* **duplicate** it (the daemon must answer ``duplicate``, not re-run);
+* **delay** it (and everything behind it on that direction);
+* **truncate** it — forward a torn prefix, then sever the connection
+  (the receiver sees a partial frame followed by EOF);
+* **sever** the connection outright, mid-protocol.
+
+Faults are deterministic per ``(seed, connection index, direction)``,
+so a chaos campaign that fails replays byte-identically from its seed.
+The proxy relays between any two endpoints (``unix:`` / ``tcp:``), so
+the same campaign proves both transports.
+
+Usage::
+
+    from repro.guard.netchaos import NetChaosConfig, NetChaosProxy
+
+    proxy = NetChaosProxy(
+        "tcp:127.0.0.1:0",              # listen (0 = ephemeral)
+        "unix:/tmp/state/serve.sock",   # upstream daemon
+        NetChaosConfig(seed=7, drop_prob=0.1, sever_prob=0.05),
+    )
+    front = proxy.start()               # the bound Endpoint clients dial
+    try:
+        ...  # point a ResilientClient at front
+    finally:
+        proxy.stop()
+    print(proxy.stats())                # injected-fault accounting
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs import get_logger, metrics
+from repro.serve.transport import Endpoint, EndpointLike, FrameAssembler, parse_endpoint
+
+log = get_logger("repro.guard.netchaos")
+
+#: The proxy never rejects frames itself — it forwards anything the
+#: endpoints would accept, so its reassembly cap just needs headroom.
+_PROXY_MAX_FRAME = 8 * 1024 * 1024
+_CHUNK = 65536
+
+
+@dataclass
+class NetChaosConfig:
+    """Fault mix for one proxy.  All probabilities are per frame."""
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_sec: float = 0.05
+    truncate_prob: float = 0.0
+    sever_prob: float = 0.0
+    #: Which direction(s) suffer faults: ``request`` (client→upstream),
+    #: ``response`` (upstream→client), or ``both``.
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("request", "response", "both"):
+            raise ValueError(f"bad direction: {self.direction!r}")
+
+
+class NetChaosProxy:
+    """Threaded frame-level fault injector between two endpoints."""
+
+    def __init__(
+        self,
+        listen: EndpointLike,
+        upstream: EndpointLike,
+        config: Optional[NetChaosConfig] = None,
+    ):
+        self.listen_endpoint = parse_endpoint(listen)
+        self.upstream = parse_endpoint(upstream)
+        self.config = config or NetChaosConfig()
+        self.bound: Optional[Endpoint] = None
+        self._server: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._conn_counter = 0
+        self._lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "connections": 0,
+            "frames": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "truncated": 0,
+            "severed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Endpoint:
+        """Bind the listen endpoint; returns the endpoint clients dial."""
+        from repro.serve.transport import bound_endpoint
+
+        self._server = self.listen_endpoint.listen(backlog=16)
+        self._server.settimeout(0.2)
+        self.bound = bound_endpoint(self._server, self.listen_endpoint)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="netchaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        log.info(
+            "netchaos.started",
+            listen=self.bound.describe(),
+            upstream=self.upstream.describe(),
+            seed=self.config.seed,
+        )
+        return self.bound
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        self.listen_endpoint.cleanup()
+        log.info("netchaos.stopped", **self.stats())
+
+    def __enter__(self) -> "NetChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._stats)
+
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._stats[key] += n
+        metrics().counter(f"chaos.net.{key}").inc(n)
+
+    # ------------------------------------------------------------------
+    # Relay
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                self._conn_counter += 1
+                index = self._conn_counter
+                self._stats["connections"] += 1
+            metrics().counter("chaos.net.connections").inc()
+            threading.Thread(
+                target=self._handle,
+                args=(conn, index),
+                name=f"netchaos-conn-{index}",
+                daemon=True,
+            ).start()
+
+    def _handle(self, client: socket.socket, index: int) -> None:
+        try:
+            server = self.upstream.connect(timeout=5.0)
+        except OSError:
+            _close(client)
+            return
+        severed = threading.Event()
+        faulty = self.config.direction
+        pumps = [
+            threading.Thread(
+                target=self._pump,
+                args=(client, server, index, "request", severed,
+                      faulty in ("request", "both")),
+                daemon=True,
+            ),
+            threading.Thread(
+                target=self._pump,
+                args=(server, client, index, "response", severed,
+                      faulty in ("response", "both")),
+                daemon=True,
+            ),
+        ]
+        for pump in pumps:
+            pump.start()
+        for pump in pumps:
+            pump.join()
+        _close(client)
+        _close(server)
+
+    def _pump(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        index: int,
+        direction: str,
+        severed: threading.Event,
+        inject: bool,
+    ) -> None:
+        """Relay one direction frame-by-frame, injecting faults."""
+        rng = random.Random(f"{self.config.seed}:{index}:{direction}")
+        assembler = FrameAssembler(max_bytes=_PROXY_MAX_FRAME)
+        try:
+            src.settimeout(0.2)
+        except OSError:  # the other pump already severed this connection
+            return
+        while not (self._stop.is_set() or severed.is_set()):
+            try:
+                data = src.recv(_CHUNK)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not data:
+                break
+            for kind, payload in assembler.feed(data):
+                if kind != "frame":  # pragma: no cover - headroom cap
+                    continue
+                if not self._forward(dst, payload, rng, severed, inject):
+                    return
+        # EOF (or sever): propagate the close downstream so the peer
+        # sees it instead of hanging on a half-open connection.
+        _shutdown(dst)
+
+    def _forward(
+        self,
+        dst: socket.socket,
+        frame: bytes,
+        rng: random.Random,
+        severed: threading.Event,
+        inject: bool = True,
+    ) -> bool:
+        """Apply at most one fault, then forward.  False = stop pumping."""
+        self._count("frames")
+        config = self.config
+        if not inject:  # this direction is configured fault-free
+            try:
+                dst.sendall(frame + b"\n")
+            except OSError:
+                return False
+            return True
+        roll = rng.random()
+        if roll < config.sever_prob:
+            self._count("severed")
+            severed.set()
+            _shutdown(dst)
+            return False
+        roll -= config.sever_prob
+        if roll < config.truncate_prob:
+            # A torn prefix with no newline delimiter, then a hard close:
+            # the receiver sees a partial frame followed by EOF.
+            self._count("truncated")
+            severed.set()
+            try:
+                dst.sendall(frame[: max(1, len(frame) // 2)])
+            except OSError:
+                pass
+            _shutdown(dst)
+            return False
+        roll -= config.truncate_prob
+        if roll < config.drop_prob:
+            self._count("dropped")
+            return True
+        roll -= config.drop_prob
+        if roll < config.delay_prob:
+            self._count("delayed")
+            time.sleep(config.delay_sec)
+        roll -= config.delay_prob
+        copies = 1
+        if roll < config.dup_prob:
+            self._count("duplicated")
+            copies = 2
+        try:
+            for _ in range(copies):
+                # The assembler strips the delimiter; restore it on the
+                # wire or the peer waits forever for an unfinished frame.
+                dst.sendall(frame + b"\n")
+        except OSError:
+            return False
+        return True
+
+
+def _close(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+def _shutdown(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    _close(sock)

@@ -66,6 +66,18 @@ from repro.serve.requests import (
 )
 from repro.serve.router import FleetRouter, HashRing
 from repro.serve.supervisor import Lease, LeaseEvent, Supervisor
+from repro.serve.transport import (
+    MAX_FRAME_BYTES,
+    DeadlineExceeded,
+    Endpoint,
+    FrameTooLargeError,
+    ProtocolError,
+    ResilientClient,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    TransportError,
+    parse_endpoint,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -74,6 +86,16 @@ __all__ = [
     "CLOSED",
     "HALF_OPEN",
     "OPEN",
+    "DeadlineExceeded",
+    "Endpoint",
+    "FrameTooLargeError",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ResilientClient",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "TransportError",
+    "parse_endpoint",
     "FleetConfig",
     "FleetManager",
     "FleetRouter",

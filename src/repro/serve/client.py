@@ -6,9 +6,16 @@ Two transports, same JSONL payload:
   (tmp + rename) into the watched directory; fire-and-forget, survives
   the daemon being down (the file waits), no response channel beyond
   the journal;
-* **socket** — :func:`submit_via_socket` speaks the request/response
-  protocol over the daemon's unix socket and returns one response dict
-  per request (``accepted`` / ``rejected`` + retry-after / ``duplicate``).
+* **socket** — :func:`submit_via_socket` speaks the framed JSONL
+  request/response protocol over the daemon's unix *or TCP* endpoint
+  and returns one response dict per request (``accepted`` /
+  ``rejected`` + retry-after / ``duplicate``).  On a mid-batch
+  connection failure it raises
+  :class:`repro.serve.transport.ProtocolError` whose ``.responses``
+  carries everything already answered, so callers know exactly which
+  requests were delivered.  For a lossy wire, wrap the same endpoint
+  in :class:`repro.serve.transport.ResilientClient` instead — it adds
+  a deadline budget, bounded retries with backoff, and reconnects.
 
 :func:`serve_status` replays the journal read-only — it works on a live
 daemon's state dir and on a dead one's (the report then says ``down``
@@ -35,13 +42,13 @@ from __future__ import annotations
 
 import json
 import os
-import socket
 import time
 import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.serve.journal import JobJournal
+from repro.serve.transport import EndpointLike, exchange
 from repro.trace.io import PathLike
 
 
@@ -64,29 +71,23 @@ def submit_to_spool(
 
 
 def submit_via_socket(
-    socket_path: PathLike,
+    socket_path: EndpointLike,
     requests: Sequence[Dict[str, Any]],
     timeout: float = 10.0,
 ) -> List[Dict[str, Any]]:
-    """Send requests over the daemon's unix socket; one response each."""
-    responses: List[Dict[str, Any]] = []
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
-        conn.settimeout(timeout)
-        conn.connect(str(socket_path))
-        reader = conn.makefile("r", encoding="utf-8")
-        writer = conn.makefile("w", encoding="utf-8")
-        for request in requests:
-            writer.write(json.dumps(request) + "\n")
-            writer.flush()
-            line = reader.readline()
-            if not line:
-                raise ConnectionError("daemon closed the socket mid-protocol")
-            responses.append(json.loads(line))
-    return responses
+    """Send requests over the daemon's endpoint; one response each.
+
+    ``socket_path`` is a unix socket path or any ``unix:<path>`` /
+    ``tcp:<host>:<port>`` endpoint spec.  One-shot: a mid-batch
+    connection failure raises :class:`~repro.serve.transport
+    .ProtocolError` (a :class:`ConnectionError`) whose ``.responses``
+    holds the already-delivered answers.
+    """
+    return exchange(socket_path, requests, timeout=timeout)
 
 
 def query_daemon(
-    socket_path: PathLike, verb: str = "stats", timeout: float = 10.0
+    socket_path: EndpointLike, verb: str = "stats", timeout: float = 10.0
 ) -> Dict[str, Any]:
     """Ask a live daemon a control verb (``stats`` / ``health``)."""
     responses = submit_via_socket(socket_path, [{"verb": verb}], timeout)

@@ -86,7 +86,22 @@ from repro.serve.journal import JobJournal
 from repro.serve.queue import AdmissionQueue
 from repro.serve.requests import BadRequest, normalize_request
 from repro.serve.supervisor import LeaseEvent, Supervisor
+from repro.serve.transport import (
+    MAX_FRAME_BYTES,
+    Endpoint,
+    bound_endpoint,
+    encode_frame,
+    frame_too_large_response,
+    parse_endpoint,
+    read_frames,
+)
 from repro.trace.io import PathLike
+
+#: File next to ``serve.pid`` naming the daemon's actual bound intake
+#: endpoint (``unix:<path>`` / ``tcp:<host>:<port>`` — the latter with
+#: the real port when ``tcp:...:0`` asked for an ephemeral one).
+#: Clients and the fleet manager read it instead of guessing.
+ENDPOINT_FILE = "serve.endpoint"
 
 _log = obs.get_logger("repro.serve")
 
@@ -116,6 +131,11 @@ class ServeConfig:
     state_dir: Path
     spool_dir: Optional[Path] = None
     socket_path: Optional[Path] = None
+    #: Intake endpoint spec: ``unix:<path>`` or ``tcp:<host>:<port>``
+    #: (``tcp:...:0`` binds an ephemeral port, published in
+    #: ``<state>/serve.endpoint``).  Mutually exclusive with
+    #: ``socket_path``, which remains as unix-only sugar.
+    bind: Optional[str] = None
     workers: int = 2
     queue_limit: int = 64
     poll_interval: float = 0.05
@@ -146,15 +166,31 @@ class ServeConfig:
     profile_interval_sec: float = 0.01
     #: Flight-recorder ring capacity (recent spans/events/metric deltas).
     flight_ring: int = 512
+    #: Per-frame byte cap on the intake protocol; an oversized frame is
+    #: answered ``rejected: frame_too_large`` and the stream resyncs.
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Per-connection idle deadline: a client that sends no byte (or
+    #: stops reading its responses) for this long is evicted so it
+    #: cannot pin an intake thread (slow-loris hardening).
+    intake_idle_sec: float = 60.0
 
     def __post_init__(self):
         self.state_dir = Path(self.state_dir)
         if self.spool_dir is not None:
             self.spool_dir = Path(self.spool_dir)
-        if self.socket_path is not None:
+        if self.socket_path is not None and self.bind is not None:
+            raise ValueError("pass either socket_path or bind, not both")
+        if self.bind is not None:
+            self.endpoint: Optional[Endpoint] = parse_endpoint(self.bind)
+        elif self.socket_path is not None:
             self.socket_path = Path(self.socket_path)
-        if self.spool_dir is None and self.socket_path is None:
-            raise ValueError("need a spool dir and/or a socket path")
+            self.endpoint = parse_endpoint(self.socket_path)
+        else:
+            self.endpoint = None
+        if self.endpoint is not None and self.endpoint.scheme == "unix":
+            self.socket_path = self.endpoint.path
+        if self.spool_dir is None and self.endpoint is None:
+            raise ValueError("need a spool dir and/or an intake endpoint")
 
 
 class ServeDaemon:
@@ -223,6 +259,9 @@ class ServeDaemon:
         self._started_iso = datetime.now(timezone.utc).isoformat()
         self._server_socket: Optional[socket.socket] = None
         self._socket_thread: Optional[threading.Thread] = None
+        #: The actually-bound intake endpoint (set by ``_start_socket``;
+        #: resolves ``tcp:...:0`` to the kernel-assigned port).
+        self.bound: Optional[Endpoint] = None
         self.recovered = self._recover()
 
     # ------------------------------------------------------------------
@@ -463,19 +502,22 @@ class ServeDaemon:
         return admitted
 
     # ------------------------------------------------------------------
-    # Unix-socket intake
+    # Socket intake (unix or TCP, same framed JSONL protocol)
     # ------------------------------------------------------------------
     def _start_socket(self) -> None:
-        path = self.config.socket_path
-        if path is None:
+        endpoint = self.config.endpoint
+        if endpoint is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.unlink(missing_ok=True)
-        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        server.bind(str(path))
-        server.listen(8)
+        server = endpoint.listen(backlog=8)
         server.settimeout(0.2)
+        self.bound = bound_endpoint(server, endpoint)
         self._server_socket = server
+        # Publish the *actual* endpoint (ephemeral TCP ports resolved)
+        # so clients and the fleet manager can find us.
+        endpoint_file = self.state_dir / ENDPOINT_FILE
+        tmp = endpoint_file.with_suffix(".tmp")
+        tmp.write_text(self.bound.describe() + "\n")
+        os.replace(tmp, endpoint_file)
 
         def _serve_connections():
             while self._server_socket is not None:
@@ -495,32 +537,76 @@ class ServeDaemon:
         self._socket_thread.start()
 
     def _handle_connection(self, conn: socket.socket) -> None:
+        """One intake connection: framed JSONL in, one response per frame.
+
+        Hardened per DESIGN.md §14: a per-connection idle deadline (the
+        socket timeout bounds reads *and* the response writes, so both
+        a slow-loris sender and a client that stops reading are
+        evicted, counted, and closed), a per-frame byte cap answered
+        with ``rejected: frame_too_large`` (the assembler resyncs at
+        the next newline, so the connection survives), and
+        malformed-frame accounting.
+        """
+        config = self.config
         with conn:
-            reader = conn.makefile("r", encoding="utf-8")
-            writer = conn.makefile("w", encoding="utf-8")
-            for line in reader:
-                line = line.strip()
-                if not line:
+            for kind, payload in read_frames(
+                conn,
+                max_bytes=config.max_frame_bytes,
+                idle_timeout_sec=config.intake_idle_sec,
+            ):
+                if kind == "idle":
+                    obs.metrics().counter("transport.idle_evicted").inc()
+                    _log.warning(
+                        "serve.intake_idle_evicted",
+                        idle_sec=config.intake_idle_sec,
+                    )
+                    return
+                if kind == "too_large":
+                    response = frame_too_large_response(
+                        config.max_frame_bytes
+                    )
+                    _log.warning(
+                        "serve.frame_too_large", bytes=payload
+                    )
+                elif not payload.strip():
                     continue
-                try:
-                    raw = json.loads(line)
-                except json.JSONDecodeError:
-                    response = {"status": "rejected", "reason": "invalid",
-                                "detail": "undecodable JSON line"}
                 else:
-                    if isinstance(raw, dict) and "verb" in raw:
-                        response = self._handle_verb(raw["verb"])
+                    try:
+                        raw = json.loads(payload)
+                    except json.JSONDecodeError:
+                        obs.metrics().counter(
+                            "transport.malformed_frames"
+                        ).inc()
+                        response = {
+                            "status": "rejected",
+                            "reason": "invalid",
+                            "detail": "undecodable JSON frame",
+                        }
                     else:
-                        response = self.admit(raw)
-                writer.write(json.dumps(response) + "\n")
-                writer.flush()
+                        if isinstance(raw, dict) and "verb" in raw:
+                            response = self._handle_verb(raw["verb"])
+                        else:
+                            response = self.admit(raw)
+                try:
+                    conn.sendall(encode_frame(response))
+                except socket.timeout:
+                    # The client stopped draining its responses: a
+                    # slow consumer is as dangerous as a slow sender.
+                    obs.metrics().counter(
+                        "transport.slow_client_evicted"
+                    ).inc()
+                    _log.warning("serve.intake_slow_client_evicted")
+                    return
+                except OSError:
+                    return
 
     def _stop_socket(self) -> None:
         server, self._server_socket = self._server_socket, None
         if server is not None:
             server.close()
-        if self.config.socket_path is not None:
-            self.config.socket_path.unlink(missing_ok=True)
+        if self.config.endpoint is not None:
+            self.config.endpoint.cleanup()
+        (self.state_dir / ENDPOINT_FILE).unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # Dispatch + lease outcomes
@@ -730,9 +816,7 @@ class ServeDaemon:
             state_dir=str(self.state_dir),
             spool=str(self.config.spool_dir),
             socket=(
-                str(self.config.socket_path)
-                if self.config.socket_path
-                else None
+                self.bound.describe() if self.bound is not None else None
             ),
             workers=self.config.workers,
             recovered=self.recovered,

@@ -8,8 +8,10 @@ invariant.  The manager:
   dir ``<state>/shard-<i>`` (own WAL journal, supervisor, breaker, live
   snapshot) and its own unix socket — shards never share files, so the
   single-writer lock discipline is untouched;
-* listens on one public socket ``<state>/fleet.sock`` via
-  :class:`repro.serve.router.FleetRouter`, consistent-hashing each
+* listens on one public endpoint — default unix socket
+  ``<state>/fleet.sock``; ``--bind tcp:<host>:<port>`` for cross-node
+  fleets (the bound endpoint is published in ``<state>/fleet.endpoint``)
+  — via :class:`repro.serve.router.FleetRouter`, consistent-hashing each
   ``job_id`` across the *live* shards (async intake; there is no fleet
   spool walk to poll);
 * supervises the shards: a dead process (or a shard the router fails to
@@ -61,8 +63,10 @@ from repro.obs import get_logger, metrics
 from repro.obs.summarize import merge_metrics_files
 from repro.runtime.locks import ProcessLock
 from repro.serve.client import read_live_snapshot, serve_status
+from repro.serve.daemon import ENDPOINT_FILE
 from repro.serve.journal import JobJournal
 from repro.serve.router import DEFAULT_REPLICAS, FleetRouter, HashRing
+from repro.serve.transport import Endpoint, parse_endpoint
 from repro.trace.io import PathLike
 
 log = get_logger("repro.serve.fleet")
@@ -70,6 +74,9 @@ log = get_logger("repro.serve.fleet")
 FLEET_META = "fleet.json"
 FLEET_PID = "fleet.pid"
 FLEET_SOCKET = "fleet.sock"
+#: File naming the router's actually-bound public endpoint (the TCP
+#: port of a ``tcp:...:0`` bind is only known after listen).
+FLEET_ENDPOINT = "fleet.endpoint"
 
 #: Fleet-wide job status precedence for cross-shard dedupe: a job that
 #: completed anywhere is completed, regardless of ``moved`` tombstones
@@ -88,6 +95,14 @@ class FleetConfig:
     state_dir: Path
     shards: int = 3
     socket_path: Optional[Path] = None  # default: <state>/fleet.sock
+    #: Public endpoint spec for the router: ``unix:<path>`` or
+    #: ``tcp:<host>:<port>`` (``tcp:...:0`` = ephemeral port, published
+    #: in ``<state>/fleet.endpoint``).  When the fleet binds TCP the
+    #: shards do too (each on ``tcp:127.0.0.1:0``, discovered through
+    #: their ``serve.endpoint`` files) — this is the cross-node shape:
+    #: only the transport layer changes.  Mutually exclusive with
+    #: ``socket_path``.
+    bind: Optional[str] = None
     workers_per_shard: int = 2
     queue_limit: int = 64
     default_timeout_sec: Optional[float] = None
@@ -112,13 +127,28 @@ class FleetConfig:
         self.state_dir = Path(self.state_dir)
         if self.shards < 1:
             raise ValueError("a fleet needs at least one shard")
-        if self.socket_path is None:
-            self.socket_path = self.state_dir / FLEET_SOCKET
-        else:
+        if self.socket_path is not None and self.bind is not None:
+            raise ValueError("pass either socket_path or bind, not both")
+        if self.bind is not None:
+            self.endpoint: Endpoint = parse_endpoint(self.bind)
+        elif self.socket_path is not None:
             self.socket_path = Path(self.socket_path)
+            self.endpoint = parse_endpoint(self.socket_path)
+        else:
+            self.endpoint = parse_endpoint(self.state_dir / FLEET_SOCKET)
+        if self.endpoint.scheme == "unix":
+            self.socket_path = self.endpoint.path
 
     def shard_state_dir(self, index: int) -> Path:
         return self.state_dir / shard_name(index)
+
+    def shard_bind(self, index: int) -> str:
+        """The ``--bind`` spec each shard daemon is spawned with."""
+        if self.endpoint.scheme == "tcp":
+            # Ephemeral loopback port; the manager learns the real one
+            # from the shard's serve.endpoint file at readiness.
+            return "tcp:127.0.0.1:0"
+        return f"unix:{self.shard_state_dir(index) / 'serve.sock'}"
 
 
 @dataclass
@@ -149,18 +179,31 @@ class ShardHandle:
     def pid_path(self) -> Path:
         return self.state_dir / "serve.pid"
 
+    @property
+    def endpoint_path(self) -> Path:
+        return self.state_dir / ENDPOINT_FILE
+
+    def endpoint(self) -> Optional[Endpoint]:
+        """The shard's published intake endpoint (unix path or the TCP
+        host:port the kernel actually assigned), or None pre-readiness."""
+        try:
+            return parse_endpoint(self.endpoint_path.read_text().strip())
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+
     def process_alive(self) -> bool:
         return self.process is not None and self.process.poll() is None
 
     def ready(self) -> bool:
-        """Daemon wrote its pid marker (post signal-handler install)."""
+        """Daemon wrote its pid marker (post signal-handler install) and
+        published its bound endpoint."""
         if not self.process_alive():
             return False
         try:
             pid = int(self.pid_path.read_text().strip())
         except (FileNotFoundError, ValueError, OSError):
             return False
-        return pid == self.process.pid and self.socket_path.exists()
+        return pid == self.process.pid and self.endpoint() is not None
 
 
 class FleetManager:
@@ -194,7 +237,7 @@ class FleetManager:
         self._stop = asyncio.Event()
         self._started_at = time.time()
         self.router = FleetRouter(
-            config.socket_path,
+            config.endpoint,
             owner_of=self._owner_of,
             control=self._control,
             on_shard_error=self._note_suspect,
@@ -209,11 +252,14 @@ class FleetManager:
         self._ring = HashRing(live, self.config.ring_replicas)
         metrics().gauge("serve.fleet.live_shards").set(len(live))
 
-    def _owner_of(self, job_id: str) -> Optional[Tuple[str, Path]]:
+    def _owner_of(self, job_id: str) -> Optional[Tuple[str, Endpoint]]:
         if len(self._ring) == 0:
             return None
         name = self._ring.owner(job_id)
-        return name, self._by_name[name].socket_path
+        endpoint = self._by_name[name].endpoint()
+        if endpoint is None:  # ring admission raced an endpoint unlink
+            return None
+        return name, endpoint
 
     def _note_suspect(self, name: str) -> None:
         """Router-side forwarding failure: check this shard next sweep."""
@@ -232,8 +278,8 @@ class FleetManager:
             "run",
             "--state",
             str(shard.state_dir),
-            "--socket",
-            str(shard.socket_path),
+            "--bind",
+            config.shard_bind(shard.index),
             "--workers",
             str(config.workers_per_shard),
             "--queue-limit",
@@ -259,9 +305,11 @@ class FleetManager:
         import repro
 
         shard.state_dir.mkdir(parents=True, exist_ok=True)
-        # A stale pid marker from a SIGKILLed run would otherwise make
-        # the shard look ready before the new daemon is.
+        # Stale pid/endpoint markers from a SIGKILLed run would
+        # otherwise make the shard look ready (and routable) before the
+        # new daemon is — worse for tcp binds, where the old port is gone.
         shard.pid_path.unlink(missing_ok=True)
+        shard.endpoint_path.unlink(missing_ok=True)
         src_root = str(Path(repro.__file__).resolve().parents[1])
         env = dict(os.environ)
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
@@ -312,7 +360,7 @@ class FleetManager:
         log.info(
             "fleet.started",
             shards=len(self.shards),
-            socket=str(self.config.socket_path),
+            endpoint=self.config.endpoint.describe(),
             recovering=len(self._pending_handoffs),
         )
 
@@ -336,7 +384,12 @@ class FleetManager:
             "version": 1,
             "shards": self.config.shards,
             "shard_names": [s.name for s in self.shards],
-            "socket": str(self.config.socket_path),
+            "socket": (
+                str(self.config.socket_path)
+                if self.config.socket_path is not None
+                else None
+            ),
+            "endpoint": self.config.endpoint.describe(),
         }
         path = self.state_dir / FLEET_META
         tmp = path.with_suffix(".json.tmp")
@@ -685,6 +738,13 @@ class FleetManager:
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
         await self.router.start()
+        # Publish the actually-bound public endpoint (a ``tcp:...:0``
+        # bind's real port is only known post-listen), atomically, and
+        # *before* the pid marker so pid-present implies endpoint-known.
+        endpoint_path = self.state_dir / FLEET_ENDPOINT
+        tmp = endpoint_path.with_suffix(".endpoint.tmp")
+        tmp.write_text(self.router.bound.describe() + "\n")
+        os.replace(tmp, endpoint_path)
         # Readiness marker: handlers installed + router listening, so a
         # fleet that exposes its pid is a fleet that will drain cleanly.
         (self.state_dir / FLEET_PID).write_text(str(os.getpid()))
@@ -727,6 +787,7 @@ class FleetManager:
                 shard.process.kill()
                 shard.process.wait(timeout=5)
         (self.state_dir / FLEET_PID).unlink(missing_ok=True)
+        (self.state_dir / FLEET_ENDPOINT).unlink(missing_ok=True)
         log.info(
             "fleet.drained",
             pending_handoffs=len(self._pending_handoffs),

@@ -10,13 +10,14 @@ Two pieces, deliberately separable:
   owner, so a shard death never migrates jobs between *surviving*
   shards.
 
-* :class:`FleetRouter` — the asyncio unix-socket JSONL front end that
-  replaces the single daemon's polling spool walk.  Each inbound line is
-  either a control verb (``{"verb": "stats"}``) answered locally, or a
-  job request: the router normalises it (so the ``job_id`` used for
+* :class:`FleetRouter` — the asyncio framed-JSONL front end (unix
+  socket *or* ``tcp:<host>:<port>``, DESIGN.md §14) that replaces the
+  single daemon's polling spool walk.  Each inbound frame is either a
+  control verb (``{"verb": "stats"}``) answered locally, or a job
+  request: the router normalises it (so the ``job_id`` used for
   routing is exactly the one the shard will journal), asks its
-  ``owner_of`` callback for the owning live shard, and forwards the line
-  over that shard's own unix socket, relaying the shard's
+  ``owner_of`` callback for the owning live shard, and forwards the
+  frame over that shard's own endpoint, relaying the shard's
   accepted/duplicate/rejected response back annotated with
   ``"shard": <name>``.
 
@@ -47,6 +48,17 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.obs import get_logger, metrics
 from repro.serve.requests import BadRequest, normalize_request
+from repro.serve.transport import (
+    MAX_FRAME_BYTES,
+    Endpoint,
+    EndpointLike,
+    FrameAssembler,
+    bound_endpoint,
+    encode_frame,
+    frame_too_large_response,
+    parse_endpoint,
+    read_frame_async,
+)
 
 log = get_logger("repro.serve.router")
 
@@ -131,10 +143,11 @@ class FleetRouter:
 
     Parameters
     ----------
-    socket_path:
-        Where to listen (the fleet's public endpoint).
+    bind:
+        Where to listen (the fleet's public endpoint): a unix socket
+        path, or any ``unix:<path>`` / ``tcp:<host>:<port>`` spec.
     owner_of:
-        ``job_id -> (shard_name, shard_socket_path)`` for the current
+        ``job_id -> (shard_name, shard_endpoint)`` for the current
         ring of *live* shards, or ``None`` when no shard is available.
     control:
         ``verb -> payload`` for ``stats`` / ``health`` verbs, answered
@@ -143,58 +156,118 @@ class FleetRouter:
         Called with a shard name whenever forwarding to it fails — the
         fleet manager uses this as an early death signal, ahead of its
         own supervision sweep.
+
+    The intake is hardened per DESIGN.md §14: a per-connection idle
+    deadline (``idle_timeout_sec``) evicts slow-loris clients instead
+    of holding the connection forever, frames over
+    ``max_frame_bytes`` are answered ``rejected: frame_too_large``
+    with the stream resynchronised at the next newline (no
+    connection-killing ``LimitOverrunError``), malformed frames are
+    counted, and a client that stops draining responses is evicted
+    after ``write_timeout_sec``.
     """
 
     def __init__(
         self,
-        socket_path: Path,
-        owner_of: Callable[[str], Optional[Tuple[str, Path]]],
+        bind: EndpointLike,
+        owner_of: Callable[[str], Optional[Tuple[str, Endpoint]]],
         control: Callable[[str], Dict[str, Any]],
         on_shard_error: Optional[Callable[[str], None]] = None,
         default_timeout_sec: Optional[float] = None,
         forward_timeout_sec: float = 10.0,
         retry_after_sec: float = 1.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        idle_timeout_sec: float = 60.0,
+        write_timeout_sec: float = 10.0,
     ) -> None:
-        self.socket_path = Path(socket_path)
+        self.endpoint = parse_endpoint(bind)
+        #: The endpoint actually bound (``tcp:...:0`` resolved); set by
+        #: :meth:`start`.
+        self.bound: Optional[Endpoint] = None
         self._owner_of = owner_of
         self._control = control
         self._on_shard_error = on_shard_error
         self._default_timeout_sec = default_timeout_sec
         self._forward_timeout_sec = forward_timeout_sec
         self._retry_after_sec = retry_after_sec
+        self.max_frame_bytes = max_frame_bytes
+        self.idle_timeout_sec = idle_timeout_sec
+        self.write_timeout_sec = write_timeout_sec
         self._server: Optional[asyncio.AbstractServer] = None
 
+    @property
+    def socket_path(self) -> Optional[Path]:
+        """The unix socket path, when bound to one (back-compat)."""
+        return self.endpoint.path if self.endpoint.scheme == "unix" else None
+
     async def start(self) -> None:
-        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-        if self.socket_path.exists():
-            self.socket_path.unlink()
-        self._server = await asyncio.start_unix_server(
-            self._handle_client, path=str(self.socket_path)
-        )
-        log.info("router.listen", socket=str(self.socket_path))
+        if self.endpoint.scheme == "unix":
+            path = self.endpoint.path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.exists():
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=str(path)
+            )
+            self.bound = self.endpoint
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client,
+                host=self.endpoint.host,
+                port=self.endpoint.port,
+            )
+            sock = self._server.sockets[0]
+            self.bound = bound_endpoint(sock, self.endpoint)
+        log.info("router.listen", socket=self.bound.describe())
 
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        if self.socket_path.exists():
-            try:
-                self.socket_path.unlink()
-            except OSError:
-                pass
+        self.endpoint.cleanup()
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        assembler = FrameAssembler(self.max_frame_bytes)
+        pending: List[Tuple[str, Any]] = []
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                kind, payload = await read_frame_async(
+                    reader, assembler, pending,
+                    idle_timeout_sec=self.idle_timeout_sec,
+                )
+                if kind == "eof":
                     break
-                response = await self._handle_line(line)
-                writer.write((json.dumps(response) + "\n").encode("utf-8"))
-                await writer.drain()
+                if kind == "idle":
+                    # Slow-loris: no byte in idle_timeout_sec.  Close
+                    # and count instead of pinning the intake forever.
+                    metrics().counter("transport.idle_evicted").inc()
+                    log.warning(
+                        "router.idle_evicted",
+                        idle_sec=self.idle_timeout_sec,
+                    )
+                    break
+                if kind == "too_large":
+                    response = frame_too_large_response(self.max_frame_bytes)
+                    log.warning("router.frame_too_large", bytes=payload)
+                else:
+                    if not payload.strip():
+                        continue
+                    response = await self._handle_line(payload)
+                writer.write(encode_frame(response))
+                try:
+                    await asyncio.wait_for(
+                        writer.drain(), timeout=self.write_timeout_sec
+                    )
+                except asyncio.TimeoutError:
+                    # The client stopped reading its responses.
+                    metrics().counter(
+                        "transport.slow_client_evicted"
+                    ).inc()
+                    log.warning("router.slow_client_evicted")
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -208,6 +281,7 @@ class FleetRouter:
         try:
             raw = json.loads(line)
         except json.JSONDecodeError as exc:
+            metrics().counter("transport.malformed_frames").inc()
             return {"status": "rejected", "reason": f"invalid: {exc}"}
         if isinstance(raw, dict) and "verb" in raw:
             try:
@@ -238,13 +312,13 @@ class FleetRouter:
                 "retry_after_sec": self._retry_after_sec,
                 "job_id": job_id,
             }
-        shard, shard_socket = target
+        shard, shard_endpoint = target
         try:
             response = await asyncio.wait_for(
-                self._forward(shard_socket, request),
+                self._forward(shard_endpoint, request),
                 timeout=self._forward_timeout_sec,
             )
-        except (OSError, asyncio.TimeoutError, ConnectionError) as exc:
+        except (OSError, asyncio.TimeoutError, ValueError) as exc:
             log.warning("router.forward_failed", shard=shard, error=str(exc))
             metrics().counter("serve.fleet.forward_failed").inc()
             if self._on_shard_error is not None:
@@ -260,18 +334,36 @@ class FleetRouter:
         response.setdefault("shard", shard)
         return response
 
-    @staticmethod
     async def _forward(
-        shard_socket: Path, request: Dict[str, Any]
+        self, shard_endpoint: EndpointLike, request: Dict[str, Any]
     ) -> Dict[str, Any]:
-        reader, writer = await asyncio.open_unix_connection(str(shard_socket))
+        """One framed request/response exchange with a shard daemon.
+
+        Works over the shard's unix socket or its TCP endpoint — the
+        only thing that changes for a cross-node fleet is this connect.
+        """
+        endpoint = parse_endpoint(shard_endpoint)
+        if endpoint.scheme == "unix":
+            reader, writer = await asyncio.open_unix_connection(
+                str(endpoint.path)
+            )
+        else:
+            reader, writer = await asyncio.open_connection(
+                endpoint.host, endpoint.port
+            )
         try:
-            writer.write((json.dumps(request) + "\n").encode("utf-8"))
+            writer.write(encode_frame(request))
             await writer.drain()
-            line = await reader.readline()
-            if not line:
-                raise ConnectionError("shard closed the socket mid-protocol")
-            response = json.loads(line)
+            assembler = FrameAssembler(self.max_frame_bytes)
+            pending: List[Tuple[str, Any]] = []
+            kind, payload = await read_frame_async(reader, assembler, pending)
+            if kind != "frame":
+                raise ConnectionError(
+                    "shard closed the socket mid-protocol"
+                    if kind == "eof"
+                    else f"shard response unusable ({kind})"
+                )
+            response = json.loads(payload)
             if not isinstance(response, dict):
                 raise ConnectionError("shard returned a non-object response")
             return response

@@ -470,7 +470,7 @@ class TestFleetRouter:
 # ----------------------------------------------------------------------
 # End-to-end: real fleet, SIGKILL one shard, exactly-once fleet-wide
 # ----------------------------------------------------------------------
-def _spawn_fleet(state: Path, shards: int, log_path: Path):
+def _spawn_fleet(state: Path, shards: int, log_path: Path, extra_args=()):
     import repro
 
     src_root = str(Path(repro.__file__).resolve().parents[1])
@@ -487,6 +487,7 @@ def _spawn_fleet(state: Path, shards: int, log_path: Path):
                 "--snapshot-interval", "0.25",
                 "--supervise-interval", "0.1",
                 "--max-runtime-sec", "90",
+                *extra_args,
             ],
             stdout=log,
             stderr=subprocess.STDOUT,
@@ -661,3 +662,93 @@ def test_single_shard_fleet_recovers_from_kill(tmp_path):
     ).read_text()[-2000:]
     done = completions()
     assert all(done[f"solo-{i}"] == 1 for i in range(jobs)), done
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="POSIX signals required"
+)
+def test_tcp_fleet_passes_the_same_kill_drill(tmp_path):
+    """Parity check (DESIGN.md §14): a fleet bound on ``tcp:`` must
+    survive the same shard-kill drill as the unix fleet — routing,
+    journal-first handoff, exactly-once, and shard re-admission all
+    ride the transport abstraction, not the socket family."""
+    state = tmp_path / "fleet"
+    jobs = 4
+    requests = [
+        {
+            "kind": "chaos",
+            "job_id": f"tcp-{i}",
+            "label": f"tcp-{i}",
+            "class": "drill",
+            "timeout_sec": 30.0,
+            "params": {"fault": "sleep", "sleep_sec": 0.4, "idx": i},
+        }
+        for i in range(jobs)
+    ]
+
+    def fleet_completions() -> dict:
+        done = {}
+        for shard_dir in sorted(state.glob("shard-*")):
+            journal_state = JobJournal.read_state(shard_dir / "journal")
+            for job_id, job in journal_state.jobs.items():
+                done[job_id] = done.get(job_id, 0) + job.completions
+        return done
+
+    fleet = _spawn_fleet(
+        state, shards=2, log_path=tmp_path / "fleet.log",
+        extra_args=("--bind", "tcp:127.0.0.1:0"),
+    )
+    try:
+        assert _wait_for(
+            lambda: (state / "fleet.pid").exists()
+            and (state / "fleet.endpoint").exists(),
+            timeout_sec=30,
+        ), (tmp_path / "fleet.log").read_text()[-2000:]
+        endpoint = (state / "fleet.endpoint").read_text().strip()
+        assert endpoint.startswith("tcp:127.0.0.1:")
+        assert not endpoint.endswith(":0")  # ephemeral port resolved
+        # No unix front-door socket exists in tcp mode.
+        assert not (state / "fleet.sock").exists()
+
+        responses = submit_via_socket(endpoint, requests)
+        assert all(r["status"] == "accepted" for r in responses), responses
+        by_shard = {}
+        for r in responses:
+            by_shard.setdefault(r["shard"], []).append(r["job_id"])
+        victim = max(by_shard, key=lambda s: len(by_shard[s]))
+        victim_pid = int((state / victim / "serve.pid").read_text())
+        os.kill(victim_pid, signal.SIGKILL)
+
+        assert _wait_for(
+            lambda: all(
+                fleet_completions().get(f"tcp-{i}", 0) >= 1
+                for i in range(jobs)
+            ),
+            timeout_sec=45,
+        ), f"incomplete: {fleet_completions()}"
+        done = fleet_completions()
+        assert all(done[f"tcp-{i}"] == 1 for i in range(jobs)), done
+
+        # The victim respawns with a fresh (tcp-ephemeral) endpoint.
+        assert _wait_for(
+            lambda: (state / victim / "serve.pid").exists()
+            and int((state / victim / "serve.pid").read_text()) != victim_pid
+            and (state / victim / "serve.endpoint").exists(),
+            timeout_sec=30,
+        )
+        assert (
+            (state / victim / "serve.endpoint").read_text().strip()
+            .startswith("tcp:127.0.0.1:")
+        )
+    finally:
+        if fleet.poll() is None:
+            fleet.send_signal(signal.SIGTERM)
+            try:
+                fleet.wait(timeout=40)
+            except subprocess.TimeoutExpired:
+                fleet.kill()
+                fleet.wait(timeout=10)
+
+    assert fleet.returncode == 0, (
+        tmp_path / "fleet.log"
+    ).read_text()[-2000:]
