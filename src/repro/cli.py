@@ -23,15 +23,18 @@ Commands mirror the workflows a downstream user needs:
     The long-running service (DESIGN.md §10): ``serve run`` starts the
     crash-tolerant daemon (spool/unix-socket intake, durable WAL
     journal, supervised workers, graceful drain on SIGTERM);
-    ``serve submit`` sends job requests; ``serve status`` summarises
-    the journal of a live or dead service.
+    ``serve submit`` sends job requests; ``serve fetch`` retrieves a
+    completed job's checksum-verified result by job_id; ``serve
+    status`` summarises the journal of a live or dead service.
 ``chaos``
     Seeded fault-injection campaigns (DESIGN.md §9): ``--campaign
     guards`` (default) corrupts traces, crash/kill/hang workers, and
     tears a cache entry; ``--campaign service`` SIGKILLs the serve
     daemon mid-run and asserts exactly-once recovery plus graceful
-    drain.  Exits non-zero on any guard violation, so CI can run both
-    as smoke jobs.
+    drain; ``--campaign storage`` (DESIGN.md §15) bit-flips the WAL
+    and result files, injects ENOSPC, and kills inside the
+    result-write/journal-append window.  Exits non-zero on any guard
+    violation, so CI can run each as a smoke job.
 ``sweep``
     Vectorized flow-level scenario sweeps (DESIGN.md §11): ``sweep
     run`` advances a whole grid (paths × protocols × seeds) in lockstep
@@ -369,6 +372,29 @@ def build_parser() -> argparse.ArgumentParser:
         "deadline budget (bounded retries, backoff, reconnect); "
         "default: one shot, fail fast",
     )
+    serve_fetch = serve_sub.add_parser(
+        "fetch",
+        help="fetch a completed job's checksum-verified result by job_id",
+    )
+    serve_fetch.add_argument(
+        "job_id",
+        help="the job_id returned by 'serve submit' (content hash)",
+    )
+    serve_fetch.add_argument(
+        "--socket", required=True, metavar="ENDPOINT",
+        help="daemon or fleet router endpoint: a unix socket path, "
+        "'unix:<path>', or 'tcp:<host>:<port>'",
+    )
+    serve_fetch.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job settles (honours the daemon's "
+        "retry-after hints) instead of returning 'pending' immediately",
+    )
+    serve_fetch.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SEC",
+        help="overall deadline budget for retries and --wait polling "
+        "(default: 30)",
+    )
     serve_status = serve_sub.add_parser(
         "status",
         help="summarise a service's journal (live or dead); fleet state "
@@ -388,14 +414,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded fault-injection campaign against the guards",
     )
     chaos.add_argument(
-        "--campaign", choices=("guards", "service", "fleet", "transport"),
+        "--campaign",
+        choices=("guards", "service", "fleet", "transport", "storage"),
         default="guards",
         help="guards: trace/file/runtime faults through the batch "
         "pipeline; service: SIGKILL the serve daemon (then a fleet "
         "shard) and assert exactly-once recovery; fleet: just the "
         "shard-kill drill; transport: lossy-wire drill through the "
         "network-chaos proxy over unix and TCP, plus a TCP fleet "
-        "kill drill (default: guards)",
+        "kill drill; storage: disk-fault drill — journal/result "
+        "bit-rot, ENOSPC shedding, a kill window between result "
+        "write and journal append, and fleet-wide fetch "
+        "(default: guards)",
     )
     chaos.add_argument(
         "--seed", type=int, default=7,
@@ -835,6 +865,23 @@ def _cmd_serve(args) -> int:
             return 2
         return serve_forever(config)
 
+    if args.serve_command == "fetch":
+        from repro.serve import DeadlineExceeded, ResilientClient, TransportError
+
+        client = ResilientClient(args.socket, deadline_sec=args.deadline)
+        try:
+            response = client.fetch(args.job_id, wait=args.wait)
+        except DeadlineExceeded as exc:
+            _log.error("serve.fetch_deadline", job_id=args.job_id,
+                       error=str(exc))
+            return 1
+        except (TransportError, OSError, ConnectionError) as exc:
+            _log.error("serve.fetch_unreachable", socket=str(args.socket),
+                       error=str(exc))
+            return 2
+        print(json.dumps(response, indent=2))
+        return 0 if response.get("status") == "ok" else 1
+
     if args.serve_command == "submit":
         if args.spool is None and args.socket is None:
             _log.error("serve.submit_needs_target")
@@ -896,10 +943,11 @@ def _cmd_chaos(args) -> int:
         run_campaign,
         run_fleet_campaign,
         run_service_campaign,
+        run_storage_campaign,
         run_transport_campaign,
     )
 
-    if args.campaign in ("service", "fleet", "transport"):
+    if args.campaign in ("service", "fleet", "transport", "storage"):
         if args.campaign == "service":
             def runner(workdir):
                 return run_service_campaign(workdir, seed=args.seed,
@@ -907,6 +955,9 @@ def _cmd_chaos(args) -> int:
         elif args.campaign == "transport":
             def runner(workdir):
                 return run_transport_campaign(workdir, seed=args.seed)
+        elif args.campaign == "storage":
+            def runner(workdir):
+                return run_storage_campaign(workdir, seed=args.seed)
         else:
             def runner(workdir):
                 return run_fleet_campaign(workdir, seed=args.seed)

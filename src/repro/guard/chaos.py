@@ -1596,3 +1596,676 @@ def run_transport_campaign(
             timeout_sec=timeout_sec + 30,
         )
     return report
+
+
+# ----------------------------------------------------------------------
+# The storage campaign: disk faults against the durable result plane
+# ----------------------------------------------------------------------
+@dataclass
+class StorageChaosReport:
+    """Outcome of one disk-fault campaign (DESIGN.md §15)."""
+
+    seed: int
+    phases: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format_report(self) -> str:
+        lines = [f"storage chaos campaign: seed={self.seed}"]
+        for name in ("bitrot", "enospc", "killwindow", "fleet-fetch"):
+            phase = self.phases.get(name)
+            if not phase:
+                continue
+            detail = " ".join(
+                f"{k}={v}" for k, v in sorted(phase.items())
+                if k not in ("name",) and not isinstance(v, (list, dict))
+            )
+            lines.append(f"  [{name}] {detail}")
+        if self.violations:
+            lines.append("GUARD VIOLATIONS:")
+            lines.extend(f"  !! {v}" for v in self.violations)
+        else:
+            lines.append(
+                "all guards held: zero lost jobs, zero double completions, "
+                "zero corrupt results served; corruption quarantined and "
+                "read-repaired, ENOSPC shed and self-cleared, the "
+                "result-write/journal-append kill window repaired from "
+                "the artifact, and every result fetched through the router"
+            )
+        return "\n".join(lines)
+
+
+def _find_dump(state: Path, reason: str) -> Optional[Path]:
+    """Newest valid flight dump with the given reason under <state>/obs."""
+    candidates = sorted((state / "obs").glob("flight-*.json"), reverse=True)
+    for path in candidates:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict) and payload.get("reason") == reason:
+            return path
+    return None
+
+
+def _storage_requests(seed: int, jobs: int, tag: str,
+                      sleep_sec: float = 0.05) -> List[Dict[str, Any]]:
+    return [
+        {
+            "kind": "chaos",
+            "params": {"fault": "sleep", "sleep_sec": sleep_sec, "idx": i,
+                       "seed": seed},
+            "label": f"storagedrill:{tag}:{i}",
+            "class": "drill",
+            "timeout_sec": 30.0,
+        }
+        for i in range(jobs)
+    ]
+
+
+class _ENOSPCFile:
+    """A file-object proxy whose writes fail with ENOSPC.
+
+    Wrapped around the journal's open segment handle it simulates a
+    full disk at exactly the WAL-append syscall boundary; everything
+    else (tell/close/fileno) passes through, so the daemon's shedding
+    and probe/reopen machinery runs against an otherwise-real file.
+    """
+
+    def __init__(self, fh):
+        self._fh = fh
+
+    def write(self, data):
+        import errno
+
+        raise OSError(errno.ENOSPC, "no space left on device (injected)")
+
+    def flush(self):
+        import errno
+
+        raise OSError(errno.ENOSPC, "no space left on device (injected)")
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+def _storage_bitrot_phase(
+    report: StorageChaosReport,
+    workdir: Path,
+    seed: int,
+    jobs: int,
+    timeout_sec: float,
+) -> None:
+    """Bit-flip a journal record and a result file; demand quarantine,
+    read-repair, and a clean fetch of every job after restart."""
+    import signal as _signal
+
+    from repro.serve.journal import JobJournal
+    from repro.serve.requests import normalize_request
+    from repro.serve.transport import ResilientClient
+    from repro.serve.client import submit_via_socket
+
+    phase: Dict[str, Any] = {}
+    report.phases["bitrot"] = phase
+    workdir.mkdir(parents=True, exist_ok=True)
+    state = workdir / "state"
+    requests = _storage_requests(seed, jobs, "bitrot")
+    ids = [normalize_request(r)["job_id"] for r in requests]
+
+    def completed_count() -> int:
+        now = JobJournal.read_state(state / "journal")
+        return sum(1 for j in now.jobs.values() if j.status == "completed")
+
+    daemon = _spawn_bound_daemon(
+        workdir, state, f"unix:{state / 'serve.sock'}", "daemon-1.log"
+    )
+    try:
+        if not _wait_for(lambda: _daemon_ready(state, daemon.pid),
+                         timeout_sec):
+            report.violations.append(
+                f"[bitrot] daemon never became ready within {timeout_sec}s"
+            )
+            return
+        endpoint = (state / "serve.endpoint").read_text().strip()
+        responses = submit_via_socket(endpoint, requests)
+        if any(r.get("status") != "accepted" for r in responses):
+            report.violations.append(
+                f"[bitrot] not every submission was accepted: {responses[:3]}"
+            )
+            return
+        if not _wait_for(lambda: completed_count() >= jobs, timeout_sec):
+            report.violations.append(
+                f"[bitrot] only {completed_count()}/{jobs} jobs completed "
+                f"within {timeout_sec}s"
+            )
+            return
+        # SIGKILL — no drain, no compaction: the journal keeps its raw
+        # submitted/leased/completed records for us to damage.
+        daemon.send_signal(_signal.SIGKILL)
+        daemon.wait(timeout=10)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    # ------------------------------------------------------------------
+    # Fault 1 — mid-file WAL bit-rot: damage the `completed` record of
+    # ids[0] (payload changed, CRC left stale -> checksum mismatch).
+    # ------------------------------------------------------------------
+    rng = random.Random(seed)
+    wal_victim, result_victim = ids[0], ids[1]
+    flipped = False
+    for segment in sorted((state / "journal").glob("wal*.jsonl")):
+        lines = segment.read_text(encoding="utf-8").splitlines()
+        for i, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (record.get("type") == "completed"
+                    and record.get("job_id") == wal_victim):
+                record["duration_sec"] = (
+                    float(record.get("duration_sec") or 0.0)
+                    + 1.0 + rng.random()
+                )
+                lines[i] = json.dumps(record, separators=(",", ":"))
+                segment.write_text(
+                    "\n".join(lines) + "\n", encoding="utf-8"
+                )
+                _note_injection("storage", "wal_bitrot",
+                                f"{segment.name}:{i}")
+                flipped = True
+                break
+        if flipped:
+            break
+    if not flipped:
+        report.violations.append(
+            f"[bitrot] found no completed WAL record for {wal_victim[:12]}"
+        )
+        return
+
+    # ------------------------------------------------------------------
+    # Fault 2 — result-file bit-rot on a different job: flip one byte
+    # in the middle of its checksummed envelope.
+    # ------------------------------------------------------------------
+    result_file = state / "results" / f"{result_victim}.json"
+    blob = bytearray(result_file.read_bytes())
+    pos = len(blob) // 2
+    blob[pos] ^= 0xFF
+    result_file.write_bytes(bytes(blob))
+    _note_injection("storage", "result_bitrot", result_file.name)
+
+    # ------------------------------------------------------------------
+    # Restart over the damaged state dir.
+    # ------------------------------------------------------------------
+    daemon = _spawn_bound_daemon(
+        workdir, state, f"unix:{state / 'serve.sock'}", "daemon-2.log"
+    )
+    try:
+        if not _wait_for(lambda: _daemon_ready(state, daemon.pid),
+                         timeout_sec):
+            report.violations.append(
+                "[bitrot] restarted daemon never became ready within "
+                f"{timeout_sec}s"
+            )
+            return
+        endpoint = (state / "serve.endpoint").read_text().strip()
+
+        # Replay must have counted + quarantined the corruption ...
+        replayed = JobJournal.read_state(state / "journal")
+        phase["corrupt_records"] = replayed.corrupt_records
+        if replayed.corrupt_records < 1:
+            report.violations.append(
+                "[bitrot] replay counted no corrupt journal records after "
+                "the WAL bit-flip"
+            )
+        if wal_victim not in replayed.suspect_jobs:
+            report.violations.append(
+                "[bitrot] the damaged job was not flagged suspect"
+            )
+        quarantined = list((state / "journal" / "quarantine").glob("*"))
+        phase["quarantined_segments"] = len(quarantined)
+        if not quarantined:
+            report.violations.append(
+                "[bitrot] no quarantined copy of the corrupt WAL segment"
+            )
+        if not _wait_for(
+            lambda: _find_dump(state, "journal_corruption") is not None, 15.0
+        ):
+            report.violations.append(
+                "[bitrot] no journal_corruption flight dump after replay"
+            )
+
+        # ... and every job must fetch clean: the WAL victim via
+        # artifact repair (its result file is intact), the result
+        # victim via read-repair re-execution, the rest straight off
+        # disk with their checksums verified.
+        client = ResilientClient(endpoint, deadline_sec=timeout_sec)
+        served_corrupt = 0
+        fetched_ok = 0
+        for job_id in ids:
+            response = client.fetch(job_id, wait=True)
+            if response.get("status") != "ok":
+                report.violations.append(
+                    f"[bitrot] fetch({job_id[:12]}) ended "
+                    f"{response.get('status')!r}: {response}"
+                )
+                continue
+            result = response.get("result") or {}
+            if result.get("status") != "ok":
+                served_corrupt += 1
+            else:
+                fetched_ok += 1
+        phase["fetched_ok"] = fetched_ok
+        if served_corrupt:
+            report.violations.append(
+                f"[bitrot] {served_corrupt} fetches served a non-ok payload"
+            )
+        quarantined_results = list(
+            (state / "results" / "quarantine").glob("*")
+        )
+        phase["quarantined_results"] = len(quarantined_results)
+        if not quarantined_results:
+            report.violations.append(
+                "[bitrot] the corrupt result file was never quarantined"
+            )
+        daemon.send_signal(_signal.SIGTERM)
+        try:
+            phase["drain_exit_code"] = daemon.wait(timeout=30)
+        except Exception:  # noqa: BLE001
+            report.violations.append("[bitrot] daemon did not drain")
+            return
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+    if phase.get("drain_exit_code") != 0:
+        report.violations.append(
+            f"[bitrot] drain exited {phase.get('drain_exit_code')}, "
+            "expected 0"
+        )
+
+    # The exactly-once ledger: the voided completion (read-repair) and
+    # the artifact repair must both net out to exactly one completion.
+    final = JobJournal.read_state(state / "journal")
+    for job_id in ids:
+        job = final.jobs.get(job_id)
+        if job is None:
+            report.violations.append(
+                f"[bitrot] job {job_id[:12]} lost from the journal"
+            )
+            continue
+        if job.status != "completed" or job.completions != 1:
+            report.violations.append(
+                f"[bitrot] job {job_id[:12]} ended {job.status!r} with "
+                f"{job.completions} completions (want completed/1)"
+            )
+
+
+def _storage_enospc_phase(
+    report: StorageChaosReport,
+    workdir: Path,
+    seed: int,
+    timeout_sec: float,
+) -> None:
+    """Inject ENOSPC at the WAL append; demand disk_full shedding with
+    retry-after, then self-clearing once writes succeed again."""
+    from repro.serve.daemon import ServeConfig, ServeDaemon
+    from repro.serve.journal import JobJournal
+
+    phase: Dict[str, Any] = {}
+    report.phases["enospc"] = phase
+    workdir.mkdir(parents=True, exist_ok=True)
+    request = _storage_requests(seed, 1, "enospc")[0]
+    daemon = ServeDaemon(ServeConfig(
+        state_dir=workdir / "state",
+        spool_dir=workdir / "spool",
+        workers=1,
+        queue_limit=8,
+        poll_interval=0.01,
+        drain_timeout_sec=15.0,
+        disk_probe_interval_sec=0.05,
+        fsync=True,
+    ))
+    try:
+        daemon.journal._fh = _ENOSPCFile(daemon.journal._fh)
+        _note_injection("storage", "enospc", "journal append")
+        response = daemon.admit(dict(request))
+        phase["shed_response"] = response.get("reason")
+        if (response.get("status") != "rejected"
+                or response.get("reason") != "disk_full"
+                or not response.get("retry_after_sec")):
+            report.violations.append(
+                "[enospc] WAL ENOSPC was not shed as rejected/disk_full "
+                f"with retry_after_sec: {response}"
+            )
+        if daemon._shedding != "disk_full":
+            report.violations.append(
+                f"[enospc] daemon shedding state is {daemon._shedding!r}, "
+                "expected 'disk_full'"
+            )
+        # Still full: re-admission inside the probe interval sheds too.
+        daemon._disk_probe_at = time.monotonic() + 30.0
+        response = daemon.admit(dict(request))
+        if response.get("reason") != "disk_full":
+            report.violations.append(
+                "[enospc] second admit during shedding was not shed: "
+                f"{response}"
+            )
+        # The disk "heals" (the probe's reopen() swaps the poisoned
+        # handle for a real one); the next admit must probe, clear the
+        # state, and accept.
+        daemon._disk_probe_at = 0.0
+        response = daemon.admit(dict(request))
+        phase["recovered_response"] = response.get("status")
+        if response.get("status") != "accepted":
+            report.violations.append(
+                f"[enospc] admit after the disk healed was not accepted: "
+                f"{response}"
+            )
+            return
+        if daemon._shedding is not None:
+            report.violations.append(
+                "[enospc] shedding state did not self-clear after a "
+                "successful probe"
+            )
+        deadline = time.monotonic() + timeout_sec
+        while time.monotonic() < deadline:
+            daemon.tick()
+            if daemon.journal.state.counts().get("completed") == 1:
+                break
+            time.sleep(0.02)
+        fetched = daemon._handle_verb(
+            {"verb": "fetch", "job_id": response["job_id"]}
+        )
+        phase["fetch_status"] = fetched.get("status")
+        if fetched.get("status") != "ok":
+            report.violations.append(
+                f"[enospc] fetch after recovery ended {fetched}"
+            )
+        daemon.drain()
+    finally:
+        daemon.supervisor.kill_all()
+        daemon._stop_socket()
+        try:
+            daemon.journal.close()
+        except Exception:  # noqa: BLE001
+            pass
+        daemon._lock_file.release()
+    final = JobJournal.read_state(workdir / "state" / "journal")
+    completions = [j.completions for j in final.jobs.values()]
+    if completions != [1]:
+        report.violations.append(
+            f"[enospc] journal completions after recovery are "
+            f"{completions}, want [1]"
+        )
+
+
+def _storage_killwindow_phase(
+    report: StorageChaosReport,
+    workdir: Path,
+    seed: int,
+    timeout_sec: float,
+) -> None:
+    """Fabricate the state a SIGKILL leaves when it lands *between*
+    result-write and journal-append; recovery must repair the
+    completion from the checksummed artifact instead of re-running."""
+    import signal as _signal
+
+    from repro.serve.journal import JobJournal
+    from repro.serve.requests import normalize_request
+    from repro.serve.supervisor import _write_result
+
+    phase: Dict[str, Any] = {}
+    report.phases["killwindow"] = phase
+    workdir.mkdir(parents=True, exist_ok=True)
+    state = workdir / "state"
+    request = normalize_request(_storage_requests(seed, 1, "killwindow")[0])
+    job_id = request["job_id"]
+
+    # The exact on-disk state of the kill window, deterministically:
+    # the WAL says leased, the checksummed result says done, and no
+    # `completed` record ever made it to the journal.
+    journal = JobJournal(state / "journal", fsync=True)
+    journal.submitted(request)
+    journal.leased(job_id, lease=1, pid=999999)
+    journal.close()
+    _write_result(
+        state / "results" / f"{job_id}.json",
+        {
+            "status": "ok",
+            "job_id": job_id,
+            "value": {"fault": "sleep", "ok": True},
+            "cache_hit": False,
+            "duration_sec": 0.01,
+        },
+    )
+    _note_injection("storage", "killwindow", f"job {job_id[:12]}")
+
+    daemon = _spawn_bound_daemon(
+        workdir, state, f"unix:{state / 'serve.sock'}", "daemon.log"
+    )
+    try:
+        if not _wait_for(lambda: _daemon_ready(state, daemon.pid),
+                         timeout_sec):
+            report.violations.append(
+                f"[killwindow] daemon never became ready within "
+                f"{timeout_sec}s"
+            )
+            return
+        endpoint = (state / "serve.endpoint").read_text().strip()
+
+        def repaired() -> bool:
+            now = JobJournal.read_state(state / "journal")
+            job = now.jobs.get(job_id)
+            return job is not None and job.status == "completed"
+
+        if not _wait_for(repaired, timeout_sec):
+            report.violations.append(
+                "[killwindow] the orphaned lease with a valid result "
+                "artifact was never journaled completed"
+            )
+            return
+        from repro.serve.client import fetch_result
+
+        response = fetch_result(endpoint, job_id)
+        phase["fetch_status"] = response.get("status")
+        if response.get("status") != "ok":
+            report.violations.append(
+                f"[killwindow] fetch after repair ended {response}"
+            )
+        daemon.send_signal(_signal.SIGTERM)
+        try:
+            phase["drain_exit_code"] = daemon.wait(timeout=30)
+        except Exception:  # noqa: BLE001
+            report.violations.append("[killwindow] daemon did not drain")
+            return
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+    final = JobJournal.read_state(state / "journal")
+    job = final.jobs.get(job_id)
+    if job is None or job.status != "completed" or job.completions != 1:
+        report.violations.append(
+            "[killwindow] repaired job is not completed exactly once: "
+            + (f"{job.status}/{job.completions}" if job else "lost")
+        )
+    else:
+        phase["completions"] = job.completions
+
+
+def _storage_fleet_phase(
+    report: StorageChaosReport,
+    workdir: Path,
+    seed: int,
+    jobs: int,
+    timeout_sec: float,
+) -> None:
+    """Fetch every completed job's result *through the router* of a
+    2-shard TCP fleet (owner-shard hashing plus fan-out)."""
+    import signal as _signal
+
+    from repro.serve.client import fetch_result, submit_via_socket
+    from repro.serve.journal import JobJournal
+    from repro.serve.requests import normalize_request
+    from repro.serve.transport import ResilientClient
+
+    phase: Dict[str, Any] = {}
+    report.phases["fleet-fetch"] = phase
+    workdir.mkdir(parents=True, exist_ok=True)
+    state = workdir / "state"
+    shards = 2
+    requests = _storage_requests(seed, jobs, "fleet", sleep_sec=0.1)
+    ids = [normalize_request(r)["job_id"] for r in requests]
+
+    def fleet_ready() -> bool:
+        if not (state / "fleet.pid").exists():
+            return False
+        if not (state / "fleet.endpoint").exists():
+            return False
+        return all(
+            (state / f"shard-{i}" / "serve.pid").exists()
+            for i in range(shards)
+        )
+
+    def fleet_completions() -> Dict[str, int]:
+        done: Dict[str, int] = {}
+        for shard_dir in sorted(state.glob("shard-*")):
+            journal_state = JobJournal.read_state(shard_dir / "journal")
+            for job_id, job in journal_state.jobs.items():
+                if job_id in ids:
+                    done[job_id] = done.get(job_id, 0) + job.completions
+        return done
+
+    fleet = _spawn_fleet(
+        workdir, state, shards, "fleet.log", bind="tcp:127.0.0.1:0"
+    )
+    try:
+        if not _wait_for(fleet_ready, timeout_sec):
+            report.violations.append(
+                f"[fleet-fetch] fleet never became ready within "
+                f"{timeout_sec}s"
+            )
+            return
+        endpoint = (state / "fleet.endpoint").read_text().strip()
+        phase["endpoint"] = endpoint
+        responses = submit_via_socket(endpoint, requests)
+        if any(r.get("status") != "accepted" for r in responses):
+            report.violations.append(
+                "[fleet-fetch] not every submission was accepted: "
+                f"{responses[:3]}"
+            )
+            return
+        if not _wait_for(
+            lambda: sum(
+                1 for n in fleet_completions().values() if n >= 1
+            ) >= jobs,
+            timeout_sec,
+        ):
+            report.violations.append(
+                f"[fleet-fetch] only "
+                f"{sum(1 for n in fleet_completions().values() if n >= 1)}"
+                f"/{jobs} jobs completed within {timeout_sec}s"
+            )
+            return
+        client = ResilientClient(endpoint, deadline_sec=timeout_sec)
+        fetched_ok = 0
+        for job_id in ids:
+            response = client.fetch(job_id, wait=True)
+            if response.get("status") != "ok":
+                report.violations.append(
+                    f"[fleet-fetch] fetch({job_id[:12]}) through the "
+                    f"router ended {response.get('status')!r}: {response}"
+                )
+                continue
+            if not response.get("shard"):
+                report.violations.append(
+                    f"[fleet-fetch] fetch({job_id[:12]}) response is "
+                    "missing its shard annotation"
+                )
+            if (response.get("result") or {}).get("status") != "ok":
+                report.violations.append(
+                    f"[fleet-fetch] fetch({job_id[:12]}) served a "
+                    "non-ok payload"
+                )
+                continue
+            fetched_ok += 1
+        phase["fetched_ok"] = fetched_ok
+        unknown = fetch_result(endpoint, "f" * 64)
+        phase["unknown_status"] = unknown.get("status")
+        if unknown.get("status") != "not_found":
+            report.violations.append(
+                "[fleet-fetch] fetch of an unknown job_id was "
+                f"{unknown.get('status')!r}, expected not_found"
+            )
+        fleet.send_signal(_signal.SIGTERM)
+        try:
+            phase["drain_exit_code"] = fleet.wait(timeout=60)
+        except Exception:  # noqa: BLE001
+            report.violations.append("[fleet-fetch] fleet did not drain")
+            return
+    finally:
+        if fleet.poll() is None:
+            fleet.kill()
+            fleet.wait(timeout=10)
+    if phase.get("drain_exit_code") != 0:
+        report.violations.append(
+            f"[fleet-fetch] drain exited {phase.get('drain_exit_code')}, "
+            "expected 0"
+        )
+    done = fleet_completions()
+    for job_id in ids:
+        if done.get(job_id, 0) != 1:
+            report.violations.append(
+                f"[fleet-fetch] job {job_id[:12]} completed "
+                f"{done.get(job_id, 0)} times fleet-wide (exactly-once "
+                "violated)"
+            )
+
+
+def run_storage_campaign(
+    workdir,
+    seed: int = 7,
+    jobs: int = 6,
+    timeout_sec: float = 90.0,
+) -> StorageChaosReport:
+    """Prove the durable result plane under disk faults (DESIGN.md §15).
+
+    1. **bitrot** — a daemon completes ``jobs`` drill jobs and is
+       SIGKILLed; one WAL ``completed`` record and one result file are
+       then bit-flipped.  The restarted daemon must quarantine a copy
+       of the damaged segment, surface ``serve.journal.corrupt_records``
+       plus a ``journal_corruption`` flight dump, repair the WAL victim
+       from its intact checksummed artifact, read-repair (quarantine +
+       re-execute) the corrupt result on fetch, and serve every job's
+       result clean — with exactly one completion per job at the end.
+    2. **enospc** — an in-process daemon's WAL handle is wrapped so
+       writes fail with ``ENOSPC``: admission must degrade to
+       ``rejected: disk_full`` with a retry-after hint (never crash),
+       and the state must self-clear via the disk probe once writes
+       succeed again.
+    3. **killwindow** — the exact on-disk state of a SIGKILL landing
+       between result-write and journal-append is fabricated; recovery
+       must journal the completion from the verified artifact instead
+       of re-running the job (zero lost, zero double-completed).
+    4. **fleet-fetch** — a 2-shard TCP fleet completes ``jobs`` more
+       jobs; every result must come back ``ok`` *through the router*
+       (job-id hashing + fan-out), an unknown id must be ``not_found``,
+       and the fleet-wide ledger must stay exactly-once.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    report = StorageChaosReport(seed=seed)
+    _storage_bitrot_phase(report, workdir / "bitrot", seed, jobs, timeout_sec)
+    _storage_enospc_phase(report, workdir / "enospc", seed + 1, timeout_sec)
+    _storage_killwindow_phase(
+        report, workdir / "killwindow", seed + 2, timeout_sec
+    )
+    _storage_fleet_phase(
+        report, workdir / "fleet", seed + 3, jobs, timeout_sec
+    )
+    return report

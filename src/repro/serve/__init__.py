@@ -39,6 +39,7 @@ Programmatic use mirrors the CLI::
 
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.serve.client import (
+    fetch_result,
     format_status,
     query_daemon,
     read_live_snapshot,
@@ -56,7 +57,13 @@ from repro.serve.fleet import (
     format_fleet_status,
     is_fleet_state,
 )
-from repro.serve.journal import JobJournal, JobRecord, JournalState
+from repro.serve.journal import (
+    JobJournal,
+    JobRecord,
+    JournalState,
+    record_crc_ok,
+    seal_record,
+)
 from repro.serve.queue import AdmissionQueue
 from repro.serve.requests import (
     BadRequest,
@@ -65,7 +72,13 @@ from repro.serve.requests import (
     resolve_worker,
 )
 from repro.serve.router import FleetRouter, HashRing
-from repro.serve.supervisor import Lease, LeaseEvent, Supervisor
+from repro.serve.supervisor import (
+    Lease,
+    LeaseEvent,
+    Supervisor,
+    quarantine_result,
+    read_result,
+)
 from repro.serve.transport import (
     MAX_FRAME_BYTES,
     DeadlineExceeded,
@@ -109,16 +122,21 @@ __all__ = [
     "ServeDaemon",
     "ShardHandle",
     "Supervisor",
+    "fetch_result",
     "fleet_forever",
     "fleet_status",
     "format_fleet_status",
     "format_status",
     "is_fleet_state",
     "normalize_request",
+    "quarantine_result",
     "query_daemon",
     "read_live_snapshot",
+    "read_result",
+    "record_crc_ok",
     "request_to_spec",
     "resolve_worker",
+    "seal_record",
     "serve_forever",
     "serve_status",
     "submit_to_spool",

@@ -94,6 +94,26 @@ def query_daemon(
     return responses[0]
 
 
+def fetch_result(
+    socket_path: EndpointLike,
+    job_id: str,
+    timeout: float = 10.0,
+) -> Dict[str, Any]:
+    """One-shot ``fetch`` of a job's (checksum-verified) result.
+
+    Works against a single daemon's endpoint or a fleet router (which
+    hashes the job_id to its owning shard and fans out when the ring
+    moved).  Responses: ``ok`` with the ``result`` payload, ``pending``
+    (queued/leased/repairing, with a retry-after hint), ``failed``,
+    ``rejected``, or ``not_found``.  For retries, waiting, and deadline
+    budgets use :meth:`repro.serve.transport.ResilientClient.fetch`.
+    """
+    responses = submit_via_socket(
+        socket_path, [{"verb": "fetch", "job_id": job_id}], timeout
+    )
+    return responses[0]
+
+
 def read_live_snapshot(state_dir: PathLike) -> Optional[Dict[str, Any]]:
     """The flusher-published live snapshot, plus its age; None if absent."""
     path = Path(state_dir) / "obs" / "metrics.json"
@@ -141,6 +161,9 @@ def serve_status(state_dir: PathLike) -> Dict[str, Any]:
         "daemon": daemon,
         "counts": state.counts(),
         "torn_records": state.torn_records,
+        "corrupt_records": state.corrupt_records,
+        "corrupt_segments": list(state.corrupt_segments),
+        "suspect_jobs": sorted(state.suspect_jobs),
         "jobs": [
             {
                 "job_id": j.request["job_id"],
@@ -201,6 +224,12 @@ def format_status(status: Dict[str, Any]) -> str:
         )
     if status.get("torn_records"):
         lines.append(f"  torn journal records dropped: {status['torn_records']}")
+    if status.get("corrupt_records"):
+        segments = ",".join(status.get("corrupt_segments") or []) or "?"
+        lines.append(
+            f"  CORRUPT journal records skipped: {status['corrupt_records']} "
+            f"(segments: {segments}; see journal/quarantine/)"
+        )
     for job in status["jobs"]:
         lines.append(
             f"  {job['status']:<9} attempts={job['attempts']} "

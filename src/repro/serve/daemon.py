@@ -85,7 +85,12 @@ from repro.serve.breaker import CircuitBreaker
 from repro.serve.journal import JobJournal
 from repro.serve.queue import AdmissionQueue
 from repro.serve.requests import BadRequest, normalize_request
-from repro.serve.supervisor import LeaseEvent, Supervisor
+from repro.serve.supervisor import (
+    LeaseEvent,
+    Supervisor,
+    quarantine_result,
+    read_result,
+)
 from repro.serve.transport import (
     MAX_FRAME_BYTES,
     Endpoint,
@@ -173,6 +178,12 @@ class ServeConfig:
     #: stops reading its responses) for this long is evicted so it
     #: cannot pin an intake thread (slow-loris hardening).
     intake_idle_sec: float = 60.0
+    #: Retry-after hint handed out while the daemon is shedding with
+    #: ``disk_full`` (an OSError/ENOSPC on a WAL or result write path).
+    disk_retry_after_sec: float = 5.0
+    #: How often a shedding daemon probes the disk (a small fsync'd
+    #: write) to decide the fault has cleared.
+    disk_probe_interval_sec: float = 1.0
 
     def __post_init__(self):
         self.state_dir = Path(self.state_dir)
@@ -252,6 +263,17 @@ class ServeDaemon:
         #: terminally rejected by the breaker.
         self._deferred: List[tuple] = []
         self.draining = False
+        #: Degraded admission state (DESIGN.md §15): ``"disk_full"``
+        #: after an OSError/ENOSPC on a WAL/result write path.  While
+        #: set, admission answers ``rejected: disk_full`` with a
+        #: retry-after hint and dispatch pauses; a periodic probe write
+        #: clears it once the disk accepts durable writes again.
+        self._shedding: Optional[str] = None
+        self._disk_probe_at = 0.0
+        #: Lease outcomes whose journal append hit the bad disk, parked
+        #: for replay once shedding clears (the result files already
+        #: exist, so nothing is lost — only not yet durable in the WAL).
+        self._unjournaled: List[LeaseEvent] = []
         self._stop_signal: Optional[int] = None
         self._last_activity = time.monotonic()
         self._started_mono = time.monotonic()
@@ -268,22 +290,83 @@ class ServeDaemon:
     # Crash recovery
     # ------------------------------------------------------------------
     def _recover(self) -> int:
-        """Requeue every non-terminal journaled job; returns the count."""
+        """Requeue every non-terminal journaled job; returns the count.
+
+        Three refinements over a plain requeue (DESIGN.md §15):
+
+        * **corruption surfacing** — a journal that replayed with
+          corrupt records gets a flight-recorder dump naming the
+          quarantined segments and suspect jobs;
+        * **suspect re-verification** — a job named by a corrupt record
+          is only believed ``completed`` if its result artifact's
+          checksum holds; otherwise the completion is voided
+          (``requeued: result_corrupt_reverify``) and the job re-runs;
+        * **artifact repair** — a non-terminal job whose valid
+          checksummed result already exists (the SIGKILL landed between
+          result-write and journal-append) is journaled ``completed``
+          from the artifact instead of being re-executed.
+        """
+        state = self.journal.state
+        if state.corrupt_records:
+            self.recorder.dump(
+                "journal_corruption",
+                {
+                    "corrupt_records": state.corrupt_records,
+                    "segments": list(state.corrupt_segments),
+                    "suspect_jobs": sorted(state.suspect_jobs),
+                },
+                force=True,
+            )
+        for job_id in sorted(state.suspect_jobs):
+            job = state.jobs.get(job_id)
+            if job is None or job.status != "completed":
+                continue  # non-terminal suspects requeue below anyway
+            path = self.supervisor.result_path_for(job_id)
+            payload, verdict = read_result(path)
+            if verdict == "valid" and payload.get("status") == "ok":
+                continue  # the artifact vouches for the completion
+            if verdict == "corrupt":
+                quarantine_result(path)
+            self.journal.requeued(job_id, "result_corrupt_reverify")
+            obs.metrics().counter("serve.read_repairs").inc()
+            _log.warning(
+                "serve.suspect_completion_voided",
+                job_id=job_id,
+                result_verdict=verdict,
+            )
+        repaired = 0
         orphans = self.journal.state.to_requeue()
+        requeued = 0
         for record in orphans:
+            job_id = record.request["job_id"]
+            payload, verdict = read_result(
+                self.supervisor.result_path_for(job_id)
+            )
+            if verdict == "valid" and payload.get("status") == "ok":
+                self.journal.completed(
+                    job_id,
+                    duration_sec=float(payload.get("duration_sec") or 0.0),
+                    cache_hit=bool(payload.get("cache_hit")),
+                )
+                repaired += 1
+                continue
             if record.status == "leased":
                 # Its lease died with the previous daemon: note the
                 # requeue so the journal reflects reality again.
-                self.journal.requeued(record.request["job_id"], "orphaned_lease")
+                self.journal.requeued(job_id, "orphaned_lease")
             self.queue.push(record.request, force=True)
-        if orphans:
-            obs.metrics().counter("serve.recovered").inc(len(orphans))
+            requeued += 1
+        if repaired:
+            obs.metrics().counter("serve.repaired_from_artifact").inc(repaired)
+        if requeued or repaired:
+            obs.metrics().counter("serve.recovered").inc(requeued)
             _log.info(
                 "serve.recovered",
-                jobs=len(orphans),
+                jobs=requeued,
+                repaired_from_artifact=repaired,
                 state_dir=str(self.state_dir),
             )
-        return len(orphans)
+        return requeued
 
     # ------------------------------------------------------------------
     # Live telemetry (snapshot flusher / stats verb / flight recorder)
@@ -309,6 +392,8 @@ class ServeDaemon:
                 else None
             ),
             "segments": len(self.journal.segments()),
+            "torn_records": self.journal.state.torn_records,
+            "corrupt_records": self.journal.state.corrupt_records,
         }
         return {
             "queue_depth": len(self.queue),
@@ -317,6 +402,7 @@ class ServeDaemon:
             "in_flight": in_flight,
             "deferred": len(self._deferred),
             "draining": self.draining,
+            "shedding": self._shedding,
             "uptime_sec": round(time.monotonic() - self._started_mono, 3),
             "journal": journal,
             "breakers": self.breaker.states(),
@@ -338,8 +424,9 @@ class ServeDaemon:
             payload["slo"] = self.slo_tracker.status()
         return payload
 
-    def _handle_verb(self, verb: str) -> Dict[str, Any]:
-        """Answer a control verb from the socket (not a job request)."""
+    def _handle_verb(self, raw: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer a control verb frame from the socket (not a job)."""
+        verb = str(raw.get("verb"))
         if verb == "stats":
             return {"status": "ok", "stats": self._stats_payload()}
         if verb == "health":
@@ -348,6 +435,7 @@ class ServeDaemon:
                 "health": {
                     "pid": os.getpid(),
                     "draining": self.draining,
+                    "shedding": self._shedding,
                     "uptime_sec": round(
                         time.monotonic() - self._started_mono, 3
                     ),
@@ -355,11 +443,174 @@ class ServeDaemon:
                     "busy_workers": self.supervisor.busy,
                 },
             }
+        if verb == "fetch":
+            return self._handle_fetch(raw)
         return {
             "status": "rejected",
             "reason": "invalid",
-            "detail": f"unknown verb {verb!r} (use 'stats' or 'health')",
+            "detail": (
+                f"unknown verb {verb!r} (use 'stats', 'health' or 'fetch')"
+            ),
         }
+
+    # ------------------------------------------------------------------
+    # Result fetch (+ read-repair)
+    # ------------------------------------------------------------------
+    def _retry_hint(self) -> float:
+        return max(self.config.poll_interval * 4, 0.2)
+
+    def _handle_fetch(self, raw: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``fetch`` verb: return a job's verified result by id.
+
+        A completed job's result file is checksum-verified on every
+        read; a corrupt (or missing) artifact is never served — it is
+        quarantined, the journaled completion voided, and the job
+        re-executed through the normal queue (read-repair), with the
+        client told ``pending: repairing`` so a ``--wait`` fetch
+        converges on the repaired result.
+        """
+        job_id = raw.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            return {
+                "status": "rejected",
+                "reason": "invalid",
+                "detail": "fetch needs a string job_id",
+            }
+        job = self.journal.state.jobs.get(job_id)
+        if job is None:
+            return {"status": "not_found", "job_id": job_id}
+        if job.status == "completed":
+            path = self.supervisor.result_path_for(job_id)
+            payload, verdict = read_result(path)
+            if verdict == "valid":
+                obs.metrics().counter("serve.fetched").inc()
+                return {
+                    "status": "ok",
+                    "job_id": job_id,
+                    "state": "completed",
+                    "result": payload,
+                    "duration_sec": job.duration_sec,
+                    "cache_hit": job.cache_hit,
+                }
+            return self._read_repair(job_id, path, verdict)
+        if job.status == "failed":
+            return {
+                "status": "failed",
+                "job_id": job_id,
+                "state": "failed",
+                "error": job.error,
+            }
+        if job.status == "rejected":
+            response = {
+                "status": "rejected",
+                "job_id": job_id,
+                "state": "rejected",
+                "reason": job.reason,
+            }
+            if job.moved_target is not None:
+                response["state"] = "moved"
+                response["moved_to"] = job.moved_target
+            return response
+        return {
+            "status": "pending",
+            "job_id": job_id,
+            "state": job.status,
+            "retry_after_sec": self._retry_hint(),
+        }
+
+    def _read_repair(
+        self, job_id: str, path: Path, verdict: str
+    ) -> Dict[str, Any]:
+        """Void a completion whose artifact failed its checksum and
+        re-execute the job (DESIGN.md §15)."""
+        with self._admission:
+            job = self.journal.state.jobs.get(job_id)
+            if job is not None and job.status == "completed":
+                if verdict == "corrupt":
+                    quarantine_result(path)
+                obs.metrics().counter("serve.read_repairs").inc()
+                self.recorder.dump(
+                    "result_corrupt",
+                    {"job_id": job_id, "verdict": verdict},
+                )
+                _log.warning(
+                    "serve.read_repair", job_id=job_id, result_verdict=verdict
+                )
+                try:
+                    self.journal.requeued(job_id, f"result_corrupt_{verdict}")
+                except OSError as exc:
+                    self._enter_disk_shedding("journal.requeued", exc)
+                    return self._disk_full_response(job_id)
+                self.queue.push(job.request, force=True)
+        return {
+            "status": "pending",
+            "job_id": job_id,
+            "state": "repairing",
+            "retry_after_sec": self._retry_hint(),
+        }
+
+    # ------------------------------------------------------------------
+    # Disk-full shedding (DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def _disk_full_response(self, job_id: Optional[str]) -> Dict[str, Any]:
+        obs.metrics().counter("serve.disk_full_rejections").inc()
+        response = {
+            "status": "rejected",
+            "reason": "disk_full",
+            "retry_after_sec": self.config.disk_retry_after_sec,
+        }
+        if job_id:
+            response["job_id"] = job_id
+        return response
+
+    def _enter_disk_shedding(self, op: str, exc: OSError) -> None:
+        """Classify a WAL/result write fault into the degraded state."""
+        if self._shedding != "disk_full":
+            self._shedding = "disk_full"
+            obs.metrics().counter("serve.disk_full_entered").inc()
+            obs.metrics().gauge("serve.shedding").set(1)
+            self.recorder.dump(
+                "disk_full",
+                {
+                    "op": op,
+                    "errno": exc.errno,
+                    "message": str(exc),
+                },
+                force=True,
+            )
+            _log.error("serve.disk_full", op=op, error=str(exc))
+        self._disk_probe_at = (
+            time.monotonic() + self.config.disk_probe_interval_sec
+        )
+
+    def _probe_disk(self) -> bool:
+        """While shedding, test the disk with a durable write; True once
+        healthy (and clears the state).  True immediately if not
+        shedding; False while the probe interval hasn't elapsed."""
+        if self._shedding != "disk_full":
+            return True
+        now = time.monotonic()
+        if now < self._disk_probe_at:
+            return False
+        self._disk_probe_at = now + self.config.disk_probe_interval_sec
+        probe = self.state_dir / ".disk_probe"
+        try:
+            with open(probe, "w", encoding="utf-8") as fh:
+                fh.write("x" * 4096)
+                fh.flush()
+                os.fsync(fh.fileno())
+            probe.unlink(missing_ok=True)
+            # Drop any partial record a failed flush buffered, then
+            # prove the journal itself accepts durable writes again.
+            self.journal.reopen()
+            self.journal.flush()
+        except OSError:
+            return False
+        self._shedding = None
+        obs.metrics().counter("serve.disk_full_cleared").inc()
+        obs.metrics().gauge("serve.shedding").set(0)
+        _log.info("serve.disk_full_cleared")
+        return True
 
     # ------------------------------------------------------------------
     # Admission (spool scanner and socket threads both land here)
@@ -416,56 +667,79 @@ class ServeDaemon:
                     "reason": "draining",
                     "retry_after_sec": self.config.drain_timeout_sec,
                 }
-            job_class = request.get("class") or request["kind"]
-            cooldown = self.breaker.remaining_cooldown(job_class)
-            if cooldown > 0:
-                # Short-circuit *new* work of a repeatedly failing
-                # class at the door — never promise "accepted" for a
-                # job the breaker would only block at dispatch time.
-                hint = round(cooldown, 1)
-                if not resubmit:
-                    self.journal.submitted(request)
-                self.journal.rejected(
-                    job_id, "circuit_open", retry_after_sec=hint
-                )
-                obs.metrics().counter("serve.circuit_rejected").inc()
-                _log.warning(
-                    "serve.circuit_open",
-                    job_id=job_id,
-                    job_class=job_class,
-                    retry_after_sec=hint,
-                )
-                return {
-                    "status": "rejected",
-                    "job_id": job_id,
-                    "reason": "circuit_open",
-                    "retry_after_sec": hint,
-                }
-            if self.queue.full:
-                hint = self.queue.retry_after_hint(self.config.workers)
-                if not resubmit:
-                    self.journal.submitted(request)
-                self.journal.rejected(job_id, "overloaded", retry_after_sec=hint)
-                obs.metrics().counter("serve.shed").inc()
-                _log.warning(
-                    "serve.shed",
-                    job_id=job_id,
-                    queue_depth=len(self.queue),
-                    retry_after_sec=hint,
-                )
-                return {
-                    "status": "rejected",
-                    "job_id": job_id,
-                    "reason": "overloaded",
-                    "retry_after_sec": hint,
-                }
-            if resubmit:
-                self.journal.requeued(job_id, "resubmitted")
-            else:
+            if self._shedding == "disk_full" and not self._probe_disk():
+                # Degraded state: the WAL cannot take durable writes, so
+                # no admission promise can be made — shed with a hint
+                # instead of crashing (or lying).
+                return self._disk_full_response(job_id)
+            try:
+                return self._admit_locked(request, job_id, resubmit)
+            except OSError as exc:
+                self._enter_disk_shedding("journal.append", exc)
+                known = self.journal.state.jobs.get(job_id)
+                if known is not None and not known.terminal:
+                    # The ``submitted`` record reached the disk before
+                    # the fault: the job is durably admitted, so honour
+                    # that promise and queue it rather than shed it.
+                    self.queue.push(request, force=True)
+                    return {"status": "accepted", "job_id": job_id}
+                return self._disk_full_response(job_id)
+
+    def _admit_locked(
+        self, request: Dict[str, Any], job_id: str, resubmit: bool
+    ) -> Dict[str, Any]:
+        """Admission tail (journal writes + queueing); caller holds the
+        admission lock and handles OSError → disk-full shedding."""
+        job_class = request.get("class") or request["kind"]
+        cooldown = self.breaker.remaining_cooldown(job_class)
+        if cooldown > 0:
+            # Short-circuit *new* work of a repeatedly failing
+            # class at the door — never promise "accepted" for a
+            # job the breaker would only block at dispatch time.
+            hint = round(cooldown, 1)
+            if not resubmit:
                 self.journal.submitted(request)
-            self.queue.push(request)
-            obs.metrics().counter("serve.admitted").inc()
-            return {"status": "accepted", "job_id": job_id}
+            self.journal.rejected(
+                job_id, "circuit_open", retry_after_sec=hint
+            )
+            obs.metrics().counter("serve.circuit_rejected").inc()
+            _log.warning(
+                "serve.circuit_open",
+                job_id=job_id,
+                job_class=job_class,
+                retry_after_sec=hint,
+            )
+            return {
+                "status": "rejected",
+                "job_id": job_id,
+                "reason": "circuit_open",
+                "retry_after_sec": hint,
+            }
+        if self.queue.full:
+            hint = self.queue.retry_after_hint(self.config.workers)
+            if not resubmit:
+                self.journal.submitted(request)
+            self.journal.rejected(job_id, "overloaded", retry_after_sec=hint)
+            obs.metrics().counter("serve.shed").inc()
+            _log.warning(
+                "serve.shed",
+                job_id=job_id,
+                queue_depth=len(self.queue),
+                retry_after_sec=hint,
+            )
+            return {
+                "status": "rejected",
+                "job_id": job_id,
+                "reason": "overloaded",
+                "retry_after_sec": hint,
+            }
+        if resubmit:
+            self.journal.requeued(job_id, "resubmitted")
+        else:
+            self.journal.submitted(request)
+        self.queue.push(request)
+        obs.metrics().counter("serve.admitted").inc()
+        return {"status": "accepted", "job_id": job_id}
 
     # ------------------------------------------------------------------
     # Spool intake
@@ -494,6 +768,10 @@ class ServeDaemon:
                 response = self.admit(raw)
                 if response["status"] == "accepted":
                     admitted += 1
+                elif response.get("reason") == "disk_full":
+                    # Leave the spool file in place: it will be
+                    # re-scanned (and deduped) once the disk clears.
+                    return admitted
             # Journal writes above are durable; only then is the spool
             # file retired (a crash in between just re-reads it, and the
             # journal dedupes every already-submitted job_id).
@@ -584,7 +862,7 @@ class ServeDaemon:
                         }
                     else:
                         if isinstance(raw, dict) and "verb" in raw:
-                            response = self._handle_verb(raw["verb"])
+                            response = self._handle_verb(raw)
                         else:
                             response = self.admit(raw)
                 try:
@@ -644,6 +922,10 @@ class ServeDaemon:
         )
 
     def _dispatch(self) -> None:
+        if self._shedding is not None:
+            # Don't start new work while the disk is sick: a lease that
+            # completes now couldn't journal its completion anyway.
+            return
         self._revive_deferred()
         while self.supervisor.free_slots() > 0:
             with self._admission:
@@ -661,9 +943,15 @@ class ServeDaemon:
                 with self._admission:
                     self.queue.push(request, front=True, force=True)
                 return
-            self.journal.leased(
-                request["job_id"], lease_no, pid=lease.process.pid
-            )
+            try:
+                self.journal.leased(
+                    request["job_id"], lease_no, pid=lease.process.pid
+                )
+            except OSError as exc:
+                # The worker is already running; let it — its result
+                # write is idempotent and the completion append will be
+                # parked and retried once the disk clears.
+                self._enter_disk_shedding("journal.leased", exc)
             self._last_activity = time.monotonic()
 
     def _observe_outcome(self, event: LeaseEvent, job_class: str) -> None:
@@ -760,12 +1048,32 @@ class ServeDaemon:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
+    def _safe_handle_event(self, event: LeaseEvent) -> None:
+        """Handle a lease outcome; a WAL write fault parks the event for
+        replay instead of crashing the daemon (the result file already
+        exists, so nothing is lost — only not yet durable)."""
+        try:
+            self._handle_event(event)
+        except OSError as exc:
+            self._enter_disk_shedding("journal.append", exc)
+            self._unjournaled.append(event)
+
+    def _replay_unjournaled(self) -> None:
+        if not self._unjournaled or self._shedding is not None:
+            return
+        events, self._unjournaled = self._unjournaled, []
+        for event in events:
+            self._safe_handle_event(event)
+
     def tick(self) -> None:
         """One deterministic scheduling step (tests call this directly)."""
+        if self._shedding is not None:
+            self._probe_disk()
+        self._replay_unjournaled()
         self._intake_spool()
         self._dispatch()
         for event in self.supervisor.poll():
-            self._handle_event(event)
+            self._safe_handle_event(event)
         obs.metrics().gauge("serve.busy_workers").set(self.supervisor.busy)
 
     def _install_signals(self) -> None:
@@ -857,16 +1165,35 @@ class ServeDaemon:
             self._stop_socket()
             deadline = time.monotonic() + self.config.drain_timeout_sec
             while self.supervisor.busy and time.monotonic() < deadline:
+                if self._shedding is not None:
+                    self._probe_disk()
+                self._replay_unjournaled()
                 for event in self.supervisor.poll():
-                    self._handle_event(event)
+                    self._safe_handle_event(event)
                 if self.supervisor.busy:
                     time.sleep(self.config.poll_interval)
             # Checkpoint anything still running: kill the worker, requeue
             # the lease — the job stays pending in the journal, so the
             # next daemon picks it up where this one left off.
             for lease in self.supervisor.kill_all():
-                self.journal.requeued(lease.job_id, "drain_timeout")
+                try:
+                    self.journal.requeued(lease.job_id, "drain_timeout")
+                except OSError as exc:
+                    self._enter_disk_shedding("journal.requeued", exc)
                 _log.warning("serve.drain_requeued", job_id=lease.job_id)
+            # One last chance for outcomes parked during a disk fault;
+            # whatever still can't be journaled is recoverable on the
+            # next start via artifact repair (the result files exist).
+            if self._shedding is not None:
+                self._disk_probe_at = 0.0
+                self._probe_disk()
+            self._replay_unjournaled()
+            if self._unjournaled:
+                _log.error(
+                    "serve.drain_unjournaled_outcomes",
+                    count=len(self._unjournaled),
+                    job_ids=[e.request["job_id"] for e in self._unjournaled],
+                )
             if self.profiler is not None:
                 self.profiler.stop()
                 profile_path = self.profiler.write(
@@ -879,7 +1206,10 @@ class ServeDaemon:
                 )
             self.flusher.stop(final_flush=True)
             manifest_path = self._write_manifest()
-            self.journal.close()
+            try:
+                self.journal.close()
+            except OSError as exc:
+                _log.error("serve.journal_close_failed", error=str(exc))
             self._lock_file.release()
             (self.state_dir / "serve.pid").unlink(missing_ok=True)
             _log.info("serve.drained", manifest=str(manifest_path))

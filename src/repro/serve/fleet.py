@@ -240,6 +240,7 @@ class FleetManager:
             config.endpoint,
             owner_of=self._owner_of,
             control=self._control,
+            shards=self._live_shards,
             on_shard_error=self._note_suspect,
             default_timeout_sec=config.default_timeout_sec,
         )
@@ -260,6 +261,18 @@ class FleetManager:
         if endpoint is None:  # ring admission raced an endpoint unlink
             return None
         return name, endpoint
+
+    def _live_shards(self) -> List[Tuple[str, Endpoint]]:
+        """Every live shard with a published endpoint — the router's
+        fan-out set for ``fetch`` when the hashed owner misses."""
+        out: List[Tuple[str, Endpoint]] = []
+        for shard in self.shards:
+            if shard.status != "live":
+                continue
+            endpoint = shard.endpoint()
+            if endpoint is not None:
+                out.append((shard.name, endpoint))
+        return out
 
     def _note_suspect(self, name: str) -> None:
         """Router-side forwarding failure: check this shard next sweep."""

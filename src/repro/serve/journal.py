@@ -9,23 +9,44 @@ is what makes the service's contract *at-least-once execution with
 exactly-once completion accounting* (effects are idempotent via
 content-hashed job ids and the profile cache).
 
-Record grammar (``v`` 1), one JSON object per line::
+Record grammar (``v`` 2), one JSON object per line::
 
-    {"v":1,"type":"submitted","job_id":...,"request":{...},"ts":...}
-    {"v":1,"type":"leased",   "job_id":...,"lease":n,"pid":...,"ts":...}
-    {"v":1,"type":"completed","job_id":...,"duration_sec":...,"cache_hit":...}
-    {"v":1,"type":"failed",   "job_id":...,"error":{...}}
-    {"v":1,"type":"rejected", "job_id":...,"reason":...,"retry_after_sec":...}
-    {"v":1,"type":"requeued", "job_id":...,"reason":...}
-    {"v":1,"type":"job", ...}         # compaction snapshot of one job
+    {"v":2,"type":"submitted","job_id":...,"request":{...},"ts":...,"crc":...}
+    {"v":2,"type":"leased",   "job_id":...,"lease":n,"pid":...,"crc":...}
+    {"v":2,"type":"completed","job_id":...,"duration_sec":...,"cache_hit":...}
+    {"v":2,"type":"failed",   "job_id":...,"error":{...}}
+    {"v":2,"type":"rejected", "job_id":...,"reason":...,"retry_after_sec":...}
+    {"v":2,"type":"requeued", "job_id":...,"reason":...}
+    {"v":2,"type":"job", ...}         # compaction snapshot of one job
+
+Every record since ``v`` 2 carries a ``crc`` field: the CRC32 of the
+record's canonical JSON (sorted keys, compact separators, ``crc``
+itself excluded) — see :func:`seal_record` / :func:`record_crc_ok`.
+``v`` 1 records (no ``crc``) replay unverified for backward compat; a
+record whose checksum verifies is applied even when its version is
+newer than this writer knows (forward compat: preserved, not dropped).
 
 Durability model: the active segment is ``wal.jsonl``; when it exceeds
 ``max_segment_bytes`` it rotates to ``wal-<seq>.jsonl``, and once
 ``compact_after_segments`` rotated segments pile up the whole history
 is compacted into one snapshot (``job`` records) written atomically
-(tmp + fsync + ``os.replace``).  A torn final record — the tail a
-SIGKILL leaves mid-write — is truncated away on open, and replay
-counts (but survives) any undecodable line.
+(tmp + fsync + ``os.replace``).
+
+Replay distinguishes two kinds of bad line (DESIGN.md §15):
+
+* **Torn tail** — an unparsable *final* line of the *final* segment
+  with no trailing newline: the expected artifact of a SIGKILL landing
+  mid-append.  Counted in ``torn_records``, truncated away on open,
+  and otherwise benign.
+* **Mid-file corruption** — an undecodable line anywhere else, or a
+  parseable record whose CRC does not match: bit-rot or tampering.
+  Counted in ``corrupt_records``, attributed to the record's claimed
+  job (``suspect_jobs``) when one is legible, and surfaced by the
+  writer as a quarantined copy of the segment plus the
+  ``serve.journal.corrupt_records`` metric.  The corrupt record is
+  *not* applied — so a bit-rotted ``completed`` record regresses its
+  job to the last good (non-terminal) state and the daemon re-verifies
+  or re-runs it rather than trusting a checksum-failed completion.
 
 Fleet handoff rides the same grammar: when a shard dies, the router
 appends ``rejected`` records with reason ``moved:<target-shard>`` to the
@@ -53,18 +74,51 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro import obs
 from repro.trace.io import PathLike
 
 _log = obs.get_logger("repro.serve")
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
+
+#: Subdirectory (of the journal root) where corrupt segments are copied
+#: for post-mortem before replay continues without their bad records.
+QUARANTINE_DIR = "quarantine"
+
+
+def _canonical_crc(record: dict) -> int:
+    """CRC32 over the canonical JSON of ``record`` minus its ``crc`` key.
+
+    Canonical form (sorted keys, compact separators, ascii escapes) is
+    what makes the checksum recomputable from a *parsed* record — the
+    original byte layout on disk does not matter.
+    """
+    body = {k: v for k, v in record.items() if k != "crc"}
+    payload = json.dumps(
+        body, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+
+
+def seal_record(record: dict) -> dict:
+    """Return ``record`` with its integrity ``crc`` field (re)computed."""
+    sealed = {k: v for k, v in record.items() if k != "crc"}
+    sealed["crc"] = _canonical_crc(sealed)
+    return sealed
+
+
+def record_crc_ok(record: dict) -> bool:
+    """True iff ``record`` carries a ``crc`` that matches its content."""
+    crc = record.get("crc")
+    return isinstance(crc, int) and crc == _canonical_crc(record)
 
 #: States a job can be in after replay.  ``pending`` and ``leased`` are
 #: the non-terminal ones — exactly the set :meth:`JournalState.to_requeue`
@@ -161,6 +215,18 @@ class JournalState:
     jobs: Dict[str, JobRecord] = field(default_factory=dict)
     torn_records: int = 0
     duplicate_submits: int = 0
+    #: Mid-file corruption: undecodable non-tail lines plus records whose
+    #: CRC failed verification.  Each one is a record replay *refused* to
+    #: apply (unlike torn_records, which are expected SIGKILL artifacts).
+    corrupt_records: int = 0
+    #: Segment file names in which corruption was seen, replay order.
+    corrupt_segments: List[str] = field(default_factory=list)
+    #: Jobs named by a corrupt record (when the job_id was legible).
+    #: Their replayed state may be missing a transition, so the daemon
+    #: re-verifies them on recovery instead of trusting it — in
+    #: particular a "completed" suspect is only believed if its result
+    #: artifact's checksum holds (see ServeDaemon._recover).
+    suspect_jobs: Set[str] = field(default_factory=set)
 
     def in_order(self) -> List[JobRecord]:
         return sorted(self.jobs.values(), key=lambda j: j.order)
@@ -248,8 +314,17 @@ class JournalState:
             # Reverts a lease (crash/drain requeue) and also a
             # *rejection* (a shed or circuit-opened job being
             # resubmitted once there is room again); a job that
-            # actually ran to completed/failed is immutable.
-            if job.status not in ("completed", "failed"):
+            # actually ran to completed/failed is immutable — with one
+            # exception: a ``result_corrupt*`` requeue is read-repair
+            # (DESIGN.md §15) voiding a completion whose result artifact
+            # failed its checksum, so the re-execution that follows does
+            # not count as a double completion.
+            reason = record.get("reason") or ""
+            if job.status == "completed" and reason.startswith("result_corrupt"):
+                job.status = "pending"
+                job.reason = None
+                job.completions = max(job.completions - 1, 0)
+            elif job.status not in ("completed", "failed"):
                 job.status = "pending"
                 job.reason = None
 
@@ -317,24 +392,76 @@ class JobJournal:
     # Replay
     # ------------------------------------------------------------------
     @staticmethod
-    def _replay_file(path: Path, state: JournalState) -> None:
+    def _replay_file(
+        path: Path, state: JournalState, final_segment: bool = False
+    ) -> None:
+        """Replay one segment, classifying bad lines torn vs corrupt.
+
+        Only an unparsable *final* line of the *final* segment that is
+        missing its trailing newline is a torn tail (the artifact a
+        SIGKILL mid-append is expected to leave); every other bad line —
+        mid-file garbage, a complete line that fails to parse, or a
+        parseable record whose CRC does not verify — is mid-file
+        corruption.  Corrupt records are counted, attributed to their
+        claimed job when legible, and *not* applied.
+        """
         try:
-            data = path.read_text()
+            data = path.read_bytes()
         except FileNotFoundError:
             return
-        for line in data.splitlines():
+        text = data.decode("utf-8", errors="replace")
+        lines = text.splitlines()
+        last_index = -1
+        for index in range(len(lines) - 1, -1, -1):
+            if lines[index].strip():
+                last_index = index
+                break
+        torn_candidate = (
+            final_segment and bool(data) and not data.endswith(b"\n")
+        )
+        had_corruption = False
+
+        def _bad(index: int, record: Optional[dict]) -> None:
+            nonlocal had_corruption
+            if torn_candidate and index == last_index:
+                state.torn_records += 1
+                return
+            state.corrupt_records += 1
+            had_corruption = True
+            if record is not None:
+                job_id = record.get("job_id")
+                if isinstance(job_id, str) and job_id:
+                    state.suspect_jobs.add(job_id)
+
+        for index, line in enumerate(lines):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                state.torn_records += 1
+                _bad(index, None)
                 continue
             if not isinstance(record, dict):
-                state.torn_records += 1
+                _bad(index, None)
                 continue
+            if "crc" in record:
+                if not record_crc_ok(record):
+                    _bad(index, record)
+                    continue
+                # Checksum holds: apply even if the version is newer
+                # than this reader (forward compat — never drop a
+                # verified record).
+            else:
+                version = record.get("v")
+                if isinstance(version, int) and version > 1:
+                    # v>=2 writers always seal; a missing crc means the
+                    # envelope itself was damaged.
+                    _bad(index, record)
+                    continue
             state.apply(record)
+        if had_corruption and path.name not in state.corrupt_segments:
+            state.corrupt_segments.append(path.name)
 
     @classmethod
     def read_state(cls, root: PathLike) -> JournalState:
@@ -345,13 +472,16 @@ class JobJournal:
         active = root / cls.ACTIVE
         if active.exists():
             paths.append(active)
-        for path in paths:
-            cls._replay_file(path, state)
+        for index, path in enumerate(paths):
+            cls._replay_file(path, state, final_segment=index == len(paths) - 1)
         return state
 
     def _replay_existing(self) -> None:
-        for path in self.segments():
-            self._replay_file(path, self.state)
+        paths = self.segments()
+        for index, path in enumerate(paths):
+            self._replay_file(
+                path, self.state, final_segment=index == len(paths) - 1
+            )
         if self.state.torn_records:
             obs.metrics().counter("serve.torn_records").inc(
                 self.state.torn_records
@@ -361,6 +491,40 @@ class JobJournal:
                 count=self.state.torn_records,
                 root=str(self.root),
             )
+        if self.state.corrupt_records:
+            quarantined = [
+                str(self.quarantine_segment(self.root / name))
+                for name in self.state.corrupt_segments
+            ]
+            obs.metrics().counter("serve.journal.corrupt_records").inc(
+                self.state.corrupt_records
+            )
+            _log.warning(
+                "journal.corrupt_records",
+                count=self.state.corrupt_records,
+                segments=self.state.corrupt_segments,
+                suspect_jobs=sorted(self.state.suspect_jobs),
+                quarantined=quarantined,
+                root=str(self.root),
+            )
+
+    def quarantine_segment(self, path: Path) -> Path:
+        """Copy a damaged segment into ``quarantine/`` for post-mortem.
+
+        A *copy*, not a move: the live journal keeps rotating and
+        compacting over the original (whose good records are still
+        load-bearing), while the quarantined snapshot preserves the
+        corrupt bytes for the operator (OPERATIONS.md §6).
+        """
+        qdir = self.root / QUARANTINE_DIR
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = qdir / f"{path.name}.{suffix}"
+        shutil.copy2(path, target)
+        return target
 
     def _open_active(self) -> None:
         # Truncate a torn tail (a record a SIGKILL cut mid-write) so new
@@ -381,14 +545,18 @@ class JobJournal:
         with self._lock:
             if self._fh is None:
                 raise RuntimeError("journal is closed")
-            record = {
-                "v": JOURNAL_VERSION, "ts": round(time.time(), 3), **record
-            }
-            self.state.apply(record)
+            record = seal_record(
+                {"v": JOURNAL_VERSION, "ts": round(time.time(), 3), **record}
+            )
+            # Write-ahead for real: the in-memory state is updated only
+            # once the record is durably on disk, so an OSError (disk
+            # full, I/O fault) leaves memory consistent with the WAL
+            # and the caller free to shed instead of diverging.
             self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
             self._fh.flush()
             if self.fsync:
                 os.fsync(self._fh.fileno())
+            self.state.apply(record)
             self.last_append_ts = time.time()
             self.appended_records += 1
             if self._fh.tell() >= self.max_segment_bytes:
@@ -485,7 +653,10 @@ class JobJournal:
             with open(tmp, "w", encoding="utf-8") as fh:
                 for job in self.state.in_order():
                     fh.write(
-                        json.dumps(job.snapshot(), separators=(",", ":")) + "\n"
+                        json.dumps(
+                            seal_record(job.snapshot()), separators=(",", ":")
+                        )
+                        + "\n"
                     )
                 fh.flush()
                 os.fsync(fh.fileno())
@@ -500,6 +671,24 @@ class JobJournal:
         )
 
     # ------------------------------------------------------------------
+    def reopen(self) -> None:
+        """Drop and reopen the write handle on the active segment.
+
+        A failed flush (disk full, I/O error) can leave part of a
+        record in the userspace buffer — or part of its bytes on disk.
+        Reopening discards the buffer and truncates any torn tail, so
+        the next append starts on a clean line.  The daemon calls this
+        when its disk-full probe clears.
+        """
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+            self._fh = None
+            self._open_active()
+
     def flush(self) -> None:
         with self._lock:
             if self._fh is not None:

@@ -152,6 +152,12 @@ class FleetRouter:
     control:
         ``verb -> payload`` for ``stats`` / ``health`` verbs, answered
         at the router with fleet-wide aggregates.
+    shards:
+        ``() -> [(shard_name, shard_endpoint), ...]`` for the *live*
+        shard set — the fan-out fallback for ``fetch``: when the ring
+        has moved since a job completed (shard death, readmission), the
+        hashed owner may answer ``not_found`` even though another shard
+        holds the result, so the router asks everyone before giving up.
     on_shard_error:
         Called with a shard name whenever forwarding to it fails — the
         fleet manager uses this as an early death signal, ahead of its
@@ -172,6 +178,9 @@ class FleetRouter:
         bind: EndpointLike,
         owner_of: Callable[[str], Optional[Tuple[str, Endpoint]]],
         control: Callable[[str], Dict[str, Any]],
+        shards: Optional[
+            Callable[[], List[Tuple[str, Endpoint]]]
+        ] = None,
         on_shard_error: Optional[Callable[[str], None]] = None,
         default_timeout_sec: Optional[float] = None,
         forward_timeout_sec: float = 10.0,
@@ -186,6 +195,7 @@ class FleetRouter:
         self.bound: Optional[Endpoint] = None
         self._owner_of = owner_of
         self._control = control
+        self._shards = shards
         self._on_shard_error = on_shard_error
         self._default_timeout_sec = default_timeout_sec
         self._forward_timeout_sec = forward_timeout_sec
@@ -284,6 +294,8 @@ class FleetRouter:
             metrics().counter("transport.malformed_frames").inc()
             return {"status": "rejected", "reason": f"invalid: {exc}"}
         if isinstance(raw, dict) and "verb" in raw:
+            if raw.get("verb") == "fetch":
+                return await self.fetch(raw)
             try:
                 payload = self._control(str(raw["verb"]))
             except Exception as exc:  # control must never kill the loop
@@ -333,6 +345,82 @@ class FleetRouter:
         metrics().counter("serve.fleet.routed").inc()
         response.setdefault("shard", shard)
         return response
+
+    async def fetch(self, raw: Dict[str, Any]) -> Dict[str, Any]:
+        """Route a ``fetch`` verb: owning shard first, then fan-out.
+
+        The job_id hashes to its owning shard exactly as admission did,
+        so in the steady state one forward answers the fetch.  When the
+        owner misses (``not_found``, or a ``moved`` tombstone left by a
+        handoff) and the fleet has other live shards, the router fans
+        out to each of them — a ring that moved between completion and
+        fetch means the result lives on whichever shard ran the job.
+        """
+        job_id = raw.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            return {
+                "status": "rejected",
+                "reason": "invalid",
+                "detail": "fetch needs a string job_id",
+            }
+        request = {"verb": "fetch", "job_id": job_id}
+        candidates: List[Tuple[str, Endpoint]] = []
+        target = self._owner_of(job_id)
+        if target is not None:
+            candidates.append(target)
+        if self._shards is not None:
+            for shard, endpoint in self._shards():
+                if target is None or shard != target[0]:
+                    candidates.append((shard, endpoint))
+        if not candidates:
+            metrics().counter("serve.fleet.no_shard").inc()
+            return {
+                "status": "rejected",
+                "reason": "no_live_shard",
+                "retry_after_sec": self._retry_after_sec,
+                "job_id": job_id,
+            }
+        reachable = False
+        not_found: Optional[Dict[str, Any]] = None
+        moved: Optional[Dict[str, Any]] = None
+        for index, (shard, shard_endpoint) in enumerate(candidates):
+            if index == 1:
+                metrics().counter("serve.fleet.fetch_fanout").inc()
+            try:
+                response = await asyncio.wait_for(
+                    self._forward(shard_endpoint, request),
+                    timeout=self._forward_timeout_sec,
+                )
+            except (OSError, asyncio.TimeoutError, ValueError) as exc:
+                log.warning(
+                    "router.fetch_forward_failed", shard=shard, error=str(exc)
+                )
+                if self._on_shard_error is not None:
+                    self._on_shard_error(shard)
+                continue
+            reachable = True
+            if response.get("status") == "not_found":
+                if not_found is None:
+                    not_found = response
+                continue
+            if response.get("state") == "moved":
+                if moved is None:
+                    moved = response
+                    moved.setdefault("shard", shard)
+                continue
+            metrics().counter("serve.fleet.fetched").inc()
+            response.setdefault("shard", shard)
+            return response
+        if not reachable:
+            return {
+                "status": "rejected",
+                "reason": "shard_unavailable",
+                "retry_after_sec": self._retry_after_sec,
+                "job_id": job_id,
+            }
+        miss = not_found or moved or {"status": "not_found"}
+        miss.setdefault("job_id", job_id)
+        return miss
 
     async def _forward(
         self, shard_endpoint: EndpointLike, request: Dict[str, Any]

@@ -7,6 +7,14 @@ healthy worker.  A worker that dies without a result file (segfault,
 OOM-kill, ``os._exit``) is a **crash**; one that lives past its
 deadline is **killed** by the supervisor's heartbeat sweep.
 
+Result files are the durable half of the result plane (DESIGN.md §15):
+a version-tagged CRC32 envelope ``{"v":2,"payload":{...},"crc":...}``
+written tmp + fsync + ``os.replace`` + parent-dir fsync, so a finished
+job's answer survives power loss and bit-rot is *detected* rather than
+served.  :func:`read_result` verifies the checksum on every read; a
+corrupt file is quarantined and the lease treated as crashed, which
+re-runs the job through the bounded-requeue path (read-repair).
+
 Crash handling is slot-local exponential backoff: a slot whose workers
 keep dying waits ``backoff_base * 2**(n-1)`` seconds before accepting
 its next lease (``supervisor.restarts`` counts every restart), so a
@@ -43,16 +51,108 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import shutil
 import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.serve.journal import record_crc_ok, seal_record
 from repro.trace.io import PathLike
 
 _log = obs.get_logger("repro.serve")
+
+#: Envelope version for ``results/<job_id>.json`` files.  v2 wraps the
+#: worker payload in ``{"v":2,"payload":{...},"crc":<crc32>}`` (same
+#: canonical-JSON checksum as journal records); bare v1 payloads (a
+#: plain dict with a ``status`` key) still read back for compat, just
+#: unverifiable.
+RESULT_VERSION = 2
+
+
+def _write_result(path: PathLike, payload: dict) -> None:
+    """Durably write a result envelope: tmp + fsync + replace + dirsync.
+
+    Mirrors the journal snapshot discipline — after this returns, the
+    envelope either exists complete and checksummed at ``path`` or the
+    old content is untouched; a crash can never leave a half-written
+    result in place, and the rename itself survives power loss because
+    the parent directory is fsync'd too.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        envelope = seal_record({"v": RESULT_VERSION, "payload": payload})
+    except TypeError:
+        payload = {**payload, "value": repr(payload.get("value"))}
+        envelope = seal_record({"v": RESULT_VERSION, "payload": payload})
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(envelope, separators=(",", ":")))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def read_result(path: PathLike) -> Tuple[Optional[dict], str]:
+    """Read and verify a result file: ``(payload, verdict)``.
+
+    Verdicts: ``"valid"`` (payload returned; checksum verified for v2
+    envelopes, trusted as-is for legacy bare payloads), ``"missing"``
+    (no file), ``"corrupt"`` (undecodable, or the CRC did not match —
+    the caller should quarantine and re-execute).
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None, "missing"
+    except UnicodeDecodeError:  # bit-rot can break the encoding itself
+        return None, "corrupt"
+    except OSError:
+        return None, "corrupt"
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError:
+        return None, "corrupt"
+    if not isinstance(data, dict):
+        return None, "corrupt"
+    if "crc" in data or "payload" in data:
+        payload = data.get("payload")
+        if not record_crc_ok(data) or not isinstance(payload, dict):
+            return None, "corrupt"
+        return payload, "valid"
+    if "status" in data:  # legacy v1 bare payload: no checksum to check
+        return data, "valid"
+    return None, "corrupt"
+
+
+def quarantine_result(path: PathLike) -> Optional[Path]:
+    """Move a corrupt result file aside for post-mortem; None if gone."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    qdir = path.parent / "quarantine"
+    qdir.mkdir(parents=True, exist_ok=True)
+    target = qdir / path.name
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = qdir / f"{path.name}.{suffix}"
+    try:
+        shutil.move(str(path), str(target))
+    except FileNotFoundError:
+        return None
+    obs.metrics().counter("serve.results.quarantined").inc()
+    _log.warning("result.quarantined", file=path.name, moved_to=str(target))
+    return target
 
 
 def _worker_entry(request: dict, result_path: str) -> None:
@@ -97,15 +197,7 @@ def _worker_entry(request: dict, result_path: str) -> None:
             },
             "duration_sec": time.perf_counter() - started,
         }
-    path = Path(result_path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    try:
-        tmp.write_text(json.dumps(payload))
-    except TypeError:
-        payload["value"] = repr(payload.get("value"))
-        tmp.write_text(json.dumps(payload))
-    os.replace(tmp, path)
+    _write_result(result_path, payload)
 
 
 @dataclass
@@ -252,6 +344,10 @@ class Supervisor:
             result = self._read_result(lease.result_path)
             if result is None:
                 obs.metrics().counter("supervisor.restarts").inc()
+                # A fresh lease can't legitimately leave a corrupt file
+                # (the write is atomic) — if one is there anyway the
+                # disk mangled it; keep the evidence, then re-run.
+                quarantine_result(lease.result_path)
                 events.append(
                     LeaseEvent(
                         outcome="crashed",
@@ -277,11 +373,13 @@ class Supervisor:
 
     @staticmethod
     def _read_result(path: Path) -> Optional[dict]:
-        try:
-            data = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
-            return None
-        return data if isinstance(data, dict) else None
+        """Checksum-verified read; corrupt counts the same as missing
+        (both resolve the lease as a crash, which re-runs the job)."""
+        payload, verdict = read_result(path)
+        if verdict == "corrupt":
+            obs.metrics().counter("serve.results.corrupt").inc()
+            _log.warning("result.corrupt_on_reap", file=path.name)
+        return payload
 
     def _release(self, slot: _Slot, crashed: bool) -> None:
         lease = slot.lease

@@ -71,6 +71,7 @@ RETRYABLE_REJECTIONS = frozenset(
         "overloaded",
         "circuit_open",
         "draining",
+        "disk_full",
         "no_live_shard",
         "shard_unavailable",
     }
@@ -535,6 +536,41 @@ class ResilientClient:
         """A control verb (``stats`` / ``health``) with the same retry
         machinery as job submission."""
         return self._run([{"verb": verb}])[0]
+
+    def fetch(
+        self,
+        job_id: str,
+        wait: bool = False,
+        poll_interval_sec: float = 0.25,
+    ) -> Dict[str, Any]:
+        """Fetch a job's result by id (the ``fetch`` verb).
+
+        With ``wait=False`` (default), one retried exchange: the
+        response may be ``pending`` (job queued/leased/repairing) or
+        ``not_found``.  With ``wait=True``, keeps polling through
+        those states — honouring each response's ``retry_after_sec``
+        hint — until the job is terminal (``ok``/``failed``/terminal
+        ``rejected``) or the policy's deadline budget runs out
+        (:class:`DeadlineExceeded`).  Each poll is itself a fully
+        retried exchange, so a flaky wire and a slow job compose.
+        """
+        deadline = self._clock() + self.policy.deadline_sec
+        while True:
+            response = self._run([{"verb": "fetch", "job_id": job_id}])[0]
+            status = response.get("status")
+            if not wait or status not in ("pending", "not_found"):
+                return response
+            hint = response.get("retry_after_sec")
+            pause = float(hint) if hint else poll_interval_sec
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                metrics().counter("transport.deadline_exhausted").inc()
+                raise DeadlineExceeded(
+                    f"fetch({job_id!r}) still {status} after the "
+                    f"{self.policy.deadline_sec}s deadline budget",
+                    responses=[response],
+                )
+            self._sleep(min(pause, remaining))
 
     # -- the retry loop ------------------------------------------------
     def _run(self, requests: List[Dict[str, Any]]) -> List[Dict[str, Any]]:

@@ -99,3 +99,24 @@ def test_fleet_commands_are_documented():
     for doc in DOC_FILES:
         text = (REPO_ROOT / doc).read_text()
         assert "serve fleet" in text, f"{doc} does not mention serve fleet"
+
+
+def test_serve_fetch_exists_and_is_documented():
+    """The result-fetch surface: a real subcommand, named by the docs."""
+    tree = command_tree()
+    assert "fetch" in tree["serve"], "cli.py has no `serve fetch`"
+    text = (REPO_ROOT / "OPERATIONS.md").read_text()
+    assert "serve fetch" in text, "OPERATIONS.md does not mention serve fetch"
+
+
+def test_storage_campaign_is_wired():
+    """`repro chaos --campaign storage` must parse and reach its runner."""
+    parser = build_parser()
+    args = parser.parse_args(
+        ["chaos", "--campaign", "storage", "--seed", "3"]
+    )
+    assert args.campaign == "storage"
+    assert args.seed == 3
+    from repro.guard.chaos import run_storage_campaign  # importable
+
+    assert callable(run_storage_campaign)

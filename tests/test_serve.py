@@ -26,8 +26,9 @@ from repro.serve.client import (
     submit_via_socket,
 )
 from repro.serve.daemon import ServeConfig, ServeDaemon
-from repro.serve.journal import JobJournal
+from repro.serve.journal import JobJournal, record_crc_ok, seal_record
 from repro.serve.queue import AdmissionQueue
+from repro.serve.supervisor import _write_result, quarantine_result, read_result
 from repro.serve.requests import BadRequest, normalize_request, request_to_spec
 
 
@@ -87,14 +88,19 @@ class TestJournal:
             "completed": 1, "failed": 0, "rejected": 0,
         }
 
-    def test_undecodable_middle_line_is_counted_not_fatal(self, tmp_path):
+    def test_undecodable_complete_line_is_corrupt_not_torn(self, tmp_path):
+        # A garbage line *with* its newline was fully written by someone
+        # — that is corruption, not a torn tail (only a missing trailing
+        # newline on the final line of the final segment is torn).
         journal = JobJournal(tmp_path, fsync=False)
         journal.submitted(normalize_request(_req(0)))
         journal.close()
         with open(tmp_path / JobJournal.ACTIVE, "a", encoding="utf-8") as fh:
             fh.write("not json at all\n")
         state = JobJournal.read_state(tmp_path)
-        assert state.torn_records == 1
+        assert state.torn_records == 0
+        assert state.corrupt_records == 1
+        assert state.corrupt_segments == [JobJournal.ACTIVE]
         assert state.counts()["total"] == 1
 
     def test_rotation_and_compaction_preserve_state(self, tmp_path):
@@ -181,6 +187,221 @@ class TestJournal:
         state = JobJournal.read_state(tmp_path)
         assert state.torn_records == 0
         assert len(state.jobs) == threads_n * per_thread
+
+
+# ----------------------------------------------------------------------
+# Journal corruption matrix (PR 10): torn vs corrupt, CRC envelopes
+# ----------------------------------------------------------------------
+def _tamper_record(segment, rtype: str, job_id: str) -> bool:
+    """Flip a field inside the first matching record WITHOUT resealing,
+    so the stored CRC no longer matches the canonical body."""
+    lines = segment.read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if record.get("type") == rtype and record.get("job_id") == job_id:
+            record["ts"] = float(record.get("ts") or 0.0) + 1.0
+            lines[i] = json.dumps(record, separators=(",", ":"))
+            segment.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            return True
+    return False
+
+
+class TestJournalCorruption:
+    @pytest.mark.parametrize("rtype", ["submitted", "leased", "completed",
+                                       "rejected"])
+    def test_bitflip_in_each_record_type_is_skipped_and_flagged(
+        self, tmp_path, rtype
+    ):
+        journal = JobJournal(tmp_path, fsync=False)
+        request = normalize_request(_req(0))
+        job_id = request["job_id"]
+        journal.submitted(request)
+        if rtype in ("leased", "completed"):
+            journal.leased(job_id, 1, pid=123)
+        if rtype == "completed":
+            journal.completed(job_id, duration_sec=0.5)
+        if rtype == "rejected":
+            journal.rejected(job_id, "overloaded", retry_after_sec=2.0)
+        journal.close()
+
+        assert _tamper_record(tmp_path / JobJournal.ACTIVE, rtype, job_id)
+        state = JobJournal.read_state(tmp_path)
+        assert state.corrupt_records == 1
+        assert state.torn_records == 0
+        assert job_id in state.suspect_jobs
+        assert JobJournal.ACTIVE in state.corrupt_segments
+        # The damaged record must NOT have been applied.
+        job = state.jobs.get(job_id)
+        if rtype == "submitted":
+            assert job is None
+        elif rtype == "leased":
+            assert job.status == "pending" and job.attempts == 0
+        elif rtype == "completed":
+            # The job's last good state (leased) is not terminal: the
+            # corrupt completion is never believed.
+            assert job.status == "leased" and job.completions == 0
+        elif rtype == "rejected":
+            assert job.status == "pending" and job.reason is None
+
+    def test_bitflip_in_snapshot_job_record_is_corrupt(self, tmp_path):
+        # Compaction snapshots carry the same envelope: damage one and
+        # replay must refuse it rather than resurrect a wrong state.
+        journal = JobJournal(
+            tmp_path, fsync=False,
+            max_segment_bytes=256, compact_after_segments=2,
+        )
+        requests = [normalize_request(_req(i)) for i in range(8)]
+        for request in requests:
+            journal.submitted(request)
+            journal.leased(request["job_id"], 1)
+            journal.completed(request["job_id"], duration_sec=0.1)
+        journal.close()
+        victim = requests[0]["job_id"]
+        assert _tamper_record(tmp_path / JobJournal.ACTIVE, "job", victim)
+        state = JobJournal.read_state(tmp_path)
+        assert state.corrupt_records == 1
+        assert victim in state.suspect_jobs
+        assert victim not in state.jobs  # absolute record refused whole
+        assert state.counts()["completed"] == 7
+
+    def test_torn_looking_line_in_rotated_segment_is_corrupt(self, tmp_path):
+        # A line without a trailing newline is only "torn" at the very
+        # end of the journal; at a rotation boundary it means the
+        # segment lost bytes mid-history — corruption.
+        journal = JobJournal(tmp_path, fsync=False)
+        first = normalize_request(_req(0))
+        journal.submitted(first)
+        journal.rotate()
+        second = normalize_request(_req(1))
+        journal.submitted(second)
+        journal.close()
+        rotated = sorted(tmp_path.glob("wal-*.jsonl"))[0]
+        with open(rotated, "a", encoding="utf-8") as fh:
+            fh.write('{"v":2,"type":"completed","job_id":"to')
+        state = JobJournal.read_state(tmp_path)
+        assert state.torn_records == 0
+        assert state.corrupt_records == 1
+        assert rotated.name in state.corrupt_segments
+        assert state.counts()["total"] == 2
+
+    def test_unknown_version_with_valid_crc_is_preserved(self, tmp_path):
+        # Forward compat: a record sealed by a NEWER writer whose
+        # checksum holds must be applied, not dropped as corrupt.
+        journal = JobJournal(tmp_path, fsync=False)
+        request = normalize_request(_req(0))
+        journal.submitted(request)
+        journal.close()
+        future = seal_record({
+            "v": 99, "type": "completed", "job_id": request["job_id"],
+            "duration_sec": 0.25, "from": "the future",
+        })
+        assert record_crc_ok(future)
+        with open(tmp_path / JobJournal.ACTIVE, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(future, separators=(",", ":")) + "\n")
+        state = JobJournal.read_state(tmp_path)
+        assert state.corrupt_records == 0
+        job = state.jobs[request["job_id"]]
+        assert job.status == "completed"
+        assert job.duration_sec == 0.25
+
+    def test_v2_record_without_crc_is_corrupt(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=False)
+        request = normalize_request(_req(0))
+        journal.submitted(request)
+        journal.close()
+        naked = {"v": 2, "type": "completed", "job_id": request["job_id"]}
+        with open(tmp_path / JobJournal.ACTIVE, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(naked, separators=(",", ":")) + "\n")
+        state = JobJournal.read_state(tmp_path)
+        assert state.corrupt_records == 1
+        assert state.jobs[request["job_id"]].status == "pending"
+
+    def test_writer_quarantines_corrupt_segment_copy(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=False)
+        request = normalize_request(_req(0))
+        journal.submitted(request)
+        journal.completed(request["job_id"])
+        journal.close()
+        assert _tamper_record(
+            tmp_path / JobJournal.ACTIVE, "completed", request["job_id"]
+        )
+        reopened = JobJournal(tmp_path, fsync=False)
+        quarantined = list((tmp_path / "quarantine").glob("*"))
+        assert len(quarantined) == 1
+        # The copy preserves the damaged bytes for post-mortem while the
+        # live journal keeps appending to the original.
+        assert quarantined[0].name == JobJournal.ACTIVE
+        reopened.completed(request["job_id"])
+        reopened.close()
+        assert JobJournal.read_state(tmp_path).counts()["completed"] == 1
+
+    def test_result_corrupt_requeue_voids_exactly_one_completion(
+        self, tmp_path
+    ):
+        # Read-repair semantics: a ``result_corrupt*`` requeue (and only
+        # that) reverts a completed job AND decrements its completion
+        # count, so the re-execution that follows nets out exactly-once.
+        journal = JobJournal(tmp_path, fsync=False)
+        request = normalize_request(_req(0))
+        journal.submitted(request)
+        journal.leased(request["job_id"], 1)
+        journal.completed(request["job_id"])
+        journal.requeued(request["job_id"], "result_corrupt_corrupt")
+        job = journal.state.jobs[request["job_id"]]
+        assert job.status == "pending"
+        assert job.completions == 0
+        journal.leased(request["job_id"], 2)
+        journal.completed(request["job_id"])
+        journal.close()
+        replayed = JobJournal.read_state(tmp_path)
+        job = replayed.jobs[request["job_id"]]
+        assert job.status == "completed"
+        assert job.completions == 1
+
+
+# ----------------------------------------------------------------------
+# Result envelope (PR 10): checksummed artifacts
+# ----------------------------------------------------------------------
+class TestResultEnvelope:
+    def test_roundtrip_is_checksummed_and_valid(self, tmp_path):
+        path = tmp_path / "results" / "abc.json"
+        payload = {"status": "ok", "job_id": "abc", "value": {"x": 1},
+                   "duration_sec": 0.5}
+        _write_result(path, payload)
+        envelope = json.loads(path.read_text())
+        assert envelope["v"] == 2
+        assert record_crc_ok(envelope)
+        read, verdict = read_result(path)
+        assert verdict == "valid"
+        assert read == payload
+
+    def test_bitflip_reads_corrupt_and_quarantines(self, tmp_path):
+        path = tmp_path / "results" / "abc.json"
+        _write_result(path, {"status": "ok", "job_id": "abc"})
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        read, verdict = read_result(path)
+        assert read is None
+        assert verdict == "corrupt"
+        moved = quarantine_result(path)
+        assert moved is not None and moved.exists()
+        assert not path.exists()
+        assert read_result(path) == (None, "missing")
+
+    def test_legacy_bare_payload_still_reads(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"status": "ok", "job_id": "abc"}))
+        read, verdict = read_result(path)
+        assert verdict == "valid"
+        assert read["status"] == "ok"
+
+    def test_quarantine_of_missing_file_is_noop(self, tmp_path):
+        assert quarantine_result(tmp_path / "nope.json") is None
+        assert not (tmp_path / "quarantine").exists()
 
 
 # ----------------------------------------------------------------------
@@ -496,7 +717,8 @@ class TestServeDaemon:
         result_path = (
             serve_dir / "state" / "results" / f"{response['job_id']}.json"
         )
-        result = json.loads(result_path.read_text())
+        result, verdict = read_result(result_path)
+        assert verdict == "valid"
         assert result["status"] == "ok"
         value = result["value"]
         assert value["grid_id"] == grid.grid_id
@@ -783,6 +1005,203 @@ class TestServeDaemon:
         assert status["counts"]["completed"] == 1
         assert status["jobs"][0]["completions"] == 1
         assert "completed" in format_status(status)
+
+
+# ----------------------------------------------------------------------
+# Durable result plane (PR 10): fetch, read-repair, disk-full shedding
+# ----------------------------------------------------------------------
+class TestDurableResultPlane:
+    def test_fetch_verb_returns_verified_result(self, daemon_factory):
+        daemon = daemon_factory()
+        response = daemon.admit(_req(0))
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        fetched = daemon._handle_verb(
+            {"verb": "fetch", "job_id": response["job_id"]}
+        )
+        assert fetched["status"] == "ok"
+        assert fetched["state"] == "completed"
+        assert fetched["result"]["status"] == "ok"
+        assert fetched["result"]["job_id"] == response["job_id"]
+
+    def test_fetch_unknown_job_is_not_found(self, daemon_factory):
+        daemon = daemon_factory()
+        fetched = daemon._handle_verb({"verb": "fetch", "job_id": "f" * 64})
+        assert fetched == {"status": "not_found", "job_id": "f" * 64}
+
+    def test_fetch_pending_job_gives_retry_hint(self, daemon_factory):
+        daemon = daemon_factory()
+        response = daemon.admit(_req(0, fault="sleep", sleep_sec=5.0))
+        fetched = daemon._handle_verb(
+            {"verb": "fetch", "job_id": response["job_id"]}
+        )
+        assert fetched["status"] == "pending"
+        assert fetched["state"] in ("pending", "leased")
+        assert fetched["retry_after_sec"] > 0
+        daemon.supervisor.kill_all()
+
+    def test_fetch_corrupt_result_read_repairs_exactly_once(
+        self, daemon_factory, serve_dir
+    ):
+        daemon = daemon_factory()
+        response = daemon.admit(_req(0))
+        job_id = response["job_id"]
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        result_path = serve_dir / "state" / "results" / f"{job_id}.json"
+        blob = bytearray(result_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        result_path.write_bytes(bytes(blob))
+
+        # The corrupt artifact is never served: quarantined, completion
+        # voided, job re-executed.
+        fetched = daemon._handle_verb({"verb": "fetch", "job_id": job_id})
+        assert fetched["status"] == "pending"
+        assert fetched["state"] == "repairing"
+        assert list(
+            (serve_dir / "state" / "results" / "quarantine").glob("*")
+        )
+        assert daemon.journal.state.jobs[job_id].status == "pending"
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[job_id].status == "completed",
+        )
+        fetched = daemon._handle_verb({"verb": "fetch", "job_id": job_id})
+        assert fetched["status"] == "ok"
+        assert fetched["result"]["status"] == "ok"
+        # Exactly-once ledger: the voided completion does not count.
+        assert daemon.journal.state.jobs[job_id].completions == 1
+        daemon.journal.flush()
+        replayed = JobJournal.read_state(serve_dir / "state" / "journal")
+        assert replayed.jobs[job_id].completions == 1
+
+    def test_wal_write_fault_sheds_disk_full_then_self_clears(
+        self, daemon_factory
+    ):
+        from repro.guard.chaos import _ENOSPCFile
+
+        daemon = daemon_factory(disk_probe_interval_sec=0.01)
+        daemon.journal._fh = _ENOSPCFile(daemon.journal._fh)
+        response = daemon.admit(_req(0))
+        assert response["status"] == "rejected"
+        assert response["reason"] == "disk_full"
+        assert response["retry_after_sec"] > 0
+        assert daemon._shedding == "disk_full"
+        health = daemon._handle_verb({"verb": "health"})
+        assert health["health"]["shedding"] == "disk_full"
+        # Probe gated: still shedding inside the interval.
+        daemon._disk_probe_at = time.monotonic() + 30.0
+        assert daemon.admit(_req(0))["reason"] == "disk_full"
+        # The "disk" heals — the probe's reopen() drops the poisoned
+        # handle — and admission must recover without a restart.
+        daemon._disk_probe_at = 0.0
+        retry = daemon.admit(_req(0))
+        assert retry["status"] == "accepted"
+        assert daemon._shedding is None
+        _run_until(
+            daemon, lambda: daemon.journal.state.counts()["completed"] == 1
+        )
+        assert daemon.journal.state.jobs[retry["job_id"]].completions == 1
+
+    def test_recovery_repairs_completion_from_artifact(
+        self, daemon_factory, serve_dir
+    ):
+        # The SIGKILL-between-result-write-and-journal-append window:
+        # WAL says leased, the checksummed artifact says done.  Recovery
+        # must journal the completion from the artifact, not re-run.
+        request = normalize_request(_req(0))
+        job_id = request["job_id"]
+        journal = JobJournal(serve_dir / "state" / "journal", fsync=False)
+        journal.submitted(request)
+        journal.leased(job_id, 1, pid=999999)
+        journal.close()
+        _write_result(
+            serve_dir / "state" / "results" / f"{job_id}.json",
+            {"status": "ok", "job_id": job_id, "value": {"ok": True},
+             "cache_hit": False, "duration_sec": 0.125},
+        )
+        daemon = daemon_factory()
+        assert daemon.recovered == 0  # repaired, not requeued
+        job = daemon.journal.state.jobs[job_id]
+        assert job.status == "completed"
+        assert job.completions == 1
+        assert job.attempts == 1
+        assert job.duration_sec == 0.125
+        fetched = daemon._handle_verb({"verb": "fetch", "job_id": job_id})
+        assert fetched["status"] == "ok"
+
+    def test_recovery_reverifies_suspect_completion(
+        self, daemon_factory, serve_dir
+    ):
+        # A job named by a corrupt journal record is only believed
+        # completed if its artifact's checksum holds; here it does not,
+        # so the completion is voided and the job re-runs.
+        request = normalize_request(_req(0))
+        job_id = request["job_id"]
+        journal = JobJournal(serve_dir / "state" / "journal", fsync=False)
+        journal.submitted(request)
+        journal.leased(job_id, 1)
+        journal.completed(request["job_id"], duration_sec=0.5)
+        # A second, corrupt record naming the same job makes it suspect.
+        journal.close()
+        segment = serve_dir / "state" / "journal" / JobJournal.ACTIVE
+        with open(segment, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(
+                {"v": 2, "type": "leased", "job_id": job_id, "lease": 2}
+            ) + "\n")
+        result_path = serve_dir / "state" / "results" / f"{job_id}.json"
+        _write_result(result_path, {"status": "ok", "job_id": job_id})
+        blob = bytearray(result_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        result_path.write_bytes(bytes(blob))
+
+        daemon = daemon_factory()
+        assert job_id in daemon.journal.state.suspect_jobs
+        _run_until(
+            daemon,
+            lambda: daemon.journal.state.jobs[job_id].status == "completed",
+        )
+        assert daemon.journal.state.jobs[job_id].completions == 1
+        fetched = daemon._handle_verb({"verb": "fetch", "job_id": job_id})
+        assert fetched["status"] == "ok"
+        assert fetched["result"]["status"] == "ok"
+
+    def test_fetch_over_socket_and_resilient_wait(
+        self, daemon_factory, serve_dir
+    ):
+        from repro.serve.client import fetch_result
+        from repro.serve.transport import ResilientClient
+
+        daemon = daemon_factory(socket_path=serve_dir / "serve.sock")
+        daemon._start_socket()
+        response = daemon.admit(_req(0, fault="sleep", sleep_sec=0.2))
+        job_id = response["job_id"]
+        stop = threading.Event()
+
+        def pump():
+            while not stop.is_set():
+                daemon.tick()
+                if daemon.journal.state.counts()["completed"] >= 1:
+                    return
+                time.sleep(0.02)
+
+        pumper = threading.Thread(target=pump)
+        pumper.start()
+        try:
+            client = ResilientClient(
+                serve_dir / "serve.sock", deadline_sec=20.0
+            )
+            fetched = client.fetch(job_id, wait=True)
+        finally:
+            stop.set()
+            pumper.join()
+        assert fetched["status"] == "ok"
+        assert fetched["result"]["status"] == "ok"
+        # The one-shot helper agrees now that the job settled.
+        assert fetch_result(serve_dir / "serve.sock", job_id)["status"] == "ok"
+
 
 # ----------------------------------------------------------------------
 # Live observability wiring (PR 7)
